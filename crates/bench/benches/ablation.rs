@@ -1,0 +1,26 @@
+//! Ablation bench (X3): cost of the slack-driven dual-Vt assignment
+//! loop on a tiny configuration — the optimizer is an offline tool, but
+//! its per-candidate trial cost (two transients) is worth tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::dual_vt;
+use lnoc_core::scheme::Scheme;
+use std::hint::black_box;
+
+fn bench_dual_vt_assignment(c: &mut Criterion) {
+    let cfg = CrossbarConfig {
+        flit_bits: 16,
+        sim_dt: 1.0e-12,
+        ..CrossbarConfig::paper()
+    };
+    let mut group = c.benchmark_group("dual_vt");
+    group.sample_size(10);
+    group.bench_function("greedy_assign_sc", |b| {
+        b.iter(|| black_box(dual_vt::assign(Scheme::Sc, &cfg, 1.05).expect("assignment runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dual_vt_assignment);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench for the circuit engine kernels: device evaluation,
+//! dense LU, and transient stepping on an inverter chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lnoc_circuit::linear::Matrix;
+use lnoc_circuit::netlist::{MosfetSpec, Netlist};
+use lnoc_circuit::stimulus::Stimulus;
+use lnoc_circuit::transient::{self, TransientSpec};
+use lnoc_tech::device::{Polarity, VtClass};
+use lnoc_tech::node45::Node45;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_device_eval(c: &mut Criterion) {
+    let tech = Node45::tt();
+    let m = tech.mos(Polarity::Nmos, VtClass::Nominal);
+    c.bench_function("mosfet_eval", |b| {
+        b.iter(|| black_box(m.eval(black_box(1.0e-6), 0.62, 0.81, 0.12, 0.0)))
+    });
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let n = 60;
+    let mut a = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = if i == j { 10.0 } else { 1.0 / (1.0 + (i + 2 * j) as f64) };
+            a.set(i, j, v);
+        }
+    }
+    c.bench_function("lu_solve_60", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            let mut rhs = vec![1.0; n];
+            m.solve_in_place(&mut rhs).expect("well conditioned");
+            black_box(rhs)
+        })
+    });
+}
+
+fn bench_inverter_chain_transient(c: &mut Criterion) {
+    let tech = Node45::tt();
+    let nmos = Arc::new(tech.mos(Polarity::Nmos, VtClass::Nominal));
+    let pmos = Arc::new(tech.mos(Polarity::Pmos, VtClass::Nominal));
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+    let input = nl.node("s0");
+    nl.vsource("IN", input, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 20e-12, 4e-12));
+    let mut prev = input;
+    for i in 0..5 {
+        let out = nl.node(&format!("s{}", i + 1));
+        nl.mosfet(
+            &format!("p{i}"),
+            MosfetSpec { d: out, g: prev, s: vdd, b: vdd, model: Arc::clone(&pmos), w: 0.9e-6 },
+        )
+        .unwrap();
+        nl.mosfet(
+            &format!("n{i}"),
+            MosfetSpec {
+                d: out,
+                g: prev,
+                s: Netlist::GROUND,
+                b: Netlist::GROUND,
+                model: Arc::clone(&nmos),
+                w: 0.45e-6,
+            },
+        )
+        .unwrap();
+        nl.capacitor(&format!("c{i}"), out, Netlist::GROUND, 2.0e-15)
+            .unwrap();
+        prev = out;
+    }
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(10);
+    group.bench_function("inverter_chain_100ps", |b| {
+        b.iter(|| {
+            black_box(
+                transient::run(&nl, &TransientSpec::new(100e-12, 0.2e-12)).expect("runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_device_eval,
+    bench_lu,
+    bench_inverter_chain_transient
+);
+criterion_main!(benches);

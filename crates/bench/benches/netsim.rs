@@ -1,0 +1,30 @@
+//! Criterion bench for the NoC simulator's cycle rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lnoc_netsim::{MeshConfig, Simulation, TrafficPattern};
+use std::hint::black_box;
+
+fn bench_mesh_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    for (label, w, h) in [("4x4", 4usize, 4usize), ("8x8", 8, 8)] {
+        group.bench_function(format!("{label}_1k_cycles"), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(MeshConfig {
+                    width: w,
+                    height: h,
+                    injection_rate: 0.05,
+                    pattern: TrafficPattern::UniformRandom,
+                    packet_len_flits: 4,
+                    buffer_depth: 4,
+                    seed: 7,
+                });
+                black_box(sim.run(0, 1000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh_cycles);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Experiments F1–F3: regenerate the paper's Figures 1–3 as
+//! machine-readable schematics (SPICE netlists + Graphviz DOT + device
+//! roster summaries).
+
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::schematic;
+use lnoc_core::scheme::Scheme;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    let artifacts = [
+        (Scheme::Dfc, "fig1_dfc"),
+        (Scheme::Dpc, "fig2_dpc"),
+        (Scheme::Sdfc, "fig3a_sdfc"),
+        (Scheme::Sdpc, "fig3b_sdpc"),
+        (Scheme::Sc, "baseline_sc"),
+    ];
+    for (scheme, stem) in artifacts {
+        lnoc_bench::write_artifact(
+            &format!("{stem}.sp"),
+            &schematic::export_spice(scheme, &cfg),
+        );
+        lnoc_bench::write_artifact(
+            &format!("{stem}.dot"),
+            &schematic::export_dot(scheme, &cfg),
+        );
+        lnoc_bench::write_artifact(
+            &format!("{stem}_devices.txt"),
+            &schematic::export_summary(scheme, &cfg),
+        );
+        println!("{}", schematic::export_summary(scheme, &cfg));
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment X1: minimum idle time vs clock frequency, per scheme —
+//! the sensitivity study behind Table 1's single-frequency MIT row.
+
+use lnoc_core::characterize::Characterizer;
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::scheme::Scheme;
+use lnoc_power::breakeven::min_idle_cycles;
+use lnoc_power::report::TextTable;
+use lnoc_tech::units::{Hertz, Joules, Watts};
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    let mut ch = Characterizer::new(&cfg);
+    let clocks: Vec<Hertz> = [1.0e9, 2.0e9, 3.0e9, 4.0e9, 5.0e9]
+        .into_iter()
+        .map(Hertz)
+        .collect();
+
+    let mut headers = vec!["scheme".to_string()];
+    headers.extend(clocks.iter().map(|c| format!("{c:.0}")));
+    let mut table = TextTable::new(headers);
+
+    for scheme in Scheme::ALL {
+        let c = ch.characterize(scheme).expect("characterization");
+        let n = cfg.slice_count() as f64;
+        let p_saved = Watts((c.idle_awake_leakage.0 - c.standby_leakage.0) / n);
+        let e_trans = Joules(c.transition_energy.0);
+        let mut cells = vec![scheme.name().to_string()];
+        for &clk in &clocks {
+            cells.push(min_idle_cycles(e_trans, p_saved, clk).to_string());
+        }
+        table.row(cells);
+    }
+    println!("minimum idle time (cycles) vs clock frequency:");
+    println!("{table}");
+    lnoc_bench::write_artifact("x1_idle_sweep.txt", &table.to_string());
+}

@@ -1,0 +1,82 @@
+//! Experiment X2: network-level leakage savings. Runs the mesh
+//! simulator across traffic patterns and loads, extracts per-port
+//! idle-interval histograms, and evaluates every gating policy with each
+//! scheme's gating parameters.
+
+use lnoc_core::characterize::Characterizer;
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::scheme::Scheme;
+use lnoc_netsim::{MeshConfig, Simulation, TrafficPattern};
+use lnoc_power::gating::{evaluate_policy, GatingParams, GatingPolicy};
+use lnoc_power::report::TextTable;
+use lnoc_power::router::RouterPowerModel;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    let mut ch = Characterizer::new(&cfg);
+
+    // Characterize each scheme once.
+    let mut params: Vec<(Scheme, GatingParams)> = Vec::new();
+    for scheme in Scheme::ALL {
+        let c = ch.characterize(scheme).expect("characterization");
+        let model = RouterPowerModel::from_characterization(&c, &cfg);
+        params.push((scheme, model.port_gating_params(cfg.radix)));
+    }
+
+    let mut out = String::new();
+    for pattern in [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::Hotspot,
+    ] {
+        for rate in [0.02, 0.05, 0.10] {
+            let mut sim = Simulation::new(MeshConfig {
+                width: 4,
+                height: 4,
+                injection_rate: rate,
+                pattern,
+                packet_len_flits: 4,
+                buffer_depth: 4,
+                seed: 2005,
+            });
+            let stats = sim.run(1000, 10000);
+            let hist = stats.merged_idle_histogram(4096);
+
+            let mut table = TextTable::new(vec![
+                "scheme".into(),
+                "policy".into(),
+                "saved %".into(),
+                "sleeps".into(),
+            ]);
+            for (scheme, p) in &params {
+                let threshold = p.min_idle_cycles(cfg.clock);
+                for policy in [
+                    GatingPolicy::Immediate,
+                    GatingPolicy::IdleThreshold(threshold),
+                    GatingPolicy::Oracle,
+                ] {
+                    let o = evaluate_policy(&hist, p, policy, cfg.clock);
+                    table.row(vec![
+                        scheme.name().into(),
+                        policy.to_string(),
+                        format!("{:.1}", o.savings_fraction() * 100.0),
+                        o.sleep_events.to_string(),
+                    ]);
+                }
+            }
+            let header = format!(
+                "\n== {} @ injection {:.2} — latency {:.1} cy, util {:.3}, {} idle intervals ==",
+                pattern.name(),
+                rate,
+                stats.avg_latency(),
+                stats.crossbar_utilization(),
+                hist.interval_count(),
+            );
+            println!("{header}\n{table}");
+            out.push_str(&header);
+            out.push('\n');
+            out.push_str(&table.to_string());
+        }
+    }
+    lnoc_bench::write_artifact("x2_noc_sweep.txt", &out);
+}

@@ -1,0 +1,49 @@
+//! Experiment T1/T1a/T1b: regenerate the paper's Table 1, the abstract's
+//! headline ranges and the §3 segmentation claims.
+
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::table1::Table1;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    println!(
+        "Table 1 harness: {}×{} crossbar, {} bits/flit, {} (45 nm)",
+        cfg.radix,
+        cfg.radix,
+        cfg.flit_bits,
+        cfg.clock
+    );
+    let measured = Table1::generate(&cfg).expect("characterization");
+    let paper = Table1::paper_reference();
+
+    println!("\n=== measured (this reproduction) ===\n{measured}");
+    println!("=== published (DATE 2005, Table 1) ===\n{paper}");
+
+    let claims = measured.abstract_claims();
+    println!("[T1a] abstract ranges, measured:");
+    println!(
+        "      active leakage savings {:.2}% – {:.2}%  (paper: 10.13% – 63.57%)",
+        claims.active_savings_range.0 * 100.0,
+        claims.active_savings_range.1 * 100.0
+    );
+    println!(
+        "      standby leakage savings {:.2}% – {:.2}% (paper: 12.36% – 95.96%)",
+        claims.standby_savings_range.0 * 100.0,
+        claims.standby_savings_range.1 * 100.0
+    );
+    println!(
+        "      delay penalty ≤ {:.2}%                  (paper: ≤ 4.69%)",
+        claims.delay_penalty_range.1 * 100.0
+    );
+
+    let (g_sdfc, g_sdpc) = measured.segmentation_gains();
+    println!(
+        "[T1b] segmentation cuts remaining active leakage by {:.1}% (SDFC vs DFC, paper ≈20%) and {:.1}% (SDPC vs DPC, paper ≈30%)",
+        g_sdfc * 100.0,
+        g_sdpc * 100.0
+    );
+
+    let json_like = format!("{measured:#?}");
+    lnoc_bench::write_artifact("table1_measured.txt", &format!("{measured}"));
+    lnoc_bench::write_artifact("table1_raw_debug.txt", &json_like);
+}

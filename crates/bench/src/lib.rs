@@ -1,0 +1,57 @@
+//! # lnoc-bench — experiment harnesses
+//!
+//! One binary per paper artifact (see `DESIGN.md` §4):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 (all rows, all schemes) + abstract ranges + segmentation claims (T1, T1a, T1b) |
+//! | `figures` | Figures 1–3 as SPICE/DOT schematics (F1–F3) |
+//! | `idle_sweep` | minimum-idle-time vs clock frequency (X1) |
+//! | `noc_sweep` | mesh-level gating savings across traffic patterns and loads (X2) |
+//!
+//! The Criterion benches (`benches/`) measure the *engine* itself
+//! (device evaluation, DC solve, transient step, netsim cycle rate) so
+//! performance regressions in the simulator are caught independently of
+//! the physics results.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Output directory for regenerated artifacts (`out/` at the workspace
+/// root, creating it if needed).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn out_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("out");
+    fs::create_dir_all(&dir).expect("create out/ directory");
+    dir
+}
+
+/// Writes an artifact file and reports it on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_artifact(name: &str, content: &str) {
+    let path = out_dir().join(name);
+    fs::write(&path, content).expect("write artifact");
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dir_exists_after_call() {
+        let d = out_dir();
+        assert!(d.is_dir());
+    }
+}

@@ -1,0 +1,189 @@
+//! Static (leakage) analysis on a DC operating point.
+//!
+//! Given a converged [`DcSolution`], walks every MOSFET and evaluates the
+//! technology model's leakage decomposition (channel/subthreshold, gate
+//! tunnelling, junction) at the solved node voltages. This is the
+//! workhorse behind the paper's *active leakage* and *standby leakage*
+//! rows: the crossbar characterizer solves one DC point per
+//! grant/data/sleep state and rolls the reports up.
+
+use crate::dc::DcSolution;
+use crate::netlist::Netlist;
+use lnoc_tech::device::LeakageBreakdown;
+use lnoc_tech::units::{Amps, Volts, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Leakage of one device instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLeakage {
+    /// Instance name from the netlist.
+    pub name: String,
+    /// Component breakdown.
+    pub breakdown: LeakageBreakdown,
+}
+
+/// Leakage report for a whole netlist in one static state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LeakageReport {
+    entries: Vec<DeviceLeakage>,
+}
+
+impl LeakageReport {
+    /// Per-device entries, in netlist order.
+    pub fn entries(&self) -> &[DeviceLeakage] {
+        &self.entries
+    }
+
+    /// Total channel (subthreshold) leakage.
+    pub fn channel(&self) -> Amps {
+        Amps(self.entries.iter().map(|e| e.breakdown.channel.0).sum())
+    }
+
+    /// Total gate-tunnelling leakage.
+    pub fn gate(&self) -> Amps {
+        Amps(self.entries.iter().map(|e| e.breakdown.gate.0).sum())
+    }
+
+    /// Total junction leakage.
+    pub fn junction(&self) -> Amps {
+        Amps(self.entries.iter().map(|e| e.breakdown.junction.0).sum())
+    }
+
+    /// Grand total leakage current.
+    pub fn total(&self) -> Amps {
+        Amps(self.channel().0 + self.gate().0 + self.junction().0)
+    }
+
+    /// Leakage power at the given supply.
+    pub fn power(&self, vdd: Volts) -> Watts {
+        Watts(self.total().0 * vdd.0)
+    }
+
+    /// The single leakiest device, if any.
+    pub fn worst(&self) -> Option<&DeviceLeakage> {
+        self.entries.iter().max_by(|a, b| {
+            a.breakdown
+                .total()
+                .0
+                .partial_cmp(&b.breakdown.total().0)
+                .expect("leakage values are finite")
+        })
+    }
+}
+
+impl fmt::Display for LeakageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "leakage: total {} (channel {}, gate {}, junction {}) over {} devices",
+            self.total(),
+            self.channel(),
+            self.gate(),
+            self.junction(),
+            self.entries.len()
+        )
+    }
+}
+
+/// Builds the per-device leakage report at a DC operating point.
+pub fn leakage_report(nl: &Netlist, dc: &DcSolution) -> LeakageReport {
+    let entries = nl
+        .mosfets()
+        .map(|(name, m)| {
+            let vg = dc.voltage(m.g);
+            let vd = dc.voltage(m.d);
+            let vs = dc.voltage(m.s);
+            let vb = dc.voltage(m.b);
+            DeviceLeakage {
+                name: name.to_string(),
+                breakdown: m.model.leakage(m.w, vg, vd, vs, vb),
+            }
+        })
+        .collect();
+    LeakageReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc;
+    use crate::netlist::MosfetSpec;
+    use crate::stimulus::Stimulus;
+    use lnoc_tech::device::{Polarity, VtClass};
+    use lnoc_tech::node45::Node45;
+    use std::sync::Arc;
+
+    fn inverter(vt: VtClass, vin: f64) -> (Netlist, LeakageReport) {
+        let tech = Node45::tt();
+        let nmos = Arc::new(tech.mos(Polarity::Nmos, vt));
+        let pmos = Arc::new(tech.mos(Polarity::Pmos, vt));
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.vsource("IN", inp, Netlist::GROUND, Stimulus::dc(vin));
+        nl.mosfet("MP", MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: 900e-9 })
+            .unwrap();
+        nl.mosfet(
+            "MN",
+            MosfetSpec {
+                d: out,
+                g: inp,
+                s: Netlist::GROUND,
+                b: Netlist::GROUND,
+                model: nmos,
+                w: 450e-9,
+            },
+        )
+        .unwrap();
+        let sol = dc::solve(&nl).unwrap();
+        let report = leakage_report(&nl, &sol);
+        (nl, report)
+    }
+
+    #[test]
+    fn report_covers_all_mosfets() {
+        let (_, report) = inverter(VtClass::Nominal, 0.0);
+        assert_eq!(report.entries().len(), 2);
+    }
+
+    #[test]
+    fn high_vt_inverter_leaks_less() {
+        let (_, lo) = inverter(VtClass::Nominal, 0.0);
+        let (_, hi) = inverter(VtClass::High, 0.0);
+        assert!(
+            hi.total().0 < 0.5 * lo.total().0,
+            "high-Vt {} vs nominal {}",
+            hi.total(),
+            lo.total()
+        );
+    }
+
+    #[test]
+    fn power_scales_with_vdd() {
+        let (_, report) = inverter(VtClass::Nominal, 0.0);
+        let p1 = report.power(Volts(1.0));
+        let p2 = report.power(Volts(2.0));
+        assert!((p2.0 / p1.0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_device_is_the_off_one() {
+        // Input low: NMOS is off and subthreshold-leaking with full Vds;
+        // the PMOS is on (no channel leakage, only gate).
+        let (_, report) = inverter(VtClass::Nominal, 0.0);
+        let worst = report.worst().unwrap();
+        // Whichever wins, totals must be positive and finite.
+        assert!(worst.breakdown.total().0 > 0.0);
+        assert!(worst.breakdown.total().0.is_finite());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let (_, report) = inverter(VtClass::Nominal, 0.0);
+        let s = report.to_string();
+        assert!(s.contains("2 devices"));
+    }
+}

@@ -1,0 +1,643 @@
+//! DC operating-point analysis: Newton–Raphson on the MNA equations with
+//! gmin stepping and per-iteration voltage damping.
+//!
+//! The same assembly kernel serves the transient engine (which adds
+//! capacitor companion models); see [`crate::transient`].
+
+use crate::error::CircuitError;
+use crate::linear::{norm_inf, Matrix};
+use crate::netlist::{Device, Netlist, NodeId};
+
+/// Options controlling Newton iteration.
+#[derive(Debug, Clone)]
+pub struct NewtonOptions {
+    /// Maximum Newton iterations per gmin stage.
+    pub max_iterations: usize,
+    /// Convergence: max |Δv| across node voltages (V).
+    pub v_tolerance: f64,
+    /// Convergence: max KCL residual (A).
+    pub i_tolerance: f64,
+    /// Per-iteration clamp on node-voltage updates (V); damping that
+    /// keeps the exponential device models inside float range.
+    pub v_step_limit: f64,
+    /// Ladder of gmin values for the homotopy (ends with the final gmin,
+    /// normally 0).
+    pub gmin_ladder: Vec<f64>,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 150,
+            v_tolerance: 1.0e-7,
+            i_tolerance: 1.0e-10,
+            v_step_limit: 0.3,
+            // A dense ladder keeps each continuation step small, which
+            // matters for the regenerative (keeper) feedback loops in
+            // the crossbar slices.
+            gmin_ladder: vec![
+                1.0e-2, 1.0e-3, 1.0e-4, 1.0e-5, 1.0e-6, 1.0e-7, 1.0e-8, 1.0e-9, 1.0e-10,
+                1.0e-11, 0.0,
+            ],
+        }
+    }
+}
+
+/// A converged operating point: node voltages and source branch currents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Voltage per node, indexed by [`NodeId::index`]; entry 0 (ground)
+    /// is always 0.
+    voltages: Vec<f64>,
+    /// Current per voltage source, in branch order. Positive = flowing
+    /// from the positive terminal *through the source* to the negative
+    /// terminal; the current a supply delivers to the circuit is the
+    /// negative of this.
+    branch_currents: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of a node (V).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// All node voltages indexed by node index.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Branch current of the `k`-th voltage source (see field docs for
+    /// sign convention).
+    pub fn branch_current(&self, k: usize) -> f64 {
+        self.branch_currents[k]
+    }
+
+    /// Current delivered *into the circuit* by a voltage source
+    /// (positive when the source is supplying energy), by device id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a voltage source of `nl`.
+    pub fn supply_current(&self, nl: &Netlist, id: crate::netlist::DeviceId) -> f64 {
+        let k = nl
+            .branch_index(id)
+            .expect("device is not a voltage source of this netlist");
+        -self.branch_currents[k]
+    }
+
+    /// Total power delivered by all sources (W) — equals total static
+    /// dissipation at the operating point.
+    pub fn total_source_power(&self, nl: &Netlist) -> f64 {
+        let mut total = 0.0;
+        let mut k = 0;
+        for entry in nl.devices() {
+            if let Device::VSource { pos, neg, .. } = &entry.device {
+                let v = self.voltage(*pos) - self.voltage(*neg);
+                total += v * (-self.branch_currents[k]);
+                k += 1;
+            }
+        }
+        total
+    }
+}
+
+/// Transient companion context threaded into the shared assembly kernel.
+pub(crate) struct Companion<'a> {
+    /// Node voltages at the previous accepted time point.
+    pub v_old: &'a [f64],
+    /// Time step (s).
+    pub h: f64,
+}
+
+/// Assembles the Jacobian and residual at guess `x`.
+///
+/// Layout of `x`: `x[i-1]` is the voltage of node `i` (ground excluded),
+/// followed by one branch current per voltage source in insertion order.
+/// `source_scale` multiplies every source value (1.0 normally; < 1
+/// during source-stepping homotopy).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
+    nl: &Netlist,
+    x: &[f64],
+    time: f64,
+    companion: Option<&Companion<'_>>,
+    gmin: f64,
+    source_scale: f64,
+    jac: &mut Matrix,
+    residual: &mut [f64],
+) {
+    let n_nodes = nl.node_count();
+    let idx = |node: NodeId| -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    };
+    let volt = |node: NodeId| -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    };
+
+    jac.clear();
+    residual.fill(0.0);
+
+    // gmin from every node to ground (0 disables).
+    if gmin > 0.0 {
+        for i in 0..(n_nodes - 1) {
+            jac.add(i, i, gmin);
+            residual[i] += gmin * x[i];
+        }
+    }
+
+    let mut branch = 0usize;
+    let branch_base = n_nodes - 1;
+
+    for entry in nl.devices() {
+        match &entry.device {
+            Device::Resistor { a, b, ohms } => {
+                let g = 1.0 / ohms;
+                let i = g * (volt(*a) - volt(*b));
+                if let Some(ra) = idx(*a) {
+                    residual[ra] += i;
+                    jac.add(ra, ra, g);
+                    if let Some(rb) = idx(*b) {
+                        jac.add(ra, rb, -g);
+                    }
+                }
+                if let Some(rb) = idx(*b) {
+                    residual[rb] -= i;
+                    jac.add(rb, rb, g);
+                    if let Some(ra) = idx(*a) {
+                        jac.add(rb, ra, -g);
+                    }
+                }
+            }
+            Device::Capacitor { a, b, farads } => {
+                // Open in DC; backward-Euler companion in transient.
+                let Some(c) = companion else { continue };
+                if *farads == 0.0 {
+                    continue;
+                }
+                let g = farads / c.h;
+                let v_new = volt(*a) - volt(*b);
+                let v_old = c.v_old[a.index()] - c.v_old[b.index()];
+                let i = g * (v_new - v_old);
+                if let Some(ra) = idx(*a) {
+                    residual[ra] += i;
+                    jac.add(ra, ra, g);
+                    if let Some(rb) = idx(*b) {
+                        jac.add(ra, rb, -g);
+                    }
+                }
+                if let Some(rb) = idx(*b) {
+                    residual[rb] -= i;
+                    jac.add(rb, rb, g);
+                    if let Some(ra) = idx(*a) {
+                        jac.add(rb, ra, -g);
+                    }
+                }
+            }
+            Device::VSource { pos, neg, stimulus } => {
+                let row = branch_base + branch;
+                let i_branch = x[row];
+                if let Some(rp) = idx(*pos) {
+                    residual[rp] += i_branch;
+                    jac.add(rp, row, 1.0);
+                    jac.add(row, rp, 1.0);
+                }
+                if let Some(rn) = idx(*neg) {
+                    residual[rn] -= i_branch;
+                    jac.add(rn, row, -1.0);
+                    jac.add(row, rn, -1.0);
+                }
+                residual[row] = volt(*pos) - volt(*neg) - source_scale * stimulus.at(time);
+                branch += 1;
+            }
+            Device::Mosfet(m) => {
+                let (vg, vd, vs, vb) = (volt(m.g), volt(m.d), volt(m.s), volt(m.b));
+                let op = m.model.eval(m.w, vg, vd, vs, vb);
+
+                // Channel current: enters the device at the drain,
+                // leaves at the source.
+                if let Some(rd) = idx(m.d) {
+                    residual[rd] += op.i_d;
+                    if let Some(c) = idx(m.g) {
+                        jac.add(rd, c, op.gm);
+                    }
+                    if let Some(c) = idx(m.d) {
+                        jac.add(rd, c, op.gds);
+                    }
+                    if let Some(c) = idx(m.s) {
+                        jac.add(rd, c, op.gms);
+                    }
+                    if let Some(c) = idx(m.b) {
+                        jac.add(rd, c, op.gmb);
+                    }
+                }
+                if let Some(rs) = idx(m.s) {
+                    residual[rs] -= op.i_d;
+                    if let Some(c) = idx(m.g) {
+                        jac.add(rs, c, -op.gm);
+                    }
+                    if let Some(c) = idx(m.d) {
+                        jac.add(rs, c, -op.gds);
+                    }
+                    if let Some(c) = idx(m.s) {
+                        jac.add(rs, c, -op.gms);
+                    }
+                    if let Some(c) = idx(m.b) {
+                        jac.add(rs, c, -op.gmb);
+                    }
+                }
+
+                // Gate tunnelling: gate → source and gate → drain.
+                stamp_two_terminal_current(
+                    jac, residual, &idx, m.g, m.s, op.i_g_s, op.g_gs,
+                );
+                stamp_two_terminal_current(
+                    jac, residual, &idx, m.g, m.d, op.i_g_d, op.g_gd,
+                );
+            }
+        }
+    }
+}
+
+/// Stamps a current `i(v_a − v_b)` with conductance `g = di/d(v_a − v_b)`
+/// flowing from `a` to `b`.
+fn stamp_two_terminal_current(
+    jac: &mut Matrix,
+    residual: &mut [f64],
+    idx: &dyn Fn(NodeId) -> Option<usize>,
+    a: NodeId,
+    b: NodeId,
+    i: f64,
+    g: f64,
+) {
+    if let Some(ra) = idx(a) {
+        residual[ra] += i;
+        jac.add(ra, ra, g);
+        if let Some(rb) = idx(b) {
+            jac.add(ra, rb, -g);
+        }
+    }
+    if let Some(rb) = idx(b) {
+        residual[rb] -= i;
+        jac.add(rb, rb, g);
+        if let Some(ra) = idx(a) {
+            jac.add(rb, ra, -g);
+        }
+    }
+}
+
+/// Runs damped Newton at fixed `time`/`gmin` starting from `x`.
+///
+/// Returns the infinity-norm of the final residual on success.
+pub(crate) fn newton(
+    nl: &Netlist,
+    x: &mut [f64],
+    time: f64,
+    companion: Option<&Companion<'_>>,
+    gmin: f64,
+    opts: &NewtonOptions,
+) -> Result<f64, CircuitError> {
+    newton_scaled(nl, x, time, companion, gmin, 1.0, opts)
+}
+
+/// [`newton`] with an explicit source scale (for source stepping).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn newton_scaled(
+    nl: &Netlist,
+    x: &mut [f64],
+    time: f64,
+    companion: Option<&Companion<'_>>,
+    gmin: f64,
+    source_scale: f64,
+    opts: &NewtonOptions,
+) -> Result<f64, CircuitError> {
+    let n_nodes = nl.node_count();
+    let dim = (n_nodes - 1) + nl.vsource_count();
+    debug_assert_eq!(x.len(), dim);
+    let mut jac = Matrix::zeros(dim);
+    let mut residual = vec![0.0; dim];
+
+    let mut last_residual = f64::INFINITY;
+    for _ in 0..opts.max_iterations {
+        assemble(nl, x, time, companion, gmin, source_scale, &mut jac, &mut residual);
+        // Newton step: J·dx = −F.
+        let mut dx: Vec<f64> = residual.iter().map(|r| -r).collect();
+        jac.solve_in_place(&mut dx)?;
+
+        // Damp voltage updates.
+        let mut max_dv = 0.0_f64;
+        for (i, d) in dx.iter_mut().enumerate() {
+            if i < n_nodes - 1 {
+                *d = d.clamp(-opts.v_step_limit, opts.v_step_limit);
+                max_dv = max_dv.max(d.abs());
+            }
+            x[i] += *d;
+        }
+
+        last_residual = norm_inf(&residual[..n_nodes - 1]);
+        if max_dv < opts.v_tolerance && last_residual < opts.i_tolerance {
+            return Ok(last_residual);
+        }
+    }
+    Err(CircuitError::NoConvergence {
+        analysis: if companion.is_some() { "transient" } else { "dc" },
+        time,
+        residual: last_residual,
+    })
+}
+
+/// Solves the DC operating point with default options.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NoConvergence`] if Newton fails on every gmin
+/// stage, or [`CircuitError::SingularMatrix`] for structurally defective
+/// circuits (e.g. a floating sub-network with no DC path at all).
+pub fn solve(nl: &Netlist) -> Result<DcSolution, CircuitError> {
+    solve_with(nl, &NewtonOptions::default(), None)
+}
+
+/// Solves the DC operating point with explicit options and an optional
+/// warm start (a previous solution's raw unknown vector).
+pub fn solve_with(
+    nl: &Netlist,
+    opts: &NewtonOptions,
+    warm_start: Option<&[f64]>,
+) -> Result<DcSolution, CircuitError> {
+    match gmin_ladder_solve(nl, opts, warm_start) {
+        Ok(sol) => Ok(sol),
+        // Last-resort homotopy: ramp all sources from zero.
+        Err(first_err) => source_stepping_solve(nl, opts).map_err(|_| first_err),
+    }
+}
+
+/// Primary strategy: gmin continuation with damped retries per stage.
+fn gmin_ladder_solve(
+    nl: &Netlist,
+    opts: &NewtonOptions,
+    warm_start: Option<&[f64]>,
+) -> Result<DcSolution, CircuitError> {
+    let dim = (nl.node_count() - 1) + nl.vsource_count();
+    let mut x = vec![0.0; dim];
+    if let Some(ws) = warm_start {
+        x.copy_from_slice(ws);
+        // A warm start is already near a solution branch; entering the
+        // gmin ladder would drag bistable nodes toward mid-rail and can
+        // hop to the wrong branch. Try plain Newton first.
+        if newton(nl, &mut x, 0.0, None, 0.0, opts).is_ok() {
+            return Ok(pack_solution(nl, &x));
+        }
+        x.copy_from_slice(ws);
+    }
+
+    for &gmin in &opts.gmin_ladder {
+        let stage_start = x.clone();
+        let mut step = opts.v_step_limit;
+        let mut iters = opts.max_iterations;
+        let mut last_err = None;
+        let mut converged = false;
+        // Positive-feedback structures (level-restoring keepers) can make
+        // Newton limit-cycle, and a warm start from the previous gmin
+        // stage can sit near the *unstable* equilibrium of a bistable
+        // loop. Retry with heavier damping, then from a cold start.
+        for attempt in 0..6 {
+            let attempt_opts = NewtonOptions {
+                v_step_limit: step,
+                max_iterations: iters,
+                ..opts.clone()
+            };
+            match newton(nl, &mut x, 0.0, None, gmin, &attempt_opts) {
+                Ok(_) => {
+                    converged = true;
+                    break;
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt < 2 {
+                        x.copy_from_slice(&stage_start);
+                        step *= 0.35;
+                    } else {
+                        // Cold restart escapes the unstable branch.
+                        x.fill(0.0);
+                        step = opts.v_step_limit * 0.5_f64.powi(attempt - 2);
+                    }
+                    iters *= 2;
+                }
+            }
+        }
+        if !converged {
+            return Err(last_err.expect("attempt loop ran at least once"));
+        }
+    }
+    Ok(pack_solution(nl, &x))
+}
+
+/// Fallback strategy: ramp every source value from 0 to its target while
+/// holding a small gmin, then release the gmin. Follows a continuous
+/// solution branch, which handles bistable keeper loops that defeat the
+/// gmin ladder.
+fn source_stepping_solve(nl: &Netlist, opts: &NewtonOptions) -> Result<DcSolution, CircuitError> {
+    let dim = (nl.node_count() - 1) + nl.vsource_count();
+    let mut x = vec![0.0; dim];
+    let step_opts = NewtonOptions {
+        max_iterations: 2 * opts.max_iterations,
+        v_step_limit: 0.5 * opts.v_step_limit,
+        ..opts.clone()
+    };
+    let steps = 25;
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        newton_scaled(nl, &mut x, 0.0, None, 1.0e-9, scale, &step_opts)?;
+    }
+    // Release the residual gmin.
+    for gmin in [1.0e-10, 1.0e-11, 1.0e-12, 0.0] {
+        newton_scaled(nl, &mut x, 0.0, None, gmin, 1.0, &step_opts)?;
+    }
+    Ok(pack_solution(nl, &x))
+}
+
+/// Splits the raw unknown vector into the public solution type.
+pub(crate) fn pack_solution(nl: &Netlist, x: &[f64]) -> DcSolution {
+    let n_nodes = nl.node_count();
+    let mut voltages = vec![0.0; n_nodes];
+    for i in 1..n_nodes {
+        voltages[i] = x[i - 1];
+    }
+    let branch_currents = x[n_nodes - 1..].to_vec();
+    DcSolution {
+        voltages,
+        branch_currents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::MosfetSpec;
+    use crate::stimulus::Stimulus;
+    use lnoc_tech::device::{Polarity, VtClass};
+    use lnoc_tech::node45::Node45;
+    use std::sync::Arc;
+
+    #[test]
+    fn resistor_divider() {
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        let mid = nl.node("mid");
+        nl.vsource("V", top, Netlist::GROUND, Stimulus::dc(2.0));
+        nl.resistor("R1", top, mid, 1.0e3).unwrap();
+        nl.resistor("R2", mid, Netlist::GROUND, 3.0e3).unwrap();
+        let sol = solve(&nl).unwrap();
+        assert!((sol.voltage(mid) - 1.5).abs() < 1e-9);
+        // Source supplies V/(R1+R2) = 0.5 mA.
+        assert!((sol.branch_current(0) + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_power_matches_dissipation() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.resistor("R", a, Netlist::GROUND, 2.0e3).unwrap();
+        let sol = solve(&nl).unwrap();
+        assert!((sol.total_source_power(&nl) - 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_transfer_points() {
+        let tech = Node45::tt();
+        let nmos = Arc::new(tech.mos(Polarity::Nmos, VtClass::Nominal));
+        let pmos = Arc::new(tech.mos(Polarity::Pmos, VtClass::Nominal));
+        let build = |vin: f64| {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let inp = nl.node("in");
+            let out = nl.node("out");
+            nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+            nl.vsource("IN", inp, Netlist::GROUND, Stimulus::dc(vin));
+            nl.mosfet(
+                "MP",
+                MosfetSpec {
+                    d: out,
+                    g: inp,
+                    s: vdd,
+                    b: vdd,
+                    model: Arc::clone(&pmos),
+                    w: 900e-9,
+                },
+            )
+            .unwrap();
+            nl.mosfet(
+                "MN",
+                MosfetSpec {
+                    d: out,
+                    g: inp,
+                    s: Netlist::GROUND,
+                    b: Netlist::GROUND,
+                    model: Arc::clone(&nmos),
+                    w: 450e-9,
+                },
+            )
+            .unwrap();
+            nl
+        };
+        let lo = build(0.0);
+        let sol = solve(&lo).unwrap();
+        let out = lo.find_node("out").unwrap();
+        assert!(sol.voltage(out) > 0.95, "Vin=0 ⇒ out high, got {}", sol.voltage(out));
+
+        let hi = build(1.0);
+        let sol = solve(&hi).unwrap();
+        let out = hi.find_node("out").unwrap();
+        assert!(sol.voltage(out) < 0.05, "Vin=1 ⇒ out low, got {}", sol.voltage(out));
+    }
+
+    #[test]
+    fn inverter_leakage_current_flows_from_supply() {
+        let tech = Node45::tt();
+        let nmos = Arc::new(tech.mos(Polarity::Nmos, VtClass::Nominal));
+        let pmos = Arc::new(tech.mos(Polarity::Pmos, VtClass::Nominal));
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        let dd = nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.vsource("IN", inp, Netlist::GROUND, Stimulus::dc(0.0));
+        nl.mosfet(
+            "MP",
+            MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: 900e-9 },
+        )
+        .unwrap();
+        nl.mosfet(
+            "MN",
+            MosfetSpec {
+                d: out,
+                g: inp,
+                s: Netlist::GROUND,
+                b: Netlist::GROUND,
+                model: nmos,
+                w: 450e-9,
+            },
+        )
+        .unwrap();
+        let sol = solve(&nl).unwrap();
+        let i_dd = sol.supply_current(&nl, dd);
+        // Input low: NMOS off but subthreshold-leaking; the supply must
+        // deliver a small positive current.
+        assert!(i_dd > 1e-12, "leakage {i_dd}");
+        assert!(i_dd < 1e-5, "leakage {i_dd} suspiciously large");
+    }
+
+    #[test]
+    fn pass_transistor_drops_a_threshold() {
+        // NMOS pass gate passing a high level loses ~Vth: classic
+        // behaviour the DPC scheme exploits.
+        let tech = Node45::tt();
+        let nmos = Arc::new(tech.mos(Polarity::Nmos, VtClass::Nominal));
+        let mut nl = Netlist::new();
+        let src = nl.node("src");
+        let gate = nl.node("gate");
+        let out = nl.node("out");
+        nl.vsource("S", src, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.vsource("G", gate, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.mosfet(
+            "MPASS",
+            MosfetSpec {
+                d: src,
+                g: gate,
+                s: out,
+                b: Netlist::GROUND,
+                model: nmos,
+                w: 450e-9,
+            },
+        )
+        .unwrap();
+        // Tiny load keeping the output defined.
+        nl.resistor("RL", out, Netlist::GROUND, 1.0e9).unwrap();
+        let sol = solve(&nl).unwrap();
+        let v_out = sol.voltage(out);
+        assert!(
+            (0.4..0.95).contains(&v_out),
+            "pass gate output should sit a threshold below Vdd, got {v_out}"
+        );
+    }
+
+    #[test]
+    fn no_convergence_is_reported_not_hung() {
+        // A voltage loop: two sources forcing different voltages on the
+        // same node pair is singular.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.vsource("V2", a, Netlist::GROUND, Stimulus::dc(2.0));
+        assert!(solve(&nl).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for netlist construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction or by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A component value was outside its meaningful range.
+    InvalidValue {
+        /// Device name as given to the builder.
+        device: String,
+        /// Offending value.
+        value: f64,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+    /// The Newton iteration failed to converge even with all homotopy
+    /// fallbacks (gmin stepping, source stepping).
+    NoConvergence {
+        /// Analysis that failed (`"dc"` or `"transient"`).
+        analysis: &'static str,
+        /// Simulation time at failure (s); 0 for DC.
+        time: f64,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// The MNA matrix became numerically singular.
+    SingularMatrix {
+        /// Row index at which elimination found no usable pivot.
+        row: usize,
+    },
+    /// A node id did not belong to the netlist being simulated.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidValue {
+                device,
+                value,
+                constraint,
+            } => write!(f, "invalid value {value} for device `{device}`: {constraint}"),
+            CircuitError::NoConvergence {
+                analysis,
+                time,
+                residual,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge at t = {time:.3e} s (residual {residual:.3e})"
+            ),
+            CircuitError::SingularMatrix { row } => {
+                write!(f, "singular MNA matrix at elimination row {row}")
+            }
+            CircuitError::UnknownNode { index } => {
+                write!(f, "node index {index} does not belong to this netlist")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+
+    #[test]
+    fn display_mentions_device() {
+        let e = CircuitError::InvalidValue {
+            device: "R1".into(),
+            value: -5.0,
+            constraint: "resistance must be positive",
+        };
+        assert!(e.to_string().contains("R1"));
+    }
+}

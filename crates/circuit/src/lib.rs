@@ -1,0 +1,60 @@
+//! # lnoc-circuit — a small MNA circuit simulator
+//!
+//! This crate replaces the SPICE runs of the DATE 2005 paper with an
+//! in-repo modified-nodal-analysis engine sized for the circuits at hand
+//! (crossbar slices of a few dozen devices):
+//!
+//! * [`netlist`] — circuit description: named nodes, resistors,
+//!   capacitors, voltage sources with time-varying [`stimulus`], and
+//!   MOSFETs referencing [`lnoc_tech::device::MosModel`] cards.
+//! * [`linear`] — dense LU decomposition with partial pivoting (the MNA
+//!   systems here are ≲ a few hundred unknowns; no external linear
+//!   algebra needed).
+//! * [`dc`] — Newton–Raphson operating-point solver with gmin stepping
+//!   and voltage-step damping.
+//! * [`transient`] — backward-Euler time stepping (robust and
+//!   non-oscillatory for digital switching waveforms) on top of the same
+//!   Newton kernel.
+//! * [`waveform`] — sampled waveforms with threshold-crossing, delay,
+//!   slew and integral measurements.
+//! * [`analysis`] — static leakage reports (per-device subthreshold /
+//!   gate / junction breakdown) on a DC solution.
+//!
+//! ## Example: RC step response
+//!
+//! ```
+//! use lnoc_circuit::netlist::Netlist;
+//! use lnoc_circuit::stimulus::Stimulus;
+//! use lnoc_circuit::transient::TransientSpec;
+//!
+//! let mut nl = Netlist::new();
+//! let vin = nl.node("in");
+//! let vout = nl.node("out");
+//! nl.vsource("VIN", vin, Netlist::GROUND, Stimulus::step(0.0, 1.0, 10.0e-12));
+//! nl.resistor("R", vin, vout, 1.0e3).unwrap();
+//! nl.capacitor("C", vout, Netlist::GROUND, 10.0e-15).unwrap();
+//!
+//! let result = lnoc_circuit::transient::run(
+//!     &nl,
+//!     &TransientSpec::new(200.0e-12, 0.1e-12),
+//! ).unwrap();
+//! let wave = result.voltage(vout);
+//! // After many RC time constants the output settles at 1 V.
+//! assert!((wave.last_value() - 1.0).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod dc;
+pub mod error;
+pub mod linear;
+pub mod netlist;
+pub mod stimulus;
+pub mod transient;
+pub mod waveform;
+
+pub use error::CircuitError;
+pub use netlist::{DeviceId, Netlist, NodeId};
+pub use waveform::Waveform;

@@ -1,0 +1,222 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The MNA systems in this project are small (tens to a few hundred
+//! unknowns) and moderately dense after MOSFET stamping, so a simple
+//! dense LU is both fast enough and dependency-free. The factorization
+//! is performed in place; a reusable [`Matrix`] avoids reallocation
+//! across Newton iterations.
+
+use crate::error::CircuitError;
+
+/// A dense row-major square-capable matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resets all entries to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Reads entry `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)` — the fundamental MNA stamp.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Multiplies `self · x` into a fresh vector (used by tests and by
+    /// the residual checker).
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Factorizes `self` in place as `P·A = L·U` and solves `A·x = b`,
+    /// overwriting `b` with the solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] when no usable pivot is
+    /// found (matrix singular to working precision).
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), CircuitError> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Elimination with partial pivoting, applied to b on the fly.
+        for k in 0..n {
+            // Pivot search.
+            let mut pivot_row = k;
+            let mut pivot_mag = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let mag = self.get(r, k).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1.0e-300 {
+                return Err(CircuitError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = self.get(k, c);
+                    self.set(k, c, self.get(pivot_row, c));
+                    self.set(pivot_row, c, tmp);
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    let v = self.get(r, c) - factor * self.get(k, c);
+                    self.set(r, c, v);
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = b[k];
+            for c in (k + 1)..n {
+                sum -= self.get(k, c) * b[c];
+            }
+            b[k] = sum / self.get(k, k);
+        }
+        Ok(())
+    }
+}
+
+/// Euclidean norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm of a vector.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let mut b = vec![3.0, -1.0, 2.5];
+        m.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![3.0, -1.0, 2.5]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5]  →  x = [0.8, 1.4]
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let mut b = vec![3.0, 5.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] requires a row swap.
+        let mut m = Matrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let mut b = vec![2.0, 7.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 7.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            m.solve_in_place(&mut b),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_matches_solution() {
+        let mut m = Matrix::zeros(4);
+        // A diagonally dominant random-ish matrix.
+        let entries = [
+            [10.0, 1.0, -2.0, 0.5],
+            [0.3, 8.0, 1.2, -0.7],
+            [-1.0, 0.4, 12.0, 2.0],
+            [0.6, -0.9, 0.2, 9.0],
+        ];
+        for (r, row) in entries.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let b = m.mul_vec(&x_true);
+        let mut solved = b.clone();
+        m.clone().solve_in_place(&mut solved).unwrap();
+        for (a, b) in solved.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((norm_inf(&[-3.0, 2.0]) - 3.0).abs() < 1e-12);
+    }
+}

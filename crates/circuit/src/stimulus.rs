@@ -1,0 +1,228 @@
+//! Time-varying source descriptions.
+//!
+//! Every voltage source in a [`crate::netlist::Netlist`] carries a
+//! `Stimulus` evaluated at each time point. DC analysis evaluates at
+//! `t = 0` unless a source opts into its final value via
+//! [`Stimulus::dc_value`] semantics (DC uses the *initial* value; the
+//! transient engine owns time evolution).
+
+use serde::{Deserialize, Serialize};
+
+/// A voltage-vs-time recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Stimulus {
+    /// Constant voltage.
+    Dc(f64),
+    /// A single step from `from` to `to` at time `at`, with linear ramp
+    /// of duration `rise`.
+    Step {
+        /// Initial level (V).
+        from: f64,
+        /// Final level (V).
+        to: f64,
+        /// Step start time (s).
+        at: f64,
+        /// Ramp duration (s).
+        rise: f64,
+    },
+    /// Periodic pulse train (SPICE PULSE-like).
+    Pulse {
+        /// Base level (V).
+        low: f64,
+        /// Pulsed level (V).
+        high: f64,
+        /// Delay before the first edge (s).
+        delay: f64,
+        /// Rise time (s).
+        rise: f64,
+        /// Fall time (s).
+        fall: f64,
+        /// Time spent at `high` (s).
+        width: f64,
+        /// Pulse period (s).
+        period: f64,
+    },
+    /// Piece-wise linear: sorted `(time, voltage)` points; constant
+    /// extrapolation outside the range.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Stimulus {
+    /// Constant source.
+    pub fn dc(volts: f64) -> Self {
+        Stimulus::Dc(volts)
+    }
+
+    /// A step from `from` to `to` at time `at` with a default 2 ps ramp.
+    pub fn step(from: f64, to: f64, at: f64) -> Self {
+        Stimulus::Step {
+            from,
+            to,
+            at,
+            rise: 2.0e-12,
+        }
+    }
+
+    /// A step with an explicit ramp duration.
+    pub fn ramp(from: f64, to: f64, at: f64, rise: f64) -> Self {
+        Stimulus::Step { from, to, at, rise }
+    }
+
+    /// A 50 %-duty clock of the given period starting low, with edge
+    /// times of 5 % of the period.
+    pub fn clock(low: f64, high: f64, period: f64) -> Self {
+        let edge = 0.05 * period;
+        Stimulus::Pulse {
+            low,
+            high,
+            delay: 0.5 * period,
+            rise: edge,
+            fall: edge,
+            width: 0.5 * period - edge,
+            period,
+        }
+    }
+
+    /// Value at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Stimulus::Dc(v) => *v,
+            Stimulus::Step { from, to, at, rise } => {
+                if t <= *at {
+                    *from
+                } else if t >= at + rise {
+                    *to
+                } else {
+                    from + (to - from) * (t - at) / rise
+                }
+            }
+            Stimulus::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *low;
+                }
+                let tp = (t - delay) % period;
+                if tp < *rise {
+                    low + (high - low) * tp / rise
+                } else if tp < rise + width {
+                    *high
+                } else if tp < rise + width + fall {
+                    high - (high - low) * (tp - rise - width) / fall
+                } else {
+                    *low
+                }
+            }
+            Stimulus::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty checked above").1
+            }
+        }
+    }
+
+    /// The value used for the DC operating point (the `t = 0` value).
+    pub fn dc_value(&self) -> f64 {
+        self.at(0.0)
+    }
+
+    /// The earliest time after which the source no longer changes, or
+    /// `None` for periodic sources. Used by callers to size analyses.
+    pub fn settle_time(&self) -> Option<f64> {
+        match self {
+            Stimulus::Dc(_) => Some(0.0),
+            Stimulus::Step { at, rise, .. } => Some(at + rise),
+            Stimulus::Pulse { .. } => None,
+            Stimulus::Pwl(points) => points.last().map(|&(t, _)| t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let s = Stimulus::dc(0.7);
+        assert_eq!(s.at(0.0), 0.7);
+        assert_eq!(s.at(1.0), 0.7);
+        assert_eq!(s.dc_value(), 0.7);
+    }
+
+    #[test]
+    fn step_interpolates_linearly() {
+        let s = Stimulus::ramp(0.0, 1.0, 10e-12, 4e-12);
+        assert_eq!(s.at(0.0), 0.0);
+        assert_eq!(s.at(10e-12), 0.0);
+        assert!((s.at(12e-12) - 0.5).abs() < 1e-9);
+        assert_eq!(s.at(14e-12), 1.0);
+        assert_eq!(s.at(1.0), 1.0);
+    }
+
+    #[test]
+    fn pulse_is_periodic() {
+        let s = Stimulus::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 4e-12,
+            period: 10e-12,
+        };
+        assert!((s.at(2e-12) - 1.0).abs() < 1e-9);
+        assert!((s.at(12e-12) - 1.0).abs() < 1e-9);
+        assert!(s.at(8e-12) < 1e-9);
+        assert!(s.at(18e-12) < 1e-9);
+    }
+
+    #[test]
+    fn clock_starts_low_and_toggles() {
+        let s = Stimulus::clock(0.0, 1.0, 100e-12);
+        assert_eq!(s.at(0.0), 0.0);
+        assert!(s.at(25e-12) < 0.5, "first half-period stays low");
+        assert!(s.at(60e-12) > 0.5, "second half-period is high");
+    }
+
+    #[test]
+    fn pwl_endpoints_clamp() {
+        let s = Stimulus::Pwl(vec![(1e-12, 0.2), (2e-12, 0.8)]);
+        assert_eq!(s.at(0.0), 0.2);
+        assert!((s.at(1.5e-12) - 0.5).abs() < 1e-9);
+        assert_eq!(s.at(5e-12), 0.8);
+    }
+
+    #[test]
+    fn pwl_empty_is_zero() {
+        assert_eq!(Stimulus::Pwl(vec![]).at(1.0), 0.0);
+    }
+
+    #[test]
+    fn settle_times() {
+        assert_eq!(Stimulus::dc(1.0).settle_time(), Some(0.0));
+        assert_eq!(Stimulus::step(0.0, 1.0, 5e-12).settle_time(), Some(7e-12));
+        assert_eq!(Stimulus::clock(0.0, 1.0, 1e-9).settle_time(), None);
+    }
+}

@@ -1,0 +1,458 @@
+//! Transient analysis: backward-Euler time stepping on the shared Newton
+//! kernel.
+//!
+//! Backward Euler is L-stable and non-oscillatory, which suits digital
+//! switching waveforms: the cost is mild numerical damping, which shifts
+//! absolute delays by a fraction of the step size — so the default step
+//! is chosen ≪ the measured delays (0.1 ps against 50–65 ps paper-scale
+//! delays), and Table 1 comparisons are ratio-based anyway.
+
+use crate::dc::{self, Companion, NewtonOptions};
+use crate::error::CircuitError;
+use crate::netlist::{Device, DeviceId, Netlist, NodeId};
+use crate::waveform::Waveform;
+
+/// Specification of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientSpec {
+    /// Stop time (s).
+    pub t_stop: f64,
+    /// Fixed time step (s).
+    pub dt: f64,
+    /// Record every `record_stride`-th step (1 = all).
+    pub record_stride: usize,
+    /// Newton options for each step.
+    pub newton: NewtonOptions,
+}
+
+impl TransientSpec {
+    /// A spec with the default Newton options and full recording.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        TransientSpec {
+            t_stop,
+            dt,
+            record_stride: 1,
+            newton: NewtonOptions {
+                // Transient steps start from the previous solution, so a
+                // tighter leash converges fast and robustly.
+                max_iterations: 60,
+                ..NewtonOptions::default()
+            },
+        }
+    }
+}
+
+/// Result of a transient run: every recorded sample of every node and
+/// branch.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `node_samples[k][node_index]` = voltage at sample `k`.
+    node_samples: Vec<Vec<f64>>,
+    /// `branch_samples[k][branch]` = source branch current at sample `k`.
+    branch_samples: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Time points of the recorded samples.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform of a node.
+    pub fn voltage(&self, node: NodeId) -> Waveform {
+        let v = self
+            .node_samples
+            .iter()
+            .map(|s| s[node.index()])
+            .collect();
+        Waveform::new(self.times.clone(), v)
+    }
+
+    /// Branch-current waveform of the `k`-th voltage source (current
+    /// through the source from + to −; supply delivery is its negative).
+    pub fn branch_current(&self, k: usize) -> Waveform {
+        let v = self.branch_samples.iter().map(|s| s[k]).collect();
+        Waveform::new(self.times.clone(), v)
+    }
+
+    /// Current a voltage source delivers into the circuit, by device id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a voltage source of `nl`.
+    pub fn supply_current(&self, nl: &Netlist, id: DeviceId) -> Waveform {
+        let k = nl
+            .branch_index(id)
+            .expect("device is not a voltage source of this netlist");
+        let v = self.branch_samples.iter().map(|s| -s[k]).collect();
+        Waveform::new(self.times.clone(), v)
+    }
+
+    /// Energy delivered by a source over `[from, to]` (J): ∫ v·i dt with
+    /// `i` the delivered current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a voltage source of `nl`.
+    pub fn supply_energy(&self, nl: &Netlist, id: DeviceId, from: f64, to: f64) -> f64 {
+        let k = nl
+            .branch_index(id)
+            .expect("device is not a voltage source of this netlist");
+        let Device::VSource { pos, neg, .. } = &nl.device(id).device else {
+            unreachable!("branch_index succeeded, so this is a vsource");
+        };
+        let (pos, neg) = (*pos, *neg);
+        let mut acc = 0.0;
+        for i in 1..self.times.len() {
+            let (t0, t1) = (self.times[i - 1], self.times[i]);
+            if t1 <= from || t0 >= to {
+                continue;
+            }
+            let a = t0.max(from);
+            let b = t1.min(to);
+            // Power at the two recorded ends of the clipped interval.
+            let p_at = |idx: usize| {
+                let v = self.node_samples[idx][pos.index()] - self.node_samples[idx][neg.index()];
+                v * -self.branch_samples[idx][k]
+            };
+            let (p0, p1) = (p_at(i - 1), p_at(i));
+            // Linear interpolation of power onto [a, b].
+            let lerp = |t: f64| {
+                if t1 == t0 {
+                    p1
+                } else {
+                    p0 + (p1 - p0) * (t - t0) / (t1 - t0)
+                }
+            };
+            acc += 0.5 * (lerp(a) + lerp(b)) * (b - a);
+        }
+        acc
+    }
+
+    /// The final sample as a flat unknown vector, usable as a warm start.
+    pub fn final_state(&self, nl: &Netlist) -> Vec<f64> {
+        let n_nodes = nl.node_count();
+        let last_v = self.node_samples.last().expect("at least one sample");
+        let last_i = self.branch_samples.last().expect("at least one sample");
+        let mut x = Vec::with_capacity(n_nodes - 1 + last_i.len());
+        x.extend_from_slice(&last_v[1..]);
+        x.extend_from_slice(last_i);
+        x
+    }
+}
+
+/// Runs a transient analysis: DC operating point at `t = 0` (sources at
+/// their initial values) followed by fixed-step backward-Euler
+/// integration.
+///
+/// # Errors
+///
+/// Propagates DC/Newton convergence failures with the failing time
+/// attached.
+pub fn run(nl: &Netlist, spec: &TransientSpec) -> Result<TransientResult, CircuitError> {
+    // The initial operating point is a full homotopy solve; do not let
+    // the per-step iteration cap (tuned for warm-started steps) starve
+    // it.
+    let dc_opts = NewtonOptions {
+        max_iterations: spec.newton.max_iterations.max(250),
+        ..spec.newton.clone()
+    };
+    let dc_sol = dc::solve_with(nl, &dc_opts, None)?;
+    run_from(nl, spec, &dc_sol)
+}
+
+/// Runs a transient analysis from an explicit initial operating point
+/// (e.g. the settled end state of a previous phase).
+///
+/// # Errors
+///
+/// Propagates Newton convergence failures.
+pub fn run_from(
+    nl: &Netlist,
+    spec: &TransientSpec,
+    initial: &dc::DcSolution,
+) -> Result<TransientResult, CircuitError> {
+    let n_nodes = nl.node_count();
+    let n_branches = nl.vsource_count();
+    let dim = n_nodes - 1 + n_branches;
+
+    let mut x = vec![0.0; dim];
+    x[..n_nodes - 1].copy_from_slice(&initial.voltages()[1..]);
+    for k in 0..n_branches {
+        x[n_nodes - 1 + k] = initial.branch_current(k);
+    }
+
+    let mut v_old = initial.voltages().to_vec();
+
+    let mut result = TransientResult {
+        times: vec![0.0],
+        node_samples: vec![v_old.clone()],
+        branch_samples: vec![(0..n_branches).map(|k| initial.branch_current(k)).collect()],
+    };
+
+    let steps = (spec.t_stop / spec.dt).ceil() as usize;
+    for step in 1..=steps {
+        let t = step as f64 * spec.dt;
+        advance_step(nl, &mut x, &mut v_old, t - spec.dt, spec.dt, &spec.newton, 0)?;
+
+        // Update history.
+        v_old[0] = 0.0;
+        v_old[1..].copy_from_slice(&x[..n_nodes - 1]);
+
+        if step % spec.record_stride == 0 || step == steps {
+            result.times.push(t);
+            result.node_samples.push(v_old.clone());
+            result
+                .branch_samples
+                .push(x[n_nodes - 1..].to_vec());
+        }
+    }
+    Ok(result)
+}
+
+/// Advances the state from `t_start` by `h` with backward Euler,
+/// retrying with heavier damping and then bisecting the step (up to 4
+/// levels) when Newton stalls on a sharp edge.
+fn advance_step(
+    nl: &Netlist,
+    x: &mut [f64],
+    v_old: &mut [f64],
+    t_start: f64,
+    h: f64,
+    opts: &NewtonOptions,
+    depth: u32,
+) -> Result<(), CircuitError> {
+    let t_end = t_start + h;
+    let step_start_x = x.to_vec();
+    let mut attempt_opts = opts.clone();
+    let mut last_err = None;
+    for _attempt in 0..3 {
+        let companion = Companion { v_old, h };
+        match dc::newton(nl, x, t_end, Some(&companion), 0.0, &attempt_opts) {
+            Ok(_) => return Ok(()),
+            Err(e) => {
+                last_err = Some(e);
+                x.copy_from_slice(&step_start_x);
+                attempt_opts.v_step_limit *= 0.35;
+                attempt_opts.max_iterations *= 2;
+            }
+        }
+    }
+    if depth >= 4 {
+        return Err(last_err.expect("attempt loop ran at least once"));
+    }
+    // Bisect: two half-steps, refreshing the companion history between
+    // them.
+    let n_nodes = v_old.len();
+    advance_step(nl, x, v_old, t_start, 0.5 * h, opts, depth + 1)?;
+    v_old[1..].copy_from_slice(&x[..n_nodes - 1]);
+    advance_step(nl, x, v_old, t_start + 0.5 * h, 0.5 * h, opts, depth + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::MosfetSpec;
+    use crate::stimulus::Stimulus;
+    use crate::waveform::{propagation_delay, Edge};
+    use lnoc_tech::device::{Polarity, VtClass};
+    use lnoc_tech::node45::Node45;
+    use std::sync::Arc;
+
+    #[test]
+    fn rc_time_constant() {
+        // R = 1 kΩ, C = 10 fF → τ = 10 ps; v(τ) = 1 − e⁻¹ ≈ 0.632.
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V", vin, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 0.0, 1e-15));
+        nl.resistor("R", vin, out, 1.0e3).unwrap();
+        nl.capacitor("C", out, Netlist::GROUND, 10.0e-15).unwrap();
+        let res = run(&nl, &TransientSpec::new(60e-12, 0.02e-12)).unwrap();
+        let w = res.voltage(out);
+        let v_tau = w.value_at(10e-12);
+        assert!(
+            (v_tau - 0.632).abs() < 0.02,
+            "v(τ) = {v_tau}, expected ≈ 0.632"
+        );
+        assert!((w.last_value() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacitor_charge_energy_balance() {
+        // Energy delivered by the source charging C to V is C·V² (half
+        // stored, half burned in R), independent of R.
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        let v = nl.vsource("V", vin, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 0.0, 1e-15));
+        nl.resistor("R", vin, out, 2.0e3).unwrap();
+        nl.capacitor("C", out, Netlist::GROUND, 20.0e-15).unwrap();
+        let res = run(&nl, &TransientSpec::new(400e-12, 0.05e-12)).unwrap();
+        let e = res.supply_energy(&nl, v, 0.0, 400e-12);
+        let expected = 20.0e-15 * 1.0 * 1.0; // C·V²
+        assert!(
+            (e - expected).abs() < 0.05 * expected,
+            "E = {e}, expected ≈ {expected}"
+        );
+    }
+
+    fn inverter_netlist(
+        w_n: f64,
+        w_p: f64,
+        load_f: f64,
+        stim: Stimulus,
+    ) -> (Netlist, NodeId, NodeId) {
+        let tech = Node45::tt();
+        let nmos = Arc::new(tech.mos(Polarity::Nmos, VtClass::Nominal));
+        let pmos = Arc::new(tech.mos(Polarity::Pmos, VtClass::Nominal));
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+        nl.vsource("IN", inp, Netlist::GROUND, stim);
+        nl.mosfet(
+            "MP",
+            MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: w_p },
+        )
+        .unwrap();
+        nl.mosfet(
+            "MN",
+            MosfetSpec {
+                d: out,
+                g: inp,
+                s: Netlist::GROUND,
+                b: Netlist::GROUND,
+                model: nmos,
+                w: w_n,
+            },
+        )
+        .unwrap();
+        nl.capacitor("CL", out, Netlist::GROUND, load_f).unwrap();
+        (nl, inp, out)
+    }
+
+    #[test]
+    fn inverter_switches_and_has_ps_scale_delay() {
+        let (nl, inp, out) = inverter_netlist(
+            450e-9,
+            900e-9,
+            5e-15,
+            Stimulus::ramp(0.0, 1.0, 20e-12, 4e-12),
+        );
+        let res = run(&nl, &TransientSpec::new(120e-12, 0.05e-12)).unwrap();
+        let w_in = res.voltage(inp);
+        let w_out = res.voltage(out);
+        assert!(w_out.first_value() > 0.95, "out starts high");
+        assert!(w_out.last_value() < 0.05, "out ends low");
+        let d = propagation_delay(&w_in, Edge::Rising, &w_out, Edge::Falling, 1.0, 0.0)
+            .expect("delay measurable");
+        assert!(
+            (0.5e-12..40e-12).contains(&d),
+            "45 nm inverter with 5 fF load: delay {d:.3e}"
+        );
+    }
+
+    #[test]
+    fn bigger_load_is_slower() {
+        let small = {
+            let (nl, inp, out) = inverter_netlist(
+                450e-9,
+                900e-9,
+                2e-15,
+                Stimulus::ramp(0.0, 1.0, 20e-12, 4e-12),
+            );
+            let res = run(&nl, &TransientSpec::new(150e-12, 0.05e-12)).unwrap();
+            propagation_delay(
+                &res.voltage(inp),
+                Edge::Rising,
+                &res.voltage(out),
+                Edge::Falling,
+                1.0,
+                0.0,
+            )
+            .unwrap()
+        };
+        let big = {
+            let (nl, inp, out) = inverter_netlist(
+                450e-9,
+                900e-9,
+                20e-15,
+                Stimulus::ramp(0.0, 1.0, 20e-12, 4e-12),
+            );
+            let res = run(&nl, &TransientSpec::new(150e-12, 0.05e-12)).unwrap();
+            propagation_delay(
+                &res.voltage(inp),
+                Edge::Rising,
+                &res.voltage(out),
+                Edge::Falling,
+                1.0,
+                0.0,
+            )
+            .unwrap()
+        };
+        assert!(big > 2.0 * small, "10× load: {small:.3e} → {big:.3e}");
+    }
+
+    #[test]
+    fn high_vt_inverter_is_slower_than_nominal() {
+        let tech = Node45::tt();
+        let mk = |vt: VtClass| {
+            let nmos = Arc::new(tech.mos(Polarity::Nmos, vt));
+            let pmos = Arc::new(tech.mos(Polarity::Pmos, vt));
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let inp = nl.node("in");
+            let out = nl.node("out");
+            nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+            nl.vsource("IN", inp, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 10e-12, 4e-12));
+            nl.mosfet("MP", MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: 900e-9 })
+                .unwrap();
+            nl.mosfet(
+                "MN",
+                MosfetSpec {
+                    d: out,
+                    g: inp,
+                    s: Netlist::GROUND,
+                    b: Netlist::GROUND,
+                    model: nmos,
+                    w: 450e-9,
+                },
+            )
+            .unwrap();
+            nl.capacitor("CL", out, Netlist::GROUND, 5e-15).unwrap();
+            let res = run(&nl, &TransientSpec::new(100e-12, 0.05e-12)).unwrap();
+            propagation_delay(
+                &res.voltage(inp),
+                Edge::Rising,
+                &res.voltage(out),
+                Edge::Falling,
+                1.0,
+                0.0,
+            )
+            .unwrap()
+        };
+        let nominal = mk(VtClass::Nominal);
+        let high = mk(VtClass::High);
+        assert!(
+            high > 1.1 * nominal,
+            "high-Vt must be measurably slower: {nominal:.3e} vs {high:.3e}"
+        );
+        assert!(
+            high < 3.0 * nominal,
+            "but not catastrophically so: {nominal:.3e} vs {high:.3e}"
+        );
+    }
+
+    #[test]
+    fn final_state_round_trips_as_warm_start() {
+        let (nl, _inp, out) = inverter_netlist(450e-9, 900e-9, 5e-15, Stimulus::dc(0.0));
+        let res = run(&nl, &TransientSpec::new(20e-12, 0.1e-12)).unwrap();
+        let x = res.final_state(&nl);
+        assert_eq!(x.len(), nl.node_count() - 1 + nl.vsource_count());
+        // Node `out` should be high (input low) in the final state.
+        assert!(x[out.index() - 1] > 0.9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Sampled waveforms and the measurements the paper's Table 1 needs:
+//! threshold crossings, 50 % propagation delays, slews and integrals.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Edge {
+    /// Signal crosses the threshold going up.
+    Rising,
+    /// Signal crosses the threshold going down.
+    Falling,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Edge::Rising => "rising",
+            Edge::Falling => "falling",
+        })
+    }
+}
+
+/// A sampled scalar signal vs time, with linear interpolation between
+/// samples.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    t: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or time is not
+    /// monotonically non-decreasing.
+    pub fn new(t: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(t.len(), v.len(), "time/value length mismatch");
+        assert!(
+            t.windows(2).all(|w| w[0] <= w[1]),
+            "time axis must be sorted"
+        );
+        Waveform { t, v }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// `true` when the waveform has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Value axis.
+    pub fn values(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Final sample value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty waveform.
+    pub fn last_value(&self) -> f64 {
+        *self.v.last().expect("empty waveform")
+    }
+
+    /// First sample value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty waveform.
+    pub fn first_value(&self) -> f64 {
+        *self.v.first().expect("empty waveform")
+    }
+
+    /// Minimum sample value (NaN-free input assumed).
+    pub fn min(&self) -> f64 {
+        self.v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Linear-interpolated value at time `at` (clamped to the ends).
+    pub fn value_at(&self, at: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        if at <= self.t[0] {
+            return self.v[0];
+        }
+        if at >= *self.t.last().expect("non-empty") {
+            return self.last_value();
+        }
+        let hi = self.t.partition_point(|&x| x < at);
+        let lo = hi - 1;
+        let (t0, t1) = (self.t[lo], self.t[hi]);
+        let (v0, v1) = (self.v[lo], self.v[hi]);
+        if t1 == t0 {
+            return v1;
+        }
+        v0 + (v1 - v0) * (at - t0) / (t1 - t0)
+    }
+
+    /// First time after `after` at which the waveform crosses
+    /// `threshold` in the given direction, with linear interpolation
+    /// within the bracketing interval. `None` if no such crossing.
+    pub fn crossing(&self, threshold: f64, edge: Edge, after: f64) -> Option<f64> {
+        for i in 1..self.t.len() {
+            if self.t[i] <= after {
+                continue;
+            }
+            let (v0, v1) = (self.v[i - 1], self.v[i]);
+            let crossed = match edge {
+                Edge::Rising => v0 < threshold && v1 >= threshold,
+                Edge::Falling => v0 > threshold && v1 <= threshold,
+            };
+            if crossed {
+                let (t0, t1) = (self.t[i - 1], self.t[i]);
+                let frac = if v1 == v0 { 1.0 } else { (threshold - v0) / (v1 - v0) };
+                let t_cross = t0 + frac * (t1 - t0);
+                if t_cross > after {
+                    return Some(t_cross);
+                }
+            }
+        }
+        None
+    }
+
+    /// All crossings of `threshold` in the given direction.
+    pub fn crossings(&self, threshold: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut after = f64::NEG_INFINITY;
+        while let Some(t) = self.crossing(threshold, edge, after) {
+            out.push(t);
+            after = t;
+        }
+        out
+    }
+
+    /// 10–90 % transition time of an edge that crosses `mid = vdd/2` at
+    /// or after `after`. Returns `None` when the edge is incomplete.
+    pub fn slew(&self, vdd: f64, edge: Edge, after: f64) -> Option<f64> {
+        let (lo, hi) = (0.1 * vdd, 0.9 * vdd);
+        match edge {
+            Edge::Rising => {
+                let t_lo = self.crossing(lo, Edge::Rising, after)?;
+                let t_hi = self.crossing(hi, Edge::Rising, t_lo)?;
+                Some(t_hi - t_lo)
+            }
+            Edge::Falling => {
+                let t_hi = self.crossing(hi, Edge::Falling, after)?;
+                let t_lo = self.crossing(lo, Edge::Falling, t_hi)?;
+                Some(t_hi.max(t_lo) - t_hi.min(t_lo))
+            }
+        }
+    }
+
+    /// Trapezoidal integral of the waveform over its whole span.
+    pub fn integral(&self) -> f64 {
+        self.integral_between(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Trapezoidal integral over `[from, to]` (clamped to the span).
+    pub fn integral_between(&self, from: f64, to: f64) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.t.len() {
+            let (t0, t1) = (self.t[i - 1], self.t[i]);
+            if t1 <= from || t0 >= to {
+                continue;
+            }
+            let a = t0.max(from);
+            let b = t1.min(to);
+            let va = self.value_at(a);
+            let vb = self.value_at(b);
+            acc += 0.5 * (va + vb) * (b - a);
+        }
+        acc
+    }
+
+    /// Pointwise combination of two waveforms sampled on *this*
+    /// waveform's time axis (the other is interpolated).
+    pub fn combine(&self, other: &Waveform, f: impl Fn(f64, f64) -> f64) -> Waveform {
+        let v = self
+            .t
+            .iter()
+            .zip(&self.v)
+            .map(|(&t, &v)| f(v, other.value_at(t)))
+            .collect();
+        Waveform {
+            t: self.t.clone(),
+            v,
+        }
+    }
+}
+
+/// Measures the 50 %-to-50 % propagation delay between an input edge and
+/// the resulting output edge.
+///
+/// Returns `None` when either crossing is missing.
+pub fn propagation_delay(
+    input: &Waveform,
+    input_edge: Edge,
+    output: &Waveform,
+    output_edge: Edge,
+    vdd: f64,
+    after: f64,
+) -> Option<f64> {
+    let mid = 0.5 * vdd;
+    let t_in = input.crossing(mid, input_edge, after)?;
+    let t_out = output.crossing(mid, output_edge, t_in)?;
+    Some(t_out - t_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 → 1 V linearly over 10 ns.
+        Waveform::new(vec![0.0, 10e-9], vec![0.0, 1.0])
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        assert!((ramp().value_at(5e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_ends() {
+        let w = ramp();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn rising_crossing_found() {
+        let t = ramp().crossing(0.3, Edge::Rising, 0.0).unwrap();
+        assert!((t - 3e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn falling_crossing_on_rising_signal_is_none() {
+        assert!(ramp().crossing(0.3, Edge::Falling, 0.0).is_none());
+    }
+
+    #[test]
+    fn after_filter_skips_early_crossings() {
+        let w = Waveform::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0],
+        );
+        let c = w.crossings(0.5, Edge::Rising);
+        assert_eq!(c.len(), 2);
+        assert!((c[0] - 0.5).abs() < 1e-12);
+        assert!((c[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slew_of_linear_ramp() {
+        // 10–90 % of a 10 ns full-swing ramp = 8 ns.
+        let s = ramp().slew(1.0, Edge::Rising, 0.0).unwrap();
+        assert!((s - 8e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_of_triangle() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+        assert!((w.integral() - 1.0).abs() < 1e-12);
+        assert!((w.integral_between(0.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_simple() {
+        let input = Waveform::new(vec![0.0, 1e-12, 2e-12], vec![0.0, 1.0, 1.0]);
+        let output = Waveform::new(
+            vec![0.0, 5e-12, 15e-12, 30e-12],
+            vec![1.0, 1.0, 0.0, 0.0],
+        );
+        let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 1.0, 0.0)
+            .unwrap();
+        // Input crosses 0.5 at 0.5 ps; output at 10 ps.
+        assert!((d - 9.5e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn combine_subtracts() {
+        let a = Waveform::new(vec![0.0, 1.0], vec![2.0, 4.0]);
+        let b = Waveform::new(vec![0.0, 1.0], vec![1.0, 1.0]);
+        let c = a.combine(&b, |x, y| x - y);
+        assert_eq!(c.values(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time axis must be sorted")]
+    fn unsorted_time_panics() {
+        let _ = Waveform::new(vec![1.0, 0.0], vec![0.0, 1.0]);
+    }
+}

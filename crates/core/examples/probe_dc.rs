@@ -1,0 +1,130 @@
+//! Internal debugging probe: solve the SC slice DC states with verbose
+//! fallback behaviour. Not part of the documented example set.
+
+use lnoc_circuit::dc::{self, NewtonOptions};
+use lnoc_core::characterize::Characterizer;
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::scheme::Scheme;
+use lnoc_core::slice::BitSlice;
+
+fn leakage_probe() {
+    let cfg = CrossbarConfig {
+        sim_dt: 0.5e-12,
+        ..CrossbarConfig::test_small()
+    };
+    let ch = Characterizer::new(&cfg);
+    for scheme in [Scheme::Sc, Scheme::Dfc, Scheme::Sdfc] {
+        let d = ch.leakage_detail(scheme).unwrap();
+        println!("== {scheme}: active={:.3e} idle={:.3e} standby={:.3e}",
+            d.active_power(), d.idle_awake_power(), d.standby.power);
+        for st in &d.active_states {
+            println!("   state '{}' w={:.2} p={:.3e}", st.label, st.weight, st.power);
+            let mut entries: Vec<_> = st.report.entries().to_vec();
+            entries.sort_by(|a, b| b.breakdown.total().0.partial_cmp(&a.breakdown.total().0).unwrap());
+            for e in entries.iter().take(5) {
+                println!("      {:<14} ch={:.2e} g={:.2e}", e.name, e.breakdown.channel.0, e.breakdown.gate.0);
+            }
+        }
+    }
+}
+
+fn main() {
+    leakage_probe();
+    let cfg = CrossbarConfig {
+        sim_dt: 0.5e-12,
+        ..CrossbarConfig::test_small()
+    };
+    for scheme in [Scheme::Sc, Scheme::Dfc] {
+        for data in [true, false] {
+            let mut slice = BitSlice::build(scheme, &cfg);
+            let input = slice.input_count() - 1;
+            slice.set_grant(input, true);
+            for i in 0..slice.input_count() {
+                slice.set_data(i, data);
+            }
+            for gmin_floor in [0.0, 1e-12] {
+                let mut ladder = vec![1.0e-3, 1.0e-5, 1.0e-7, 1.0e-9, 1.0e-11];
+                ladder.push(gmin_floor);
+                let opts = NewtonOptions {
+                    gmin_ladder: ladder,
+                    max_iterations: 300,
+                    ..NewtonOptions::default()
+                };
+                match dc::solve_with(&slice.netlist, &opts, None) {
+                    Ok(sol) => {
+                        println!(
+                            "{scheme} data={data} floor={gmin_floor:.0e}: OK  A={:.4}  out={:.4}  P={:.3e}",
+                            sol.voltage(slice.a_main),
+                            sol.voltage(slice.out),
+                            sol.total_source_power(&slice.netlist)
+                        );
+                    }
+                    Err(e) => println!("{scheme} data={data} floor={gmin_floor:.0e}: FAIL {e}"),
+                }
+            }
+        }
+    }
+
+    // Delay transient probe: SC falling data.
+    use lnoc_circuit::stimulus::Stimulus;
+    use lnoc_circuit::transient::{self, TransientSpec};
+    let mut slice = BitSlice::build(Scheme::Sc, &cfg);
+    let input = slice.input_count() - 1;
+    slice.set_grant(input, true);
+    let t_edge = 120.0e-12;
+    slice.drive_data(input, Stimulus::ramp(1.0, 0.0, t_edge, 5.0e-12));
+    match transient::run(&slice.netlist, &TransientSpec::new(t_edge + 200.0e-12, cfg.sim_dt)) {
+        Ok(res) => {
+            let show = |name: &str| {
+                let node = slice.netlist.find_node(name).unwrap();
+                let w = res.voltage(node);
+                println!(
+                    "  {name}: start={:.3} end={:.3} min={:.3} max={:.3}",
+                    w.first_value(),
+                    w.last_value(),
+                    w.min(),
+                    w.max()
+                );
+            };
+            println!("SC falling-data transient:");
+            show("in3");
+            show("a_far");
+            show("a");
+            show("w0");
+            show("w_end");
+            show("out_pe");
+        }
+        Err(e) => println!("SC transient FAIL: {e}"),
+    }
+
+    // Rising case for SC and DFC, with explicit delay measurement.
+    use lnoc_circuit::waveform::{propagation_delay, Edge};
+    for scheme in [Scheme::Sc, Scheme::Dfc] {
+        for (label, from, to, edge) in
+            [("fall", 1.0, 0.0, Edge::Falling), ("rise", 0.0, 1.0, Edge::Rising)]
+        {
+            let mut slice = BitSlice::build(scheme, &cfg);
+            let input = slice.input_count() - 1;
+            slice.set_grant(input, true);
+            slice.drive_data(input, Stimulus::ramp(from, to, t_edge, 5.0e-12));
+            match transient::run(&slice.netlist, &TransientSpec::new(t_edge + 200.0e-12, cfg.sim_dt))
+            {
+                Ok(res) => {
+                    let w_in = res.voltage(slice.inputs[input]);
+                    let w_out = res.voltage(slice.out);
+                    let d = propagation_delay(&w_in, edge, &w_out, edge, 1.0, t_edge - 10.0e-12);
+                    println!(
+                        "{scheme} {label}: delay={:?} out(start={:.3},end={:.3},min={:.3},max={:.3}) a(end={:.3})",
+                        d.map(|x| x * 1e12),
+                        w_out.first_value(),
+                        w_out.last_value(),
+                        w_out.min(),
+                        w_out.max(),
+                        res.voltage(slice.a_main).last_value(),
+                    );
+                }
+                Err(e) => println!("{scheme} {label}: transient FAIL {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Probe the paper-scale slice delay waveforms.
+
+use lnoc_circuit::stimulus::Stimulus;
+use lnoc_circuit::transient::{self, TransientSpec};
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::scheme::Scheme;
+use lnoc_core::slice::BitSlice;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    let mut slice = BitSlice::build(Scheme::Sc, &cfg);
+    let input = slice.input_count() - 1;
+    slice.set_grant(input, true);
+    let vdd = 1.0;
+    let t_edge = 400.0e-12;
+    slice.drive_data(
+        input,
+        Stimulus::Pwl(vec![
+            (0.0, 0.0),
+            (40.0e-12, 0.0),
+            (45.0e-12, vdd),
+            (t_edge, vdd),
+            (t_edge + 5.0e-12, 0.0),
+        ]),
+    );
+    let res = transient::run(&slice.netlist, &TransientSpec::new(800.0e-12, cfg.sim_dt)).unwrap();
+    for name in ["in3", "a", "w0", "w_end", "out_pe"] {
+        let node = slice.netlist.find_node(name).unwrap();
+        let w = res.voltage(node);
+        print!("{name}: ");
+        for t in [100.0, 200.0, 300.0, 390.0, 450.0, 500.0, 600.0, 780.0] {
+            print!("{:.2}@{t}ps ", w.value_at(t * 1e-12));
+        }
+        println!();
+    }
+}

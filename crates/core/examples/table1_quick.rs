@@ -1,0 +1,39 @@
+//! Quick Table 1 generation at the paper configuration — used during
+//! calibration; the packaged harness lives in `lnoc-bench`.
+
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::table1::Table1;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    println!("generating Table 1 at the paper configuration…");
+    let t = Table1::generate(&cfg).expect("table generation");
+    println!("\n=== measured ===\n{t}");
+    println!("=== paper ===\n{}", Table1::paper_reference());
+    let claims = t.abstract_claims();
+    println!(
+        "abstract ranges: active {:.2}%–{:.2}%, standby {:.2}%–{:.2}%, penalty ≤ {:.2}%",
+        claims.active_savings_range.0 * 100.0,
+        claims.active_savings_range.1 * 100.0,
+        claims.standby_savings_range.0 * 100.0,
+        claims.standby_savings_range.1 * 100.0,
+        claims.delay_penalty_range.1 * 100.0
+    );
+    let (g_sdfc, g_sdpc) = t.segmentation_gains();
+    println!(
+        "segmentation gains: SDFC {:.1}% over DFC, SDPC {:.1}% over DPC (paper: ~20%, ~30%)",
+        g_sdfc * 100.0,
+        g_sdpc * 100.0
+    );
+    for c in &t.raw {
+        println!(
+            "{:<5} e/cycle={:.3e}  E_trans={:.3e}  idle={:.3e}W standby={:.3e}W  vt={:?}",
+            c.scheme.name(),
+            c.dynamic_energy_per_cycle.0,
+            c.transition_energy.0,
+            c.idle_awake_leakage.0,
+            c.standby_leakage.0,
+            c.vt_census
+        );
+    }
+}

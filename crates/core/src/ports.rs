@@ -1,0 +1,85 @@
+//! Router port naming for the 5×5 crossbar.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five ports of a 2-D mesh router. The paper's Figures 1–3 show the
+/// path from the four direction inputs toward the `output_PE` port; by
+/// symmetry each output port sees the other four ports as inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Port {
+    /// North neighbour.
+    North,
+    /// South neighbour.
+    South,
+    /// West neighbour.
+    West,
+    /// East neighbour.
+    East,
+    /// Local processing element.
+    Pe,
+}
+
+impl Port {
+    /// All ports in figure order.
+    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::West, Port::East, Port::Pe];
+
+    /// The four input candidates feeding a given output port (every port
+    /// except itself — a router never forwards a flit back out the port
+    /// it arrived on).
+    pub fn inputs_for(output: Port) -> Vec<Port> {
+        Port::ALL.iter().copied().filter(|&p| p != output).collect()
+    }
+
+    /// Short label, as used in the figures (`N`, `S`, `W`, `E`, `PE`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Port::North => "N",
+            Port::South => "S",
+            Port::West => "W",
+            Port::East => "E",
+            Port::Pe => "PE",
+        }
+    }
+
+    /// Index in [`Port::ALL`].
+    pub fn index(self) -> usize {
+        Port::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("port is one of ALL")
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_inputs_per_output() {
+        for &out in &Port::ALL {
+            let ins = Port::inputs_for(out);
+            assert_eq!(ins.len(), 4);
+            assert!(!ins.contains(&out), "no u-turn input for {out}");
+        }
+    }
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(Port::Pe.label(), "PE");
+        assert_eq!(Port::North.label(), "N");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &p) in Port::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Schematic export: regenerates the paper's Figures 1–3 as
+//! machine-readable artifacts (SPICE netlists and Graphviz DOT graphs).
+//!
+//! The paper's figures are circuit schematics, not data plots, so the
+//! faithful reproduction artifact is the generated netlist itself: every
+//! device of Fig. 1 (pass transistors N1–N4, sleep N5, keeper P1,
+//! drivers I1/I2, the RC wire model) appears by name in the export.
+
+use crate::config::CrossbarConfig;
+use crate::scheme::Scheme;
+use crate::slice::BitSlice;
+use lnoc_circuit::netlist::Device;
+use std::fmt::Write as _;
+
+/// Which paper figure a scheme's schematic corresponds to.
+pub fn figure_label(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Sc => "baseline (Fig. 1 topology, single Vt)",
+        Scheme::Dfc => "Figure 1: output-to-PE path of DFC",
+        Scheme::Dpc => "Figure 2: output-to-PE path of pre-charged-high DPC",
+        Scheme::Sdfc => "Figure 3(a): segmented dual-Vt feedback crossbar",
+        Scheme::Sdpc => "Figure 3(b): segmented dual-Vt pre-charged crossbar",
+    }
+}
+
+/// Exports a scheme's bit-slice as a SPICE netlist.
+pub fn export_spice(scheme: Scheme, cfg: &CrossbarConfig) -> String {
+    let slice = BitSlice::build(scheme, cfg);
+    slice.netlist.to_spice(figure_label(scheme))
+}
+
+/// Exports a scheme's bit-slice as a Graphviz DOT graph: circuit nodes
+/// become graph nodes, two-terminal devices become edges, MOSFETs become
+/// labelled boxes with gate edges.
+pub fn export_dot(scheme: Scheme, cfg: &CrossbarConfig) -> String {
+    let slice = BitSlice::build(scheme, cfg);
+    let nl = &slice.netlist;
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", figure_label(scheme));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=point, fontsize=9];");
+
+    // Name the interesting nodes.
+    for (id, name) in nl.nodes() {
+        let _ = writeln!(out, "  n{} [xlabel=\"{name}\"];", id.index());
+    }
+
+    for entry in nl.devices() {
+        match &entry.device {
+            Device::Resistor { a, b, ohms } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [label=\"R {} {:.0}Ω\", color=gray];",
+                    a.index(),
+                    b.index(),
+                    entry.name,
+                    ohms
+                );
+            }
+            Device::Capacitor { a, b, farads } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [label=\"C {} {:.1}fF\", color=lightblue, style=dashed];",
+                    a.index(),
+                    b.index(),
+                    entry.name,
+                    farads * 1e15
+                );
+            }
+            Device::VSource { pos, neg, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [label=\"V {}\", color=green];",
+                    pos.index(),
+                    neg.index(),
+                    entry.name
+                );
+            }
+            Device::Mosfet(m) => {
+                let vt = format!("{:?}", m.model.vt_class()).to_lowercase();
+                let color = if vt == "high" { "red" } else { "black" };
+                let mid = format!("dev_{}", entry.name);
+                let _ = writeln!(
+                    out,
+                    "  {mid} [shape=box, label=\"{} ({:?} {vt})\", color={color}];",
+                    entry.name,
+                    m.model.polarity()
+                );
+                let _ = writeln!(out, "  n{} -- {mid} [label=\"d\"];", m.d.index());
+                let _ = writeln!(out, "  n{} -- {mid} [label=\"s\"];", m.s.index());
+                let _ = writeln!(
+                    out,
+                    "  n{} -- {mid} [label=\"g\", style=dotted];",
+                    m.g.index()
+                );
+            }
+            // `Device` is non-exhaustive; future variants are skipped.
+            _ => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A one-page ASCII summary of a slice: device roster with roles and Vt
+/// classes — the quickest human-readable rendition of Figs. 1–3.
+pub fn export_summary(scheme: Scheme, cfg: &CrossbarConfig) -> String {
+    let slice = BitSlice::build(scheme, cfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", figure_label(scheme));
+    let _ = writeln!(
+        out,
+        "{} devices ({} nominal Vt, {} high Vt)",
+        slice.placed.len(),
+        slice.vt_census().0,
+        slice.vt_census().1
+    );
+    let _ = writeln!(out, "{:<16}{:<22}{:<10}{}", "name", "role", "vt", "segment");
+    for p in &slice.placed {
+        let _ = writeln!(
+            out,
+            "{:<16}{:<22}{:<10}{}",
+            p.name,
+            format!("{:?}", p.role),
+            format!("{:?}", p.vt),
+            if p.slack_segment { "slack" } else { "critical" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CrossbarConfig {
+        CrossbarConfig::test_small()
+    }
+
+    #[test]
+    fn spice_export_has_figure_title() {
+        let s = export_spice(Scheme::Dfc, &cfg());
+        assert!(s.starts_with("* Figure 1"));
+        assert!(s.contains("Mpass0"));
+        assert!(s.contains("Msleep_n5"));
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        for scheme in Scheme::ALL {
+            let d = export_dot(scheme, &cfg());
+            assert!(d.starts_with("graph"));
+            assert!(d.trim_end().ends_with('}'));
+            assert!(d.contains("dev_i2_n"), "{scheme} has the output buffer");
+        }
+    }
+
+    #[test]
+    fn dot_marks_high_vt_red() {
+        let d = export_dot(Scheme::Dpc, &cfg());
+        assert!(d.contains("color=red"), "high-Vt devices highlighted");
+    }
+
+    #[test]
+    fn summary_lists_every_device() {
+        let cfg = cfg();
+        let s = export_summary(Scheme::Sdpc, &cfg);
+        let slice = BitSlice::build(Scheme::Sdpc, &cfg);
+        for p in &slice.placed {
+            assert!(s.contains(&p.name), "summary missing {}", p.name);
+        }
+    }
+}

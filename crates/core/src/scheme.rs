@@ -1,0 +1,283 @@
+//! The five crossbar schemes and their dual-Vt assignment plans.
+//!
+//! | Scheme | Keeper/precharge | Segmented | High-Vt devices |
+//! |--------|------------------|-----------|-----------------|
+//! | SC     | feedback keeper  | no        | none (baseline) |
+//! | DFC    | feedback keeper  | no        | keeper, sleep |
+//! | DPC    | clocked precharge| no        | precharge, sleep, off-evaluation driver halves |
+//! | SDFC   | feedback keeper  | yes       | DFC set + the entire slack-segment driver |
+//! | SDPC   | clocked precharge| yes       | DPC set + the entire slack-segment driver |
+//!
+//! The *evaluation path* of a pre-charged scheme only ever pulls the
+//! output wire one way (the pre-charge supplies the other polarity), so
+//! the driver transistors of the unused polarity — I1's NMOS and I2's
+//! PMOS for a pre-charged-high wire — are off the critical path and can
+//! be high-Vt ("asymmetric-Vt leakage-aware inverters", §2.2).
+//! Segmentation gives the short-path segment drivers timing slack, which
+//! converts into further high-Vt assignments (§2.3–2.4).
+
+use lnoc_tech::device::VtClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's crossbar designs (plus the SC baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Single-Vt baseline: DFC circuit, all nominal Vt.
+    Sc,
+    /// Dual-Vt Feedback Crossbar (§2.1, Fig. 1).
+    Dfc,
+    /// Dual-Vt Pre-Charged Crossbar (§2.2, Fig. 2).
+    Dpc,
+    /// Segmented Dual-Vt Feedback Crossbar (§2.3, Fig. 3a).
+    Sdfc,
+    /// Segmented Dual-Vt Pre-Charged Crossbar (§2.4, Fig. 3b).
+    Sdpc,
+}
+
+impl Scheme {
+    /// All schemes in Table 1 column order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Sc,
+        Scheme::Dfc,
+        Scheme::Dpc,
+        Scheme::Sdfc,
+        Scheme::Sdpc,
+    ];
+
+    /// `true` for the pre-charged designs (DPC, SDPC).
+    pub fn is_precharged(self) -> bool {
+        matches!(self, Scheme::Dpc | Scheme::Sdpc)
+    }
+
+    /// `true` for the segmented designs (SDFC, SDPC).
+    pub fn is_segmented(self) -> bool {
+        matches!(self, Scheme::Sdfc | Scheme::Sdpc)
+    }
+
+    /// `true` if this is the single-Vt baseline.
+    pub fn is_baseline(self) -> bool {
+        self == Scheme::Sc
+    }
+
+    /// Table-1 column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Sc => "SC",
+            Scheme::Dfc => "DFC",
+            Scheme::Dpc => "DPC",
+            Scheme::Sdfc => "SDFC",
+            Scheme::Sdpc => "SDPC",
+        }
+    }
+
+    /// The threshold class this scheme assigns to a device role.
+    ///
+    /// This table *is* the paper's design contribution: which transistor
+    /// gets to be high-Vt in each scheme.
+    pub fn vt_for(self, role: DeviceRole) -> VtClass {
+        use DeviceRole::*;
+        use VtClass::*;
+        if self == Scheme::Sc {
+            return Nominal;
+        }
+        match role {
+            // Pass transistors carry every transition: always nominal.
+            PassTransistor => Nominal,
+            // The keeper only holds state / restores levels; the
+            // pre-charge device has half a clock period of slack.
+            KeeperOrPrecharge => High,
+            // The sleep transistor only acts on standby entry.
+            Sleep => High,
+            // Segment-isolation devices are wide (they sit in series
+            // with the worst path) so their leakage matters more than
+            // their speed: high Vt. Their extra on-resistance is the
+            // main source of the segmented schemes' delay penalty.
+            SegmentIsolation => High,
+            // Critical-polarity driver devices stay nominal; in the
+            // segmented schemes the *slack-segment* driver is handled by
+            // `vt_for_slack_segment` instead.
+            DriverEvalN | DriverEvalP => Nominal,
+            // I1's NMOS (rising-output path, receives node A): high-Vt
+            // only in the pre-charged schemes. A feedback scheme's I1
+            // must flip on the *degraded* high the pass transistors
+            // deliver (Vdd − Vth − body effect) to close the keeper
+            // loop; raising its NMOS threshold above that level would
+            // break level restoration. Pre-charged node A swings rail
+            // to rail, so there the constraint vanishes.
+            DriverIdleN => {
+                if self.is_precharged() {
+                    High
+                } else {
+                    Nominal
+                }
+            }
+            // I2's PMOS (rising-output path, receives the full-swing
+            // wire): safe to raise whenever slack exists — pre-charged
+            // schemes (pre-charge supplies the rising polarity) and
+            // segmented schemes (the paper's SDFC delays — L→H +17 %
+            // vs H→L +2 % over SC — show the rising path absorbed the
+            // slack-funded high-Vt devices).
+            DriverIdleP => {
+                if self.is_precharged() || self.is_segmented() {
+                    High
+                } else {
+                    Nominal
+                }
+            }
+        }
+    }
+
+    /// Vt for a device role in the *slack* (short-path) segment of a
+    /// segmented scheme. Falls back to [`Scheme::vt_for`] for
+    /// non-segmented schemes.
+    ///
+    /// §2.3: "The longer slack removes more transistors from the critical
+    /// path, allowing designers to use high Vt transistors." §2.4: "the
+    /// longer slack … allows all transistors in their output drivers to
+    /// be of high Vt."
+    pub fn vt_for_slack_segment(self, role: DeviceRole) -> VtClass {
+        use DeviceRole::*;
+        if !self.is_segmented() {
+            return self.vt_for(role);
+        }
+        match role {
+            DriverEvalN | DriverEvalP | DriverIdleP => VtClass::High,
+            // Same regeneration-safety constraint as `vt_for`: a
+            // feedback driver's NMOS must flip on a degraded high.
+            DriverIdleN => {
+                if self.is_precharged() {
+                    VtClass::High
+                } else {
+                    VtClass::Nominal
+                }
+            }
+            other => self.vt_for(other),
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Functional role of a transistor in the bit-slice, the key to the
+/// dual-Vt assignment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceRole {
+    /// Crosspoint pass transistor (N1–N4 in Fig. 1).
+    PassTransistor,
+    /// Feedback keeper (DFC) or clocked pre-charge device (DPC) — P1.
+    KeeperOrPrecharge,
+    /// Standby pull-down on node A — N5.
+    Sleep,
+    /// Series isolation device between wire segments (segmented schemes).
+    SegmentIsolation,
+    /// Driver transistor that moves the output during evaluation
+    /// (N-type).
+    DriverEvalN,
+    /// Driver transistor that moves the output during evaluation
+    /// (P-type).
+    DriverEvalP,
+    /// Driver transistor idle during evaluation (N-type) — pre-charged
+    /// schemes park these off the critical path.
+    DriverIdleN,
+    /// Driver transistor idle during evaluation (P-type).
+    DriverIdleP,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_devices_are_high_vt() {
+        assert_eq!(
+            Scheme::Sdfc.vt_for(DeviceRole::SegmentIsolation),
+            VtClass::High
+        );
+        assert_eq!(
+            Scheme::Sdpc.vt_for_slack_segment(DeviceRole::SegmentIsolation),
+            VtClass::High
+        );
+    }
+
+    #[test]
+    fn sc_is_all_nominal() {
+        use DeviceRole::*;
+        for role in [
+            PassTransistor,
+            KeeperOrPrecharge,
+            Sleep,
+            SegmentIsolation,
+            DriverEvalN,
+            DriverEvalP,
+            DriverIdleN,
+            DriverIdleP,
+        ] {
+            assert_eq!(Scheme::Sc.vt_for(role), VtClass::Nominal);
+            assert_eq!(Scheme::Sc.vt_for_slack_segment(role), VtClass::Nominal);
+        }
+    }
+
+    #[test]
+    fn dual_vt_schemes_raise_keeper_and_sleep() {
+        for s in [Scheme::Dfc, Scheme::Dpc, Scheme::Sdfc, Scheme::Sdpc] {
+            assert_eq!(s.vt_for(DeviceRole::KeeperOrPrecharge), VtClass::High);
+            assert_eq!(s.vt_for(DeviceRole::Sleep), VtClass::High);
+            assert_eq!(s.vt_for(DeviceRole::PassTransistor), VtClass::Nominal);
+        }
+    }
+
+    #[test]
+    fn precharged_schemes_park_idle_driver_halves() {
+        assert_eq!(Scheme::Dpc.vt_for(DeviceRole::DriverIdleN), VtClass::High);
+        assert_eq!(Scheme::Dpc.vt_for(DeviceRole::DriverIdleP), VtClass::High);
+        assert_eq!(Scheme::Dfc.vt_for(DeviceRole::DriverIdleN), VtClass::Nominal);
+    }
+
+    #[test]
+    fn segmented_slack_drivers_are_aggressively_high_vt() {
+        for s in [Scheme::Sdfc, Scheme::Sdpc] {
+            for role in [
+                DeviceRole::DriverEvalN,
+                DeviceRole::DriverEvalP,
+                DeviceRole::DriverIdleP,
+            ] {
+                assert_eq!(s.vt_for_slack_segment(role), VtClass::High, "{s} {role:?}");
+            }
+            // But the critical segment keeps nominal evaluation devices.
+            assert_eq!(s.vt_for(DeviceRole::DriverEvalN), VtClass::Nominal);
+        }
+        // Regeneration safety: only the pre-charged slack driver may
+        // raise its input-side NMOS.
+        assert_eq!(
+            Scheme::Sdpc.vt_for_slack_segment(DeviceRole::DriverIdleN),
+            VtClass::High
+        );
+        assert_eq!(
+            Scheme::Sdfc.vt_for_slack_segment(DeviceRole::DriverIdleN),
+            VtClass::Nominal
+        );
+    }
+
+    #[test]
+    fn flags_match_paper_taxonomy() {
+        assert!(!Scheme::Sc.is_precharged() && !Scheme::Sc.is_segmented());
+        assert!(!Scheme::Dfc.is_precharged() && !Scheme::Dfc.is_segmented());
+        assert!(Scheme::Dpc.is_precharged() && !Scheme::Dpc.is_segmented());
+        assert!(!Scheme::Sdfc.is_precharged() && Scheme::Sdfc.is_segmented());
+        assert!(Scheme::Sdpc.is_precharged() && Scheme::Sdpc.is_segmented());
+        assert!(Scheme::Sc.is_baseline());
+    }
+
+    #[test]
+    fn table_order() {
+        assert_eq!(
+            Scheme::ALL.map(|s| s.name()),
+            ["SC", "DFC", "DPC", "SDFC", "SDPC"]
+        );
+    }
+}

@@ -1,0 +1,994 @@
+//! Bit-slice netlist generators for the five crossbar schemes.
+//!
+//! One *bit-slice* is the circuit of Figures 1–3 for a single output
+//! port and a single data bit: four crosspoint pass transistors, the
+//! shared internal node A (with its matrix-column wire), the keeper or
+//! pre-charge device P1, the sleep transistor N5, the two-stage output
+//! driver I1/I2, and the output wire toward `output_PE`. The full
+//! crossbar is `radix × flit_bits` such slices; all Table 1 quantities
+//! are characterized per slice and scaled.
+//!
+//! ## Topologies
+//!
+//! Non-segmented (SC, DFC, DPC — Figs. 1 and 2):
+//!
+//! ```text
+//! in_i --[pass_i]--> A ~~matrix wire~~ A_drv --I1--> w0 ~~output wire~~ w_end --I2--> out_PE
+//!                                      |
+//!                         keeper P1 (gate = w0)  [SC/DFC]
+//!                         pre    P1 (gate = pre) [DPC]
+//!                         sleep  N5 (gate = sleep)
+//! ```
+//!
+//! Segmented (SDFC, SDPC — Fig. 3): two half-matrices ("slack" with the
+//! near inputs, "crit" with the far inputs), each with its own node A,
+//! keeper/pre-charge, sleep and first-stage driver. Transmission gates
+//! isolate the segments so an idle half can be powered down while the
+//! other half carries traffic; the far path crosses both wire halves and
+//! one transmission gate, which is the paper's worst-case (delay-penalty)
+//! path:
+//!
+//! ```text
+//! slack: in_{0,1} → A1 → I1a →[TG near]──┐
+//! crit : in_{2,3} → A2 → I1b → seg_far ──[TG far]── w_mid ~~seg_near~~ w_end → I2 → out_PE
+//! ```
+//!
+//! ## Design notes (documented substitutions)
+//!
+//! * The paper's Fig. 3 shows plain sleep/pre devices at the segment
+//!   boundaries; we use full transmission gates for isolation so that
+//!   both logic levels propagate without a threshold drop. SDFC keeps
+//!   its feedback keepers for level restoration at the A nodes; SDPC
+//!   replaces them with pre-charge devices, reproducing §2.4's "no level
+//!   restoration requirement".
+//! * DPC pre-charges node A **high** (Fig. 2), so `output_PE` idles high
+//!   and evaluation of a logic-0 produces the measured high-to-low edge.
+
+use crate::config::CrossbarConfig;
+use crate::scheme::{DeviceRole, Scheme};
+use lnoc_circuit::netlist::{DeviceId, MosfetSpec, Netlist, NodeId};
+use lnoc_circuit::stimulus::Stimulus;
+use lnoc_tech::device::{MosModel, Polarity, VtClass};
+use lnoc_tech::interconnect::Wire;
+use std::sync::Arc;
+
+/// Shared, pre-instantiated model cards for the four device flavours.
+#[derive(Debug, Clone)]
+pub struct ModelSet {
+    nmos: [Arc<MosModel>; 2],
+    pmos: [Arc<MosModel>; 2],
+}
+
+impl ModelSet {
+    /// Instantiates the flavour cards from a configuration's technology.
+    pub fn new(cfg: &CrossbarConfig) -> Self {
+        let t = &cfg.tech;
+        ModelSet {
+            nmos: [
+                Arc::new(t.mos(Polarity::Nmos, VtClass::Nominal)),
+                Arc::new(t.mos(Polarity::Nmos, VtClass::High)),
+            ],
+            pmos: [
+                Arc::new(t.mos(Polarity::Pmos, VtClass::Nominal)),
+                Arc::new(t.mos(Polarity::Pmos, VtClass::High)),
+            ],
+        }
+    }
+
+    /// The card for a polarity/Vt-class pair.
+    pub fn get(&self, polarity: Polarity, vt: VtClass) -> Arc<MosModel> {
+        let i = match vt {
+            VtClass::Nominal => 0,
+            VtClass::High => 1,
+        };
+        match polarity {
+            Polarity::Nmos => Arc::clone(&self.nmos[i]),
+            Polarity::Pmos => Arc::clone(&self.pmos[i]),
+        }
+    }
+}
+
+/// Record of one instantiated transistor: name, role, chosen Vt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedDevice {
+    /// Instance name in the netlist.
+    pub name: String,
+    /// Functional role.
+    pub role: DeviceRole,
+    /// Threshold class the scheme assigned.
+    pub vt: VtClass,
+    /// `true` if the device belongs to the slack (near) segment.
+    pub slack_segment: bool,
+}
+
+/// A generated bit-slice: netlist plus handles to every node and control
+/// source the characterizer needs.
+#[derive(Debug, Clone)]
+pub struct BitSlice {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Which scheme this slice implements.
+    pub scheme: Scheme,
+    /// Supply node.
+    pub vdd_node: NodeId,
+    /// Supply source (for energy integration).
+    pub vdd_src: DeviceId,
+    /// Input data nodes, one per candidate input port (radix − 1).
+    pub inputs: Vec<NodeId>,
+    /// Node A of the main (critical) sub-slice — *the* node A for
+    /// non-segmented schemes (driver end, where P1/N5 sit).
+    pub a_main: NodeId,
+    /// Node A of the slack sub-slice (segmented schemes only).
+    pub a_slack: Option<NodeId>,
+    /// Input node of the final buffer I2.
+    pub wire_end: NodeId,
+    /// The `output_PE` node.
+    pub out: NodeId,
+    /// Data sources, one per input.
+    pub data_srcs: Vec<DeviceId>,
+    /// Grant sources, one per input.
+    pub grant_srcs: Vec<DeviceId>,
+    /// Sleep source of the main domain (gate of N5).
+    pub sleep_main_src: DeviceId,
+    /// Sleep source of the slack domain.
+    pub sleep_slack_src: Option<DeviceId>,
+    /// Pre-charge gate source(s) for pre-charged schemes (P1 gates are
+    /// active-low: 0 V = pre-charging).
+    pub pre_main_src: Option<DeviceId>,
+    /// Slack-domain pre-charge gate source.
+    pub pre_slack_src: Option<DeviceId>,
+    /// Transmission-gate enables (NMOS gate, PMOS gate) for the near
+    /// path.
+    pub en_near_srcs: Option<(DeviceId, DeviceId)>,
+    /// Transmission-gate enables for the far path.
+    pub en_far_srcs: Option<(DeviceId, DeviceId)>,
+    /// Every placed transistor with its role and Vt class.
+    pub placed: Vec<PlacedDevice>,
+    vdd_volts: f64,
+}
+
+/// Index of the slack/near inputs in a segmented slice.
+pub const SLACK_INPUTS: [usize; 2] = [0, 1];
+/// Index of the critical/far inputs in a segmented slice.
+pub const CRIT_INPUTS: [usize; 2] = [2, 3];
+
+impl BitSlice {
+    /// Generates the bit-slice for a scheme under a configuration.
+    ///
+    /// All control sources start in the *idle awake* state: grants off,
+    /// sleep off, pre-charge inactive, segment gates off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CrossbarConfig::validate`].
+    pub fn build(scheme: Scheme, cfg: &CrossbarConfig) -> Self {
+        cfg.validate().expect("invalid crossbar configuration");
+        let models = ModelSet::new(cfg);
+        Builder::new(scheme, cfg, &models).build()
+    }
+
+    /// Generates the slice with an explicit model set (shared across
+    /// many slices by the characterizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CrossbarConfig::validate`].
+    pub fn build_with_models(scheme: Scheme, cfg: &CrossbarConfig, models: &ModelSet) -> Self {
+        cfg.validate().expect("invalid crossbar configuration");
+        Builder::new(scheme, cfg, models).build()
+    }
+
+    /// Generates the slice with explicit per-device Vt overrides keyed by
+    /// instance name — the hook used by the slack-driven assignment
+    /// algorithm in [`crate::dual_vt`] to explore Vt plans beyond the
+    /// paper's fixed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CrossbarConfig::validate`].
+    pub fn build_with_overrides(
+        scheme: Scheme,
+        cfg: &CrossbarConfig,
+        models: &ModelSet,
+        overrides: &std::collections::HashMap<String, VtClass>,
+    ) -> Self {
+        cfg.validate().expect("invalid crossbar configuration");
+        let mut b = Builder::new(scheme, cfg, models);
+        b.overrides = Some(overrides.clone());
+        b.build()
+    }
+
+    /// Number of candidate inputs (radix − 1).
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Counts placed devices by threshold class: `(nominal, high)`.
+    pub fn vt_census(&self) -> (usize, usize) {
+        let high = self.placed.iter().filter(|p| p.vt == VtClass::High).count();
+        (self.placed.len() - high, high)
+    }
+
+    // --- control setters (DC states) ------------------------------------
+
+    /// Sets the grant of one input (static).
+    pub fn set_grant(&mut self, input: usize, on: bool) {
+        let v = if on { self.vdd_volts } else { 0.0 };
+        self.netlist
+            .set_stimulus(self.grant_srcs[input], Stimulus::dc(v));
+    }
+
+    /// Sets the data value of one input (static).
+    pub fn set_data(&mut self, input: usize, high: bool) {
+        let v = if high { self.vdd_volts } else { 0.0 };
+        self.netlist
+            .set_stimulus(self.data_srcs[input], Stimulus::dc(v));
+    }
+
+    /// Asserts or releases the main-domain sleep transistor.
+    pub fn set_sleep_main(&mut self, sleeping: bool) {
+        let v = if sleeping { self.vdd_volts } else { 0.0 };
+        self.netlist
+            .set_stimulus(self.sleep_main_src, Stimulus::dc(v));
+    }
+
+    /// Asserts or releases the slack-domain sleep transistor (no-op on
+    /// non-segmented schemes).
+    pub fn set_sleep_slack(&mut self, sleeping: bool) {
+        if let Some(src) = self.sleep_slack_src {
+            let v = if sleeping { self.vdd_volts } else { 0.0 };
+            self.netlist.set_stimulus(src, Stimulus::dc(v));
+        }
+    }
+
+    /// Activates or deactivates the pre-charge devices (both domains).
+    /// No-op for feedback (keeper) schemes.
+    pub fn set_precharge(&mut self, active: bool) {
+        self.set_precharge_main(active);
+        self.set_precharge_slack(active);
+    }
+
+    /// Activates or deactivates only the main domain's pre-charge.
+    pub fn set_precharge_main(&mut self, active: bool) {
+        // P1 is PMOS: gate low = pre-charging.
+        let v = if active { 0.0 } else { self.vdd_volts };
+        if let Some(src) = self.pre_main_src {
+            self.netlist.set_stimulus(src, Stimulus::dc(v));
+        }
+    }
+
+    /// Activates or deactivates only the slack domain's pre-charge.
+    pub fn set_precharge_slack(&mut self, active: bool) {
+        let v = if active { 0.0 } else { self.vdd_volts };
+        if let Some(src) = self.pre_slack_src {
+            self.netlist.set_stimulus(src, Stimulus::dc(v));
+        }
+    }
+
+    /// Opens or closes the near-path transmission gate.
+    pub fn set_enable_near(&mut self, on: bool) {
+        if let Some((n, p)) = self.en_near_srcs {
+            let (vn, vp) = if on {
+                (self.vdd_volts, 0.0)
+            } else {
+                (0.0, self.vdd_volts)
+            };
+            self.netlist.set_stimulus(n, Stimulus::dc(vn));
+            self.netlist.set_stimulus(p, Stimulus::dc(vp));
+        }
+    }
+
+    /// Opens or closes the far-path transmission gate.
+    pub fn set_enable_far(&mut self, on: bool) {
+        if let Some((n, p)) = self.en_far_srcs {
+            let (vn, vp) = if on {
+                (self.vdd_volts, 0.0)
+            } else {
+                (0.0, self.vdd_volts)
+            };
+            self.netlist.set_stimulus(n, Stimulus::dc(vn));
+            self.netlist.set_stimulus(p, Stimulus::dc(vp));
+        }
+    }
+
+    // --- transient drive ------------------------------------------------
+
+    /// Drives a data input with an arbitrary stimulus (transient).
+    pub fn drive_data(&mut self, input: usize, stim: Stimulus) {
+        self.netlist.set_stimulus(self.data_srcs[input], stim);
+    }
+
+    /// Drives a grant with an arbitrary stimulus (transient).
+    pub fn drive_grant(&mut self, input: usize, stim: Stimulus) {
+        self.netlist.set_stimulus(self.grant_srcs[input], stim);
+    }
+
+    /// Drives the pre-charge gate(s) with an arbitrary stimulus
+    /// (remember: 0 V at the gate means "pre-charging").
+    pub fn drive_precharge(&mut self, stim: Stimulus) {
+        if let Some(src) = self.pre_main_src {
+            self.netlist.set_stimulus(src, stim.clone());
+        }
+        if let Some(src) = self.pre_slack_src {
+            self.netlist.set_stimulus(src, stim);
+        }
+    }
+
+    /// Drives only the main (critical) domain's pre-charge gate; the
+    /// slack domain keeps its current stimulus. No-op on feedback
+    /// schemes.
+    pub fn drive_precharge_main(&mut self, stim: Stimulus) {
+        if let Some(src) = self.pre_main_src {
+            self.netlist.set_stimulus(src, stim);
+        }
+    }
+
+    /// Drives only the slack domain's pre-charge gate. No-op on
+    /// non-segmented or feedback schemes.
+    pub fn drive_precharge_slack(&mut self, stim: Stimulus) {
+        if let Some(src) = self.pre_slack_src {
+            self.netlist.set_stimulus(src, stim);
+        }
+    }
+
+    /// Drives the main sleep gate with an arbitrary stimulus.
+    pub fn drive_sleep_main(&mut self, stim: Stimulus) {
+        self.netlist.set_stimulus(self.sleep_main_src, stim);
+    }
+}
+
+/// Internal builder that walks the topology once.
+struct Builder<'a> {
+    scheme: Scheme,
+    cfg: &'a CrossbarConfig,
+    models: &'a ModelSet,
+    nl: Netlist,
+    placed: Vec<PlacedDevice>,
+    vdd_node: NodeId,
+    overrides: Option<std::collections::HashMap<String, VtClass>>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(scheme: Scheme, cfg: &'a CrossbarConfig, models: &'a ModelSet) -> Self {
+        let mut nl = Netlist::new();
+        let vdd_node = nl.node("vdd");
+        Builder {
+            scheme,
+            cfg,
+            models,
+            nl,
+            placed: Vec::new(),
+            vdd_node,
+            overrides: None,
+        }
+    }
+
+    /// Places a MOSFET with the scheme's Vt choice for its role.
+    fn mos(
+        &mut self,
+        name: &str,
+        role: DeviceRole,
+        slack_segment: bool,
+        polarity: Polarity,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) {
+        let vt = if let Some(vt) = self.overrides.as_ref().and_then(|m| m.get(name)) {
+            *vt
+        } else if slack_segment {
+            self.scheme.vt_for_slack_segment(role)
+        } else {
+            self.scheme.vt_for(role)
+        };
+        let b = match polarity {
+            Polarity::Nmos => Netlist::GROUND,
+            Polarity::Pmos => self.vdd_node,
+        };
+        self.nl
+            .mosfet(
+                name,
+                MosfetSpec {
+                    d,
+                    g,
+                    s,
+                    b,
+                    model: self.models.get(polarity, vt),
+                    w,
+                },
+            )
+            .expect("slice sizing widths are positive");
+        self.placed.push(PlacedDevice {
+            name: name.to_string(),
+            role,
+            vt,
+            slack_segment,
+        });
+    }
+
+    /// Lays a wire as an RC π-ladder between two existing nodes,
+    /// creating `segments − 1` interior nodes.
+    fn wire(&mut self, prefix: &str, from: NodeId, to: NodeId, wire: &Wire, segments: usize) {
+        let ladder = wire.to_pi_ladder(segments);
+        let mut prev = from;
+        for (i, seg) in ladder.iter().enumerate() {
+            let next = if i + 1 == ladder.len() {
+                to
+            } else {
+                self.nl.node(&format!("{prefix}_w{i}"))
+            };
+            self.nl
+                .capacitor(&format!("{prefix}_cin{i}"), prev, Netlist::GROUND, seg.cap_in.0)
+                .expect("cap is non-negative");
+            self.nl
+                .resistor(&format!("{prefix}_r{i}"), prev, next, seg.resistance.0)
+                .expect("resistance is positive");
+            self.nl
+                .capacitor(&format!("{prefix}_cout{i}"), next, Netlist::GROUND, seg.cap_out.0)
+                .expect("cap is non-negative");
+            prev = next;
+        }
+    }
+
+    /// Places a driver inverter; returns nothing (nodes are passed in).
+    /// `eval_p` tells which polarity moves the output during evaluation:
+    /// for pre-charged schemes the *other* polarity is parked at high Vt.
+    #[allow(clippy::too_many_arguments)]
+    fn driver_inverter(
+        &mut self,
+        name: &str,
+        slack: bool,
+        input: NodeId,
+        output: NodeId,
+        w_n: f64,
+        w_p: f64,
+        eval_is_p: bool,
+    ) {
+        let (role_n, role_p) = if eval_is_p {
+            (DeviceRole::DriverIdleN, DeviceRole::DriverEvalP)
+        } else {
+            (DeviceRole::DriverEvalN, DeviceRole::DriverIdleP)
+        };
+        self.mos(
+            &format!("{name}_p"),
+            role_p,
+            slack,
+            Polarity::Pmos,
+            output,
+            input,
+            self.vdd_node,
+            w_p,
+        );
+        self.mos(
+            &format!("{name}_n"),
+            role_n,
+            slack,
+            Polarity::Nmos,
+            output,
+            input,
+            Netlist::GROUND,
+            w_n,
+        );
+    }
+
+    fn build(mut self) -> BitSlice {
+        let cfg = self.cfg;
+        let s = cfg.sizing.clone();
+        let vdd = cfg.vdd().0;
+        let n_inputs = cfg.radix - 1;
+
+        let vdd_src = self
+            .nl
+            .vsource("VDD", self.vdd_node, Netlist::GROUND, Stimulus::dc(vdd));
+
+        // Input data and grant sources.
+        let mut inputs = Vec::with_capacity(n_inputs);
+        let mut data_srcs = Vec::with_capacity(n_inputs);
+        let mut grant_srcs = Vec::with_capacity(n_inputs);
+        let mut grant_nodes = Vec::with_capacity(n_inputs);
+        for i in 0..n_inputs {
+            let in_node = self.nl.node(&format!("in{i}"));
+            let g_node = self.nl.node(&format!("g{i}"));
+            data_srcs.push(
+                self.nl
+                    .vsource(&format!("DATA{i}"), in_node, Netlist::GROUND, Stimulus::dc(0.0)),
+            );
+            grant_srcs.push(self.nl.vsource(
+                &format!("GRANT{i}"),
+                g_node,
+                Netlist::GROUND,
+                Stimulus::dc(0.0),
+            ));
+            inputs.push(in_node);
+            grant_nodes.push(g_node);
+        }
+
+        let out = self.nl.node("out_pe");
+        let wire_end = self.nl.node("w_end");
+
+        // Sleep gate sources.
+        let sleep_main_node = self.nl.node("sleep_main");
+        let sleep_main_src = self.nl.vsource(
+            "SLEEP_MAIN",
+            sleep_main_node,
+            Netlist::GROUND,
+            Stimulus::dc(0.0),
+        );
+
+        let precharged = self.scheme.is_precharged();
+        let mut pre_main_src = None;
+        let mut pre_slack_src = None;
+        let mut sleep_slack_src = None;
+        let mut en_near_srcs = None;
+        let mut en_far_srcs = None;
+        let mut a_slack_node = None;
+
+        let a_main;
+        if !self.scheme.is_segmented() {
+            // ---------------- Figures 1 & 2: single matrix ----------------
+            let a_far = self.nl.node("a_far");
+            let a = self.nl.node("a");
+            a_main = a;
+
+            // All pass transistors inject at the far end of the matrix
+            // column wire; P1/N5/I1 sit at the driver end.
+            for i in 0..n_inputs {
+                self.mos(
+                    &format!("pass{i}"),
+                    DeviceRole::PassTransistor,
+                    false,
+                    Polarity::Nmos,
+                    inputs[i],
+                    grant_nodes[i],
+                    a_far,
+                    s.w_pass,
+                );
+            }
+            self.wire("mwire", a_far, a, &cfg.matrix_wire(), 2);
+
+            // Sleep transistor N5 on node A.
+            self.mos(
+                "sleep_n5",
+                DeviceRole::Sleep,
+                false,
+                Polarity::Nmos,
+                a,
+                sleep_main_node,
+                Netlist::GROUND,
+                s.w_sleep,
+            );
+
+            let w0 = self.nl.node("w0");
+            if precharged {
+                // DPC: clocked pre-charge P1 (gate driven externally).
+                let pre_node = self.nl.node("pre_main");
+                pre_main_src = Some(self.nl.vsource(
+                    "PRE_MAIN",
+                    pre_node,
+                    Netlist::GROUND,
+                    Stimulus::dc(vdd), // inactive
+                ));
+                self.mos(
+                    "pre_p1",
+                    DeviceRole::KeeperOrPrecharge,
+                    false,
+                    Polarity::Pmos,
+                    a,
+                    pre_node,
+                    self.vdd_node,
+                    s.w_keeper,
+                );
+            } else {
+                // SC/DFC: feedback keeper P1 (gate = I1 output).
+                self.mos(
+                    "keeper_p1",
+                    DeviceRole::KeeperOrPrecharge,
+                    false,
+                    Polarity::Pmos,
+                    a,
+                    w0,
+                    self.vdd_node,
+                    s.w_keeper,
+                );
+            }
+
+            // Driver I1 → output wire → I2 → out_PE.
+            // Evaluation edge for pre-charged-high DPC: A falls, w0
+            // rises (I1 PMOS works), out falls (I2 NMOS works).
+            self.driver_inverter("i1", false, a, w0, s.w_i1_n, s.w_i1_p, true);
+            self.wire("owire", w0, wire_end, &cfg.output_wire(), 2);
+            self.driver_inverter("i2", false, wire_end, out, s.w_i2_n, s.w_i2_p, false);
+        } else {
+            // ---------------- Figure 3: segmented matrix ------------------
+            // Slack (near) half: inputs 0..n/2, quarter-span matrix wire.
+            let half = n_inputs / 2;
+            let quarter_wire = Wire::new(
+                *cfg.matrix_wire().geometry(),
+                0.5 * cfg.matrix_wire().length().0,
+            )
+            .expect("positive length");
+            let half_out_wire = Wire::new(
+                *cfg.output_wire().geometry(),
+                0.5 * cfg.output_wire().length().0,
+            )
+            .expect("positive length");
+
+            let a1_far = self.nl.node("a1_far");
+            let a1 = self.nl.node("a1");
+            let a2_far = self.nl.node("a2_far");
+            let a2 = self.nl.node("a2");
+            a_main = a2;
+            a_slack_node = Some(a1);
+
+            for &i in SLACK_INPUTS.iter().take(half) {
+                self.mos(
+                    &format!("pass{i}"),
+                    DeviceRole::PassTransistor,
+                    true,
+                    Polarity::Nmos,
+                    inputs[i],
+                    grant_nodes[i],
+                    a1_far,
+                    s.w_pass,
+                );
+            }
+            for &i in CRIT_INPUTS.iter() {
+                if i >= n_inputs {
+                    continue;
+                }
+                self.mos(
+                    &format!("pass{i}"),
+                    DeviceRole::PassTransistor,
+                    false,
+                    Polarity::Nmos,
+                    inputs[i],
+                    grant_nodes[i],
+                    a2_far,
+                    s.w_pass,
+                );
+            }
+            self.wire("mwire1", a1_far, a1, &quarter_wire, 2);
+            self.wire("mwire2", a2_far, a2, &quarter_wire, 2);
+
+            // Per-domain sleep.
+            let sleep_slack_node = self.nl.node("sleep_slack");
+            sleep_slack_src = Some(self.nl.vsource(
+                "SLEEP_SLACK",
+                sleep_slack_node,
+                Netlist::GROUND,
+                Stimulus::dc(0.0),
+            ));
+            self.mos(
+                "sleep1_n5",
+                DeviceRole::Sleep,
+                true,
+                Polarity::Nmos,
+                a1,
+                sleep_slack_node,
+                Netlist::GROUND,
+                s.w_sleep,
+            );
+            self.mos(
+                "sleep2_n5",
+                DeviceRole::Sleep,
+                false,
+                Polarity::Nmos,
+                a2,
+                sleep_main_node,
+                Netlist::GROUND,
+                s.w_sleep,
+            );
+
+            let i1a_out = self.nl.node("i1a_out");
+            let i1b_out = self.nl.node("i1b_out");
+            if precharged {
+                // SDPC: per-domain pre-charge, no keepers (§2.4).
+                let pre_s = self.nl.node("pre_slack");
+                let pre_m = self.nl.node("pre_main");
+                pre_slack_src = Some(self.nl.vsource(
+                    "PRE_SLACK",
+                    pre_s,
+                    Netlist::GROUND,
+                    Stimulus::dc(vdd),
+                ));
+                pre_main_src = Some(self.nl.vsource(
+                    "PRE_MAIN",
+                    pre_m,
+                    Netlist::GROUND,
+                    Stimulus::dc(vdd),
+                ));
+                self.mos(
+                    "pre1_p1",
+                    DeviceRole::KeeperOrPrecharge,
+                    true,
+                    Polarity::Pmos,
+                    a1,
+                    pre_s,
+                    self.vdd_node,
+                    s.w_keeper,
+                );
+                self.mos(
+                    "pre2_p1",
+                    DeviceRole::KeeperOrPrecharge,
+                    false,
+                    Polarity::Pmos,
+                    a2,
+                    pre_m,
+                    self.vdd_node,
+                    s.w_keeper,
+                );
+            } else {
+                // SDFC: feedback keepers on both A nodes.
+                self.mos(
+                    "keeper1_p1",
+                    DeviceRole::KeeperOrPrecharge,
+                    true,
+                    Polarity::Pmos,
+                    a1,
+                    i1a_out,
+                    self.vdd_node,
+                    s.w_keeper,
+                );
+                self.mos(
+                    "keeper2_p1",
+                    DeviceRole::KeeperOrPrecharge,
+                    false,
+                    Polarity::Pmos,
+                    a2,
+                    i1b_out,
+                    self.vdd_node,
+                    s.w_keeper,
+                );
+            }
+
+            // First-stage drivers: slack driver entirely high-Vt in the
+            // segmented schemes (vt_for_slack_segment).
+            self.driver_inverter("i1a", true, a1, i1a_out, s.w_i1_n, s.w_i1_p, true);
+            self.driver_inverter("i1b", false, a2, i1b_out, s.w_i1_n, s.w_i1_p, true);
+
+            // Transmission-gate isolation.
+            let w_mid = self.nl.node("w_mid");
+            let en_near_n = self.nl.node("en_near");
+            let en_near_p = self.nl.node("en_near_b");
+            let en_far_n = self.nl.node("en_far");
+            let en_far_p = self.nl.node("en_far_b");
+            en_near_srcs = Some((
+                self.nl
+                    .vsource("EN_NEAR", en_near_n, Netlist::GROUND, Stimulus::dc(0.0)),
+                self.nl
+                    .vsource("EN_NEAR_B", en_near_p, Netlist::GROUND, Stimulus::dc(vdd)),
+            ));
+            en_far_srcs = Some((
+                self.nl
+                    .vsource("EN_FAR", en_far_n, Netlist::GROUND, Stimulus::dc(0.0)),
+                self.nl
+                    .vsource("EN_FAR_B", en_far_p, Netlist::GROUND, Stimulus::dc(vdd)),
+            ));
+
+            // Near TG: slack driver output → w_mid (short hop).
+            self.mos(
+                "iso_near_n",
+                DeviceRole::SegmentIsolation,
+                true,
+                Polarity::Nmos,
+                i1a_out,
+                en_near_n,
+                w_mid,
+                s.w_iso,
+            );
+            self.mos(
+                "iso_near_p",
+                DeviceRole::SegmentIsolation,
+                true,
+                Polarity::Pmos,
+                i1a_out,
+                en_near_p,
+                w_mid,
+                s.w_iso,
+            );
+
+            // Far segment wire then far TG into w_mid.
+            let w_far_end = self.nl.node("w_far_end");
+            self.wire("owire_far", i1b_out, w_far_end, &half_out_wire, 2);
+            self.mos(
+                "iso_far_n",
+                DeviceRole::SegmentIsolation,
+                false,
+                Polarity::Nmos,
+                w_far_end,
+                en_far_n,
+                w_mid,
+                s.w_iso,
+            );
+            self.mos(
+                "iso_far_p",
+                DeviceRole::SegmentIsolation,
+                false,
+                Polarity::Pmos,
+                w_far_end,
+                en_far_p,
+                w_mid,
+                s.w_iso,
+            );
+
+            // Shared near segment to the output buffer.
+            self.wire("owire_near", w_mid, wire_end, &half_out_wire, 2);
+            self.driver_inverter("i2", false, wire_end, out, s.w_i2_n, s.w_i2_p, false);
+        }
+
+        // Receiver load at output_PE.
+        self.nl
+            .capacitor("c_rx", out, Netlist::GROUND, cfg.c_receiver)
+            .expect("receiver cap is non-negative");
+
+        BitSlice {
+            netlist: self.nl,
+            scheme: self.scheme,
+            vdd_node: self.vdd_node,
+            vdd_src,
+            inputs,
+            a_main,
+            a_slack: a_slack_node,
+            wire_end,
+            out,
+            data_srcs,
+            grant_srcs,
+            sleep_main_src,
+            sleep_slack_src,
+            pre_main_src,
+            pre_slack_src,
+            en_near_srcs,
+            en_far_srcs,
+            placed: self.placed,
+            vdd_volts: vdd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnoc_circuit::dc;
+
+    fn cfg() -> CrossbarConfig {
+        CrossbarConfig::test_small()
+    }
+
+    #[test]
+    fn all_schemes_build() {
+        for scheme in Scheme::ALL {
+            let slice = BitSlice::build(scheme, &cfg());
+            assert_eq!(slice.input_count(), 4, "{scheme}");
+            assert!(slice.netlist.node_count() > 10, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn sc_has_no_high_vt() {
+        let slice = BitSlice::build(Scheme::Sc, &cfg());
+        let (_, high) = slice.vt_census();
+        assert_eq!(high, 0);
+    }
+
+    #[test]
+    fn vt_census_orders_like_the_paper() {
+        // More aggressive schemes place more high-Vt devices.
+        let count = |s: Scheme| BitSlice::build(s, &cfg()).vt_census().1;
+        let (dfc, dpc, sdfc, sdpc) = (
+            count(Scheme::Dfc),
+            count(Scheme::Dpc),
+            count(Scheme::Sdfc),
+            count(Scheme::Sdpc),
+        );
+        assert!(dfc >= 2, "DFC raises keeper + sleep, got {dfc}");
+        assert!(dpc > dfc, "DPC parks driver halves too: {dpc} vs {dfc}");
+        assert!(sdfc > dfc, "SDFC adds the slack driver: {sdfc} vs {dfc}");
+        assert!(sdpc >= sdfc, "SDPC is the most aggressive: {sdpc} vs {sdfc}");
+    }
+
+    #[test]
+    fn precharged_schemes_expose_pre_sources() {
+        for scheme in Scheme::ALL {
+            let slice = BitSlice::build(scheme, &cfg());
+            assert_eq!(slice.pre_main_src.is_some(), scheme.is_precharged(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn segmented_schemes_expose_domain_controls() {
+        for scheme in Scheme::ALL {
+            let slice = BitSlice::build(scheme, &cfg());
+            assert_eq!(slice.a_slack.is_some(), scheme.is_segmented(), "{scheme}");
+            assert_eq!(slice.sleep_slack_src.is_some(), scheme.is_segmented());
+            assert_eq!(slice.en_far_srcs.is_some(), scheme.is_segmented());
+        }
+    }
+
+    #[test]
+    fn dfc_dc_converges_in_idle_and_standby() {
+        let mut slice = BitSlice::build(Scheme::Dfc, &cfg());
+        let sol = dc::solve(&slice.netlist).expect("idle awake converges");
+        // Keeper + leakage define node A; it must sit at a valid level.
+        let va = sol.voltage(slice.a_main);
+        assert!(va.is_finite());
+
+        slice.set_sleep_main(true);
+        let sol = dc::solve(&slice.netlist).expect("standby converges");
+        assert!(
+            sol.voltage(slice.a_main) < 0.1,
+            "sleep must pull node A to ground, got {}",
+            sol.voltage(slice.a_main)
+        );
+    }
+
+    #[test]
+    fn dfc_transfer_propagates_both_levels() {
+        let mut slice = BitSlice::build(Scheme::Dfc, &cfg());
+        slice.set_grant(0, true);
+        slice.set_data(0, false);
+        let sol = dc::solve(&slice.netlist).unwrap();
+        // data 0 → A low → out_PE low (two inversions).
+        assert!(sol.voltage(slice.a_main) < 0.1);
+        assert!(sol.voltage(slice.out) < 0.1, "out = {}", sol.voltage(slice.out));
+
+        slice.set_data(0, true);
+        let sol = dc::solve(&slice.netlist).unwrap();
+        // data 1 → A restored to full Vdd by the keeper → out_PE high.
+        assert!(
+            sol.voltage(slice.a_main) > 0.9,
+            "keeper must restore node A, got {}",
+            sol.voltage(slice.a_main)
+        );
+        assert!(sol.voltage(slice.out) > 0.9, "out = {}", sol.voltage(slice.out));
+    }
+
+    #[test]
+    fn dpc_precharge_sets_output_high() {
+        let mut slice = BitSlice::build(Scheme::Dpc, &cfg());
+        slice.set_precharge(true);
+        let sol = dc::solve(&slice.netlist).unwrap();
+        assert!(
+            sol.voltage(slice.a_main) > 0.9,
+            "pre-charge must pull node A to Vdd, got {}",
+            sol.voltage(slice.a_main)
+        );
+        assert!(sol.voltage(slice.out) > 0.9, "output_PE pre-charged high");
+    }
+
+    #[test]
+    fn sdfc_far_path_transfers_through_both_segments() {
+        let mut slice = BitSlice::build(Scheme::Sdfc, &cfg());
+        slice.set_enable_far(true);
+        slice.set_sleep_slack(true); // near domain parked
+        slice.set_grant(CRIT_INPUTS[0], true);
+        slice.set_data(CRIT_INPUTS[0], true);
+        let sol = dc::solve(&slice.netlist).unwrap();
+        assert!(sol.voltage(slice.out) > 0.9, "far path passes a 1");
+
+        slice.set_data(CRIT_INPUTS[0], false);
+        let sol = dc::solve(&slice.netlist).unwrap();
+        assert!(sol.voltage(slice.out) < 0.1, "far path passes a 0");
+    }
+
+    #[test]
+    fn sdfc_near_path_transfers() {
+        let mut slice = BitSlice::build(Scheme::Sdfc, &cfg());
+        slice.set_enable_near(true);
+        slice.set_sleep_main(true); // far domain parked
+        slice.set_grant(SLACK_INPUTS[0], true);
+        slice.set_data(SLACK_INPUTS[0], true);
+        let sol = dc::solve(&slice.netlist).unwrap();
+        assert!(sol.voltage(slice.out) > 0.9, "near path passes a 1");
+    }
+
+    #[test]
+    fn spice_export_mentions_scheme_structure() {
+        let slice = BitSlice::build(Scheme::Dfc, &cfg());
+        let spice = slice.netlist.to_spice("dfc bit slice");
+        assert!(spice.contains("Mkeeper_p1"));
+        assert!(spice.contains("Msleep_n5"));
+        assert!(spice.contains("Mpass0"));
+        assert!(spice.contains("nmos_high") || spice.contains("pmos_high"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Input-buffered wormhole router.
+//!
+//! One router has five input FIFOs (one per [`Direction`]) and a 5×5
+//! crossbar — the paper's evaluation object. Wormhole switching: a head
+//! flit claims its output port after winning round-robin arbitration;
+//! body flits follow; the tail flit releases the port. Backpressure is a
+//! simple on/off credit: a flit only advances when the downstream buffer
+//! has room.
+
+use crate::topology::Direction;
+use crate::traffic::Flit;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-port output state: which input currently owns the port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+enum PortOwner {
+    /// Free for a new head flit.
+    #[default]
+    Free,
+    /// Allocated to the given input port until a tail flit passes.
+    Owned(usize),
+}
+
+/// One wormhole router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// This router's id in the mesh.
+    pub id: usize,
+    buffers: [VecDeque<Flit>; 5],
+    owners: [PortOwner; 5],
+    rr_next: [usize; 5],
+    buffer_depth: usize,
+    /// Cycles each output port has been continuously idle.
+    idle_run: [u64; 5],
+}
+
+/// A flit departing the router this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Departure {
+    /// Output port it leaves through.
+    pub output: Direction,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new(id: usize, buffer_depth: usize) -> Self {
+        Router {
+            id,
+            buffers: Default::default(),
+            owners: Default::default(),
+            rr_next: [0; 5],
+            buffer_depth,
+            idle_run: [0; 5],
+        }
+    }
+
+    /// Whether the input buffer for `port` can accept a flit.
+    pub fn can_accept(&self, port: Direction) -> bool {
+        self.buffers[port.index()].len() < self.buffer_depth
+    }
+
+    /// Pushes an arriving flit into an input buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (callers must check
+    /// [`Router::can_accept`] — the link-level credit).
+    pub fn accept(&mut self, port: Direction, flit: Flit) {
+        assert!(self.can_accept(port), "buffer overflow at router {}", self.id);
+        self.buffers[port.index()].push_back(flit);
+    }
+
+    /// Buffer occupancy of an input port.
+    pub fn occupancy(&self, port: Direction) -> usize {
+        self.buffers[port.index()].len()
+    }
+
+    /// Total buffered flits.
+    pub fn total_occupancy(&self) -> usize {
+        self.buffers.iter().map(|b| b.len()).sum()
+    }
+
+    /// Current idle-run length of an output port (cycles since it last
+    /// carried a flit).
+    pub fn idle_run(&self, port: Direction) -> u64 {
+        self.idle_run[port.index()]
+    }
+
+    /// One switch-allocation + traversal cycle.
+    ///
+    /// `route` maps a head flit to its output direction;
+    /// `downstream_ready` reports whether the next-hop buffer (or the
+    /// ejection port) can accept a flit on the given output.
+    ///
+    /// Returns the flits that leave this cycle (at most one per output)
+    /// and the number of arbitrations performed. `idle_ended[p]` is the
+    /// length of the idle run that ended on port `p` this cycle (0 if
+    /// the port stayed idle or was already busy).
+    pub fn step(
+        &mut self,
+        route: impl Fn(&Flit) -> Direction,
+        downstream_ready: impl Fn(Direction) -> bool,
+    ) -> StepOutcome {
+        let mut departures = Vec::new();
+        let mut arbitrations = 0u64;
+        let mut idle_ended = [0u64; 5];
+
+        for out in Direction::ALL {
+            let oi = out.index();
+            let mut sent = false;
+
+            match self.owners[oi] {
+                PortOwner::Owned(input) => {
+                    // Continue the owning packet if a flit is ready.
+                    if let Some(head) = self.buffers[input].front() {
+                        if route(head) == out && downstream_ready(out) {
+                            let flit = self.buffers[input]
+                                .pop_front()
+                                .expect("front exists");
+                            if flit.is_tail {
+                                self.owners[oi] = PortOwner::Free;
+                            }
+                            departures.push(Departure { output: out, flit });
+                            sent = true;
+                        }
+                    }
+                }
+                PortOwner::Free => {
+                    // Round-robin over inputs with a head flit for us.
+                    arbitrations += 1;
+                    let start = self.rr_next[oi];
+                    for k in 0..5 {
+                        let input = (start + k) % 5;
+                        let Some(head) = self.buffers[input].front() else {
+                            continue;
+                        };
+                        if !head.is_head || route(head) != out || !downstream_ready(out) {
+                            continue;
+                        }
+                        let flit = self.buffers[input].pop_front().expect("front exists");
+                        if !flit.is_tail {
+                            self.owners[oi] = PortOwner::Owned(input);
+                        }
+                        self.rr_next[oi] = (input + 1) % 5;
+                        departures.push(Departure { output: out, flit });
+                        sent = true;
+                        break;
+                    }
+                }
+            }
+
+            // Idle-run bookkeeping for the power model.
+            if sent {
+                idle_ended[oi] = self.idle_run[oi];
+                self.idle_run[oi] = 0;
+            } else {
+                self.idle_run[oi] += 1;
+            }
+        }
+
+        StepOutcome {
+            departures,
+            arbitrations,
+            idle_ended,
+        }
+    }
+
+    /// Drains the idle runs at end of simulation (each open run is
+    /// reported so histograms include trailing idleness).
+    pub fn drain_idle_runs(&mut self) -> [u64; 5] {
+        let runs = self.idle_run;
+        self.idle_run = [0; 5];
+        runs
+    }
+}
+
+/// What happened in one router cycle.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Flits leaving this cycle.
+    pub departures: Vec<Departure>,
+    /// Arbitration events (for the arbiter energy model).
+    pub arbitrations: u64,
+    /// Idle-interval lengths that ended this cycle, per output index.
+    pub idle_ended: [u64; 5],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(id: u64, head: bool, tail: bool) -> Flit {
+        Flit {
+            packet_id: id,
+            src: 0,
+            dst: 1,
+            is_head: head,
+            is_tail: tail,
+            injected_at: 0,
+        }
+    }
+
+    #[test]
+    fn single_flit_passes_through() {
+        let mut r = Router::new(0, 4);
+        r.accept(Direction::West, flit(1, true, true));
+        let out = r.step(|_| Direction::East, |_| true);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].output, Direction::East);
+        assert_eq!(r.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn wormhole_holds_port_for_whole_packet() {
+        let mut r = Router::new(0, 8);
+        r.accept(Direction::West, flit(1, true, false));
+        r.accept(Direction::West, flit(1, false, false));
+        r.accept(Direction::West, flit(1, false, true));
+        // A competing head on another input wants the same output.
+        r.accept(Direction::North, flit(2, true, true));
+
+        let mut winners = Vec::new();
+        for _ in 0..4 {
+            let out = r.step(|_| Direction::East, |_| true);
+            for d in out.departures {
+                winners.push(d.flit.packet_id);
+            }
+        }
+        // All four flits cross, and packet 1's three flits stay
+        // contiguous (the port is held until the tail) — which input
+        // wins the initial arbitration is round-robin state, not part of
+        // the contract.
+        assert_eq!(winners.len(), 4);
+        let first_one = winners.iter().position(|&p| p == 1).expect("packet 1 sent");
+        assert_eq!(&winners[first_one..first_one + 3], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn backpressure_blocks() {
+        let mut r = Router::new(0, 4);
+        r.accept(Direction::West, flit(1, true, true));
+        let out = r.step(|_| Direction::East, |_| false);
+        assert!(out.departures.is_empty());
+        assert_eq!(r.total_occupancy(), 1);
+    }
+
+    #[test]
+    fn buffer_overflow_panics() {
+        let mut r = Router::new(0, 1);
+        r.accept(Direction::West, flit(1, true, true));
+        assert!(!r.can_accept(Direction::West));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.accept(Direction::West, flit(2, true, true));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn round_robin_rotates_between_competitors() {
+        let mut r = Router::new(0, 4);
+        // Two single-flit packets per input, both to East.
+        for _ in 0..2 {
+            r.accept(Direction::West, flit(10, true, true));
+            r.accept(Direction::North, flit(20, true, true));
+        }
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            let out = r.step(|_| Direction::East, |_| true);
+            for d in out.departures {
+                order.push(d.flit.packet_id);
+            }
+        }
+        assert_eq!(order.len(), 4);
+        // Alternation: no input sends twice in a row.
+        assert_ne!(order[0], order[1]);
+        assert_ne!(order[1], order[2]);
+    }
+
+    #[test]
+    fn idle_runs_are_tracked() {
+        let mut r = Router::new(0, 4);
+        // Three idle cycles on every port.
+        for _ in 0..3 {
+            let _ = r.step(|_| Direction::East, |_| true);
+        }
+        r.accept(Direction::West, flit(1, true, true));
+        let out = r.step(|_| Direction::East, |_| true);
+        // East's 3-cycle idle run ended when the flit crossed.
+        assert_eq!(out.idle_ended[Direction::East.index()], 3);
+        assert_eq!(r.idle_run(Direction::East), 0);
+        assert!(r.idle_run(Direction::North) >= 4);
+    }
+}

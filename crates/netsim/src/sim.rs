@@ -1,0 +1,355 @@
+//! The cycle loop: injection, router stepping, link transfer, ejection.
+
+use crate::router::Router;
+use crate::stats::NetworkStats;
+use crate::topology::{Direction, Mesh};
+use crate::traffic::{Flit, TrafficPattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Mesh width.
+    pub width: usize,
+    /// Mesh height.
+    pub height: usize,
+    /// Packet injection probability per node per cycle.
+    pub injection_rate: f64,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Flits per packet.
+    pub packet_len_flits: usize,
+    /// Input buffer depth in flits.
+    pub buffer_depth: usize,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            injection_rate: 0.05,
+            pattern: TrafficPattern::UniformRandom,
+            packet_len_flits: 4,
+            buffer_depth: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// A running mesh simulation.
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: MeshConfig,
+    mesh: Mesh,
+    routers: Vec<Router>,
+    /// Source queues: packets wait here until the local port accepts.
+    source_queues: Vec<VecDeque<Flit>>,
+    rng: StdRng,
+    next_packet_id: u64,
+    cycle: u64,
+}
+
+impl Simulation {
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (empty mesh, zero-length
+    /// packets, zero buffers).
+    pub fn new(cfg: MeshConfig) -> Self {
+        assert!(cfg.width >= 2 && cfg.height >= 2, "mesh must be at least 2×2");
+        assert!(cfg.packet_len_flits >= 1, "packets need at least one flit");
+        assert!(cfg.buffer_depth >= 1, "buffers need at least one slot");
+        assert!(
+            (0.0..=1.0).contains(&cfg.injection_rate),
+            "injection rate is a probability"
+        );
+        let mesh = Mesh {
+            width: cfg.width,
+            height: cfg.height,
+        };
+        Simulation {
+            mesh,
+            routers: (0..mesh.len())
+                .map(|id| Router::new(id, cfg.buffer_depth))
+                .collect(),
+            source_queues: vec![VecDeque::new(); mesh.len()],
+            rng: StdRng::seed_from_u64(cfg.seed),
+            next_packet_id: 0,
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The mesh being simulated.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Runs `warmup` cycles unmeasured, then `measure` cycles with
+    /// statistics collection, and returns the stats.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
+        let mut stats = NetworkStats::new(self.mesh.len(), 4096);
+        for _ in 0..warmup {
+            self.step(None);
+        }
+        // Reset idle runs so warmup idleness does not pollute histograms.
+        for r in &mut self.routers {
+            let _ = r.drain_idle_runs();
+        }
+        for _ in 0..measure {
+            self.step(Some(&mut stats));
+        }
+        stats.measured_cycles = measure;
+        // Close out open idle runs.
+        for (rid, r) in self.routers.iter_mut().enumerate() {
+            for (p, run) in r.drain_idle_runs().into_iter().enumerate() {
+                stats.idle_histograms[rid][p].record(run);
+            }
+        }
+        stats
+    }
+
+    /// Advances one cycle.
+    fn step(&mut self, mut stats: Option<&mut NetworkStats>) {
+        self.cycle += 1;
+        let n = self.mesh.len();
+
+        // 1. Injection: generate new packets into source queues.
+        for src in 0..n {
+            if self.rng.gen_bool(self.cfg.injection_rate) {
+                if let Some(dst) = self.cfg.pattern.destination(src, &self.mesh, &mut self.rng)
+                {
+                    let id = self.next_packet_id;
+                    self.next_packet_id += 1;
+                    let len = self.cfg.packet_len_flits;
+                    for k in 0..len {
+                        self.source_queues[src].push_back(Flit {
+                            packet_id: id,
+                            src,
+                            dst,
+                            is_head: k == 0,
+                            is_tail: k + 1 == len,
+                            injected_at: self.cycle,
+                        });
+                    }
+                    if let Some(s) = stats.as_deref_mut() {
+                        s.packets_injected += 1;
+                    }
+                }
+            }
+            // Move waiting flits into the local input buffer.
+            while !self.source_queues[src].is_empty()
+                && self.routers[src].can_accept(Direction::Local)
+            {
+                let flit = self.source_queues[src]
+                    .pop_front()
+                    .expect("non-empty checked");
+                self.routers[src].accept(Direction::Local, flit);
+                if let Some(s) = stats.as_deref_mut() {
+                    s.router_activity[src].buffer_writes += 1;
+                }
+            }
+        }
+
+        // 2. Router cycles. Collect departures first (reads), then apply
+        // them (writes) so a flit moves one hop per cycle.
+        let mesh = self.mesh;
+        let mut transfers: Vec<(usize, Direction, Flit)> = Vec::new();
+        for rid in 0..n {
+            // Downstream readiness snapshot.
+            let ready = |out: Direction| -> bool {
+                match out {
+                    Direction::Local => true, // ejection always sinks
+                    d => match mesh.neighbor(rid, d) {
+                        Some(next) => self.routers[next].can_accept(d.opposite()),
+                        None => false,
+                    },
+                }
+            };
+            let route = |flit: &Flit| mesh.route_xy(rid, flit.dst);
+            let outcome = {
+                let ready_vec: Vec<bool> =
+                    Direction::ALL.iter().map(|&d| ready(d)).collect();
+                self.routers[rid].step(route, |d| ready_vec[d.index()])
+            };
+
+            if let Some(s) = stats.as_deref_mut() {
+                s.router_activity[rid].cycles += 1;
+                s.router_activity[rid].arbitrations += outcome.arbitrations;
+                for (p, run) in outcome.idle_ended.into_iter().enumerate() {
+                    s.idle_histograms[rid][p].record(run);
+                }
+            }
+
+            for dep in outcome.departures {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.router_activity[rid].crossbar_traversals += 1;
+                    s.router_activity[rid].buffer_reads += 1;
+                    if dep.output != Direction::Local {
+                        s.router_activity[rid].link_traversals += 1;
+                    }
+                }
+                transfers.push((rid, dep.output, dep.flit));
+            }
+        }
+
+        // 3. Apply transfers.
+        for (rid, out, flit) in transfers {
+            match out {
+                Direction::Local => {
+                    if let Some(s) = stats.as_deref_mut() {
+                        s.flits_delivered += 1;
+                        if flit.is_tail {
+                            s.packets_delivered += 1;
+                            let latency = self.cycle - flit.injected_at;
+                            s.latency_sum += latency;
+                            s.latency_max = s.latency_max.max(latency);
+                        }
+                    }
+                }
+                d => {
+                    let next = mesh
+                        .neighbor(rid, d)
+                        .expect("departures only target existing neighbours");
+                    self.routers[next].accept(d.opposite(), flit);
+                    if let Some(s) = stats.as_deref_mut() {
+                        s.router_activity[next].buffer_writes += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> MeshConfig {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            injection_rate: 0.05,
+            pattern: TrafficPattern::UniformRandom,
+            packet_len_flits: 4,
+            buffer_depth: 4,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn packets_flow_and_are_conserved() {
+        let mut sim = Simulation::new(base_cfg());
+        let stats = sim.run(500, 3000);
+        assert!(stats.packets_delivered > 100, "{}", stats.packets_delivered);
+        // Flits delivered = packets × packet length (within in-flight
+        // slack of injected − delivered).
+        assert_eq!(stats.flits_delivered % 1, 0);
+        assert!(
+            stats.flits_delivered >= stats.packets_delivered * 4,
+            "every delivered packet contributed all its flits"
+        );
+        assert!(stats.packets_injected >= stats.packets_delivered);
+    }
+
+    #[test]
+    fn latency_at_least_hop_count() {
+        let mut sim = Simulation::new(MeshConfig {
+            injection_rate: 0.01,
+            ..base_cfg()
+        });
+        let stats = sim.run(200, 3000);
+        // Minimum latency: ≥ packet length (serialization) at zero load.
+        assert!(stats.avg_latency() >= 4.0, "{}", stats.avg_latency());
+        assert!(stats.avg_latency() < 60.0, "{}", stats.avg_latency());
+    }
+
+    #[test]
+    fn higher_load_means_higher_latency_and_throughput() {
+        let run = |rate: f64| {
+            let mut sim = Simulation::new(MeshConfig {
+                injection_rate: rate,
+                seed: 9,
+                ..base_cfg()
+            });
+            sim.run(500, 4000)
+        };
+        let light = run(0.01);
+        let heavy = run(0.08);
+        assert!(heavy.throughput() > light.throughput());
+        assert!(heavy.avg_latency() > light.avg_latency());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = Simulation::new(base_cfg());
+            let s = sim.run(100, 1000);
+            (s.packets_delivered, s.flits_delivered, s.latency_sum)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idle_histograms_fill_under_light_load() {
+        let mut sim = Simulation::new(MeshConfig {
+            injection_rate: 0.02,
+            ..base_cfg()
+        });
+        let stats = sim.run(200, 2000);
+        let merged = stats.merged_idle_histogram(4096);
+        assert!(merged.interval_count() > 0);
+        // Under 2 % load, most output-cycles are idle.
+        let idle_frac = merged.total_idle_cycles() as f64
+            / (2000.0 * 16.0 * 5.0);
+        assert!(idle_frac > 0.5, "idle fraction {idle_frac}");
+    }
+
+    #[test]
+    fn utilization_tracks_load() {
+        let mut light_sim = Simulation::new(MeshConfig {
+            injection_rate: 0.01,
+            ..base_cfg()
+        });
+        let mut heavy_sim = Simulation::new(MeshConfig {
+            injection_rate: 0.10,
+            ..base_cfg()
+        });
+        let light = light_sim.run(300, 2000).crossbar_utilization();
+        let heavy = heavy_sim.run(300, 2000).crossbar_utilization();
+        assert!(heavy > 2.0 * light, "light {light}, heavy {heavy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn tiny_mesh_rejected() {
+        let _ = Simulation::new(MeshConfig {
+            width: 1,
+            ..base_cfg()
+        });
+    }
+
+    #[test]
+    fn all_patterns_deliver() {
+        for pattern in TrafficPattern::ALL {
+            let mut sim = Simulation::new(MeshConfig {
+                pattern,
+                injection_rate: 0.03,
+                ..base_cfg()
+            });
+            let stats = sim.run(300, 2000);
+            assert!(
+                stats.packets_delivered > 10,
+                "{pattern:?} delivered {}",
+                stats.packets_delivered
+            );
+        }
+    }
+}

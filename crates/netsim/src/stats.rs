@@ -1,0 +1,130 @@
+//! Network statistics: latency, throughput, activity and idle-interval
+//! histograms.
+
+use lnoc_power::gating::IdleHistogram;
+use lnoc_power::router::RouterActivity;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of one simulation run (measurement phase only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Cycles in the measurement phase.
+    pub measured_cycles: u64,
+    /// Packets injected during measurement.
+    pub packets_injected: u64,
+    /// Packets fully delivered during measurement.
+    pub packets_delivered: u64,
+    /// Flits delivered during measurement.
+    pub flits_delivered: u64,
+    /// Sum of packet latencies (injection → tail ejection), cycles.
+    pub latency_sum: u64,
+    /// Max packet latency seen.
+    pub latency_max: u64,
+    /// Per-router activity counters.
+    pub router_activity: Vec<RouterActivity>,
+    /// Idle-interval histogram per router per output port (5 per
+    /// router, [`crate::topology::Direction`] order).
+    #[serde(skip)]
+    pub idle_histograms: Vec<[IdleHistogram; 5]>,
+}
+
+impl NetworkStats {
+    /// Creates zeroed stats for `routers` routers.
+    pub fn new(routers: usize, histogram_cap: usize) -> Self {
+        NetworkStats {
+            measured_cycles: 0,
+            packets_injected: 0,
+            packets_delivered: 0,
+            flits_delivered: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            router_activity: vec![RouterActivity::default(); routers],
+            idle_histograms: (0..routers)
+                .map(|_| std::array::from_fn(|_| IdleHistogram::new(histogram_cap)))
+                .collect(),
+        }
+    }
+
+    /// Mean packet latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return 0.0;
+        }
+        self.latency_sum as f64 / self.packets_delivered as f64
+    }
+
+    /// Delivered flits per router per cycle — the standard accepted
+    /// throughput metric.
+    pub fn throughput(&self) -> f64 {
+        if self.measured_cycles == 0 || self.router_activity.is_empty() {
+            return 0.0;
+        }
+        self.flits_delivered as f64
+            / (self.measured_cycles as f64 * self.router_activity.len() as f64)
+    }
+
+    /// Merges all routers' per-port histograms into one network-wide
+    /// distribution.
+    pub fn merged_idle_histogram(&self, cap: usize) -> IdleHistogram {
+        let mut merged = IdleHistogram::new(cap);
+        for per_router in &self.idle_histograms {
+            for h in per_router {
+                // Re-record through the public API so differing caps are
+                // tolerated.
+                for (len, count) in h.iter_lengths() {
+                    for _ in 0..count {
+                        merged.record(len);
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// Network-wide crossbar-output utilization: fraction of
+    /// router-output-cycles that carried a flit.
+    pub fn crossbar_utilization(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        let traversals: u64 = self
+            .router_activity
+            .iter()
+            .map(|a| a.crossbar_traversals)
+            .sum();
+        traversals as f64
+            / (self.measured_cycles as f64 * self.router_activity.len() as f64 * 5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_stats_are_safe() {
+        let s = NetworkStats::new(4, 64);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.crossbar_utilization(), 0.0);
+    }
+
+    #[test]
+    fn merged_histogram_accumulates() {
+        let mut s = NetworkStats::new(2, 64);
+        s.idle_histograms[0][0].record(5);
+        s.idle_histograms[1][3].record(5);
+        s.idle_histograms[1][3].record(7);
+        let merged = s.merged_idle_histogram(64);
+        assert_eq!(merged.interval_count(), 3);
+        assert_eq!(merged.total_idle_cycles(), 17);
+    }
+
+    #[test]
+    fn latency_math() {
+        let mut s = NetworkStats::new(1, 8);
+        s.packets_delivered = 4;
+        s.latency_sum = 40;
+        assert!((s.avg_latency() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! 2-D mesh topology and port directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Router port direction; `Local` is the PE port of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward smaller y.
+    North,
+    /// Toward larger y.
+    South,
+    /// Toward larger x.
+    East,
+    /// Toward smaller x.
+    West,
+    /// The local processing element.
+    Local,
+}
+
+impl Direction {
+    /// All five directions, Local last.
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// Index into per-port arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The port on the neighbouring router that a flit sent out of this
+    /// port arrives on.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `width × height` mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Routers per row.
+    pub width: usize,
+    /// Routers per column.
+    pub height: usize,
+}
+
+impl Mesh {
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `true` for a degenerate empty mesh.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Router id at coordinates.
+    pub fn id(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Coordinates of a router id.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        (id % self.width, id / self.width)
+    }
+
+    /// The neighbour of `id` in `dir`, if it exists.
+    pub fn neighbor(&self, id: usize, dir: Direction) -> Option<usize> {
+        let (x, y) = self.coords(id);
+        match dir {
+            Direction::North => (y > 0).then(|| self.id(x, y - 1)),
+            Direction::South => (y + 1 < self.height).then(|| self.id(x, y + 1)),
+            Direction::East => (x + 1 < self.width).then(|| self.id(x + 1, y)),
+            Direction::West => (x > 0).then(|| self.id(x - 1, y)),
+            Direction::Local => None,
+        }
+    }
+
+    /// Dimension-order (XY) routing: the output direction a flit at
+    /// router `here` must take toward `dst`.
+    pub fn route_xy(&self, here: usize, dst: usize) -> Direction {
+        let (hx, hy) = self.coords(here);
+        let (dx, dy) = self.coords(dst);
+        if hx < dx {
+            Direction::East
+        } else if hx > dx {
+            Direction::West
+        } else if hy < dy {
+            Direction::South
+        } else if hy > dy {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Manhattan hop distance.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_coords_roundtrip() {
+        let m = Mesh {
+            width: 4,
+            height: 3,
+        };
+        for id in 0..m.len() {
+            let (x, y) = m.coords(id);
+            assert_eq!(m.id(x, y), id);
+        }
+    }
+
+    #[test]
+    fn edges_have_no_neighbors() {
+        let m = Mesh {
+            width: 3,
+            height: 3,
+        };
+        assert_eq!(m.neighbor(m.id(0, 0), Direction::North), None);
+        assert_eq!(m.neighbor(m.id(0, 0), Direction::West), None);
+        assert_eq!(
+            m.neighbor(m.id(0, 0), Direction::East),
+            Some(m.id(1, 0))
+        );
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let m = Mesh {
+            width: 4,
+            height: 4,
+        };
+        let here = m.id(0, 0);
+        let dst = m.id(2, 3);
+        assert_eq!(m.route_xy(here, dst), Direction::East);
+        let mid = m.id(2, 0);
+        assert_eq!(m.route_xy(mid, dst), Direction::South);
+        assert_eq!(m.route_xy(dst, dst), Direction::Local);
+    }
+
+    #[test]
+    fn xy_terminates_at_destination() {
+        // Following route_xy always reaches dst in hops() steps.
+        let m = Mesh {
+            width: 5,
+            height: 4,
+        };
+        for src in 0..m.len() {
+            for dst in 0..m.len() {
+                let mut here = src;
+                let mut steps = 0;
+                while here != dst {
+                    let dir = m.route_xy(here, dst);
+                    here = m.neighbor(here, dir).expect("route stays in mesh");
+                    steps += 1;
+                    assert!(steps <= m.hops(src, dst), "no detours in DOR");
+                }
+                assert_eq!(steps, m.hops(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Breakeven (minimum idle time) arithmetic.
+//!
+//! Table 1 defines *Minimum Idle Time* as "the minimum amount of time
+//! that a circuit stays in idle so that the leakage saved in standby
+//! mode is more than the switching power penalty". This module exposes
+//! that arithmetic as plain functions so the bench harness can sweep it
+//! over clock frequency (experiment X1) and so the gating policies can
+//! derive their thresholds.
+
+use lnoc_tech::units::{Hertz, Joules, Seconds, Watts};
+
+/// Minimum number of whole clock cycles a standby period must last to
+/// recoup `e_transition`, given the leakage power saved while slept.
+///
+/// Returns `u32::MAX` when the savings rate is not positive.
+pub fn min_idle_cycles(e_transition: Joules, p_saved: Watts, clock: Hertz) -> u32 {
+    if p_saved.0 <= 0.0 || e_transition.0 < 0.0 {
+        return u32::MAX;
+    }
+    let breakeven_seconds = e_transition.0 / p_saved.0;
+    (breakeven_seconds * clock.0).ceil() as u32
+}
+
+/// Breakeven time as a duration rather than cycles.
+pub fn breakeven_time(e_transition: Joules, p_saved: Watts) -> Option<Seconds> {
+    (p_saved.0 > 0.0).then(|| Seconds(e_transition.0 / p_saved.0))
+}
+
+/// Sweeps [`min_idle_cycles`] across clock frequencies.
+pub fn breakeven_curve(
+    e_transition: Joules,
+    p_saved: Watts,
+    clocks: &[Hertz],
+) -> Vec<(Hertz, u32)> {
+    clocks
+        .iter()
+        .map(|&f| (f, min_idle_cycles(e_transition, p_saved, f)))
+        .collect()
+}
+
+/// Net energy saved (signed) by sleeping through an idle interval of
+/// `interval_cycles`, instead of idling awake.
+pub fn net_saving(
+    e_transition: Joules,
+    p_saved: Watts,
+    interval_cycles: u64,
+    clock: Hertz,
+) -> Joules {
+    let idle_time = interval_cycles as f64 / clock.0;
+    Joules(p_saved.0 * idle_time - e_transition.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakeven_matches_hand_calculation() {
+        // 10 fJ penalty, 10 µW saved → 1 ns breakeven → 3 cycles at 3 GHz.
+        let cycles = min_idle_cycles(Joules(10.0e-15), Watts(10.0e-6), Hertz(3.0e9));
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    fn zero_savings_never_breaks_even() {
+        assert_eq!(
+            min_idle_cycles(Joules(1.0e-15), Watts(0.0), Hertz(3.0e9)),
+            u32::MAX
+        );
+        assert!(breakeven_time(Joules(1.0e-15), Watts(-1.0)).is_none());
+    }
+
+    #[test]
+    fn higher_clock_means_more_cycles() {
+        let slow = min_idle_cycles(Joules(10.0e-15), Watts(5.0e-6), Hertz(1.0e9));
+        let fast = min_idle_cycles(Joules(10.0e-15), Watts(5.0e-6), Hertz(5.0e9));
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn curve_covers_all_clocks() {
+        let clocks = [Hertz(1.0e9), Hertz(2.0e9), Hertz(3.0e9)];
+        let curve = breakeven_curve(Joules(5.0e-15), Watts(5.0e-6), &clocks);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn net_saving_sign_flips_at_breakeven() {
+        let e = Joules(10.0e-15);
+        let p = Watts(10.0e-6);
+        let clock = Hertz(3.0e9);
+        // Breakeven at 3 cycles: 2 cycles loses, 4 gains.
+        assert!(net_saving(e, p, 2, clock).0 < 0.0);
+        assert!(net_saving(e, p, 4, clock).0 > 0.0);
+    }
+}

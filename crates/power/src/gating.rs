@@ -1,0 +1,348 @@
+//! Power-gating policy evaluation over idle-interval distributions.
+//!
+//! The paper stops at the circuit-level breakeven (Minimum Idle Time).
+//! A router only realizes those savings if its idle intervals are
+//! actually longer than the breakeven — which depends on traffic. This
+//! module evaluates sleep policies against measured idle-interval
+//! histograms (produced by [`lnoc_netsim`]'s router statistics):
+//!
+//! * [`GatingPolicy::Never`] — baseline, no gating.
+//! * [`GatingPolicy::Immediate`] — sleep the moment the port goes idle
+//!   (pays the transition penalty on every interval, including losing
+//!   ones shorter than the breakeven).
+//! * [`GatingPolicy::IdleThreshold`] — sleep after `n` idle cycles
+//!   (the paper's implied policy: "while a router will be idle for a
+//!   given amount of idle time, the sleep signal is set to HIGH").
+//! * [`GatingPolicy::Oracle`] — sleeps from cycle 0 exactly on the
+//!   intervals where sleeping wins; upper bound on any policy.
+
+use crate::breakeven::min_idle_cycles;
+use lnoc_tech::units::{Hertz, Joules, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scheme-level inputs to gating evaluation, normally derived from a
+/// [`lnoc_core::characterize::SchemeCharacterization`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatingParams {
+    /// Leakage power while idle but awake (W) for the gated block.
+    pub p_idle_awake: Watts,
+    /// Leakage power in standby (W).
+    pub p_standby: Watts,
+    /// Energy to enter + exit standby (J).
+    pub e_transition: Joules,
+    /// Cycles needed to wake before the block can be used again.
+    pub wake_latency_cycles: u32,
+}
+
+impl GatingParams {
+    /// Leakage power saved per second of standby.
+    pub fn p_saved(&self) -> Watts {
+        Watts(self.p_idle_awake.0 - self.p_standby.0)
+    }
+
+    /// The Table 1 minimum idle time at a clock.
+    pub fn min_idle_cycles(&self, clock: Hertz) -> u32 {
+        min_idle_cycles(self.e_transition, self.p_saved(), clock)
+    }
+}
+
+/// When to assert the sleep signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatingPolicy {
+    /// Never sleep.
+    Never,
+    /// Sleep as soon as the block idles.
+    Immediate,
+    /// Sleep after this many consecutive idle cycles.
+    IdleThreshold(u32),
+    /// Perfect knowledge of interval lengths (upper bound).
+    Oracle,
+}
+
+impl fmt::Display for GatingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatingPolicy::Never => write!(f, "never"),
+            GatingPolicy::Immediate => write!(f, "immediate"),
+            GatingPolicy::IdleThreshold(n) => write!(f, "threshold({n})"),
+            GatingPolicy::Oracle => write!(f, "oracle"),
+        }
+    }
+}
+
+/// Histogram of idle-interval lengths in cycles.
+///
+/// Bin `k` counts intervals of exactly `k` cycles (bin 0 unused); a
+/// final overflow bin aggregates everything ≥ the configured cap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleHistogram {
+    counts: Vec<u64>,
+    overflow_len_sum: u64,
+}
+
+impl IdleHistogram {
+    /// Creates a histogram tracking interval lengths up to `max_len`.
+    pub fn new(max_len: usize) -> Self {
+        IdleHistogram {
+            counts: vec![0; max_len + 1],
+            overflow_len_sum: 0,
+        }
+    }
+
+    /// Records one idle interval of `len` cycles (0-length ignored).
+    pub fn record(&mut self, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let cap = self.counts.len() as u64 - 1;
+        if len >= cap {
+            *self.counts.last_mut().expect("non-empty") += 1;
+            self.overflow_len_sum += len;
+        } else {
+            self.counts[len as usize] += 1;
+        }
+    }
+
+    /// Number of recorded intervals.
+    pub fn interval_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total idle cycles across all intervals.
+    pub fn total_idle_cycles(&self) -> u64 {
+        let cap = self.counts.len() - 1;
+        let in_bins: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .take(cap)
+            .map(|(len, &n)| len as u64 * n)
+            .sum();
+        in_bins + self.overflow_len_sum
+    }
+
+    /// Iterates `(interval_length, count)` pairs including the overflow
+    /// bin (reported at its average length).
+    pub fn iter_lengths(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let cap = self.counts.len() - 1;
+        let overflow_n = self.counts[cap];
+        let overflow_avg = if overflow_n > 0 {
+            self.overflow_len_sum / overflow_n
+        } else {
+            0
+        };
+        self.counts
+            .iter()
+            .enumerate()
+            .take(cap)
+            .filter(|(_, &n)| n > 0)
+            .map(|(len, &n)| (len as u64, n))
+            .chain((overflow_n > 0).then_some((overflow_avg, overflow_n)))
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bin counts.
+    pub fn merge(&mut self, other: &IdleHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow_len_sum += other.overflow_len_sum;
+    }
+}
+
+/// Result of evaluating a policy against a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatingOutcome {
+    /// Leakage energy with no gating at all (J).
+    pub energy_never: Joules,
+    /// Leakage + transition energy under the policy (J).
+    pub energy_policy: Joules,
+    /// Number of sleep transitions taken.
+    pub sleep_events: u64,
+    /// Cycles of added wake latency summed over all sleeps.
+    pub wake_penalty_cycles: u64,
+}
+
+impl GatingOutcome {
+    /// Fraction of the no-gating leakage energy that the policy saved.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.energy_never.0 <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_policy.0 / self.energy_never.0
+    }
+}
+
+/// Evaluates a policy against an idle histogram.
+pub fn evaluate_policy(
+    hist: &IdleHistogram,
+    params: &GatingParams,
+    policy: GatingPolicy,
+    clock: Hertz,
+) -> GatingOutcome {
+    let t_cycle = 1.0 / clock.0;
+    let p_idle = params.p_idle_awake.0;
+    let p_standby = params.p_standby.0;
+    let e_trans = params.e_transition.0;
+    let breakeven = params.min_idle_cycles(clock) as u64;
+
+    let mut energy_never = 0.0;
+    let mut energy_policy = 0.0;
+    let mut sleep_events = 0u64;
+    let mut wake_penalty = 0u64;
+
+    for (len, count) in hist.iter_lengths() {
+        let n = count as f64;
+        energy_never += n * len as f64 * t_cycle * p_idle;
+
+        // Cycle at which the policy assert sleep, if at all.
+        let sleep_at: Option<u64> = match policy {
+            GatingPolicy::Never => None,
+            GatingPolicy::Immediate => Some(0),
+            GatingPolicy::IdleThreshold(th) => (len > th as u64).then_some(th as u64),
+            GatingPolicy::Oracle => (len >= breakeven.max(1)).then_some(0),
+        };
+
+        match sleep_at {
+            None => energy_policy += n * len as f64 * t_cycle * p_idle,
+            Some(s) => {
+                let awake = s.min(len) as f64;
+                let slept = (len - s.min(len)) as f64;
+                energy_policy +=
+                    n * (awake * t_cycle * p_idle + slept * t_cycle * p_standby + e_trans);
+                sleep_events += count;
+                wake_penalty += count * params.wake_latency_cycles as u64;
+            }
+        }
+    }
+
+    GatingOutcome {
+        energy_never: Joules(energy_never),
+        energy_policy: Joules(energy_policy),
+        sleep_events,
+        wake_penalty_cycles: wake_penalty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GatingParams {
+        GatingParams {
+            p_idle_awake: Watts(10.0e-6),
+            p_standby: Watts(1.0e-6),
+            e_transition: Joules(9.0e-15),
+            wake_latency_cycles: 1,
+        }
+    }
+
+    fn clock() -> Hertz {
+        Hertz(3.0e9)
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = IdleHistogram::new(16);
+        h.record(3);
+        h.record(3);
+        h.record(100); // overflow
+        h.record(0); // ignored
+        assert_eq!(h.interval_count(), 3);
+        assert_eq!(h.total_idle_cycles(), 106);
+        let lengths: Vec<_> = h.iter_lengths().collect();
+        assert!(lengths.contains(&(3, 2)));
+        assert!(lengths.contains(&(100, 1)));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IdleHistogram::new(8);
+        a.record(2);
+        let mut b = IdleHistogram::new(8);
+        b.record(2);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.interval_count(), 3);
+        assert_eq!(a.total_idle_cycles(), 9);
+    }
+
+    #[test]
+    fn never_policy_saves_nothing() {
+        let mut h = IdleHistogram::new(64);
+        h.record(10);
+        let out = evaluate_policy(&h, &params(), GatingPolicy::Never, clock());
+        assert_eq!(out.energy_never, out.energy_policy);
+        assert_eq!(out.sleep_events, 0);
+        assert!((out.savings_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_never_loses() {
+        // Mixture of short (losing) and long (winning) intervals.
+        let mut h = IdleHistogram::new(64);
+        for _ in 0..100 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(50);
+        }
+        let p = params();
+        let oracle = evaluate_policy(&h, &p, GatingPolicy::Oracle, clock());
+        let immediate = evaluate_policy(&h, &p, GatingPolicy::Immediate, clock());
+        assert!(oracle.savings_fraction() >= 0.0);
+        assert!(oracle.savings_fraction() >= immediate.savings_fraction());
+    }
+
+    #[test]
+    fn immediate_loses_on_short_intervals() {
+        // All intervals shorter than breakeven: immediate gating must
+        // cost energy (negative savings).
+        let mut h = IdleHistogram::new(16);
+        for _ in 0..100 {
+            h.record(1);
+        }
+        let p = params();
+        assert!(p.min_idle_cycles(clock()) > 1);
+        let out = evaluate_policy(&h, &p, GatingPolicy::Immediate, clock());
+        assert!(out.savings_fraction() < 0.0);
+    }
+
+    #[test]
+    fn threshold_skips_short_intervals() {
+        let mut h = IdleHistogram::new(64);
+        for _ in 0..100 {
+            h.record(2);
+        }
+        for _ in 0..10 {
+            h.record(40);
+        }
+        let p = params();
+        let th = evaluate_policy(&h, &p, GatingPolicy::IdleThreshold(4), clock());
+        // Only the 10 long intervals trigger sleep.
+        assert_eq!(th.sleep_events, 10);
+        assert!(th.savings_fraction() > 0.0);
+    }
+
+    #[test]
+    fn wake_penalty_counts_events() {
+        let mut h = IdleHistogram::new(64);
+        for _ in 0..5 {
+            h.record(30);
+        }
+        let out = evaluate_policy(&h, &params(), GatingPolicy::Immediate, clock());
+        assert_eq!(out.sleep_events, 5);
+        assert_eq!(out.wake_penalty_cycles, 5);
+    }
+
+    #[test]
+    fn min_idle_cycles_from_params() {
+        // 9 fJ / 9 µW = 1 ns = 3 cycles at 3 GHz.
+        assert_eq!(params().min_idle_cycles(clock()), 3);
+    }
+}

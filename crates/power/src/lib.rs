@@ -1,0 +1,27 @@
+//! # lnoc-power — power accounting and power-gating policies
+//!
+//! Builds on the circuit-level characterizations of [`lnoc_core`] to
+//! answer the system-level questions the paper raises but does not
+//! evaluate: *given a scheme's standby savings, transition energy and
+//! minimum idle time, how much leakage does a router actually save under
+//! real idle-interval distributions?*
+//!
+//! * [`breakeven`] — the minimum-idle-time arithmetic of Table 1 as a
+//!   reusable function of clock frequency (experiment X1).
+//! * [`gating`] — sleep policies (never / immediate / idle-threshold /
+//!   oracle) evaluated against idle-interval histograms.
+//! * [`router`] — an Orion-style router power model with the crossbar
+//!   component supplied by a scheme characterization.
+//! * [`report`] — small fixed-width text tables for the bench harnesses.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod breakeven;
+pub mod gating;
+pub mod report;
+pub mod router;
+
+pub use breakeven::{breakeven_curve, min_idle_cycles};
+pub use gating::{GatingOutcome, GatingParams, GatingPolicy, IdleHistogram};
+pub use router::{RouterActivity, RouterPowerBreakdown, RouterPowerModel};

@@ -1,0 +1,112 @@
+//! Minimal fixed-width text tables for the bench harnesses.
+
+use std::fmt;
+
+/// A simple left-padded text table.
+///
+/// # Example
+///
+/// ```
+/// use lnoc_power::report::TextTable;
+/// let mut t = TextTable::new(vec!["scheme".into(), "power".into()]);
+/// t.row(vec!["SC".into(), "182.81 mW".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("SC"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, "{cell:>width$}  ", width = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: String = widths.iter().map(|w| "-".repeat(*w) + "  ").collect();
+        writeln!(f, "{rule}")?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "bbb".into()]);
+        t.row(vec!["12345".into(), "x".into()]);
+        let s = t.to_string();
+        assert!(s.contains("12345"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn empty_reports_no_rows() {
+        let t = TextTable::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

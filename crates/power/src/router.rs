@@ -1,0 +1,277 @@
+//! Orion-style router power model.
+//!
+//! Rolls a full router's power up from per-event energies: buffer
+//! writes/reads, arbitration, crossbar traversals and link traversals,
+//! plus leakage for each block. The crossbar component comes straight
+//! from a scheme characterization; the other components use documented
+//! analytic estimates (they are identical across schemes, so every
+//! scheme comparison cancels them out — they exist to keep the totals at
+//! router scale).
+
+use crate::gating::GatingParams;
+use lnoc_core::characterize::SchemeCharacterization;
+use lnoc_core::config::CrossbarConfig;
+use lnoc_tech::units::{Hertz, Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies and per-block leakage of one router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterPowerModel {
+    /// Energy per flit written into an input buffer (J).
+    pub e_buffer_write: Joules,
+    /// Energy per flit read from an input buffer (J).
+    pub e_buffer_read: Joules,
+    /// Energy per switch arbitration (J).
+    pub e_arbitration: Joules,
+    /// Energy per flit crossing the crossbar (J).
+    pub e_crossbar: Joules,
+    /// Energy per flit leaving on an output link (J).
+    pub e_link: Joules,
+    /// Leakage of all buffers (W).
+    pub p_buffer_leak: Watts,
+    /// Crossbar leakage when carrying traffic (W).
+    pub p_crossbar_active_leak: Watts,
+    /// Crossbar leakage when idle but awake (W).
+    pub p_crossbar_idle_leak: Watts,
+    /// Crossbar leakage in standby (W).
+    pub p_crossbar_standby_leak: Watts,
+    /// Crossbar standby entry/exit energy, whole crossbar (J).
+    pub e_crossbar_transition: Joules,
+    /// Leakage of everything else (arbiter, pipeline registers) (W).
+    pub p_other_leak: Watts,
+    /// Clock frequency the energies were characterized at.
+    pub clock: Hertz,
+}
+
+impl RouterPowerModel {
+    /// Builds the model from a crossbar characterization.
+    ///
+    /// Buffer and link numbers follow the usual Orion-style estimates:
+    /// an input buffer holds 4 flits of `flit_bits` SRAM at ~1 fJ/bit
+    /// per access; a link is one crossbar-span wire at full swing.
+    pub fn from_characterization(ch: &SchemeCharacterization, cfg: &CrossbarConfig) -> Self {
+        let bits = cfg.flit_bits as f64;
+        let vdd = cfg.vdd().0;
+        // One crossbar traversal = every bit slice of one output doing
+        // one evaluated cycle.
+        let e_crossbar = ch.dynamic_energy_per_cycle.0 * bits;
+        // Link: full-span wire + receiver, α = ½ over the flit.
+        let c_link = cfg.output_wire().total_capacitance().0 + cfg.c_receiver;
+        let e_link = 0.5 * bits * c_link * vdd * vdd;
+        // SRAM-style buffer access ≈ 1 fJ/bit in 45 nm.
+        let e_access = 1.0e-15 * bits;
+        // Buffer leakage: 5 ports × 4 flits of SRAM, ~25 % of the
+        // crossbar's SC-level idle leakage in this technology (the paper
+        // cites [1] for buffer leakage work; we only need a stable,
+        // scheme-independent background).
+        let p_buffer_leak = Watts(0.25 * ch.idle_awake_leakage.0.max(1.0e-6));
+        RouterPowerModel {
+            e_buffer_write: Joules(e_access),
+            e_buffer_read: Joules(e_access),
+            e_arbitration: Joules(20.0e-15),
+            e_crossbar: Joules(e_crossbar),
+            e_link: Joules(e_link),
+            p_buffer_leak,
+            p_crossbar_active_leak: ch.active_leakage,
+            p_crossbar_idle_leak: ch.idle_awake_leakage,
+            p_crossbar_standby_leak: ch.standby_leakage,
+            e_crossbar_transition: Joules(ch.transition_energy.0 * bits),
+            p_other_leak: Watts(0.1e-3),
+            clock: cfg.clock,
+        }
+    }
+
+    /// Gating parameters for one crossbar *output port* (1/radix of the
+    /// crossbar), as used by the per-port sleep controllers.
+    pub fn port_gating_params(&self, radix: usize) -> GatingParams {
+        let r = radix as f64;
+        GatingParams {
+            p_idle_awake: Watts(self.p_crossbar_idle_leak.0 / r),
+            p_standby: Watts(self.p_crossbar_standby_leak.0 / r),
+            e_transition: Joules(self.e_crossbar_transition.0 / r),
+            wake_latency_cycles: 1,
+        }
+    }
+}
+
+/// Activity counters accumulated by a router over a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RouterActivity {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Flits written into input buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of input buffers.
+    pub buffer_reads: u64,
+    /// Switch arbitrations performed.
+    pub arbitrations: u64,
+    /// Flits that crossed the crossbar.
+    pub crossbar_traversals: u64,
+    /// Flits sent on output links.
+    pub link_traversals: u64,
+}
+
+/// Power breakdown of one router under a given activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterPowerBreakdown {
+    /// Buffer dynamic power (W).
+    pub buffers: Watts,
+    /// Arbiter dynamic power (W).
+    pub arbiter: Watts,
+    /// Crossbar dynamic power (W).
+    pub crossbar_dynamic: Watts,
+    /// Crossbar leakage power (W), activity-weighted.
+    pub crossbar_leakage: Watts,
+    /// Link dynamic power (W).
+    pub links: Watts,
+    /// Everything-else leakage (W).
+    pub other_leakage: Watts,
+}
+
+impl RouterPowerBreakdown {
+    /// Total router power.
+    pub fn total(&self) -> Watts {
+        Watts(
+            self.buffers.0
+                + self.arbiter.0
+                + self.crossbar_dynamic.0
+                + self.crossbar_leakage.0
+                + self.links.0
+                + self.other_leakage.0,
+        )
+    }
+}
+
+impl RouterPowerModel {
+    /// Computes the average power of a router with the given activity.
+    ///
+    /// The crossbar leakage is utilization-weighted between its active
+    /// and idle-awake levels (gating savings are evaluated separately by
+    /// [`crate::gating::evaluate_policy`]).
+    pub fn power(&self, activity: &RouterActivity) -> RouterPowerBreakdown {
+        if activity.cycles == 0 {
+            return RouterPowerBreakdown {
+                buffers: Watts(0.0),
+                arbiter: Watts(0.0),
+                crossbar_dynamic: Watts(0.0),
+                crossbar_leakage: Watts(0.0),
+                links: Watts(0.0),
+                other_leakage: self.p_other_leak,
+            };
+        }
+        let t_total = activity.cycles as f64 / self.clock.0;
+        let per = |events: u64, e: Joules| Watts(events as f64 * e.0 / t_total);
+        let utilization =
+            (activity.crossbar_traversals as f64 / activity.cycles as f64).clamp(0.0, 1.0);
+        RouterPowerBreakdown {
+            buffers: Watts(
+                per(activity.buffer_writes, self.e_buffer_write).0
+                    + per(activity.buffer_reads, self.e_buffer_read).0
+                    + self.p_buffer_leak.0,
+            ),
+            arbiter: per(activity.arbitrations, self.e_arbitration),
+            crossbar_dynamic: per(activity.crossbar_traversals, self.e_crossbar),
+            crossbar_leakage: Watts(
+                utilization * self.p_crossbar_active_leak.0
+                    + (1.0 - utilization) * self.p_crossbar_idle_leak.0,
+            ),
+            links: per(activity.link_traversals, self.e_link),
+            other_leakage: self.p_other_leak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RouterPowerModel {
+        RouterPowerModel {
+            e_buffer_write: Joules(128.0e-15),
+            e_buffer_read: Joules(128.0e-15),
+            e_arbitration: Joules(20.0e-15),
+            e_crossbar: Joules(5.0e-12),
+            e_link: Joules(3.0e-12),
+            p_buffer_leak: Watts(1.0e-3),
+            p_crossbar_active_leak: Watts(4.0e-3),
+            p_crossbar_idle_leak: Watts(3.0e-3),
+            p_crossbar_standby_leak: Watts(0.5e-3),
+            e_crossbar_transition: Joules(5.0e-12),
+            p_other_leak: Watts(0.1e-3),
+            clock: Hertz(3.0e9),
+        }
+    }
+
+    #[test]
+    fn zero_activity_is_leakage_only() {
+        let p = model().power(&RouterActivity::default());
+        assert_eq!(p.crossbar_dynamic.0, 0.0);
+        assert!(p.total().0 > 0.0);
+    }
+
+    #[test]
+    fn busier_router_burns_more() {
+        let m = model();
+        let quiet = m.power(&RouterActivity {
+            cycles: 1000,
+            crossbar_traversals: 10,
+            buffer_writes: 10,
+            buffer_reads: 10,
+            arbitrations: 10,
+            link_traversals: 10,
+        });
+        let busy = m.power(&RouterActivity {
+            cycles: 1000,
+            crossbar_traversals: 800,
+            buffer_writes: 800,
+            buffer_reads: 800,
+            arbitrations: 800,
+            link_traversals: 800,
+        });
+        assert!(busy.total().0 > quiet.total().0);
+        assert!(busy.crossbar_dynamic.0 > 10.0 * quiet.crossbar_dynamic.0);
+    }
+
+    #[test]
+    fn leakage_interpolates_with_utilization() {
+        let m = model();
+        let idle = m.power(&RouterActivity {
+            cycles: 1000,
+            ..Default::default()
+        });
+        assert!((idle.crossbar_leakage.0 - 3.0e-3).abs() < 1e-9);
+        let full = m.power(&RouterActivity {
+            cycles: 1000,
+            crossbar_traversals: 1000,
+            ..Default::default()
+        });
+        assert!((full.crossbar_leakage.0 - 4.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_gating_params_divide_by_radix() {
+        let g = model().port_gating_params(5);
+        assert!((g.p_idle_awake.0 - 3.0e-3 / 5.0).abs() < 1e-12);
+        assert!((g.e_transition.0 - 1.0e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn breakdown_total_adds_up() {
+        let m = model();
+        let p = m.power(&RouterActivity {
+            cycles: 100,
+            crossbar_traversals: 50,
+            buffer_writes: 50,
+            buffer_reads: 50,
+            arbitrations: 60,
+            link_traversals: 50,
+        });
+        let sum = p.buffers.0
+            + p.arbiter.0
+            + p.crossbar_dynamic.0
+            + p.crossbar_leakage.0
+            + p.links.0
+            + p.other_leakage.0;
+        assert!((p.total().0 - sum).abs() < 1e-15);
+    }
+}

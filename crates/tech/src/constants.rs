@@ -1,0 +1,44 @@
+//! Physical constants used by the device and interconnect models.
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge (C).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity (F/m).
+pub const EPSILON_0: f64 = 8.854_187_8128e-12;
+
+/// Relative permittivity of SiO₂.
+pub const EPSILON_R_SIO2: f64 = 3.9;
+
+/// Effective resistivity of damascene copper including barrier/liner
+/// (Ω·m). ITRS quotes 2.2 µΩ·cm for the 45 nm generation.
+pub const RHO_COPPER_EFF: f64 = 2.2e-8;
+
+/// Thermal voltage kT/q at temperature `t_kelvin`.
+#[inline]
+pub fn thermal_voltage(t_kelvin: f64) -> f64 {
+    BOLTZMANN * t_kelvin / ELEMENTARY_CHARGE
+}
+
+/// Room temperature, 300.15 K (27 °C): the default characterization point.
+pub const ROOM_TEMPERATURE_K: f64 = 300.15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(ROOM_TEMPERATURE_K);
+        assert!((vt - 0.02587).abs() < 2e-4, "vT(300K) ≈ 25.9 mV, got {vt}");
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let a = thermal_voltage(300.0);
+        let b = thermal_voltage(600.0);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Process corners and temperature points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classic three-corner process model.
+///
+/// Corners scale threshold voltage and transconductance of every device
+/// flavour coherently; the paper reports typical-corner numbers, so
+/// [`Corner::Tt`] is the default everywhere, with FF/SS available for
+/// sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Corner {
+    /// Typical NMOS, typical PMOS.
+    #[default]
+    Tt,
+    /// Fast–fast: lower Vth, higher mobility — fastest, leakiest.
+    Ff,
+    /// Slow–slow: higher Vth, lower mobility — slowest, least leaky.
+    Ss,
+}
+
+impl Corner {
+    /// Additive threshold-voltage shift for this corner (V).
+    pub fn vth_shift(self) -> f64 {
+        match self {
+            Corner::Tt => 0.0,
+            Corner::Ff => -0.03,
+            Corner::Ss => 0.03,
+        }
+    }
+
+    /// Multiplicative transconductance factor for this corner.
+    pub fn k_prime_factor(self) -> f64 {
+        match self {
+            Corner::Tt => 1.0,
+            Corner::Ff => 1.08,
+            Corner::Ss => 0.92,
+        }
+    }
+
+    /// All corners, for sweeps.
+    pub const ALL: [Corner; 3] = [Corner::Tt, Corner::Ff, Corner::Ss];
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+            Corner::Ss => "SS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A temperature point, stored in kelvin.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Room temperature (27 °C), the default characterization point.
+    pub const ROOM: Temperature = Temperature(300.15);
+
+    /// Typical worst-case operating temperature for leakage sign-off.
+    pub const HOT: Temperature = Temperature(383.15); // 110 °C
+
+    /// Creates a temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive and finite.
+    pub fn from_kelvin(k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "temperature must be positive");
+        Temperature(k)
+    }
+
+    /// Creates a temperature from degrees Celsius.
+    pub fn from_celsius(c: f64) -> Self {
+        Self::from_kelvin(c + 273.15)
+    }
+
+    /// Value in kelvin.
+    pub fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Value in degrees Celsius.
+    pub fn celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+}
+
+impl Default for Temperature {
+    fn default() -> Self {
+        Temperature::ROOM
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} °C", self.celsius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_ordering_of_vth() {
+        assert!(Corner::Ff.vth_shift() < Corner::Tt.vth_shift());
+        assert!(Corner::Tt.vth_shift() < Corner::Ss.vth_shift());
+    }
+
+    #[test]
+    fn celsius_kelvin_roundtrip() {
+        let t = Temperature::from_celsius(110.0);
+        assert!((t.kelvin() - 383.15).abs() < 1e-9);
+        assert!((t.celsius() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn negative_kelvin_panics() {
+        let _ = Temperature::from_kelvin(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Temperature::ROOM.to_string(), "27.0 °C");
+        assert_eq!(Corner::Tt.to_string(), "TT");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for technology-model construction and lookup.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying technology models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// A device or wire parameter was outside its physically meaningful
+    /// range (e.g. a non-positive width).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be positive"`.
+        constraint: &'static str,
+    },
+    /// A requested wire layer class is not defined for this node.
+    UnknownLayer {
+        /// The requested layer name.
+        layer: String,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(f, "invalid parameter `{name}` = {value}: {constraint}")
+            }
+            TechError::UnknownLayer { layer } => {
+                write!(f, "unknown interconnect layer `{layer}`")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TechError::InvalidParameter {
+            name: "width",
+            value: -1.0,
+            constraint: "must be positive",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("width"));
+        assert!(msg.contains("must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

@@ -1,0 +1,317 @@
+//! ITRS wire geometry and BPTM-style predictive R/C extraction.
+//!
+//! The paper: *"The interconnect properties, such as wire pitch, space,
+//! aspect ratio, and dielectric material parameters, are based on the
+//! ITRS roadmap. We predict the interconnect resistance and capacitance
+//! by the interconnect model of Berkeley Predictive Technology Model
+//! (BPTM)."*
+//!
+//! We implement both directly: geometry tables live in
+//! [`crate::node45::Node45::wire_geometry`], and this module provides the
+//! closed-form BPTM per-unit-length formulas
+//! (Wong/Cao-style empirical fits for a wire running between two ground
+//! planes with lateral neighbours on both sides) plus a [`Wire`] helper
+//! that expands a wire into the RC π-ladder consumed by the circuit
+//! simulator.
+
+use crate::constants::EPSILON_0;
+use crate::units::{Farads, Meters, Ohms, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Interconnect layer class, in the ITRS local/intermediate/global
+/// taxonomy. Crossbar wires in a router are intermediate-layer wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerClass {
+    /// M1-class local wiring (tightest pitch).
+    Local,
+    /// Intermediate routing layers — used for the crossbar spans.
+    Intermediate,
+    /// Top-level global wiring (widest, thickest).
+    Global,
+}
+
+impl fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerClass::Local => "local",
+            LayerClass::Intermediate => "intermediate",
+            LayerClass::Global => "global",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Physical cross-section of a wire on some layer. All lengths in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireGeometry {
+    /// Layer class this geometry describes.
+    pub class: LayerClass,
+    /// Drawn wire width.
+    pub width: f64,
+    /// Space to each lateral neighbour.
+    pub spacing: f64,
+    /// Metal thickness.
+    pub thickness: f64,
+    /// Dielectric height to the ground plane above/below.
+    pub height_above_plane: f64,
+    /// Effective relative permittivity of the inter-layer dielectric.
+    pub dielectric_k: f64,
+    /// Effective conductor resistivity (Ω·m), barrier included.
+    pub resistivity: f64,
+}
+
+impl WireGeometry {
+    /// Wire pitch (width + spacing).
+    pub fn pitch(&self) -> Meters {
+        Meters(self.width + self.spacing)
+    }
+
+    /// Resistance per unit length (Ω/m): `ρ / (w·t)`.
+    pub fn resistance_per_length(&self) -> Ohms {
+        Ohms(self.resistivity / (self.width * self.thickness))
+    }
+
+    /// Ground capacitance per unit length to **one** plane (F/m), BPTM
+    /// empirical fit:
+    ///
+    /// ```text
+    /// C_g = ε · [ w/h + 2.04·(s/(s+0.54h))^1.77 · (t/(t+4.53h))^0.07 ]
+    /// ```
+    pub fn ground_capacitance_per_length(&self) -> Farads {
+        let (w, s, t, h) = (self.width, self.spacing, self.thickness, self.height_above_plane);
+        let eps = self.dielectric_k * EPSILON_0;
+        let term_plate = w / h;
+        let term_fringe =
+            2.04 * (s / (s + 0.54 * h)).powf(1.77) * (t / (t + 4.53 * h)).powf(0.07);
+        Farads(eps * (term_plate + term_fringe))
+    }
+
+    /// Coupling capacitance per unit length to **one** lateral neighbour
+    /// (F/m), BPTM empirical fit:
+    ///
+    /// ```text
+    /// C_c = ε · [ 1.14·(t/s)·(h/(h+2.06s))^0.09
+    ///           + 0.74·(w/(w+1.59s))^1.14
+    ///           + 1.16·(t/(t+1.87s))^0.16 · (h/(h+0.98s))^1.18 ]
+    /// ```
+    pub fn coupling_capacitance_per_length(&self) -> Farads {
+        let (w, s, t, h) = (self.width, self.spacing, self.thickness, self.height_above_plane);
+        let eps = self.dielectric_k * EPSILON_0;
+        let t1 = 1.14 * (t / s) * (h / (h + 2.06 * s)).powf(0.09);
+        let t2 = 0.74 * (w / (w + 1.59 * s)).powf(1.14);
+        let t3 = 1.16 * (t / (t + 1.87 * s)).powf(0.16) * (h / (h + 0.98 * s)).powf(1.18);
+        Farads(eps * (t1 + t2 + t3))
+    }
+
+    /// Total capacitance per unit length (F/m): two ground planes plus
+    /// two lateral neighbours (worst-case switching assumes neighbours
+    /// quiet; Miller factors are applied by callers that model coupling
+    /// explicitly).
+    pub fn total_capacitance_per_length(&self) -> Farads {
+        Farads(
+            2.0 * self.ground_capacitance_per_length().0
+                + 2.0 * self.coupling_capacitance_per_length().0,
+        )
+    }
+}
+
+/// A wire instance: a geometry plus a routed length.
+///
+/// # Example
+///
+/// ```
+/// use lnoc_tech::node45::Node45;
+/// use lnoc_tech::interconnect::{LayerClass, Wire};
+///
+/// let geom = Node45::tt().wire_geometry(LayerClass::Intermediate);
+/// let wire = Wire::new(geom, 90.0e-6).unwrap(); // one crossbar span
+/// assert!(wire.total_resistance().0 > 10.0);
+/// assert!(wire.total_capacitance().0 > 1.0e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wire {
+    geometry: WireGeometry,
+    length: f64,
+}
+
+/// One segment of an RC π-ladder: series resistance with half the
+/// segment capacitance hung on each end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiSegment {
+    /// Series resistance of the segment.
+    pub resistance: Ohms,
+    /// Shunt capacitance at the segment's *input* end.
+    pub cap_in: Farads,
+    /// Shunt capacitance at the segment's *output* end.
+    pub cap_out: Farads,
+}
+
+impl Wire {
+    /// Creates a wire of the given routed length (m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TechError::InvalidParameter`] if `length` is not
+    /// positive and finite.
+    pub fn new(geometry: WireGeometry, length: f64) -> Result<Self, crate::TechError> {
+        if length <= 0.0 || !length.is_finite() {
+            return Err(crate::TechError::InvalidParameter {
+                name: "length",
+                value: length,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Wire { geometry, length })
+    }
+
+    /// The wire's geometry.
+    pub fn geometry(&self) -> &WireGeometry {
+        &self.geometry
+    }
+
+    /// Routed length (m).
+    pub fn length(&self) -> Meters {
+        Meters(self.length)
+    }
+
+    /// Lumped series resistance of the whole wire.
+    pub fn total_resistance(&self) -> Ohms {
+        Ohms(self.geometry.resistance_per_length().0 * self.length)
+    }
+
+    /// Lumped total capacitance of the whole wire.
+    pub fn total_capacitance(&self) -> Farads {
+        Farads(self.geometry.total_capacitance_per_length().0 * self.length)
+    }
+
+    /// Expands the wire into `n` π-segments for the circuit simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn to_pi_ladder(&self, n: usize) -> Vec<PiSegment> {
+        assert!(n > 0, "a π-ladder needs at least one segment");
+        let r_seg = self.total_resistance().0 / n as f64;
+        let c_seg = self.total_capacitance().0 / n as f64;
+        (0..n)
+            .map(|_| PiSegment {
+                resistance: Ohms(r_seg),
+                cap_in: Farads(0.5 * c_seg),
+                cap_out: Farads(0.5 * c_seg),
+            })
+            .collect()
+    }
+
+    /// First-order Elmore delay of the wire driving a lumped load,
+    /// assuming an ideal source: `R·C/2 + R·C_load`.
+    ///
+    /// Used as a sanity reference for the transient engine, not as the
+    /// delay model itself.
+    pub fn elmore_delay(&self, load: Farads) -> Seconds {
+        let r = self.total_resistance().0;
+        let c = self.total_capacitance().0;
+        Seconds(r * c / 2.0 + r * load.0)
+    }
+
+    /// Splits this wire into `n` equal-length subwires (used by the
+    /// segmented crossbar schemes, which insert isolation devices between
+    /// subwires).
+    pub fn split(&self, n: usize) -> Vec<Wire> {
+        assert!(n > 0, "cannot split a wire into zero segments");
+        (0..n)
+            .map(|_| Wire {
+                geometry: self.geometry,
+                length: self.length / n as f64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node45::Node45;
+
+    fn intermediate() -> WireGeometry {
+        Node45::tt().wire_geometry(LayerClass::Intermediate)
+    }
+
+    #[test]
+    fn capacitance_per_length_is_classic_0p2_ff_per_um() {
+        let c = intermediate().total_capacitance_per_length().0; // F/m
+        let ff_per_um = c * 1e15 / 1e6;
+        assert!(
+            (0.1..0.35).contains(&ff_per_um),
+            "expected ≈0.2 fF/µm, got {ff_per_um}"
+        );
+    }
+
+    #[test]
+    fn resistance_per_length_ballpark() {
+        let r = intermediate().resistance_per_length().0; // Ω/m
+        let ohm_per_um = r / 1e6;
+        assert!(
+            (1.0..5.0).contains(&ohm_per_um),
+            "expected ≈2 Ω/µm, got {ohm_per_um}"
+        );
+    }
+
+    #[test]
+    fn coupling_dominates_ground_at_tight_pitch() {
+        let g = intermediate();
+        assert!(
+            g.coupling_capacitance_per_length().0 > g.ground_capacitance_per_length().0,
+            "at AR 2 and minimum spacing, lateral coupling dominates"
+        );
+    }
+
+    #[test]
+    fn pi_ladder_conserves_totals() {
+        let wire = Wire::new(intermediate(), 90.0e-6).unwrap();
+        let ladder = wire.to_pi_ladder(7);
+        let r_sum: f64 = ladder.iter().map(|s| s.resistance.0).sum();
+        let c_sum: f64 = ladder.iter().map(|s| s.cap_in.0 + s.cap_out.0).sum();
+        assert!((r_sum - wire.total_resistance().0).abs() < 1e-9 * r_sum);
+        assert!((c_sum - wire.total_capacitance().0).abs() < 1e-21);
+    }
+
+    #[test]
+    fn split_conserves_length_and_rc() {
+        let wire = Wire::new(intermediate(), 90.0e-6).unwrap();
+        let parts = wire.split(3);
+        assert_eq!(parts.len(), 3);
+        let r_sum: f64 = parts.iter().map(|w| w.total_resistance().0).sum();
+        assert!((r_sum - wire.total_resistance().0).abs() < 1e-9 * r_sum);
+    }
+
+    #[test]
+    fn elmore_scales_quadratically_with_length() {
+        let g = intermediate();
+        let short = Wire::new(g, 50.0e-6).unwrap().elmore_delay(Farads(0.0));
+        let long = Wire::new(g, 100.0e-6).unwrap().elmore_delay(Farads(0.0));
+        let ratio = long.0 / short.0;
+        assert!((ratio - 4.0).abs() < 0.01, "Elmore ∝ L², got ratio {ratio}");
+    }
+
+    #[test]
+    fn rejects_nonpositive_length() {
+        assert!(Wire::new(intermediate(), 0.0).is_err());
+        assert!(Wire::new(intermediate(), -1e-6).is_err());
+        assert!(Wire::new(intermediate(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn crossbar_span_rc_scale() {
+        // A 5-port × 128-bit crossbar span at intermediate pitch:
+        // 5 · 128 · pitch ≈ 90 µm, R ≈ 200 Ω, C ≈ 20 fF — the RC scale
+        // that produces the paper's tens-of-ps delays.
+        let g = intermediate();
+        let span = 5.0 * 128.0 * g.pitch().0;
+        let wire = Wire::new(g, span).unwrap();
+        assert!((50.0e-6..200.0e-6).contains(&span));
+        assert!((50.0..1000.0).contains(&wire.total_resistance().0));
+        let c_ff = wire.total_capacitance().0 * 1e15;
+        assert!((5.0..80.0).contains(&c_ff), "C = {c_ff} fF");
+    }
+}

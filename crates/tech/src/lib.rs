@@ -1,0 +1,52 @@
+//! # lnoc-tech — 45 nm predictive device and interconnect models
+//!
+//! This crate provides the technology substrate for the reproduction of
+//! *"Leakage-Aware Interconnect for On-Chip Network"* (Tsai, Narayanan,
+//! Xie, Irwin — DATE 2005):
+//!
+//! * [`units`] — strongly-typed physical quantities ([`Volts`], [`Amps`],
+//!   [`Seconds`], …) so that device parameters cannot be mixed up silently.
+//! * [`device`] — an analytic, smooth (EKV-interpolation) MOSFET
+//!   large-signal model with explicit subthreshold and gate (direct
+//!   tunnelling) leakage components, in both polarities and two threshold
+//!   classes (nominal and high Vt). This replaces the BSIM4/BPTM device
+//!   cards the paper used in SPICE.
+//! * [`node45`] — the 45 nm parameter set used throughout the
+//!   reproduction, plus process corners.
+//! * [`interconnect`] — ITRS-style wire geometry tables and BPTM-style
+//!   per-unit-length R/C predictive formulas, and a [`interconnect::Wire`]
+//!   helper that expands a wire into an RC π-ladder.
+//!
+//! ## Example
+//!
+//! ```
+//! use lnoc_tech::node45::Node45;
+//! use lnoc_tech::device::{Polarity, VtClass};
+//! use lnoc_tech::units::Volts;
+//!
+//! let tech = Node45::tt();
+//! let nmos = tech.mos(Polarity::Nmos, VtClass::Nominal);
+//! // Off-state subthreshold leakage of a 10:1 device at Vds = Vdd:
+//! let w = 10.0 * tech.l_min();
+//! let ioff = nmos.ids(w, Volts(0.0), tech.vdd(), Volts(0.0));
+//! assert!(ioff.0 > 0.0, "an off NMOS still leaks");
+//! let ion = nmos.ids(w, tech.vdd(), tech.vdd(), Volts(0.0));
+//! assert!(ion.0 / ioff.0 > 1.0e3, "on/off ratio must be large");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod constants;
+pub mod corners;
+pub mod device;
+pub mod error;
+pub mod interconnect;
+pub mod node45;
+pub mod units;
+
+pub use corners::{Corner, Temperature};
+pub use device::{MosModel, MosOp, Polarity, VtClass};
+pub use error::TechError;
+pub use node45::Node45;
+pub use units::{Amps, Farads, Hertz, Joules, Meters, Ohms, Seconds, Volts, Watts};

@@ -1,0 +1,48 @@
+//! Design-space exploration (experiment X3): run the slack-driven
+//! dual-Vt optimizer over a range of delay budgets and print the
+//! leakage/delay Pareto the paper's hand-designed schemes live on.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::dual_vt;
+use leakage_noc::core::scheme::Scheme;
+use leakage_noc::power::report::TextTable;
+
+fn main() {
+    // A small flit keeps each optimizer trial (two transients per
+    // candidate device) fast; the Vt conclusions are width-independent.
+    let cfg = CrossbarConfig {
+        flit_bits: 16,
+        sim_dt: 1.0e-12,
+        ..CrossbarConfig::paper()
+    };
+
+    let mut table = TextTable::new(vec![
+        "budget".into(),
+        "high-Vt devices".into(),
+        "leakage saved".into(),
+        "delay cost".into(),
+    ]);
+    for budget in [1.00, 1.02, 1.05, 1.10, 1.20] {
+        let outcome =
+            dual_vt::assign(Scheme::Sc, &cfg, budget).expect("optimizer run");
+        let mut names = outcome.high_vt_devices.clone();
+        names.sort();
+        table.row(vec![
+            format!("{:.0}%", (budget - 1.0) * 100.0),
+            names.join(","),
+            format!("{:.1}%", outcome.leakage_saving() * 100.0),
+            format!("{:.1}%", outcome.delay_cost() * 100.0),
+        ]);
+    }
+    println!("slack-driven dual-Vt assignment on the SC topology:");
+    println!("{table}");
+    println!(
+        "reading: even a 0% budget admits off-critical-path devices (keeper, sleep) —\n\
+         exactly the paper's DFC plan; larger budgets buy the driver halves, moving\n\
+         toward the SDFC/SDPC assignments."
+    );
+}

@@ -1,0 +1,79 @@
+//! Network-level power gating (experiment X2, single-point view): run a
+//! 4×4 mesh under uniform traffic, extract the crossbar-port
+//! idle-interval distribution, and compare what each crossbar scheme's
+//! standby characteristics deliver under an idle-threshold sleep policy.
+//!
+//! ```sh
+//! cargo run --release --example noc_power_gating
+//! ```
+
+use leakage_noc::core::characterize::Characterizer;
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::scheme::Scheme;
+use leakage_noc::netsim::{MeshConfig, Simulation, TrafficPattern};
+use leakage_noc::power::gating::{evaluate_policy, GatingPolicy};
+use leakage_noc::power::report::TextTable;
+use leakage_noc::power::router::RouterPowerModel;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+
+    // 1. Simulate the network and collect idle intervals.
+    let mut sim = Simulation::new(MeshConfig {
+        width: 4,
+        height: 4,
+        injection_rate: 0.05,
+        pattern: TrafficPattern::UniformRandom,
+        packet_len_flits: 4,
+        buffer_depth: 4,
+        seed: 2005,
+    });
+    let stats = sim.run(1000, 20000);
+    let hist = stats.merged_idle_histogram(4096);
+    println!(
+        "mesh: latency {:.1} cycles, throughput {:.3} flits/node/cycle, \
+         crossbar utilization {:.1}%, {} idle intervals",
+        stats.avg_latency(),
+        stats.throughput(),
+        stats.crossbar_utilization() * 100.0,
+        hist.interval_count()
+    );
+
+    // 2. Characterize every scheme and evaluate gating.
+    let mut ch = Characterizer::new(&cfg);
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "MIT (cycles)".into(),
+        "threshold saved".into(),
+        "oracle saved".into(),
+        "sleep events".into(),
+    ]);
+    for scheme in Scheme::ALL {
+        let c = ch.characterize(scheme).expect("characterization");
+        let model = RouterPowerModel::from_characterization(&c, &cfg);
+        let params = model.port_gating_params(cfg.radix);
+        let mit = params.min_idle_cycles(cfg.clock);
+        let threshold = evaluate_policy(
+            &hist,
+            &params,
+            GatingPolicy::IdleThreshold(mit),
+            cfg.clock,
+        );
+        let oracle = evaluate_policy(&hist, &params, GatingPolicy::Oracle, cfg.clock);
+        table.row(vec![
+            scheme.name().into(),
+            mit.to_string(),
+            format!("{:.1}%", threshold.savings_fraction() * 100.0),
+            format!("{:.1}%", oracle.savings_fraction() * 100.0),
+            threshold.sleep_events.to_string(),
+        ]);
+    }
+    println!("\ncrossbar leakage saved by sleep policies (vs never gating):");
+    println!("{table}");
+    println!(
+        "reading: the pre-charged schemes (DPC/SDPC) save the most — their standby\n\
+         state parks every off transistor on a high-Vt device and their short\n\
+         breakeven lets them exploit even modest idle intervals, which is the\n\
+         paper's core argument for deploying them in an on-chip network."
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build one leakage-aware crossbar slice, look at its
+//! circuit, and characterize it — in under a minute of compute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use leakage_noc::core::characterize::Characterizer;
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::schematic;
+use leakage_noc::core::scheme::Scheme;
+
+fn main() {
+    // A reduced configuration (32-bit flit) keeps this example snappy;
+    // CrossbarConfig::paper() is the full evaluation point.
+    let cfg = CrossbarConfig::test_small();
+
+    // 1. The circuit itself: Figure 1 as a netlist.
+    println!("{}", schematic::export_summary(Scheme::Dfc, &cfg));
+
+    // 2. Characterize the baseline and the DFC.
+    let mut ch = Characterizer::new(&cfg);
+    let sc = ch.characterize(Scheme::Sc).expect("SC characterization");
+    let dfc = ch.characterize(Scheme::Dfc).expect("DFC characterization");
+
+    println!("SC  : H→L {}  L→H {}", sc.delay_high_to_low, sc.delay_low_to_high);
+    println!("DFC : H→L {}  L→H {}", dfc.delay_high_to_low, dfc.delay_low_to_high);
+    println!(
+        "DFC active leakage saving vs SC: {:.2}%",
+        (1.0 - dfc.active_leakage.0 / sc.active_leakage.0) * 100.0
+    );
+    println!(
+        "DFC standby leakage saving vs SC: {:.2}%",
+        (1.0 - dfc.standby_leakage.0 / sc.standby_leakage.0) * 100.0
+    );
+    println!(
+        "DFC minimum idle time at {}: {} cycles",
+        cfg.clock, dfc.min_idle_time_cycles
+    );
+}

@@ -1,0 +1,35 @@
+//! Reproduces the paper's Table 1 end-to-end at the full §3
+//! configuration (5×5 crossbar, 128-bit flit, 3 GHz) and prints it
+//! side-by-side with the published numbers.
+//!
+//! ```sh
+//! cargo run --release --example table1_repro
+//! ```
+//!
+//! Expect a few minutes of transient simulation in release mode.
+
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::table1::Table1;
+
+fn main() {
+    let cfg = CrossbarConfig::paper();
+    let measured = Table1::generate(&cfg).expect("characterization pipeline");
+    println!("=== measured ===\n{measured}");
+    println!("=== published ===\n{}", Table1::paper_reference());
+
+    let claims = measured.abstract_claims();
+    println!(
+        "headline ranges: active {:.1}%–{:.1}% | standby {:.1}%–{:.1}% | penalty ≤ {:.1}%",
+        claims.active_savings_range.0 * 100.0,
+        claims.active_savings_range.1 * 100.0,
+        claims.standby_savings_range.0 * 100.0,
+        claims.standby_savings_range.1 * 100.0,
+        claims.delay_penalty_range.1 * 100.0,
+    );
+    let (g1, g2) = measured.segmentation_gains();
+    println!(
+        "segmentation gains: SDFC {:.1}% / SDPC {:.1}% (paper ≈20% / ≈30%)",
+        g1 * 100.0,
+        g2 * 100.0
+    );
+}

@@ -1,0 +1,20 @@
+//! # leakage-noc — facade crate
+//!
+//! Reproduction of *"Leakage-Aware Interconnect for On-Chip Network"*
+//! (Tsai, Narayanan, Xie, Irwin — DATE 2005). This crate re-exports the
+//! workspace members under one roof:
+//!
+//! * [`tech`] — 45 nm device and interconnect models,
+//! * [`circuit`] — the MNA circuit simulator,
+//! * [`core`] — the paper's crossbar schemes and the Table 1 pipeline,
+//! * [`power`] — power accounting and power-gating policies,
+//! * [`netsim`] — the flit-level NoC simulator.
+//!
+//! See the repository `README.md` for a guided tour and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use lnoc_circuit as circuit;
+pub use lnoc_core as core;
+pub use lnoc_netsim as netsim;
+pub use lnoc_power as power;
+pub use lnoc_tech as tech;

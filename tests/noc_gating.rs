@@ -1,0 +1,93 @@
+//! Integration test: network simulation → idle histograms → gating
+//! policies → scheme comparison, end to end across all five crates.
+
+use leakage_noc::core::characterize::Characterizer;
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::scheme::Scheme;
+use leakage_noc::netsim::{MeshConfig, Simulation, TrafficPattern};
+use leakage_noc::power::gating::{evaluate_policy, GatingPolicy};
+use leakage_noc::power::router::RouterPowerModel;
+
+fn crossbar_cfg() -> CrossbarConfig {
+    CrossbarConfig {
+        flit_bits: 32,
+        sim_dt: 0.5e-12,
+        ..CrossbarConfig::paper()
+    }
+}
+
+#[test]
+fn end_to_end_gating_prefers_precharged_schemes() {
+    let cfg = crossbar_cfg();
+
+    let mut sim = Simulation::new(MeshConfig {
+        width: 4,
+        height: 4,
+        injection_rate: 0.04,
+        pattern: TrafficPattern::UniformRandom,
+        packet_len_flits: 4,
+        buffer_depth: 4,
+        seed: 11,
+    });
+    let stats = sim.run(500, 8000);
+    assert!(stats.packets_delivered > 100);
+    let hist = stats.merged_idle_histogram(4096);
+    assert!(hist.interval_count() > 100);
+
+    let mut ch = Characterizer::new(&cfg);
+    let mut oracle_savings = Vec::new();
+    for scheme in [Scheme::Sc, Scheme::Dfc, Scheme::Dpc] {
+        let c = ch.characterize(scheme).expect("characterization");
+        let params = RouterPowerModel::from_characterization(&c, &cfg)
+            .port_gating_params(cfg.radix);
+        let out = evaluate_policy(&hist, &params, GatingPolicy::Oracle, cfg.clock);
+        oracle_savings.push((scheme, out.savings_fraction()));
+    }
+
+    // Oracle gating never loses energy.
+    for &(scheme, s) in &oracle_savings {
+        assert!(s >= 0.0, "{scheme}: oracle saving {s}");
+    }
+    // The pre-charged crossbar converts idleness into savings better
+    // than the baseline (bigger standby delta, smaller breakeven).
+    let sc = oracle_savings[0].1;
+    let dpc = oracle_savings[2].1;
+    assert!(
+        dpc > sc,
+        "DPC oracle saving {dpc:.3} must beat SC {sc:.3}"
+    );
+}
+
+#[test]
+fn router_power_scales_with_load() {
+    let cfg = crossbar_cfg();
+    let mut ch = Characterizer::new(&cfg);
+    let c = ch.characterize(Scheme::Sc).expect("characterization");
+    let model = RouterPowerModel::from_characterization(&c, &cfg);
+
+    let run = |rate: f64| {
+        let mut sim = Simulation::new(MeshConfig {
+            width: 4,
+            height: 4,
+            injection_rate: rate,
+            pattern: TrafficPattern::UniformRandom,
+            packet_len_flits: 4,
+            buffer_depth: 4,
+            seed: 5,
+        });
+        let stats = sim.run(500, 5000);
+        let total: f64 = stats
+            .router_activity
+            .iter()
+            .map(|a| model.power(a).total().0)
+            .sum();
+        total
+    };
+
+    let light = run(0.01);
+    let heavy = run(0.08);
+    assert!(
+        heavy > 1.2 * light,
+        "heavier traffic must burn more: {light:.4} vs {heavy:.4}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the cross-crate invariants.
+
+use leakage_noc::circuit::linear::Matrix;
+use leakage_noc::circuit::netlist::Netlist;
+use leakage_noc::circuit::stimulus::Stimulus;
+use leakage_noc::circuit::waveform::{Edge, Waveform};
+use leakage_noc::circuit::dc;
+use leakage_noc::power::breakeven::{min_idle_cycles, net_saving};
+use leakage_noc::power::gating::IdleHistogram;
+use leakage_noc::tech::device::{Polarity, VtClass};
+use leakage_noc::tech::node45::Node45;
+use leakage_noc::tech::units::{Hertz, Joules, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MOSFET channel current is monotone in Vgs at any bias point.
+    #[test]
+    fn mosfet_monotone_in_vgs(
+        vg1 in 0.0f64..1.0,
+        vg2 in 0.0f64..1.0,
+        vd in 0.0f64..1.0,
+    ) {
+        let m = Node45::tt().mos(Polarity::Nmos, VtClass::Nominal);
+        let (lo, hi) = if vg1 <= vg2 { (vg1, vg2) } else { (vg2, vg1) };
+        let i_lo = m.ids_terminals(1.0e-6, lo, vd, 0.0, 0.0);
+        let i_hi = m.ids_terminals(1.0e-6, hi, vd, 0.0, 0.0);
+        prop_assert!(i_hi >= i_lo - 1e-18, "Ids({hi}) = {i_hi} < Ids({lo}) = {i_lo}");
+    }
+
+    /// High-Vt devices never leak more than nominal at identical bias.
+    #[test]
+    fn high_vt_never_leaks_more(vd in 0.05f64..1.0, w_um in 0.1f64..10.0) {
+        let tech = Node45::tt();
+        let w = w_um * 1.0e-6;
+        let lo = tech.mos(Polarity::Nmos, VtClass::Nominal).leakage(w, 0.0, vd, 0.0, 0.0);
+        let hi = tech.mos(Polarity::Nmos, VtClass::High).leakage(w, 0.0, vd, 0.0, 0.0);
+        prop_assert!(hi.channel.0 <= lo.channel.0 * 1.0001);
+        prop_assert!(hi.gate.0 <= lo.gate.0 * 1.0001);
+    }
+
+    /// LU solves random diagonally dominant systems to high accuracy.
+    #[test]
+    fn lu_solves_diagonally_dominant(
+        seed_vals in proptest::collection::vec(-1.0f64..1.0, 25),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let n = 5;
+        let mut a = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = seed_vals[i * n + j];
+                a.set(i, j, if i == j { 10.0 + v.abs() } else { v });
+            }
+        }
+        let b = a.mul_vec(&rhs);
+        let mut x = b.clone();
+        a.clone().solve_in_place(&mut x).expect("dominant matrices are regular");
+        for (xi, ri) in x.iter().zip(&rhs) {
+            prop_assert!((xi - ri).abs() < 1e-9, "{xi} vs {ri}");
+        }
+    }
+
+    /// A resistor divider solved by the DC engine matches algebra.
+    #[test]
+    fn dc_divider_matches_algebra(r1 in 10.0f64..1.0e6, r2 in 10.0f64..1.0e6, v in 0.1f64..5.0) {
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        let mid = nl.node("mid");
+        nl.vsource("V", top, Netlist::GROUND, Stimulus::dc(v));
+        nl.resistor("R1", top, mid, r1).unwrap();
+        nl.resistor("R2", mid, Netlist::GROUND, r2).unwrap();
+        let sol = dc::solve(&nl).expect("linear network");
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((sol.voltage(mid) - expect).abs() < 1e-6 * v.max(1.0));
+    }
+
+    /// Waveform crossing finds the analytic crossing of a linear ramp.
+    #[test]
+    fn crossing_of_linear_ramp(thr in 0.05f64..0.95) {
+        let w = Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+        let t = w.crossing(thr, Edge::Rising, -1.0).expect("must cross");
+        prop_assert!((t - thr).abs() < 1e-12);
+    }
+
+    /// Histogram totals equal the sum of recorded lengths.
+    #[test]
+    fn histogram_conserves_cycles(lens in proptest::collection::vec(1u64..5000, 0..100)) {
+        let mut h = IdleHistogram::new(256);
+        let mut total = 0;
+        for &l in &lens {
+            h.record(l);
+            total += l;
+        }
+        prop_assert_eq!(h.total_idle_cycles(), total);
+        prop_assert_eq!(h.interval_count(), lens.len() as u64);
+    }
+
+    /// Breakeven consistency: sleeping exactly `min_idle_cycles` never
+    /// loses energy; one cycle fewer never wins.
+    #[test]
+    fn breakeven_is_consistent(
+        e_fj in 0.1f64..1000.0,
+        p_uw in 0.1f64..1000.0,
+        f_ghz in 0.5f64..5.0,
+    ) {
+        let e = Joules(e_fj * 1e-15);
+        let p = Watts(p_uw * 1e-6);
+        let f = Hertz(f_ghz * 1e9);
+        let m = min_idle_cycles(e, p, f);
+        prop_assume!(m < 1_000_000);
+        prop_assert!(net_saving(e, p, m as u64, f).0 >= -1e-21);
+        if m > 0 {
+            prop_assert!(net_saving(e, p, (m - 1) as u64, f).0 <= 1e-21);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration tests: structural invariants of the five schemes that
+//! must hold under *any* valid configuration — exercised across several
+//! configurations, not just the paper's.
+
+use leakage_noc::circuit::dc;
+use leakage_noc::core::config::{CrossbarConfig, SliceSizing};
+use leakage_noc::core::schematic;
+use leakage_noc::core::scheme::Scheme;
+use leakage_noc::core::slice::BitSlice;
+use leakage_noc::tech::units::Hertz;
+
+fn configs() -> Vec<CrossbarConfig> {
+    vec![
+        CrossbarConfig {
+            flit_bits: 16,
+            sim_dt: 1.0e-12,
+            ..CrossbarConfig::paper()
+        },
+        CrossbarConfig {
+            flit_bits: 64,
+            clock: Hertz(2.0e9),
+            pitch_factor: 2.0,
+            sim_dt: 0.5e-12,
+            ..CrossbarConfig::paper()
+        },
+        CrossbarConfig {
+            radix: 4,
+            flit_bits: 32,
+            sim_dt: 0.5e-12,
+            sizing: SliceSizing {
+                w_pass: 1.8e-6,
+                ..SliceSizing::default()
+            },
+            ..CrossbarConfig::paper()
+        },
+    ]
+}
+
+#[test]
+fn every_scheme_transfers_both_levels_in_every_config() {
+    for (ci, cfg) in configs().iter().enumerate() {
+        for scheme in Scheme::ALL {
+            for data in [false, true] {
+                let mut slice = BitSlice::build(scheme, cfg);
+                let input = if scheme.is_segmented() {
+                    slice.set_enable_far(true);
+                    slice.set_sleep_slack(true);
+                    leakage_noc::core::slice::CRIT_INPUTS[0]
+                } else {
+                    0
+                };
+                slice.set_grant(input, true);
+                slice.set_data(input, data);
+                if scheme.is_precharged() {
+                    // Evaluation with A pinned appropriately.
+                    slice.set_precharge_main(data);
+                }
+                let sol = dc::solve(&slice.netlist)
+                    .unwrap_or_else(|e| panic!("cfg {ci} {scheme} data={data}: {e}"));
+                let out = sol.voltage(slice.out);
+                if data {
+                    assert!(out > 0.85, "cfg {ci} {scheme}: data=1 → out {out}");
+                } else {
+                    assert!(out < 0.15, "cfg {ci} {scheme}: data=0 → out {out}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn standby_pulls_node_a_down_in_every_scheme() {
+    let cfg = CrossbarConfig::test_small();
+    for scheme in Scheme::ALL {
+        let mut slice = BitSlice::build(scheme, &cfg);
+        slice.set_sleep_main(true);
+        slice.set_sleep_slack(true);
+        slice.set_enable_near(true);
+        slice.set_enable_far(true);
+        if scheme.is_precharged() {
+            slice.set_precharge(false);
+        }
+        let sol = dc::solve(&slice.netlist).expect("standby state converges");
+        assert!(
+            sol.voltage(slice.a_main) < 0.1,
+            "{scheme}: node A = {} in standby",
+            sol.voltage(slice.a_main)
+        );
+        if let Some(a_slack) = slice.a_slack {
+            assert!(
+                sol.voltage(a_slack) < 0.1,
+                "{scheme}: slack node A = {} in standby",
+                sol.voltage(a_slack)
+            );
+        }
+    }
+}
+
+#[test]
+fn high_vt_count_grows_with_scheme_aggressiveness() {
+    let cfg = CrossbarConfig::test_small();
+    let count = |s: Scheme| BitSlice::build(s, &cfg).vt_census().1;
+    assert_eq!(count(Scheme::Sc), 0, "baseline is single-Vt by definition");
+    assert!(count(Scheme::Dfc) >= 2);
+    assert!(count(Scheme::Dpc) > count(Scheme::Dfc));
+    assert!(count(Scheme::Sdfc) > count(Scheme::Dfc));
+    assert!(count(Scheme::Sdpc) >= count(Scheme::Sdfc));
+}
+
+#[test]
+fn schematics_reference_every_figure_device() {
+    let cfg = CrossbarConfig::test_small();
+    // Fig 1 roster: N1–N4 (pass), N5 (sleep), P1 (keeper), I1, I2.
+    let spice = schematic::export_spice(Scheme::Dfc, &cfg);
+    for name in ["Mpass0", "Mpass3", "Msleep_n5", "Mkeeper_p1", "Mi1_n", "Mi2_p"] {
+        assert!(spice.contains(name), "Fig 1 export missing {name}");
+    }
+    // Fig 2 swaps the keeper for the clocked pre-charge device.
+    let spice = schematic::export_spice(Scheme::Dpc, &cfg);
+    assert!(spice.contains("Mpre_p1"));
+    assert!(!spice.contains("Mkeeper_p1"));
+    // Fig 3 variants have two A-domains and isolation gates.
+    for scheme in [Scheme::Sdfc, Scheme::Sdpc] {
+        let spice = schematic::export_spice(scheme, &cfg);
+        for name in ["Msleep1_n5", "Msleep2_n5", "Miso_far_n", "Miso_near_p", "Mi1a_p", "Mi1b_n"] {
+            assert!(spice.contains(name), "{scheme} export missing {name}");
+        }
+    }
+}
+
+#[test]
+fn slice_netlists_are_deterministic() {
+    let cfg = CrossbarConfig::test_small();
+    for scheme in Scheme::ALL {
+        let a = schematic::export_spice(scheme, &cfg);
+        let b = schematic::export_spice(scheme, &cfg);
+        assert_eq!(a, b, "{scheme}: generation must be deterministic");
+    }
+}

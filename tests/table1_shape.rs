@@ -1,0 +1,128 @@
+//! Integration test: the Table 1 *shape* assertions at a reduced
+//! configuration — who wins, in which direction, and by roughly what
+//! kind of factor. Absolute values are compared against the paper in
+//! EXPERIMENTS.md; these tests pin the orderings that constitute the
+//! paper's conclusions.
+
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::scheme::Scheme;
+use leakage_noc::core::table1::Table1;
+
+fn fast_cfg() -> CrossbarConfig {
+    CrossbarConfig {
+        flit_bits: 32,
+        sim_dt: 0.5e-12,
+        ..CrossbarConfig::paper()
+    }
+}
+
+#[test]
+fn table1_shape_holds() {
+    let t = Table1::generate(&fast_cfg()).expect("pipeline");
+
+    let row = |s: Scheme| t.row(s).expect("all schemes present");
+    let (sc, dfc, dpc, sdfc, sdpc) = (
+        row(Scheme::Sc),
+        row(Scheme::Dfc),
+        row(Scheme::Dpc),
+        row(Scheme::Sdfc),
+        row(Scheme::Sdpc),
+    );
+
+    // --- savings rows: every scheme saves, orderings as published ----
+    for r in [dfc, dpc, sdfc, sdpc] {
+        assert!(
+            r.active_leakage_savings.unwrap() > 0.0,
+            "{}: active savings must be positive",
+            r.scheme
+        );
+        assert!(
+            r.standby_leakage_savings.unwrap() > 0.0,
+            "{}: standby savings must be positive",
+            r.scheme
+        );
+    }
+    // DFC saves least; SDPC saves most (paper: 10.13 % … 63.57 %).
+    assert!(dfc.active_leakage_savings < dpc.active_leakage_savings);
+    assert!(dfc.active_leakage_savings < sdfc.active_leakage_savings);
+    assert!(sdpc.active_leakage_savings > dpc.active_leakage_savings);
+    assert!(sdpc.active_leakage_savings > sdfc.active_leakage_savings);
+
+    // Pre-charged schemes dominate standby savings (93.7 %/96 % vs
+    // 12.4 %/43.9 % in the paper).
+    assert!(
+        dpc.standby_leakage_savings.unwrap() > 2.0 * dfc.standby_leakage_savings.unwrap(),
+        "DPC standby {} vs DFC {}",
+        dpc.standby_leakage_savings.unwrap(),
+        dfc.standby_leakage_savings.unwrap()
+    );
+    assert!(
+        sdpc.standby_leakage_savings.unwrap() > sdfc.standby_leakage_savings.unwrap()
+    );
+
+    // --- delay rows ---------------------------------------------------
+    // DFC's signature asymmetry: faster falling, slower rising than SC.
+    assert!(dfc.delay_high_to_low_ps < sc.delay_high_to_low_ps);
+    assert!(dfc.delay_low_to_high_ps > sc.delay_low_to_high_ps);
+    // All delays land in the ps regime (this reduced configuration has
+    // quarter-length wires, so the floor sits below the paper-scale
+    // tens-of-ps numbers checked in EXPERIMENTS.md).
+    for r in &t.rows {
+        assert!(
+            (3.0..200.0).contains(&r.delay_high_to_low_ps),
+            "{}: H→L {} ps",
+            r.scheme,
+            r.delay_high_to_low_ps
+        );
+        assert!(
+            (3.0..200.0).contains(&r.delay_low_to_high_ps),
+            "{}: L→H {} ps",
+            r.scheme,
+            r.delay_low_to_high_ps
+        );
+    }
+    // Delay penalties stay bounded. (Paper scale: ≤ 4.69 %. At this
+    // reduced scale the wires shrink 4× but the segment-isolation
+    // devices do not, so the segmented schemes' relative penalty is
+    // larger than at paper scale — see EXPERIMENTS.md for the
+    // full-configuration numbers.)
+    for r in &t.rows {
+        assert!(
+            r.delay_penalty.unwrap_or(0.0) < 0.25,
+            "{}: penalty {:?}",
+            r.scheme,
+            r.delay_penalty
+        );
+    }
+
+    // --- minimum idle time: pre-charged schemes break even faster ----
+    assert!(dpc.min_idle_time_cycles <= dfc.min_idle_time_cycles);
+    assert!(dpc.min_idle_time_cycles <= sc.min_idle_time_cycles);
+    assert!(sdpc.min_idle_time_cycles <= sc.min_idle_time_cycles);
+
+    // --- total power: every proposal beats the baseline; the segmented
+    //     feedback design is the overall winner (paper: SDFC 122 mW).
+    for r in [dfc, dpc, sdfc, sdpc] {
+        assert!(
+            r.total_power_mw < sc.total_power_mw,
+            "{}: {} mW vs SC {} mW",
+            r.scheme,
+            r.total_power_mw,
+            sc.total_power_mw
+        );
+    }
+    assert!(
+        sdfc.total_power_mw < dpc.total_power_mw,
+        "segmentation's dynamic savings beat pure dual-Vt"
+    );
+}
+
+#[test]
+fn segmentation_reduces_remaining_leakage() {
+    // §3: "the leakage power is further reduced by 20% and 30% in SDFC
+    // and SDPC" — sign and rough scale.
+    let t = Table1::generate(&fast_cfg()).expect("pipeline");
+    let (g_sdfc, g_sdpc) = t.segmentation_gains();
+    assert!(g_sdfc > 0.05, "SDFC gain over DFC: {g_sdfc}");
+    assert!(g_sdpc > 0.05, "SDPC gain over DPC: {g_sdpc}");
+}
