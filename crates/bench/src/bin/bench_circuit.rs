@@ -1,0 +1,159 @@
+//! Emits `BENCH_circuit.json` — the committed performance baseline of the
+//! circuit engine, so future PRs have a measured trajectory to compare
+//! against.
+//!
+//! Three headline comparisons, each new-engine vs the seed's full-restamp
+//! dense kernel (`SolverKind::Reference`) measured in the same binary:
+//!
+//! 1. `transient/inverter_chain_100ps` — [`CHAIN_STAGES`]-stage chain
+//!    (300 stages, ~300 unknowns), 100 ps window;
+//! 2. `crossbar16/dc_slice` — one radix-16 crossbar-slice leakage solve;
+//! 3. `table1_single_corner` — the full five-scheme Table 1 pipeline at
+//!    the reduced configuration (parallel + sparse vs serial reference).
+//!
+//! Run with `cargo run --release -p lnoc-bench --bin bench_circuit`.
+
+use lnoc_bench::circuits::{crossbar_16x16_cfg, inverter_chain, table1_bench_cfg, CHAIN_STAGES};
+use lnoc_circuit::dc::{self, NewtonOptions, SolverKind};
+use lnoc_circuit::transient::{self, TransientSpec};
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::scheme::Scheme;
+use lnoc_core::slice::BitSlice;
+use lnoc_core::table1::Table1;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured comparison.
+struct Entry {
+    name: &'static str,
+    fast_s: f64,
+    baseline_s: f64,
+    runs: usize,
+}
+
+/// Median wall time of `runs` executions of `f`.
+fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn chain_spec(solver: SolverKind) -> TransientSpec {
+    let mut spec = TransientSpec::new(100e-12, 0.2e-12);
+    spec.newton.solver = solver;
+    spec
+}
+
+fn main() {
+    let mut entries = Vec::new();
+
+    // --- 1. Inverter chain transient.
+    let (chain, _out) = inverter_chain(CHAIN_STAGES);
+    println!("measuring transient/inverter_chain_100ps ({CHAIN_STAGES} stages)…");
+    let fast = median_secs(5, || {
+        black_box(transient::run(&chain, &chain_spec(SolverKind::Auto)).expect("runs"));
+    });
+    let baseline = median_secs(3, || {
+        black_box(transient::run(&chain, &chain_spec(SolverKind::Reference)).expect("runs"));
+    });
+    entries.push(Entry {
+        name: "transient/inverter_chain_100ps",
+        fast_s: fast,
+        baseline_s: baseline,
+        runs: 5,
+    });
+
+    // --- 2. Crossbar-slice DC leakage solve (radix 16).
+    println!("measuring crossbar16/dc_slice…");
+    let cfg16 = crossbar_16x16_cfg();
+    let mut slice = BitSlice::build(Scheme::Sdpc, &cfg16);
+    slice.set_grant(0, true);
+    slice.set_data(0, true);
+    slice.set_enable_far(true);
+    let solve = |solver: SolverKind| {
+        let opts = NewtonOptions {
+            solver,
+            max_iterations: 300,
+            ..NewtonOptions::default()
+        };
+        let sol = dc::solve_with(&slice.netlist, &opts, None).expect("dc converges");
+        black_box(sol.total_source_power(&slice.netlist));
+    };
+    let fast = median_secs(7, || solve(SolverKind::Auto));
+    let baseline = median_secs(5, || solve(SolverKind::Reference));
+    entries.push(Entry {
+        name: "crossbar16/dc_slice",
+        fast_s: fast,
+        baseline_s: baseline,
+        runs: 7,
+    });
+
+    // --- 3. Full single-corner Table 1 characterization.
+    println!("measuring table1_single_corner (fast: parallel + sparse)…");
+    let cfg_fast = table1_bench_cfg();
+    let fast = median_secs(3, || {
+        black_box(Table1::generate(&cfg_fast).expect("pipeline"));
+    });
+    println!("measuring table1_single_corner (baseline: serial reference)…");
+    let cfg_ref = CrossbarConfig {
+        solver: SolverKind::Reference,
+        ..table1_bench_cfg()
+    };
+    let baseline = median_secs(1, || {
+        black_box(Table1::generate_serial(&cfg_ref).expect("pipeline"));
+    });
+    entries.push(Entry {
+        name: "table1_single_corner",
+        fast_s: fast,
+        baseline_s: baseline,
+        runs: 3,
+    });
+
+    // --- Emit JSON (hand-formatted; the offline mini-serde does not
+    // serialize).
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"medians of wall-clock runs, release profile; baseline = SolverKind::Reference (seed dense full-restamp kernel) in this same build\","
+    );
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
+    json.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"median_s\": {:.6}, \"baseline_median_s\": {:.6}, \"speedup\": {:.2}, \"runs\": {}}}{}",
+            e.name,
+            e.fast_s,
+            e.baseline_s,
+            e.baseline_s / e.fast_s,
+            e.runs,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_circuit.json");
+    std::fs::write(&path, &json).expect("write BENCH_circuit.json");
+    println!("\n{json}");
+    println!("wrote {}", path.display());
+    for e in &entries {
+        println!(
+            "{:<34} {:>10.3} ms vs {:>10.3} ms  → {:.2}×",
+            e.name,
+            e.fast_s * 1e3,
+            e.baseline_s * 1e3,
+            e.baseline_s / e.fast_s
+        );
+    }
+}

@@ -20,10 +20,7 @@ fn main() {
             &format!("{stem}.sp"),
             &schematic::export_spice(scheme, &cfg),
         );
-        lnoc_bench::write_artifact(
-            &format!("{stem}.dot"),
-            &schematic::export_dot(scheme, &cfg),
-        );
+        lnoc_bench::write_artifact(&format!("{stem}.dot"), &schematic::export_dot(scheme, &cfg));
         lnoc_bench::write_artifact(
             &format!("{stem}_devices.txt"),
             &schematic::export_summary(scheme, &cfg),

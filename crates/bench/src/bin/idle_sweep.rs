@@ -7,10 +7,11 @@ use lnoc_core::scheme::Scheme;
 use lnoc_power::breakeven::min_idle_cycles;
 use lnoc_power::report::TextTable;
 use lnoc_tech::units::{Hertz, Joules, Watts};
+use rayon::prelude::*;
 
 fn main() {
     let cfg = CrossbarConfig::paper();
-    let mut ch = Characterizer::new(&cfg);
+    let ch = Characterizer::new(&cfg);
     let clocks: Vec<Hertz> = [1.0e9, 2.0e9, 3.0e9, 4.0e9, 5.0e9]
         .into_iter()
         .map(Hertz)
@@ -20,8 +21,13 @@ fn main() {
     headers.extend(clocks.iter().map(|c| format!("{c:.0}")));
     let mut table = TextTable::new(headers);
 
-    for scheme in Scheme::ALL {
-        let c = ch.characterize(scheme).expect("characterization");
+    // Scheme characterizations are independent; sweep them in parallel.
+    let characterized: Vec<_> = Scheme::ALL
+        .into_par_iter()
+        .map(|scheme| (scheme, ch.characterize(scheme).expect("characterization")))
+        .collect();
+
+    for (scheme, c) in characterized {
         let n = cfg.slice_count() as f64;
         let p_saved = Watts((c.idle_awake_leakage.0 - c.standby_leakage.0) / n);
         let e_trans = Joules(c.transition_energy.0);

@@ -10,18 +10,21 @@ use lnoc_netsim::{MeshConfig, Simulation, TrafficPattern};
 use lnoc_power::gating::{evaluate_policy, GatingParams, GatingPolicy};
 use lnoc_power::report::TextTable;
 use lnoc_power::router::RouterPowerModel;
+use rayon::prelude::*;
 
 fn main() {
     let cfg = CrossbarConfig::paper();
-    let mut ch = Characterizer::new(&cfg);
+    let ch = Characterizer::new(&cfg);
 
-    // Characterize each scheme once.
-    let mut params: Vec<(Scheme, GatingParams)> = Vec::new();
-    for scheme in Scheme::ALL {
-        let c = ch.characterize(scheme).expect("characterization");
-        let model = RouterPowerModel::from_characterization(&c, &cfg);
-        params.push((scheme, model.port_gating_params(cfg.radix)));
-    }
+    // Characterize each scheme once, in parallel.
+    let params: Vec<(Scheme, GatingParams)> = Scheme::ALL
+        .into_par_iter()
+        .map(|scheme| {
+            let c = ch.characterize(scheme).expect("characterization");
+            let model = RouterPowerModel::from_characterization(&c, &cfg);
+            (scheme, model.port_gating_params(cfg.radix))
+        })
+        .collect();
 
     let mut out = String::new();
     for pattern in [

@@ -8,10 +8,7 @@ fn main() {
     let cfg = CrossbarConfig::paper();
     println!(
         "Table 1 harness: {}×{} crossbar, {} bits/flit, {} (45 nm)",
-        cfg.radix,
-        cfg.radix,
-        cfg.flit_bits,
-        cfg.clock
+        cfg.radix, cfg.radix, cfg.flit_bits, cfg.clock
     );
     let measured = Table1::generate(&cfg).expect("characterization");
     let paper = Table1::paper_reference();

@@ -1,0 +1,108 @@
+//! Shared benchmark circuits: the inverter chain and the crossbar-slice
+//! configurations used by both the Criterion benches and the
+//! `bench_circuit` baseline emitter, so the two always measure the same
+//! workloads.
+
+use lnoc_circuit::netlist::{MosfetSpec, Netlist, NodeId};
+use lnoc_circuit::stimulus::Stimulus;
+use lnoc_core::config::CrossbarConfig;
+use lnoc_tech::device::{Polarity, VtClass};
+use lnoc_tech::node45::Node45;
+use std::sync::Arc;
+
+/// Builds an `stages`-deep 45 nm inverter chain driven by a rising ramp,
+/// with a 2 fF load per stage. Returns the netlist and the final output
+/// node. At the benchmark depth ([`CHAIN_STAGES`] = 300) the MNA system
+/// has ~300 unknowns — big enough that the dense-vs-sparse solve
+/// asymptotics dominate, small enough to stay a sub-second benchmark.
+pub fn inverter_chain(stages: usize) -> (Netlist, NodeId) {
+    let tech = Node45::tt();
+    let nmos = Arc::new(tech.mos(Polarity::Nmos, VtClass::Nominal));
+    let pmos = Arc::new(tech.mos(Polarity::Pmos, VtClass::Nominal));
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
+    let input = nl.node("s0");
+    nl.vsource(
+        "IN",
+        input,
+        Netlist::GROUND,
+        Stimulus::ramp(0.0, 1.0, 20e-12, 4e-12),
+    );
+    let mut prev = input;
+    for i in 0..stages {
+        let out = nl.node(&format!("s{}", i + 1));
+        nl.mosfet(
+            &format!("p{i}"),
+            MosfetSpec {
+                d: out,
+                g: prev,
+                s: vdd,
+                b: vdd,
+                model: Arc::clone(&pmos),
+                w: 0.9e-6,
+            },
+        )
+        .expect("positive width");
+        nl.mosfet(
+            &format!("n{i}"),
+            MosfetSpec {
+                d: out,
+                g: prev,
+                s: Netlist::GROUND,
+                b: Netlist::GROUND,
+                model: Arc::clone(&nmos),
+                w: 0.45e-6,
+            },
+        )
+        .expect("positive width");
+        nl.capacitor(&format!("c{i}"), out, Netlist::GROUND, 2.0e-15)
+            .expect("non-negative load");
+        prev = out;
+    }
+    (nl, prev)
+}
+
+/// The benchmark's standard chain depth (the `inverter_chain_100ps` id
+/// refers to the 100 ps simulated window). 300 stages ≈ a repeated
+/// long-wire driver chain; the MNA system has ~300 unknowns, deep into the
+/// regime where the dense-vs-sparse solve asymptotics dominate.
+pub const CHAIN_STAGES: usize = 300;
+
+/// A 16×16 (radix 16) crossbar configuration for slice-scale benches: the
+/// generated bit-slice MNA system has ~70 unknowns, representative of
+/// scaled-up NoC routers rather than the paper's 5×5 case.
+pub fn crossbar_16x16_cfg() -> CrossbarConfig {
+    CrossbarConfig {
+        radix: 16,
+        flit_bits: 64,
+        sim_dt: 0.5e-12,
+        ..CrossbarConfig::paper()
+    }
+}
+
+/// The configuration used for whole-Table-1 benchmarking: the scaled-up
+/// radix-16 router (where slice systems are large enough that solve cost,
+/// not device evaluation, dominates the reference kernel).
+pub fn table1_bench_cfg() -> CrossbarConfig {
+    crossbar_16x16_cfg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_expected_size() {
+        let (nl, _out) = inverter_chain(10);
+        // vdd + s0..s10 + ground.
+        assert_eq!(nl.node_count(), 13);
+        assert_eq!(nl.vsource_count(), 2);
+    }
+
+    #[test]
+    fn crossbar_cfg_is_valid() {
+        assert!(crossbar_16x16_cfg().validate().is_ok());
+        assert!(table1_bench_cfg().validate().is_ok());
+    }
+}

@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod circuits;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

@@ -124,8 +124,18 @@ mod tests {
         let out = nl.node("out");
         nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
         nl.vsource("IN", inp, Netlist::GROUND, Stimulus::dc(vin));
-        nl.mosfet("MP", MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: 900e-9 })
-            .unwrap();
+        nl.mosfet(
+            "MP",
+            MosfetSpec {
+                d: out,
+                g: inp,
+                s: vdd,
+                b: vdd,
+                model: pmos,
+                w: 900e-9,
+            },
+        )
+        .unwrap();
         nl.mosfet(
             "MN",
             MosfetSpec {

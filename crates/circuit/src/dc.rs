@@ -3,10 +3,44 @@
 //!
 //! The same assembly kernel serves the transient engine (which adds
 //! capacitor companion models); see [`crate::transient`].
+//!
+//! Two solve paths coexist (selected by [`NewtonOptions::solver`]):
+//!
+//! * the **fast engine** — a [`crate::assemble::Assembler`] that caches
+//!   constant stamps and re-evaluates only MOSFETs, feeding either the
+//!   dense LU (small systems) or the pattern-reusing sparse LU of
+//!   [`crate::sparse`]; factors and scratch live in a [`NewtonWorkspace`]
+//!   reused across Newton iterations, gmin stages and transient steps;
+//! * the **reference kernel** — the original walk-every-device dense
+//!   assembly, kept as the correctness oracle for property tests and as the
+//!   measured baseline for the performance benches.
 
+use crate::assemble::Assembler;
 use crate::error::CircuitError;
 use crate::linear::{norm_inf, Matrix};
 use crate::netlist::{Device, Netlist, NodeId};
+use crate::sparse::{SparseLu, DENSE_SPARSE_CROSSOVER};
+
+/// Which linear-algebra/assembly path a solve uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Fast assembler; sparse LU at or above
+    /// [`DENSE_SPARSE_CROSSOVER`] unknowns, dense below. The default.
+    #[default]
+    Auto,
+    /// Fast assembler with the dense LU regardless of size.
+    Dense,
+    /// Fast assembler with the sparse LU regardless of size.
+    Sparse,
+    /// The original full-restamp dense kernel, end to end: per-call
+    /// allocation, every device re-stamped per iteration, and the seed's
+    /// central-finite-difference device evaluation. Kept as the
+    /// correctness oracle and as the benchmark baseline (its Jacobians
+    /// are independent of the fast path's analytic gradients; the
+    /// residual function — and therefore the converged solution — is
+    /// identical).
+    Reference,
+}
 
 /// Options controlling Newton iteration.
 #[derive(Debug, Clone)]
@@ -23,6 +57,8 @@ pub struct NewtonOptions {
     /// Ladder of gmin values for the homotopy (ends with the final gmin,
     /// normally 0).
     pub gmin_ladder: Vec<f64>,
+    /// Assembly/linear-solver path.
+    pub solver: SolverKind,
 }
 
 impl Default for NewtonOptions {
@@ -36,9 +72,10 @@ impl Default for NewtonOptions {
             // matters for the regenerative (keeper) feedback loops in
             // the crossbar slices.
             gmin_ladder: vec![
-                1.0e-2, 1.0e-3, 1.0e-4, 1.0e-5, 1.0e-6, 1.0e-7, 1.0e-8, 1.0e-9, 1.0e-10,
-                1.0e-11, 0.0,
+                1.0e-2, 1.0e-3, 1.0e-4, 1.0e-5, 1.0e-6, 1.0e-7, 1.0e-8, 1.0e-9, 1.0e-10, 1.0e-11,
+                0.0,
             ],
+            solver: SolverKind::Auto,
         }
     }
 }
@@ -110,6 +147,19 @@ pub(crate) struct Companion<'a> {
     pub h: f64,
 }
 
+/// Device-evaluation flavour of the reference assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RefDeviceEval {
+    /// The shared analytic kernel (used when comparing stamping structure
+    /// against the fast assembler, which must match it bit-for-bit).
+    Analytic,
+    /// The seed's central-finite-difference evaluation — what
+    /// [`SolverKind::Reference`] solves with, so the baseline is the
+    /// original engine end to end and independent of the analytic
+    /// gradients.
+    FiniteDifference,
+}
+
 /// Assembles the Jacobian and residual at guess `x`.
 ///
 /// Layout of `x`: `x[i-1]` is the voltage of node `i` (ground excluded),
@@ -124,6 +174,7 @@ pub(crate) fn assemble(
     companion: Option<&Companion<'_>>,
     gmin: f64,
     source_scale: f64,
+    eval: RefDeviceEval,
     jac: &mut Matrix,
     residual: &mut [f64],
 ) {
@@ -220,7 +271,10 @@ pub(crate) fn assemble(
             }
             Device::Mosfet(m) => {
                 let (vg, vd, vs, vb) = (volt(m.g), volt(m.d), volt(m.s), volt(m.b));
-                let op = m.model.eval(m.w, vg, vd, vs, vb);
+                let op = match eval {
+                    RefDeviceEval::Analytic => m.model.eval(m.w, vg, vd, vs, vb),
+                    RefDeviceEval::FiniteDifference => m.model.eval_fd(m.w, vg, vd, vs, vb),
+                };
 
                 // Channel current: enters the device at the drain,
                 // leaves at the source.
@@ -256,12 +310,8 @@ pub(crate) fn assemble(
                 }
 
                 // Gate tunnelling: gate → source and gate → drain.
-                stamp_two_terminal_current(
-                    jac, residual, &idx, m.g, m.s, op.i_g_s, op.g_gs,
-                );
-                stamp_two_terminal_current(
-                    jac, residual, &idx, m.g, m.d, op.i_g_d, op.g_gd,
-                );
+                stamp_two_terminal_current(jac, residual, &idx, m.g, m.s, op.i_g_s, op.g_gs);
+                stamp_two_terminal_current(jac, residual, &idx, m.g, m.d, op.i_g_d, op.g_gd);
             }
         }
     }
@@ -294,21 +344,230 @@ fn stamp_two_terminal_current(
     }
 }
 
-/// Runs damped Newton at fixed `time`/`gmin` starting from `x`.
-///
-/// Returns the infinity-norm of the final residual on success.
-pub(crate) fn newton(
+/// Assembles the reference (oracle) Jacobian and residual at `x` and
+/// returns them densely, using the shared analytic device kernel so
+/// stamping *structure* can be compared bit-for-bit against the fast
+/// assembler. (`SolverKind::Reference` solves instead with the seed's
+/// finite-difference evaluation; see [`SolverKind`].) `v_old_h` supplies
+/// the backward-Euler companion context for transient systems. Exposed
+/// for property tests and for capturing real crossbar-slice systems in
+/// benches.
+pub fn assemble_reference_system(
     nl: &Netlist,
+    x: &[f64],
+    time: f64,
+    v_old_h: Option<(&[f64], f64)>,
+    gmin: f64,
+    source_scale: f64,
+) -> (Matrix, Vec<f64>) {
+    let dim = (nl.node_count() - 1) + nl.vsource_count();
+    let mut jac = Matrix::zeros(dim);
+    let mut residual = vec![0.0; dim];
+    let companion = v_old_h.map(|(v_old, h)| Companion { v_old, h });
+    assemble(
+        nl,
+        x,
+        time,
+        companion.as_ref(),
+        gmin,
+        source_scale,
+        RefDeviceEval::Analytic,
+        &mut jac,
+        &mut residual,
+    );
+    (jac, residual)
+}
+
+/// The linear-solver backend of a fast-path workspace.
+#[derive(Debug)]
+enum Backend {
+    /// Dense LU on a scatter of the sparse values (small systems).
+    Dense(Matrix),
+    /// Pattern-reusing sparse LU (boxed: it carries factor + scratch
+    /// arrays and dwarfs the dense variant's header).
+    Sparse(Box<SparseLu>),
+}
+
+/// Reusable state of the fast Newton engine: the two-phase assembler, the
+/// factorization backend, and solve scratch. Build once per netlist
+/// structure and reuse across Newton iterations, gmin stages and transient
+/// steps — nothing here allocates after construction.
+#[derive(Debug)]
+pub struct NewtonWorkspace {
+    asm: Assembler,
+    backend: Backend,
+    dx: Vec<f64>,
+}
+
+impl NewtonWorkspace {
+    /// Builds a workspace for `nl`, choosing the backend per `kind`
+    /// ([`SolverKind::Reference`] is not a fast path and is rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` is [`SolverKind::Reference`].
+    pub fn new(nl: &Netlist, kind: SolverKind) -> Self {
+        let asm = Assembler::new(nl);
+        let dim = asm.dim();
+        let sparse = match kind {
+            SolverKind::Sparse => true,
+            SolverKind::Dense => false,
+            SolverKind::Auto => dim >= DENSE_SPARSE_CROSSOVER,
+            SolverKind::Reference => panic!("Reference solves do not use a workspace"),
+        };
+        let backend = if sparse {
+            Backend::Sparse(Box::new(SparseLu::new(dim)))
+        } else {
+            Backend::Dense(Matrix::zeros(dim))
+        };
+        NewtonWorkspace {
+            backend,
+            dx: vec![0.0; dim],
+            asm,
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.asm.dim()
+    }
+
+    /// `true` when this workspace solves through the sparse backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.backend, Backend::Sparse(_))
+    }
+
+    /// Mirrors [`Netlist::set_stimulus`] into the assembler's snapshot for
+    /// callers that keep a workspace alive across stimulus swaps. `branch`
+    /// is the voltage-source insertion index.
+    pub fn set_branch_stimulus(&mut self, branch: usize, stimulus: crate::stimulus::Stimulus) {
+        self.asm.set_branch_stimulus(branch, stimulus);
+    }
+}
+
+/// Either the fast workspace-backed engine or the reference kernel.
+#[derive(Debug)]
+pub(crate) enum Engine {
+    /// Original dense full-restamp kernel.
+    Reference,
+    /// Fast two-phase assembler + reusable factorization.
+    Fast(Box<NewtonWorkspace>),
+}
+
+impl Engine {
+    pub(crate) fn new(nl: &Netlist, kind: SolverKind) -> Self {
+        match kind {
+            SolverKind::Reference => Engine::Reference,
+            kind => Engine::Fast(Box::new(NewtonWorkspace::new(nl, kind))),
+        }
+    }
+
+    /// `true` for the frozen seed kernel (which also opts out of the
+    /// transient predictor, so baseline measurements reflect the original
+    /// engine end to end).
+    pub(crate) fn is_reference(&self) -> bool {
+        matches!(self, Engine::Reference)
+    }
+}
+
+/// Damped Newton through whichever engine is selected.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn newton_with_engine(
+    nl: &Netlist,
+    engine: &mut Engine,
     x: &mut [f64],
     time: f64,
     companion: Option<&Companion<'_>>,
     gmin: f64,
+    source_scale: f64,
     opts: &NewtonOptions,
 ) -> Result<f64, CircuitError> {
-    newton_scaled(nl, x, time, companion, gmin, 1.0, opts)
+    match engine {
+        Engine::Reference => newton_scaled(nl, x, time, companion, gmin, source_scale, opts),
+        Engine::Fast(ws) => newton_fast(nl, ws, x, time, companion, gmin, source_scale, opts),
+    }
 }
 
-/// [`newton`] with an explicit source scale (for source stepping).
+/// The fast Newton loop: memcpy'd constant stamps + MOSFET-only restamping
+/// per iteration, and factorization state reused across iterations.
+#[allow(clippy::too_many_arguments)]
+fn newton_fast(
+    nl: &Netlist,
+    ws: &mut NewtonWorkspace,
+    x: &mut [f64],
+    time: f64,
+    companion: Option<&Companion<'_>>,
+    gmin: f64,
+    source_scale: f64,
+    opts: &NewtonOptions,
+) -> Result<f64, CircuitError> {
+    let n_nodes = nl.node_count();
+    debug_assert_eq!(x.len(), ws.asm.dim());
+    ws.asm.set_linear_state(gmin, companion.map(|c| c.h));
+    ws.asm
+        .prepare_rhs(time, source_scale, companion.map(|c| c.v_old));
+
+    let mut last_residual = f64::INFINITY;
+    for _ in 0..opts.max_iterations {
+        ws.asm.assemble(x);
+        let residual = ws.asm.residual();
+        for (d, r) in ws.dx.iter_mut().zip(residual) {
+            *d = -r;
+        }
+        match &mut ws.backend {
+            Backend::Dense(m) => {
+                scatter_dense(&ws.asm, m);
+                m.solve_in_place(&mut ws.dx)?;
+            }
+            Backend::Sparse(lu) => {
+                lu.refactorize(ws.asm.pattern(), ws.asm.values())?;
+                lu.solve_in_place(&mut ws.dx);
+            }
+        }
+
+        // Damp voltage updates (branch currents move freely).
+        let mut max_dv = 0.0_f64;
+        for (i, d) in ws.dx.iter_mut().enumerate() {
+            if i < n_nodes - 1 {
+                *d = d.clamp(-opts.v_step_limit, opts.v_step_limit);
+                max_dv = max_dv.max(d.abs());
+            }
+            x[i] += *d;
+        }
+
+        last_residual = norm_inf(&ws.asm.residual()[..n_nodes - 1]);
+        if max_dv < opts.v_tolerance && last_residual < opts.i_tolerance {
+            return Ok(last_residual);
+        }
+    }
+    Err(CircuitError::NoConvergence {
+        analysis: if companion.is_some() {
+            "transient"
+        } else {
+            "dc"
+        },
+        time,
+        residual: last_residual,
+    })
+}
+
+/// Scatters the assembler's sparse values into the dense backend matrix.
+fn scatter_dense(asm: &Assembler, m: &mut Matrix) {
+    m.clear();
+    let pattern = asm.pattern();
+    let values = asm.values();
+    for col in 0..pattern.dim() {
+        let range = pattern.col_range(col);
+        let rows = pattern.col_rows(col);
+        for (off, slot) in range.enumerate() {
+            m.add(rows[off], col, values[slot]);
+        }
+    }
+}
+
+/// Reference damped Newton with an explicit source scale: allocates its
+/// system per call and re-stamps every device per iteration (the seed
+/// behaviour, kept as oracle and benchmark baseline).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_scaled(
     nl: &Netlist,
@@ -327,7 +586,17 @@ pub(crate) fn newton_scaled(
 
     let mut last_residual = f64::INFINITY;
     for _ in 0..opts.max_iterations {
-        assemble(nl, x, time, companion, gmin, source_scale, &mut jac, &mut residual);
+        assemble(
+            nl,
+            x,
+            time,
+            companion,
+            gmin,
+            source_scale,
+            RefDeviceEval::FiniteDifference,
+            &mut jac,
+            &mut residual,
+        );
         // Newton step: J·dx = −F.
         let mut dx: Vec<f64> = residual.iter().map(|r| -r).collect();
         jac.solve_in_place(&mut dx)?;
@@ -348,7 +617,11 @@ pub(crate) fn newton_scaled(
         }
     }
     Err(CircuitError::NoConvergence {
-        analysis: if companion.is_some() { "transient" } else { "dc" },
+        analysis: if companion.is_some() {
+            "transient"
+        } else {
+            "dc"
+        },
         time,
         residual: last_residual,
     })
@@ -372,16 +645,29 @@ pub fn solve_with(
     opts: &NewtonOptions,
     warm_start: Option<&[f64]>,
 ) -> Result<DcSolution, CircuitError> {
-    match gmin_ladder_solve(nl, opts, warm_start) {
+    let mut engine = Engine::new(nl, opts.solver);
+    solve_with_engine(nl, &mut engine, opts, warm_start)
+}
+
+/// [`solve_with`] on an existing engine (the transient loop shares one
+/// engine between its initial operating point and its time steps).
+pub(crate) fn solve_with_engine(
+    nl: &Netlist,
+    engine: &mut Engine,
+    opts: &NewtonOptions,
+    warm_start: Option<&[f64]>,
+) -> Result<DcSolution, CircuitError> {
+    match gmin_ladder_solve(nl, engine, opts, warm_start) {
         Ok(sol) => Ok(sol),
         // Last-resort homotopy: ramp all sources from zero.
-        Err(first_err) => source_stepping_solve(nl, opts).map_err(|_| first_err),
+        Err(first_err) => source_stepping_solve(nl, engine, opts).map_err(|_| first_err),
     }
 }
 
 /// Primary strategy: gmin continuation with damped retries per stage.
 fn gmin_ladder_solve(
     nl: &Netlist,
+    engine: &mut Engine,
     opts: &NewtonOptions,
     warm_start: Option<&[f64]>,
 ) -> Result<DcSolution, CircuitError> {
@@ -392,7 +678,7 @@ fn gmin_ladder_solve(
         // A warm start is already near a solution branch; entering the
         // gmin ladder would drag bistable nodes toward mid-rail and can
         // hop to the wrong branch. Try plain Newton first.
-        if newton(nl, &mut x, 0.0, None, 0.0, opts).is_ok() {
+        if newton_with_engine(nl, engine, &mut x, 0.0, None, 0.0, 1.0, opts).is_ok() {
             return Ok(pack_solution(nl, &x));
         }
         x.copy_from_slice(ws);
@@ -414,7 +700,7 @@ fn gmin_ladder_solve(
                 max_iterations: iters,
                 ..opts.clone()
             };
-            match newton(nl, &mut x, 0.0, None, gmin, &attempt_opts) {
+            match newton_with_engine(nl, engine, &mut x, 0.0, None, gmin, 1.0, &attempt_opts) {
                 Ok(_) => {
                     converged = true;
                     break;
@@ -444,7 +730,11 @@ fn gmin_ladder_solve(
 /// holding a small gmin, then release the gmin. Follows a continuous
 /// solution branch, which handles bistable keeper loops that defeat the
 /// gmin ladder.
-fn source_stepping_solve(nl: &Netlist, opts: &NewtonOptions) -> Result<DcSolution, CircuitError> {
+fn source_stepping_solve(
+    nl: &Netlist,
+    engine: &mut Engine,
+    opts: &NewtonOptions,
+) -> Result<DcSolution, CircuitError> {
     let dim = (nl.node_count() - 1) + nl.vsource_count();
     let mut x = vec![0.0; dim];
     let step_opts = NewtonOptions {
@@ -455,11 +745,11 @@ fn source_stepping_solve(nl: &Netlist, opts: &NewtonOptions) -> Result<DcSolutio
     let steps = 25;
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
-        newton_scaled(nl, &mut x, 0.0, None, 1.0e-9, scale, &step_opts)?;
+        newton_with_engine(nl, engine, &mut x, 0.0, None, 1.0e-9, scale, &step_opts)?;
     }
     // Release the residual gmin.
     for gmin in [1.0e-10, 1.0e-11, 1.0e-12, 0.0] {
-        newton_scaled(nl, &mut x, 0.0, None, gmin, 1.0, &step_opts)?;
+        newton_with_engine(nl, engine, &mut x, 0.0, None, gmin, 1.0, &step_opts)?;
     }
     Ok(pack_solution(nl, &x))
 }
@@ -468,9 +758,7 @@ fn source_stepping_solve(nl: &Netlist, opts: &NewtonOptions) -> Result<DcSolutio
 pub(crate) fn pack_solution(nl: &Netlist, x: &[f64]) -> DcSolution {
     let n_nodes = nl.node_count();
     let mut voltages = vec![0.0; n_nodes];
-    for i in 1..n_nodes {
-        voltages[i] = x[i - 1];
-    }
+    voltages[1..n_nodes].copy_from_slice(&x[..n_nodes - 1]);
     let branch_currents = x[n_nodes - 1..].to_vec();
     DcSolution {
         voltages,
@@ -552,12 +840,20 @@ mod tests {
         let lo = build(0.0);
         let sol = solve(&lo).unwrap();
         let out = lo.find_node("out").unwrap();
-        assert!(sol.voltage(out) > 0.95, "Vin=0 ⇒ out high, got {}", sol.voltage(out));
+        assert!(
+            sol.voltage(out) > 0.95,
+            "Vin=0 ⇒ out high, got {}",
+            sol.voltage(out)
+        );
 
         let hi = build(1.0);
         let sol = solve(&hi).unwrap();
         let out = hi.find_node("out").unwrap();
-        assert!(sol.voltage(out) < 0.05, "Vin=1 ⇒ out low, got {}", sol.voltage(out));
+        assert!(
+            sol.voltage(out) < 0.05,
+            "Vin=1 ⇒ out low, got {}",
+            sol.voltage(out)
+        );
     }
 
     #[test]
@@ -573,7 +869,14 @@ mod tests {
         nl.vsource("IN", inp, Netlist::GROUND, Stimulus::dc(0.0));
         nl.mosfet(
             "MP",
-            MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: 900e-9 },
+            MosfetSpec {
+                d: out,
+                g: inp,
+                s: vdd,
+                b: vdd,
+                model: pmos,
+                w: 900e-9,
+            },
         )
         .unwrap();
         nl.mosfet(

@@ -10,8 +10,17 @@
 //! * [`linear`] — dense LU decomposition with partial pivoting (the MNA
 //!   systems here are ≲ a few hundred unknowns; no external linear
 //!   algebra needed).
+//! * [`sparse`] — CSC sparsity pattern fixed per netlist and an LU whose
+//!   pivot order / fill pattern are discovered once and *refactorized*
+//!   numerically on every subsequent solve — the fast path for the
+//!   > 90 %-zero crossbar-slice systems.
+//! * [`assemble`] — two-phase assembly: constant stamps (resistors, gmin,
+//!   source incidence, capacitor companions) cached and `memcpy`'d per
+//!   iteration; only MOSFET entries are re-evaluated.
 //! * [`dc`] — Newton–Raphson operating-point solver with gmin stepping
-//!   and voltage-step damping.
+//!   and voltage-step damping, selectable between the fast
+//!   sparse/dense engines and the original reference kernel
+//!   ([`dc::SolverKind`]).
 //! * [`transient`] — backward-Euler time stepping (robust and
 //!   non-oscillatory for digital switching waveforms) on top of the same
 //!   Newton kernel.
@@ -47,10 +56,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod assemble;
 pub mod dc;
 pub mod error;
 pub mod linear;
 pub mod netlist;
+pub mod sparse;
 pub mod stimulus;
 pub mod transient;
 pub mod waveform;

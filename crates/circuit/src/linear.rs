@@ -60,9 +60,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.n..(r + 1) * self.n];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -116,9 +116,8 @@ impl Matrix {
         // Back substitution.
         for k in (0..n).rev() {
             let mut sum = b[k];
-            for c in (k + 1)..n {
-                sum -= self.get(k, c) * b[c];
-            }
+            let row = &self.data[k * n + k + 1..(k + 1) * n];
+            sum -= row.iter().zip(&b[k + 1..]).map(|(a, x)| a * x).sum::<f64>();
             b[k] = sum / self.get(k, k);
         }
         Ok(())

@@ -187,7 +187,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite resistance.
-    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<DeviceId, CircuitError> {
+    pub fn resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<DeviceId, CircuitError> {
         if ohms <= 0.0 || !ohms.is_finite() {
             return Err(CircuitError::InvalidValue {
                 device: name.to_string(),
@@ -204,7 +210,13 @@ impl Netlist {
     ///
     /// Rejects negative or non-finite capacitance (zero is allowed and
     /// simply never stamps).
-    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<DeviceId, CircuitError> {
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<DeviceId, CircuitError> {
         if farads < 0.0 || !farads.is_finite() {
             return Err(CircuitError::InvalidValue {
                 device: name.to_string(),
@@ -216,7 +228,13 @@ impl Netlist {
     }
 
     /// Adds an ideal voltage source (`pos` − `neg` = stimulus value).
-    pub fn vsource(&mut self, name: &str, pos: NodeId, neg: NodeId, stimulus: Stimulus) -> DeviceId {
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        stimulus: Stimulus,
+    ) -> DeviceId {
         let id = self.push(name, Device::VSource { pos, neg, stimulus });
         self.vsource_order.push(id);
         id
@@ -254,7 +272,10 @@ impl Netlist {
 
     /// Looks up a device by name (linear scan; fine at these sizes).
     pub fn find_device(&self, name: &str) -> Option<DeviceId> {
-        self.devices.iter().position(|d| d.name == name).map(DeviceId)
+        self.devices
+            .iter()
+            .position(|d| d.name == name)
+            .map(DeviceId)
     }
 
     /// The entry for a device id.
@@ -326,12 +347,8 @@ impl Netlist {
                     );
                 }
                 Device::Mosfet(m) => {
-                    let flavour = format!(
-                        "{:?}_{:?}",
-                        m.model.polarity(),
-                        m.model.vt_class()
-                    )
-                    .to_lowercase();
+                    let flavour =
+                        format!("{:?}_{:?}", m.model.polarity(), m.model.vt_class()).to_lowercase();
                     let _ = writeln!(
                         out,
                         "M{name} {} {} {} {} {flavour} W={:.4e} L={:.4e}",

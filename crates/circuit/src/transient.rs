@@ -43,14 +43,17 @@ impl TransientSpec {
 }
 
 /// Result of a transient run: every recorded sample of every node and
-/// branch.
+/// branch, stored flat and strided (one contiguous allocation per signal
+/// class instead of one `Vec` per sample).
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
-    /// `node_samples[k][node_index]` = voltage at sample `k`.
-    node_samples: Vec<Vec<f64>>,
-    /// `branch_samples[k][branch]` = source branch current at sample `k`.
-    branch_samples: Vec<Vec<f64>>,
+    n_nodes: usize,
+    n_branches: usize,
+    /// Voltage of node `i` at sample `k`: `node_samples[k * n_nodes + i]`.
+    node_samples: Vec<f64>,
+    /// Branch current `b` at sample `k`: `branch_samples[k * n_branches + b]`.
+    branch_samples: Vec<f64>,
 }
 
 impl TransientResult {
@@ -59,12 +62,22 @@ impl TransientResult {
         &self.times
     }
 
+    /// Voltage of one node at one recorded sample.
+    #[inline]
+    fn node_at(&self, sample: usize, node_index: usize) -> f64 {
+        self.node_samples[sample * self.n_nodes + node_index]
+    }
+
+    /// Branch current of one source at one recorded sample.
+    #[inline]
+    fn branch_at(&self, sample: usize, branch: usize) -> f64 {
+        self.branch_samples[sample * self.n_branches + branch]
+    }
+
     /// Voltage waveform of a node.
     pub fn voltage(&self, node: NodeId) -> Waveform {
-        let v = self
-            .node_samples
-            .iter()
-            .map(|s| s[node.index()])
+        let v = (0..self.times.len())
+            .map(|k| self.node_at(k, node.index()))
             .collect();
         Waveform::new(self.times.clone(), v)
     }
@@ -72,7 +85,9 @@ impl TransientResult {
     /// Branch-current waveform of the `k`-th voltage source (current
     /// through the source from + to −; supply delivery is its negative).
     pub fn branch_current(&self, k: usize) -> Waveform {
-        let v = self.branch_samples.iter().map(|s| s[k]).collect();
+        let v = (0..self.times.len())
+            .map(|s| self.branch_at(s, k))
+            .collect();
         Waveform::new(self.times.clone(), v)
     }
 
@@ -85,7 +100,9 @@ impl TransientResult {
         let k = nl
             .branch_index(id)
             .expect("device is not a voltage source of this netlist");
-        let v = self.branch_samples.iter().map(|s| -s[k]).collect();
+        let v = (0..self.times.len())
+            .map(|s| -self.branch_at(s, k))
+            .collect();
         Waveform::new(self.times.clone(), v)
     }
 
@@ -113,8 +130,8 @@ impl TransientResult {
             let b = t1.min(to);
             // Power at the two recorded ends of the clipped interval.
             let p_at = |idx: usize| {
-                let v = self.node_samples[idx][pos.index()] - self.node_samples[idx][neg.index()];
-                v * -self.branch_samples[idx][k]
+                let v = self.node_at(idx, pos.index()) - self.node_at(idx, neg.index());
+                v * -self.branch_at(idx, k)
             };
             let (p0, p1) = (p_at(i - 1), p_at(i));
             // Linear interpolation of power onto [a, b].
@@ -131,13 +148,24 @@ impl TransientResult {
     }
 
     /// The final sample as a flat unknown vector, usable as a warm start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result holds no samples (never happens for results
+    /// returned by [`run`] / [`run_from`]).
     pub fn final_state(&self, nl: &Netlist) -> Vec<f64> {
         let n_nodes = nl.node_count();
-        let last_v = self.node_samples.last().expect("at least one sample");
-        let last_i = self.branch_samples.last().expect("at least one sample");
-        let mut x = Vec::with_capacity(n_nodes - 1 + last_i.len());
-        x.extend_from_slice(&last_v[1..]);
-        x.extend_from_slice(last_i);
+        assert_eq!(n_nodes, self.n_nodes, "result belongs to another netlist");
+        let last = self
+            .times
+            .len()
+            .checked_sub(1)
+            .expect("at least one sample");
+        let v_base = last * self.n_nodes;
+        let i_base = last * self.n_branches;
+        let mut x = Vec::with_capacity(n_nodes - 1 + self.n_branches);
+        x.extend_from_slice(&self.node_samples[v_base + 1..v_base + n_nodes]);
+        x.extend_from_slice(&self.branch_samples[i_base..i_base + self.n_branches]);
         x
     }
 }
@@ -153,13 +181,15 @@ impl TransientResult {
 pub fn run(nl: &Netlist, spec: &TransientSpec) -> Result<TransientResult, CircuitError> {
     // The initial operating point is a full homotopy solve; do not let
     // the per-step iteration cap (tuned for warm-started steps) starve
-    // it.
+    // it. The engine (assembler structure + factorization state) is built
+    // once and shared between the DC solve and every time step.
+    let mut engine = dc::Engine::new(nl, spec.newton.solver);
     let dc_opts = NewtonOptions {
         max_iterations: spec.newton.max_iterations.max(250),
         ..spec.newton.clone()
     };
-    let dc_sol = dc::solve_with(nl, &dc_opts, None)?;
-    run_from(nl, spec, &dc_sol)
+    let dc_sol = dc::solve_with_engine(nl, &mut engine, &dc_opts, None)?;
+    run_from_with_engine(nl, &mut engine, spec, &dc_sol)
 }
 
 /// Runs a transient analysis from an explicit initial operating point
@@ -170,6 +200,17 @@ pub fn run(nl: &Netlist, spec: &TransientSpec) -> Result<TransientResult, Circui
 /// Propagates Newton convergence failures.
 pub fn run_from(
     nl: &Netlist,
+    spec: &TransientSpec,
+    initial: &dc::DcSolution,
+) -> Result<TransientResult, CircuitError> {
+    let mut engine = dc::Engine::new(nl, spec.newton.solver);
+    run_from_with_engine(nl, &mut engine, spec, initial)
+}
+
+/// The stepping loop on a caller-provided engine.
+fn run_from_with_engine(
+    nl: &Netlist,
+    engine: &mut dc::Engine,
     spec: &TransientSpec,
     initial: &dc::DcSolution,
 ) -> Result<TransientResult, CircuitError> {
@@ -185,16 +226,82 @@ pub fn run_from(
 
     let mut v_old = initial.voltages().to_vec();
 
-    let mut result = TransientResult {
-        times: vec![0.0],
-        node_samples: vec![v_old.clone()],
-        branch_samples: vec![(0..n_branches).map(|k| initial.branch_current(k)).collect()],
-    };
-
     let steps = (spec.t_stop / spec.dt).ceil() as usize;
+    let recorded = steps / spec.record_stride + 2;
+    let mut result = TransientResult {
+        times: Vec::with_capacity(recorded),
+        n_nodes,
+        n_branches,
+        node_samples: Vec::with_capacity(recorded * n_nodes),
+        branch_samples: Vec::with_capacity(recorded * n_branches),
+    };
+    result.times.push(0.0);
+    result.node_samples.extend_from_slice(&v_old);
+    for k in 0..n_branches {
+        result.branch_samples.push(initial.branch_current(k));
+    }
+
+    // Reusable save buffers for the retry/bisection logic (one per
+    // recursion depth, allocated on first use, reused for every step).
+    let mut save_pool: Vec<Vec<f64>> = Vec::new();
+    // Predictor state: the converged unknowns of the previous two steps.
+    // Linear extrapolation seeds Newton close enough that smooth regions
+    // converge in one or two iterations; the corrector still iterates to
+    // the same tolerances, so the accepted solution is unchanged.
+    let mut x_prev = x.clone();
+    let mut x_conv = vec![0.0; dim];
+    let mut v_old_save = vec![0.0; n_nodes];
+    // The reference engine reproduces the seed behaviour exactly —
+    // including cold per-step Newton starts — so it skips the predictor.
+    let use_predictor = !engine.is_reference();
+
     for step in 1..=steps {
         let t = step as f64 * spec.dt;
-        advance_step(nl, &mut x, &mut v_old, t - spec.dt, spec.dt, &spec.newton, 0)?;
+        x_conv.copy_from_slice(&x);
+        v_old_save.copy_from_slice(&v_old);
+        let predicted = use_predictor && step >= 2;
+        if predicted {
+            for i in 0..dim {
+                x[i] = 2.0 * x[i] - x_prev[i];
+            }
+        }
+        x_prev.copy_from_slice(&x_conv);
+        let advanced = advance_step(
+            nl,
+            engine,
+            &mut x,
+            &mut v_old,
+            t - spec.dt,
+            spec.dt,
+            &spec.newton,
+            0,
+            &mut save_pool,
+        );
+        if let Err(e) = advanced {
+            // Only a step that started from an extrapolated guess gets a
+            // second chance: an un-extrapolated step that failed would
+            // deterministically fail again from identical state.
+            if !predicted {
+                return Err(e);
+            }
+            // An extrapolated guess can overshoot a sharp edge; retry the
+            // whole step once from the un-extrapolated converged state
+            // (restoring the companion history a failed bisection may
+            // have partially advanced).
+            x.copy_from_slice(&x_conv);
+            v_old.copy_from_slice(&v_old_save);
+            advance_step(
+                nl,
+                engine,
+                &mut x,
+                &mut v_old,
+                t - spec.dt,
+                spec.dt,
+                &spec.newton,
+                0,
+                &mut save_pool,
+            )?;
+        }
 
         // Update history.
         v_old[0] = 0.0;
@@ -202,10 +309,8 @@ pub fn run_from(
 
         if step % spec.record_stride == 0 || step == steps {
             result.times.push(t);
-            result.node_samples.push(v_old.clone());
-            result
-                .branch_samples
-                .push(x[n_nodes - 1..].to_vec());
+            result.node_samples.extend_from_slice(&v_old);
+            result.branch_samples.extend_from_slice(&x[n_nodes - 1..]);
         }
     }
     Ok(result)
@@ -214,23 +319,41 @@ pub fn run_from(
 /// Advances the state from `t_start` by `h` with backward Euler,
 /// retrying with heavier damping and then bisecting the step (up to 4
 /// levels) when Newton stalls on a sharp edge.
+#[allow(clippy::too_many_arguments)]
 fn advance_step(
     nl: &Netlist,
+    engine: &mut dc::Engine,
     x: &mut [f64],
     v_old: &mut [f64],
     t_start: f64,
     h: f64,
     opts: &NewtonOptions,
     depth: u32,
+    save_pool: &mut Vec<Vec<f64>>,
 ) -> Result<(), CircuitError> {
     let t_end = t_start + h;
-    let step_start_x = x.to_vec();
+    // Borrow a save buffer from the pool (returned before recursing).
+    let mut step_start_x = save_pool.pop().unwrap_or_default();
+    step_start_x.clear();
+    step_start_x.extend_from_slice(x);
     let mut attempt_opts = opts.clone();
     let mut last_err = None;
     for _attempt in 0..3 {
         let companion = Companion { v_old, h };
-        match dc::newton(nl, x, t_end, Some(&companion), 0.0, &attempt_opts) {
-            Ok(_) => return Ok(()),
+        match dc::newton_with_engine(
+            nl,
+            engine,
+            x,
+            t_end,
+            Some(&companion),
+            0.0,
+            1.0,
+            &attempt_opts,
+        ) {
+            Ok(_) => {
+                save_pool.push(step_start_x);
+                return Ok(());
+            }
             Err(e) => {
                 last_err = Some(e);
                 x.copy_from_slice(&step_start_x);
@@ -239,15 +362,36 @@ fn advance_step(
             }
         }
     }
+    save_pool.push(step_start_x);
     if depth >= 4 {
         return Err(last_err.expect("attempt loop ran at least once"));
     }
     // Bisect: two half-steps, refreshing the companion history between
     // them.
     let n_nodes = v_old.len();
-    advance_step(nl, x, v_old, t_start, 0.5 * h, opts, depth + 1)?;
+    advance_step(
+        nl,
+        engine,
+        x,
+        v_old,
+        t_start,
+        0.5 * h,
+        opts,
+        depth + 1,
+        save_pool,
+    )?;
     v_old[1..].copy_from_slice(&x[..n_nodes - 1]);
-    advance_step(nl, x, v_old, t_start + 0.5 * h, 0.5 * h, opts, depth + 1)
+    advance_step(
+        nl,
+        engine,
+        x,
+        v_old,
+        t_start + 0.5 * h,
+        0.5 * h,
+        opts,
+        depth + 1,
+        save_pool,
+    )
 }
 
 #[cfg(test)]
@@ -266,7 +410,12 @@ mod tests {
         let mut nl = Netlist::new();
         let vin = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V", vin, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 0.0, 1e-15));
+        nl.vsource(
+            "V",
+            vin,
+            Netlist::GROUND,
+            Stimulus::ramp(0.0, 1.0, 0.0, 1e-15),
+        );
         nl.resistor("R", vin, out, 1.0e3).unwrap();
         nl.capacitor("C", out, Netlist::GROUND, 10.0e-15).unwrap();
         let res = run(&nl, &TransientSpec::new(60e-12, 0.02e-12)).unwrap();
@@ -286,7 +435,12 @@ mod tests {
         let mut nl = Netlist::new();
         let vin = nl.node("in");
         let out = nl.node("out");
-        let v = nl.vsource("V", vin, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 0.0, 1e-15));
+        let v = nl.vsource(
+            "V",
+            vin,
+            Netlist::GROUND,
+            Stimulus::ramp(0.0, 1.0, 0.0, 1e-15),
+        );
         nl.resistor("R", vin, out, 2.0e3).unwrap();
         nl.capacitor("C", out, Netlist::GROUND, 20.0e-15).unwrap();
         let res = run(&nl, &TransientSpec::new(400e-12, 0.05e-12)).unwrap();
@@ -315,7 +469,14 @@ mod tests {
         nl.vsource("IN", inp, Netlist::GROUND, stim);
         nl.mosfet(
             "MP",
-            MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: w_p },
+            MosfetSpec {
+                d: out,
+                g: inp,
+                s: vdd,
+                b: vdd,
+                model: pmos,
+                w: w_p,
+            },
         )
         .unwrap();
         nl.mosfet(
@@ -407,9 +568,24 @@ mod tests {
             let inp = nl.node("in");
             let out = nl.node("out");
             nl.vsource("DD", vdd, Netlist::GROUND, Stimulus::dc(1.0));
-            nl.vsource("IN", inp, Netlist::GROUND, Stimulus::ramp(0.0, 1.0, 10e-12, 4e-12));
-            nl.mosfet("MP", MosfetSpec { d: out, g: inp, s: vdd, b: vdd, model: pmos, w: 900e-9 })
-                .unwrap();
+            nl.vsource(
+                "IN",
+                inp,
+                Netlist::GROUND,
+                Stimulus::ramp(0.0, 1.0, 10e-12, 4e-12),
+            );
+            nl.mosfet(
+                "MP",
+                MosfetSpec {
+                    d: out,
+                    g: inp,
+                    s: vdd,
+                    b: vdd,
+                    model: pmos,
+                    w: 900e-9,
+                },
+            )
+            .unwrap();
             nl.mosfet(
                 "MN",
                 MosfetSpec {

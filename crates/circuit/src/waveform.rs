@@ -130,7 +130,11 @@ impl Waveform {
             };
             if crossed {
                 let (t0, t1) = (self.t[i - 1], self.t[i]);
-                let frac = if v1 == v0 { 1.0 } else { (threshold - v0) / (v1 - v0) };
+                let frac = if v1 == v0 {
+                    1.0
+                } else {
+                    (threshold - v0) / (v1 - v0)
+                };
                 let t_cross = t0 + frac * (t1 - t0);
                 if t_cross > after {
                     return Some(t_cross);
@@ -259,10 +263,7 @@ mod tests {
 
     #[test]
     fn after_filter_skips_early_crossings() {
-        let w = Waveform::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.0, 0.0, 1.0, 0.0],
-        );
+        let w = Waveform::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 0.0, 1.0, 0.0]);
         let c = w.crossings(0.5, Edge::Rising);
         assert_eq!(c.len(), 2);
         assert!((c[0] - 0.5).abs() < 1e-12);
@@ -286,12 +287,8 @@ mod tests {
     #[test]
     fn propagation_delay_simple() {
         let input = Waveform::new(vec![0.0, 1e-12, 2e-12], vec![0.0, 1.0, 1.0]);
-        let output = Waveform::new(
-            vec![0.0, 5e-12, 15e-12, 30e-12],
-            vec![1.0, 1.0, 0.0, 0.0],
-        );
-        let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 1.0, 0.0)
-            .unwrap();
+        let output = Waveform::new(vec![0.0, 5e-12, 15e-12, 30e-12], vec![1.0, 1.0, 0.0, 0.0]);
+        let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 1.0, 0.0).unwrap();
         // Input crosses 0.5 at 0.5 ps; output at 10 ps.
         assert!((d - 9.5e-12).abs() < 1e-15);
     }

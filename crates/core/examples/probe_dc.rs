@@ -15,14 +15,30 @@ fn leakage_probe() {
     let ch = Characterizer::new(&cfg);
     for scheme in [Scheme::Sc, Scheme::Dfc, Scheme::Sdfc] {
         let d = ch.leakage_detail(scheme).unwrap();
-        println!("== {scheme}: active={:.3e} idle={:.3e} standby={:.3e}",
-            d.active_power(), d.idle_awake_power(), d.standby.power);
+        println!(
+            "== {scheme}: active={:.3e} idle={:.3e} standby={:.3e}",
+            d.active_power(),
+            d.idle_awake_power(),
+            d.standby.power
+        );
         for st in &d.active_states {
-            println!("   state '{}' w={:.2} p={:.3e}", st.label, st.weight, st.power);
+            println!(
+                "   state '{}' w={:.2} p={:.3e}",
+                st.label, st.weight, st.power
+            );
             let mut entries: Vec<_> = st.report.entries().to_vec();
-            entries.sort_by(|a, b| b.breakdown.total().0.partial_cmp(&a.breakdown.total().0).unwrap());
+            entries.sort_by(|a, b| {
+                b.breakdown
+                    .total()
+                    .0
+                    .partial_cmp(&a.breakdown.total().0)
+                    .unwrap()
+            });
             for e in entries.iter().take(5) {
-                println!("      {:<14} ch={:.2e} g={:.2e}", e.name, e.breakdown.channel.0, e.breakdown.gate.0);
+                println!(
+                    "      {:<14} ch={:.2e} g={:.2e}",
+                    e.name, e.breakdown.channel.0, e.breakdown.gate.0
+                );
             }
         }
     }
@@ -73,7 +89,10 @@ fn main() {
     slice.set_grant(input, true);
     let t_edge = 120.0e-12;
     slice.drive_data(input, Stimulus::ramp(1.0, 0.0, t_edge, 5.0e-12));
-    match transient::run(&slice.netlist, &TransientSpec::new(t_edge + 200.0e-12, cfg.sim_dt)) {
+    match transient::run(
+        &slice.netlist,
+        &TransientSpec::new(t_edge + 200.0e-12, cfg.sim_dt),
+    ) {
         Ok(res) => {
             let show = |name: &str| {
                 let node = slice.netlist.find_node(name).unwrap();
@@ -100,15 +119,18 @@ fn main() {
     // Rising case for SC and DFC, with explicit delay measurement.
     use lnoc_circuit::waveform::{propagation_delay, Edge};
     for scheme in [Scheme::Sc, Scheme::Dfc] {
-        for (label, from, to, edge) in
-            [("fall", 1.0, 0.0, Edge::Falling), ("rise", 0.0, 1.0, Edge::Rising)]
-        {
+        for (label, from, to, edge) in [
+            ("fall", 1.0, 0.0, Edge::Falling),
+            ("rise", 0.0, 1.0, Edge::Rising),
+        ] {
             let mut slice = BitSlice::build(scheme, &cfg);
             let input = slice.input_count() - 1;
             slice.set_grant(input, true);
             slice.drive_data(input, Stimulus::ramp(from, to, t_edge, 5.0e-12));
-            match transient::run(&slice.netlist, &TransientSpec::new(t_edge + 200.0e-12, cfg.sim_dt))
-            {
+            match transient::run(
+                &slice.netlist,
+                &TransientSpec::new(t_edge + 200.0e-12, cfg.sim_dt),
+            ) {
                 Ok(res) => {
                     let w_in = res.voltage(slice.inputs[input]);
                     let w_out = res.voltage(slice.out);

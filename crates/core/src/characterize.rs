@@ -18,7 +18,7 @@
 
 use crate::config::CrossbarConfig;
 use crate::scheme::Scheme;
-use crate::slice::{BitSlice, ModelSet, CRIT_INPUTS};
+use crate::slice::{BitSlice, ModelSet};
 use lnoc_circuit::analysis::{leakage_report, LeakageReport};
 use lnoc_circuit::dc::{self, NewtonOptions};
 use lnoc_circuit::error::CircuitError;
@@ -28,6 +28,7 @@ use lnoc_circuit::waveform::{propagation_delay, Edge};
 use lnoc_tech::corners::Temperature;
 use lnoc_tech::device::{Polarity, VtClass};
 use lnoc_tech::units::{Joules, Seconds, Watts};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The full characterization of one scheme — one Table 1 column.
@@ -119,12 +120,20 @@ pub struct Characterizer {
 
 /// DC options tuned for the slice circuits (a final touch of gmin keeps
 /// floating pre-charged nodes well-conditioned without measurably
-/// shifting µA-scale leakage).
-fn slice_dc_options() -> NewtonOptions {
+/// shifting µA-scale leakage). The solve path follows the configuration.
+fn slice_dc_options(cfg: &CrossbarConfig) -> NewtonOptions {
     NewtonOptions {
         max_iterations: 300,
+        solver: cfg.solver,
         ..NewtonOptions::default()
     }
+}
+
+/// A transient spec at the configuration's time step and solve path.
+fn slice_transient_spec(cfg: &CrossbarConfig, t_stop: f64) -> TransientSpec {
+    let mut spec = TransientSpec::new(t_stop, cfg.sim_dt);
+    spec.newton.solver = cfg.solver;
+    spec
 }
 
 impl Characterizer {
@@ -148,11 +157,14 @@ impl Characterizer {
 
     /// Runs the full Table 1 characterization of one scheme.
     ///
+    /// Takes `&self` so one characterizer can serve many schemes /
+    /// corners concurrently (the model sets are shared `Arc` cards).
+    ///
     /// # Errors
     ///
     /// Propagates solver convergence failures (which indicate a
     /// mis-configured circuit rather than an expected condition).
-    pub fn characterize(&mut self, scheme: Scheme) -> Result<SchemeCharacterization, CircuitError> {
+    pub fn characterize(&self, scheme: Scheme) -> Result<SchemeCharacterization, CircuitError> {
         let (d_hl, d_lh) = self.delays(scheme)?;
         let leak = self.leakage_points(scheme)?;
         let e_cycle = self.cycle_energy(scheme)?;
@@ -168,7 +180,8 @@ impl Characterizer {
         };
 
         let total_power = e_cycle * self.cfg.clock.0 * n + leak.active;
-        let vt_census = BitSlice::build_with_models(scheme, &self.cfg, &self.models_nom).vt_census();
+        let vt_census =
+            BitSlice::build_with_models(scheme, &self.cfg, &self.models_nom).vt_census();
 
         Ok(SchemeCharacterization {
             scheme,
@@ -190,7 +203,10 @@ impl Characterizer {
     /// Worst-case-path delays `(high_to_low, low_to_high)` in seconds.
     fn delays(&self, scheme: Scheme) -> Result<(f64, f64), CircuitError> {
         if scheme.is_precharged() {
-            Ok((self.dpc_eval_delay(scheme)?, self.dpc_precharge_delay(scheme)?))
+            Ok((
+                self.dpc_eval_delay(scheme)?,
+                self.dpc_precharge_delay(scheme)?,
+            ))
         } else {
             let hl = self.keeper_delay(scheme, Edge::Falling)?;
             let lh = self.keeper_delay(scheme, Edge::Rising)?;
@@ -203,7 +219,7 @@ impl Characterizer {
         let input = if slice.scheme.is_segmented() {
             slice.set_enable_far(true);
             slice.set_enable_near(false);
-            CRIT_INPUTS[0]
+            slice.crit_inputs[0]
         } else {
             slice.input_count() - 1
         };
@@ -235,14 +251,12 @@ impl Characterizer {
                 (t_edge + edge_len, 0.0),
             ]),
             // Start low (natural DC), measure the rise.
-            Edge::Rising => Stimulus::Pwl(vec![
-                (0.0, 0.0),
-                (t_edge, 0.0),
-                (t_edge + edge_len, vdd),
-            ]),
+            Edge::Rising => {
+                Stimulus::Pwl(vec![(0.0, 0.0), (t_edge, 0.0), (t_edge + edge_len, vdd)])
+            }
         };
         slice.drive_data(input, stim);
-        let spec = TransientSpec::new(t_edge + 400.0e-12, self.cfg.sim_dt);
+        let spec = slice_transient_spec(&self.cfg, t_edge + 400.0e-12);
         let res = transient::run(&slice.netlist, &spec)?;
         let w_in = res.voltage(slice.inputs[input]);
         let w_out = res.voltage(slice.out);
@@ -262,7 +276,7 @@ impl Characterizer {
         let input = if scheme.is_segmented() {
             slice.set_enable_far(true);
             slice.set_enable_near(false);
-            CRIT_INPUTS[0]
+            slice.crit_inputs[0]
         } else {
             slice.input_count() - 1
         };
@@ -273,16 +287,28 @@ impl Characterizer {
         slice.drive_precharge(Stimulus::ramp(0.0, vdd, t_release, 5.0e-12));
         slice.set_data(input, false);
         slice.drive_grant(input, Stimulus::ramp(0.0, vdd, t_edge, 5.0e-12));
-        let spec = TransientSpec::new(t_edge + 400.0e-12, self.cfg.sim_dt);
+        let spec = slice_transient_spec(&self.cfg, t_edge + 400.0e-12);
         let res = transient::run(&slice.netlist, &spec)?;
-        let w_grant = res.voltage(slice.netlist.find_node(&format!("g{input}")).expect("grant node"));
+        let w_grant = res.voltage(
+            slice
+                .netlist
+                .find_node(&format!("g{input}"))
+                .expect("grant node"),
+        );
         let w_out = res.voltage(slice.out);
-        propagation_delay(&w_grant, Edge::Rising, &w_out, Edge::Falling, vdd, t_edge - 10.0e-12)
-            .ok_or(CircuitError::NoConvergence {
-                analysis: "transient",
-                time: t_edge,
-                residual: f64::NAN,
-            })
+        propagation_delay(
+            &w_grant,
+            Edge::Rising,
+            &w_out,
+            Edge::Falling,
+            vdd,
+            t_edge - 10.0e-12,
+        )
+        .ok_or(CircuitError::NoConvergence {
+            analysis: "transient",
+            time: t_edge,
+            residual: f64::NAN,
+        })
     }
 
     /// Pre-charge delay of a pre-charged scheme: pre-charge assertion →
@@ -292,7 +318,7 @@ impl Characterizer {
         let input = if scheme.is_segmented() {
             slice.set_enable_far(true);
             slice.set_enable_near(false);
-            CRIT_INPUTS[0]
+            slice.crit_inputs[0]
         } else {
             slice.input_count() - 1
         };
@@ -303,7 +329,7 @@ impl Characterizer {
         slice.set_data(input, false);
         slice.drive_grant(input, Stimulus::ramp(vdd, 0.0, t_off, 5.0e-12));
         slice.drive_precharge(Stimulus::ramp(vdd, 0.0, t_pre, 5.0e-12));
-        let spec = TransientSpec::new(t_pre + 400.0e-12, self.cfg.sim_dt);
+        let spec = slice_transient_spec(&self.cfg, t_pre + 400.0e-12);
         let res = transient::run(&slice.netlist, &spec)?;
         let pre_node = slice
             .netlist
@@ -311,12 +337,19 @@ impl Characterizer {
             .expect("pre-charged slice has a pre_main node");
         let w_pre = res.voltage(pre_node);
         let w_out = res.voltage(slice.out);
-        propagation_delay(&w_pre, Edge::Falling, &w_out, Edge::Rising, vdd, t_pre - 10.0e-12)
-            .ok_or(CircuitError::NoConvergence {
-                analysis: "transient",
-                time: t_pre,
-                residual: f64::NAN,
-            })
+        propagation_delay(
+            &w_pre,
+            Edge::Falling,
+            &w_out,
+            Edge::Rising,
+            vdd,
+            t_pre - 10.0e-12,
+        )
+        .ok_or(CircuitError::NoConvergence {
+            analysis: "transient",
+            time: t_pre,
+            residual: f64::NAN,
+        })
     }
 
     // --- leakage ----------------------------------------------------------
@@ -340,7 +373,7 @@ impl Characterizer {
         weight: f64,
         warm: Option<&[f64]>,
     ) -> Result<(StaticState, Vec<f64>), CircuitError> {
-        let opts = slice_dc_options();
+        let opts = slice_dc_options(&self.cfg);
         let sol = dc::solve_with(&slice.netlist, &opts, warm)?;
         let power = sol.total_source_power(&slice.netlist).max(0.0);
         let report = leakage_report(&slice.netlist, &sol);
@@ -354,6 +387,55 @@ impl Characterizer {
             },
             raw,
         ))
+    }
+
+    /// Builds and solves one weighted transfer (active-traffic) state.
+    fn solve_transfer_state(
+        &self,
+        scheme: Scheme,
+        label: &str,
+        data: bool,
+        far: bool,
+        weight: f64,
+    ) -> Result<StaticState, CircuitError> {
+        let mut s = BitSlice::build_with_models(scheme, &self.cfg, &self.models_hot);
+        let granted = if scheme.is_segmented() {
+            if far {
+                s.set_enable_far(true);
+                s.set_enable_near(false);
+                s.set_sleep_slack(true);
+                let input = s.crit_inputs[0];
+                s.set_grant(input, true);
+                input
+            } else {
+                s.set_enable_near(true);
+                s.set_enable_far(false);
+                s.set_sleep_main(true);
+                let input = s.slack_inputs[0];
+                s.set_grant(input, true);
+                input
+            }
+        } else {
+            s.set_grant(s.input_count() - 1, true);
+            s.input_count() - 1
+        };
+        // Only the granted input carries live data; every other
+        // input buffer is parked low (idle buffers are clock-gated
+        // and hold their reset level).
+        s.set_data(granted, data);
+        if scheme.is_precharged() {
+            // Evaluation phase. For data = 1 node A floats at its
+            // pre-charged high level within the cycle; pin it via
+            // the *active* domain's pre-charge device only (a slept
+            // domain is never pre-charged).
+            if scheme.is_segmented() && !far {
+                s.set_precharge_slack(data);
+            } else {
+                s.set_precharge_main(data);
+            }
+        }
+        let (state, _) = self.solve_state(&s, label, weight, None)?;
+        Ok(state)
     }
 
     /// Per-state leakage reports (per slice, hot corner).
@@ -412,44 +494,16 @@ impl Characterizer {
             }
         }
 
-        for (label, data, far, weight) in transfer_states {
-            let mut s = BitSlice::build_with_models(scheme, &self.cfg, &self.models_hot);
-            let granted = if scheme.is_segmented() {
-                if far {
-                    s.set_enable_far(true);
-                    s.set_enable_near(false);
-                    s.set_sleep_slack(true);
-                    s.set_grant(CRIT_INPUTS[0], true);
-                    CRIT_INPUTS[0]
-                } else {
-                    s.set_enable_near(true);
-                    s.set_enable_far(false);
-                    s.set_sleep_main(true);
-                    s.set_grant(crate::slice::SLACK_INPUTS[0], true);
-                    crate::slice::SLACK_INPUTS[0]
-                }
-            } else {
-                s.set_grant(s.input_count() - 1, true);
-                s.input_count() - 1
-            };
-            // Only the granted input carries live data; every other
-            // input buffer is parked low (idle buffers are clock-gated
-            // and hold their reset level).
-            s.set_data(granted, data);
-            if scheme.is_precharged() {
-                // Evaluation phase. For data = 1 node A floats at its
-                // pre-charged high level within the cycle; pin it via
-                // the *active* domain's pre-charge device only (a slept
-                // domain is never pre-charged).
-                if scheme.is_segmented() && !far {
-                    s.set_precharge_slack(data);
-                } else {
-                    s.set_precharge_main(data);
-                }
-            }
-            let (state, _) = self.solve_state(&s, &label, weight, None)?;
-            active.push(state);
-        }
+        // Each transfer state is an independent slice build + DC solve;
+        // fan them out (cores permitting — on one core this degrades to
+        // the original serial loop).
+        let solved: Result<Vec<StaticState>, CircuitError> = transfer_states
+            .into_par_iter()
+            .map(|(label, data, far, weight)| {
+                self.solve_transfer_state(scheme, &label, data, far, weight)
+            })
+            .collect();
+        active.extend(solved?);
 
         // Idle-awake states. In the segmented schemes the transmission
         // gates stay conducting whenever no transfer needs isolation —
@@ -544,12 +598,12 @@ impl Characterizer {
                 slice.set_enable_far(true);
                 slice.set_enable_near(false);
                 slice.set_sleep_slack(true);
-                CRIT_INPUTS[0]
+                slice.crit_inputs[0]
             } else {
                 slice.set_enable_near(true);
                 slice.set_enable_far(false);
                 slice.set_sleep_main(true);
-                crate::slice::SLACK_INPUTS[0]
+                slice.slack_inputs[0]
             }
         } else {
             slice.input_count() - 1
@@ -601,9 +655,13 @@ impl Characterizer {
             );
             slice.drive_data(
                 input,
-                Stimulus::Pwl(vec![(0.0, 0.0), (t0 + period - 20.0e-12, 0.0), (t0 + period - 10.0e-12, vdd)]),
+                Stimulus::Pwl(vec![
+                    (0.0, 0.0),
+                    (t0 + period - 20.0e-12, 0.0),
+                    (t0 + period - 10.0e-12, vdd),
+                ]),
             );
-            let spec = TransientSpec::new(t0 + 2.0 * period, self.cfg.sim_dt);
+            let spec = slice_transient_spec(&self.cfg, t0 + 2.0 * period);
             let res = transient::run(&slice.netlist, &spec)?;
             let e_two = res.supply_energy(&slice.netlist, slice.vdd_src, t0, t0 + 2.0 * period);
             let leak_bg = self.room_leak_power(&slice)?;
@@ -628,11 +686,12 @@ impl Characterizer {
                     (t0 + period + edge, vdd),
                 ]),
             );
-            let spec = TransientSpec::new(t0 + 2.0 * period, self.cfg.sim_dt);
+            let spec = slice_transient_spec(&self.cfg, t0 + 2.0 * period);
             let res = transient::run(&slice.netlist, &spec)?;
             let e_two = res.supply_energy(&slice.netlist, slice.vdd_src, t0, t0 + 2.0 * period);
             let leak_bg = self.room_leak_power(&slice)?;
-            let p_transition = 2.0 * self.cfg.static_probability * (1.0 - self.cfg.static_probability);
+            let p_transition =
+                2.0 * self.cfg.static_probability * (1.0 - self.cfg.static_probability);
             (e_two - leak_bg * 2.0 * period) / 2.0 * (p_transition / 0.5)
         };
         Ok(e_dyn.max(0.0))
@@ -685,7 +744,7 @@ impl Characterizer {
                     .set_stimulus(src, Stimulus::ramp(0.0, vdd, t_sleep, 5.0e-12));
             }
         }
-        let spec = TransientSpec::new(t_stop, self.cfg.sim_dt);
+        let spec = slice_transient_spec(&self.cfg, t_stop);
         let res = transient::run(&slice.netlist, &spec)?;
         let e = res.supply_energy(&slice.netlist, slice.vdd_src, t_sleep - 5.0e-12, t_stop);
         // Subtract the (room) leakage background over the window.
@@ -708,7 +767,7 @@ impl Characterizer {
     /// Static supply power of the slice's current state at the nominal
     /// temperature (background to subtract from measured energies).
     fn room_leak_power(&self, slice: &BitSlice) -> Result<f64, CircuitError> {
-        let sol = dc::solve_with(&slice.netlist, &slice_dc_options(), None)?;
+        let sol = dc::solve_with(&slice.netlist, &slice_dc_options(&self.cfg), None)?;
         Ok(sol.total_source_power(&slice.netlist).max(0.0))
     }
 }

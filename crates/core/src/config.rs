@@ -1,6 +1,7 @@
 //! Crossbar configuration: the paper's evaluation point plus every
 //! physical knob the reproduction exposes.
 
+use lnoc_circuit::dc::SolverKind;
 use lnoc_tech::interconnect::{LayerClass, Wire};
 use lnoc_tech::node45::Node45;
 use lnoc_tech::units::{Hertz, Volts};
@@ -82,6 +83,11 @@ pub struct CrossbarConfig {
     pub sizing: SliceSizing,
     /// Transient time step (s).
     pub sim_dt: f64,
+    /// Circuit solve path for every DC/transient this configuration
+    /// drives ([`SolverKind::Auto`] picks sparse vs dense by system size;
+    /// [`SolverKind::Reference`] is the original full-restamp dense
+    /// kernel kept as oracle/baseline).
+    pub solver: SolverKind,
     /// Technology node.
     pub tech: Node45,
 }
@@ -100,6 +106,7 @@ impl CrossbarConfig {
             c_receiver: 10.0e-15,
             sizing: SliceSizing::default(),
             sim_dt: 0.1e-12,
+            solver: SolverKind::Auto,
             tech: Node45::tt(),
         }
     }
@@ -138,8 +145,7 @@ impl CrossbarConfig {
     ///
     /// Never panics for valid configurations (span is positive).
     pub fn matrix_wire(&self) -> Wire {
-        Wire::new(self.tech.wire_geometry(self.layer), 0.5 * self.span())
-            .expect("span is positive")
+        Wire::new(self.tech.wire_geometry(self.layer), 0.5 * self.span()).expect("span is positive")
     }
 
     /// The output wire from the driver to `output_PE`: a full span.
@@ -148,8 +154,7 @@ impl CrossbarConfig {
     ///
     /// Never panics for valid configurations.
     pub fn output_wire(&self) -> Wire {
-        Wire::new(self.tech.wire_geometry(self.layer), self.span())
-            .expect("span is positive")
+        Wire::new(self.tech.wire_geometry(self.layer), self.span()).expect("span is positive")
     }
 
     /// Number of bit-slices in the whole crossbar (`radix × flit_bits`

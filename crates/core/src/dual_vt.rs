@@ -142,6 +142,14 @@ pub fn assign(
     })
 }
 
+/// Newton options honouring the configuration's solve path.
+fn solver_opts(cfg: &CrossbarConfig) -> dc::NewtonOptions {
+    dc::NewtonOptions {
+        solver: cfg.solver,
+        ..dc::NewtonOptions::default()
+    }
+}
+
 /// Worst of the rising/falling data→output delays under a Vt plan.
 fn worst_delay(
     scheme: Scheme,
@@ -155,7 +163,7 @@ fn worst_delay(
         let mut slice = BitSlice::build_with_overrides(scheme, cfg, models, overrides);
         let input = if scheme.is_segmented() {
             slice.set_enable_far(true);
-            crate::slice::CRIT_INPUTS[0]
+            slice.crit_inputs[0]
         } else {
             slice.input_count() - 1
         };
@@ -179,10 +187,9 @@ fn worst_delay(
             Stimulus::Pwl(vec![(0.0, 0.0), (t_edge, 0.0), (t_edge + edge_len, vdd)])
         };
         slice.drive_data(input, stim);
-        let res = transient::run(
-            &slice.netlist,
-            &TransientSpec::new(t_edge + 400.0e-12, cfg.sim_dt),
-        )?;
+        let mut spec = TransientSpec::new(t_edge + 400.0e-12, cfg.sim_dt);
+        spec.newton.solver = cfg.solver;
+        let res = transient::run(&slice.netlist, &spec)?;
         let edge = if falling { Edge::Falling } else { Edge::Rising };
         let d = propagation_delay(
             &res.voltage(slice.inputs[input]),
@@ -210,7 +217,7 @@ fn idle_leakage(
     overrides: &HashMap<String, VtClass>,
 ) -> Result<f64, CircuitError> {
     let slice = BitSlice::build_with_overrides(scheme, cfg, models, overrides);
-    let sol = dc::solve(&slice.netlist)?;
+    let sol = dc::solve_with(&slice.netlist, &solver_opts(cfg), None)?;
     let report = leakage_report(&slice.netlist, &sol);
     Ok(report.power(cfg.vdd()).0)
 }
@@ -223,7 +230,7 @@ fn rank_by_leakage(
     overrides: &HashMap<String, VtClass>,
 ) -> Result<Vec<String>, CircuitError> {
     let slice = BitSlice::build_with_overrides(scheme, cfg, models, overrides);
-    let sol = dc::solve(&slice.netlist)?;
+    let sol = dc::solve_with(&slice.netlist, &solver_opts(cfg), None)?;
     let report = leakage_report(&slice.netlist, &sol);
     let mut ranked: Vec<(String, f64)> = report
         .entries()

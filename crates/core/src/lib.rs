@@ -26,7 +26,7 @@
 //! use lnoc_core::characterize::Characterizer;
 //!
 //! let cfg = CrossbarConfig::paper();
-//! let mut ch = Characterizer::new(&cfg);
+//! let ch = Characterizer::new(&cfg);
 //! let dfc = ch.characterize(Scheme::Dfc).unwrap();
 //! println!("DFC high-to-low delay: {}", dfc.delay_high_to_low);
 //! ```

@@ -115,7 +115,7 @@ pub fn export_summary(scheme: Scheme, cfg: &CrossbarConfig) -> String {
         slice.vt_census().0,
         slice.vt_census().1
     );
-    let _ = writeln!(out, "{:<16}{:<22}{:<10}{}", "name", "role", "vt", "segment");
+    let _ = writeln!(out, "{:<16}{:<22}{:<10}segment", "name", "role", "vt");
     for p in &slice.placed {
         let _ = writeln!(
             out,

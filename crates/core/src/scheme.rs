@@ -235,7 +235,10 @@ mod tests {
     fn precharged_schemes_park_idle_driver_halves() {
         assert_eq!(Scheme::Dpc.vt_for(DeviceRole::DriverIdleN), VtClass::High);
         assert_eq!(Scheme::Dpc.vt_for(DeviceRole::DriverIdleP), VtClass::High);
-        assert_eq!(Scheme::Dfc.vt_for(DeviceRole::DriverIdleN), VtClass::Nominal);
+        assert_eq!(
+            Scheme::Dfc.vt_for(DeviceRole::DriverIdleN),
+            VtClass::Nominal
+        );
     }
 
     #[test]

@@ -144,12 +144,21 @@ pub struct BitSlice {
     pub en_far_srcs: Option<(DeviceId, DeviceId)>,
     /// Every placed transistor with its role and Vt class.
     pub placed: Vec<PlacedDevice>,
+    /// Input indices wired to the slack (near) half-matrix (segmented
+    /// schemes only; empty otherwise). The lower half of the inputs.
+    pub slack_inputs: Vec<usize>,
+    /// Input indices wired to the critical (far) half-matrix (segmented
+    /// schemes only; empty otherwise). The upper half of the inputs.
+    pub crit_inputs: Vec<usize>,
     vdd_volts: f64,
 }
 
-/// Index of the slack/near inputs in a segmented slice.
+/// Index of the slack/near inputs in a segmented slice *at the paper's
+/// radix 5* (kept for convenience; arbitrary radices expose the actual
+/// split through [`BitSlice::slack_inputs`]).
 pub const SLACK_INPUTS: [usize; 2] = [0, 1];
-/// Index of the critical/far inputs in a segmented slice.
+/// Index of the critical/far inputs in a segmented slice at the paper's
+/// radix 5 (see [`BitSlice::crit_inputs`] for the general case).
 pub const CRIT_INPUTS: [usize; 2] = [2, 3];
 
 impl BitSlice {
@@ -160,7 +169,9 @@ impl BitSlice {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`CrossbarConfig::validate`].
+    /// Panics if `cfg` fails [`CrossbarConfig::validate`], or if a
+    /// segmented scheme is requested at radix < 3 (the two half-matrices
+    /// each need at least one input).
     pub fn build(scheme: Scheme, cfg: &CrossbarConfig) -> Self {
         cfg.validate().expect("invalid crossbar configuration");
         let models = ModelSet::new(cfg);
@@ -172,7 +183,9 @@ impl BitSlice {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`CrossbarConfig::validate`].
+    /// Panics if `cfg` fails [`CrossbarConfig::validate`], or if a
+    /// segmented scheme is requested at radix < 3 (the two half-matrices
+    /// each need at least one input).
     pub fn build_with_models(scheme: Scheme, cfg: &CrossbarConfig, models: &ModelSet) -> Self {
         cfg.validate().expect("invalid crossbar configuration");
         Builder::new(scheme, cfg, models).build()
@@ -185,7 +198,9 @@ impl BitSlice {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`CrossbarConfig::validate`].
+    /// Panics if `cfg` fails [`CrossbarConfig::validate`], or if a
+    /// segmented scheme is requested at radix < 3 (the two half-matrices
+    /// each need at least one input).
     pub fn build_with_overrides(
         scheme: Scheme,
         cfg: &CrossbarConfig,
@@ -364,6 +379,7 @@ impl<'a> Builder<'a> {
     }
 
     /// Places a MOSFET with the scheme's Vt choice for its role.
+    #[allow(clippy::too_many_arguments)]
     fn mos(
         &mut self,
         name: &str,
@@ -419,13 +435,23 @@ impl<'a> Builder<'a> {
                 self.nl.node(&format!("{prefix}_w{i}"))
             };
             self.nl
-                .capacitor(&format!("{prefix}_cin{i}"), prev, Netlist::GROUND, seg.cap_in.0)
+                .capacitor(
+                    &format!("{prefix}_cin{i}"),
+                    prev,
+                    Netlist::GROUND,
+                    seg.cap_in.0,
+                )
                 .expect("cap is non-negative");
             self.nl
                 .resistor(&format!("{prefix}_r{i}"), prev, next, seg.resistance.0)
                 .expect("resistance is positive");
             self.nl
-                .capacitor(&format!("{prefix}_cout{i}"), next, Netlist::GROUND, seg.cap_out.0)
+                .capacitor(
+                    &format!("{prefix}_cout{i}"),
+                    next,
+                    Netlist::GROUND,
+                    seg.cap_out.0,
+                )
                 .expect("cap is non-negative");
             prev = next;
         }
@@ -490,10 +516,12 @@ impl<'a> Builder<'a> {
         for i in 0..n_inputs {
             let in_node = self.nl.node(&format!("in{i}"));
             let g_node = self.nl.node(&format!("g{i}"));
-            data_srcs.push(
-                self.nl
-                    .vsource(&format!("DATA{i}"), in_node, Netlist::GROUND, Stimulus::dc(0.0)),
-            );
+            data_srcs.push(self.nl.vsource(
+                &format!("DATA{i}"),
+                in_node,
+                Netlist::GROUND,
+                Stimulus::dc(0.0),
+            ));
             grant_srcs.push(self.nl.vsource(
                 &format!("GRANT{i}"),
                 g_node,
@@ -523,6 +551,8 @@ impl<'a> Builder<'a> {
         let mut en_near_srcs = None;
         let mut en_far_srcs = None;
         let mut a_slack_node = None;
+        let mut slack_inputs: Vec<usize> = Vec::new();
+        let mut crit_inputs: Vec<usize> = Vec::new();
 
         let a_main;
         if !self.scheme.is_segmented() {
@@ -603,6 +633,12 @@ impl<'a> Builder<'a> {
             // ---------------- Figure 3: segmented matrix ------------------
             // Slack (near) half: inputs 0..n/2, quarter-span matrix wire.
             let half = n_inputs / 2;
+            assert!(
+                half >= 1,
+                "segmented schemes split the {n_inputs} input(s) into two \
+                 half-matrices and need radix ≥ 3 (got {})",
+                cfg.radix
+            );
             let quarter_wire = Wire::new(
                 *cfg.matrix_wire().geometry(),
                 0.5 * cfg.matrix_wire().length().0,
@@ -621,7 +657,13 @@ impl<'a> Builder<'a> {
             a_main = a2;
             a_slack_node = Some(a1);
 
-            for &i in SLACK_INPUTS.iter().take(half) {
+            // Lower half of the inputs lands in the slack (near) matrix,
+            // upper half in the critical (far) matrix — Fig. 3 generalized
+            // to arbitrary radix (at the paper's radix 5 this reproduces
+            // the fixed [0,1]/[2,3] split).
+            slack_inputs = (0..half).collect();
+            crit_inputs = (half..n_inputs).collect();
+            for &i in &slack_inputs {
                 self.mos(
                     &format!("pass{i}"),
                     DeviceRole::PassTransistor,
@@ -633,10 +675,7 @@ impl<'a> Builder<'a> {
                     s.w_pass,
                 );
             }
-            for &i in CRIT_INPUTS.iter() {
-                if i >= n_inputs {
-                    continue;
-                }
+            for &i in &crit_inputs {
                 self.mos(
                     &format!("pass{i}"),
                     DeviceRole::PassTransistor,
@@ -686,18 +725,16 @@ impl<'a> Builder<'a> {
                 // SDPC: per-domain pre-charge, no keepers (§2.4).
                 let pre_s = self.nl.node("pre_slack");
                 let pre_m = self.nl.node("pre_main");
-                pre_slack_src = Some(self.nl.vsource(
-                    "PRE_SLACK",
-                    pre_s,
-                    Netlist::GROUND,
-                    Stimulus::dc(vdd),
-                ));
-                pre_main_src = Some(self.nl.vsource(
-                    "PRE_MAIN",
-                    pre_m,
-                    Netlist::GROUND,
-                    Stimulus::dc(vdd),
-                ));
+                pre_slack_src =
+                    Some(
+                        self.nl
+                            .vsource("PRE_SLACK", pre_s, Netlist::GROUND, Stimulus::dc(vdd)),
+                    );
+                pre_main_src =
+                    Some(
+                        self.nl
+                            .vsource("PRE_MAIN", pre_m, Netlist::GROUND, Stimulus::dc(vdd)),
+                    );
                 self.mos(
                     "pre1_p1",
                     DeviceRole::KeeperOrPrecharge,
@@ -841,6 +878,8 @@ impl<'a> Builder<'a> {
             en_near_srcs,
             en_far_srcs,
             placed: self.placed,
+            slack_inputs,
+            crit_inputs,
             vdd_volts: vdd,
         }
     }
@@ -884,14 +923,21 @@ mod tests {
         assert!(dfc >= 2, "DFC raises keeper + sleep, got {dfc}");
         assert!(dpc > dfc, "DPC parks driver halves too: {dpc} vs {dfc}");
         assert!(sdfc > dfc, "SDFC adds the slack driver: {sdfc} vs {dfc}");
-        assert!(sdpc >= sdfc, "SDPC is the most aggressive: {sdpc} vs {sdfc}");
+        assert!(
+            sdpc >= sdfc,
+            "SDPC is the most aggressive: {sdpc} vs {sdfc}"
+        );
     }
 
     #[test]
     fn precharged_schemes_expose_pre_sources() {
         for scheme in Scheme::ALL {
             let slice = BitSlice::build(scheme, &cfg());
-            assert_eq!(slice.pre_main_src.is_some(), scheme.is_precharged(), "{scheme}");
+            assert_eq!(
+                slice.pre_main_src.is_some(),
+                scheme.is_precharged(),
+                "{scheme}"
+            );
         }
     }
 
@@ -930,7 +976,11 @@ mod tests {
         let sol = dc::solve(&slice.netlist).unwrap();
         // data 0 → A low → out_PE low (two inversions).
         assert!(sol.voltage(slice.a_main) < 0.1);
-        assert!(sol.voltage(slice.out) < 0.1, "out = {}", sol.voltage(slice.out));
+        assert!(
+            sol.voltage(slice.out) < 0.1,
+            "out = {}",
+            sol.voltage(slice.out)
+        );
 
         slice.set_data(0, true);
         let sol = dc::solve(&slice.netlist).unwrap();
@@ -940,7 +990,11 @@ mod tests {
             "keeper must restore node A, got {}",
             sol.voltage(slice.a_main)
         );
-        assert!(sol.voltage(slice.out) > 0.9, "out = {}", sol.voltage(slice.out));
+        assert!(
+            sol.voltage(slice.out) > 0.9,
+            "out = {}",
+            sol.voltage(slice.out)
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::characterize::{Characterizer, SchemeCharacterization};
 use crate::config::CrossbarConfig;
 use crate::scheme::Scheme;
 use lnoc_circuit::error::CircuitError;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -63,7 +64,9 @@ pub struct AbstractClaims {
 }
 
 impl Table1 {
-    /// Runs the full pipeline for every scheme under `cfg`.
+    /// Runs the full pipeline for every scheme under `cfg`, characterizing
+    /// the five schemes concurrently (they are independent circuits
+    /// sharing only read-only model cards).
     ///
     /// This is the expensive call: ~25 transients and ~30 DC solves.
     ///
@@ -71,7 +74,23 @@ impl Table1 {
     ///
     /// Propagates the first solver failure.
     pub fn generate(cfg: &CrossbarConfig) -> Result<Table1, CircuitError> {
-        let mut ch = Characterizer::new(cfg);
+        let ch = Characterizer::new(cfg);
+        let raw: Result<Vec<_>, CircuitError> = Scheme::ALL
+            .into_par_iter()
+            .map(|scheme| ch.characterize(scheme))
+            .collect();
+        Ok(Self::from_characterizations(raw?))
+    }
+
+    /// [`Table1::generate`] without any parallelism — the measured
+    /// baseline for the characterization benches, and a fallback for
+    /// memory-constrained hosts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solver failure.
+    pub fn generate_serial(cfg: &CrossbarConfig) -> Result<Table1, CircuitError> {
+        let ch = Characterizer::new(cfg);
         let mut raw = Vec::with_capacity(Scheme::ALL.len());
         for scheme in Scheme::ALL {
             raw.push(ch.characterize(scheme)?);
@@ -89,10 +108,7 @@ impl Table1 {
             .iter()
             .find(|c| c.scheme == Scheme::Sc)
             .expect("characterizations must include the SC baseline");
-        let sc_worst_delay = sc
-            .delay_high_to_low
-            .0
-            .max(sc.delay_low_to_high.0);
+        let sc_worst_delay = sc.delay_high_to_low.0.max(sc.delay_low_to_high.0);
         let rows = raw
             .iter()
             .map(|c| {
@@ -138,10 +154,46 @@ impl Table1 {
         Table1 {
             rows: vec![
                 mk(Scheme::Sc, 61.40, 54.87, None, None, 3, 182.81, None),
-                mk(Scheme::Dfc, 51.87, 58.17, Some(0.1013), Some(0.1236), 2, 154.07, None),
-                mk(Scheme::Dpc, 53.08, 61.25, Some(0.437), Some(0.9368), 1, 180.45, None),
-                mk(Scheme::Sdfc, 62.81, 64.28, Some(0.4209), Some(0.4391), 3, 122.18, Some(0.0469)),
-                mk(Scheme::Sdpc, 54.90, 62.80, Some(0.6357), Some(0.9596), 1, 168.55, Some(0.0228)),
+                mk(
+                    Scheme::Dfc,
+                    51.87,
+                    58.17,
+                    Some(0.1013),
+                    Some(0.1236),
+                    2,
+                    154.07,
+                    None,
+                ),
+                mk(
+                    Scheme::Dpc,
+                    53.08,
+                    61.25,
+                    Some(0.437),
+                    Some(0.9368),
+                    1,
+                    180.45,
+                    None,
+                ),
+                mk(
+                    Scheme::Sdfc,
+                    62.81,
+                    64.28,
+                    Some(0.4209),
+                    Some(0.4391),
+                    3,
+                    122.18,
+                    Some(0.0469),
+                ),
+                mk(
+                    Scheme::Sdpc,
+                    54.90,
+                    62.80,
+                    Some(0.6357),
+                    Some(0.9596),
+                    1,
+                    168.55,
+                    Some(0.0228),
+                ),
             ],
             raw: Vec::new(),
         }
@@ -239,32 +291,50 @@ impl fmt::Display for Table1 {
         line(
             f,
             "High to low delay time (ps)",
-            self.rows.iter().map(|r| format!("{:.2}", r.delay_high_to_low_ps)).collect(),
+            self.rows
+                .iter()
+                .map(|r| format!("{:.2}", r.delay_high_to_low_ps))
+                .collect(),
         )?;
         line(
             f,
             "Low to High / Precharge delay time (ps)",
-            self.rows.iter().map(|r| format!("{:.2}", r.delay_low_to_high_ps)).collect(),
+            self.rows
+                .iter()
+                .map(|r| format!("{:.2}", r.delay_low_to_high_ps))
+                .collect(),
         )?;
         line(
             f,
             "Active Leakage Savings",
-            self.rows.iter().map(|r| pct(r.active_leakage_savings)).collect(),
+            self.rows
+                .iter()
+                .map(|r| pct(r.active_leakage_savings))
+                .collect(),
         )?;
         line(
             f,
             "Standby Leakage Savings",
-            self.rows.iter().map(|r| pct(r.standby_leakage_savings)).collect(),
+            self.rows
+                .iter()
+                .map(|r| pct(r.standby_leakage_savings))
+                .collect(),
         )?;
         line(
             f,
             "Minimum Idle Time (cycles)",
-            self.rows.iter().map(|r| r.min_idle_time_cycles.to_string()).collect(),
+            self.rows
+                .iter()
+                .map(|r| r.min_idle_time_cycles.to_string())
+                .collect(),
         )?;
         line(
             f,
             "Total Power (mW)",
-            self.rows.iter().map(|r| format!("{:.2}", r.total_power_mw)).collect(),
+            self.rows
+                .iter()
+                .map(|r| format!("{:.2}", r.total_power_mw))
+                .collect(),
         )?;
         line(
             f,
@@ -330,8 +400,14 @@ mod tests {
     #[test]
     fn segmentation_gains_are_positive_in_paper() {
         let (sdfc_gain, sdpc_gain) = Table1::paper_reference().segmentation_gains();
-        assert!(sdfc_gain > 0.25, "SDFC cuts DFC's remaining leakage: {sdfc_gain}");
-        assert!(sdpc_gain > 0.25, "SDPC cuts DPC's remaining leakage: {sdpc_gain}");
+        assert!(
+            sdfc_gain > 0.25,
+            "SDFC cuts DFC's remaining leakage: {sdfc_gain}"
+        );
+        assert!(
+            sdpc_gain > 0.25,
+            "SDPC cuts DPC's remaining leakage: {sdpc_gain}"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl Router {
     /// Panics if the buffer is full (callers must check
     /// [`Router::can_accept`] — the link-level credit).
     pub fn accept(&mut self, port: Direction, flit: Flit) {
-        assert!(self.can_accept(port), "buffer overflow at router {}", self.id);
+        assert!(
+            self.can_accept(port),
+            "buffer overflow at router {}",
+            self.id
+        );
         self.buffers[port.index()].push_back(flit);
     }
 
@@ -117,9 +121,7 @@ impl Router {
                     // Continue the owning packet if a flit is ready.
                     if let Some(head) = self.buffers[input].front() {
                         if route(head) == out && downstream_ready(out) {
-                            let flit = self.buffers[input]
-                                .pop_front()
-                                .expect("front exists");
+                            let flit = self.buffers[input].pop_front().expect("front exists");
                             if flit.is_tail {
                                 self.owners[oi] = PortOwner::Free;
                             }

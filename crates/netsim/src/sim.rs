@@ -63,7 +63,10 @@ impl Simulation {
     /// Panics on a degenerate configuration (empty mesh, zero-length
     /// packets, zero buffers).
     pub fn new(cfg: MeshConfig) -> Self {
-        assert!(cfg.width >= 2 && cfg.height >= 2, "mesh must be at least 2×2");
+        assert!(
+            cfg.width >= 2 && cfg.height >= 2,
+            "mesh must be at least 2×2"
+        );
         assert!(cfg.packet_len_flits >= 1, "packets need at least one flit");
         assert!(cfg.buffer_depth >= 1, "buffers need at least one slot");
         assert!(
@@ -124,8 +127,7 @@ impl Simulation {
         // 1. Injection: generate new packets into source queues.
         for src in 0..n {
             if self.rng.gen_bool(self.cfg.injection_rate) {
-                if let Some(dst) = self.cfg.pattern.destination(src, &self.mesh, &mut self.rng)
-                {
+                if let Some(dst) = self.cfg.pattern.destination(src, &self.mesh, &mut self.rng) {
                     let id = self.next_packet_id;
                     self.next_packet_id += 1;
                     let len = self.cfg.packet_len_flits;
@@ -175,8 +177,7 @@ impl Simulation {
             };
             let route = |flit: &Flit| mesh.route_xy(rid, flit.dst);
             let outcome = {
-                let ready_vec: Vec<bool> =
-                    Direction::ALL.iter().map(|&d| ready(d)).collect();
+                let ready_vec: Vec<bool> = Direction::ALL.iter().map(|&d| ready(d)).collect();
                 self.routers[rid].step(route, |d| ready_vec[d.index()])
             };
 
@@ -246,12 +247,14 @@ mod tests {
 
     #[test]
     fn packets_flow_and_are_conserved() {
+        // Measure from cycle 0: packets straddling a warmup/measure
+        // boundary would otherwise split their flit counts across the
+        // unmeasured and measured windows and break exact conservation.
         let mut sim = Simulation::new(base_cfg());
-        let stats = sim.run(500, 3000);
+        let stats = sim.run(0, 3500);
         assert!(stats.packets_delivered > 100, "{}", stats.packets_delivered);
         // Flits delivered = packets × packet length (within in-flight
         // slack of injected − delivered).
-        assert_eq!(stats.flits_delivered % 1, 0);
         assert!(
             stats.flits_delivered >= stats.packets_delivered * 4,
             "every delivered packet contributed all its flits"
@@ -307,8 +310,7 @@ mod tests {
         let merged = stats.merged_idle_histogram(4096);
         assert!(merged.interval_count() > 0);
         // Under 2 % load, most output-cycles are idle.
-        let idle_frac = merged.total_idle_cycles() as f64
-            / (2000.0 * 16.0 * 5.0);
+        let idle_frac = merged.total_idle_cycles() as f64 / (2000.0 * 16.0 * 5.0);
         assert!(idle_frac > 0.5, "idle fraction {idle_frac}");
     }
 

@@ -92,8 +92,7 @@ impl NetworkStats {
             .iter()
             .map(|a| a.crossbar_traversals)
             .sum();
-        traversals as f64
-            / (self.measured_cycles as f64 * self.router_activity.len() as f64 * 5.0)
+        traversals as f64 / (self.measured_cycles as f64 * self.router_activity.len() as f64 * 5.0)
     }
 }
 

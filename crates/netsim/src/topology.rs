@@ -158,10 +158,7 @@ mod tests {
         };
         assert_eq!(m.neighbor(m.id(0, 0), Direction::North), None);
         assert_eq!(m.neighbor(m.id(0, 0), Direction::West), None);
-        assert_eq!(
-            m.neighbor(m.id(0, 0), Direction::East),
-            Some(m.id(1, 0))
-        );
+        assert_eq!(m.neighbor(m.id(0, 0), Direction::East), Some(m.id(1, 0)));
     }
 
     #[test]

@@ -152,9 +152,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let corner = m.len() - 1;
         let hits = (0..1000)
-            .filter(|_| {
-                TrafficPattern::Hotspot.destination(0, &m, &mut rng) == Some(corner)
-            })
+            .filter(|_| TrafficPattern::Hotspot.destination(0, &m, &mut rng) == Some(corner))
             .count();
         // 20 % targeted + uniform share — decisively more than uniform's
         // ~1/16.

@@ -127,11 +127,7 @@ impl IdleHistogram {
     pub fn iter_lengths(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         let cap = self.counts.len() - 1;
         let overflow_n = self.counts[cap];
-        let overflow_avg = if overflow_n > 0 {
-            self.overflow_len_sum / overflow_n
-        } else {
-            0
-        };
+        let overflow_avg = self.overflow_len_sum.checked_div(overflow_n).unwrap_or(0);
         self.counts
             .iter()
             .enumerate()

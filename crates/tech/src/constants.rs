@@ -7,7 +7,7 @@ pub const BOLTZMANN: f64 = 1.380_649e-23;
 pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
 
 /// Vacuum permittivity (F/m).
-pub const EPSILON_0: f64 = 8.854_187_8128e-12;
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
 
 /// Relative permittivity of SiO₂.
 pub const EPSILON_R_SIO2: f64 = 3.9;

@@ -172,6 +172,27 @@ fn softplus(x: f64) -> f64 {
     }
 }
 
+/// Numerically safe logistic sigmoid `σ(x) = 1 / (1 + e^(−x))` — the
+/// derivative of [`softplus`].
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    if x > 35.0 {
+        1.0
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// `(F(u), dF/du)` of the EKV interpolation in one pass:
+/// `F(u) = softplus(u/2)²`, so `F'(u) = softplus(u/2) · σ(u/2)`.
+#[inline]
+fn ekv_f_grad(u: f64) -> (f64, f64) {
+    let s = softplus(0.5 * u);
+    (s * s, s * sigmoid(0.5 * u))
+}
+
 /// The EKV interpolation function `F(u) = ln²(1 + e^(u/2))`.
 ///
 /// `F(u) → e^u` for `u ≪ 0` (weak inversion) and `F(u) → u²/4` for
@@ -211,8 +232,8 @@ pub struct MosOp {
     pub gm: f64,
     /// ∂i_d/∂v_d (output conductance, S).
     pub gds: f64,
-    /// ∂i_d/∂v_s (S). With bulk fixed, `g_ms = −(gm + gds + gmb)` is not
-    /// assumed; we differentiate numerically so the stamp is exact.
+    /// ∂i_d/∂v_s (S). Differentiated independently (not inferred from the
+    /// other conductances), so the stamp is exact for the model.
     pub gms: f64,
     /// ∂i_d/∂v_b (body transconductance, S).
     pub gmb: f64,
@@ -357,6 +378,69 @@ impl MosModel {
         }
     }
 
+    /// [`Self::ids_kernel`] plus its analytic gradient
+    /// `(∂i/∂vgb, ∂i/∂vdb, ∂i/∂vsb)` in one pass — the Newton hot path
+    /// (one evaluation instead of nine finite-difference kernel calls).
+    /// The model's `min`/`max`/`|·|` kinks use one-sided sub-gradients,
+    /// which is what the finite differences smeared over anyway.
+    fn ids_kernel_grad(&self, w: f64, vgb: f64, vdb: f64, vsb: f64) -> (f64, [f64; 3]) {
+        let p = &self.params;
+        let d = vdb - vsb;
+        let s_d = if d > 0.0 {
+            1.0
+        } else if d < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        // m = min(vsb, vdb); its gradient picks the vsb branch on ties,
+        // matching `f64::min` which returns the first argument on equality.
+        let (m, dm_dvsb, dm_dvdb) = if vsb <= vdb {
+            (vsb, 1.0, 0.0)
+        } else {
+            (vdb, 0.0, 1.0)
+        };
+        let eff_on = m > 0.0;
+        let v_sb_eff = if eff_on { m } else { 0.0 };
+        let vth_eff = self.vth_t - p.dibl * d.abs() + p.body_k * v_sb_eff;
+        // ∂vth_eff/∂{vdb, vsb}; vgb never enters vth_eff.
+        let body_d = if eff_on { p.body_k * dm_dvdb } else { 0.0 };
+        let body_s = if eff_on { p.body_k * dm_dvsb } else { 0.0 };
+        let dvth_dvdb = -p.dibl * s_d + body_d;
+        let dvth_dvsb = p.dibl * s_d + body_s;
+
+        let n = p.n_slope;
+        let vp = (vgb - vth_eff) / n;
+        let dvp = [1.0 / n, -dvth_dvdb / n, -dvth_dvsb / n]; // ∂vp/∂{vgb,vdb,vsb}
+
+        let v_ov_raw = vgb - vth_eff - m;
+        let v_ov = v_ov_raw.max(0.0);
+        let dov = if v_ov_raw > 0.0 {
+            [1.0, -dvth_dvdb - dm_dvdb, -dvth_dvsb - dm_dvsb]
+        } else {
+            [0.0, 0.0, 0.0]
+        };
+        let denom = 1.0 + p.theta * v_ov;
+        let k_eff = self.k_t / denom;
+        // ∂k_eff/∂x = −k_eff·θ/denom · ∂v_ov/∂x; i_s scales linearly.
+        let i_s = 2.0 * n * k_eff * (w / p.length) * self.v_t * self.v_t;
+        let dis_scale = -p.theta / denom; // ∂i_s/∂x = i_s · dis_scale · ∂v_ov/∂x
+
+        let (f_f, df_f) = ekv_f_grad((vp - vsb) / self.v_t);
+        let (f_r, df_r) = ekv_f_grad((vp - vdb) / self.v_t);
+        let i = i_s * (f_f - f_r);
+
+        let mut grad = [0.0; 3];
+        // x order: vgb, vdb, vsb; δ-terms from the uf/ur arguments.
+        let delta_u = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0]]; // [δ(x=vsb), δ(x=vdb)]
+        for x in 0..3 {
+            let duf = (dvp[x] - delta_u[x][0]) / self.v_t;
+            let dur = (dvp[x] - delta_u[x][1]) / self.v_t;
+            grad[x] = i * dis_scale * dov[x] + i_s * (df_f * duf - df_r * dur);
+        }
+        (i, grad)
+    }
+
     /// Convenience wrapper: source-referenced voltages, bulk tied to
     /// source. Returns the drain current.
     ///
@@ -377,6 +461,18 @@ impl MosModel {
     /// offset makes the current vanish exactly at zero oxide bias while
     /// leaving the full-bias value ≈ `jg0` per unit area.
     fn gate_tunnel(&self, w: f64, v_g_x: f64) -> f64 {
+        self.gate_tunnel_grad(w, v_g_x).0
+    }
+
+    /// Gate tunnelling current and its analytic conductance
+    /// `∂i/∂(v_g − v_x)` in one pass.
+    ///
+    /// The density model is
+    /// `J = jg0 · [exp(jg_slope·(|v| − jg_vref)) − exp(−jg_slope·jg_vref)]`,
+    /// signed by the oxide-field polarity. The current is an even-slope
+    /// odd function, so its derivative is even in `v` and strictly
+    /// positive below the clamp, zero above it.
+    fn gate_tunnel_grad(&self, w: f64, v_g_x: f64) -> (f64, f64) {
         let p = &self.params;
         let area = 0.5 * w * p.length; // half the channel per terminal
         let zero_bias = (-p.jg_slope * p.jg_vref).exp();
@@ -384,9 +480,18 @@ impl MosModel {
         // Newton iterates (which can overshoot the rails) from blowing
         // the exponential out of float range while leaving the
         // physical 0..Vdd range untouched.
-        let v_eff = v_g_x.abs().min(2.0 * p.jg_vref);
-        let magnitude = p.jg0 * ((p.jg_slope * (v_eff - p.jg_vref)).exp() - zero_bias);
-        v_g_x.signum() * area * magnitude
+        let clamp = 2.0 * p.jg_vref;
+        let clamped = v_g_x.abs() >= clamp;
+        let v_eff = v_g_x.abs().min(clamp);
+        let grown = (p.jg_slope * (v_eff - p.jg_vref)).exp();
+        let magnitude = p.jg0 * (grown - zero_bias);
+        let i = v_g_x.signum() * area * magnitude;
+        let g = if clamped {
+            0.0
+        } else {
+            area * p.jg0 * p.jg_slope * grown
+        };
+        (i, g)
     }
 
     /// Junction reverse-bias leakage into the bulk for one diffusion.
@@ -404,9 +509,45 @@ impl MosModel {
 
     /// Full operating-point evaluation with absolute terminal voltages.
     ///
-    /// Derivatives are central finite differences of the smooth model —
-    /// exact enough for Newton convergence on these circuit sizes.
+    /// Current and all derivatives come from one analytic kernel pass —
+    /// this is the single hottest function of the circuit engine (called
+    /// per device per Newton iteration). [`Self::eval_fd`] keeps the
+    /// original finite-difference evaluation as a cross-check oracle.
     pub fn eval(&self, w: f64, vg: f64, vd: f64, vs: f64, vb: f64) -> MosOp {
+        // The kernel is bulk-referenced, so terminal derivatives map to
+        // kernel gradients directly and ∂/∂vb = −Σ others exactly.
+        let (i_d, gm, gds, gms) = match self.params.polarity {
+            Polarity::Nmos => {
+                let (i, g) = self.ids_kernel_grad(w, vg - vb, vd - vb, vs - vb);
+                (i, g[0], g[1], g[2])
+            }
+            Polarity::Pmos => {
+                // i = −K(vb−vg, vb−vd, vb−vs): the two sign flips cancel.
+                let (i, g) = self.ids_kernel_grad(w, vb - vg, vb - vd, vb - vs);
+                (-i, g[0], g[1], g[2])
+            }
+        };
+        let gmb = -(gm + gds + gms);
+
+        let (i_g_s, g_gs) = self.gate_tunnel_grad(w, vg - vs);
+        let (i_g_d, g_gd) = self.gate_tunnel_grad(w, vg - vd);
+
+        MosOp {
+            i_d,
+            gm,
+            gds,
+            gms,
+            gmb,
+            i_g_s,
+            i_g_d,
+            g_gs,
+            g_gd,
+        }
+    }
+
+    /// The original central-finite-difference evaluation, kept as the
+    /// oracle the analytic [`Self::eval`] is verified against in tests.
+    pub fn eval_fd(&self, w: f64, vg: f64, vd: f64, vs: f64, vb: f64) -> MosOp {
         const H: f64 = 1.0e-6;
         let i_d = self.ids_terminals(w, vg, vd, vs, vb);
         let gm = (self.ids_terminals(w, vg + H, vd, vs, vb)
@@ -424,8 +565,10 @@ impl MosModel {
 
         let i_g_s = self.gate_tunnel(w, vg - vs);
         let i_g_d = self.gate_tunnel(w, vg - vd);
-        let g_gs = (self.gate_tunnel(w, vg - vs + H) - self.gate_tunnel(w, vg - vs - H)) / (2.0 * H);
-        let g_gd = (self.gate_tunnel(w, vg - vd + H) - self.gate_tunnel(w, vg - vd - H)) / (2.0 * H);
+        let g_gs =
+            (self.gate_tunnel(w, vg - vs + H) - self.gate_tunnel(w, vg - vs - H)) / (2.0 * H);
+        let g_gd =
+            (self.gate_tunnel(w, vg - vd + H) - self.gate_tunnel(w, vg - vd - H)) / (2.0 * H);
 
         MosOp {
             i_d,
@@ -502,6 +645,44 @@ mod tests {
     }
 
     const W: f64 = 450.0e-9;
+
+    #[test]
+    fn analytic_eval_matches_finite_differences() {
+        // The analytic gradients must agree with the central-difference
+        // oracle across polarities, Vt classes, and a dense bias grid
+        // (generic points — exact model kinks are smeared by FD anyway).
+        let models = [nmos(), nmos_hvt(), pmos()];
+        let grid = [0.03, 0.21, 0.47, 0.73, 0.99];
+        for m in &models {
+            for &vg in &grid {
+                for &vd in &grid {
+                    for &vs in &[0.01, 0.52] {
+                        for &vb in &[0.0, 0.11] {
+                            let a = m.eval(W, vg, vd, vs, vb);
+                            let f = m.eval_fd(W, vg, vd, vs, vb);
+                            let close = |x: f64, y: f64, what: &str| {
+                                let tol = 1.0e-4 * y.abs().max(1.0e-12);
+                                assert!(
+                                    (x - y).abs() <= tol,
+                                    "{what} @ ({vg},{vd},{vs},{vb}) {:?}: analytic {x:e} vs fd {y:e}",
+                                    m.params.polarity
+                                );
+                            };
+                            assert_eq!(a.i_d, f.i_d, "current paths must be identical");
+                            close(a.gm, f.gm, "gm");
+                            close(a.gds, f.gds, "gds");
+                            close(a.gms, f.gms, "gms");
+                            close(a.gmb, f.gmb, "gmb");
+                            assert_eq!(a.i_g_s, f.i_g_s);
+                            assert_eq!(a.i_g_d, f.i_g_d);
+                            close(a.g_gs, f.g_gs, "g_gs");
+                            close(a.g_gd, f.g_gd, "g_gd");
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn ekv_f_limits() {

@@ -79,11 +79,15 @@ impl WireGeometry {
     /// C_g = ε · [ w/h + 2.04·(s/(s+0.54h))^1.77 · (t/(t+4.53h))^0.07 ]
     /// ```
     pub fn ground_capacitance_per_length(&self) -> Farads {
-        let (w, s, t, h) = (self.width, self.spacing, self.thickness, self.height_above_plane);
+        let (w, s, t, h) = (
+            self.width,
+            self.spacing,
+            self.thickness,
+            self.height_above_plane,
+        );
         let eps = self.dielectric_k * EPSILON_0;
         let term_plate = w / h;
-        let term_fringe =
-            2.04 * (s / (s + 0.54 * h)).powf(1.77) * (t / (t + 4.53 * h)).powf(0.07);
+        let term_fringe = 2.04 * (s / (s + 0.54 * h)).powf(1.77) * (t / (t + 4.53 * h)).powf(0.07);
         Farads(eps * (term_plate + term_fringe))
     }
 
@@ -96,7 +100,12 @@ impl WireGeometry {
     ///           + 1.16·(t/(t+1.87s))^0.16 · (h/(h+0.98s))^1.18 ]
     /// ```
     pub fn coupling_capacitance_per_length(&self) -> Farads {
-        let (w, s, t, h) = (self.width, self.spacing, self.thickness, self.height_above_plane);
+        let (w, s, t, h) = (
+            self.width,
+            self.spacing,
+            self.thickness,
+            self.height_above_plane,
+        );
         let eps = self.dielectric_k * EPSILON_0;
         let t1 = 1.14 * (t / s) * (h / (h + 2.06 * s)).powf(0.09);
         let t2 = 0.74 * (w / (w + 1.59 * s)).powf(1.14);

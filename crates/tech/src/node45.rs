@@ -128,8 +128,8 @@ impl Node45 {
             k_prime: k_prime_base * self.corner.k_prime_factor(),
             theta: 0.30,
             length: self.l_min,
-            cox_per_area: 0.0288,     // ≈ 1.2 nm effective oxide
-            c_overlap_per_w: 3.0e-10, // 0.30 fF/µm
+            cox_per_area: 0.0288,      // ≈ 1.2 nm effective oxide
+            c_overlap_per_w: 3.0e-10,  // 0.30 fF/µm
             c_junction_per_w: 8.0e-10, // 0.80 fF/µm
             jg0,
             jg_slope: 4.6, // two decades per volt of oxide bias

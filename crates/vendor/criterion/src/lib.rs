@@ -1,0 +1,261 @@
+//! Offline mini-criterion.
+//!
+//! A small statistical benchmark harness exposing the subset of the
+//! criterion API this workspace uses (`bench_function`, `benchmark_group`,
+//! `sample_size`, `criterion_group!` / `criterion_main!`). Each benchmark is
+//! auto-calibrated so a sample lasts at least a few milliseconds, then
+//! `sample_size` samples are timed and the median / min / max per-iteration
+//! times reported. Results are also collected in-process so harness binaries
+//! can export machine-readable baselines (see [`take_results`]).
+
+use std::time::{Duration, Instant};
+
+/// Re-export so existing `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Median per-iteration time (ns).
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Drives a single benchmark's measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Minimum per-sample wall time the calibrator aims for.
+    target_sample: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample: Duration::from_millis(5),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let target = self.target_sample;
+        let result = run_bench(id.into(), f, sample_size, target);
+        report(&result);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group (functions report as `group/function`).
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Drains all results recorded so far (for JSON baseline export).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.prefix, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        let result = run_bench(full_id, f, sample_size, self.parent.target_sample);
+        report(&result);
+        self.parent.results.push(result);
+        self
+    }
+
+    /// Ends the group (API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    mut f: F,
+    sample_size: usize,
+    target_sample: Duration,
+) -> BenchResult {
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to be timed reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target_sample || iters >= 1 << 20 {
+            break;
+        }
+        // Jump straight toward the target rather than doubling blindly.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let needed = if per_iter > 0.0 {
+            (target_sample.as_secs_f64() / per_iter).ceil() as u64
+        } else {
+            iters * 2
+        };
+        iters = needed
+            .clamp(iters + 1, iters.saturating_mul(100))
+            .min(1 << 20);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = if per_iter_ns.len() % 2 == 1 {
+        per_iter_ns[per_iter_ns.len() / 2]
+    } else {
+        0.5 * (per_iter_ns[per_iter_ns.len() / 2 - 1] + per_iter_ns[per_iter_ns.len() / 2])
+    };
+    BenchResult {
+        id,
+        median_ns: median,
+        min_ns: per_iter_ns[0],
+        max_ns: *per_iter_ns.last().expect("at least one sample"),
+        iters_per_sample: iters,
+        samples: per_iter_ns.len(),
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1.0e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1.0e6 {
+        format!("{:.2} µs", ns / 1.0e3)
+    } else if ns < 1.0e9 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else {
+        format!("{:.3} s", ns / 1.0e9)
+    }
+}
+
+fn report(r: &BenchResult) {
+    println!(
+        "{:<48} time: [{} {} {}]  ({} samples × {} iters)",
+        r.id,
+        human(r.min_ns),
+        human(r.median_ns),
+        human(r.max_ns),
+        r.samples,
+        r.iters_per_sample
+    );
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_fast() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].min_ns <= results[0].median_ns);
+        assert!(results[0].median_ns <= results[0].max_ns);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("inner", |b| b.iter(|| black_box(3u32).pow(2)));
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].id, "grp/inner");
+        assert_eq!(results[0].samples, 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline mini-rayon.
+//!
+//! Implements the `into_par_iter()` / `par_iter()` → `map` → `collect` /
+//! `for_each` surface on top of `std::thread::scope` with a shared work
+//! queue, so call sites read exactly like upstream rayon and transparently
+//! use every available core. Items are handed out one at a time (the
+//! workloads here are coarse — whole circuit characterizations — so queue
+//! contention is negligible) and results are re-assembled in input order.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while this thread is a worker of an enclosing parallel call.
+    /// Nested calls then run serially instead of multiplying threads
+    /// (this pool-less mini-rayon would otherwise spawn
+    /// `available_parallelism` threads per nesting level).
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over owned items.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || IN_PARALLEL_REGION.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                loop {
+                    let job = queue.lock().expect("queue lock").pop_front();
+                    match job {
+                        Some((idx, item)) => {
+                            let r = f(item);
+                            out.lock().expect("result lock").push((idx, r));
+                        }
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+    let mut pairs = out.into_inner().expect("threads joined");
+    pairs.sort_by_key(|(idx, _)| *idx);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A collection of items about to be processed in parallel.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item (lazily; work happens at `collect` / `for_each`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = par_map_vec(self.items, &f);
+    }
+}
+
+/// A parallel map pipeline awaiting execution.
+#[derive(Debug)]
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T, R, F> ParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the pipeline and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over borrowed items.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Builds the parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The upstream-compatible prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| 2 * x).collect();
+        assert_eq!(doubled, (0..100).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let v: Vec<usize> = (0..10).collect();
+        let r: Result<Vec<usize>, String> = v
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let sum: f64 = v.par_iter().map(|x| *x).collect::<Vec<_>>().iter().sum();
+        assert!((sum - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_parallel_calls_stay_serial_and_correct() {
+        // The inner map must still produce correct, ordered results while
+        // running serially on the outer call's worker threads.
+        let outer: Vec<Vec<usize>> = (0..8usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                (0..16usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(move |j| i * 100 + j)
+                    .collect()
+            })
+            .collect();
+        for (i, inner) in outer.iter().enumerate() {
+            assert_eq!(*inner, (0..16).map(|j| i * 100 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..64).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline mini-serde.
+//!
+//! The real build environment has no network access, so this crate stands in
+//! for serde with the minimal surface the workspace uses: the two traits as
+//! markers, and the derive macros (which emit empty impls). Nothing in the
+//! workspace serializes through serde at runtime — artifacts are written as
+//! hand-formatted JSON/text — so marker impls are sufficient and keep every
+//! `#[derive(Serialize, Deserialize)]` in the tree source-compatible with
+//! upstream serde.
+
+/// Marker for types that upstream serde could serialize.
+pub trait Serialize {}
+
+/// Marker for types that upstream serde could deserialize.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing (upstream blanket).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    f32,
+    f64,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    String,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::sync::Arc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {}

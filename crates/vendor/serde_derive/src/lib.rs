@@ -1,0 +1,53 @@
+//! Offline mini-serde derive macros.
+//!
+//! Emits empty `Serialize` / `Deserialize` marker impls (see the `serde`
+//! mini-crate). The item name is extracted with a small hand-rolled token
+//! scan instead of `syn` (unavailable offline); generic items are rejected
+//! with a clear compile error since nothing in the workspace derives serde
+//! traits on generic types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier following the `struct` / `enum` / `union` keyword
+/// and checks the item is not generic.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("mini-serde derive: expected item name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "mini-serde derive does not support generic types (deriving on `{name}`)"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("mini-serde derive: no struct/enum/union found");
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -27,7 +27,7 @@ fn main() {
             tech: Node45::new(corner, Temperature::ROOM),
             ..CrossbarConfig::paper()
         };
-        let mut ch = Characterizer::new(&cfg);
+        let ch = Characterizer::new(&cfg);
         let sc = ch.characterize(Scheme::Sc).expect("SC");
         let dfc = ch.characterize(Scheme::Dfc).expect("DFC");
         let dpc = ch.characterize(Scheme::Dpc).expect("DPC");

@@ -27,8 +27,7 @@ fn main() {
         "delay cost".into(),
     ]);
     for budget in [1.00, 1.02, 1.05, 1.10, 1.20] {
-        let outcome =
-            dual_vt::assign(Scheme::Sc, &cfg, budget).expect("optimizer run");
+        let outcome = dual_vt::assign(Scheme::Sc, &cfg, budget).expect("optimizer run");
         let mut names = outcome.high_vt_devices.clone();
         names.sort();
         table.row(vec![

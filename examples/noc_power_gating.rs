@@ -40,7 +40,7 @@ fn main() {
     );
 
     // 2. Characterize every scheme and evaluate gating.
-    let mut ch = Characterizer::new(&cfg);
+    let ch = Characterizer::new(&cfg);
     let mut table = TextTable::new(vec![
         "scheme".into(),
         "MIT (cycles)".into(),
@@ -53,12 +53,8 @@ fn main() {
         let model = RouterPowerModel::from_characterization(&c, &cfg);
         let params = model.port_gating_params(cfg.radix);
         let mit = params.min_idle_cycles(cfg.clock);
-        let threshold = evaluate_policy(
-            &hist,
-            &params,
-            GatingPolicy::IdleThreshold(mit),
-            cfg.clock,
-        );
+        let threshold =
+            evaluate_policy(&hist, &params, GatingPolicy::IdleThreshold(mit), cfg.clock);
         let oracle = evaluate_policy(&hist, &params, GatingPolicy::Oracle, cfg.clock);
         table.row(vec![
             scheme.name().into(),

@@ -19,12 +19,18 @@ fn main() {
     println!("{}", schematic::export_summary(Scheme::Dfc, &cfg));
 
     // 2. Characterize the baseline and the DFC.
-    let mut ch = Characterizer::new(&cfg);
+    let ch = Characterizer::new(&cfg);
     let sc = ch.characterize(Scheme::Sc).expect("SC characterization");
     let dfc = ch.characterize(Scheme::Dfc).expect("DFC characterization");
 
-    println!("SC  : H→L {}  L→H {}", sc.delay_high_to_low, sc.delay_low_to_high);
-    println!("DFC : H→L {}  L→H {}", dfc.delay_high_to_low, dfc.delay_low_to_high);
+    println!(
+        "SC  : H→L {}  L→H {}",
+        sc.delay_high_to_low, sc.delay_low_to_high
+    );
+    println!(
+        "DFC : H→L {}  L→H {}",
+        dfc.delay_high_to_low, dfc.delay_low_to_high
+    );
     println!(
         "DFC active leakage saving vs SC: {:.2}%",
         (1.0 - dfc.active_leakage.0 / sc.active_leakage.0) * 100.0

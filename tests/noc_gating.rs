@@ -34,12 +34,12 @@ fn end_to_end_gating_prefers_precharged_schemes() {
     let hist = stats.merged_idle_histogram(4096);
     assert!(hist.interval_count() > 100);
 
-    let mut ch = Characterizer::new(&cfg);
+    let ch = Characterizer::new(&cfg);
     let mut oracle_savings = Vec::new();
     for scheme in [Scheme::Sc, Scheme::Dfc, Scheme::Dpc] {
         let c = ch.characterize(scheme).expect("characterization");
-        let params = RouterPowerModel::from_characterization(&c, &cfg)
-            .port_gating_params(cfg.radix);
+        let params =
+            RouterPowerModel::from_characterization(&c, &cfg).port_gating_params(cfg.radix);
         let out = evaluate_policy(&hist, &params, GatingPolicy::Oracle, cfg.clock);
         oracle_savings.push((scheme, out.savings_fraction()));
     }
@@ -52,16 +52,13 @@ fn end_to_end_gating_prefers_precharged_schemes() {
     // than the baseline (bigger standby delta, smaller breakeven).
     let sc = oracle_savings[0].1;
     let dpc = oracle_savings[2].1;
-    assert!(
-        dpc > sc,
-        "DPC oracle saving {dpc:.3} must beat SC {sc:.3}"
-    );
+    assert!(dpc > sc, "DPC oracle saving {dpc:.3} must beat SC {sc:.3}");
 }
 
 #[test]
 fn router_power_scales_with_load() {
     let cfg = crossbar_cfg();
-    let mut ch = Characterizer::new(&cfg);
+    let ch = Characterizer::new(&cfg);
     let c = ch.characterize(Scheme::Sc).expect("characterization");
     let model = RouterPowerModel::from_characterization(&c, &cfg);
 

@@ -1,10 +1,10 @@
 //! Property-based tests on the cross-crate invariants.
 
+use leakage_noc::circuit::dc;
 use leakage_noc::circuit::linear::Matrix;
 use leakage_noc::circuit::netlist::Netlist;
 use leakage_noc::circuit::stimulus::Stimulus;
 use leakage_noc::circuit::waveform::{Edge, Waveform};
-use leakage_noc::circuit::dc;
 use leakage_noc::power::breakeven::{min_idle_cycles, net_saving};
 use leakage_noc::power::gating::IdleHistogram;
 use leakage_noc::tech::device::{Polarity, VtClass};

@@ -112,7 +112,14 @@ fn schematics_reference_every_figure_device() {
     let cfg = CrossbarConfig::test_small();
     // Fig 1 roster: N1–N4 (pass), N5 (sleep), P1 (keeper), I1, I2.
     let spice = schematic::export_spice(Scheme::Dfc, &cfg);
-    for name in ["Mpass0", "Mpass3", "Msleep_n5", "Mkeeper_p1", "Mi1_n", "Mi2_p"] {
+    for name in [
+        "Mpass0",
+        "Mpass3",
+        "Msleep_n5",
+        "Mkeeper_p1",
+        "Mi1_n",
+        "Mi2_p",
+    ] {
         assert!(spice.contains(name), "Fig 1 export missing {name}");
     }
     // Fig 2 swaps the keeper for the clocked pre-charge device.
@@ -122,7 +129,14 @@ fn schematics_reference_every_figure_device() {
     // Fig 3 variants have two A-domains and isolation gates.
     for scheme in [Scheme::Sdfc, Scheme::Sdpc] {
         let spice = schematic::export_spice(scheme, &cfg);
-        for name in ["Msleep1_n5", "Msleep2_n5", "Miso_far_n", "Miso_near_p", "Mi1a_p", "Mi1b_n"] {
+        for name in [
+            "Msleep1_n5",
+            "Msleep2_n5",
+            "Miso_far_n",
+            "Miso_near_p",
+            "Mi1a_p",
+            "Mi1b_n",
+        ] {
             assert!(spice.contains(name), "{scheme} export missing {name}");
         }
     }

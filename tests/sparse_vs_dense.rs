@@ -1,0 +1,236 @@
+//! Property tests pitting the sparse solve path against the dense LU
+//! oracle: on random diagonally-dominant systems, and on real
+//! crossbar-slice MNA Jacobians captured from the characterization
+//! pipeline's operating states. Agreement bound: 1e-9 (relative to the
+//! solution norm) per the engine's acceptance criterion.
+
+use leakage_noc::circuit::assemble::Assembler;
+use leakage_noc::circuit::dc::{self, NewtonOptions, SolverKind};
+use leakage_noc::circuit::linear::norm_inf;
+use leakage_noc::circuit::sparse::{CscPattern, SparseLu};
+use leakage_noc::core::config::CrossbarConfig;
+use leakage_noc::core::scheme::Scheme;
+use leakage_noc::core::slice::BitSlice;
+use proptest::prelude::*;
+
+/// Solves the same system through both kernels and checks agreement.
+fn assert_solvers_agree(pattern: &CscPattern, values: &[f64], b: &[f64], context: &str) {
+    let n = pattern.dim();
+    let mut dense = pattern.to_dense(values);
+    let mut x_dense = b.to_vec();
+    dense
+        .solve_in_place(&mut x_dense)
+        .unwrap_or_else(|e| panic!("{context}: dense solve failed: {e}"));
+
+    let mut lu = SparseLu::new(n);
+    lu.factorize(pattern, values)
+        .unwrap_or_else(|e| panic!("{context}: sparse factorize failed: {e}"));
+    let mut x_sparse = b.to_vec();
+    lu.solve_in_place(&mut x_sparse);
+
+    let scale = norm_inf(&x_dense).max(1.0);
+    for (i, (d, s)) in x_dense.iter().zip(&x_sparse).enumerate() {
+        assert!(
+            (d - s).abs() <= 1e-9 * scale,
+            "{context}: x[{i}] dense {d:e} vs sparse {s:e} (scale {scale:e})"
+        );
+    }
+
+    // Refactorization must reproduce the factorization's solution.
+    lu.refactorize(pattern, values)
+        .unwrap_or_else(|e| panic!("{context}: refactorize failed: {e}"));
+    let mut x_refac = b.to_vec();
+    lu.solve_in_place(&mut x_refac);
+    for (i, (d, s)) in x_dense.iter().zip(&x_refac).enumerate() {
+        assert!(
+            (d - s).abs() <= 1e-9 * scale,
+            "{context}: refactorized x[{i}] dense {d:e} vs sparse {s:e}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random banded diagonally-dominant systems: sparse == dense to 1e-9.
+    #[test]
+    fn random_diagonally_dominant_systems_agree(
+        off_vals in proptest::collection::vec(-1.0f64..1.0, 200),
+        diag_vals in proptest::collection::vec(0.0f64..4.0, 40),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 40),
+    ) {
+        let n = 40;
+        let mut positions = Vec::new();
+        for i in 0..n {
+            positions.push((i, i));
+            for d in 1..4usize {
+                if i + d < n {
+                    positions.push((i, i + d));
+                    positions.push((i + d, i));
+                }
+            }
+        }
+        let pattern = CscPattern::from_positions(n, &positions);
+        let mut values = vec![0.0; pattern.nnz()];
+        let mut next_off = 0;
+        for (col, &diag) in diag_vals.iter().enumerate() {
+            for k in pattern.col_range(col) {
+                let row = pattern.col_rows(col)[k - pattern.col_range(col).start];
+                values[k] = if row == col {
+                    // Strictly dominant: |diag| > sum of up to 6 off-diagonal
+                    // entries, each < 1.
+                    7.0 + diag
+                } else {
+                    let v = off_vals[next_off % off_vals.len()];
+                    next_off += 1;
+                    v
+                };
+            }
+        }
+        assert_solvers_agree(&pattern, &values, &rhs, "random system");
+    }
+}
+
+/// Captures the MNA system of one slice state at its DC operating point
+/// and checks solver agreement on the Newton step. `transfer_data` is the
+/// transferred bit of a far-path transfer state, or `None` for the
+/// idle-awake state — the same states the characterization pipeline
+/// enumerates.
+fn check_slice_jacobian(scheme: Scheme, transfer_data: Option<bool>) {
+    let cfg = CrossbarConfig {
+        flit_bits: 32,
+        ..CrossbarConfig::paper()
+    };
+    let mut slice = BitSlice::build(scheme, &cfg);
+    match transfer_data {
+        None => {
+            // Idle awake: both segments bridged, nothing granted.
+            if scheme.is_segmented() {
+                slice.set_enable_far(true);
+                slice.set_enable_near(true);
+            }
+            if scheme.is_precharged() {
+                slice.set_precharge(true);
+            }
+        }
+        Some(data) => {
+            // Far transfer (the pipeline's worst-case path state).
+            let input = if scheme.is_segmented() {
+                slice.set_enable_far(true);
+                slice.set_enable_near(false);
+                slice.set_sleep_slack(true);
+                slice.crit_inputs[0]
+            } else {
+                slice.input_count() - 1
+            };
+            slice.set_grant(input, true);
+            slice.set_data(input, data);
+            if scheme.is_precharged() {
+                // Pre-charge pins A only when it agrees with the data
+                // (an active pre-charge against a 0-evaluation is a
+                // contention state with no physical DC meaning).
+                slice.set_precharge_main(data);
+            }
+        }
+    }
+    let nl = &slice.netlist;
+
+    // A realistic linearization point: the converged operating point.
+    let opts = NewtonOptions {
+        max_iterations: 300,
+        ..NewtonOptions::default()
+    };
+    let sol = dc::solve_with(nl, &opts, None)
+        .unwrap_or_else(|e| panic!("{scheme} {transfer_data:?}: slice DC did not converge: {e}"));
+    let mut x: Vec<f64> = Vec::new();
+    x.extend_from_slice(&sol.voltages()[1..]);
+    for k in 0..nl.vsource_count() {
+        x.push(sol.branch_current(k));
+    }
+
+    // Assemble the real Jacobian (small gmin keeps pre-charged nodes
+    // conditioned, as the characterization pipeline does mid-ladder) and
+    // pit the solvers against each other on the Newton-step system.
+    let mut asm = Assembler::new(nl);
+    asm.set_linear_state(1.0e-9, None);
+    asm.prepare_rhs(0.0, 1.0, None);
+    asm.assemble(&x);
+    let b: Vec<f64> = asm.residual().iter().map(|r| -r).collect();
+    assert_solvers_agree(
+        asm.pattern(),
+        asm.values(),
+        &b,
+        &format!("{scheme} slice Jacobian"),
+    );
+}
+
+#[test]
+fn crossbar_slice_jacobians_agree_across_schemes() {
+    for scheme in Scheme::ALL {
+        check_slice_jacobian(scheme, None);
+        check_slice_jacobian(scheme, Some(true));
+        check_slice_jacobian(scheme, Some(false));
+    }
+}
+
+#[test]
+fn radix16_slice_jacobian_agrees() {
+    // The scaled-up router case the benches measure.
+    let cfg = CrossbarConfig {
+        radix: 16,
+        flit_bits: 64,
+        ..CrossbarConfig::paper()
+    };
+    let mut slice = BitSlice::build(Scheme::Dpc, &cfg);
+    slice.set_grant(10, true);
+    slice.set_data(10, true);
+    let nl = &slice.netlist;
+    let dim = (nl.node_count() - 1) + nl.vsource_count();
+    // A mid-rail guess exercises the exponential device models away from
+    // converged equilibrium.
+    let x: Vec<f64> = (0..dim).map(|i| 0.4 + 0.01 * (i % 7) as f64).collect();
+    let mut asm = Assembler::new(nl);
+    asm.set_linear_state(1.0e-6, None);
+    asm.prepare_rhs(0.0, 1.0, None);
+    asm.assemble(&x);
+    let b: Vec<f64> = asm.residual().iter().map(|r| -r).collect();
+    assert_solvers_agree(asm.pattern(), asm.values(), &b, "radix-16 DPC Jacobian");
+}
+
+#[test]
+fn full_dc_solutions_agree_across_engines() {
+    // End-to-end: the three fast engines and the reference kernel must
+    // land on the same operating point (within Newton tolerance).
+    let cfg = CrossbarConfig {
+        flit_bits: 32,
+        ..CrossbarConfig::paper()
+    };
+    for scheme in [Scheme::Sc, Scheme::Dfc, Scheme::Sdpc] {
+        let mut slice = BitSlice::build(scheme, &cfg);
+        if scheme.is_segmented() {
+            slice.set_enable_far(true);
+            slice.set_enable_near(true);
+        }
+        slice.set_grant(slice.input_count() - 1, true);
+        slice.set_data(slice.input_count() - 1, true);
+        let solve = |solver: SolverKind| {
+            let opts = NewtonOptions {
+                solver,
+                max_iterations: 300,
+                ..NewtonOptions::default()
+            };
+            dc::solve_with(&slice.netlist, &opts, None).expect("converges")
+        };
+        let reference = solve(SolverKind::Reference);
+        for kind in [SolverKind::Auto, SolverKind::Dense, SolverKind::Sparse] {
+            let fast = solve(kind);
+            for (node, _) in slice.netlist.nodes() {
+                let (a, b) = (reference.voltage(node), fast.voltage(node));
+                assert!(
+                    (a - b).abs() < 1.0e-6,
+                    "{scheme} {kind:?}: node {node} {a} vs {b}"
+                );
+            }
+        }
+    }
+}

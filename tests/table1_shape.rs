@@ -56,9 +56,7 @@ fn table1_shape_holds() {
         dpc.standby_leakage_savings.unwrap(),
         dfc.standby_leakage_savings.unwrap()
     );
-    assert!(
-        sdpc.standby_leakage_savings.unwrap() > sdfc.standby_leakage_savings.unwrap()
-    );
+    assert!(sdpc.standby_leakage_savings.unwrap() > sdfc.standby_leakage_savings.unwrap());
 
     // --- delay rows ---------------------------------------------------
     // DFC's signature asymmetry: faster falling, slower rising than SC.
