@@ -1,13 +1,27 @@
-//! Criterion bench for the NoC simulator's cycle rate.
+//! Criterion bench for the NoC simulator's cycle rate, ungated and with
+//! the in-loop sleep FSM enabled (the gating bookkeeping must stay
+//! cheap).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lnoc_netsim::{MeshConfig, Simulation, TrafficPattern};
+use lnoc_netsim::{GatingPolicy, MeshConfig, Simulation, SleepConfig, TrafficPattern};
 use std::hint::black_box;
 
 fn bench_mesh_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim");
     group.sample_size(10);
-    for (label, w, h) in [("4x4", 4usize, 4usize), ("8x8", 8, 8)] {
+    for (label, w, h, gating) in [
+        ("4x4", 4usize, 4usize, None),
+        ("8x8", 8, 8, None),
+        (
+            "8x8_gated",
+            8,
+            8,
+            Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(4),
+                wake_latency: 1,
+            }),
+        ),
+    ] {
         group.bench_function(format!("{label}_1k_cycles"), |b| {
             b.iter(|| {
                 let mut sim = Simulation::new(MeshConfig {
@@ -18,6 +32,8 @@ fn bench_mesh_cycles(c: &mut Criterion) {
                     packet_len_flits: 4,
                     buffer_depth: 4,
                     seed: 7,
+                    gating,
+                    ..MeshConfig::default()
                 });
                 black_box(sim.run(0, 1000))
             })

@@ -1,0 +1,207 @@
+//! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
+//! the sleep FSM live in the cycle loop over an injection-rate × policy
+//! × scheme grid — in parallel with rayon, one simulation per grid
+//! point — and emits the committed `BENCH_noc.json` baseline: energy
+//! saved, the latency/throughput penalty the offline model cannot see,
+//! and the in-loop vs offline agreement on every point.
+//!
+//! ```sh
+//! cargo run --release -p lnoc-bench --bin gating_sweep            # full grid → BENCH_noc.json
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke # CI smoke grid → out/
+//! ```
+
+use lnoc_core::characterize::Characterizer;
+use lnoc_core::config::CrossbarConfig;
+use lnoc_core::scheme::Scheme;
+use lnoc_netsim::{MeshConfig, NetworkStats, Simulation, SleepConfig, TrafficPattern};
+use lnoc_power::gating::{
+    energy_from_counters, evaluate_policy, GatingOutcome, GatingParams, GatingPolicy,
+};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+/// One measured grid point.
+struct Row {
+    scheme: Scheme,
+    rate: f64,
+    policy: GatingPolicy,
+    mit: u32,
+    stats: NetworkStats,
+    in_loop: GatingOutcome,
+    offline: GatingOutcome,
+}
+
+fn mesh_cfg(rate: f64, gating: Option<SleepConfig>, measure_seed: u64) -> MeshConfig {
+    MeshConfig {
+        width: 4,
+        height: 4,
+        injection_rate: rate,
+        pattern: TrafficPattern::UniformRandom,
+        packet_len_flits: 4,
+        buffer_depth: 4,
+        seed: measure_seed,
+        gating,
+        ..MeshConfig::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        CrossbarConfig {
+            flit_bits: 32,
+            sim_dt: 0.5e-12,
+            ..CrossbarConfig::paper()
+        }
+    } else {
+        CrossbarConfig::paper()
+    };
+    let (warmup, measure) = if smoke { (300, 2000) } else { (1000, 12000) };
+    let schemes: &[Scheme] = if smoke {
+        &[Scheme::Sc, Scheme::Dpc]
+    } else {
+        &Scheme::ALL
+    };
+    let rates: &[f64] = if smoke { &[0.05] } else { &[0.02, 0.05, 0.08] };
+
+    // Characterize each scheme once, in parallel.
+    let ch = Characterizer::new(&cfg);
+    let params: Vec<(Scheme, GatingParams)> = schemes
+        .par_iter()
+        .map(|&scheme| {
+            let c = ch.characterize(scheme).expect("characterization");
+            let model = lnoc_power::router::RouterPowerModel::from_characterization(&c, &cfg);
+            (scheme, model.port_gating_params(cfg.radix))
+        })
+        .collect();
+
+    // Build the grid: scheme × rate × policy. The threshold policies
+    // are scheme-specific (each scheme has its own Minimum Idle Time).
+    let mut grid: Vec<(Scheme, GatingParams, f64, GatingPolicy)> = Vec::new();
+    for &(scheme, p) in &params {
+        let mit = p.min_idle_cycles(cfg.clock);
+        let mut policies = vec![GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)];
+        if !smoke {
+            policies.push(GatingPolicy::Immediate);
+            policies.push(GatingPolicy::IdleThreshold(4 * mit.max(1)));
+        }
+        for &rate in rates {
+            for &policy in &policies {
+                grid.push((scheme, p, rate, policy));
+            }
+        }
+    }
+    eprintln!(
+        "sweeping {} grid points on {} threads…",
+        grid.len(),
+        rayon::current_num_threads()
+    );
+
+    // One full in-loop simulation per grid point, in parallel.
+    let rows: Vec<Row> = grid
+        .into_par_iter()
+        .map(|(scheme, p, rate, policy)| {
+            let mit = p.min_idle_cycles(cfg.clock);
+            // Every policy (including Never) runs through the FSM so
+            // counters are collected; Never simply never sleeps.
+            let gating = Some(SleepConfig {
+                policy,
+                wake_latency: p.wake_latency_cycles,
+            });
+            let mut sim = Simulation::new(mesh_cfg(rate, gating, 2005));
+            let stats = sim.run(warmup, measure);
+            let counters = stats.total_gating_counters();
+            let in_loop = energy_from_counters(&counters, &p, cfg.clock);
+            let offline =
+                evaluate_policy(&stats.merged_idle_histogram(4096), &p, policy, cfg.clock);
+            Row {
+                scheme,
+                rate,
+                policy,
+                mit,
+                stats,
+                in_loop,
+                offline,
+            }
+        })
+        .collect();
+
+    // Baseline latency per injection rate (Never policy; identical
+    // network behaviour for every scheme).
+    let base_latency = |rate: f64| -> f64 {
+        rows.iter()
+            .find(|r| r.rate == rate && r.policy == GatingPolicy::Never)
+            .map(|r| r.stats.avg_latency())
+            .expect("grid always contains Never")
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"in-loop sleep-FSM gating sweep, 4x4 mesh, uniform traffic, {measure} measured cycles; agreement = |in_loop - offline| / offline on the same run's histograms\","
+    );
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+    let n_rows = rows.len();
+    let mut worst_disagreement: f64 = 0.0;
+    for (i, r) in rows.iter().enumerate() {
+        let penalty = r.stats.avg_latency() - base_latency(r.rate);
+        let agreement = if r.offline.energy_policy.0 > 0.0 {
+            (r.in_loop.energy_policy.0 - r.offline.energy_policy.0).abs()
+                / r.offline.energy_policy.0
+        } else {
+            0.0
+        };
+        if r.policy != GatingPolicy::Never {
+            worst_disagreement = worst_disagreement.max(agreement);
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{}\", \"rate\": {:.2}, \"policy\": \"{}\", \"mit_cycles\": {}, \
+             \"avg_latency_cy\": {:.3}, \"latency_penalty_cy\": {:.3}, \"throughput\": {:.4}, \
+             \"wake_stall_cycles\": {}, \"sleep_events\": {}, \
+             \"energy_never_j\": {:.6e}, \"energy_policy_j\": {:.6e}, \"saved_pct\": {:.2}, \
+             \"offline_energy_j\": {:.6e}, \"offline_saved_pct\": {:.2}, \"agreement_pct\": {:.3}}}{}",
+            r.scheme.name(),
+            r.rate,
+            r.policy,
+            r.mit,
+            r.stats.avg_latency(),
+            penalty,
+            r.stats.throughput(),
+            r.stats.wake_stall_cycles(),
+            r.in_loop.sleep_events,
+            r.in_loop.energy_never.0,
+            r.in_loop.energy_policy.0,
+            r.in_loop.savings_fraction() * 100.0,
+            r.offline.energy_policy.0,
+            r.offline.savings_fraction() * 100.0,
+            agreement * 100.0,
+            if i + 1 == n_rows { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("{json}");
+    println!(
+        "worst in-loop vs offline disagreement (gated points): {:.3}%",
+        worst_disagreement * 100.0
+    );
+    assert!(
+        worst_disagreement < 0.05,
+        "in-loop energy must agree with the offline model within 5%"
+    );
+
+    if smoke {
+        lnoc_bench::write_artifact("x3_gating_sweep_smoke.json", &json);
+    } else {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("BENCH_noc.json");
+        std::fs::write(&path, &json).expect("write BENCH_noc.json");
+        println!("wrote {}", path.display());
+    }
+}

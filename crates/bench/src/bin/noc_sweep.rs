@@ -41,6 +41,7 @@ fn main() {
                 packet_len_flits: 4,
                 buffer_depth: 4,
                 seed: 2005,
+                ..MeshConfig::default()
             });
             let stats = sim.run(1000, 10000);
             let hist = stats.merged_idle_histogram(4096);

@@ -3,15 +3,21 @@
 //! The paper proposes its crossbars for on-chip networks and defines a
 //! *Minimum Idle Time* for the sleep decision, but never shows network
 //! data. This crate supplies the missing substrate: a flit-level 2-D
-//! mesh simulator with input-buffered wormhole routers, dimension-order
-//! routing, synthetic traffic patterns and — crucially — per-output-port
-//! **idle-interval histograms**, which feed the power-gating policy
-//! evaluation in [`lnoc_power::gating`].
+//! mesh/torus simulator with input-buffered wormhole routers,
+//! dimension-order routing, synthetic traffic patterns (with Bernoulli
+//! or bursty ON–OFF injection) and — crucially — per-output-port
+//! **idle-interval histograms** plus an **in-loop sleep FSM** per
+//! output port ([`sleep`]), so power gating is simulated where it
+//! belongs: inside the cycle loop, where wake latency back-pressures
+//! real flits. The offline policy models in [`lnoc_power::gating`] are
+//! cross-validated against these in-loop measurements.
 //!
 //! ## Example
 //!
 //! ```
-//! use lnoc_netsim::{MeshConfig, Simulation, TrafficPattern};
+//! use lnoc_netsim::{
+//!     GatingPolicy, InjectionProcess, MeshConfig, Simulation, SleepConfig, TrafficPattern,
+//! };
 //!
 //! let cfg = MeshConfig {
 //!     width: 4,
@@ -21,10 +27,17 @@
 //!     packet_len_flits: 4,
 //!     buffer_depth: 4,
 //!     seed: 7,
+//!     wrap: false,                             // set for a torus
+//!     injection: InjectionProcess::Bernoulli,  // or BurstyOnOff
+//!     gating: Some(SleepConfig {
+//!         policy: GatingPolicy::IdleThreshold(3),
+//!         wake_latency: 1,
+//!     }),
 //! };
 //! let mut sim = Simulation::new(cfg);
 //! let stats = sim.run(200, 1000);
 //! assert!(stats.flits_delivered > 0);
+//! assert!(stats.total_gating_counters().sleep_entries > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -32,10 +45,13 @@
 
 pub mod router;
 pub mod sim;
+pub mod sleep;
 pub mod stats;
 pub mod topology;
 pub mod traffic;
 
+pub use lnoc_power::gating::GatingPolicy;
 pub use sim::{MeshConfig, Simulation};
+pub use sleep::{SleepConfig, SleepState};
 pub use stats::NetworkStats;
-pub use traffic::TrafficPattern;
+pub use traffic::{InjectionProcess, TrafficPattern};

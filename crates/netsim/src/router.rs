@@ -6,11 +6,21 @@
 //! body flits follow; the tail flit releases the port. Backpressure is a
 //! simple on/off credit: a flit only advances when the downstream buffer
 //! has room.
+//!
+//! Each output port additionally carries a [`SleepFsm`] when in-loop
+//! power gating is enabled: a sleeping port cannot carry flits until it
+//! has waited out its wake latency, and the router accumulates the
+//! [`GatingCounters`] that price the policy.
+//!
+//! The input FIFOs live in one flat ring-buffer allocation and
+//! [`Router::step`] performs no heap allocation — the hot loop of the
+//! whole simulator.
 
+use crate::sleep::{SleepConfig, SleepFsm, SleepState};
 use crate::topology::Direction;
 use crate::traffic::Flit;
+use lnoc_power::gating::GatingCounters;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Per-port output state: which input currently owns the port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -22,17 +32,78 @@ enum PortOwner {
     Owned(usize),
 }
 
+/// All five input FIFOs in one flat allocation: port `p` owns the slot
+/// range `p*depth..(p+1)*depth` as a ring buffer.
+#[derive(Debug, Clone)]
+struct PortBuffers {
+    slots: Box<[Flit]>,
+    head: [u32; 5],
+    len: [u32; 5],
+    depth: u32,
+}
+
+impl PortBuffers {
+    fn new(depth: usize) -> Self {
+        let filler = Flit {
+            packet_id: u64::MAX,
+            src: 0,
+            dst: 0,
+            is_head: false,
+            is_tail: false,
+            injected_at: 0,
+        };
+        PortBuffers {
+            slots: vec![filler; 5 * depth].into_boxed_slice(),
+            head: [0; 5],
+            len: [0; 5],
+            depth: depth as u32,
+        }
+    }
+
+    fn len(&self, port: usize) -> usize {
+        self.len[port] as usize
+    }
+
+    fn is_full(&self, port: usize) -> bool {
+        self.len[port] == self.depth
+    }
+
+    fn front(&self, port: usize) -> Option<&Flit> {
+        (self.len[port] > 0)
+            .then(|| &self.slots[port * self.depth as usize + self.head[port] as usize])
+    }
+
+    fn push_back(&mut self, port: usize, flit: Flit) {
+        debug_assert!(!self.is_full(port));
+        let tail = (self.head[port] + self.len[port]) % self.depth;
+        self.slots[port * self.depth as usize + tail as usize] = flit;
+        self.len[port] += 1;
+    }
+
+    fn pop_front(&mut self, port: usize) -> Option<Flit> {
+        if self.len[port] == 0 {
+            return None;
+        }
+        let flit = self.slots[port * self.depth as usize + self.head[port] as usize];
+        self.head[port] = (self.head[port] + 1) % self.depth;
+        self.len[port] -= 1;
+        Some(flit)
+    }
+}
+
 /// One wormhole router.
 #[derive(Debug, Clone)]
 pub struct Router {
     /// This router's id in the mesh.
     pub id: usize,
-    buffers: [VecDeque<Flit>; 5],
+    buffers: PortBuffers,
     owners: [PortOwner; 5],
     rr_next: [usize; 5],
-    buffer_depth: usize,
     /// Cycles each output port has been continuously idle.
     idle_run: [u64; 5],
+    sleep: [SleepFsm; 5],
+    sleep_cfg: Option<SleepConfig>,
+    counters: GatingCounters,
 }
 
 /// A flit departing the router this cycle.
@@ -45,21 +116,32 @@ pub struct Departure {
 }
 
 impl Router {
-    /// Creates an empty router.
+    /// Creates an empty, ungated router.
     pub fn new(id: usize, buffer_depth: usize) -> Self {
         Router {
             id,
-            buffers: Default::default(),
+            buffers: PortBuffers::new(buffer_depth),
             owners: Default::default(),
             rr_next: [0; 5],
-            buffer_depth,
             idle_run: [0; 5],
+            sleep: Default::default(),
+            sleep_cfg: None,
+            counters: GatingCounters::default(),
+        }
+    }
+
+    /// Creates a router whose output ports run the given sleep FSM
+    /// configuration (`None` disables in-loop gating).
+    pub fn with_gating(id: usize, buffer_depth: usize, sleep_cfg: Option<SleepConfig>) -> Self {
+        Router {
+            sleep_cfg,
+            ..Router::new(id, buffer_depth)
         }
     }
 
     /// Whether the input buffer for `port` can accept a flit.
     pub fn can_accept(&self, port: Direction) -> bool {
-        self.buffers[port.index()].len() < self.buffer_depth
+        !self.buffers.is_full(port.index())
     }
 
     /// Pushes an arriving flit into an input buffer.
@@ -74,17 +156,17 @@ impl Router {
             "buffer overflow at router {}",
             self.id
         );
-        self.buffers[port.index()].push_back(flit);
+        self.buffers.push_back(port.index(), flit);
     }
 
     /// Buffer occupancy of an input port.
     pub fn occupancy(&self, port: Direction) -> usize {
-        self.buffers[port.index()].len()
+        self.buffers.len(port.index())
     }
 
     /// Total buffered flits.
     pub fn total_occupancy(&self) -> usize {
-        self.buffers.iter().map(|b| b.len()).sum()
+        (0..5).map(|p| self.buffers.len(p)).sum()
     }
 
     /// Current idle-run length of an output port (cycles since it last
@@ -93,11 +175,64 @@ impl Router {
         self.idle_run[port.index()]
     }
 
+    /// Sleep state of an output port.
+    pub fn sleep_state(&self, port: Direction) -> SleepState {
+        self.sleep[port.index()].state()
+    }
+
+    /// The gating counters accumulated so far (all five ports summed).
+    pub fn gating_counters(&self) -> GatingCounters {
+        self.counters
+    }
+
+    /// Resets the sleep FSMs and gating counters (measurement-window
+    /// start, paired with [`Router::drain_idle_runs`]).
+    pub fn reset_gating(&mut self) {
+        for fsm in &mut self.sleep {
+            fsm.reset();
+        }
+        self.counters = GatingCounters::default();
+    }
+
+    /// The input whose front flit is ready for `out` this cycle, without
+    /// popping: the owning input while the port is allocated, otherwise
+    /// the round-robin arbitration winner among waiting head flits.
+    /// Inputs flagged in `used` already sent a flit this cycle and are
+    /// skipped — an input buffer has one crossbar line, so it can feed
+    /// at most one output per cycle.
+    fn candidate_input(
+        &self,
+        out: Direction,
+        route: impl Fn(&Flit) -> Direction,
+        used: &[bool; 5],
+    ) -> Option<usize> {
+        let oi = out.index();
+        match self.owners[oi] {
+            PortOwner::Owned(input) => self
+                .buffers
+                .front(input)
+                .filter(|f| !used[input] && route(f) == out)
+                .map(|_| input),
+            PortOwner::Free => {
+                let start = self.rr_next[oi];
+                (0..5).map(|k| (start + k) % 5).find(|&input| {
+                    !used[input]
+                        && self
+                            .buffers
+                            .front(input)
+                            .is_some_and(|f| f.is_head && route(f) == out)
+                })
+            }
+        }
+    }
+
     /// One switch-allocation + traversal cycle.
     ///
-    /// `route` maps a head flit to its output direction;
-    /// `downstream_ready` reports whether the next-hop buffer (or the
-    /// ejection port) can accept a flit on the given output.
+    /// `route` maps a flit to its output direction; `downstream_ready`
+    /// reports whether the next-hop buffer (or the ejection port) can
+    /// accept a flit on the given output — callers must evaluate it
+    /// against a cycle-start snapshot so results are independent of
+    /// router iteration order.
     ///
     /// Returns the flits that leave this cycle (at most one per output)
     /// and the number of arbitrations performed. `idle_ended[p]` is the
@@ -108,50 +243,51 @@ impl Router {
         route: impl Fn(&Flit) -> Direction,
         downstream_ready: impl Fn(Direction) -> bool,
     ) -> StepOutcome {
-        let mut departures = Vec::new();
+        let mut departures = [None; 5];
         let mut arbitrations = 0u64;
         let mut idle_ended = [0u64; 5];
+        // Inputs that already sent a flit this cycle: one crossbar line
+        // per input buffer, so one read per input per cycle.
+        let mut input_used = [false; 5];
 
         for out in Direction::ALL {
             let oi = out.index();
-            let mut sent = false;
 
-            match self.owners[oi] {
-                PortOwner::Owned(input) => {
-                    // Continue the owning packet if a flit is ready.
-                    if let Some(head) = self.buffers[input].front() {
-                        if route(head) == out && downstream_ready(out) {
-                            let flit = self.buffers[input].pop_front().expect("front exists");
-                            if flit.is_tail {
-                                self.owners[oi] = PortOwner::Free;
-                            }
-                            departures.push(Departure { output: out, flit });
-                            sent = true;
-                        }
-                    }
-                }
-                PortOwner::Free => {
-                    // Round-robin over inputs with a head flit for us.
-                    arbitrations += 1;
-                    let start = self.rr_next[oi];
-                    for k in 0..5 {
-                        let input = (start + k) % 5;
-                        let Some(head) = self.buffers[input].front() else {
-                            continue;
-                        };
-                        if !head.is_head || route(head) != out || !downstream_ready(out) {
-                            continue;
-                        }
-                        let flit = self.buffers[input].pop_front().expect("front exists");
+            let candidate = self.candidate_input(out, &route, &input_used);
+            // A flit "wants" the port only when it could actually move:
+            // a sleeping port stays in standby while downstream is
+            // blocked instead of waking into backpressure.
+            let wants = candidate.is_some() && downstream_ready(out);
+
+            let can_transmit = match (self.sleep_cfg, &mut self.sleep[oi]) {
+                (Some(cfg), fsm) => fsm.gate(wants, cfg.wake_latency),
+                (None, _) => true,
+            };
+
+            if can_transmit && matches!(self.owners[oi], PortOwner::Free) {
+                arbitrations += 1;
+            }
+
+            let mut sent = false;
+            if can_transmit && wants {
+                let input = candidate.expect("wants implies candidate");
+                let flit = self.buffers.pop_front(input).expect("front exists");
+                match self.owners[oi] {
+                    PortOwner::Free => {
                         if !flit.is_tail {
                             self.owners[oi] = PortOwner::Owned(input);
                         }
                         self.rr_next[oi] = (input + 1) % 5;
-                        departures.push(Departure { output: out, flit });
-                        sent = true;
-                        break;
+                    }
+                    PortOwner::Owned(_) => {
+                        if flit.is_tail {
+                            self.owners[oi] = PortOwner::Free;
+                        }
                     }
                 }
+                departures[oi] = Some(Departure { output: out, flit });
+                input_used[input] = true;
+                sent = true;
             }
 
             // Idle-run bookkeeping for the power model.
@@ -160,6 +296,25 @@ impl Router {
                 self.idle_run[oi] = 0;
             } else {
                 self.idle_run[oi] += 1;
+            }
+
+            if let Some(cfg) = self.sleep_cfg {
+                let stalled = wants && !sent;
+                // Only Immediate's after-send entry needs to know
+                // whether another flit is already waiting; skip the
+                // rescan otherwise.
+                // The just-used input is free again next cycle, so the
+                // lookahead ignores this cycle's usage flags.
+                let wants_after = sent
+                    && cfg.threshold() == Some(0)
+                    && downstream_ready(out)
+                    && self.candidate_input(out, &route, &[false; 5]).is_some();
+                let run = if sent {
+                    idle_ended[oi]
+                } else {
+                    self.idle_run[oi]
+                };
+                self.sleep[oi].settle(sent, stalled, wants_after, run, &cfg, &mut self.counters);
             }
         }
 
@@ -180,19 +335,28 @@ impl Router {
 }
 
 /// What happened in one router cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct StepOutcome {
-    /// Flits leaving this cycle.
-    pub departures: Vec<Departure>,
+    /// Flit leaving each output this cycle (indexed by
+    /// [`Direction::index`]).
+    pub departures: [Option<Departure>; 5],
     /// Arbitration events (for the arbiter energy model).
     pub arbitrations: u64,
     /// Idle-interval lengths that ended this cycle, per output index.
     pub idle_ended: [u64; 5],
 }
 
+impl StepOutcome {
+    /// Iterates the departures that actually happened.
+    pub fn departures(&self) -> impl Iterator<Item = Departure> + '_ {
+        self.departures.iter().flatten().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lnoc_power::gating::GatingPolicy;
 
     fn flit(id: u64, head: bool, tail: bool) -> Flit {
         Flit {
@@ -210,8 +374,9 @@ mod tests {
         let mut r = Router::new(0, 4);
         r.accept(Direction::West, flit(1, true, true));
         let out = r.step(|_| Direction::East, |_| true);
-        assert_eq!(out.departures.len(), 1);
-        assert_eq!(out.departures[0].output, Direction::East);
+        let deps: Vec<_> = out.departures().collect();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].output, Direction::East);
         assert_eq!(r.total_occupancy(), 0);
     }
 
@@ -227,7 +392,7 @@ mod tests {
         let mut winners = Vec::new();
         for _ in 0..4 {
             let out = r.step(|_| Direction::East, |_| true);
-            for d in out.departures {
+            for d in out.departures() {
                 winners.push(d.flit.packet_id);
             }
         }
@@ -245,7 +410,7 @@ mod tests {
         let mut r = Router::new(0, 4);
         r.accept(Direction::West, flit(1, true, true));
         let out = r.step(|_| Direction::East, |_| false);
-        assert!(out.departures.is_empty());
+        assert_eq!(out.departures().count(), 0);
         assert_eq!(r.total_occupancy(), 1);
     }
 
@@ -261,6 +426,44 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_wraps_cleanly() {
+        // Push/pop more flits than the depth so heads wrap around.
+        let mut r = Router::new(0, 3);
+        for round in 0..5u64 {
+            r.accept(Direction::West, flit(round, true, true));
+            r.accept(Direction::West, flit(round + 100, true, true));
+            let f1 = r.step(|_| Direction::East, |_| true);
+            let f2 = r.step(|_| Direction::East, |_| true);
+            assert_eq!(f1.departures().next().unwrap().flit.packet_id, round);
+            assert_eq!(f2.departures().next().unwrap().flit.packet_id, round + 100);
+        }
+        assert_eq!(r.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn one_input_feeds_at_most_one_output_per_cycle() {
+        // Input West holds [tail of packet 1 → East, head of packet 2 →
+        // Local]. A single input buffer has one crossbar line, so the
+        // two flits must leave on different cycles even though both
+        // outputs are free.
+        let mut r = Router::new(0, 4);
+        r.accept(Direction::West, flit(1, true, true));
+        r.accept(Direction::West, flit(2, true, true));
+        let route = |f: &Flit| {
+            if f.packet_id == 1 {
+                Direction::East
+            } else {
+                Direction::Local
+            }
+        };
+        let first = r.step(route, |_| true);
+        assert_eq!(first.departures().count(), 1, "one read per input");
+        assert_eq!(first.departures().next().unwrap().output, Direction::East);
+        let second = r.step(route, |_| true);
+        assert_eq!(second.departures().next().unwrap().output, Direction::Local);
+    }
+
+    #[test]
     fn round_robin_rotates_between_competitors() {
         let mut r = Router::new(0, 4);
         // Two single-flit packets per input, both to East.
@@ -271,7 +474,7 @@ mod tests {
         let mut order = Vec::new();
         for _ in 0..4 {
             let out = r.step(|_| Direction::East, |_| true);
-            for d in out.departures {
+            for d in out.departures() {
                 order.push(d.flit.packet_id);
             }
         }
@@ -294,5 +497,74 @@ mod tests {
         assert_eq!(out.idle_ended[Direction::East.index()], 3);
         assert_eq!(r.idle_run(Direction::East), 0);
         assert!(r.idle_run(Direction::North) >= 4);
+    }
+
+    #[test]
+    fn sleeping_port_stalls_flit_by_wake_latency() {
+        let wake = 3u32;
+        let mut r = Router::with_gating(
+            0,
+            4,
+            Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(2),
+                wake_latency: wake,
+            }),
+        );
+        // Idle past the threshold: the port sleeps.
+        for _ in 0..4 {
+            let _ = r.step(|_| Direction::East, |_| true);
+        }
+        assert_eq!(r.sleep_state(Direction::East), SleepState::Asleep);
+
+        // A flit arrives; it must wait out exactly `wake` cycles.
+        r.accept(Direction::West, flit(1, true, true));
+        let mut stalls = 0;
+        loop {
+            let out = r.step(|_| Direction::East, |_| true);
+            if out.departures().count() == 1 {
+                break;
+            }
+            stalls += 1;
+            assert!(stalls < 10, "flit never departed");
+        }
+        assert_eq!(stalls, wake);
+        let k = r.gating_counters();
+        assert_eq!(k.wake_stall_cycles, wake as u64);
+        assert_eq!(k.cycles_waking, wake as u64);
+        // All five idle ports slept; only East had to wake.
+        assert_eq!(k.sleep_entries, 5);
+    }
+
+    #[test]
+    fn ungated_router_has_zero_counters() {
+        let mut r = Router::new(0, 4);
+        for _ in 0..10 {
+            let _ = r.step(|_| Direction::East, |_| true);
+        }
+        assert_eq!(r.gating_counters(), GatingCounters::default());
+        assert_eq!(r.sleep_state(Direction::East), SleepState::Active);
+    }
+
+    #[test]
+    fn never_policy_matches_ungated_behaviour_with_accounting() {
+        let mut r = Router::with_gating(
+            0,
+            4,
+            Some(SleepConfig {
+                policy: GatingPolicy::Never,
+                wake_latency: 1,
+            }),
+        );
+        for _ in 0..5 {
+            let _ = r.step(|_| Direction::East, |_| true);
+        }
+        r.accept(Direction::West, flit(1, true, true));
+        let out = r.step(|_| Direction::East, |_| true);
+        assert_eq!(out.departures().count(), 1, "Never gating never stalls");
+        let k = r.gating_counters();
+        assert_eq!(k.sleep_entries, 0);
+        assert_eq!(k.cycles_busy, 1);
+        // 5 idle cycles × 5 ports + 4 idle ports on the send cycle.
+        assert_eq!(k.cycles_idle_awake, 29);
     }
 }

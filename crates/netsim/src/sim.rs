@@ -1,9 +1,25 @@
 //! The cycle loop: injection, router stepping, link transfer, ejection.
+//!
+//! Correctness notes:
+//!
+//! * Downstream readiness is evaluated against a snapshot of all input
+//!   buffer occupancies taken once per cycle (the credit state at cycle
+//!   start), so results are independent of the order routers are
+//!   visited in — see [`Simulation::set_visit_reversed`] and the
+//!   order-independence test.
+//! * Ejection order is validated on the fly: every packet must arrive
+//!   at its destination head-first, contiguously, with exactly
+//!   `packet_len_flits` flits.
+//! * The per-cycle scratch (transfers, occupancy snapshot) is reused
+//!   across cycles and [`Router::step`] is allocation-free, so the
+//!   steady-state loop performs no heap allocation.
 
 use crate::router::Router;
+use crate::sleep::SleepConfig;
 use crate::stats::NetworkStats;
 use crate::topology::{Direction, Mesh};
-use crate::traffic::{Flit, TrafficPattern};
+use crate::traffic::{Flit, InjectionProcess, TrafficPattern};
+use lnoc_power::gating::GatingPolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -16,7 +32,7 @@ pub struct MeshConfig {
     pub width: usize,
     /// Mesh height.
     pub height: usize,
-    /// Packet injection probability per node per cycle.
+    /// Mean packet injection probability per node per cycle.
     pub injection_rate: f64,
     /// Destination pattern.
     pub pattern: TrafficPattern,
@@ -26,6 +42,13 @@ pub struct MeshConfig {
     pub buffer_depth: usize,
     /// RNG seed (runs are fully deterministic given the seed).
     pub seed: u64,
+    /// Torus wraparound links (see [`Mesh`] for the deadlock caveat).
+    pub wrap: bool,
+    /// Temporal injection process (Bernoulli or bursty ON–OFF).
+    pub injection: InjectionProcess,
+    /// In-loop power gating of router output ports; `None` simulates
+    /// ungated hardware (and skips all gating bookkeeping).
+    pub gating: Option<SleepConfig>,
 }
 
 impl Default for MeshConfig {
@@ -38,8 +61,18 @@ impl Default for MeshConfig {
             packet_len_flits: 4,
             buffer_depth: 4,
             seed: 1,
+            wrap: false,
+            injection: InjectionProcess::Bernoulli,
+            gating: None,
         }
     }
+}
+
+/// Per-destination ejection progress, for on-the-fly validation of
+/// in-order, contiguous packet delivery.
+#[derive(Debug, Clone, Copy, Default)]
+struct EjectProgress {
+    current: Option<(u64, usize)>,
 }
 
 /// A running mesh simulation.
@@ -50,9 +83,19 @@ pub struct Simulation {
     routers: Vec<Router>,
     /// Source queues: packets wait here until the local port accepts.
     source_queues: Vec<VecDeque<Flit>>,
+    /// Per-node ON/OFF state of the bursty injection process.
+    source_on: Vec<bool>,
     rng: StdRng,
     next_packet_id: u64,
+    flits_injected: u64,
     cycle: u64,
+    visit_reversed: bool,
+    /// Reused per-cycle scratch: departures waiting to be applied.
+    transfers: Vec<(usize, Direction, Flit)>,
+    /// Reused per-cycle scratch: input occupancy snapshot, `router * 5
+    /// + port` — the cycle-start credit state.
+    occupancy: Vec<u32>,
+    eject: Vec<EjectProgress>,
 }
 
 impl Simulation {
@@ -61,7 +104,9 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics on a degenerate configuration (empty mesh, zero-length
-    /// packets, zero buffers).
+    /// packets, zero buffers, an [`GatingPolicy::Oracle`] in-loop
+    /// policy — the oracle needs future knowledge and only exists
+    /// offline — or a bursty process with zero mean dwell times).
     pub fn new(cfg: MeshConfig) -> Self {
         assert!(
             cfg.width >= 2 && cfg.height >= 2,
@@ -73,19 +118,49 @@ impl Simulation {
             (0.0..=1.0).contains(&cfg.injection_rate),
             "injection rate is a probability"
         );
+        if let Some(gating) = &cfg.gating {
+            assert!(
+                gating.policy != GatingPolicy::Oracle,
+                "the Oracle policy needs future knowledge; it exists only offline"
+            );
+        }
+        if let InjectionProcess::BurstyOnOff {
+            mean_burst,
+            mean_idle,
+        } = cfg.injection
+        {
+            assert!(
+                mean_burst >= 1 && mean_idle >= 1,
+                "bursty dwell times must be at least one cycle"
+            );
+            let duty = mean_burst as f64 / (mean_burst + mean_idle) as f64;
+            assert!(
+                cfg.injection_rate <= duty,
+                "injection rate {} exceeds the ON duty cycle {duty:.3}; the bursty \
+                 source saturates and cannot offer the configured load",
+                cfg.injection_rate
+            );
+        }
         let mesh = Mesh {
             width: cfg.width,
             height: cfg.height,
+            wrap: cfg.wrap,
         };
         Simulation {
             mesh,
             routers: (0..mesh.len())
-                .map(|id| Router::new(id, cfg.buffer_depth))
+                .map(|id| Router::with_gating(id, cfg.buffer_depth, cfg.gating))
                 .collect(),
             source_queues: vec![VecDeque::new(); mesh.len()],
+            source_on: vec![true; mesh.len()],
             rng: StdRng::seed_from_u64(cfg.seed),
             next_packet_id: 0,
+            flits_injected: 0,
             cycle: 0,
+            visit_reversed: false,
+            transfers: Vec::new(),
+            occupancy: vec![0; mesh.len() * 5],
+            eject: vec![EjectProgress::default(); mesh.len()],
             cfg,
         }
     }
@@ -95,26 +170,56 @@ impl Simulation {
         &self.mesh
     }
 
+    /// Visits routers in reverse index order within each cycle. With
+    /// the cycle-start occupancy snapshot the visit order must not
+    /// change any observable result — this knob exists so tests can
+    /// prove it.
+    pub fn set_visit_reversed(&mut self, reversed: bool) {
+        self.visit_reversed = reversed;
+    }
+
+    /// Flits currently inside the network (source queues + buffers) —
+    /// with the injected/delivered counters this gives exact flit
+    /// conservation when measuring from cycle 0.
+    pub fn in_flight_flits(&self) -> u64 {
+        let queued: usize = self.source_queues.iter().map(VecDeque::len).sum();
+        let buffered: usize = self.routers.iter().map(Router::total_occupancy).sum();
+        (queued + buffered) as u64
+    }
+
+    /// Flits injected since construction (all cycles, not just the
+    /// measurement window).
+    pub fn flits_injected_total(&self) -> u64 {
+        self.flits_injected
+    }
+
     /// Runs `warmup` cycles unmeasured, then `measure` cycles with
     /// statistics collection, and returns the stats.
+    ///
+    /// At the measurement boundary the idle runs *and* the sleep FSMs
+    /// are reset, so the idle histograms and the in-loop gating
+    /// counters describe exactly the same intervals.
     pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
         let mut stats = NetworkStats::new(self.mesh.len(), 4096);
         for _ in 0..warmup {
             self.step(None);
         }
-        // Reset idle runs so warmup idleness does not pollute histograms.
+        // Reset idle runs and gating state so warmup does not pollute
+        // the measurement.
         for r in &mut self.routers {
             let _ = r.drain_idle_runs();
+            r.reset_gating();
         }
         for _ in 0..measure {
             self.step(Some(&mut stats));
         }
         stats.measured_cycles = measure;
-        // Close out open idle runs.
+        // Close out open idle runs and collect gating counters.
         for (rid, r) in self.routers.iter_mut().enumerate() {
             for (p, run) in r.drain_idle_runs().into_iter().enumerate() {
-                stats.idle_histograms[rid][p].record(run);
+                stats.idle_histograms[rid][p].record_open(run);
             }
+            stats.gating[rid] = r.gating_counters();
         }
         stats
     }
@@ -125,8 +230,24 @@ impl Simulation {
         let n = self.mesh.len();
 
         // 1. Injection: generate new packets into source queues.
+        let on_rate = self.cfg.injection.on_rate(self.cfg.injection_rate);
         for src in 0..n {
-            if self.rng.gen_bool(self.cfg.injection_rate) {
+            if let InjectionProcess::BurstyOnOff {
+                mean_burst,
+                mean_idle,
+            } = self.cfg.injection
+            {
+                let flip = if self.source_on[src] {
+                    self.rng.gen_bool(1.0 / mean_burst as f64)
+                } else {
+                    self.rng.gen_bool(1.0 / mean_idle as f64)
+                };
+                if flip {
+                    self.source_on[src] = !self.source_on[src];
+                }
+            }
+            let rate = if self.source_on[src] { on_rate } else { 0.0 };
+            if rate > 0.0 && self.rng.gen_bool(rate) {
                 if let Some(dst) = self.cfg.pattern.destination(src, &self.mesh, &mut self.rng) {
                     let id = self.next_packet_id;
                     self.next_packet_id += 1;
@@ -141,6 +262,7 @@ impl Simulation {
                             injected_at: self.cycle,
                         });
                     }
+                    self.flits_injected += len as u64;
                     if let Some(s) = stats.as_deref_mut() {
                         s.packets_injected += 1;
                     }
@@ -160,26 +282,35 @@ impl Simulation {
             }
         }
 
-        // 2. Router cycles. Collect departures first (reads), then apply
-        // them (writes) so a flit moves one hop per cycle.
+        // 2. Snapshot the credit state: input occupancies at cycle
+        // start. All downstream-readiness checks this cycle read the
+        // snapshot, never live buffers, so the result cannot depend on
+        // which routers already stepped.
+        for (rid, r) in self.routers.iter().enumerate() {
+            for d in Direction::ALL {
+                self.occupancy[rid * 5 + d.index()] = r.occupancy(d) as u32;
+            }
+        }
+
+        // 3. Router cycles. Collect departures first (reads), then
+        // apply them (writes) so a flit moves one hop per cycle.
         let mesh = self.mesh;
-        let mut transfers: Vec<(usize, Direction, Flit)> = Vec::new();
-        for rid in 0..n {
-            // Downstream readiness snapshot.
-            let ready = |out: Direction| -> bool {
-                match out {
+        let depth = self.cfg.buffer_depth as u32;
+        self.transfers.clear();
+        for i in 0..n {
+            let rid = if self.visit_reversed { n - 1 - i } else { i };
+            let mut ready = [false; 5];
+            for d in Direction::ALL {
+                ready[d.index()] = match d {
                     Direction::Local => true, // ejection always sinks
                     d => match mesh.neighbor(rid, d) {
-                        Some(next) => self.routers[next].can_accept(d.opposite()),
+                        Some(next) => self.occupancy[next * 5 + d.opposite().index()] < depth,
                         None => false,
                     },
-                }
-            };
+                };
+            }
             let route = |flit: &Flit| mesh.route_xy(rid, flit.dst);
-            let outcome = {
-                let ready_vec: Vec<bool> = Direction::ALL.iter().map(|&d| ready(d)).collect();
-                self.routers[rid].step(route, |d| ready_vec[d.index()])
-            };
+            let outcome = self.routers[rid].step(route, |d| ready[d.index()]);
 
             if let Some(s) = stats.as_deref_mut() {
                 s.router_activity[rid].cycles += 1;
@@ -189,7 +320,7 @@ impl Simulation {
                 }
             }
 
-            for dep in outcome.departures {
+            for dep in outcome.departures() {
                 if let Some(s) = stats.as_deref_mut() {
                     s.router_activity[rid].crossbar_traversals += 1;
                     s.router_activity[rid].buffer_reads += 1;
@@ -197,14 +328,16 @@ impl Simulation {
                         s.router_activity[rid].link_traversals += 1;
                     }
                 }
-                transfers.push((rid, dep.output, dep.flit));
+                self.transfers.push((rid, dep.output, dep.flit));
             }
         }
 
-        // 3. Apply transfers.
-        for (rid, out, flit) in transfers {
+        // 4. Apply transfers.
+        for ti in 0..self.transfers.len() {
+            let (rid, out, flit) = self.transfers[ti];
             match out {
                 Direction::Local => {
+                    self.validate_ejection(rid, &flit);
                     if let Some(s) = stats.as_deref_mut() {
                         s.flits_delivered += 1;
                         if flit.is_tail {
@@ -227,11 +360,51 @@ impl Simulation {
             }
         }
     }
+
+    /// Asserts in-order, contiguous, complete per-packet delivery.
+    fn validate_ejection(&mut self, rid: usize, flit: &Flit) {
+        assert_eq!(flit.dst, rid, "flit ejected at the wrong router");
+        let progress = &mut self.eject[rid];
+        match progress.current {
+            None => {
+                assert!(
+                    flit.is_head,
+                    "packet {} ejected body flit before its head at router {rid}",
+                    flit.packet_id
+                );
+                if flit.is_tail {
+                    assert_eq!(self.cfg.packet_len_flits, 1);
+                } else {
+                    progress.current = Some((flit.packet_id, 1));
+                }
+            }
+            Some((pkt, seen)) => {
+                assert_eq!(
+                    flit.packet_id, pkt,
+                    "packet interleaving at router {rid} ejection port"
+                );
+                assert!(!flit.is_head, "duplicate head flit in packet {pkt}");
+                let seen = seen + 1;
+                if flit.is_tail {
+                    assert_eq!(
+                        seen, self.cfg.packet_len_flits,
+                        "packet {pkt} delivered with the wrong flit count"
+                    );
+                    progress.current = None;
+                } else {
+                    progress.current = Some((pkt, seen));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sleep::SleepConfig;
+    use lnoc_power::gating::{energy_from_counters, evaluate_policy, GatingParams, GatingPolicy};
+    use lnoc_tech::units::{Hertz, Joules, Watts};
 
     fn base_cfg() -> MeshConfig {
         MeshConfig {
@@ -242,6 +415,7 @@ mod tests {
             packet_len_flits: 4,
             buffer_depth: 4,
             seed: 42,
+            ..MeshConfig::default()
         }
     }
 
@@ -260,6 +434,11 @@ mod tests {
             "every delivered packet contributed all its flits"
         );
         assert!(stats.packets_injected >= stats.packets_delivered);
+        // Exact conservation: injected = delivered + still in flight.
+        assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits()
+        );
     }
 
     #[test]
@@ -301,6 +480,46 @@ mod tests {
     }
 
     #[test]
+    fn router_visit_order_is_irrelevant() {
+        // With the cycle-start occupancy snapshot, stepping routers in
+        // reverse (or any) order must produce bit-identical statistics.
+        // Before the snapshot fix, downstream readiness read live
+        // buffers that earlier routers had already popped, so behaviour
+        // depended on iteration order.
+        for cfg in [
+            base_cfg(),
+            MeshConfig {
+                injection_rate: 0.12,
+                pattern: TrafficPattern::Transpose,
+                seed: 3,
+                ..base_cfg()
+            },
+            MeshConfig {
+                wrap: true,
+                pattern: TrafficPattern::Tornado,
+                injection_rate: 0.03,
+                ..base_cfg()
+            },
+            MeshConfig {
+                gating: Some(SleepConfig {
+                    policy: GatingPolicy::IdleThreshold(3),
+                    wake_latency: 2,
+                }),
+                injection_rate: 0.06,
+                seed: 7,
+                ..base_cfg()
+            },
+        ] {
+            let mut fwd = Simulation::new(cfg.clone());
+            let mut rev = Simulation::new(cfg);
+            rev.set_visit_reversed(true);
+            let s_fwd = fwd.run(100, 1500);
+            let s_rev = rev.run(100, 1500);
+            assert_eq!(s_fwd, s_rev);
+        }
+    }
+
+    #[test]
     fn idle_histograms_fill_under_light_load() {
         let mut sim = Simulation::new(MeshConfig {
             injection_rate: 0.02,
@@ -339,6 +558,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "Oracle")]
+    fn oracle_rejected_in_loop() {
+        let _ = Simulation::new(MeshConfig {
+            gating: Some(SleepConfig {
+                policy: GatingPolicy::Oracle,
+                wake_latency: 1,
+            }),
+            ..base_cfg()
+        });
+    }
+
+    #[test]
     fn all_patterns_deliver() {
         for pattern in TrafficPattern::ALL {
             let mut sim = Simulation::new(MeshConfig {
@@ -353,5 +584,105 @@ mod tests {
                 stats.packets_delivered
             );
         }
+    }
+
+    #[test]
+    fn torus_delivers_and_shortens_paths() {
+        let run = |wrap: bool| {
+            let mut sim = Simulation::new(MeshConfig {
+                wrap,
+                injection_rate: 0.02,
+                pattern: TrafficPattern::Tornado,
+                seed: 17,
+                ..base_cfg()
+            });
+            sim.run(300, 3000)
+        };
+        let mesh = run(false);
+        let torus = run(true);
+        assert!(mesh.packets_delivered > 50);
+        assert!(torus.packets_delivered > 50);
+        // Tornado on a 4-wide torus is a single wraparound-assisted hop
+        // pattern; the mesh must walk the long way.
+        assert!(
+            torus.avg_latency() < mesh.avg_latency(),
+            "torus {:.1} vs mesh {:.1}",
+            torus.avg_latency(),
+            mesh.avg_latency()
+        );
+    }
+
+    #[test]
+    fn bursty_injection_conserves_and_matches_load() {
+        let mut sim = Simulation::new(MeshConfig {
+            injection: InjectionProcess::BurstyOnOff {
+                mean_burst: 20,
+                mean_idle: 60,
+            },
+            injection_rate: 0.04,
+            seed: 23,
+            ..base_cfg()
+        });
+        let stats = sim.run(0, 8000);
+        assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits()
+        );
+        // Offered load stays near the configured average rate.
+        let offered = stats.packets_injected as f64 / (8000.0 * 16.0);
+        assert!(
+            (offered - 0.04).abs() < 0.01,
+            "offered load {offered} vs configured 0.04"
+        );
+    }
+
+    #[test]
+    fn gating_stalls_traffic_and_matches_offline_energy() {
+        let params = GatingParams {
+            p_idle_awake: Watts(10.0e-6),
+            p_standby: Watts(1.0e-6),
+            e_transition: Joules(9.0e-15),
+            wake_latency_cycles: 2,
+        };
+        let clock = Hertz(3.0e9);
+        let policy = GatingPolicy::IdleThreshold(params.min_idle_cycles(clock));
+
+        let gated_cfg = MeshConfig {
+            gating: Some(SleepConfig {
+                policy,
+                wake_latency: params.wake_latency_cycles,
+            }),
+            injection_rate: 0.03,
+            ..base_cfg()
+        };
+        let mut gated = Simulation::new(gated_cfg.clone());
+        let g = gated.run(500, 6000);
+        let mut ungated = Simulation::new(MeshConfig {
+            gating: None,
+            ..gated_cfg
+        });
+        let u = ungated.run(500, 6000);
+
+        // Wake latency back-pressures real traffic.
+        let counters = g.total_gating_counters();
+        assert!(counters.sleep_entries > 100, "{counters:?}");
+        assert!(counters.wake_stall_cycles > 0, "{counters:?}");
+        assert!(
+            g.avg_latency() > u.avg_latency(),
+            "gated {:.2} must exceed ungated {:.2}",
+            g.avg_latency(),
+            u.avg_latency()
+        );
+
+        // In-loop energy agrees with the offline model evaluated on the
+        // same run's histograms.
+        let in_loop = energy_from_counters(&counters, &params, clock);
+        let offline = evaluate_policy(&g.merged_idle_histogram(4096), &params, policy, clock);
+        let rel =
+            (in_loop.energy_policy.0 - offline.energy_policy.0).abs() / offline.energy_policy.0;
+        assert!(rel < 0.05, "in-loop vs offline disagreement {rel:.4}");
+        let rel_never =
+            (in_loop.energy_never.0 - offline.energy_never.0).abs() / offline.energy_never.0;
+        assert!(rel_never < 1e-9, "idle-cycle totals must match exactly");
     }
 }

@@ -1,0 +1,337 @@
+//! Per-output-port sleep FSM — power gating *inside* the cycle loop.
+//!
+//! The offline model in [`lnoc_power::gating`] integrates a policy over
+//! idle-interval histograms after the run; it cannot see that a sleeping
+//! port stalls real flits while it wakes. This module puts the sleep
+//! controller in the loop: every router output port carries a four-state
+//! FSM
+//!
+//! ```text
+//! Active ──idle──► DrowsyCountdown ──counter ≥ threshold──► Asleep
+//!    ▲                                                         │
+//!    └────────── Waking(wake_latency) ◄──────flit can move─────┘
+//! ```
+//!
+//! driven by a [`GatingPolicy`]. A flit that arrives at a sleeping port
+//! waits out the wake latency — so gated runs report both the energy
+//! *and* the latency/throughput penalty, and the measured
+//! [`GatingCounters`] cross-validate the offline model on the same run.
+//!
+//! Timing contract (what makes in-loop energy agree with
+//! [`lnoc_power::gating::evaluate_policy`] on the same histograms):
+//!
+//! * the sleep signal asserts at the end of the cycle on which the idle
+//!   counter *reaches* the threshold — an interval of exactly
+//!   `threshold` cycles still pays the transition;
+//! * [`GatingPolicy::Immediate`] parks the port the moment a send
+//!   completes with nothing queued behind it, so whole intervals are
+//!   spent in standby;
+//! * waking cycles are billed at standby power (the transition energy
+//!   carries the switching overhead);
+//! * a port sleeps at most once per idle interval — after a wake it
+//!   stays powered until the pending flit departs.
+
+use lnoc_power::gating::{GatingCounters, GatingPolicy};
+use serde::{Deserialize, Serialize};
+
+/// In-loop gating configuration for every router output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SleepConfig {
+    /// When to assert the sleep signal. [`GatingPolicy::Oracle`] needs
+    /// future knowledge and is rejected by the simulator.
+    pub policy: GatingPolicy,
+    /// Cycles a sleeping port needs before it can carry a flit again.
+    pub wake_latency: u32,
+}
+
+impl SleepConfig {
+    /// The idle-cycle count at which the FSM asserts sleep, or `None`
+    /// when the policy never sleeps in-loop.
+    pub fn threshold(&self) -> Option<u32> {
+        match self.policy {
+            GatingPolicy::Never => None,
+            GatingPolicy::Immediate => Some(0),
+            GatingPolicy::IdleThreshold(th) => Some(th),
+            // Rejected by `Simulation::new`; treated as Never here so
+            // the FSM itself stays total.
+            GatingPolicy::Oracle => None,
+        }
+    }
+}
+
+/// The four sleep states of one output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SleepState {
+    /// Powered and either carrying a flit or just finished one.
+    #[default]
+    Active,
+    /// Powered but idle, counting toward the sleep threshold (the
+    /// count itself is the router's authoritative idle-run counter,
+    /// passed into [`SleepFsm::settle`] as `idle_run`).
+    DrowsyCountdown,
+    /// In standby: leaking at the standby level, unable to carry flits.
+    Asleep,
+    /// Powering back up; flits stall until the countdown expires.
+    Waking {
+        /// Stall cycles remaining before the port is usable.
+        remaining: u32,
+    },
+}
+
+/// One port's sleep controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SleepFsm {
+    state: SleepState,
+    /// Set while the current idle interval has already slept once;
+    /// suppresses sleep/wake thrash when a woken port is back-pressured
+    /// before its flit can depart.
+    slept_this_interval: bool,
+}
+
+impl SleepFsm {
+    /// Current state (for diagnostics and tests).
+    pub fn state(&self) -> SleepState {
+        self.state
+    }
+
+    /// Start-of-cycle gate: advances the wake countdown and triggers
+    /// `Asleep → Waking` when a flit can actually move (`wants` — a
+    /// flit is queued for this output *and* downstream can accept it).
+    /// Returns whether the port may transmit this cycle.
+    pub fn gate(&mut self, wants: bool, wake_latency: u32) -> bool {
+        match self.state {
+            SleepState::Active | SleepState::DrowsyCountdown => true,
+            SleepState::Asleep => {
+                if wants {
+                    if wake_latency == 0 {
+                        self.state = SleepState::Active;
+                        true
+                    } else {
+                        self.state = SleepState::Waking {
+                            remaining: wake_latency,
+                        };
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            SleepState::Waking { remaining } => {
+                if remaining <= 1 {
+                    self.state = SleepState::Active;
+                    true
+                } else {
+                    self.state = SleepState::Waking {
+                        remaining: remaining - 1,
+                    };
+                    false
+                }
+            }
+        }
+    }
+
+    /// End-of-cycle settle: bills this cycle to a counter bucket,
+    /// applies the sleep-entry rule, and resets on a send.
+    ///
+    /// `idle_run` is the port's consecutive-idle-cycle count after this
+    /// cycle — or, on a send, the length of the idle interval that just
+    /// ended. `stalled` is whether a transmittable flit waited on the
+    /// wakeup this cycle; `wants_after` is whether another flit is
+    /// already queued for this output (and deliverable) after this
+    /// cycle's send — [`GatingPolicy::Immediate`] parks the port only
+    /// when nothing is waiting, since a zero-length gap can never
+    /// recoup the transition energy.
+    pub fn settle(
+        &mut self,
+        sent: bool,
+        stalled: bool,
+        wants_after: bool,
+        idle_run: u64,
+        cfg: &SleepConfig,
+        counters: &mut GatingCounters,
+    ) {
+        // Account the cycle by the state it was spent in.
+        match self.state {
+            SleepState::Active | SleepState::DrowsyCountdown => {
+                if sent {
+                    counters.cycles_busy += 1;
+                } else {
+                    counters.cycles_idle_awake += 1;
+                }
+            }
+            SleepState::Asleep => counters.cycles_asleep += 1,
+            SleepState::Waking { .. } => counters.cycles_waking += 1,
+        }
+        if stalled {
+            counters.wake_stall_cycles += 1;
+        }
+
+        let threshold = cfg.threshold();
+        if sent {
+            // A sleep that ended with a zero-length idle interval
+            // (Immediate park, zero wake latency, flit on the very next
+            // cycle) never materialized: the offline model cannot even
+            // record the interval, so refund the transition.
+            if self.slept_this_interval && idle_run == 0 {
+                counters.sleep_entries = counters.sleep_entries.saturating_sub(1);
+            }
+            self.slept_this_interval = false;
+            // Immediate gating parks the port the moment a send
+            // completes with nothing queued behind it, so whole idle
+            // intervals are spent in standby.
+            if threshold == Some(0) && !wants_after {
+                self.state = SleepState::Asleep;
+                self.slept_this_interval = true;
+                counters.sleep_entries += 1;
+            } else {
+                self.state = SleepState::Active;
+            }
+            return;
+        }
+
+        // Idle cycle: drowsy countdown / sleep entry, from awake states
+        // only, at most once per interval.
+        if matches!(self.state, SleepState::Active | SleepState::DrowsyCountdown) {
+            if let Some(th) = threshold {
+                if !self.slept_this_interval && idle_run >= th as u64 {
+                    self.state = SleepState::Asleep;
+                    self.slept_this_interval = true;
+                    counters.sleep_entries += 1;
+                } else {
+                    self.state = SleepState::DrowsyCountdown;
+                }
+            }
+        }
+    }
+
+    /// Forces the controller back to `Active` and clears interval
+    /// state — used when the measurement window opens so in-loop
+    /// accounting and the (also reset) idle histograms see the same
+    /// intervals.
+    pub fn reset(&mut self) {
+        *self = SleepFsm::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: GatingPolicy, wake: u32) -> SleepConfig {
+        SleepConfig {
+            policy,
+            wake_latency: wake,
+        }
+    }
+
+    #[test]
+    fn threshold_fsm_walks_all_four_states() {
+        let c = cfg(GatingPolicy::IdleThreshold(2), 1);
+        let mut f = SleepFsm::default();
+        let mut k = GatingCounters::default();
+
+        // Two idle cycles: countdown, then sleep on the cycle the
+        // counter reaches the threshold.
+        assert!(f.gate(false, c.wake_latency));
+        f.settle(false, false, false, 1, &c, &mut k);
+        assert_eq!(f.state(), SleepState::DrowsyCountdown);
+        assert!(f.gate(false, c.wake_latency));
+        f.settle(false, false, false, 2, &c, &mut k);
+        assert_eq!(f.state(), SleepState::Asleep);
+        assert_eq!(k.sleep_entries, 1);
+        assert_eq!(k.cycles_idle_awake, 2);
+
+        // Stays asleep while nothing wants it.
+        assert!(!f.gate(false, c.wake_latency));
+        f.settle(false, false, false, 3, &c, &mut k);
+        assert_eq!(k.cycles_asleep, 1);
+
+        // A flit arrives: one waking stall cycle, then transmit.
+        assert!(!f.gate(true, c.wake_latency));
+        assert_eq!(f.state(), SleepState::Waking { remaining: 1 });
+        f.settle(false, true, false, 4, &c, &mut k);
+        assert_eq!(k.cycles_waking, 1);
+        assert_eq!(k.wake_stall_cycles, 1);
+        assert!(f.gate(true, c.wake_latency));
+        f.settle(true, false, false, 5, &c, &mut k);
+        assert_eq!(f.state(), SleepState::Active);
+        assert_eq!(k.cycles_busy, 1);
+        assert_eq!(k.sleep_entries, 1, "real sleep keeps its transition");
+    }
+
+    #[test]
+    fn immediate_parks_after_send() {
+        let c = cfg(GatingPolicy::Immediate, 1);
+        let mut f = SleepFsm::default();
+        let mut k = GatingCounters::default();
+        f.gate(true, c.wake_latency);
+        f.settle(true, false, false, 0, &c, &mut k);
+        assert_eq!(f.state(), SleepState::Asleep);
+        assert_eq!(k.sleep_entries, 1);
+    }
+
+    #[test]
+    fn sleeps_at_most_once_per_interval() {
+        let c = cfg(GatingPolicy::IdleThreshold(1), 1);
+        let mut f = SleepFsm::default();
+        let mut k = GatingCounters::default();
+        // Idle to sleep.
+        f.gate(false, c.wake_latency);
+        f.settle(false, false, false, 1, &c, &mut k);
+        assert_eq!(f.state(), SleepState::Asleep);
+        // Wake, but the flit stays blocked (no send) for many cycles:
+        // the port must not re-enter sleep mid-interval.
+        f.gate(true, c.wake_latency);
+        f.settle(false, true, false, 2, &c, &mut k);
+        for i in 0..10 {
+            f.gate(false, c.wake_latency);
+            f.settle(false, false, false, 3 + i, &c, &mut k);
+            assert_ne!(f.state(), SleepState::Asleep);
+        }
+        assert_eq!(k.sleep_entries, 1);
+        // After the send the interval ends and sleeping re-arms.
+        f.gate(true, c.wake_latency);
+        f.settle(true, false, false, 13, &c, &mut k);
+        f.gate(false, c.wake_latency);
+        f.settle(false, false, false, 1, &c, &mut k);
+        assert_eq!(k.sleep_entries, 2);
+    }
+
+    #[test]
+    fn zero_wake_latency_transmits_same_cycle() {
+        let c = cfg(GatingPolicy::Immediate, 0);
+        let mut f = SleepFsm::default();
+        let mut k = GatingCounters::default();
+        f.gate(true, c.wake_latency);
+        f.settle(true, false, false, 0, &c, &mut k);
+        assert_eq!(f.state(), SleepState::Asleep);
+        assert_eq!(k.sleep_entries, 1);
+        assert!(f.gate(true, c.wake_latency), "L=0 wake is free");
+        // The park lasted zero idle cycles — no histogram interval ever
+        // existed, so the transition is refunded.
+        f.settle(true, false, false, 0, &c, &mut k);
+        assert_eq!(k.sleep_entries, 1, "park + refund + re-park nets one");
+        assert_eq!(f.state(), SleepState::Asleep);
+        let refunded = k.sleep_entries;
+        // A park that does cover idle cycles keeps its transition.
+        f.gate(false, c.wake_latency);
+        f.settle(false, false, false, 1, &c, &mut k);
+        f.gate(true, c.wake_latency);
+        f.settle(true, false, false, 1, &c, &mut k);
+        assert_eq!(k.sleep_entries, refunded + 1);
+    }
+
+    #[test]
+    fn never_policy_stays_awake() {
+        let c = cfg(GatingPolicy::Never, 1);
+        let mut f = SleepFsm::default();
+        let mut k = GatingCounters::default();
+        for i in 0..50 {
+            assert!(f.gate(false, c.wake_latency));
+            f.settle(false, false, false, i + 1, &c, &mut k);
+        }
+        assert_eq!(k.sleep_entries, 0);
+        assert_eq!(k.cycles_idle_awake, 50);
+        assert_eq!(k.cycles_asleep, 0);
+    }
+}

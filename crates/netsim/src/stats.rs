@@ -1,12 +1,12 @@
-//! Network statistics: latency, throughput, activity and idle-interval
-//! histograms.
+//! Network statistics: latency, throughput, activity, idle-interval
+//! histograms and in-loop gating counters.
 
-use lnoc_power::gating::IdleHistogram;
+use lnoc_power::gating::{GatingCounters, IdleHistogram};
 use lnoc_power::router::RouterActivity;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate results of one simulation run (measurement phase only).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkStats {
     /// Cycles in the measurement phase.
     pub measured_cycles: u64,
@@ -26,6 +26,9 @@ pub struct NetworkStats {
     /// router, [`crate::topology::Direction`] order).
     #[serde(skip)]
     pub idle_histograms: Vec<[IdleHistogram; 5]>,
+    /// Per-router in-loop gating counters (all five output ports
+    /// summed); all-zero when the run was ungated.
+    pub gating: Vec<GatingCounters>,
 }
 
 impl NetworkStats {
@@ -42,6 +45,7 @@ impl NetworkStats {
             idle_histograms: (0..routers)
                 .map(|_| std::array::from_fn(|_| IdleHistogram::new(histogram_cap)))
                 .collect(),
+            gating: vec![GatingCounters::default(); routers],
         }
     }
 
@@ -65,20 +69,35 @@ impl NetworkStats {
 
     /// Merges all routers' per-port histograms into one network-wide
     /// distribution.
+    ///
+    /// When `cap` matches the per-port histogram cap this is a direct
+    /// bin-wise merge; otherwise bins are re-recorded in O(bins) via
+    /// [`IdleHistogram::merge_rebinned`] (never O(idle cycles)), which
+    /// preserves interval counts and total idle cycles exactly either
+    /// way.
     pub fn merged_idle_histogram(&self, cap: usize) -> IdleHistogram {
         let mut merged = IdleHistogram::new(cap);
         for per_router in &self.idle_histograms {
             for h in per_router {
-                // Re-record through the public API so differing caps are
-                // tolerated.
-                for (len, count) in h.iter_lengths() {
-                    for _ in 0..count {
-                        merged.record(len);
-                    }
-                }
+                merged.merge_rebinned(h);
             }
         }
         merged
+    }
+
+    /// Network-wide in-loop gating counters (all routers summed).
+    pub fn total_gating_counters(&self) -> GatingCounters {
+        let mut total = GatingCounters::default();
+        for c in &self.gating {
+            total.add(c);
+        }
+        total
+    }
+
+    /// Total cycles flits stalled behind sleeping ports — the measured
+    /// latency cost of in-loop power gating.
+    pub fn wake_stall_cycles(&self) -> u64 {
+        self.gating.iter().map(|c| c.wake_stall_cycles).sum()
     }
 
     /// Network-wide crossbar-output utilization: fraction of
@@ -106,6 +125,7 @@ mod tests {
         assert_eq!(s.avg_latency(), 0.0);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.crossbar_utilization(), 0.0);
+        assert_eq!(s.total_gating_counters(), GatingCounters::default());
     }
 
     #[test]
@@ -117,6 +137,28 @@ mod tests {
         let merged = s.merged_idle_histogram(64);
         assert_eq!(merged.interval_count(), 3);
         assert_eq!(merged.total_idle_cycles(), 17);
+    }
+
+    #[test]
+    fn merged_histogram_same_for_either_cap_path() {
+        // The fast bin-wise merge (matching caps) and the re-binning
+        // path (differing caps) must agree on every total — including
+        // overflow bins whose average length is not an integer (100 and
+        // 101 average to 100.5; naive truncation would drop a cycle).
+        let mut s = NetworkStats::new(2, 64);
+        s.idle_histograms[0][0].record_n(5, 400);
+        s.idle_histograms[0][2].record_n(63, 10);
+        s.idle_histograms[1][1].record_n(1000, 3); // overflow bin
+        s.idle_histograms[1][3].record(100); // overflow, inexact average
+        s.idle_histograms[1][3].record(101);
+        s.idle_histograms[1][4].record_open(77);
+        let fast = s.merged_idle_histogram(64);
+        let slow = s.merged_idle_histogram(128);
+        assert_eq!(fast.interval_count(), slow.interval_count());
+        assert_eq!(fast.interval_count(), 416);
+        assert_eq!(fast.total_idle_cycles(), slow.total_idle_cycles());
+        assert_eq!(fast.total_idle_cycles(), 2000 + 630 + 3000 + 201 + 77);
+        assert_eq!(fast.open_runs(), &[77]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! 2-D mesh topology and port directions.
+//! 2-D mesh / torus topology and port directions.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -65,16 +65,42 @@ impl fmt::Display for Direction {
     }
 }
 
-/// A `width × height` mesh.
+/// A `width × height` mesh, optionally with torus wraparound links.
+///
+/// With `wrap` set, every row and column closes into a ring and
+/// dimension-order routing takes the shorter way around. Note that
+/// wormhole DOR on a torus is not provably deadlock-free without
+/// virtual channels; the simulator is faithful to that hardware
+/// reality, so torus experiments should stay at low-to-moderate load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mesh {
     /// Routers per row.
     pub width: usize,
     /// Routers per column.
     pub height: usize,
+    /// Torus wraparound links on both dimensions.
+    pub wrap: bool,
 }
 
 impl Mesh {
+    /// A plain mesh (no wraparound).
+    pub fn new(width: usize, height: usize) -> Self {
+        Mesh {
+            width,
+            height,
+            wrap: false,
+        }
+    }
+
+    /// A torus (wraparound in both dimensions).
+    pub fn torus(width: usize, height: usize) -> Self {
+        Mesh {
+            width,
+            height,
+            wrap: true,
+        }
+    }
+
     /// Number of routers.
     pub fn len(&self) -> usize {
         self.width * self.height
@@ -96,41 +122,94 @@ impl Mesh {
         (id % self.width, id / self.width)
     }
 
-    /// The neighbour of `id` in `dir`, if it exists.
+    /// The neighbour of `id` in `dir`, if it exists. On a torus every
+    /// non-Local direction has a neighbour (wrapping around the edge).
     pub fn neighbor(&self, id: usize, dir: Direction) -> Option<usize> {
         let (x, y) = self.coords(id);
+        let wrap_y = self.wrap && self.height > 1;
+        let wrap_x = self.wrap && self.width > 1;
         match dir {
-            Direction::North => (y > 0).then(|| self.id(x, y - 1)),
-            Direction::South => (y + 1 < self.height).then(|| self.id(x, y + 1)),
-            Direction::East => (x + 1 < self.width).then(|| self.id(x + 1, y)),
-            Direction::West => (x > 0).then(|| self.id(x - 1, y)),
+            Direction::North => {
+                if y > 0 {
+                    Some(self.id(x, y - 1))
+                } else {
+                    wrap_y.then(|| self.id(x, self.height - 1))
+                }
+            }
+            Direction::South => {
+                if y + 1 < self.height {
+                    Some(self.id(x, y + 1))
+                } else {
+                    wrap_y.then(|| self.id(x, 0))
+                }
+            }
+            Direction::East => {
+                if x + 1 < self.width {
+                    Some(self.id(x + 1, y))
+                } else {
+                    wrap_x.then(|| self.id(0, y))
+                }
+            }
+            Direction::West => {
+                if x > 0 {
+                    Some(self.id(x - 1, y))
+                } else {
+                    wrap_x.then(|| self.id(self.width - 1, y))
+                }
+            }
             Direction::Local => None,
         }
     }
 
+    /// Signed hop count along one ring dimension: positive = increasing
+    /// coordinate. On a torus, the shorter way around (ties broken
+    /// toward the positive direction).
+    fn dim_step(&self, here: usize, there: usize, extent: usize) -> isize {
+        if here == there {
+            return 0;
+        }
+        if !self.wrap {
+            return there as isize - here as isize;
+        }
+        let fwd = (there + extent - here) % extent;
+        let back = extent - fwd;
+        if fwd <= back {
+            fwd as isize
+        } else {
+            -(back as isize)
+        }
+    }
+
     /// Dimension-order (XY) routing: the output direction a flit at
-    /// router `here` must take toward `dst`.
+    /// router `here` must take toward `dst`. On a torus each dimension
+    /// is traversed the shorter way around.
     pub fn route_xy(&self, here: usize, dst: usize) -> Direction {
         let (hx, hy) = self.coords(here);
         let (dx, dy) = self.coords(dst);
-        if hx < dx {
-            Direction::East
-        } else if hx > dx {
-            Direction::West
-        } else if hy < dy {
+        let step_x = self.dim_step(hx, dx, self.width);
+        if step_x > 0 {
+            return Direction::East;
+        }
+        if step_x < 0 {
+            return Direction::West;
+        }
+        let step_y = self.dim_step(hy, dy, self.height);
+        if step_y > 0 {
             Direction::South
-        } else if hy > dy {
+        } else if step_y < 0 {
             Direction::North
         } else {
             Direction::Local
         }
     }
 
-    /// Manhattan hop distance.
+    /// Hop distance under dimension-order routing (wrap-aware minimal
+    /// distance on a torus, Manhattan on a mesh).
     pub fn hops(&self, a: usize, b: usize) -> usize {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
-        ax.abs_diff(bx) + ay.abs_diff(by)
+        self.dim_step(ax, bx, self.width).unsigned_abs()
+            + self.dim_step(ay, by, self.height).unsigned_abs()
     }
 }
 
@@ -140,10 +219,7 @@ mod tests {
 
     #[test]
     fn ids_and_coords_roundtrip() {
-        let m = Mesh {
-            width: 4,
-            height: 3,
-        };
+        let m = Mesh::new(4, 3);
         for id in 0..m.len() {
             let (x, y) = m.coords(id);
             assert_eq!(m.id(x, y), id);
@@ -152,21 +228,37 @@ mod tests {
 
     #[test]
     fn edges_have_no_neighbors() {
-        let m = Mesh {
-            width: 3,
-            height: 3,
-        };
+        let m = Mesh::new(3, 3);
         assert_eq!(m.neighbor(m.id(0, 0), Direction::North), None);
         assert_eq!(m.neighbor(m.id(0, 0), Direction::West), None);
         assert_eq!(m.neighbor(m.id(0, 0), Direction::East), Some(m.id(1, 0)));
     }
 
     #[test]
+    fn torus_edges_wrap() {
+        let m = Mesh::torus(3, 4);
+        assert_eq!(m.neighbor(m.id(0, 0), Direction::North), Some(m.id(0, 3)));
+        assert_eq!(m.neighbor(m.id(0, 0), Direction::West), Some(m.id(2, 0)));
+        assert_eq!(m.neighbor(m.id(2, 3), Direction::East), Some(m.id(0, 3)));
+        assert_eq!(m.neighbor(m.id(2, 3), Direction::South), Some(m.id(2, 0)));
+        // Wraparound is consistent with opposite(): going out one way
+        // and back returns home.
+        for id in 0..m.len() {
+            for d in [
+                Direction::North,
+                Direction::South,
+                Direction::East,
+                Direction::West,
+            ] {
+                let n = m.neighbor(id, d).expect("torus is fully connected");
+                assert_eq!(m.neighbor(n, d.opposite()), Some(id));
+            }
+        }
+    }
+
+    #[test]
     fn xy_routes_x_first() {
-        let m = Mesh {
-            width: 4,
-            height: 4,
-        };
+        let m = Mesh::new(4, 4);
         let here = m.id(0, 0);
         let dst = m.id(2, 3);
         assert_eq!(m.route_xy(here, dst), Direction::East);
@@ -176,23 +268,47 @@ mod tests {
     }
 
     #[test]
+    fn torus_routes_take_the_short_way() {
+        let m = Mesh::torus(5, 5);
+        // (0,0) → (4,0): one hop West around the edge, not four East.
+        assert_eq!(m.route_xy(m.id(0, 0), m.id(4, 0)), Direction::West);
+        assert_eq!(m.hops(m.id(0, 0), m.id(4, 0)), 1);
+        // (0,0) → (0,4): one hop North around the edge.
+        assert_eq!(m.route_xy(m.id(0, 0), m.id(0, 4)), Direction::North);
+        // Exactly half way: tie broken toward the positive direction.
+        let m4 = Mesh::torus(4, 4);
+        assert_eq!(m4.route_xy(m4.id(0, 0), m4.id(2, 0)), Direction::East);
+        assert_eq!(m4.hops(m4.id(0, 0), m4.id(2, 0)), 2);
+    }
+
+    #[test]
     fn xy_terminates_at_destination() {
-        // Following route_xy always reaches dst in hops() steps.
-        let m = Mesh {
-            width: 5,
-            height: 4,
-        };
-        for src in 0..m.len() {
-            for dst in 0..m.len() {
-                let mut here = src;
-                let mut steps = 0;
-                while here != dst {
-                    let dir = m.route_xy(here, dst);
-                    here = m.neighbor(here, dir).expect("route stays in mesh");
-                    steps += 1;
-                    assert!(steps <= m.hops(src, dst), "no detours in DOR");
+        // Following route_xy always reaches dst in hops() steps, on
+        // both the mesh and the torus.
+        for m in [Mesh::new(5, 4), Mesh::torus(5, 4)] {
+            for src in 0..m.len() {
+                for dst in 0..m.len() {
+                    let mut here = src;
+                    let mut steps = 0;
+                    while here != dst {
+                        let dir = m.route_xy(here, dst);
+                        here = m.neighbor(here, dir).expect("route stays in network");
+                        steps += 1;
+                        assert!(steps <= m.hops(src, dst), "no detours in DOR");
+                    }
+                    assert_eq!(steps, m.hops(src, dst));
                 }
-                assert_eq!(steps, m.hops(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_never_beats_mesh_distance() {
+        let mesh = Mesh::new(6, 3);
+        let torus = Mesh::torus(6, 3);
+        for a in 0..mesh.len() {
+            for b in 0..mesh.len() {
+                assert!(torus.hops(a, b) <= mesh.hops(a, b));
             }
         }
     }

@@ -19,16 +19,20 @@ pub enum TrafficPattern {
     Hotspot,
     /// Node (x, y) sends to its +x neighbour (wrapping) — light, local.
     NearestNeighbor,
+    /// Node (x, y) sends to ((x + ⌈w/2⌉ − 1) mod w, y) — the classic
+    /// torus-stressing pattern that loads wraparound links.
+    Tornado,
 }
 
 impl TrafficPattern {
     /// All patterns (for sweeps).
-    pub const ALL: [TrafficPattern; 5] = [
+    pub const ALL: [TrafficPattern; 6] = [
         TrafficPattern::UniformRandom,
         TrafficPattern::Transpose,
         TrafficPattern::BitComplement,
         TrafficPattern::Hotspot,
         TrafficPattern::NearestNeighbor,
+        TrafficPattern::Tornado,
     ];
 
     /// Short name for reports.
@@ -39,6 +43,7 @@ impl TrafficPattern {
             TrafficPattern::BitComplement => "bitcomp",
             TrafficPattern::Hotspot => "hotspot",
             TrafficPattern::NearestNeighbor => "neighbor",
+            TrafficPattern::Tornado => "tornado",
         }
     }
 
@@ -76,8 +81,62 @@ impl TrafficPattern {
                 let (x, y) = mesh.coords(src);
                 mesh.id((x + 1) % mesh.width, y)
             }
+            TrafficPattern::Tornado => {
+                let (x, y) = mesh.coords(src);
+                let offset = mesh.width.div_ceil(2) - 1;
+                mesh.id((x + offset) % mesh.width, y)
+            }
         };
         (dst != src).then_some(dst)
+    }
+}
+
+/// Temporal structure of packet injection at each node.
+///
+/// The destination of each packet comes from the [`TrafficPattern`];
+/// the injection *process* decides on which cycles a node offers a
+/// packet at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InjectionProcess {
+    /// Memoryless: every node flips an `injection_rate` coin each
+    /// cycle.
+    Bernoulli,
+    /// Two-state ON–OFF (bursty) source per node: dwell times in each
+    /// state are geometric with the given means, and while ON the node
+    /// injects at a boosted rate so the *average* offered load still
+    /// equals `injection_rate`. Bursts both congest the network and
+    /// lengthen the idle intervals between them — the regime where
+    /// power gating matters.
+    BurstyOnOff {
+        /// Mean cycles of an ON burst (≥ 1).
+        mean_burst: u32,
+        /// Mean cycles of an OFF gap (≥ 1).
+        mean_idle: u32,
+    },
+}
+
+impl InjectionProcess {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionProcess::Bernoulli => "bernoulli",
+            InjectionProcess::BurstyOnOff { .. } => "bursty",
+        }
+    }
+
+    /// Injection probability while a source is ON, scaled so the mean
+    /// offered load equals `rate` (clamped to 1).
+    pub fn on_rate(self, rate: f64) -> f64 {
+        match self {
+            InjectionProcess::Bernoulli => rate,
+            InjectionProcess::BurstyOnOff {
+                mean_burst,
+                mean_idle,
+            } => {
+                let duty = mean_burst as f64 / (mean_burst + mean_idle) as f64;
+                (rate / duty).min(1.0)
+            }
+        }
     }
 }
 
@@ -104,10 +163,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn mesh() -> Mesh {
-        Mesh {
-            width: 4,
-            height: 4,
-        }
+        Mesh::new(4, 4)
     }
 
     #[test]
@@ -144,6 +200,30 @@ mod tests {
             .destination(0, &m, &mut rng)
             .unwrap();
         assert_eq!(d, m.len() - 1);
+    }
+
+    #[test]
+    fn tornado_shifts_half_way() {
+        let m = Mesh::new(8, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        // ⌈8/2⌉ − 1 = 3 columns to the right, wrapping.
+        let d = TrafficPattern::Tornado
+            .destination(m.id(6, 1), &m, &mut rng)
+            .unwrap();
+        assert_eq!(d, m.id(1, 1));
+    }
+
+    #[test]
+    fn bursty_on_rate_preserves_offered_load() {
+        let p = InjectionProcess::BurstyOnOff {
+            mean_burst: 10,
+            mean_idle: 30,
+        };
+        // duty = 0.25 → ON rate is 4× the average rate.
+        assert!((p.on_rate(0.05) - 0.2).abs() < 1e-12);
+        // Clamped: a rate above the duty cycle saturates at 1.
+        assert_eq!(p.on_rate(0.5), 1.0);
+        assert_eq!(InjectionProcess::Bernoulli.on_rate(0.05), 0.05);
     }
 
     #[test]

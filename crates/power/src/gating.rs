@@ -75,10 +75,18 @@ impl fmt::Display for GatingPolicy {
 ///
 /// Bin `k` counts intervals of exactly `k` cycles (bin 0 unused); a
 /// final overflow bin aggregates everything ≥ the configured cap.
+///
+/// *Closed* intervals (ended by a wakeup) and *open* intervals (still
+/// running when the measurement window closed) are tracked separately:
+/// an open interval contributes idle cycles and can be slept through,
+/// but it never wakes up, so policies must not charge it a wake
+/// penalty. Use [`IdleHistogram::record`] for closed intervals and
+/// [`IdleHistogram::record_open`] for trailing open ones.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IdleHistogram {
     counts: Vec<u64>,
     overflow_len_sum: u64,
+    open_runs: Vec<u64>,
 }
 
 impl IdleHistogram {
@@ -87,29 +95,52 @@ impl IdleHistogram {
         IdleHistogram {
             counts: vec![0; max_len + 1],
             overflow_len_sum: 0,
+            open_runs: Vec::new(),
         }
+    }
+
+    /// The configured cap (`max_len` passed to [`IdleHistogram::new`]).
+    pub fn max_len(&self) -> usize {
+        self.counts.len() - 1
     }
 
     /// Records one idle interval of `len` cycles (0-length ignored).
     pub fn record(&mut self, len: u64) {
-        if len == 0 {
+        self.record_n(len, 1);
+    }
+
+    /// Records `count` idle intervals of `len` cycles each in O(1)
+    /// (0-length or 0-count ignored).
+    pub fn record_n(&mut self, len: u64, count: u64) {
+        if len == 0 || count == 0 {
             return;
         }
         let cap = self.counts.len() as u64 - 1;
         if len >= cap {
-            *self.counts.last_mut().expect("non-empty") += 1;
-            self.overflow_len_sum += len;
+            *self.counts.last_mut().expect("non-empty") += count;
+            self.overflow_len_sum += len * count;
         } else {
-            self.counts[len as usize] += 1;
+            self.counts[len as usize] += count;
         }
     }
 
-    /// Number of recorded intervals.
-    pub fn interval_count(&self) -> u64 {
-        self.counts.iter().sum()
+    /// Records an idle interval that was still open when the
+    /// measurement window closed (0-length ignored). Open intervals
+    /// count toward totals but never pay a wake penalty in
+    /// [`evaluate_policy`].
+    pub fn record_open(&mut self, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.open_runs.push(len);
     }
 
-    /// Total idle cycles across all intervals.
+    /// Number of recorded intervals (closed + open).
+    pub fn interval_count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.open_runs.len() as u64
+    }
+
+    /// Total idle cycles across all intervals (closed + open).
     pub fn total_idle_cycles(&self) -> u64 {
         let cap = self.counts.len() - 1;
         let in_bins: u64 = self
@@ -119,11 +150,13 @@ impl IdleHistogram {
             .take(cap)
             .map(|(len, &n)| len as u64 * n)
             .sum();
-        in_bins + self.overflow_len_sum
+        in_bins + self.overflow_len_sum + self.open_runs.iter().sum::<u64>()
     }
 
-    /// Iterates `(interval_length, count)` pairs including the overflow
-    /// bin (reported at its average length).
+    /// Iterates `(interval_length, count)` pairs of the *closed*
+    /// intervals, including the overflow bin (reported at its average
+    /// length). Open intervals are exposed by
+    /// [`IdleHistogram::open_runs`].
     pub fn iter_lengths(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         let cap = self.counts.len() - 1;
         let overflow_n = self.counts[cap];
@@ -137,6 +170,12 @@ impl IdleHistogram {
             .chain((overflow_n > 0).then_some((overflow_avg, overflow_n)))
     }
 
+    /// Lengths of the intervals that were still open at the end of the
+    /// measurement window.
+    pub fn open_runs(&self) -> &[u64] {
+        &self.open_runs
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Panics
@@ -148,6 +187,32 @@ impl IdleHistogram {
             *a += b;
         }
         self.overflow_len_sum += other.overflow_len_sum;
+        self.open_runs.extend_from_slice(&other.open_runs);
+    }
+
+    /// Merges another histogram whose cap may differ, preserving
+    /// interval counts *and* total idle cycles exactly: `other`'s
+    /// overflow bin is re-binned at its average length with the
+    /// remainder spread one cycle higher, so no idle cycle is lost to
+    /// integer truncation. Equal caps take the bin-wise
+    /// [`IdleHistogram::merge`] fast path.
+    pub fn merge_rebinned(&mut self, other: &IdleHistogram) {
+        if self.counts.len() == other.counts.len() {
+            return self.merge(other);
+        }
+        let cap = other.counts.len() - 1;
+        for (len, &n) in other.counts.iter().enumerate().take(cap) {
+            self.record_n(len as u64, n);
+        }
+        let overflow_n = other.counts[cap];
+        if let Some(avg) = other.overflow_len_sum.checked_div(overflow_n) {
+            let rem = other.overflow_len_sum - avg * overflow_n;
+            self.record_n(avg, overflow_n - rem);
+            self.record_n(avg + 1, rem);
+        }
+        for &len in &other.open_runs {
+            self.record_open(len);
+        }
     }
 }
 
@@ -175,6 +240,10 @@ impl GatingOutcome {
 }
 
 /// Evaluates a policy against an idle histogram.
+///
+/// Closed intervals that sleep pay a wake penalty of
+/// `wake_latency_cycles`; open intervals (still idle when the window
+/// closed) sleep by the same rule but never wake, so they pay none.
 pub fn evaluate_policy(
     hist: &IdleHistogram,
     params: &GatingParams,
@@ -192,19 +261,26 @@ pub fn evaluate_policy(
     let mut sleep_events = 0u64;
     let mut wake_penalty = 0u64;
 
-    for (len, count) in hist.iter_lengths() {
+    // Cycle at which the policy asserts sleep, if at all. The sleep
+    // signal goes HIGH the moment the idle counter *reaches* the
+    // threshold, so an interval of exactly `th` cycles still sleeps
+    // (with zero slept cycles — it pays the transition for nothing).
+    let sleep_at = |len: u64| -> Option<u64> {
+        match policy {
+            GatingPolicy::Never => None,
+            GatingPolicy::Immediate => Some(0),
+            GatingPolicy::IdleThreshold(th) => (len >= th as u64).then_some(th as u64),
+            GatingPolicy::Oracle => (len >= breakeven.max(1)).then_some(0),
+        }
+    };
+
+    let closed = hist.iter_lengths().map(|(len, count)| (len, count, true));
+    let open = hist.open_runs().iter().map(|&len| (len, 1, false));
+    for (len, count, wakes) in closed.chain(open) {
         let n = count as f64;
         energy_never += n * len as f64 * t_cycle * p_idle;
 
-        // Cycle at which the policy assert sleep, if at all.
-        let sleep_at: Option<u64> = match policy {
-            GatingPolicy::Never => None,
-            GatingPolicy::Immediate => Some(0),
-            GatingPolicy::IdleThreshold(th) => (len > th as u64).then_some(th as u64),
-            GatingPolicy::Oracle => (len >= breakeven.max(1)).then_some(0),
-        };
-
-        match sleep_at {
+        match sleep_at(len) {
             None => energy_policy += n * len as f64 * t_cycle * p_idle,
             Some(s) => {
                 let awake = s.min(len) as f64;
@@ -212,7 +288,9 @@ pub fn evaluate_policy(
                 energy_policy +=
                     n * (awake * t_cycle * p_idle + slept * t_cycle * p_standby + e_trans);
                 sleep_events += count;
-                wake_penalty += count * params.wake_latency_cycles as u64;
+                if wakes {
+                    wake_penalty += count * params.wake_latency_cycles as u64;
+                }
             }
         }
     }
@@ -222,6 +300,76 @@ pub fn evaluate_policy(
         energy_policy: Joules(energy_policy),
         sleep_events,
         wake_penalty_cycles: wake_penalty,
+    }
+}
+
+/// Per-port (or aggregated) cycle counters produced by an *in-loop*
+/// sleep FSM — the simulator-side truth that the offline
+/// [`evaluate_policy`] model is validated against.
+///
+/// Every measured cycle of every gated port lands in exactly one of the
+/// four `cycles_*` buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatingCounters {
+    /// Cycles the port carried a flit.
+    pub cycles_busy: u64,
+    /// Cycles idle but powered (Active idle + drowsy countdown).
+    pub cycles_idle_awake: u64,
+    /// Cycles in standby.
+    pub cycles_asleep: u64,
+    /// Cycles spent waking up (power already at standby level; the
+    /// switching overhead is carried by `e_transition`).
+    pub cycles_waking: u64,
+    /// Sleep-mode entries (each pays one `e_transition`).
+    pub sleep_entries: u64,
+    /// Cycles a transmittable flit actually stalled behind a wakeup —
+    /// the measured latency cost that the offline model can only
+    /// estimate.
+    pub wake_stall_cycles: u64,
+}
+
+impl GatingCounters {
+    /// Accumulates another counter set into this one.
+    pub fn add(&mut self, other: &GatingCounters) {
+        self.cycles_busy += other.cycles_busy;
+        self.cycles_idle_awake += other.cycles_idle_awake;
+        self.cycles_asleep += other.cycles_asleep;
+        self.cycles_waking += other.cycles_waking;
+        self.sleep_entries += other.sleep_entries;
+        self.wake_stall_cycles += other.wake_stall_cycles;
+    }
+
+    /// Total idle cycles (awake + asleep + waking).
+    pub fn idle_cycles(&self) -> u64 {
+        self.cycles_idle_awake + self.cycles_asleep + self.cycles_waking
+    }
+}
+
+/// Leakage energy actually spent by an in-loop sleep FSM, from its
+/// measured cycle counters.
+///
+/// Waking cycles are charged at standby power — the block ramps from
+/// standby and the switching overhead of the transition is already
+/// captured by `e_transition` — which makes this exactly comparable to
+/// [`evaluate_policy`] run over the same run's idle histograms.
+pub fn energy_from_counters(
+    counters: &GatingCounters,
+    params: &GatingParams,
+    clock: Hertz,
+) -> GatingOutcome {
+    let t_cycle = 1.0 / clock.0;
+    let p_idle = params.p_idle_awake.0;
+    let p_standby = params.p_standby.0;
+    let slept = (counters.cycles_asleep + counters.cycles_waking) as f64;
+    GatingOutcome {
+        energy_never: Joules(counters.idle_cycles() as f64 * t_cycle * p_idle),
+        energy_policy: Joules(
+            counters.cycles_idle_awake as f64 * t_cycle * p_idle
+                + slept * t_cycle * p_standby
+                + counters.sleep_entries as f64 * params.e_transition.0,
+        ),
+        sleep_events: counters.sleep_entries,
+        wake_penalty_cycles: counters.wake_stall_cycles,
     }
 }
 
@@ -340,5 +488,89 @@ mod tests {
     fn min_idle_cycles_from_params() {
         // 9 fJ / 9 µW = 1 ns = 3 cycles at 3 GHz.
         assert_eq!(params().min_idle_cycles(clock()), 3);
+    }
+
+    #[test]
+    fn threshold_sleeps_on_exact_interval() {
+        // The sleep signal asserts the moment the idle counter reaches
+        // the threshold, so an interval of exactly `th` cycles sleeps
+        // (th awake cycles, zero slept, one transition + one wake).
+        let mut h = IdleHistogram::new(64);
+        h.record(4);
+        let p = params();
+        let out = evaluate_policy(&h, &p, GatingPolicy::IdleThreshold(4), clock());
+        assert_eq!(out.sleep_events, 1);
+        assert_eq!(out.wake_penalty_cycles, 1);
+        let t = 1.0 / clock().0;
+        let expect = 4.0 * t * p.p_idle_awake.0 + p.e_transition.0;
+        assert!((out.energy_policy.0 - expect).abs() < 1e-24);
+        // One cycle shorter must not sleep.
+        let mut h3 = IdleHistogram::new(64);
+        h3.record(3);
+        let out3 = evaluate_policy(&h3, &p, GatingPolicy::IdleThreshold(4), clock());
+        assert_eq!(out3.sleep_events, 0);
+        assert_eq!(out3.energy_never, out3.energy_policy);
+    }
+
+    #[test]
+    fn open_intervals_sleep_but_never_wake() {
+        let mut h = IdleHistogram::new(64);
+        h.record(30); // closed: sleeps and wakes
+        h.record_open(30); // open: sleeps, window ends before wakeup
+        let p = params();
+        let out = evaluate_policy(&h, &p, GatingPolicy::Immediate, clock());
+        assert_eq!(out.sleep_events, 2);
+        assert_eq!(out.wake_penalty_cycles, 1, "open interval pays no wake");
+        assert_eq!(h.interval_count(), 2);
+        assert_eq!(h.total_idle_cycles(), 60);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = IdleHistogram::new(32);
+        let mut b = IdleHistogram::new(32);
+        for (len, n) in [(3u64, 5u64), (31, 2), (100, 4)] {
+            a.record_n(len, n);
+            for _ in 0..n {
+                b.record(len);
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.interval_count(), 11);
+        assert_eq!(a.total_idle_cycles(), 3 * 5 + 31 * 2 + 100 * 4);
+    }
+
+    #[test]
+    fn merge_carries_open_runs() {
+        let mut a = IdleHistogram::new(8);
+        a.record(2);
+        let mut b = IdleHistogram::new(8);
+        b.record_open(7);
+        a.merge(&b);
+        assert_eq!(a.interval_count(), 2);
+        assert_eq!(a.total_idle_cycles(), 9);
+        assert_eq!(a.open_runs(), &[7]);
+    }
+
+    #[test]
+    fn counter_energy_matches_hand_calc() {
+        let p = params();
+        let c = GatingCounters {
+            cycles_busy: 100,
+            cycles_idle_awake: 40,
+            cycles_asleep: 50,
+            cycles_waking: 10,
+            sleep_entries: 5,
+            wake_stall_cycles: 5,
+        };
+        let out = energy_from_counters(&c, &p, clock());
+        let t = 1.0 / clock().0;
+        let expect_never = 100.0 * t * p.p_idle_awake.0;
+        let expect_policy =
+            40.0 * t * p.p_idle_awake.0 + 60.0 * t * p.p_standby.0 + 5.0 * p.e_transition.0;
+        assert!((out.energy_never.0 - expect_never).abs() < 1e-24);
+        assert!((out.energy_policy.0 - expect_policy).abs() < 1e-24);
+        assert_eq!(out.sleep_events, 5);
+        assert_eq!(out.wake_penalty_cycles, 5);
     }
 }

@@ -1,11 +1,13 @@
 //! Integration test: network simulation → idle histograms → gating
-//! policies → scheme comparison, end to end across all five crates.
+//! policies → scheme comparison, end to end across all five crates —
+//! including the in-loop sleep FSM cross-validated against the offline
+//! policy model with real characterized gating parameters.
 
 use leakage_noc::core::characterize::Characterizer;
 use leakage_noc::core::config::CrossbarConfig;
 use leakage_noc::core::scheme::Scheme;
-use leakage_noc::netsim::{MeshConfig, Simulation, TrafficPattern};
-use leakage_noc::power::gating::{evaluate_policy, GatingPolicy};
+use leakage_noc::netsim::{MeshConfig, Simulation, SleepConfig, TrafficPattern};
+use leakage_noc::power::gating::{energy_from_counters, evaluate_policy, GatingPolicy};
 use leakage_noc::power::router::RouterPowerModel;
 
 fn crossbar_cfg() -> CrossbarConfig {
@@ -16,11 +18,8 @@ fn crossbar_cfg() -> CrossbarConfig {
     }
 }
 
-#[test]
-fn end_to_end_gating_prefers_precharged_schemes() {
-    let cfg = crossbar_cfg();
-
-    let mut sim = Simulation::new(MeshConfig {
+fn mesh_cfg() -> MeshConfig {
+    MeshConfig {
         width: 4,
         height: 4,
         injection_rate: 0.04,
@@ -28,7 +27,15 @@ fn end_to_end_gating_prefers_precharged_schemes() {
         packet_len_flits: 4,
         buffer_depth: 4,
         seed: 11,
-    });
+        ..MeshConfig::default()
+    }
+}
+
+#[test]
+fn end_to_end_gating_prefers_precharged_schemes() {
+    let cfg = crossbar_cfg();
+
+    let mut sim = Simulation::new(mesh_cfg());
     let stats = sim.run(500, 8000);
     assert!(stats.packets_delivered > 100);
     let hist = stats.merged_idle_histogram(4096);
@@ -56,6 +63,71 @@ fn end_to_end_gating_prefers_precharged_schemes() {
 }
 
 #[test]
+fn in_loop_gating_agrees_with_offline_model_for_characterized_schemes() {
+    let cfg = crossbar_cfg();
+    let ch = Characterizer::new(&cfg);
+
+    // Ungated baseline for the latency penalty.
+    let mut baseline = Simulation::new(mesh_cfg());
+    let base = baseline.run(500, 8000);
+
+    for scheme in [Scheme::Sc, Scheme::Dpc] {
+        let c = ch.characterize(scheme).expect("characterization");
+        let params =
+            RouterPowerModel::from_characterization(&c, &cfg).port_gating_params(cfg.radix);
+        let mit = params.min_idle_cycles(cfg.clock);
+        let policy = GatingPolicy::IdleThreshold(mit);
+
+        let mut sim = Simulation::new(MeshConfig {
+            gating: Some(SleepConfig {
+                policy,
+                wake_latency: params.wake_latency_cycles,
+            }),
+            ..mesh_cfg()
+        });
+        let stats = sim.run(500, 8000);
+        let counters = stats.total_gating_counters();
+        assert!(counters.sleep_entries > 100, "{scheme}: {counters:?}");
+
+        // Energy: in-loop counters vs offline histogram model, same run.
+        let in_loop = energy_from_counters(&counters, &params, cfg.clock);
+        let offline = evaluate_policy(
+            &stats.merged_idle_histogram(4096),
+            &params,
+            policy,
+            cfg.clock,
+        );
+        let rel =
+            (in_loop.energy_policy.0 - offline.energy_policy.0).abs() / offline.energy_policy.0;
+        assert!(rel < 0.05, "{scheme}: in-loop vs offline off by {rel:.4}");
+
+        // The FSM must report the performance cost the offline model
+        // cannot see: gating never *improves* latency, real stalls
+        // happen, and the offline estimate (one wake per closed
+        // sleeping interval) upper-bounds the measured stall cycles —
+        // a woken port can overlap part of its wake with backpressure.
+        assert!(
+            stats.avg_latency() >= base.avg_latency() - 1e-9,
+            "{scheme}: gated latency {:.2} below ungated {:.2}",
+            stats.avg_latency(),
+            base.avg_latency()
+        );
+        assert!(stats.wake_stall_cycles() > 0, "{scheme}: no stalls seen");
+        // Ports caught mid-wake when the window closes leave their
+        // interval open (no offline wake charged) but already counted
+        // stall cycles — at most wake_latency per port of slack.
+        let ports = 5 * stats.router_activity.len() as u64;
+        assert!(
+            stats.wake_stall_cycles()
+                <= offline.wake_penalty_cycles + ports * params.wake_latency_cycles as u64,
+            "{scheme}: measured stalls {} exceed the offline wake estimate {}",
+            stats.wake_stall_cycles(),
+            offline.wake_penalty_cycles
+        );
+    }
+}
+
+#[test]
 fn router_power_scales_with_load() {
     let cfg = crossbar_cfg();
     let ch = Characterizer::new(&cfg);
@@ -64,13 +136,9 @@ fn router_power_scales_with_load() {
 
     let run = |rate: f64| {
         let mut sim = Simulation::new(MeshConfig {
-            width: 4,
-            height: 4,
             injection_rate: rate,
-            pattern: TrafficPattern::UniformRandom,
-            packet_len_flits: 4,
-            buffer_depth: 4,
             seed: 5,
+            ..mesh_cfg()
         });
         let stats = sim.run(500, 5000);
         let total: f64 = stats
