@@ -1,43 +1,66 @@
-//! Criterion bench for the NoC simulator's cycle rate, ungated and with
-//! the in-loop sleep FSM enabled (the gating bookkeeping must stay
-//! cheap).
+//! Criterion bench for the NoC simulator's cycle rate: active-set vs
+//! reference kernel across mesh sizes, ungated and with the in-loop
+//! sleep FSM enabled. The active-set kernel must win big at the low
+//! injection rates the leakage study sweeps, and the gating bookkeeping
+//! must stay cheap.
+//!
+//! Set `NETSIM_BENCH_QUICK=1` (CI) to shrink the grid and sample count
+//! to a smoke run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lnoc_netsim::{GatingPolicy, MeshConfig, Simulation, SleepConfig, TrafficPattern};
+use lnoc_netsim::{GatingPolicy, MeshConfig, SimKernel, Simulation, SleepConfig, TrafficPattern};
 use std::hint::black_box;
 
 fn bench_mesh_cycles(c: &mut Criterion) {
+    let quick = std::env::var_os("NETSIM_BENCH_QUICK").is_some();
     let mut group = c.benchmark_group("netsim");
-    group.sample_size(10);
-    for (label, w, h, gating) in [
-        ("4x4", 4usize, 4usize, None),
-        ("8x8", 8, 8, None),
-        (
-            "8x8_gated",
-            8,
-            8,
-            Some(SleepConfig {
-                policy: GatingPolicy::IdleThreshold(4),
-                wake_latency: 1,
-            }),
-        ),
-    ] {
-        group.bench_function(format!("{label}_1k_cycles"), |b| {
-            b.iter(|| {
-                let mut sim = Simulation::new(MeshConfig {
-                    width: w,
-                    height: h,
-                    injection_rate: 0.05,
-                    pattern: TrafficPattern::UniformRandom,
-                    packet_len_flits: 4,
-                    buffer_depth: 4,
-                    seed: 7,
-                    gating,
-                    ..MeshConfig::default()
-                });
-                black_box(sim.run(0, 1000))
-            })
-        });
+    group.sample_size(if quick { 3 } else { 10 });
+
+    let gated = Some(SleepConfig {
+        policy: GatingPolicy::IdleThreshold(4),
+        wake_latency: 1,
+    });
+    let sizes: &[(usize, usize, f64, Option<SleepConfig>)] = if quick {
+        &[(4, 4, 0.05, None), (16, 16, 0.005, None)]
+    } else {
+        &[
+            (4, 4, 0.05, None),
+            (8, 8, 0.05, None),
+            (8, 8, 0.05, gated),
+            (16, 16, 0.005, None),
+            (16, 16, 0.005, gated),
+            (32, 32, 0.005, None),
+            (32, 32, 0.005, gated),
+        ]
+    };
+    let cycles = if quick { 300 } else { 1000 };
+
+    for &(w, h, rate, gating) in sizes {
+        for kernel in [SimKernel::ActiveSet, SimKernel::Reference] {
+            let label = format!(
+                "{w}x{h}_r{rate}{}_{}_{}cy",
+                if gating.is_some() { "_gated" } else { "" },
+                kernel.name(),
+                cycles
+            );
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(MeshConfig {
+                        width: w,
+                        height: h,
+                        injection_rate: rate,
+                        pattern: TrafficPattern::UniformRandom,
+                        packet_len_flits: 4,
+                        buffer_depth: 4,
+                        seed: 7,
+                        gating,
+                        kernel,
+                        ..MeshConfig::default()
+                    });
+                    black_box(sim.run(0, cycles))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -1,52 +1,140 @@
 //! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
-//! the sleep FSM live in the cycle loop over an injection-rate × policy
-//! × scheme grid — in parallel with rayon, one simulation per grid
-//! point — and emits the committed `BENCH_noc.json` baseline: energy
-//! saved, the latency/throughput penalty the offline model cannot see,
-//! and the in-loop vs offline agreement on every point.
+//! the sleep FSM live in the cycle loop over a mesh-size ×
+//! injection-rate × policy × scheme grid and emits the committed
+//! `BENCH_noc.json` baseline: energy saved, the latency/throughput
+//! penalty the offline model cannot see, the in-loop vs offline
+//! agreement on every point — and, per grid point, the wall time and
+//! cycle rate of **both simulation kernels**, so the active-set
+//! speedup is tracked in-repo alongside the energy numbers.
+//!
+//! Grid points run serially (characterization is still parallel) so
+//! the per-kernel timings are not distorted by core contention. When
+//! both kernels run, their [`NetworkStats`] are asserted bit-identical;
+//! single-kernel runs write a deterministic per-point stats digest to
+//! `out/x3_sweep_stats_<kernel>.json` so CI can diff the kernels as
+//! files.
 //!
 //! ```sh
-//! cargo run --release -p lnoc-bench --bin gating_sweep            # full grid → BENCH_noc.json
-//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke # CI smoke grid → out/
+//! cargo run --release -p lnoc-bench --bin gating_sweep                # full grid → BENCH_noc.json
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke     # CI smoke grid → out/
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --kernel reference
 //! ```
 
 use lnoc_core::characterize::Characterizer;
 use lnoc_core::config::CrossbarConfig;
 use lnoc_core::scheme::Scheme;
-use lnoc_netsim::{MeshConfig, NetworkStats, Simulation, SleepConfig, TrafficPattern};
+use lnoc_netsim::{MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig, TrafficPattern};
 use lnoc_power::gating::{
     energy_from_counters, evaluate_policy, GatingOutcome, GatingParams, GatingPolicy,
 };
 use rayon::prelude::*;
 use std::fmt::Write as _;
+use std::time::Instant;
 
-/// One measured grid point.
-struct Row {
+/// One point of the sweep grid (kernel-independent).
+struct GridPoint {
     scheme: Scheme,
+    params: GatingParams,
+    mesh: (usize, usize),
     rate: f64,
     policy: GatingPolicy,
-    mit: u32,
-    stats: NetworkStats,
-    in_loop: GatingOutcome,
-    offline: GatingOutcome,
+    warmup: u64,
+    measure: u64,
 }
 
-fn mesh_cfg(rate: f64, gating: Option<SleepConfig>, measure_seed: u64) -> MeshConfig {
+/// One timed kernel execution of a grid point.
+struct Row {
+    point_idx: usize,
+    kernel: SimKernel,
+    stats: NetworkStats,
+    wall_s: f64,
+    cycles_per_sec: f64,
+}
+
+fn mesh_cfg(point: &GridPoint, kernel: SimKernel) -> MeshConfig {
     MeshConfig {
-        width: 4,
-        height: 4,
-        injection_rate: rate,
+        width: point.mesh.0,
+        height: point.mesh.1,
+        injection_rate: point.rate,
         pattern: TrafficPattern::UniformRandom,
         packet_len_flits: 4,
         buffer_depth: 4,
-        seed: measure_seed,
-        gating,
+        seed: 2005,
+        // Every policy (including Never) runs through the FSM so
+        // counters are collected; Never simply never sleeps.
+        gating: Some(SleepConfig {
+            policy: point.policy,
+            wake_latency: point.params.wake_latency_cycles,
+        }),
+        kernel,
         ..MeshConfig::default()
     }
 }
 
+fn run_point(point: &GridPoint, kernel: SimKernel, reps: u32) -> (NetworkStats, f64, f64) {
+    // Construction (including the active-set kernel's route-table
+    // build) stays outside the timer: cycle rate measures the loop.
+    // Best-of-`reps` wall time — the repeats are identical simulations,
+    // so the minimum is the least-noise estimate.
+    let mut best: Option<(NetworkStats, f64)> = None;
+    for _ in 0..reps.max(1) {
+        let mut sim = Simulation::new(mesh_cfg(point, kernel));
+        let start = Instant::now();
+        let stats = sim.run(point.warmup, point.measure);
+        let wall = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+            best = Some((stats, wall));
+        }
+    }
+    let (stats, wall) = best.expect("at least one rep");
+    let cps = (point.warmup + point.measure) as f64 / wall;
+    (stats, wall, cps)
+}
+
+/// Deterministic per-point digest for file-level kernel diffing
+/// (everything in it must be bit-identical across kernels).
+fn stats_digest(point: &GridPoint, stats: &NetworkStats) -> String {
+    let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
+    let k = stats.total_gating_counters();
+    format!(
+        "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"rate\": {:.4}, \"policy\": \"{}\", \
+         \"packets_injected\": {}, \"packets_delivered\": {}, \"flits_delivered\": {}, \
+         \"dropped_at_source\": {}, \"latency_sum\": {}, \"latency_max\": {}, \
+         \"idle_intervals\": {}, \"idle_cycles\": {}, \"sleep_entries\": {}, \
+         \"wake_stalls\": {}, \"cycles_asleep\": {}}}",
+        point.scheme.name(),
+        point.mesh.0,
+        point.mesh.1,
+        point.rate,
+        point.policy,
+        stats.packets_injected,
+        stats.packets_delivered,
+        stats.flits_delivered,
+        stats.packets_dropped_at_source,
+        stats.latency_sum,
+        stats.latency_max,
+        hist.interval_count(),
+        hist.total_idle_cycles(),
+        k.sleep_entries,
+        k.wake_stall_cycles,
+        k.cycles_asleep,
+    )
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let kernels: Vec<SimKernel> = match args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("both") => vec![SimKernel::ActiveSet, SimKernel::Reference],
+        Some("active-set") => vec![SimKernel::ActiveSet],
+        Some("reference") => vec![SimKernel::Reference],
+        Some(other) => panic!("unknown --kernel {other} (active-set | reference | both)"),
+    };
     let cfg = if smoke {
         CrossbarConfig {
             flit_bits: 32,
@@ -56,13 +144,11 @@ fn main() {
     } else {
         CrossbarConfig::paper()
     };
-    let (warmup, measure) = if smoke { (300, 2000) } else { (1000, 12000) };
     let schemes: &[Scheme] = if smoke {
         &[Scheme::Sc, Scheme::Dpc]
     } else {
         &Scheme::ALL
     };
-    let rates: &[f64] = if smoke { &[0.05] } else { &[0.02, 0.05, 0.08] };
 
     // Characterize each scheme once, in parallel.
     let ch = Characterizer::new(&cfg);
@@ -75,114 +161,263 @@ fn main() {
         })
         .collect();
 
-    // Build the grid: scheme × rate × policy. The threshold policies
-    // are scheme-specific (each scheme has its own Minimum Idle Time).
-    let mut grid: Vec<(Scheme, GatingParams, f64, GatingPolicy)> = Vec::new();
-    for &(scheme, p) in &params {
-        let mit = p.min_idle_cycles(cfg.clock);
-        let mut policies = vec![GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)];
-        if !smoke {
-            policies.push(GatingPolicy::Immediate);
-            policies.push(GatingPolicy::IdleThreshold(4 * mit.max(1)));
+    // Build the grid. The threshold policies are scheme-specific (each
+    // scheme has its own Minimum Idle Time). The 4×4 grid carries the
+    // full scheme × policy matrix; the larger meshes probe the
+    // low-rate regime where the active-set kernel matters most.
+    let mut grid: Vec<GridPoint> = Vec::new();
+    let push = |scheme: Scheme,
+                p: GatingParams,
+                mesh: (usize, usize),
+                rate: f64,
+                policy: GatingPolicy,
+                warmup: u64,
+                measure: u64,
+                grid: &mut Vec<GridPoint>| {
+        grid.push(GridPoint {
+            scheme,
+            params: p,
+            mesh,
+            rate,
+            policy,
+            warmup,
+            measure,
+        });
+    };
+    if smoke {
+        for &(scheme, p) in &params {
+            let mit = p.min_idle_cycles(cfg.clock);
+            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                push(scheme, p, (4, 4), 0.05, policy, 300, 2000, &mut grid);
+            }
         }
-        for &rate in rates {
-            for &policy in &policies {
-                grid.push((scheme, p, rate, policy));
+        // One larger-mesh point keeps the active-set fast path under CI.
+        let &(scheme, p) = params.last().expect("smoke characterizes two schemes");
+        let mit = p.min_idle_cycles(cfg.clock);
+        for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+            push(scheme, p, (16, 16), 0.02, policy, 200, 1500, &mut grid);
+        }
+    } else {
+        for &(scheme, p) in &params {
+            let mit = p.min_idle_cycles(cfg.clock);
+            let policies = [
+                GatingPolicy::Never,
+                GatingPolicy::IdleThreshold(mit),
+                GatingPolicy::Immediate,
+                GatingPolicy::IdleThreshold(4 * mit.max(1)),
+            ];
+            for rate in [0.02, 0.05, 0.08] {
+                for &policy in &policies {
+                    push(scheme, p, (4, 4), rate, policy, 1000, 12000, &mut grid);
+                }
+            }
+        }
+        // Scaling points: low-rate large meshes — the ultra-low
+        // utilization regime the paper's leakage argument (and the
+        // active-set kernel) target.
+        for &(scheme, p) in params
+            .iter()
+            .filter(|(s, _)| matches!(s, Scheme::Sc | Scheme::Dpc))
+        {
+            let mit = p.min_idle_cycles(cfg.clock);
+            for rate in [0.0025, 0.005] {
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    push(scheme, p, (16, 16), rate, policy, 1000, 12000, &mut grid);
+                }
+            }
+        }
+        for &(scheme, p) in params.iter().filter(|(s, _)| matches!(s, Scheme::Dpc)) {
+            let mit = p.min_idle_cycles(cfg.clock);
+            for rate in [0.0025, 0.005] {
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    push(scheme, p, (32, 32), rate, policy, 500, 8000, &mut grid);
+                }
             }
         }
     }
     eprintln!(
-        "sweeping {} grid points on {} threads…",
+        "sweeping {} grid points × {} kernel(s), serially (timings stay clean)…",
         grid.len(),
-        rayon::current_num_threads()
+        kernels.len()
     );
 
-    // One full in-loop simulation per grid point, in parallel.
-    let rows: Vec<Row> = grid
-        .into_par_iter()
-        .map(|(scheme, p, rate, policy)| {
-            let mit = p.min_idle_cycles(cfg.clock);
-            // Every policy (including Never) runs through the FSM so
-            // counters are collected; Never simply never sleeps.
-            let gating = Some(SleepConfig {
-                policy,
-                wake_latency: p.wake_latency_cycles,
-            });
-            let mut sim = Simulation::new(mesh_cfg(rate, gating, 2005));
-            let stats = sim.run(warmup, measure);
-            let counters = stats.total_gating_counters();
-            let in_loop = energy_from_counters(&counters, &p, cfg.clock);
-            let offline =
-                evaluate_policy(&stats.merged_idle_histogram(4096), &p, policy, cfg.clock);
-            Row {
-                scheme,
-                rate,
-                policy,
-                mit,
-                stats,
-                in_loop,
-                offline,
+    // Run every grid point under every requested kernel — serially, so
+    // wall times mean something. When both kernels run, assert their
+    // statistics are bit-identical.
+    // One untimed throwaway per distinct mesh size first: the first
+    // simulation at each size otherwise pays page-fault/warm-up costs
+    // that pollute its grid point's timing.
+    let mut warmed: Vec<(usize, usize)> = Vec::new();
+    for point in &grid {
+        if !warmed.contains(&point.mesh) {
+            warmed.push(point.mesh);
+            for &kernel in &kernels {
+                let _ = run_point(point, kernel, 1);
             }
+        }
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut digests: Vec<(SimKernel, String)> = Vec::new();
+    for (point_idx, point) in grid.iter().enumerate() {
+        let mut first: Option<NetworkStats> = None;
+        for &kernel in &kernels {
+            let (stats, wall_s, cycles_per_sec) =
+                run_point(point, kernel, if smoke { 1 } else { 2 });
+            if let Some(prev) = &first {
+                assert_eq!(
+                    prev, &stats,
+                    "kernel divergence at scheme {} mesh {:?} rate {} policy {}",
+                    point.scheme, point.mesh, point.rate, point.policy
+                );
+            } else {
+                first = Some(stats.clone());
+            }
+            digests.push((kernel, stats_digest(point, &stats)));
+            rows.push(Row {
+                point_idx,
+                kernel,
+                stats,
+                wall_s,
+                cycles_per_sec,
+            });
+        }
+    }
+
+    // Offline model evaluation once per grid point (the histograms are
+    // kernel-independent — just asserted so).
+    let outcomes: Vec<(GatingOutcome, GatingOutcome)> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, point)| {
+            let stats = &rows
+                .iter()
+                .find(|r| r.point_idx == i)
+                .expect("every point ran")
+                .stats;
+            let counters = stats.total_gating_counters();
+            let in_loop = energy_from_counters(&counters, &point.params, cfg.clock);
+            let offline = evaluate_policy(
+                &stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS),
+                &point.params,
+                point.policy,
+                cfg.clock,
+            );
+            (in_loop, offline)
         })
         .collect();
 
-    // Baseline latency per injection rate (Never policy; identical
-    // network behaviour for every scheme).
-    let base_latency = |rate: f64| -> f64 {
+    // Baseline latency per (mesh, rate): the Never policy (identical
+    // network behaviour for every scheme and kernel).
+    let base_latency = |mesh: (usize, usize), rate: f64| -> f64 {
         rows.iter()
-            .find(|r| r.rate == rate && r.policy == GatingPolicy::Never)
+            .find(|r| {
+                let p = &grid[r.point_idx];
+                p.mesh == mesh && p.rate == rate && p.policy == GatingPolicy::Never
+            })
             .map(|r| r.stats.avg_latency())
             .expect("grid always contains Never")
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n");
+    json.push_str("{\n  \"schema\": 2,\n");
     let _ = writeln!(
         json,
-        "  \"note\": \"in-loop sleep-FSM gating sweep, 4x4 mesh, uniform traffic, {measure} measured cycles; agreement = |in_loop - offline| / offline on the same run's histograms\","
+        "  \"note\": \"in-loop sleep-FSM gating sweep, uniform traffic, grid points run serially \
+         under every kernel; agreement = |in_loop - offline| / offline on the same run's \
+         histograms; both kernels are asserted bit-identical before timing is reported\","
     );
-    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
+    let _ = writeln!(
+        json,
+        "  \"kernels\": [{}],",
+        kernels
+            .iter()
+            .map(|k| format!("\"{}\"", k.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     json.push_str("  \"results\": [\n");
     let n_rows = rows.len();
     let mut worst_disagreement: f64 = 0.0;
     for (i, r) in rows.iter().enumerate() {
-        let penalty = r.stats.avg_latency() - base_latency(r.rate);
-        let agreement = if r.offline.energy_policy.0 > 0.0 {
-            (r.in_loop.energy_policy.0 - r.offline.energy_policy.0).abs()
-                / r.offline.energy_policy.0
+        let point = &grid[r.point_idx];
+        let (in_loop, offline) = &outcomes[r.point_idx];
+        let penalty = r.stats.avg_latency() - base_latency(point.mesh, point.rate);
+        let agreement = if offline.energy_policy.0 > 0.0 {
+            (in_loop.energy_policy.0 - offline.energy_policy.0).abs() / offline.energy_policy.0
         } else {
             0.0
         };
-        if r.policy != GatingPolicy::Never {
+        if point.policy != GatingPolicy::Never {
             worst_disagreement = worst_disagreement.max(agreement);
         }
         let _ = writeln!(
             json,
-            "    {{\"scheme\": \"{}\", \"rate\": {:.2}, \"policy\": \"{}\", \"mit_cycles\": {}, \
-             \"avg_latency_cy\": {:.3}, \"latency_penalty_cy\": {:.3}, \"throughput\": {:.4}, \
-             \"wake_stall_cycles\": {}, \"sleep_events\": {}, \
-             \"energy_never_j\": {:.6e}, \"energy_policy_j\": {:.6e}, \"saved_pct\": {:.2}, \
-             \"offline_energy_j\": {:.6e}, \"offline_saved_pct\": {:.2}, \"agreement_pct\": {:.3}}}{}",
-            r.scheme.name(),
-            r.rate,
-            r.policy,
-            r.mit,
+            "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"rate\": {:.4}, \"policy\": \"{}\", \
+             \"kernel\": \"{}\", \"mit_cycles\": {}, \"cycles\": {}, \"wall_s\": {:.4}, \
+             \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \"latency_penalty_cy\": {:.3}, \
+             \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \"sleep_events\": {}, \
+             \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \"energy_policy_j\": {:.6e}, \
+             \"saved_pct\": {:.2}, \"offline_energy_j\": {:.6e}, \"offline_saved_pct\": {:.2}, \
+             \"agreement_pct\": {:.3}}}{}",
+            point.scheme.name(),
+            point.mesh.0,
+            point.mesh.1,
+            point.rate,
+            point.policy,
+            r.kernel.name(),
+            point.params.min_idle_cycles(cfg.clock),
+            point.warmup + point.measure,
+            r.wall_s,
+            r.cycles_per_sec,
             r.stats.avg_latency(),
             penalty,
             r.stats.throughput(),
             r.stats.wake_stall_cycles(),
-            r.in_loop.sleep_events,
-            r.in_loop.energy_never.0,
-            r.in_loop.energy_policy.0,
-            r.in_loop.savings_fraction() * 100.0,
-            r.offline.energy_policy.0,
-            r.offline.savings_fraction() * 100.0,
+            in_loop.sleep_events,
+            r.stats.packets_dropped_at_source,
+            in_loop.energy_never.0,
+            in_loop.energy_policy.0,
+            in_loop.savings_fraction() * 100.0,
+            offline.energy_policy.0,
+            offline.savings_fraction() * 100.0,
             agreement * 100.0,
             if i + 1 == n_rows { "" } else { "," }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Per-point kernel speedup (active-set cycle rate / reference cycle
+    // rate) — the number the README performance table quotes.
+    json.push_str("  \"speedup\": [\n");
+    let mut speedups: Vec<String> = Vec::new();
+    let mut min_16x16_low_rate: f64 = f64::INFINITY;
+    if kernels.len() == 2 {
+        for (i, point) in grid.iter().enumerate() {
+            let cps = |kernel: SimKernel| {
+                rows.iter()
+                    .find(|r| r.point_idx == i && r.kernel == kernel)
+                    .map(|r| r.cycles_per_sec)
+                    .expect("both kernels ran")
+            };
+            let ratio = cps(SimKernel::ActiveSet) / cps(SimKernel::Reference);
+            if point.mesh == (16, 16) && point.rate <= 0.02 {
+                min_16x16_low_rate = min_16x16_low_rate.min(ratio);
+            }
+            speedups.push(format!(
+                "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"rate\": {:.4}, \
+                 \"policy\": \"{}\", \"speedup\": {:.2}}}",
+                point.scheme.name(),
+                point.mesh.0,
+                point.mesh.1,
+                point.rate,
+                point.policy,
+                ratio
+            ));
+        }
+    }
+    json.push_str(&speedups.join(",\n"));
+    json.push_str("\n  ]\n}\n");
 
     println!("{json}");
     println!(
@@ -193,6 +428,24 @@ fn main() {
         worst_disagreement < 0.05,
         "in-loop energy must agree with the offline model within 5%"
     );
+    if min_16x16_low_rate.is_finite() {
+        println!("minimum active-set speedup on 16x16, rate <= 0.02: {min_16x16_low_rate:.2}x");
+    }
+
+    // Stats digests for file-level kernel diffing in CI.
+    for &kernel in &kernels {
+        let body: Vec<&String> = digests
+            .iter()
+            .filter(|(k, _)| *k == kernel)
+            .map(|(_, d)| d)
+            .collect();
+        let mut s = String::from("[\n");
+        for (i, d) in body.iter().enumerate() {
+            let _ = writeln!(s, "  {}{}", d, if i + 1 == body.len() { "" } else { "," });
+        }
+        s.push_str("]\n");
+        lnoc_bench::write_artifact(&format!("x3_sweep_stats_{}.json", kernel.name()), &s);
+    }
 
     if smoke {
         lnoc_bench::write_artifact("x3_gating_sweep_smoke.json", &json);

@@ -6,7 +6,7 @@
 use lnoc_core::characterize::Characterizer;
 use lnoc_core::config::CrossbarConfig;
 use lnoc_core::scheme::Scheme;
-use lnoc_netsim::{MeshConfig, Simulation, TrafficPattern};
+use lnoc_netsim::{MeshConfig, NetworkStats, Simulation, TrafficPattern};
 use lnoc_power::gating::{evaluate_policy, GatingParams, GatingPolicy};
 use lnoc_power::report::TextTable;
 use lnoc_power::router::RouterPowerModel;
@@ -44,7 +44,7 @@ fn main() {
                 ..MeshConfig::default()
             });
             let stats = sim.run(1000, 10000);
-            let hist = stats.merged_idle_histogram(4096);
+            let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
 
             let mut table = TextTable::new(vec![
                 "scheme".into(),

@@ -12,6 +12,12 @@
 //! real flits. The offline policy models in [`lnoc_power::gating`] are
 //! cross-validated against these in-loop measurements.
 //!
+//! The cycle loop itself runs on one of two result-identical kernels
+//! ([`SimKernel`]): the dense `Reference` oracle, or the default
+//! `ActiveSet` kernel that skips quiescent routers entirely and
+//! bulk-accounts their idleness — a multiple-× cycle-rate win exactly
+//! in the low-injection-rate regime the leakage study sweeps.
+//!
 //! ## Example
 //!
 //! ```
@@ -33,6 +39,10 @@
 //!         policy: GatingPolicy::IdleThreshold(3),
 //!         wake_latency: 1,
 //!     }),
+//!     // kernel: SimKernel::{Auto, ActiveSet, Reference} — Auto runs
+//!     // the active-set kernel; Reference is the dense oracle. Both
+//!     // produce bit-identical statistics.
+//!     ..MeshConfig::default()
 //! };
 //! let mut sim = Simulation::new(cfg);
 //! let stats = sim.run(200, 1000);
@@ -51,7 +61,7 @@ pub mod topology;
 pub mod traffic;
 
 pub use lnoc_power::gating::GatingPolicy;
-pub use sim::{MeshConfig, Simulation};
+pub use sim::{MeshConfig, SimKernel, Simulation};
 pub use sleep::{SleepConfig, SleepState};
 pub use stats::NetworkStats;
 pub use traffic::{InjectionProcess, TrafficPattern};

@@ -7,29 +7,56 @@
 //! simple on/off credit: a flit only advances when the downstream buffer
 //! has room.
 //!
-//! Each output port additionally carries a [`SleepFsm`] when in-loop
-//! power gating is enabled: a sleeping port cannot carry flits until it
-//! has waited out its wake latency, and the router accumulates the
-//! [`GatingCounters`] that price the policy.
+//! Per-port *state that every cycle must touch* — idle-run counters,
+//! the [`SleepFsm`] sleep controllers, and the [`GatingCounters`] — is
+//! **not** stored inside the router. The simulation owns it as flat
+//! network-wide SoA arrays (indexed `router * 5 + port`) and lends this
+//! router's lane to [`Router::step`] as a [`PortLane`]. That keeps the
+//! active-set kernel's scans and bulk updates cache-linear and lets
+//! quiescent routers be accounted without touching `Router` memory at
+//! all.
 //!
 //! The input FIFOs live in one flat ring-buffer allocation and
 //! [`Router::step`] performs no heap allocation — the hot loop of the
 //! whole simulator.
 
-use crate::sleep::{SleepConfig, SleepFsm, SleepState};
+use crate::sleep::{SleepConfig, SleepFsm};
 use crate::topology::Direction;
 use crate::traffic::Flit;
 use lnoc_power::gating::GatingCounters;
 use serde::{Deserialize, Serialize};
 
 /// Per-port output state: which input currently owns the port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-enum PortOwner {
+/// Stored as one byte per port (`FREE` or the owning input index) so
+/// the five owners fit one load — the quiescence check and both step
+/// paths test them every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(transparent)]
+struct PortOwner(u8);
+
+impl PortOwner {
     /// Free for a new head flit.
-    #[default]
-    Free,
+    const FREE: PortOwner = PortOwner(u8::MAX);
+
     /// Allocated to the given input port until a tail flit passes.
-    Owned(usize),
+    fn owned(input: usize) -> PortOwner {
+        PortOwner(input as u8)
+    }
+
+    fn is_free(self) -> bool {
+        self == PortOwner::FREE
+    }
+
+    /// The owning input, if any.
+    fn input(self) -> Option<usize> {
+        (!self.is_free()).then_some(self.0 as usize)
+    }
+}
+
+impl Default for PortOwner {
+    fn default() -> Self {
+        PortOwner::FREE
+    }
 }
 
 /// All five input FIFOs in one flat allocation: port `p` owns the slot
@@ -75,7 +102,13 @@ impl PortBuffers {
 
     fn push_back(&mut self, port: usize, flit: Flit) {
         debug_assert!(!self.is_full(port));
-        let tail = (self.head[port] + self.len[port]) % self.depth;
+        // Conditional wrap instead of `%`: the depth is a runtime
+        // value, so a modulo here is a hardware divide in the hottest
+        // loop of the simulator.
+        let mut tail = self.head[port] + self.len[port];
+        if tail >= self.depth {
+            tail -= self.depth;
+        }
         self.slots[port * self.depth as usize + tail as usize] = flit;
         self.len[port] += 1;
     }
@@ -84,11 +117,25 @@ impl PortBuffers {
         if self.len[port] == 0 {
             return None;
         }
-        let flit = self.slots[port * self.depth as usize + self.head[port] as usize];
-        self.head[port] = (self.head[port] + 1) % self.depth;
+        let head = self.head[port];
+        let flit = self.slots[port * self.depth as usize + head as usize];
+        self.head[port] = if head + 1 == self.depth { 0 } else { head + 1 };
         self.len[port] -= 1;
         Some(flit)
     }
+}
+
+/// One router's lane of the simulation-owned SoA port state, lent to
+/// [`Router::step`] for one cycle.
+#[derive(Debug)]
+pub struct PortLane<'a> {
+    /// Consecutive idle cycles per output port (the authoritative
+    /// idle-run counters behind the idle-interval histograms).
+    pub idle_run: &'a mut [u64; 5],
+    /// Sleep controller per output port.
+    pub fsm: &'a mut [SleepFsm; 5],
+    /// This router's accumulated gating counters (all ports summed).
+    pub counters: &'a mut GatingCounters,
 }
 
 /// One wormhole router.
@@ -98,17 +145,16 @@ pub struct Router {
     pub id: usize,
     buffers: PortBuffers,
     owners: [PortOwner; 5],
-    rr_next: [usize; 5],
-    /// Cycles each output port has been continuously idle.
-    idle_run: [u64; 5],
-    sleep: [SleepFsm; 5],
+    rr_next: [u8; 5],
     sleep_cfg: Option<SleepConfig>,
-    counters: GatingCounters,
 }
 
 /// A flit departing the router this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Departure {
+    /// Input port it was popped from (so callers can maintain an
+    /// incremental occupancy snapshot instead of rebuilding it).
+    pub input: Direction,
     /// Output port it leaves through.
     pub output: Direction,
     /// The flit itself.
@@ -123,10 +169,7 @@ impl Router {
             buffers: PortBuffers::new(buffer_depth),
             owners: Default::default(),
             rr_next: [0; 5],
-            idle_run: [0; 5],
-            sleep: Default::default(),
             sleep_cfg: None,
-            counters: GatingCounters::default(),
         }
     }
 
@@ -169,29 +212,12 @@ impl Router {
         (0..5).map(|p| self.buffers.len(p)).sum()
     }
 
-    /// Current idle-run length of an output port (cycles since it last
-    /// carried a flit).
-    pub fn idle_run(&self, port: Direction) -> u64 {
-        self.idle_run[port.index()]
-    }
-
-    /// Sleep state of an output port.
-    pub fn sleep_state(&self, port: Direction) -> SleepState {
-        self.sleep[port.index()].state()
-    }
-
-    /// The gating counters accumulated so far (all five ports summed).
-    pub fn gating_counters(&self) -> GatingCounters {
-        self.counters
-    }
-
-    /// Resets the sleep FSMs and gating counters (measurement-window
-    /// start, paired with [`Router::drain_idle_runs`]).
-    pub fn reset_gating(&mut self) {
-        for fsm in &mut self.sleep {
-            fsm.reset();
-        }
-        self.counters = GatingCounters::default();
+    /// Whether the router holds no flits and no output port is held
+    /// mid-packet — the buffer/crossbar half of the active-set kernel's
+    /// quiescence predicate. A quiet router's [`Router::step`] can only
+    /// tick idle counters, so it may be skipped and bulk-accounted.
+    pub fn is_quiet(&self) -> bool {
+        self.buffers.len.iter().all(|&l| l == 0) && self.owners == [PortOwner::FREE; 5]
     }
 
     /// The input whose front flit is ready for `out` this cycle, without
@@ -207,14 +233,14 @@ impl Router {
         used: &[bool; 5],
     ) -> Option<usize> {
         let oi = out.index();
-        match self.owners[oi] {
-            PortOwner::Owned(input) => self
+        match self.owners[oi].input() {
+            Some(input) => self
                 .buffers
                 .front(input)
                 .filter(|f| !used[input] && route(f) == out)
                 .map(|_| input),
-            PortOwner::Free => {
-                let start = self.rr_next[oi];
+            None => {
+                let start = self.rr_next[oi] as usize;
                 (0..5).map(|k| (start + k) % 5).find(|&input| {
                     !used[input]
                         && self
@@ -232,7 +258,9 @@ impl Router {
     /// reports whether the next-hop buffer (or the ejection port) can
     /// accept a flit on the given output — callers must evaluate it
     /// against a cycle-start snapshot so results are independent of
-    /// router iteration order.
+    /// router iteration order. `ports` is this router's lane of the
+    /// simulation-owned SoA port state (idle runs, sleep FSMs, gating
+    /// counters).
     ///
     /// Returns the flits that leave this cycle (at most one per output)
     /// and the number of arbitrations performed. `idle_ended[p]` is the
@@ -242,6 +270,7 @@ impl Router {
         &mut self,
         route: impl Fn(&Flit) -> Direction,
         downstream_ready: impl Fn(Direction) -> bool,
+        ports: PortLane<'_>,
     ) -> StepOutcome {
         let mut departures = [None; 5];
         let mut arbitrations = 0u64;
@@ -259,12 +288,12 @@ impl Router {
             // blocked instead of waking into backpressure.
             let wants = candidate.is_some() && downstream_ready(out);
 
-            let can_transmit = match (self.sleep_cfg, &mut self.sleep[oi]) {
+            let can_transmit = match (self.sleep_cfg, &mut ports.fsm[oi]) {
                 (Some(cfg), fsm) => fsm.gate(wants, cfg.wake_latency),
                 (None, _) => true,
             };
 
-            if can_transmit && matches!(self.owners[oi], PortOwner::Free) {
+            if can_transmit && self.owners[oi].is_free() {
                 arbitrations += 1;
             }
 
@@ -272,30 +301,29 @@ impl Router {
             if can_transmit && wants {
                 let input = candidate.expect("wants implies candidate");
                 let flit = self.buffers.pop_front(input).expect("front exists");
-                match self.owners[oi] {
-                    PortOwner::Free => {
-                        if !flit.is_tail {
-                            self.owners[oi] = PortOwner::Owned(input);
-                        }
-                        self.rr_next[oi] = (input + 1) % 5;
+                if self.owners[oi].is_free() {
+                    if !flit.is_tail {
+                        self.owners[oi] = PortOwner::owned(input);
                     }
-                    PortOwner::Owned(_) => {
-                        if flit.is_tail {
-                            self.owners[oi] = PortOwner::Free;
-                        }
-                    }
+                    self.rr_next[oi] = ((input + 1) % 5) as u8;
+                } else if flit.is_tail {
+                    self.owners[oi] = PortOwner::FREE;
                 }
-                departures[oi] = Some(Departure { output: out, flit });
+                departures[oi] = Some(Departure {
+                    input: Direction::from_index(input),
+                    output: out,
+                    flit,
+                });
                 input_used[input] = true;
                 sent = true;
             }
 
             // Idle-run bookkeeping for the power model.
             if sent {
-                idle_ended[oi] = self.idle_run[oi];
-                self.idle_run[oi] = 0;
+                idle_ended[oi] = ports.idle_run[oi];
+                ports.idle_run[oi] = 0;
             } else {
-                self.idle_run[oi] += 1;
+                ports.idle_run[oi] += 1;
             }
 
             if let Some(cfg) = self.sleep_cfg {
@@ -312,9 +340,9 @@ impl Router {
                 let run = if sent {
                     idle_ended[oi]
                 } else {
-                    self.idle_run[oi]
+                    ports.idle_run[oi]
                 };
-                self.sleep[oi].settle(sent, stalled, wants_after, run, &cfg, &mut self.counters);
+                ports.fsm[oi].settle(sent, stalled, wants_after, run, &cfg, ports.counters);
             }
         }
 
@@ -325,13 +353,154 @@ impl Router {
         }
     }
 
-    /// Drains the idle runs at end of simulation (each open run is
-    /// reported so histograms include trailing idleness).
-    pub fn drain_idle_runs(&mut self) -> [u64; 5] {
-        let runs = self.idle_run;
-        self.idle_run = [0; 5];
-        runs
+    /// [`Router::step`], restructured for the active-set kernel's hot
+    /// loop. Semantically identical — the kernel-equivalence property
+    /// tests pin it bit-for-bit against `step` via the reference
+    /// kernel — but organized for throughput:
+    ///
+    /// * each occupied input's front flit is routed **once** (≤ 5
+    ///   route lookups instead of up to 25 front+route evaluations in
+    ///   the per-output arbitration scans), building a head-wants mask
+    ///   so outputs nobody wants skip arbitration *and* the
+    ///   downstream-readiness check (`downstream_ready` can be a lazy
+    ///   closure);
+    /// * departures stream through `on_depart` instead of returning a
+    ///   five-slot array by value, so nothing is memcpy'd per cycle.
+    pub fn step_fast(
+        &mut self,
+        route: impl Fn(&Flit) -> Direction,
+        downstream_ready: impl Fn(Direction) -> bool,
+        ports: PortLane<'_>,
+        on_depart: impl FnMut(Departure),
+    ) -> FastOutcome {
+        // Monomorphize on gating so ungated runs never touch the FSM
+        // lane (or its cache line) at all.
+        if self.sleep_cfg.is_some() {
+            self.step_fast_impl::<true>(route, downstream_ready, ports, on_depart)
+        } else {
+            self.step_fast_impl::<false>(route, downstream_ready, ports, on_depart)
+        }
     }
+
+    #[inline(always)]
+    fn step_fast_impl<const GATED: bool>(
+        &mut self,
+        route: impl Fn(&Flit) -> Direction,
+        downstream_ready: impl Fn(Direction) -> bool,
+        ports: PortLane<'_>,
+        mut on_depart: impl FnMut(Departure),
+    ) -> FastOutcome {
+        const NO_WANT: u8 = u8::MAX;
+        let mut arbitrations = 0u64;
+        let mut idle_ended = [0u64; 5];
+        let mut input_used = [false; 5];
+
+        // Route every occupied input's front flit once, and build a
+        // per-output mask of waiting head flits so outputs nobody
+        // wants skip the round-robin scan entirely.
+        let mut want = [NO_WANT; 5];
+        let mut head = [false; 5];
+        let mut head_wants = 0u8;
+        for input in 0..5 {
+            if let Some(f) = self.buffers.front(input) {
+                let oi = route(f).index();
+                want[input] = oi as u8;
+                head[input] = f.is_head;
+                if f.is_head {
+                    head_wants |= 1 << oi;
+                }
+            }
+        }
+
+        for out in Direction::ALL {
+            let oi = out.index();
+
+            let owner = self.owners[oi];
+            let candidate = match owner.input() {
+                Some(input) => (!input_used[input] && want[input] == oi as u8).then_some(input),
+                None if head_wants & (1 << oi) != 0 => {
+                    let start = self.rr_next[oi] as usize;
+                    (0..5)
+                        .map(|k| (start + k) % 5)
+                        .find(|&input| !input_used[input] && head[input] && want[input] == oi as u8)
+                }
+                None => None,
+            };
+            let wants = candidate.is_some() && downstream_ready(out);
+
+            let can_transmit = if GATED {
+                let cfg = self.sleep_cfg.expect("GATED implies a sleep config");
+                ports.fsm[oi].gate(wants, cfg.wake_latency)
+            } else {
+                true
+            };
+
+            if can_transmit && owner.is_free() {
+                arbitrations += 1;
+            }
+
+            let mut sent = false;
+            if can_transmit && wants {
+                let input = candidate.expect("wants implies candidate");
+                let flit = self.buffers.pop_front(input).expect("front exists");
+                if owner.is_free() {
+                    if !flit.is_tail {
+                        self.owners[oi] = PortOwner::owned(input);
+                    }
+                    self.rr_next[oi] = ((input + 1) % 5) as u8;
+                } else if flit.is_tail {
+                    self.owners[oi] = PortOwner::FREE;
+                }
+                on_depart(Departure {
+                    input: Direction::from_index(input),
+                    output: out,
+                    flit,
+                });
+                input_used[input] = true;
+                sent = true;
+            }
+
+            if sent {
+                idle_ended[oi] = ports.idle_run[oi];
+                ports.idle_run[oi] = 0;
+            } else {
+                ports.idle_run[oi] += 1;
+            }
+
+            if GATED {
+                let cfg = self.sleep_cfg.expect("GATED implies a sleep config");
+                let stalled = wants && !sent;
+                // Immediate's after-send park decision re-reads the
+                // fresh buffer fronts (the pop just changed them), so
+                // it falls back to the shared scan.
+                let wants_after = sent
+                    && cfg.threshold() == Some(0)
+                    && downstream_ready(out)
+                    && self.candidate_input(out, &route, &[false; 5]).is_some();
+                let run = if sent {
+                    idle_ended[oi]
+                } else {
+                    ports.idle_run[oi]
+                };
+                ports.fsm[oi].settle(sent, stalled, wants_after, run, &cfg, ports.counters);
+            }
+        }
+
+        FastOutcome {
+            arbitrations,
+            idle_ended,
+        }
+    }
+}
+
+/// What happened in one [`Router::step_fast`] cycle (departures are
+/// streamed to the `on_depart` callback instead).
+#[derive(Debug, Clone, Copy)]
+pub struct FastOutcome {
+    /// Arbitration events (for the arbiter energy model).
+    pub arbitrations: u64,
+    /// Idle-interval lengths that ended this cycle, per output index.
+    pub idle_ended: [u64; 5],
 }
 
 /// What happened in one router cycle.
@@ -356,7 +525,27 @@ impl StepOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sleep::SleepState;
     use lnoc_power::gating::GatingPolicy;
+
+    /// Standalone owner of one router's SoA lane for unit tests (the
+    /// simulation owns these arrays network-wide).
+    #[derive(Default)]
+    struct Ports {
+        idle: [u64; 5],
+        fsm: [SleepFsm; 5],
+        counters: GatingCounters,
+    }
+
+    impl Ports {
+        fn lane(&mut self) -> PortLane<'_> {
+            PortLane {
+                idle_run: &mut self.idle,
+                fsm: &mut self.fsm,
+                counters: &mut self.counters,
+            }
+        }
+    }
 
     fn flit(id: u64, head: bool, tail: bool) -> Flit {
         Flit {
@@ -372,17 +561,21 @@ mod tests {
     #[test]
     fn single_flit_passes_through() {
         let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
         r.accept(Direction::West, flit(1, true, true));
-        let out = r.step(|_| Direction::East, |_| true);
+        let out = r.step(|_| Direction::East, |_| true, p.lane());
         let deps: Vec<_> = out.departures().collect();
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].output, Direction::East);
+        assert_eq!(deps[0].input, Direction::West);
         assert_eq!(r.total_occupancy(), 0);
+        assert!(r.is_quiet());
     }
 
     #[test]
     fn wormhole_holds_port_for_whole_packet() {
         let mut r = Router::new(0, 8);
+        let mut p = Ports::default();
         r.accept(Direction::West, flit(1, true, false));
         r.accept(Direction::West, flit(1, false, false));
         r.accept(Direction::West, flit(1, false, true));
@@ -391,7 +584,7 @@ mod tests {
 
         let mut winners = Vec::new();
         for _ in 0..4 {
-            let out = r.step(|_| Direction::East, |_| true);
+            let out = r.step(|_| Direction::East, |_| true, p.lane());
             for d in out.departures() {
                 winners.push(d.flit.packet_id);
             }
@@ -408,10 +601,26 @@ mod tests {
     #[test]
     fn backpressure_blocks() {
         let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
         r.accept(Direction::West, flit(1, true, true));
-        let out = r.step(|_| Direction::East, |_| false);
+        let out = r.step(|_| Direction::East, |_| false, p.lane());
         assert_eq!(out.departures().count(), 0);
         assert_eq!(r.total_occupancy(), 1);
+        assert!(!r.is_quiet());
+    }
+
+    #[test]
+    fn mid_packet_router_is_not_quiet() {
+        // The head leaves but the port stays Owned awaiting body flits:
+        // the router is empty yet must not be treated as quiescent (the
+        // held port must not arbitrate).
+        let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
+        r.accept(Direction::West, flit(1, true, false));
+        let out = r.step(|_| Direction::East, |_| true, p.lane());
+        assert_eq!(out.departures().count(), 1);
+        assert_eq!(r.total_occupancy(), 0);
+        assert!(!r.is_quiet(), "owned output port keeps the router active");
     }
 
     #[test]
@@ -429,11 +638,12 @@ mod tests {
     fn ring_buffer_wraps_cleanly() {
         // Push/pop more flits than the depth so heads wrap around.
         let mut r = Router::new(0, 3);
+        let mut p = Ports::default();
         for round in 0..5u64 {
             r.accept(Direction::West, flit(round, true, true));
             r.accept(Direction::West, flit(round + 100, true, true));
-            let f1 = r.step(|_| Direction::East, |_| true);
-            let f2 = r.step(|_| Direction::East, |_| true);
+            let f1 = r.step(|_| Direction::East, |_| true, p.lane());
+            let f2 = r.step(|_| Direction::East, |_| true, p.lane());
             assert_eq!(f1.departures().next().unwrap().flit.packet_id, round);
             assert_eq!(f2.departures().next().unwrap().flit.packet_id, round + 100);
         }
@@ -447,6 +657,7 @@ mod tests {
         // two flits must leave on different cycles even though both
         // outputs are free.
         let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
         r.accept(Direction::West, flit(1, true, true));
         r.accept(Direction::West, flit(2, true, true));
         let route = |f: &Flit| {
@@ -456,16 +667,17 @@ mod tests {
                 Direction::Local
             }
         };
-        let first = r.step(route, |_| true);
+        let first = r.step(route, |_| true, p.lane());
         assert_eq!(first.departures().count(), 1, "one read per input");
         assert_eq!(first.departures().next().unwrap().output, Direction::East);
-        let second = r.step(route, |_| true);
+        let second = r.step(route, |_| true, p.lane());
         assert_eq!(second.departures().next().unwrap().output, Direction::Local);
     }
 
     #[test]
     fn round_robin_rotates_between_competitors() {
         let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
         // Two single-flit packets per input, both to East.
         for _ in 0..2 {
             r.accept(Direction::West, flit(10, true, true));
@@ -473,7 +685,7 @@ mod tests {
         }
         let mut order = Vec::new();
         for _ in 0..4 {
-            let out = r.step(|_| Direction::East, |_| true);
+            let out = r.step(|_| Direction::East, |_| true, p.lane());
             for d in out.departures() {
                 order.push(d.flit.packet_id);
             }
@@ -487,16 +699,17 @@ mod tests {
     #[test]
     fn idle_runs_are_tracked() {
         let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
         // Three idle cycles on every port.
         for _ in 0..3 {
-            let _ = r.step(|_| Direction::East, |_| true);
+            let _ = r.step(|_| Direction::East, |_| true, p.lane());
         }
         r.accept(Direction::West, flit(1, true, true));
-        let out = r.step(|_| Direction::East, |_| true);
+        let out = r.step(|_| Direction::East, |_| true, p.lane());
         // East's 3-cycle idle run ended when the flit crossed.
         assert_eq!(out.idle_ended[Direction::East.index()], 3);
-        assert_eq!(r.idle_run(Direction::East), 0);
-        assert!(r.idle_run(Direction::North) >= 4);
+        assert_eq!(p.idle[Direction::East.index()], 0);
+        assert!(p.idle[Direction::North.index()] >= 4);
     }
 
     #[test]
@@ -510,17 +723,18 @@ mod tests {
                 wake_latency: wake,
             }),
         );
+        let mut p = Ports::default();
         // Idle past the threshold: the port sleeps.
         for _ in 0..4 {
-            let _ = r.step(|_| Direction::East, |_| true);
+            let _ = r.step(|_| Direction::East, |_| true, p.lane());
         }
-        assert_eq!(r.sleep_state(Direction::East), SleepState::Asleep);
+        assert_eq!(p.fsm[Direction::East.index()].state(), SleepState::Asleep);
 
         // A flit arrives; it must wait out exactly `wake` cycles.
         r.accept(Direction::West, flit(1, true, true));
         let mut stalls = 0;
         loop {
-            let out = r.step(|_| Direction::East, |_| true);
+            let out = r.step(|_| Direction::East, |_| true, p.lane());
             if out.departures().count() == 1 {
                 break;
             }
@@ -528,21 +742,93 @@ mod tests {
             assert!(stalls < 10, "flit never departed");
         }
         assert_eq!(stalls, wake);
-        let k = r.gating_counters();
-        assert_eq!(k.wake_stall_cycles, wake as u64);
-        assert_eq!(k.cycles_waking, wake as u64);
+        assert_eq!(p.counters.wake_stall_cycles, wake as u64);
+        assert_eq!(p.counters.cycles_waking, wake as u64);
         // All five idle ports slept; only East had to wake.
-        assert_eq!(k.sleep_entries, 5);
+        assert_eq!(p.counters.sleep_entries, 5);
+    }
+
+    #[test]
+    fn step_fast_matches_step_cycle_for_cycle() {
+        // Same arrivals, same readiness pattern, one router stepped
+        // with `step`, its twin with `step_fast`: every departure,
+        // counter and idle run must match on every cycle.
+        for gating in [
+            None,
+            Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(2),
+                wake_latency: 2,
+            }),
+            Some(SleepConfig {
+                policy: GatingPolicy::Immediate,
+                wake_latency: 1,
+            }),
+        ] {
+            let mut slow = Router::with_gating(0, 4, gating);
+            let mut fast = Router::with_gating(0, 4, gating);
+            let mut sp = Ports::default();
+            let mut fp = Ports::default();
+            // Deterministic pseudo-random stream (xorshift).
+            let mut x = 0x9e3779b97f4a7c15u64;
+            let mut rnd = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let route = |f: &Flit| Direction::from_index(f.dst % 5);
+            let mut pkt = 0u64;
+            for cycle in 0..500u64 {
+                // Random arrivals on random input ports.
+                for _ in 0..(rnd() % 3) {
+                    let port = Direction::from_index((rnd() % 5) as usize);
+                    let dst = (rnd() % 5) as usize;
+                    let len = 1 + (rnd() % 3) as usize;
+                    // Whole wormhole packets (head…tail) so Owned port
+                    // state is exercised too.
+                    if slow.occupancy(port) + len <= 4 {
+                        pkt += 1;
+                        for k in 0..len {
+                            let f = Flit {
+                                packet_id: pkt,
+                                src: 0,
+                                dst,
+                                is_head: k == 0,
+                                is_tail: k + 1 == len,
+                                injected_at: cycle,
+                            };
+                            slow.accept(port, f);
+                            fast.accept(port, f);
+                        }
+                    }
+                }
+                // Random downstream readiness, identical for both.
+                let ready_mask = rnd() % 32;
+                let ready = |d: Direction| ready_mask & (1 << d.index()) != 0;
+                let a = slow.step(route, ready, sp.lane());
+                let mut fast_deps: Vec<Departure> = Vec::new();
+                let b = fast.step_fast(route, ready, fp.lane(), |d| fast_deps.push(d));
+                let slow_deps: Vec<Departure> = a.departures().collect();
+                assert_eq!(slow_deps, fast_deps, "cycle {cycle} {gating:?}");
+                assert_eq!(a.arbitrations, b.arbitrations, "cycle {cycle}");
+                assert_eq!(a.idle_ended, b.idle_ended, "cycle {cycle}");
+                assert_eq!(sp.idle, fp.idle, "cycle {cycle}");
+                assert_eq!(sp.fsm, fp.fsm, "cycle {cycle}");
+                assert_eq!(sp.counters, fp.counters, "cycle {cycle}");
+                assert_eq!(slow.total_occupancy(), fast.total_occupancy());
+            }
+        }
     }
 
     #[test]
     fn ungated_router_has_zero_counters() {
         let mut r = Router::new(0, 4);
+        let mut p = Ports::default();
         for _ in 0..10 {
-            let _ = r.step(|_| Direction::East, |_| true);
+            let _ = r.step(|_| Direction::East, |_| true, p.lane());
         }
-        assert_eq!(r.gating_counters(), GatingCounters::default());
-        assert_eq!(r.sleep_state(Direction::East), SleepState::Active);
+        assert_eq!(p.counters, GatingCounters::default());
+        assert_eq!(p.fsm[Direction::East.index()].state(), SleepState::Active);
     }
 
     #[test]
@@ -555,16 +841,16 @@ mod tests {
                 wake_latency: 1,
             }),
         );
+        let mut p = Ports::default();
         for _ in 0..5 {
-            let _ = r.step(|_| Direction::East, |_| true);
+            let _ = r.step(|_| Direction::East, |_| true, p.lane());
         }
         r.accept(Direction::West, flit(1, true, true));
-        let out = r.step(|_| Direction::East, |_| true);
+        let out = r.step(|_| Direction::East, |_| true, p.lane());
         assert_eq!(out.departures().count(), 1, "Never gating never stalls");
-        let k = r.gating_counters();
-        assert_eq!(k.sleep_entries, 0);
-        assert_eq!(k.cycles_busy, 1);
+        assert_eq!(p.counters.sleep_entries, 0);
+        assert_eq!(p.counters.cycles_busy, 1);
         // 5 idle cycles × 5 ports + 4 idle ports on the send cycle.
-        assert_eq!(k.cycles_idle_awake, 29);
+        assert_eq!(p.counters.cycles_idle_awake, 29);
     }
 }

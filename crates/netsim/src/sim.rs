@@ -1,5 +1,27 @@
 //! The cycle loop: injection, router stepping, link transfer, ejection.
 //!
+//! Two interchangeable kernels execute the loop (selected by
+//! [`MeshConfig::kernel`]):
+//!
+//! * [`SimKernel::Reference`] — the dense oracle: every router is
+//!   stepped every cycle and the input-occupancy snapshot is rebuilt
+//!   O(5·n) per cycle. Simple, obviously correct, slow.
+//! * [`SimKernel::ActiveSet`] — the production kernel: a worklist of
+//!   routers that can possibly do work this cycle (buffered flits, a
+//!   port held mid-packet, a waiting source packet, or a sleep FSM
+//!   still in motion). Quiescent routers are skipped entirely; their
+//!   idle cycles are accounted in O(1) bulk when they reactivate or
+//!   the window closes, and the occupancy snapshot is maintained
+//!   incrementally on accept/pop instead of rebuilt.
+//!
+//! The two kernels produce **bit-identical [`NetworkStats`]** for the
+//! same [`MeshConfig`]: all RNG draws (injection, bursty flips,
+//! destinations) happen per node per cycle in both kernels, and the
+//! active-set kernel only skips work that draws no randomness and whose
+//! effect is a closed-form function of the skipped cycle count. The
+//! kernel-equivalence property tests pin this across traffic patterns,
+//! injection processes, topologies, gating policies and visit order.
+//!
 //! Correctness notes:
 //!
 //! * Downstream readiness is evaluated against a snapshot of all input
@@ -9,21 +31,64 @@
 //!   order-independence test.
 //! * Ejection order is validated on the fly: every packet must arrive
 //!   at its destination head-first, contiguously, with exactly
-//!   `packet_len_flits` flits.
-//! * The per-cycle scratch (transfers, occupancy snapshot) is reused
-//!   across cycles and [`Router::step`] is allocation-free, so the
-//!   steady-state loop performs no heap allocation.
+//!   `packet_len_flits` flits. The check is always on in debug builds
+//!   and behind [`MeshConfig::validate_ejection`] in release, so sweep
+//!   binaries do not pay per-flit assertion cost.
+//! * The per-cycle scratch (transfers, occupancy snapshot, worklist) is
+//!   reused across cycles and [`Router::step`] is allocation-free, so
+//!   the steady-state loop performs no heap allocation.
 
-use crate::router::Router;
-use crate::sleep::SleepConfig;
+use crate::router::{PortLane, Router};
+use crate::sleep::{SleepConfig, SleepFsm};
 use crate::stats::NetworkStats;
-use crate::topology::{Direction, Mesh};
-use crate::traffic::{Flit, InjectionProcess, TrafficPattern};
-use lnoc_power::gating::GatingPolicy;
+use crate::topology::{Direction, Mesh, NeighborTable, RouteTable};
+use crate::traffic::{Flit, InjectionProcess, SourcePacket, TrafficPattern};
+use lnoc_power::gating::{GatingCounters, GatingPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Which cycle-loop kernel executes the simulation.
+///
+/// Both kernels produce bit-identical [`NetworkStats`] for the same
+/// seed; they differ only in speed. `Reference` is retained as the
+/// oracle the fast kernel is tested against (the same playbook as the
+/// circuit engine's `SolverKind::Reference`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimKernel {
+    /// Choose automatically. Currently always resolves to `ActiveSet` —
+    /// the kernels are result-identical, so there is no trade-off to
+    /// weigh.
+    #[default]
+    Auto,
+    /// Worklist kernel: only routers that can possibly do work are
+    /// stepped; quiescent routers are bulk-accounted in O(1) when they
+    /// reactivate.
+    ActiveSet,
+    /// Dense oracle: every router stepped every cycle, snapshot rebuilt
+    /// O(5·n) per cycle — the seed implementation kept verbatim.
+    Reference,
+}
+
+impl SimKernel {
+    /// Resolves `Auto` to the concrete kernel that will run.
+    pub fn resolve(self) -> SimKernel {
+        match self {
+            SimKernel::Auto => SimKernel::ActiveSet,
+            k => k,
+        }
+    }
+
+    /// Short name for reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimKernel::Auto => "auto",
+            SimKernel::ActiveSet => "active-set",
+            SimKernel::Reference => "reference",
+        }
+    }
+}
 
 /// Simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,6 +114,24 @@ pub struct MeshConfig {
     /// In-loop power gating of router output ports; `None` simulates
     /// ungated hardware (and skips all gating bookkeeping).
     pub gating: Option<SleepConfig>,
+    /// Cycle-loop kernel (see [`SimKernel`]).
+    pub kernel: SimKernel,
+    /// Run the per-flit in-order ejection validation in release builds
+    /// too. Debug builds (and therefore `cargo test`) always validate;
+    /// release sweeps default to skipping the assertion cost.
+    pub validate_ejection: bool,
+    /// Maximum packets a node's source queue holds (≥ 1). Offers made
+    /// while the queue is full are rejected and counted in
+    /// [`NetworkStats::packets_dropped_at_source`] — without the cap, a
+    /// saturated network grows source queues (and memory) without
+    /// bound.
+    pub source_queue_cap: usize,
+}
+
+impl MeshConfig {
+    /// Default [`MeshConfig::source_queue_cap`]: deep enough that drops
+    /// only happen under sustained saturation.
+    pub const DEFAULT_SOURCE_QUEUE_CAP: usize = 64;
 }
 
 impl Default for MeshConfig {
@@ -64,6 +147,9 @@ impl Default for MeshConfig {
             wrap: false,
             injection: InjectionProcess::Bernoulli,
             gating: None,
+            kernel: SimKernel::Auto,
+            validate_ejection: false,
+            source_queue_cap: MeshConfig::DEFAULT_SOURCE_QUEUE_CAP,
         }
     }
 }
@@ -75,14 +161,29 @@ struct EjectProgress {
     current: Option<(u64, usize)>,
 }
 
+/// One flit crossing a link (or ejecting) this cycle, recorded during
+/// router stepping and applied afterwards so a flit moves one hop per
+/// cycle. Carries the input port it was popped from so the active-set
+/// kernel can decrement its incremental occupancy snapshot.
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    from: u32,
+    input: Direction,
+    output: Direction,
+    flit: Flit,
+}
+
 /// A running mesh simulation.
 #[derive(Debug)]
 pub struct Simulation {
     cfg: MeshConfig,
+    /// The resolved kernel actually executing (`Auto` already mapped).
+    kernel: SimKernel,
     mesh: Mesh,
     routers: Vec<Router>,
-    /// Source queues: packets wait here until the local port accepts.
-    source_queues: Vec<VecDeque<Flit>>,
+    /// Source queues: packet descriptors wait here until the local port
+    /// accepts; flits are synthesized on acceptance.
+    source_queues: Vec<VecDeque<SourcePacket>>,
     /// Per-node ON/OFF state of the bursty injection process.
     source_on: Vec<bool>,
     rng: StdRng,
@@ -91,11 +192,33 @@ pub struct Simulation {
     cycle: u64,
     visit_reversed: bool,
     /// Reused per-cycle scratch: departures waiting to be applied.
-    transfers: Vec<(usize, Direction, Flit)>,
-    /// Reused per-cycle scratch: input occupancy snapshot, `router * 5
-    /// + port` — the cycle-start credit state.
+    transfers: Vec<Transfer>,
+    /// Input occupancy snapshot, `router * 5 + port` — the cycle-start
+    /// credit state. The reference kernel rebuilds it every cycle; the
+    /// active-set kernel maintains it incrementally on accept/pop.
     occupancy: Vec<u32>,
     eject: Vec<EjectProgress>,
+
+    // ---- SoA per-port state (indexed `router * 5 + port`) ----
+    /// Consecutive idle cycles per output port.
+    idle_run: Vec<u64>,
+    /// Sleep FSM per output port.
+    fsm: Vec<SleepFsm>,
+    /// Gating counters per router (all five ports summed).
+    counters: Vec<GatingCounters>,
+
+    // ---- Active-set kernel state ----
+    neighbors: NeighborTable,
+    routes: Option<RouteTable>,
+    /// The worklist as a bitset (bit `rid` set ⇔ router `rid` steps
+    /// this cycle). A bitset instead of a list keeps the traversal in
+    /// router-index order — cache-linear over the router array and the
+    /// SoA lanes — and makes membership tests one AND.
+    active_bits: Vec<u64>,
+    /// Last cycle a (now quiescent) router was stepped or accounted
+    /// through; the gap to the current cycle is its pending bulk-idle
+    /// accounting.
+    last_stepped: Vec<u64>,
 }
 
 impl Simulation {
@@ -104,9 +227,10 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics on a degenerate configuration (empty mesh, zero-length
-    /// packets, zero buffers, an [`GatingPolicy::Oracle`] in-loop
-    /// policy — the oracle needs future knowledge and only exists
-    /// offline — or a bursty process with zero mean dwell times).
+    /// packets, zero buffers, a zero source-queue cap, an
+    /// [`GatingPolicy::Oracle`] in-loop policy — the oracle needs
+    /// future knowledge and only exists offline — or a bursty process
+    /// with zero mean dwell times).
     pub fn new(cfg: MeshConfig) -> Self {
         assert!(
             cfg.width >= 2 && cfg.height >= 2,
@@ -114,6 +238,10 @@ impl Simulation {
         );
         assert!(cfg.packet_len_flits >= 1, "packets need at least one flit");
         assert!(cfg.buffer_depth >= 1, "buffers need at least one slot");
+        assert!(
+            cfg.source_queue_cap >= 1,
+            "source queues need room for at least one packet"
+        );
         assert!(
             (0.0..=1.0).contains(&cfg.injection_rate),
             "injection rate is a probability"
@@ -146,23 +274,41 @@ impl Simulation {
             height: cfg.height,
             wrap: cfg.wrap,
         };
-        Simulation {
+        let n = mesh.len();
+        let kernel = cfg.kernel.resolve();
+        let sim = Simulation {
             mesh,
-            routers: (0..mesh.len())
+            kernel,
+            routers: (0..n)
                 .map(|id| Router::with_gating(id, cfg.buffer_depth, cfg.gating))
                 .collect(),
-            source_queues: vec![VecDeque::new(); mesh.len()],
-            source_on: vec![true; mesh.len()],
+            source_queues: vec![VecDeque::new(); n],
+            source_on: vec![true; n],
             rng: StdRng::seed_from_u64(cfg.seed),
             next_packet_id: 0,
             flits_injected: 0,
             cycle: 0,
             visit_reversed: false,
             transfers: Vec::new(),
-            occupancy: vec![0; mesh.len() * 5],
-            eject: vec![EjectProgress::default(); mesh.len()],
+            occupancy: vec![0; n * 5],
+            eject: vec![EjectProgress::default(); n],
+            idle_run: vec![0; n * 5],
+            fsm: vec![SleepFsm::default(); n * 5],
+            counters: vec![GatingCounters::default(); n],
+            neighbors: NeighborTable::new(&mesh),
+            routes: (kernel == SimKernel::ActiveSet)
+                .then(|| RouteTable::build(&mesh))
+                .flatten(),
+            active_bits: vec![0; n.div_ceil(64)],
+            last_stepped: vec![0; n],
             cfg,
-        }
+        };
+        // Every router starts empty, hence quiescent: the worklist
+        // begins empty and fills from injection. Even gated networks
+        // need no initial members — an idle port's walk to sleep is
+        // replayed in closed form when the router first activates.
+        debug_assert!(sim.active_bits.iter().all(|&w| w == 0));
+        sim
     }
 
     /// The mesh being simulated.
@@ -170,10 +316,32 @@ impl Simulation {
         &self.mesh
     }
 
-    /// Visits routers in reverse index order within each cycle. With
-    /// the cycle-start occupancy snapshot the visit order must not
-    /// change any observable result — this knob exists so tests can
-    /// prove it.
+    /// The kernel actually executing (`Auto` already resolved).
+    pub fn kernel(&self) -> SimKernel {
+        self.kernel
+    }
+
+    /// Routers in the current worklist — the ones the next cycle will
+    /// step. The reference kernel steps everything, always.
+    pub fn active_router_count(&self) -> usize {
+        match self.kernel {
+            SimKernel::ActiveSet => self
+                .active_bits
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum(),
+            _ => self.mesh.len(),
+        }
+    }
+
+    /// Whether router `rid`'s worklist bit is set.
+    fn is_active(&self, rid: usize) -> bool {
+        self.active_bits[rid / 64] & (1u64 << (rid % 64)) != 0
+    }
+
+    /// Visits routers in reverse order within each cycle. With the
+    /// cycle-start occupancy snapshot the visit order must not change
+    /// any observable result — this knob exists so tests can prove it.
     pub fn set_visit_reversed(&mut self, reversed: bool) {
         self.visit_reversed = reversed;
     }
@@ -182,9 +350,15 @@ impl Simulation {
     /// with the injected/delivered counters this gives exact flit
     /// conservation when measuring from cycle 0.
     pub fn in_flight_flits(&self) -> u64 {
-        let queued: usize = self.source_queues.iter().map(VecDeque::len).sum();
+        let len = self.cfg.packet_len_flits;
+        let queued: u64 = self
+            .source_queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|p| p.remaining_flits(len))
+            .sum();
         let buffered: usize = self.routers.iter().map(Router::total_occupancy).sum();
-        (queued + buffered) as u64
+        queued + buffered as u64
     }
 
     /// Flits injected since construction (all cycles, not just the
@@ -200,26 +374,36 @@ impl Simulation {
     /// are reset, so the idle histograms and the in-loop gating
     /// counters describe exactly the same intervals.
     pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
-        let mut stats = NetworkStats::new(self.mesh.len(), 4096);
+        let mut stats = NetworkStats::new(self.mesh.len(), NetworkStats::DEFAULT_IDLE_BINS);
         for _ in 0..warmup {
             self.step(None);
         }
         // Reset idle runs and gating state so warmup does not pollute
-        // the measurement.
-        for r in &mut self.routers {
-            let _ = r.drain_idle_runs();
-            r.reset_gating();
+        // the measurement. Quiescent routers only need their skip
+        // markers moved to the boundary — materializing their pending
+        // idle cycles would be discarded by the resets below anyway.
+        self.last_stepped.fill(self.cycle);
+        self.idle_run.fill(0);
+        for fsm in &mut self.fsm {
+            fsm.reset();
         }
+        self.counters.fill(GatingCounters::default());
+        // The reset re-arms threshold sleeping (`slept_this_interval`
+        // clears); quiescent routers need no reactivation — their walk
+        // back to sleep is replayed in closed form when they next
+        // flush or reactivate ([`SleepFsm::settle_idle_bulk`]).
         for _ in 0..measure {
             self.step(Some(&mut stats));
         }
         stats.measured_cycles = measure;
+        self.flush_quiescent(Some(&mut stats));
         // Close out open idle runs and collect gating counters.
-        for (rid, r) in self.routers.iter_mut().enumerate() {
-            for (p, run) in r.drain_idle_runs().into_iter().enumerate() {
+        for rid in 0..self.mesh.len() {
+            for p in 0..5 {
+                let run = std::mem::take(&mut self.idle_run[rid * 5 + p]);
                 stats.idle_histograms[rid][p].record_open(run);
             }
-            stats.gating[rid] = r.gating_counters();
+            stats.gating[rid] = self.counters[rid];
         }
         stats
     }
@@ -227,9 +411,28 @@ impl Simulation {
     /// Advances one cycle.
     fn step(&mut self, mut stats: Option<&mut NetworkStats>) {
         self.cycle += 1;
-        let n = self.mesh.len();
+        // 1. Injection: generate new packets into source queues and
+        // move waiting flits into local input buffers. Identical in
+        // both kernels — every RNG draw happens per node per cycle.
+        self.inject(&mut stats);
+        // 2+3. Snapshot the credit state and run the router cycles,
+        // collecting departures (reads) before applying them (writes)
+        // so a flit moves one hop per cycle.
+        match self.kernel {
+            SimKernel::Reference => self.route_cycle_reference(&mut stats),
+            _ => self.route_cycle_active(&mut stats),
+        }
+        // 4. Apply transfers.
+        self.apply_transfers(&mut stats);
+        #[cfg(debug_assertions)]
+        self.assert_occupancy_in_sync();
+    }
 
-        // 1. Injection: generate new packets into source queues.
+    /// Phase 1: packet generation and source-queue drain.
+    fn inject(&mut self, stats: &mut Option<&mut NetworkStats>) {
+        let n = self.mesh.len();
+        let len = self.cfg.packet_len_flits;
+        let active_kernel = self.kernel == SimKernel::ActiveSet;
         let on_rate = self.cfg.injection.on_rate(self.cfg.injection_rate);
         for src in 0..n {
             if let InjectionProcess::BurstyOnOff {
@@ -249,51 +452,66 @@ impl Simulation {
             let rate = if self.source_on[src] { on_rate } else { 0.0 };
             if rate > 0.0 && self.rng.gen_bool(rate) {
                 if let Some(dst) = self.cfg.pattern.destination(src, &self.mesh, &mut self.rng) {
-                    let id = self.next_packet_id;
-                    self.next_packet_id += 1;
-                    let len = self.cfg.packet_len_flits;
-                    for k in 0..len {
-                        self.source_queues[src].push_back(Flit {
+                    if self.source_queues[src].len() >= self.cfg.source_queue_cap {
+                        // Queue at cap: reject the offer. The packet
+                        // never existed, so conservation stays exact.
+                        if let Some(s) = stats.as_deref_mut() {
+                            s.packets_dropped_at_source += 1;
+                        }
+                    } else {
+                        let id = self.next_packet_id;
+                        self.next_packet_id += 1;
+                        self.source_queues[src].push_back(SourcePacket {
                             packet_id: id,
-                            src,
                             dst,
-                            is_head: k == 0,
-                            is_tail: k + 1 == len,
                             injected_at: self.cycle,
+                            sent: 0,
                         });
-                    }
-                    self.flits_injected += len as u64;
-                    if let Some(s) = stats.as_deref_mut() {
-                        s.packets_injected += 1;
+                        self.flits_injected += len as u64;
+                        if let Some(s) = stats.as_deref_mut() {
+                            s.packets_injected += 1;
+                        }
+                        if active_kernel {
+                            // The router must be stepped *this* cycle
+                            // (skipped cycles end at cycle − 1).
+                            self.activate(src, self.cycle - 1, stats.as_deref_mut());
+                        }
                     }
                 }
             }
-            // Move waiting flits into the local input buffer.
-            while !self.source_queues[src].is_empty()
-                && self.routers[src].can_accept(Direction::Local)
-            {
-                let flit = self.source_queues[src]
-                    .pop_front()
-                    .expect("non-empty checked");
+            // Move waiting flits into the local input buffer (queue
+            // checked first so idle nodes never touch router memory).
+            while let Some(pkt) = self.source_queues[src].front_mut() {
+                if !self.routers[src].can_accept(Direction::Local) {
+                    break;
+                }
+                let flit = pkt
+                    .next_flit(src, len)
+                    .expect("queued descriptors have flits left");
+                let done = pkt.remaining_flits(len) == 0;
+                if done {
+                    self.source_queues[src].pop_front();
+                }
                 self.routers[src].accept(Direction::Local, flit);
+                if active_kernel {
+                    self.occupancy[src * 5 + Direction::Local.index()] += 1;
+                }
                 if let Some(s) = stats.as_deref_mut() {
                     s.router_activity[src].buffer_writes += 1;
                 }
             }
         }
+    }
 
-        // 2. Snapshot the credit state: input occupancies at cycle
-        // start. All downstream-readiness checks this cycle read the
-        // snapshot, never live buffers, so the result cannot depend on
-        // which routers already stepped.
+    /// Phases 2+3, reference kernel: rebuild the snapshot, step every
+    /// router — the seed cycle loop, kept verbatim as the oracle.
+    fn route_cycle_reference(&mut self, stats: &mut Option<&mut NetworkStats>) {
+        let n = self.mesh.len();
         for (rid, r) in self.routers.iter().enumerate() {
             for d in Direction::ALL {
                 self.occupancy[rid * 5 + d.index()] = r.occupancy(d) as u32;
             }
         }
-
-        // 3. Router cycles. Collect departures first (reads), then
-        // apply them (writes) so a flit moves one hop per cycle.
         let mesh = self.mesh;
         let depth = self.cfg.buffer_depth as u32;
         self.transfers.clear();
@@ -310,7 +528,13 @@ impl Simulation {
                 };
             }
             let route = |flit: &Flit| mesh.route_xy(rid, flit.dst);
-            let outcome = self.routers[rid].step(route, |d| ready[d.index()]);
+            let base = rid * 5;
+            let lane = PortLane {
+                idle_run: (&mut self.idle_run[base..base + 5]).try_into().expect("5"),
+                fsm: (&mut self.fsm[base..base + 5]).try_into().expect("5"),
+                counters: &mut self.counters[rid],
+            };
+            let outcome = self.routers[rid].step(route, |d| ready[d.index()], lane);
 
             if let Some(s) = stats.as_deref_mut() {
                 s.router_activity[rid].cycles += 1;
@@ -328,35 +552,257 @@ impl Simulation {
                         s.router_activity[rid].link_traversals += 1;
                     }
                 }
-                self.transfers.push((rid, dep.output, dep.flit));
+                self.transfers.push(Transfer {
+                    from: rid as u32,
+                    input: dep.input,
+                    output: dep.output,
+                    flit: dep.flit,
+                });
             }
         }
+    }
 
-        // 4. Apply transfers.
+    /// Phases 2+3, active-set kernel: the snapshot is already current
+    /// (maintained incrementally), so only the worklist is stepped —
+    /// in router-index order straight off the bitset, with lazy
+    /// downstream-readiness and table-driven routing
+    /// ([`Router::step_fast`]).
+    fn route_cycle_active(&mut self, stats: &mut Option<&mut NetworkStats>) {
+        let depth = self.cfg.buffer_depth as u32;
+        let visit_reversed = self.visit_reversed;
+        let cycle = self.cycle;
+        let mesh = self.mesh;
+        // Split borrows once: the per-router loop needs disjoint
+        // mutable access to routers / SoA lanes / transfers while the
+        // readiness closure reads the occupancy snapshot.
+        let Simulation {
+            routers,
+            source_queues,
+            transfers,
+            occupancy,
+            idle_run,
+            fsm,
+            counters,
+            neighbors,
+            routes,
+            active_bits,
+            last_stepped,
+            ..
+        } = self;
+        let routes = routes.as_ref();
+        transfers.clear();
+
+        let words = active_bits.len();
+        for wi in 0..words {
+            let w = if visit_reversed { words - 1 - wi } else { wi };
+            let mut bits = active_bits[w];
+            while bits != 0 {
+                let b = if visit_reversed {
+                    63 - bits.leading_zeros() as usize
+                } else {
+                    bits.trailing_zeros() as usize
+                };
+                bits &= !(1u64 << b);
+                let rid = w * 64 + b;
+
+                let route = |flit: &Flit| match routes {
+                    Some(t) => t.route(rid, flit.dst),
+                    None => mesh.route_xy(rid, flit.dst),
+                };
+                // Lazy readiness: only evaluated for outputs a flit
+                // actually wants (ejection always sinks).
+                let ready = |d: Direction| match d {
+                    Direction::Local => true,
+                    d => match neighbors.get(rid, d) {
+                        Some(next) => occupancy[next * 5 + d.opposite().index()] < depth,
+                        None => false,
+                    },
+                };
+                let base = rid * 5;
+                let lane = PortLane {
+                    idle_run: (&mut idle_run[base..base + 5]).try_into().expect("5"),
+                    fsm: (&mut fsm[base..base + 5]).try_into().expect("5"),
+                    counters: &mut counters[rid],
+                };
+                let mut departed = 0u64;
+                let mut link_departed = 0u64;
+                let outcome = routers[rid].step_fast(route, ready, lane, |dep| {
+                    departed += 1;
+                    if dep.output != Direction::Local {
+                        link_departed += 1;
+                    }
+                    transfers.push(Transfer {
+                        from: rid as u32,
+                        input: dep.input,
+                        output: dep.output,
+                        flit: dep.flit,
+                    });
+                });
+
+                if let Some(s) = stats.as_deref_mut() {
+                    let a = &mut s.router_activity[rid];
+                    a.cycles += 1;
+                    a.arbitrations += outcome.arbitrations;
+                    a.crossbar_traversals += departed;
+                    a.buffer_reads += departed;
+                    a.link_traversals += link_departed;
+                    for (p, run) in outcome.idle_ended.into_iter().enumerate() {
+                        // Guarded: most stepped ports end no idle run,
+                        // and even `record(0)`'s early return costs a
+                        // call per port per cycle on the hot path.
+                        if run > 0 {
+                            s.idle_histograms[rid][p].record(run);
+                        }
+                    }
+                }
+
+                // Retire the router if it just went quiescent (nothing
+                // this cycle's remaining steps can change that — only
+                // phase-4 arrivals can, and they re-activate it). An
+                // empty router's sleep FSMs are always bulk-replayable
+                // — even mid-threshold-walk — so buffers, owners and
+                // the source queue are the whole predicate.
+                if routers[rid].is_quiet() && source_queues[rid].is_empty() {
+                    active_bits[w] &= !(1u64 << b);
+                    last_stepped[rid] = cycle;
+                }
+            }
+        }
+    }
+
+    /// Phase 4: apply the collected transfers (ejections and link
+    /// crossings), maintaining the incremental snapshot and activating
+    /// receivers in active-set mode.
+    fn apply_transfers(&mut self, stats: &mut Option<&mut NetworkStats>) {
+        let active_kernel = self.kernel == SimKernel::ActiveSet;
         for ti in 0..self.transfers.len() {
-            let (rid, out, flit) = self.transfers[ti];
-            match out {
+            let t = self.transfers[ti];
+            let from = t.from as usize;
+            if active_kernel {
+                self.occupancy[from * 5 + t.input.index()] -= 1;
+            }
+            match t.output {
                 Direction::Local => {
-                    self.validate_ejection(rid, &flit);
+                    if cfg!(debug_assertions) || self.cfg.validate_ejection {
+                        self.validate_ejection(from, &t.flit);
+                    }
                     if let Some(s) = stats.as_deref_mut() {
                         s.flits_delivered += 1;
-                        if flit.is_tail {
+                        if t.flit.is_tail {
                             s.packets_delivered += 1;
-                            let latency = self.cycle - flit.injected_at;
+                            let latency = self.cycle - t.flit.injected_at;
                             s.latency_sum += latency;
                             s.latency_max = s.latency_max.max(latency);
                         }
                     }
                 }
                 d => {
-                    let next = mesh
-                        .neighbor(rid, d)
-                        .expect("departures only target existing neighbours");
-                    self.routers[next].accept(d.opposite(), flit);
+                    let next = if active_kernel {
+                        self.neighbors.get(from, d)
+                    } else {
+                        self.mesh.neighbor(from, d)
+                    }
+                    .expect("departures only target existing neighbours");
+                    self.routers[next].accept(d.opposite(), t.flit);
+                    if active_kernel {
+                        self.occupancy[next * 5 + d.opposite().index()] += 1;
+                        // The receiver was already accounted idle for
+                        // this whole cycle; it steps from the next one.
+                        self.activate(next, self.cycle, stats.as_deref_mut());
+                    }
                     if let Some(s) = stats.as_deref_mut() {
                         s.router_activity[next].buffer_writes += 1;
                     }
                 }
+            }
+        }
+    }
+
+    /// Puts a quiescent router back in the worklist, first settling the
+    /// cycles it skipped (`through` is the last cycle it should be
+    /// accounted as idle; phase-1 activations pass `cycle − 1` because
+    /// the router still steps this cycle, phase-4 activations pass
+    /// `cycle` because it only steps from the next one).
+    fn activate(&mut self, rid: usize, through: u64, stats: Option<&mut NetworkStats>) {
+        if self.is_active(rid) {
+            return;
+        }
+        let skipped = through - self.last_stepped[rid];
+        self.account_skipped(rid, skipped, stats);
+        self.last_stepped[rid] = through;
+        self.active_bits[rid / 64] |= 1u64 << (rid % 64);
+    }
+
+    /// Bulk-settles `skipped` consecutive idle cycles for a quiescent
+    /// router in O(1): exactly what the dense loop would have done —
+    /// idle runs grow, awake ports arbitrate, and sleep FSMs replay
+    /// their (closed-form) future, including a threshold walk that
+    /// asserts sleep partway through the gap — without touching the
+    /// router.
+    fn account_skipped(&mut self, rid: usize, skipped: u64, stats: Option<&mut NetworkStats>) {
+        if skipped == 0 {
+            return;
+        }
+        let base = rid * 5;
+        let arbitrations = match &self.cfg.gating {
+            // Ungated: all five free ports arbitrate every cycle.
+            None => {
+                for run in &mut self.idle_run[base..base + 5] {
+                    *run += skipped;
+                }
+                5 * skipped
+            }
+            Some(cfg) => {
+                let th = cfg.threshold();
+                let counters = &mut self.counters[rid];
+                let mut arbitrations = 0;
+                for (run, fsm) in self.idle_run[base..base + 5]
+                    .iter_mut()
+                    .zip(&mut self.fsm[base..base + 5])
+                {
+                    let before = *run;
+                    *run += skipped;
+                    arbitrations += fsm.settle_idle_bulk(skipped, before, th, counters);
+                }
+                arbitrations
+            }
+        };
+        if let Some(s) = stats {
+            s.router_activity[rid].cycles += skipped;
+            s.router_activity[rid].arbitrations += arbitrations;
+        }
+    }
+
+    /// Settles all quiescent routers up to the current cycle (window
+    /// boundaries and end-of-run).
+    fn flush_quiescent(&mut self, mut stats: Option<&mut NetworkStats>) {
+        if self.kernel != SimKernel::ActiveSet {
+            return;
+        }
+        let cycle = self.cycle;
+        for rid in 0..self.mesh.len() {
+            if !self.is_active(rid) {
+                let skipped = cycle - self.last_stepped[rid];
+                self.account_skipped(rid, skipped, stats.as_deref_mut());
+                self.last_stepped[rid] = cycle;
+            }
+        }
+    }
+
+    /// Debug-build invariant: the incrementally maintained snapshot
+    /// must always equal the live buffer occupancies at cycle end.
+    #[cfg(debug_assertions)]
+    fn assert_occupancy_in_sync(&self) {
+        if self.kernel != SimKernel::ActiveSet {
+            return;
+        }
+        for (rid, r) in self.routers.iter().enumerate() {
+            for d in Direction::ALL {
+                debug_assert_eq!(
+                    self.occupancy[rid * 5 + d.index()],
+                    r.occupancy(d) as u32,
+                    "incremental occupancy out of sync at router {rid} port {d}"
+                );
             }
         }
     }
@@ -482,40 +928,43 @@ mod tests {
     #[test]
     fn router_visit_order_is_irrelevant() {
         // With the cycle-start occupancy snapshot, stepping routers in
-        // reverse (or any) order must produce bit-identical statistics.
-        // Before the snapshot fix, downstream readiness read live
-        // buffers that earlier routers had already popped, so behaviour
-        // depended on iteration order.
-        for cfg in [
-            base_cfg(),
-            MeshConfig {
-                injection_rate: 0.12,
-                pattern: TrafficPattern::Transpose,
-                seed: 3,
-                ..base_cfg()
-            },
-            MeshConfig {
-                wrap: true,
-                pattern: TrafficPattern::Tornado,
-                injection_rate: 0.03,
-                ..base_cfg()
-            },
-            MeshConfig {
-                gating: Some(SleepConfig {
-                    policy: GatingPolicy::IdleThreshold(3),
-                    wake_latency: 2,
-                }),
-                injection_rate: 0.06,
-                seed: 7,
-                ..base_cfg()
-            },
-        ] {
-            let mut fwd = Simulation::new(cfg.clone());
-            let mut rev = Simulation::new(cfg);
-            rev.set_visit_reversed(true);
-            let s_fwd = fwd.run(100, 1500);
-            let s_rev = rev.run(100, 1500);
-            assert_eq!(s_fwd, s_rev);
+        // reverse (or any) order must produce bit-identical statistics
+        // — in both kernels. Before the snapshot fix, downstream
+        // readiness read live buffers that earlier routers had already
+        // popped, so behaviour depended on iteration order.
+        for kernel in [SimKernel::ActiveSet, SimKernel::Reference] {
+            for cfg in [
+                base_cfg(),
+                MeshConfig {
+                    injection_rate: 0.12,
+                    pattern: TrafficPattern::Transpose,
+                    seed: 3,
+                    ..base_cfg()
+                },
+                MeshConfig {
+                    wrap: true,
+                    pattern: TrafficPattern::Tornado,
+                    injection_rate: 0.03,
+                    ..base_cfg()
+                },
+                MeshConfig {
+                    gating: Some(SleepConfig {
+                        policy: GatingPolicy::IdleThreshold(3),
+                        wake_latency: 2,
+                    }),
+                    injection_rate: 0.06,
+                    seed: 7,
+                    ..base_cfg()
+                },
+            ] {
+                let cfg = MeshConfig { kernel, ..cfg };
+                let mut fwd = Simulation::new(cfg.clone());
+                let mut rev = Simulation::new(cfg);
+                rev.set_visit_reversed(true);
+                let s_fwd = fwd.run(100, 1500);
+                let s_rev = rev.run(100, 1500);
+                assert_eq!(s_fwd, s_rev);
+            }
         }
     }
 
@@ -526,7 +975,7 @@ mod tests {
             ..base_cfg()
         });
         let stats = sim.run(200, 2000);
-        let merged = stats.merged_idle_histogram(4096);
+        let merged = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
         assert!(merged.interval_count() > 0);
         // Under 2 % load, most output-cycles are idle.
         let idle_frac = merged.total_idle_cycles() as f64 / (2000.0 * 16.0 * 5.0);
@@ -565,6 +1014,15 @@ mod tests {
                 policy: GatingPolicy::Oracle,
                 wake_latency: 1,
             }),
+            ..base_cfg()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "source queues")]
+    fn zero_source_queue_cap_rejected() {
+        let _ = Simulation::new(MeshConfig {
+            source_queue_cap: 0,
             ..base_cfg()
         });
     }
@@ -637,6 +1095,35 @@ mod tests {
     }
 
     #[test]
+    fn capped_source_queue_drops_and_stays_exact() {
+        // A tiny cap under a saturating hotspot load must reject offers
+        // without breaking flit conservation.
+        let mut sim = Simulation::new(MeshConfig {
+            injection_rate: 0.5,
+            pattern: TrafficPattern::Hotspot,
+            source_queue_cap: 2,
+            seed: 3,
+            ..base_cfg()
+        });
+        let stats = sim.run(0, 2000);
+        assert!(
+            stats.packets_dropped_at_source > 0,
+            "saturating load must hit the cap"
+        );
+        assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits()
+        );
+        assert_eq!(
+            stats.packets_injected * 4,
+            sim.flits_injected_total(),
+            "dropped packets contribute no flits"
+        );
+        // The source queues themselves respect the cap.
+        assert!(sim.source_queues.iter().all(|q| q.len() <= 2));
+    }
+
+    #[test]
     fn gating_stalls_traffic_and_matches_offline_energy() {
         let params = GatingParams {
             p_idle_awake: Watts(10.0e-6),
@@ -677,7 +1164,12 @@ mod tests {
         // In-loop energy agrees with the offline model evaluated on the
         // same run's histograms.
         let in_loop = energy_from_counters(&counters, &params, clock);
-        let offline = evaluate_policy(&g.merged_idle_histogram(4096), &params, policy, clock);
+        let offline = evaluate_policy(
+            &g.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS),
+            &params,
+            policy,
+            clock,
+        );
         let rel =
             (in_loop.energy_policy.0 - offline.energy_policy.0).abs() / offline.energy_policy.0;
         assert!(rel < 0.05, "in-loop vs offline disagreement {rel:.4}");

@@ -211,6 +211,87 @@ impl SleepFsm {
     pub fn reset(&mut self) {
         *self = SleepFsm::default();
     }
+
+    /// Whether this controller's future under continued idleness is a
+    /// closed-form function of the skipped cycle count — the
+    /// active-set kernel's per-port precondition for bulk settling.
+    ///
+    /// Every state except `Waking` qualifies:
+    ///
+    /// * `Asleep` bills standby forever;
+    /// * `Active`/`DrowsyCountdown` either stays awake forever (no
+    ///   threshold, or the interval already slept once) or sleeps on
+    ///   the *predictable* cycle its idle run reaches the threshold;
+    /// * `Waking` advances per cycle, but a waking port always has a
+    ///   buffered flit waiting on it, so it can never belong to an
+    ///   empty (quiescent) router in the first place.
+    pub fn idle_predictable(&self) -> bool {
+        !matches!(self.state, SleepState::Waking { .. })
+    }
+
+    /// Settles `k` consecutive idle cycles in O(1) — the bulk
+    /// equivalent of `k` calls to [`SleepFsm::settle`] with
+    /// `sent = false`. `idle_run_before` is the port's idle-run
+    /// counter *before* those `k` cycles, so a threshold walk still
+    /// asserts sleep on exactly the cycle the run reaches the
+    /// threshold, bills the transition once, and spends the remainder
+    /// in standby — bit-identical to the dense replay. Returns how
+    /// many of the `k` cycles the port spent awake, each of which
+    /// performs one switch arbitration in the dense loop (so callers
+    /// can bulk-account that too).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) on a `Waking` port — see
+    /// [`SleepFsm::idle_predictable`].
+    pub fn settle_idle_bulk(
+        &mut self,
+        k: u64,
+        idle_run_before: u64,
+        threshold: Option<u32>,
+        counters: &mut GatingCounters,
+    ) -> u64 {
+        debug_assert!(self.idle_predictable(), "bulk settle on a waking port");
+        match self.state {
+            SleepState::Asleep => {
+                counters.cycles_asleep += k;
+                0
+            }
+            SleepState::Active | SleepState::DrowsyCountdown => {
+                let walk = match threshold {
+                    // Sleeping can still fire: it does so on the cycle
+                    // the idle run reaches the threshold (at least one
+                    // cycle out — the run had not reached it yet).
+                    Some(th) if !self.slept_this_interval => {
+                        Some((th as u64).saturating_sub(idle_run_before).max(1))
+                    }
+                    _ => None,
+                };
+                match walk {
+                    Some(until_sleep) if k >= until_sleep => {
+                        counters.cycles_idle_awake += until_sleep;
+                        counters.cycles_asleep += k - until_sleep;
+                        counters.sleep_entries += 1;
+                        self.state = SleepState::Asleep;
+                        self.slept_this_interval = true;
+                        until_sleep
+                    }
+                    _ => {
+                        counters.cycles_idle_awake += k;
+                        // The per-cycle settle moves an idle Active
+                        // port into DrowsyCountdown when a threshold
+                        // policy is armed; mirror that so the state
+                        // after the bulk matches the dense loop.
+                        if threshold.is_some() {
+                            self.state = SleepState::DrowsyCountdown;
+                        }
+                        k
+                    }
+                }
+            }
+            SleepState::Waking { .. } => unreachable!("waking ports are never quiescent"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +400,101 @@ mod tests {
         f.gate(true, c.wake_latency);
         f.settle(true, false, false, 1, &c, &mut k);
         assert_eq!(k.sleep_entries, refunded + 1);
+    }
+
+    #[test]
+    fn bulk_idle_settle_matches_repeated_settles() {
+        // Drive controllers into every idle-predictable configuration
+        // — including mid-walk states where the threshold will still
+        // fire — then check that settling k idle cycles in bulk
+        // produces the same state and counters as k per-cycle
+        // gate+settle rounds.
+        let asleep = |c: &SleepConfig| {
+            let mut f = SleepFsm::default();
+            let mut k = GatingCounters::default();
+            let mut run = 0;
+            while f.state() != SleepState::Asleep {
+                run += 1;
+                f.gate(false, c.wake_latency);
+                f.settle(false, false, false, run, c, &mut k);
+            }
+            (f, run)
+        };
+        let drowsy_after_sleep = |c: &SleepConfig| {
+            // Sleep, wake on a flit that stays blocked, then go idle
+            // again: slept_this_interval suppresses re-entry.
+            let (mut f, mut run) = asleep(c);
+            f.gate(true, c.wake_latency);
+            f.settle(false, true, false, run + 1, c, &mut k_scratch());
+            f.gate(false, c.wake_latency);
+            run += 2;
+            f.settle(false, false, false, run, c, &mut k_scratch());
+            assert_eq!(f.state(), SleepState::DrowsyCountdown);
+            (f, run)
+        };
+        let mid_walk = |c: &SleepConfig, idles: u64| {
+            // A fresh interval partway toward the sleep threshold.
+            let mut f = SleepFsm::default();
+            let mut k = GatingCounters::default();
+            for run in 1..=idles {
+                f.gate(false, c.wake_latency);
+                f.settle(false, false, false, run, c, &mut k);
+            }
+            assert_ne!(f.state(), SleepState::Asleep);
+            (f, idles)
+        };
+        fn k_scratch() -> GatingCounters {
+            GatingCounters::default()
+        }
+
+        let never = cfg(GatingPolicy::Never, 1);
+        let th2 = cfg(GatingPolicy::IdleThreshold(2), 1);
+        let th9 = cfg(GatingPolicy::IdleThreshold(9), 1);
+        let imm = cfg(GatingPolicy::Immediate, 1);
+        let cases: Vec<(SleepFsm, SleepConfig, u64)> = vec![
+            (SleepFsm::default(), never, 0),
+            (SleepFsm::default(), th2, 0), // walks to sleep inside the bulk
+            (SleepFsm::default(), th9, 0), // sleeps mid-bulk for larger k
+            (SleepFsm::default(), imm, 0), // immediate: sleeps on cycle 1
+            (mid_walk(&th9, 4).0, th9, 4), // partially walked already
+            (mid_walk(&th9, 8).0, th9, 8), // sleeps on the very next cycle
+            (asleep(&th2).0, th2, asleep(&th2).1),
+            (drowsy_after_sleep(&th2).0, th2, drowsy_after_sleep(&th2).1),
+        ];
+        for (fsm, c, run0) in cases {
+            for k in [1u64, 5, 17, 100] {
+                assert!(fsm.idle_predictable());
+                let mut dense = fsm;
+                let mut dense_k = GatingCounters::default();
+                let mut bulk = fsm;
+                let mut bulk_k = GatingCounters::default();
+                let mut arbs = 0;
+                for i in 1..=k {
+                    if dense.gate(false, c.wake_latency) {
+                        arbs += 1;
+                    }
+                    dense.settle(false, false, false, run0 + i, &c, &mut dense_k);
+                }
+                let bulk_arbs = bulk.settle_idle_bulk(k, run0, c.threshold(), &mut bulk_k);
+                assert_eq!(dense, bulk, "state diverged for {c:?} k={k}");
+                assert_eq!(dense_k, bulk_k, "counters diverged for {c:?} k={k}");
+                assert_eq!(arbs, bulk_arbs, "awake cycles diverged for {c:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn waking_is_never_idle_predictable() {
+        let c = cfg(GatingPolicy::IdleThreshold(1), 3);
+        let mut f = SleepFsm::default();
+        let mut k = GatingCounters::default();
+        f.gate(false, c.wake_latency);
+        f.settle(false, false, false, 1, &c, &mut k);
+        assert_eq!(f.state(), SleepState::Asleep);
+        assert!(f.idle_predictable());
+        f.gate(true, c.wake_latency);
+        assert!(matches!(f.state(), SleepState::Waking { .. }));
+        assert!(!f.idle_predictable());
     }
 
     #[test]

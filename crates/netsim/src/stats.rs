@@ -12,6 +12,11 @@ pub struct NetworkStats {
     pub measured_cycles: u64,
     /// Packets injected during measurement.
     pub packets_injected: u64,
+    /// Packets the traffic pattern offered during measurement that were
+    /// rejected because the node's source queue was at
+    /// [`crate::sim::MeshConfig::source_queue_cap`]. Dropped packets
+    /// never enter the network, so flit conservation stays exact.
+    pub packets_dropped_at_source: u64,
     /// Packets fully delivered during measurement.
     pub packets_delivered: u64,
     /// Flits delivered during measurement.
@@ -32,11 +37,20 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
+    /// Default idle-interval histogram bin count: intervals *shorter*
+    /// than this many cycles are binned exactly; intervals of this
+    /// length and longer land in the overflow bin (which still tracks
+    /// their exact total cycle count). Every simulation, test and
+    /// sweep in the workspace uses this cap unless it has a reason not
+    /// to, so their histograms merge on the exact bin-wise fast path.
+    pub const DEFAULT_IDLE_BINS: usize = 4096;
+
     /// Creates zeroed stats for `routers` routers.
     pub fn new(routers: usize, histogram_cap: usize) -> Self {
         NetworkStats {
             measured_cycles: 0,
             packets_injected: 0,
+            packets_dropped_at_source: 0,
             packets_delivered: 0,
             flits_delivered: 0,
             latency_sum: 0,

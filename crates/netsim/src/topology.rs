@@ -39,6 +39,15 @@ impl Direction {
         }
     }
 
+    /// Inverse of [`Direction::index`] (`ALL` is in index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= 5`.
+    pub fn from_index(i: usize) -> Direction {
+        Direction::ALL[i]
+    }
+
     /// The port on the neighbouring router that a flit sent out of this
     /// port arrives on.
     pub fn opposite(self) -> Direction {
@@ -213,6 +222,83 @@ impl Mesh {
     }
 }
 
+/// Flat, cache-linear neighbour lookup: `ids[router * 4 + dir]` holds
+/// the neighbour in each cardinal direction (`u32::MAX` when the edge
+/// has no link). The active-set kernel's hot downstream-readiness check
+/// reads this instead of recomputing coordinates through
+/// [`Mesh::neighbor`] every cycle.
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    ids: Vec<u32>,
+}
+
+/// Sentinel for "no neighbour on this edge".
+const NO_NEIGHBOR: u32 = u32::MAX;
+
+impl NeighborTable {
+    /// Precomputes the table for a mesh/torus.
+    pub fn new(mesh: &Mesh) -> Self {
+        let n = mesh.len();
+        let mut ids = vec![NO_NEIGHBOR; n * 4];
+        for rid in 0..n {
+            for d in &Direction::ALL[..4] {
+                if let Some(next) = mesh.neighbor(rid, *d) {
+                    ids[rid * 4 + d.index()] = next as u32;
+                }
+            }
+        }
+        NeighborTable { ids }
+    }
+
+    /// The neighbour of `rid` in cardinal direction `dir`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) when `dir` is [`Direction::Local`].
+    pub fn get(&self, rid: usize, dir: Direction) -> Option<usize> {
+        debug_assert!(dir != Direction::Local);
+        let id = self.ids[rid * 4 + dir.index()];
+        (id != NO_NEIGHBOR).then_some(id as usize)
+    }
+}
+
+/// Precomputed dimension-order routes: `dirs[src * n + dst]` is the
+/// [`Direction::index`] of [`Mesh::route_xy`]`(src, dst)`. One byte per
+/// pair, so the table is only built for meshes up to
+/// [`RouteTable::MAX_ROUTERS`] routers (1 MiB at the cap); larger
+/// networks fall back to computing routes on the fly.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    dirs: Vec<u8>,
+    n: usize,
+}
+
+impl RouteTable {
+    /// Largest router count the table is built for (32×32).
+    pub const MAX_ROUTERS: usize = 1024;
+
+    /// Builds the table when the mesh is small enough.
+    pub fn build(mesh: &Mesh) -> Option<Self> {
+        let n = mesh.len();
+        if n > Self::MAX_ROUTERS {
+            return None;
+        }
+        let mut dirs = vec![0u8; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                dirs[src * n + dst] = mesh.route_xy(src, dst).index() as u8;
+            }
+        }
+        Some(RouteTable { dirs, n })
+    }
+
+    /// The output direction at `here` toward `dst` — identical to
+    /// [`Mesh::route_xy`] by construction.
+    pub fn route(&self, here: usize, dst: usize) -> Direction {
+        Direction::from_index(self.dirs[here * self.n + dst] as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +404,38 @@ mod tests {
         for d in Direction::ALL {
             assert_eq!(d.opposite().opposite(), d);
         }
+    }
+
+    #[test]
+    fn from_index_roundtrips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn neighbor_table_matches_mesh() {
+        for m in [Mesh::new(5, 3), Mesh::torus(5, 3), Mesh::new(2, 2)] {
+            let t = NeighborTable::new(&m);
+            for rid in 0..m.len() {
+                for d in &Direction::ALL[..4] {
+                    assert_eq!(t.get(rid, *d), m.neighbor(rid, *d), "{m:?} {rid} {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_matches_route_xy() {
+        for m in [Mesh::new(4, 4), Mesh::torus(5, 4)] {
+            let t = RouteTable::build(&m).expect("small mesh");
+            for src in 0..m.len() {
+                for dst in 0..m.len() {
+                    assert_eq!(t.route(src, dst), m.route_xy(src, dst));
+                }
+            }
+        }
+        let big = Mesh::new(64, 64);
+        assert!(RouteTable::build(&big).is_none(), "64×64 exceeds the cap");
     }
 }

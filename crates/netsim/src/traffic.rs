@@ -140,6 +140,49 @@ impl InjectionProcess {
     }
 }
 
+/// A packet waiting in a node's source queue, stored as one compact
+/// descriptor instead of `packet_len` expanded [`Flit`]s: flits are
+/// synthesized on the fly as the local input port accepts them, so a
+/// backed-up source queue costs 32 bytes per packet rather than
+/// 56 bytes per flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourcePacket {
+    /// Packet sequence number.
+    pub packet_id: u64,
+    /// Destination router.
+    pub dst: usize,
+    /// Injection cycle (of the whole packet).
+    pub injected_at: u64,
+    /// Flits already handed to the local input port.
+    pub sent: u32,
+}
+
+impl SourcePacket {
+    /// Synthesizes the next flit of this packet (for a source node
+    /// `src` and packet length `len`), advancing the descriptor.
+    /// Returns `None` once all `len` flits have been produced.
+    pub fn next_flit(&mut self, src: usize, len: usize) -> Option<Flit> {
+        if self.sent as usize >= len {
+            return None;
+        }
+        let k = self.sent as usize;
+        self.sent += 1;
+        Some(Flit {
+            packet_id: self.packet_id,
+            src,
+            dst: self.dst,
+            is_head: k == 0,
+            is_tail: k + 1 == len,
+            injected_at: self.injected_at,
+        })
+    }
+
+    /// Flits of this packet still waiting in the source queue.
+    pub fn remaining_flits(&self, len: usize) -> u64 {
+        (len as u64).saturating_sub(self.sent as u64)
+    }
+}
+
 /// One flit of a wormhole packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Flit {
@@ -224,6 +267,37 @@ mod tests {
         // Clamped: a rate above the duty cycle saturates at 1.
         assert_eq!(p.on_rate(0.5), 1.0);
         assert_eq!(InjectionProcess::Bernoulli.on_rate(0.05), 0.05);
+    }
+
+    #[test]
+    fn source_packet_synthesizes_exact_flit_sequence() {
+        let mut p = SourcePacket {
+            packet_id: 42,
+            dst: 9,
+            injected_at: 17,
+            sent: 0,
+        };
+        let len = 3;
+        assert_eq!(p.remaining_flits(len), 3);
+        let flits: Vec<Flit> = std::iter::from_fn(|| p.next_flit(5, len)).collect();
+        assert_eq!(flits.len(), 3);
+        assert!(flits[0].is_head && !flits[0].is_tail);
+        assert!(!flits[1].is_head && !flits[1].is_tail);
+        assert!(!flits[2].is_head && flits[2].is_tail);
+        for f in &flits {
+            assert_eq!((f.packet_id, f.src, f.dst, f.injected_at), (42, 5, 9, 17));
+        }
+        assert_eq!(p.remaining_flits(len), 0);
+        assert_eq!(p.next_flit(5, len), None);
+        // Single-flit packets are head and tail at once.
+        let mut single = SourcePacket {
+            packet_id: 1,
+            dst: 2,
+            injected_at: 0,
+            sent: 0,
+        };
+        let f = single.next_flit(0, 1).unwrap();
+        assert!(f.is_head && f.is_tail);
     }
 
     #[test]

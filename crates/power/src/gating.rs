@@ -82,18 +82,50 @@ impl fmt::Display for GatingPolicy {
 /// but it never wakes up, so policies must not charge it a wake
 /// penalty. Use [`IdleHistogram::record`] for closed intervals and
 /// [`IdleHistogram::record_open`] for trailing open ones.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The bin array is allocated **lazily on the first recorded
+/// interval**: a network simulation keeps five histograms per router,
+/// and at the low injection rates the leakage study sweeps most ports
+/// record nothing (or only a trailing open run) — eager allocation
+/// would cost `routers × 5 × (cap + 1)` zeroed words per run (168 MB
+/// for a 32×32 mesh at the default cap) before a single cycle is
+/// simulated. Equality compares *contents*, so an unallocated
+/// histogram equals an allocated all-zero one of the same cap.
+#[derive(Debug, Clone, Eq, Serialize, Deserialize)]
 pub struct IdleHistogram {
+    /// Configured maximum exactly-binned length.
+    cap: usize,
+    /// Bin `k` counts intervals of exactly `k` cycles; empty until the
+    /// first record, then `cap + 1` entries (last = overflow).
     counts: Vec<u64>,
     overflow_len_sum: u64,
     open_runs: Vec<u64>,
 }
 
+impl PartialEq for IdleHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        // Content equality: missing bins are implicit zeros.
+        let zeros = |h: &IdleHistogram| h.counts.iter().all(|&c| c == 0);
+        let counts_eq = if self.counts.len() == other.counts.len() {
+            self.counts == other.counts
+        } else {
+            // One side unallocated: equal iff the other is all-zero.
+            zeros(self) && zeros(other)
+        };
+        self.cap == other.cap
+            && counts_eq
+            && self.overflow_len_sum == other.overflow_len_sum
+            && self.open_runs == other.open_runs
+    }
+}
+
 impl IdleHistogram {
     /// Creates a histogram tracking interval lengths up to `max_len`.
+    /// Allocation-free until the first interval is recorded.
     pub fn new(max_len: usize) -> Self {
         IdleHistogram {
-            counts: vec![0; max_len + 1],
+            cap: max_len,
+            counts: Vec::new(),
             overflow_len_sum: 0,
             open_runs: Vec::new(),
         }
@@ -101,7 +133,7 @@ impl IdleHistogram {
 
     /// The configured cap (`max_len` passed to [`IdleHistogram::new`]).
     pub fn max_len(&self) -> usize {
-        self.counts.len() - 1
+        self.cap
     }
 
     /// Records one idle interval of `len` cycles (0-length ignored).
@@ -115,7 +147,10 @@ impl IdleHistogram {
         if len == 0 || count == 0 {
             return;
         }
-        let cap = self.counts.len() as u64 - 1;
+        if self.counts.is_empty() {
+            self.counts = vec![0; self.cap + 1];
+        }
+        let cap = self.cap as u64;
         if len >= cap {
             *self.counts.last_mut().expect("non-empty") += count;
             self.overflow_len_sum += len * count;
@@ -142,12 +177,11 @@ impl IdleHistogram {
 
     /// Total idle cycles across all intervals (closed + open).
     pub fn total_idle_cycles(&self) -> u64 {
-        let cap = self.counts.len() - 1;
         let in_bins: u64 = self
             .counts
             .iter()
             .enumerate()
-            .take(cap)
+            .take(self.cap)
             .map(|(len, &n)| len as u64 * n)
             .sum();
         in_bins + self.overflow_len_sum + self.open_runs.iter().sum::<u64>()
@@ -158,13 +192,12 @@ impl IdleHistogram {
     /// length). Open intervals are exposed by
     /// [`IdleHistogram::open_runs`].
     pub fn iter_lengths(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        let cap = self.counts.len() - 1;
-        let overflow_n = self.counts[cap];
+        let overflow_n = self.counts.get(self.cap).copied().unwrap_or(0);
         let overflow_avg = self.overflow_len_sum.checked_div(overflow_n).unwrap_or(0);
         self.counts
             .iter()
             .enumerate()
-            .take(cap)
+            .take(self.cap)
             .filter(|(_, &n)| n > 0)
             .map(|(len, &n)| (len as u64, n))
             .chain((overflow_n > 0).then_some((overflow_avg, overflow_n)))
@@ -182,9 +215,14 @@ impl IdleHistogram {
     ///
     /// Panics if the histograms have different bin counts.
     pub fn merge(&mut self, other: &IdleHistogram) {
-        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+        assert_eq!(self.cap, other.cap, "bin count mismatch");
+        if !other.counts.is_empty() {
+            if self.counts.is_empty() {
+                self.counts = vec![0; self.cap + 1];
+            }
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
         }
         self.overflow_len_sum += other.overflow_len_sum;
         self.open_runs.extend_from_slice(&other.open_runs);
@@ -197,14 +235,13 @@ impl IdleHistogram {
     /// integer truncation. Equal caps take the bin-wise
     /// [`IdleHistogram::merge`] fast path.
     pub fn merge_rebinned(&mut self, other: &IdleHistogram) {
-        if self.counts.len() == other.counts.len() {
+        if self.cap == other.cap {
             return self.merge(other);
         }
-        let cap = other.counts.len() - 1;
-        for (len, &n) in other.counts.iter().enumerate().take(cap) {
+        for (len, &n) in other.counts.iter().enumerate().take(other.cap) {
             self.record_n(len as u64, n);
         }
-        let overflow_n = other.counts[cap];
+        let overflow_n = other.counts.get(other.cap).copied().unwrap_or(0);
         if let Some(avg) = other.overflow_len_sum.checked_div(overflow_n) {
             let rem = other.overflow_len_sum - avg * overflow_n;
             self.record_n(avg, overflow_n - rem);

@@ -13,7 +13,7 @@
 use leakage_noc::core::characterize::Characterizer;
 use leakage_noc::core::config::CrossbarConfig;
 use leakage_noc::core::scheme::Scheme;
-use leakage_noc::netsim::{MeshConfig, Simulation, SleepConfig, TrafficPattern};
+use leakage_noc::netsim::{MeshConfig, NetworkStats, Simulation, SleepConfig, TrafficPattern};
 use leakage_noc::power::gating::{energy_from_counters, evaluate_policy, GatingPolicy};
 use leakage_noc::power::report::TextTable;
 use leakage_noc::power::router::RouterPowerModel;
@@ -37,7 +37,7 @@ fn main() {
     // 1. Simulate the (ungated) network and collect idle intervals.
     let mut sim = Simulation::new(mesh_cfg());
     let stats = sim.run(1000, 20000);
-    let hist = stats.merged_idle_histogram(4096);
+    let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
     println!(
         "mesh: latency {:.1} cycles, throughput {:.3} flits/node/cycle, \
          crossbar utilization {:.1}%, {} idle intervals",
@@ -103,7 +103,7 @@ fn main() {
         let counters = gstats.total_gating_counters();
         let in_loop = energy_from_counters(&counters, params, cfg.clock);
         let offline = evaluate_policy(
-            &gstats.merged_idle_histogram(4096),
+            &gstats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS),
             params,
             policy,
             cfg.clock,

@@ -1,0 +1,216 @@
+//! The active-set kernel is an optimization, not a model change: for
+//! any configuration and seed it must produce **bit-identical**
+//! [`NetworkStats`] to the dense reference kernel — every counter,
+//! every idle-interval histogram bin, every gating counter. These tests
+//! pin that across the full scenario matrix.
+
+use leakage_noc::netsim::{
+    GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig,
+    TrafficPattern,
+};
+use proptest::prelude::*;
+
+/// Runs one config under both kernels and asserts exact equality of
+/// stats and conservation state.
+fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bool) {
+    let mut active = Simulation::new(MeshConfig {
+        kernel: SimKernel::ActiveSet,
+        ..cfg.clone()
+    });
+    let mut reference = Simulation::new(MeshConfig {
+        kernel: SimKernel::Reference,
+        ..cfg
+    });
+    active.set_visit_reversed(reversed);
+    reference.set_visit_reversed(reversed);
+    let sa = active.run(warmup, measure);
+    let sr = reference.run(warmup, measure);
+    assert_eq!(sa, sr, "NetworkStats diverged between kernels");
+    assert_eq!(
+        active.flits_injected_total(),
+        reference.flits_injected_total()
+    );
+    assert_eq!(active.in_flight_flits(), reference.in_flight_flits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bit-identical stats across patterns × injection processes ×
+    /// mesh/torus × gating policies × visit order × packet lengths.
+    #[test]
+    fn active_set_matches_reference(
+        pattern_idx in 0usize..TrafficPattern::ALL.len(),
+        rate in 0.005f64..0.12,
+        seed in 0u64..10_000,
+        wrap_sel in 0u8..2,
+        bursty_sel in 0u8..2,
+        reversed_sel in 0u8..2,
+        len in 1usize..6,
+        gating_sel in 0u8..5,
+        wake in 0u32..3,
+        warmup in 0u64..200,
+    ) {
+        let gating = match gating_sel {
+            0 => None,
+            1 => Some(GatingPolicy::Never),
+            2 => Some(GatingPolicy::Immediate),
+            3 => Some(GatingPolicy::IdleThreshold(2)),
+            _ => Some(GatingPolicy::IdleThreshold(9)),
+        }
+        .map(|policy| SleepConfig {
+            policy,
+            wake_latency: wake,
+        });
+        let cfg = MeshConfig {
+            pattern: TrafficPattern::ALL[pattern_idx],
+            injection_rate: rate,
+            seed,
+            wrap: wrap_sel == 1,
+            packet_len_flits: len,
+            injection: if bursty_sel == 1 {
+                InjectionProcess::BurstyOnOff { mean_burst: 8, mean_idle: 24 }
+            } else {
+                InjectionProcess::Bernoulli
+            },
+            gating,
+            ..MeshConfig::default()
+        };
+        assert_kernels_agree(cfg, warmup, 900, reversed_sel == 1);
+    }
+}
+
+#[test]
+fn kernels_agree_on_larger_meshes() {
+    // Deterministic spot checks at the sizes the sweep baselines use,
+    // including the gated low-rate regime the paper cares about.
+    for (w, h, rate, gating) in [
+        (8, 8, 0.02, None),
+        (
+            16,
+            16,
+            0.01,
+            Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(4),
+                wake_latency: 2,
+            }),
+        ),
+        (
+            16,
+            16,
+            0.05,
+            Some(SleepConfig {
+                policy: GatingPolicy::Immediate,
+                wake_latency: 1,
+            }),
+        ),
+    ] {
+        assert_kernels_agree(
+            MeshConfig {
+                width: w,
+                height: h,
+                injection_rate: rate,
+                gating,
+                seed: 2005,
+                ..MeshConfig::default()
+            },
+            300,
+            2000,
+            false,
+        );
+    }
+}
+
+#[test]
+fn kernels_agree_under_source_saturation() {
+    // The source-queue cap and drop accounting must behave identically
+    // in both kernels, including the drop counter itself.
+    let cfg = MeshConfig {
+        injection_rate: 0.4,
+        pattern: TrafficPattern::Hotspot,
+        source_queue_cap: 3,
+        seed: 77,
+        ..MeshConfig::default()
+    };
+    let mut active = Simulation::new(MeshConfig {
+        kernel: SimKernel::ActiveSet,
+        ..cfg.clone()
+    });
+    let mut reference = Simulation::new(MeshConfig {
+        kernel: SimKernel::Reference,
+        ..cfg
+    });
+    let sa = active.run(100, 1500);
+    let sr = reference.run(100, 1500);
+    assert!(sa.packets_dropped_at_source > 0, "cap must bite");
+    assert_eq!(sa, sr);
+}
+
+#[test]
+fn zero_injection_quiesces_the_whole_network() {
+    // With nothing to do, the worklist must empty immediately and the
+    // bulk accounting must reproduce the exact idle totals: one open
+    // interval of `measure` cycles per output port.
+    let measure = 5000u64;
+    let mut sim = Simulation::new(MeshConfig {
+        injection_rate: 0.0,
+        ..MeshConfig::default()
+    });
+    assert_eq!(
+        sim.kernel(),
+        SimKernel::ActiveSet,
+        "Auto resolves to ActiveSet"
+    );
+    let stats = sim.run(0, measure);
+    assert_eq!(sim.active_router_count(), 0, "no router may stay active");
+    let n = sim.mesh().len() as u64;
+    let merged = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
+    assert_eq!(merged.total_idle_cycles(), measure * n * 5);
+    assert_eq!(merged.interval_count(), n * 5);
+    assert_eq!(merged.open_runs().len(), (n * 5) as usize);
+    // Activity bulk accounting is exact too: every router saw every
+    // cycle, and every free port arbitrated every cycle.
+    for a in &stats.router_activity {
+        assert_eq!(a.cycles, measure);
+        assert_eq!(a.arbitrations, measure * 5);
+        assert_eq!(a.crossbar_traversals, 0);
+    }
+    assert_eq!(stats.packets_injected, 0);
+}
+
+#[test]
+fn gated_network_quiesces_once_asleep() {
+    // With gating, routers stay in the worklist only until their ports
+    // park; after the threshold walk the active set must still empty.
+    let mut sim = Simulation::new(MeshConfig {
+        injection_rate: 0.0,
+        gating: Some(SleepConfig {
+            policy: GatingPolicy::IdleThreshold(3),
+            wake_latency: 2,
+        }),
+        ..MeshConfig::default()
+    });
+    let measure = 1000;
+    let stats = sim.run(0, measure);
+    assert_eq!(sim.active_router_count(), 0);
+    let counters = stats.total_gating_counters();
+    let n = sim.mesh().len() as u64;
+    // Every port: 3 awake idle cycles, then asleep for the rest.
+    assert_eq!(counters.sleep_entries, n * 5);
+    assert_eq!(counters.cycles_idle_awake, n * 5 * 3);
+    assert_eq!(counters.cycles_asleep, n * 5 * (measure - 3));
+    // And the reference kernel agrees bit-for-bit.
+    assert_kernels_agree(
+        MeshConfig {
+            injection_rate: 0.0,
+            gating: Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(3),
+                wake_latency: 2,
+            }),
+            ..MeshConfig::default()
+        },
+        0,
+        measure,
+        false,
+    );
+}

@@ -6,7 +6,7 @@
 use leakage_noc::core::characterize::Characterizer;
 use leakage_noc::core::config::CrossbarConfig;
 use leakage_noc::core::scheme::Scheme;
-use leakage_noc::netsim::{MeshConfig, Simulation, SleepConfig, TrafficPattern};
+use leakage_noc::netsim::{MeshConfig, NetworkStats, Simulation, SleepConfig, TrafficPattern};
 use leakage_noc::power::gating::{energy_from_counters, evaluate_policy, GatingPolicy};
 use leakage_noc::power::router::RouterPowerModel;
 
@@ -38,7 +38,7 @@ fn end_to_end_gating_prefers_precharged_schemes() {
     let mut sim = Simulation::new(mesh_cfg());
     let stats = sim.run(500, 8000);
     assert!(stats.packets_delivered > 100);
-    let hist = stats.merged_idle_histogram(4096);
+    let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
     assert!(hist.interval_count() > 100);
 
     let ch = Characterizer::new(&cfg);
@@ -92,7 +92,7 @@ fn in_loop_gating_agrees_with_offline_model_for_characterized_schemes() {
         // Energy: in-loop counters vs offline histogram model, same run.
         let in_loop = energy_from_counters(&counters, &params, cfg.clock);
         let offline = evaluate_policy(
-            &stats.merged_idle_histogram(4096),
+            &stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS),
             &params,
             policy,
             cfg.clock,

@@ -5,7 +5,9 @@ use leakage_noc::circuit::linear::Matrix;
 use leakage_noc::circuit::netlist::Netlist;
 use leakage_noc::circuit::stimulus::Stimulus;
 use leakage_noc::circuit::waveform::{Edge, Waveform};
-use leakage_noc::netsim::{InjectionProcess, MeshConfig, Simulation, SleepConfig, TrafficPattern};
+use leakage_noc::netsim::{
+    InjectionProcess, MeshConfig, NetworkStats, Simulation, SleepConfig, TrafficPattern,
+};
 use leakage_noc::power::breakeven::{min_idle_cycles, net_saving};
 use leakage_noc::power::gating::{
     energy_from_counters, evaluate_policy, GatingParams, GatingPolicy, IdleHistogram,
@@ -205,7 +207,7 @@ proptest! {
         let stats = sim.run(100, 1500);
         let in_loop = energy_from_counters(&stats.total_gating_counters(), &params, clock);
         let offline =
-            evaluate_policy(&stats.merged_idle_histogram(4096), &params, policy, clock);
+            evaluate_policy(&stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS), &params, policy, clock);
         // Identical idle-cycle totals by construction…
         let rel_never = (in_loop.energy_never.0 - offline.energy_never.0).abs()
             / offline.energy_never.0.max(1e-30);
