@@ -1,8 +1,9 @@
 //! Criterion bench for the NoC simulator's cycle rate: active-set vs
-//! reference kernel across mesh sizes, ungated and with the in-loop
-//! sleep FSM enabled. The active-set kernel must win big at the low
-//! injection rates the leakage study sweeps, and the gating bookkeeping
-//! must stay cheap.
+//! reference kernel across mesh sizes and VC counts, ungated and with
+//! the in-loop sleep FSM enabled. The active-set kernel must win big at
+//! the low injection rates the leakage study sweeps, the gating
+//! bookkeeping must stay cheap, and the VC generalization must not tax
+//! the single-VC fast path.
 //!
 //! Set `NETSIM_BENCH_QUICK=1` (CI) to shrink the grid and sample count
 //! to a smoke run.
@@ -20,25 +21,34 @@ fn bench_mesh_cycles(c: &mut Criterion) {
         policy: GatingPolicy::IdleThreshold(4),
         wake_latency: 1,
     });
-    let sizes: &[(usize, usize, f64, Option<SleepConfig>)] = if quick {
-        &[(4, 4, 0.05, None), (16, 16, 0.005, None)]
+    let sizes: &[(usize, usize, f64, usize, Option<SleepConfig>)] = if quick {
+        &[
+            (4, 4, 0.05, 1, None),
+            (16, 16, 0.005, 1, None),
+            (16, 16, 0.005, 2, None),
+        ]
     } else {
         &[
-            (4, 4, 0.05, None),
-            (8, 8, 0.05, None),
-            (8, 8, 0.05, gated),
-            (16, 16, 0.005, None),
-            (16, 16, 0.005, gated),
-            (32, 32, 0.005, None),
-            (32, 32, 0.005, gated),
+            (4, 4, 0.05, 1, None),
+            (4, 4, 0.05, 2, None),
+            (4, 4, 0.05, 4, None),
+            (8, 8, 0.05, 1, None),
+            (8, 8, 0.05, 1, gated),
+            (8, 8, 0.05, 2, gated),
+            (16, 16, 0.005, 1, None),
+            (16, 16, 0.005, 2, None),
+            (16, 16, 0.005, 1, gated),
+            (16, 16, 0.005, 2, gated),
+            (32, 32, 0.005, 1, None),
+            (32, 32, 0.005, 1, gated),
         ]
     };
     let cycles = if quick { 300 } else { 1000 };
 
-    for &(w, h, rate, gating) in sizes {
+    for &(w, h, rate, vcs, gating) in sizes {
         for kernel in [SimKernel::ActiveSet, SimKernel::Reference] {
             let label = format!(
-                "{w}x{h}_r{rate}{}_{}_{}cy",
+                "{w}x{h}_r{rate}_v{vcs}{}_{}_{}cy",
                 if gating.is_some() { "_gated" } else { "" },
                 kernel.name(),
                 cycles
@@ -52,6 +62,7 @@ fn bench_mesh_cycles(c: &mut Criterion) {
                         pattern: TrafficPattern::UniformRandom,
                         packet_len_flits: 4,
                         buffer_depth: 4,
+                        vcs,
                         seed: 7,
                         gating,
                         kernel,

@@ -1,11 +1,20 @@
 //! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
 //! the sleep FSM live in the cycle loop over a mesh-size ×
-//! injection-rate × policy × scheme grid and emits the committed
-//! `BENCH_noc.json` baseline: energy saved, the latency/throughput
-//! penalty the offline model cannot see, the in-loop vs offline
-//! agreement on every point — and, per grid point, the wall time and
-//! cycle rate of **both simulation kernels**, so the active-set
-//! speedup is tracked in-repo alongside the energy numbers.
+//! injection-rate × policy × scheme × **VC-count** grid and emits the
+//! committed `BENCH_noc.json` baseline: energy saved, the
+//! latency/throughput penalty the offline model cannot see, the
+//! in-loop vs offline agreement on every point — and, per grid point,
+//! the wall time and cycle rate of **both simulation kernels**, so the
+//! active-set speedup is tracked in-repo alongside the energy numbers.
+//!
+//! Gating runs at the simulator's native granularity, the output VC
+//! lane: each point's `GatingParams` are
+//! [`RouterPowerModel::vc_lane_gating_params`] — a `1/V` share of a
+//! crossbar port plus the downstream input-VC buffer bank — so the VC
+//! dimension directly measures how finer gating granularity moves the
+//! energy/latency frontier. A saturated Tornado point on a wrapped
+//! 16×16 with dateline VCs exercises deadlock-free torus operation
+//! under the armed watchdog.
 //!
 //! Grid points run serially (characterization is still parallel) so
 //! the per-kernel timings are not distorted by core contention. When
@@ -15,9 +24,10 @@
 //! files.
 //!
 //! ```sh
-//! cargo run --release -p lnoc-bench --bin gating_sweep                # full grid → BENCH_noc.json
-//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke     # CI smoke grid → out/
+//! cargo run --release -p lnoc-bench --bin gating_sweep                  # full grid → BENCH_noc.json
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke       # CI smoke grid → out/
 //! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --kernel reference
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --seed 7 --vcs 1,2
 //! ```
 
 use lnoc_core::characterize::Characterizer;
@@ -27,9 +37,16 @@ use lnoc_netsim::{MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig, 
 use lnoc_power::gating::{
     energy_from_counters, evaluate_policy, GatingOutcome, GatingParams, GatingPolicy,
 };
+use lnoc_power::router::RouterPowerModel;
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Per-VC input buffer depth used by BOTH the simulated network
+/// (`MeshConfig::buffer_depth`) and the leakage/gating-parameter model
+/// (`with_buffer_geometry`) — one constant so the two can never
+/// silently describe different buffer geometries.
+const DEPTH_PER_VC: usize = 4;
 
 /// One point of the sweep grid (kernel-independent).
 struct GridPoint {
@@ -37,6 +54,9 @@ struct GridPoint {
     params: GatingParams,
     mesh: (usize, usize),
     rate: f64,
+    pattern: TrafficPattern,
+    wrap: bool,
+    vcs: usize,
     policy: GatingPolicy,
     warmup: u64,
     measure: u64,
@@ -51,15 +71,17 @@ struct Row {
     cycles_per_sec: f64,
 }
 
-fn mesh_cfg(point: &GridPoint, kernel: SimKernel) -> MeshConfig {
+fn mesh_cfg(point: &GridPoint, kernel: SimKernel, seed: u64) -> MeshConfig {
     MeshConfig {
         width: point.mesh.0,
         height: point.mesh.1,
         injection_rate: point.rate,
-        pattern: TrafficPattern::UniformRandom,
+        pattern: point.pattern,
+        wrap: point.wrap,
+        vcs: point.vcs,
         packet_len_flits: 4,
-        buffer_depth: 4,
-        seed: 2005,
+        buffer_depth: DEPTH_PER_VC,
+        seed,
         // Every policy (including Never) runs through the FSM so
         // counters are collected; Never simply never sleeps.
         gating: Some(SleepConfig {
@@ -71,14 +93,19 @@ fn mesh_cfg(point: &GridPoint, kernel: SimKernel) -> MeshConfig {
     }
 }
 
-fn run_point(point: &GridPoint, kernel: SimKernel, reps: u32) -> (NetworkStats, f64, f64) {
+fn run_point(
+    point: &GridPoint,
+    kernel: SimKernel,
+    seed: u64,
+    reps: u32,
+) -> (NetworkStats, f64, f64) {
     // Construction (including the active-set kernel's route-table
     // build) stays outside the timer: cycle rate measures the loop.
     // Best-of-`reps` wall time — the repeats are identical simulations,
     // so the minimum is the least-noise estimate.
     let mut best: Option<(NetworkStats, f64)> = None;
     for _ in 0..reps.max(1) {
-        let mut sim = Simulation::new(mesh_cfg(point, kernel));
+        let mut sim = Simulation::new(mesh_cfg(point, kernel, seed));
         let start = Instant::now();
         let stats = sim.run(point.warmup, point.measure);
         let wall = start.elapsed().as_secs_f64();
@@ -93,11 +120,12 @@ fn run_point(point: &GridPoint, kernel: SimKernel, reps: u32) -> (NetworkStats, 
 
 /// Deterministic per-point digest for file-level kernel diffing
 /// (everything in it must be bit-identical across kernels).
-fn stats_digest(point: &GridPoint, stats: &NetworkStats) -> String {
+fn stats_digest(point: &GridPoint, seed: u64, stats: &NetworkStats) -> String {
     let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
     let k = stats.total_gating_counters();
     format!(
-        "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"rate\": {:.4}, \"policy\": \"{}\", \
+        "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
+         \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
          \"packets_injected\": {}, \"packets_delivered\": {}, \"flits_delivered\": {}, \
          \"dropped_at_source\": {}, \"latency_sum\": {}, \"latency_max\": {}, \
          \"idle_intervals\": {}, \"idle_cycles\": {}, \"sleep_entries\": {}, \
@@ -105,6 +133,10 @@ fn stats_digest(point: &GridPoint, stats: &NetworkStats) -> String {
         point.scheme.name(),
         point.mesh.0,
         point.mesh.1,
+        point.pattern.name(),
+        point.wrap,
+        point.vcs,
+        seed,
         point.rate,
         point.policy,
         stats.packets_injected,
@@ -121,20 +153,33 @@ fn stats_digest(point: &GridPoint, stats: &NetworkStats) -> String {
     )
 }
 
+/// Parses `--flag value` style arguments.
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let kernels: Vec<SimKernel> = match args
-        .iter()
-        .position(|a| a == "--kernel")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
+    let kernels: Vec<SimKernel> = match arg_value(&args, "--kernel") {
         None | Some("both") => vec![SimKernel::ActiveSet, SimKernel::Reference],
         Some("active-set") => vec![SimKernel::ActiveSet],
         Some("reference") => vec![SimKernel::Reference],
         Some(other) => panic!("unknown --kernel {other} (active-set | reference | both)"),
     };
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(2005);
+    let vc_list: Vec<usize> = arg_value(&args, "--vcs")
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.trim().parse().expect("--vcs takes e.g. 1,2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4] });
     let cfg = if smoke {
         CrossbarConfig {
             flit_bits: 32,
@@ -150,56 +195,108 @@ fn main() {
         &Scheme::ALL
     };
 
-    // Characterize each scheme once, in parallel.
+    // Characterize each scheme once, in parallel; derive per-VC-lane
+    // gating parameters for every requested VC count (the buffer
+    // geometry — and with it the gateable leakage — scales with V).
     let ch = Characterizer::new(&cfg);
-    let params: Vec<(Scheme, GatingParams)> = schemes
+    let models: Vec<(Scheme, RouterPowerModel)> = schemes
         .par_iter()
         .map(|&scheme| {
             let c = ch.characterize(scheme).expect("characterization");
-            let model = lnoc_power::router::RouterPowerModel::from_characterization(&c, &cfg);
-            (scheme, model.port_gating_params(cfg.radix))
+            (scheme, RouterPowerModel::from_characterization(&c, &cfg))
         })
         .collect();
+    let lane_params = |scheme: Scheme, vcs: usize| -> GatingParams {
+        let model = &models
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .expect("characterized")
+            .1;
+        model
+            .clone()
+            .with_buffer_geometry(vcs, DEPTH_PER_VC)
+            .vc_lane_gating_params(cfg.radix, vcs)
+    };
 
-    // Build the grid. The threshold policies are scheme-specific (each
-    // scheme has its own Minimum Idle Time). The 4×4 grid carries the
-    // full scheme × policy matrix; the larger meshes probe the
-    // low-rate regime where the active-set kernel matters most.
+    // Build the grid. The threshold policies are scheme- and
+    // VC-specific (each scheme × granularity has its own Minimum Idle
+    // Time). The 4×4 grid carries the full scheme × policy matrix at
+    // V = 1; the VC dimension re-runs the interesting schemes across
+    // granularities; the larger meshes probe the low-rate regime where
+    // the active-set kernel matters most; the wrapped Tornado point
+    // exercises dateline deadlock freedom at saturation.
     let mut grid: Vec<GridPoint> = Vec::new();
-    let push = |scheme: Scheme,
-                p: GatingParams,
-                mesh: (usize, usize),
-                rate: f64,
-                policy: GatingPolicy,
-                warmup: u64,
-                measure: u64,
-                grid: &mut Vec<GridPoint>| {
+    let mut push = |scheme: Scheme,
+                    mesh: (usize, usize),
+                    rate: f64,
+                    pattern: TrafficPattern,
+                    wrap: bool,
+                    vcs: usize,
+                    policy: GatingPolicy,
+                    warmup: u64,
+                    measure: u64| {
         grid.push(GridPoint {
             scheme,
-            params: p,
+            params: lane_params(scheme, vcs),
             mesh,
             rate,
+            pattern,
+            wrap,
+            vcs,
             policy,
             warmup,
             measure,
         });
     };
+    let uniform = TrafficPattern::UniformRandom;
+    let mit_of = |scheme: Scheme, vcs: usize| lane_params(scheme, vcs).min_idle_cycles(cfg.clock);
     if smoke {
-        for &(scheme, p) in &params {
-            let mit = p.min_idle_cycles(cfg.clock);
-            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-                push(scheme, p, (4, 4), 0.05, policy, 300, 2000, &mut grid);
+        for &scheme in schemes {
+            for &vcs in &vc_list {
+                let mit = mit_of(scheme, vcs);
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    push(scheme, (4, 4), 0.05, uniform, false, vcs, policy, 300, 2000);
+                }
             }
         }
-        // One larger-mesh point keeps the active-set fast path under CI.
-        let &(scheme, p) = params.last().expect("smoke characterizes two schemes");
-        let mit = p.min_idle_cycles(cfg.clock);
+        // One larger-mesh point keeps the active-set fast path under
+        // CI, and one saturated dateline-torus point keeps the
+        // deadlock-freedom path alive (needs vcs >= 2).
+        let scheme = *schemes.last().expect("smoke characterizes two schemes");
+        let mit = mit_of(scheme, 1);
         for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-            push(scheme, p, (16, 16), 0.02, policy, 200, 1500, &mut grid);
+            push(scheme, (16, 16), 0.02, uniform, false, 1, policy, 200, 1500);
+        }
+        if let Some(&vcs) = vc_list.iter().find(|&&v| v >= 2) {
+            let mit = mit_of(scheme, vcs);
+            push(
+                scheme,
+                (8, 8),
+                1.0,
+                TrafficPattern::Tornado,
+                true,
+                vcs,
+                GatingPolicy::IdleThreshold(mit),
+                200,
+                1500,
+            );
+            push(
+                scheme,
+                (8, 8),
+                1.0,
+                TrafficPattern::Tornado,
+                true,
+                vcs,
+                GatingPolicy::Never,
+                200,
+                1500,
+            );
         }
     } else {
-        for &(scheme, p) in &params {
-            let mit = p.min_idle_cycles(cfg.clock);
+        // Scheme × rate × policy matrix at the V = 1 baseline
+        // granularity.
+        for &scheme in schemes {
+            let mit = mit_of(scheme, 1);
             let policies = [
                 GatingPolicy::Never,
                 GatingPolicy::IdleThreshold(mit),
@@ -208,37 +305,102 @@ fn main() {
             ];
             for rate in [0.02, 0.05, 0.08] {
                 for &policy in &policies {
-                    push(scheme, p, (4, 4), rate, policy, 1000, 12000, &mut grid);
+                    push(scheme, (4, 4), rate, uniform, false, 1, policy, 1000, 12000);
+                }
+            }
+        }
+        // VC-granularity dimension: how finer per-VC gating moves the
+        // energy/latency frontier, for the baseline and the
+        // best-gating scheme. vcs = 1 is skipped here — the baseline
+        // matrix above already carries those exact points (same rate,
+        // same policies), and duplicating them would both waste two
+        // 13k-cycle runs per kernel and double-count rows in any
+        // aggregation over the committed JSON.
+        for &scheme in schemes
+            .iter()
+            .filter(|s| matches!(s, Scheme::Sc | Scheme::Dpc))
+        {
+            for &vcs in vc_list.iter().filter(|&&v| v > 1) {
+                let mit = mit_of(scheme, vcs);
+                for policy in [
+                    GatingPolicy::Never,
+                    GatingPolicy::IdleThreshold(mit),
+                    GatingPolicy::Immediate,
+                ] {
+                    push(
+                        scheme,
+                        (4, 4),
+                        0.05,
+                        uniform,
+                        false,
+                        vcs,
+                        policy,
+                        1000,
+                        12000,
+                    );
                 }
             }
         }
         // Scaling points: low-rate large meshes — the ultra-low
         // utilization regime the paper's leakage argument (and the
         // active-set kernel) target.
-        for &(scheme, p) in params
+        for &scheme in schemes
             .iter()
-            .filter(|(s, _)| matches!(s, Scheme::Sc | Scheme::Dpc))
+            .filter(|s| matches!(s, Scheme::Sc | Scheme::Dpc))
         {
-            let mit = p.min_idle_cycles(cfg.clock);
+            let mit = mit_of(scheme, 1);
             for rate in [0.0025, 0.005] {
                 for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-                    push(scheme, p, (16, 16), rate, policy, 1000, 12000, &mut grid);
+                    push(
+                        scheme,
+                        (16, 16),
+                        rate,
+                        uniform,
+                        false,
+                        1,
+                        policy,
+                        1000,
+                        12000,
+                    );
                 }
             }
         }
-        for &(scheme, p) in params.iter().filter(|(s, _)| matches!(s, Scheme::Dpc)) {
-            let mit = p.min_idle_cycles(cfg.clock);
+        for &scheme in schemes.iter().filter(|s| matches!(s, Scheme::Dpc)) {
+            let mit = mit_of(scheme, 1);
             for rate in [0.0025, 0.005] {
                 for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-                    push(scheme, p, (32, 32), rate, policy, 500, 8000, &mut grid);
+                    push(scheme, (32, 32), rate, uniform, false, 1, policy, 500, 8000);
+                }
+            }
+        }
+        // Deadlock-free saturated torus: Tornado at full offered load
+        // on a wrapped 16×16 with dateline VCs, watchdog armed (the
+        // default). Per-VC gating numbers under heavy, structured
+        // traffic.
+        if let Some(&vcs) = vc_list.iter().find(|&&v| v >= 2) {
+            for &scheme in schemes.iter().filter(|s| matches!(s, Scheme::Dpc)) {
+                let mit = mit_of(scheme, vcs);
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    push(
+                        scheme,
+                        (16, 16),
+                        1.0,
+                        TrafficPattern::Tornado,
+                        true,
+                        vcs,
+                        policy,
+                        500,
+                        6000,
+                    );
                 }
             }
         }
     }
     eprintln!(
-        "sweeping {} grid points × {} kernel(s), serially (timings stay clean)…",
+        "sweeping {} grid points × {} kernel(s), seed {seed}, vcs {:?}, serially (timings stay clean)…",
         grid.len(),
-        kernels.len()
+        kernels.len(),
+        vc_list
     );
 
     // Run every grid point under every requested kernel — serially, so
@@ -252,7 +414,7 @@ fn main() {
         if !warmed.contains(&point.mesh) {
             warmed.push(point.mesh);
             for &kernel in &kernels {
-                let _ = run_point(point, kernel, 1);
+                let _ = run_point(point, kernel, seed, 1);
             }
         }
     }
@@ -262,17 +424,17 @@ fn main() {
         let mut first: Option<NetworkStats> = None;
         for &kernel in &kernels {
             let (stats, wall_s, cycles_per_sec) =
-                run_point(point, kernel, if smoke { 1 } else { 2 });
+                run_point(point, kernel, seed, if smoke { 1 } else { 2 });
             if let Some(prev) = &first {
                 assert_eq!(
                     prev, &stats,
-                    "kernel divergence at scheme {} mesh {:?} rate {} policy {}",
-                    point.scheme, point.mesh, point.rate, point.policy
+                    "kernel divergence at scheme {} mesh {:?} rate {} vcs {} policy {}",
+                    point.scheme, point.mesh, point.rate, point.vcs, point.policy
                 );
             } else {
                 first = Some(stats.clone());
             }
-            digests.push((kernel, stats_digest(point, &stats)));
+            digests.push((kernel, stats_digest(point, seed, &stats)));
             rows.push(Row {
                 point_idx,
                 kernel,
@@ -306,25 +468,32 @@ fn main() {
         })
         .collect();
 
-    // Baseline latency per (mesh, rate): the Never policy (identical
-    // network behaviour for every scheme and kernel).
-    let base_latency = |mesh: (usize, usize), rate: f64| -> f64 {
+    // Baseline latency per (mesh, rate, pattern, wrap, vcs): the Never
+    // policy (identical network behaviour for every scheme and kernel).
+    let base_latency = |p: &GridPoint| -> f64 {
         rows.iter()
             .find(|r| {
-                let p = &grid[r.point_idx];
-                p.mesh == mesh && p.rate == rate && p.policy == GatingPolicy::Never
+                let b = &grid[r.point_idx];
+                b.mesh == p.mesh
+                    && b.rate == p.rate
+                    && b.pattern == p.pattern
+                    && b.wrap == p.wrap
+                    && b.vcs == p.vcs
+                    && b.policy == GatingPolicy::Never
             })
             .map(|r| r.stats.avg_latency())
-            .expect("grid always contains Never")
+            .expect("grid always contains Never for each traffic point")
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 2,\n");
+    json.push_str("{\n  \"schema\": 3,\n");
     let _ = writeln!(
         json,
-        "  \"note\": \"in-loop sleep-FSM gating sweep, uniform traffic, grid points run serially \
-         under every kernel; agreement = |in_loop - offline| / offline on the same run's \
-         histograms; both kernels are asserted bit-identical before timing is reported\","
+        "  \"note\": \"in-loop per-VC-lane sleep-FSM gating sweep; gating params are one output \
+         VC lane (1/V crossbar port share + downstream input-VC buffer bank); grid points run \
+         serially under every kernel; agreement = |in_loop - offline| / offline on the same \
+         run's histograms; both kernels are asserted bit-identical before timing is reported; \
+         the wrapped tornado points run dateline VCs at saturation under the armed watchdog\","
     );
     let _ = writeln!(
         json,
@@ -335,6 +504,16 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(
+        json,
+        "  \"vc_counts\": [{}],",
+        vc_list
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     json.push_str("  \"results\": [\n");
     let n_rows = rows.len();
@@ -342,7 +521,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let point = &grid[r.point_idx];
         let (in_loop, offline) = &outcomes[r.point_idx];
-        let penalty = r.stats.avg_latency() - base_latency(point.mesh, point.rate);
+        let penalty = r.stats.avg_latency() - base_latency(point);
         let agreement = if offline.energy_policy.0 > 0.0 {
             (in_loop.energy_policy.0 - offline.energy_policy.0).abs() / offline.energy_policy.0
         } else {
@@ -353,7 +532,8 @@ fn main() {
         }
         let _ = writeln!(
             json,
-            "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"rate\": {:.4}, \"policy\": \"{}\", \
+            "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
+             \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
              \"kernel\": \"{}\", \"mit_cycles\": {}, \"cycles\": {}, \"wall_s\": {:.4}, \
              \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \"latency_penalty_cy\": {:.3}, \
              \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \"sleep_events\": {}, \
@@ -363,6 +543,10 @@ fn main() {
             point.scheme.name(),
             point.mesh.0,
             point.mesh.1,
+            point.pattern.name(),
+            point.wrap,
+            point.vcs,
+            seed,
             point.rate,
             point.policy,
             r.kernel.name(),
@@ -405,11 +589,13 @@ fn main() {
                 min_16x16_low_rate = min_16x16_low_rate.min(ratio);
             }
             speedups.push(format!(
-                "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"rate\": {:.4}, \
-                 \"policy\": \"{}\", \"speedup\": {:.2}}}",
+                "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \
+                 \"vcs\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \"speedup\": {:.2}}}",
                 point.scheme.name(),
                 point.mesh.0,
                 point.mesh.1,
+                point.pattern.name(),
+                point.vcs,
                 point.rate,
                 point.policy,
                 ratio

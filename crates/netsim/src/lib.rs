@@ -3,20 +3,26 @@
 //! The paper proposes its crossbars for on-chip networks and defines a
 //! *Minimum Idle Time* for the sleep decision, but never shows network
 //! data. This crate supplies the missing substrate: a flit-level 2-D
-//! mesh/torus simulator with input-buffered wormhole routers,
-//! dimension-order routing, synthetic traffic patterns (with Bernoulli
-//! or bursty ON–OFF injection) and — crucially — per-output-port
+//! mesh/torus simulator with input-buffered wormhole routers carrying
+//! **virtual channels with credit-based flow control** ([`router`]),
+//! dimension-order routing with **dateline VC switching** on the torus
+//! (deadlock-free DOR at `vcs ≥ 2`), synthetic traffic patterns (with
+//! Bernoulli or bursty ON–OFF injection) and — crucially — per-VC-lane
 //! **idle-interval histograms** plus an **in-loop sleep FSM** per
-//! output port ([`sleep`]), so power gating is simulated where it
+//! output VC lane ([`sleep`]), so power gating is simulated where it
 //! belongs: inside the cycle loop, where wake latency back-pressures
-//! real flits. The offline policy models in [`lnoc_power::gating`] are
+//! real flits and an empty VC bank can sleep while its sibling carries
+//! a worm. The offline policy models in [`lnoc_power::gating`] are
 //! cross-validated against these in-loop measurements.
 //!
 //! The cycle loop itself runs on one of two result-identical kernels
 //! ([`SimKernel`]): the dense `Reference` oracle, or the default
 //! `ActiveSet` kernel that skips quiescent routers entirely and
 //! bulk-accounts their idleness — a multiple-× cycle-rate win exactly
-//! in the low-injection-rate regime the leakage study sweeps.
+//! in the low-injection-rate regime the leakage study sweeps. A
+//! zero-progress watchdog ([`MeshConfig::watchdog_cycles`]) turns any
+//! routing-deadlock regression into a fast, named failure instead of a
+//! hung run.
 //!
 //! ## Example
 //!
@@ -31,7 +37,8 @@
 //!     injection_rate: 0.05,
 //!     pattern: TrafficPattern::UniformRandom,
 //!     packet_len_flits: 4,
-//!     buffer_depth: 4,
+//!     buffer_depth: 4,                         // flits per VC
+//!     vcs: 2,                                  // VCs per port
 //!     seed: 7,
 //!     wrap: false,                             // set for a torus
 //!     injection: InjectionProcess::Bernoulli,  // or BurstyOnOff
@@ -61,7 +68,8 @@ pub mod topology;
 pub mod traffic;
 
 pub use lnoc_power::gating::GatingPolicy;
+pub use router::{RouteTarget, MAX_VCS};
 pub use sim::{MeshConfig, SimKernel, Simulation};
 pub use sleep::{SleepConfig, SleepState};
 pub use stats::NetworkStats;
-pub use traffic::{InjectionProcess, TrafficPattern};
+pub use traffic::{Flit, InjectionProcess, TrafficPattern};

@@ -1,18 +1,32 @@
-//! The cycle loop: injection, router stepping, link transfer, ejection.
+//! The cycle loop: injection, router stepping, link transfer, credit
+//! return, ejection.
 //!
 //! Two interchangeable kernels execute the loop (selected by
 //! [`MeshConfig::kernel`]):
 //!
 //! * [`SimKernel::Reference`] — the dense oracle: every router is
-//!   stepped every cycle and the input-occupancy snapshot is rebuilt
-//!   O(5·n) per cycle. Simple, obviously correct, slow.
+//!   stepped every cycle and the credit state is rebuilt O(5·V·n) per
+//!   cycle from the live buffers. Simple, obviously correct, slow.
 //! * [`SimKernel::ActiveSet`] — the production kernel: a worklist of
-//!   routers that can possibly do work this cycle (buffered flits, a
-//!   port held mid-packet, a waiting source packet, or a sleep FSM
-//!   still in motion). Quiescent routers are skipped entirely; their
-//!   idle cycles are accounted in O(1) bulk when they reactivate or
-//!   the window closes, and the occupancy snapshot is maintained
-//!   incrementally on accept/pop instead of rebuilt.
+//!   routers that can possibly do work this cycle (buffered flits, an
+//!   output VC lane held mid-packet, or a waiting source packet —
+//!   sleep-FSM motion earns no membership: an empty router's FSM
+//!   future is closed-form and replayed in bulk, see
+//!   [`SleepFsm::idle_predictable`]). Quiescent routers are skipped
+//!   entirely; their idle cycles are accounted in O(1) bulk when they
+//!   reactivate or the window closes, and the credit counters are
+//!   maintained incrementally on flit departure/arrival instead of
+//!   rebuilt.
+//!
+//! Flow control is credit-based: the simulation carries one explicit
+//! credit counter per output VC lane (`router * 5V + port * V + vc`),
+//! holding the free slots of the downstream router's input VC buffer.
+//! A flit may depart only on a lane with a credit; the credit is
+//! consumed when the flit is applied and returned when the downstream
+//! router pops the flit onward. With `V = 1` this is numerically
+//! identical to the old occupancy-snapshot backpressure (`credit > 0 ⇔
+//! occupancy < depth`), which is what keeps the refactor
+//! behaviour-preserving at one VC.
 //!
 //! The two kernels produce **bit-identical [`NetworkStats`]** for the
 //! same [`MeshConfig`]: all RNG draws (injection, bursty flips,
@@ -20,25 +34,33 @@
 //! active-set kernel only skips work that draws no randomness and whose
 //! effect is a closed-form function of the skipped cycle count. The
 //! kernel-equivalence property tests pin this across traffic patterns,
-//! injection processes, topologies, gating policies and visit order.
+//! injection processes, topologies, VC counts, gating policies and
+//! visit order.
 //!
 //! Correctness notes:
 //!
-//! * Downstream readiness is evaluated against a snapshot of all input
-//!   buffer occupancies taken once per cycle (the credit state at cycle
-//!   start), so results are independent of the order routers are
-//!   visited in — see [`Simulation::set_visit_reversed`] and the
-//!   order-independence test.
+//! * Credit state is evaluated against the cycle-start snapshot
+//!   (rebuilt per cycle in the reference kernel, mutated only in the
+//!   transfer phase in the active-set kernel), so results are
+//!   independent of the order routers are visited in — see
+//!   [`Simulation::set_visit_reversed`] and the order-independence
+//!   test.
+//! * On a torus with `vcs ≥ 2`, dimension-order routing switches VC
+//!   class at each ring's dateline ([`Mesh::dateline_class`]), making
+//!   wormhole DOR deadlock-free; a zero-progress watchdog
+//!   ([`MeshConfig::watchdog_cycles`]) aborts with a per-lane
+//!   diagnostic instead of spinning forever if a regression ever
+//!   reintroduces a cycle.
 //! * Ejection order is validated on the fly: every packet must arrive
 //!   at its destination head-first, contiguously, with exactly
 //!   `packet_len_flits` flits. The check is always on in debug builds
 //!   and behind [`MeshConfig::validate_ejection`] in release, so sweep
 //!   binaries do not pay per-flit assertion cost.
-//! * The per-cycle scratch (transfers, occupancy snapshot, worklist) is
-//!   reused across cycles and [`Router::step`] is allocation-free, so
-//!   the steady-state loop performs no heap allocation.
+//! * The per-cycle scratch (transfers, idle-ended slice, worklist) is
+//!   reused across cycles and [`Router::step_fast`] is allocation-free,
+//!   so the steady-state loop performs no heap allocation.
 
-use crate::router::{PortLane, Router};
+use crate::router::{PortLane, RouteTarget, Router, MAX_LANES, MAX_VCS};
 use crate::sleep::{SleepConfig, SleepFsm};
 use crate::stats::NetworkStats;
 use crate::topology::{Direction, Mesh, NeighborTable, RouteTable};
@@ -66,8 +88,8 @@ pub enum SimKernel {
     /// stepped; quiescent routers are bulk-accounted in O(1) when they
     /// reactivate.
     ActiveSet,
-    /// Dense oracle: every router stepped every cycle, snapshot rebuilt
-    /// O(5·n) per cycle — the seed implementation kept verbatim.
+    /// Dense oracle: every router stepped every cycle, credit state
+    /// rebuilt O(5·V·n) per cycle.
     Reference,
 }
 
@@ -103,16 +125,21 @@ pub struct MeshConfig {
     pub pattern: TrafficPattern,
     /// Flits per packet.
     pub packet_len_flits: usize,
-    /// Input buffer depth in flits.
+    /// Input buffer depth in flits, **per virtual channel**.
     pub buffer_depth: usize,
+    /// Virtual channels per port (1..=[`MAX_VCS`]). `1` reproduces the
+    /// pre-VC single-FIFO router bit-for-bit; `≥ 2` enables dateline
+    /// VC switching on a torus (deadlock-free DOR).
+    pub vcs: usize,
     /// RNG seed (runs are fully deterministic given the seed).
     pub seed: u64,
-    /// Torus wraparound links (see [`Mesh`] for the deadlock caveat).
+    /// Torus wraparound links (see [`Mesh`] for the deadlock caveat at
+    /// `vcs == 1`).
     pub wrap: bool,
     /// Temporal injection process (Bernoulli or bursty ON–OFF).
     pub injection: InjectionProcess,
-    /// In-loop power gating of router output ports; `None` simulates
-    /// ungated hardware (and skips all gating bookkeeping).
+    /// In-loop power gating of router output VC lanes; `None`
+    /// simulates ungated hardware (and skips all gating bookkeeping).
     pub gating: Option<SleepConfig>,
     /// Cycle-loop kernel (see [`SimKernel`]).
     pub kernel: SimKernel,
@@ -126,12 +153,25 @@ pub struct MeshConfig {
     /// saturated network grows source queues (and memory) without
     /// bound.
     pub source_queue_cap: usize,
+    /// Zero-progress watchdog: if flits are buffered in the network
+    /// and, for this many consecutive cycles, no flit moves and no
+    /// credit returns, the simulation panics with a per-lane diagnostic
+    /// (router, port, VC, owner) instead of spinning forever — so
+    /// deadlock regressions fail fast in CI. `0` disables the
+    /// watchdog.
+    pub watchdog_cycles: u64,
 }
 
 impl MeshConfig {
     /// Default [`MeshConfig::source_queue_cap`]: deep enough that drops
     /// only happen under sustained saturation.
     pub const DEFAULT_SOURCE_QUEUE_CAP: usize = 64;
+
+    /// Default [`MeshConfig::watchdog_cycles`]: far above any
+    /// legitimate zero-progress stretch (the longest is a network-wide
+    /// simultaneous wake, bounded by the wake latency), far below
+    /// "spins forever".
+    pub const DEFAULT_WATCHDOG_CYCLES: u64 = 100_000;
 }
 
 impl Default for MeshConfig {
@@ -143,6 +183,7 @@ impl Default for MeshConfig {
             pattern: TrafficPattern::UniformRandom,
             packet_len_flits: 4,
             buffer_depth: 4,
+            vcs: 1,
             seed: 1,
             wrap: false,
             injection: InjectionProcess::Bernoulli,
@@ -150,6 +191,7 @@ impl Default for MeshConfig {
             kernel: SimKernel::Auto,
             validate_ejection: false,
             source_queue_cap: MeshConfig::DEFAULT_SOURCE_QUEUE_CAP,
+            watchdog_cycles: MeshConfig::DEFAULT_WATCHDOG_CYCLES,
         }
     }
 }
@@ -163,12 +205,13 @@ struct EjectProgress {
 
 /// One flit crossing a link (or ejecting) this cycle, recorded during
 /// router stepping and applied afterwards so a flit moves one hop per
-/// cycle. Carries the input port it was popped from so the active-set
-/// kernel can decrement its incremental occupancy snapshot.
+/// cycle. Carries the input lane it was popped from so the active-set
+/// kernel can return the freed slot's credit to the upstream router.
 #[derive(Debug, Clone, Copy)]
 struct Transfer {
     from: u32,
     input: Direction,
+    input_vc: u8,
     output: Direction,
     flit: Flit,
 }
@@ -193,23 +236,39 @@ pub struct Simulation {
     visit_reversed: bool,
     /// Reused per-cycle scratch: departures waiting to be applied.
     transfers: Vec<Transfer>,
-    /// Input occupancy snapshot, `router * 5 + port` — the cycle-start
-    /// credit state. The reference kernel rebuilds it every cycle; the
-    /// active-set kernel maintains it incrementally on accept/pop.
-    occupancy: Vec<u32>,
+    /// Credit counters, `router * 5V + port * V + vc` — free slots in
+    /// the downstream input VC buffer reachable through that output
+    /// lane (0 for edge ports without a link; Local lanes unused, the
+    /// ejection port always sinks). The reference kernel rebuilds them
+    /// every cycle; the active-set kernel maintains them incrementally
+    /// on departure (consume) and downstream pop (return).
+    credits: Vec<u32>,
     eject: Vec<EjectProgress>,
 
-    // ---- SoA per-port state (indexed `router * 5 + port`) ----
-    /// Consecutive idle cycles per output port.
+    // ---- SoA per-lane state (indexed `router * 5V + port * V + vc`) ----
+    /// Consecutive idle cycles per output VC lane.
     idle_run: Vec<u64>,
-    /// Sleep FSM per output port.
+    /// Sleep FSM per output VC lane.
     fsm: Vec<SleepFsm>,
-    /// Gating counters per router (all five ports summed).
+    /// Gating counters per router (all lanes summed).
     counters: Vec<GatingCounters>,
+    /// Reused per-router scratch for [`PortLane::idle_ended`].
+    idle_ended: Vec<u64>,
+
+    // ---- Watchdog state ----
+    /// Flits currently buffered inside routers (not source queues).
+    buffered_flits: u64,
+    /// Consecutive cycles with buffered flits but zero progress.
+    stagnant_cycles: u64,
 
     // ---- Active-set kernel state ----
     neighbors: NeighborTable,
     routes: Option<RouteTable>,
+    /// Cached `(x, y)` per router id, so the hot route closure's
+    /// dateline-class computation ([`Mesh::hop_vc_at`]) performs no
+    /// divisions — the same treatment [`NeighborTable`] gives
+    /// neighbour lookup.
+    xy: Vec<(u16, u16)>,
     /// The worklist as a bitset (bit `rid` set ⇔ router `rid` steps
     /// this cycle). A bitset instead of a list keeps the traversal in
     /// router-index order — cache-linear over the router array and the
@@ -227,10 +286,10 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics on a degenerate configuration (empty mesh, zero-length
-    /// packets, zero buffers, a zero source-queue cap, an
-    /// [`GatingPolicy::Oracle`] in-loop policy — the oracle needs
-    /// future knowledge and only exists offline — or a bursty process
-    /// with zero mean dwell times).
+    /// packets, zero buffers, a VC count outside `1..=`[`MAX_VCS`], a
+    /// zero source-queue cap, an [`GatingPolicy::Oracle`] in-loop
+    /// policy — the oracle needs future knowledge and only exists
+    /// offline — or a bursty process with zero mean dwell times).
     pub fn new(cfg: MeshConfig) -> Self {
         assert!(
             cfg.width >= 2 && cfg.height >= 2,
@@ -238,6 +297,10 @@ impl Simulation {
         );
         assert!(cfg.packet_len_flits >= 1, "packets need at least one flit");
         assert!(cfg.buffer_depth >= 1, "buffers need at least one slot");
+        assert!(
+            (1..=MAX_VCS).contains(&cfg.vcs),
+            "vcs must be in 1..={MAX_VCS}"
+        );
         assert!(
             cfg.source_queue_cap >= 1,
             "source queues need room for at least one packet"
@@ -275,12 +338,27 @@ impl Simulation {
             wrap: cfg.wrap,
         };
         let n = mesh.len();
+        let v = cfg.vcs;
+        let lanes = 5 * v;
         let kernel = cfg.kernel.resolve();
+        // Initial credits: the full per-VC depth wherever a link
+        // exists, zero on edge ports (so `credit > 0` doubles as the
+        // link-existence check in the hot readiness closure).
+        let mut credits = vec![0u32; n * lanes];
+        for rid in 0..n {
+            for d in &Direction::ALL[..4] {
+                if mesh.neighbor(rid, *d).is_some() {
+                    for vc in 0..v {
+                        credits[rid * lanes + d.index() * v + vc] = cfg.buffer_depth as u32;
+                    }
+                }
+            }
+        }
         let sim = Simulation {
             mesh,
             kernel,
             routers: (0..n)
-                .map(|id| Router::with_gating(id, cfg.buffer_depth, cfg.gating))
+                .map(|id| Router::with_gating(id, cfg.buffer_depth, v, cfg.gating))
                 .collect(),
             source_queues: vec![VecDeque::new(); n],
             source_on: vec![true; n],
@@ -290,12 +368,21 @@ impl Simulation {
             cycle: 0,
             visit_reversed: false,
             transfers: Vec::new(),
-            occupancy: vec![0; n * 5],
+            credits,
             eject: vec![EjectProgress::default(); n],
-            idle_run: vec![0; n * 5],
-            fsm: vec![SleepFsm::default(); n * 5],
+            idle_run: vec![0; n * lanes],
+            fsm: vec![SleepFsm::default(); n * lanes],
             counters: vec![GatingCounters::default(); n],
+            idle_ended: vec![0; lanes],
+            buffered_flits: 0,
+            stagnant_cycles: 0,
             neighbors: NeighborTable::new(&mesh),
+            xy: (0..n)
+                .map(|rid| {
+                    let (x, y) = mesh.coords(rid);
+                    (x as u16, y as u16)
+                })
+                .collect(),
             routes: (kernel == SimKernel::ActiveSet)
                 .then(|| RouteTable::build(&mesh))
                 .flatten(),
@@ -305,7 +392,7 @@ impl Simulation {
         };
         // Every router starts empty, hence quiescent: the worklist
         // begins empty and fills from injection. Even gated networks
-        // need no initial members — an idle port's walk to sleep is
+        // need no initial members — an idle lane's walk to sleep is
         // replayed in closed form when the router first activates.
         debug_assert!(sim.active_bits.iter().all(|&w| w == 0));
         sim
@@ -319,6 +406,16 @@ impl Simulation {
     /// The kernel actually executing (`Auto` already resolved).
     pub fn kernel(&self) -> SimKernel {
         self.kernel
+    }
+
+    /// Virtual channels per port.
+    pub fn vcs(&self) -> usize {
+        self.cfg.vcs
+    }
+
+    /// Lanes per router (`5 * vcs`).
+    fn lanes(&self) -> usize {
+        5 * self.cfg.vcs
     }
 
     /// Routers in the current worklist — the ones the next cycle will
@@ -340,8 +437,8 @@ impl Simulation {
     }
 
     /// Visits routers in reverse order within each cycle. With the
-    /// cycle-start occupancy snapshot the visit order must not change
-    /// any observable result — this knob exists so tests can prove it.
+    /// cycle-start credit snapshot the visit order must not change any
+    /// observable result — this knob exists so tests can prove it.
     pub fn set_visit_reversed(&mut self, reversed: bool) {
         self.visit_reversed = reversed;
     }
@@ -367,6 +464,53 @@ impl Simulation {
         self.flits_injected
     }
 
+    /// Asserts the credit-conservation invariant: for every link, the
+    /// credits held by the upstream output lane plus the flits buffered
+    /// in the downstream input VC equal the per-VC buffer depth.
+    ///
+    /// The active-set kernel re-checks this in debug builds at the end
+    /// of every cycle (so `cargo test` exercises it on all cycles of
+    /// every simulated configuration); this public entry point lets
+    /// integration tests assert it at arbitrary observation points in
+    /// release builds too. The reference kernel rebuilds credits from
+    /// the live buffers each cycle, making the invariant true by
+    /// construction — calling this is then a no-op.
+    pub fn check_credit_conservation(&self) {
+        if self.kernel != SimKernel::ActiveSet {
+            return;
+        }
+        let v = self.cfg.vcs;
+        let lanes = self.lanes();
+        let depth = self.cfg.buffer_depth as u32;
+        for rid in 0..self.mesh.len() {
+            for d in &Direction::ALL[..4] {
+                match self.neighbors.get(rid, *d) {
+                    Some(next) => {
+                        for vc in 0..v {
+                            let held = self.credits[rid * lanes + d.index() * v + vc];
+                            let buffered = self.routers[next].occupancy(d.opposite(), vc) as u32;
+                            assert_eq!(
+                                held + buffered,
+                                depth,
+                                "credit conservation broken: router {rid} {d} vc {vc}: \
+                                 {held} credits + {buffered} buffered != depth {depth}"
+                            );
+                        }
+                    }
+                    None => {
+                        for vc in 0..v {
+                            assert_eq!(
+                                self.credits[rid * lanes + d.index() * v + vc],
+                                0,
+                                "edge lane must hold no credits"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs `warmup` cycles unmeasured, then `measure` cycles with
     /// statistics collection, and returns the stats.
     ///
@@ -374,7 +518,11 @@ impl Simulation {
     /// are reset, so the idle histograms and the in-loop gating
     /// counters describe exactly the same intervals.
     pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
-        let mut stats = NetworkStats::new(self.mesh.len(), NetworkStats::DEFAULT_IDLE_BINS);
+        let mut stats = NetworkStats::new(
+            self.mesh.len(),
+            self.cfg.vcs,
+            NetworkStats::DEFAULT_IDLE_BINS,
+        );
         for _ in 0..warmup {
             self.step(None);
         }
@@ -398,10 +546,11 @@ impl Simulation {
         stats.measured_cycles = measure;
         self.flush_quiescent(Some(&mut stats));
         // Close out open idle runs and collect gating counters.
+        let lanes = self.lanes();
         for rid in 0..self.mesh.len() {
-            for p in 0..5 {
-                let run = std::mem::take(&mut self.idle_run[rid * 5 + p]);
-                stats.idle_histograms[rid][p].record_open(run);
+            for lane in 0..lanes {
+                let run = std::mem::take(&mut self.idle_run[rid * lanes + lane]);
+                stats.idle_histograms[rid][lane].record_open(run);
             }
             stats.gating[rid] = self.counters[rid];
         }
@@ -414,26 +563,45 @@ impl Simulation {
         // 1. Injection: generate new packets into source queues and
         // move waiting flits into local input buffers. Identical in
         // both kernels — every RNG draw happens per node per cycle.
-        self.inject(&mut stats);
-        // 2+3. Snapshot the credit state and run the router cycles,
-        // collecting departures (reads) before applying them (writes)
-        // so a flit moves one hop per cycle.
+        let drained = self.inject(&mut stats);
+        // 2+3. Establish the cycle-start credit state and run the
+        // router cycles, collecting departures (reads) before applying
+        // them (writes) so a flit moves one hop per cycle.
         match self.kernel {
             SimKernel::Reference => self.route_cycle_reference(&mut stats),
             _ => self.route_cycle_active(&mut stats),
         }
-        // 4. Apply transfers.
+        // 4. Apply transfers (this is also where credits move: consumed
+        // by the departing flit, returned to the upstream router of the
+        // freed slot).
         self.apply_transfers(&mut stats);
         #[cfg(debug_assertions)]
-        self.assert_occupancy_in_sync();
+        self.assert_credits_in_sync();
+        // 5. Zero-progress watchdog: every transfer both moves a flit
+        // and returns a credit, so "no transfers and nothing drained
+        // from a source queue" is exactly the no-progress condition.
+        if self.cfg.watchdog_cycles > 0 {
+            if !self.transfers.is_empty() || drained > 0 || self.buffered_flits == 0 {
+                self.stagnant_cycles = 0;
+            } else {
+                self.stagnant_cycles += 1;
+                if self.stagnant_cycles >= self.cfg.watchdog_cycles {
+                    self.watchdog_abort();
+                }
+            }
+        }
     }
 
-    /// Phase 1: packet generation and source-queue drain.
-    fn inject(&mut self, stats: &mut Option<&mut NetworkStats>) {
+    /// Phase 1: packet generation and source-queue drain. Returns the
+    /// number of flits moved into local input buffers (progress, for
+    /// the watchdog).
+    fn inject(&mut self, stats: &mut Option<&mut NetworkStats>) -> u64 {
         let n = self.mesh.len();
         let len = self.cfg.packet_len_flits;
+        let vcs = self.cfg.vcs;
         let active_kernel = self.kernel == SimKernel::ActiveSet;
         let on_rate = self.cfg.injection.on_rate(self.cfg.injection_rate);
+        let mut drained = 0u64;
         for src in 0..n {
             if let InjectionProcess::BurstyOnOff {
                 mean_burst,
@@ -466,6 +634,7 @@ impl Simulation {
                             dst,
                             injected_at: self.cycle,
                             sent: 0,
+                            vc: self.mesh.injection_vc(id, vcs),
                         });
                         self.flits_injected += len as u64;
                         if let Some(s) = stats.as_deref_mut() {
@@ -479,10 +648,12 @@ impl Simulation {
                     }
                 }
             }
-            // Move waiting flits into the local input buffer (queue
+            // Move waiting flits into the local input VC buffer (queue
             // checked first so idle nodes never touch router memory).
+            // The source is FIFO: the front packet waits for its own
+            // VC even if a sibling VC has room.
             while let Some(pkt) = self.source_queues[src].front_mut() {
-                if !self.routers[src].can_accept(Direction::Local) {
+                if !self.routers[src].can_accept(Direction::Local, pkt.vc as usize) {
                     break;
                 }
                 let flit = pkt
@@ -493,54 +664,70 @@ impl Simulation {
                     self.source_queues[src].pop_front();
                 }
                 self.routers[src].accept(Direction::Local, flit);
-                if active_kernel {
-                    self.occupancy[src * 5 + Direction::Local.index()] += 1;
-                }
+                self.buffered_flits += 1;
+                drained += 1;
                 if let Some(s) = stats.as_deref_mut() {
                     s.router_activity[src].buffer_writes += 1;
                 }
             }
         }
+        drained
     }
 
-    /// Phases 2+3, reference kernel: rebuild the snapshot, step every
-    /// router — the seed cycle loop, kept verbatim as the oracle.
+    /// Phases 2+3, reference kernel: rebuild the credit state from the
+    /// live buffers, step every router — the dense oracle.
     fn route_cycle_reference(&mut self, stats: &mut Option<&mut NetworkStats>) {
         let n = self.mesh.len();
-        for (rid, r) in self.routers.iter().enumerate() {
-            for d in Direction::ALL {
-                self.occupancy[rid * 5 + d.index()] = r.occupancy(d) as u32;
+        let v = self.cfg.vcs;
+        let lanes = 5 * v;
+        let depth = self.cfg.buffer_depth as u32;
+        for rid in 0..n {
+            for d in &Direction::ALL[..4] {
+                for vc in 0..v {
+                    self.credits[rid * lanes + d.index() * v + vc] = match self
+                        .mesh
+                        .neighbor(rid, *d)
+                    {
+                        Some(next) => depth - self.routers[next].occupancy(d.opposite(), vc) as u32,
+                        None => 0,
+                    };
+                }
             }
         }
         let mesh = self.mesh;
-        let depth = self.cfg.buffer_depth as u32;
         self.transfers.clear();
         for i in 0..n {
             let rid = if self.visit_reversed { n - 1 - i } else { i };
-            let mut ready = [false; 5];
+            let mut ready = [false; MAX_LANES];
             for d in Direction::ALL {
-                ready[d.index()] = match d {
-                    Direction::Local => true, // ejection always sinks
-                    d => match mesh.neighbor(rid, d) {
-                        Some(next) => self.occupancy[next * 5 + d.opposite().index()] < depth,
-                        None => false,
-                    },
-                };
+                for vc in 0..v {
+                    ready[d.index() * v + vc] = match d {
+                        Direction::Local => true, // ejection always sinks
+                        d => self.credits[rid * lanes + d.index() * v + vc] > 0,
+                    };
+                }
             }
-            let route = |flit: &Flit| mesh.route_xy(rid, flit.dst);
-            let base = rid * 5;
-            let lane = PortLane {
-                idle_run: (&mut self.idle_run[base..base + 5]).try_into().expect("5"),
-                fsm: (&mut self.fsm[base..base + 5]).try_into().expect("5"),
-                counters: &mut self.counters[rid],
+            let route = |flit: &Flit| {
+                let out = mesh.route_xy(rid, flit.dst);
+                RouteTarget {
+                    out,
+                    vc: mesh.hop_vc(rid, flit.src, flit.packet_id, out, v),
+                }
             };
-            let outcome = self.routers[rid].step(route, |d| ready[d.index()], lane);
+            let base = rid * lanes;
+            let lane = PortLane {
+                idle_run: &mut self.idle_run[base..base + lanes],
+                fsm: &mut self.fsm[base..base + lanes],
+                counters: &mut self.counters[rid],
+                idle_ended: &mut self.idle_ended,
+            };
+            let outcome = self.routers[rid].step(route, |d, vc| ready[d.index() * v + vc], lane);
 
             if let Some(s) = stats.as_deref_mut() {
                 s.router_activity[rid].cycles += 1;
                 s.router_activity[rid].arbitrations += outcome.arbitrations;
-                for (p, run) in outcome.idle_ended.into_iter().enumerate() {
-                    s.idle_histograms[rid][p].record(run);
+                for (l, &run) in self.idle_ended[..lanes].iter().enumerate() {
+                    s.idle_histograms[rid][l].record(run);
                 }
             }
 
@@ -555,6 +742,7 @@ impl Simulation {
                 self.transfers.push(Transfer {
                     from: rid as u32,
                     input: dep.input,
+                    input_vc: dep.input_vc,
                     output: dep.output,
                     flit: dep.flit,
                 });
@@ -562,34 +750,40 @@ impl Simulation {
         }
     }
 
-    /// Phases 2+3, active-set kernel: the snapshot is already current
-    /// (maintained incrementally), so only the worklist is stepped —
-    /// in router-index order straight off the bitset, with lazy
-    /// downstream-readiness and table-driven routing
+    /// Phases 2+3, active-set kernel: the credit state is already
+    /// current (maintained incrementally), so only the worklist is
+    /// stepped — in router-index order straight off the bitset, with
+    /// lazy credit reads and table-driven routing
     /// ([`Router::step_fast`]).
     fn route_cycle_active(&mut self, stats: &mut Option<&mut NetworkStats>) {
-        let depth = self.cfg.buffer_depth as u32;
         let visit_reversed = self.visit_reversed;
         let cycle = self.cycle;
         let mesh = self.mesh;
+        let v = self.cfg.vcs;
+        let lanes = 5 * v;
         // Split borrows once: the per-router loop needs disjoint
         // mutable access to routers / SoA lanes / transfers while the
-        // readiness closure reads the occupancy snapshot.
+        // readiness closure reads the credit counters.
         let Simulation {
             routers,
             source_queues,
             transfers,
-            occupancy,
+            credits,
             idle_run,
             fsm,
             counters,
-            neighbors,
+            idle_ended,
             routes,
+            xy,
             active_bits,
             last_stepped,
             ..
         } = self;
         let routes = routes.as_ref();
+        let at = |rid: usize| {
+            let (x, y) = xy[rid];
+            (x as usize, y as usize)
+        };
         transfers.clear();
 
         let words = active_bits.len();
@@ -605,24 +799,30 @@ impl Simulation {
                 bits &= !(1u64 << b);
                 let rid = w * 64 + b;
 
-                let route = |flit: &Flit| match routes {
-                    Some(t) => t.route(rid, flit.dst),
-                    None => mesh.route_xy(rid, flit.dst),
+                let route = |flit: &Flit| {
+                    let out = match routes {
+                        Some(t) => t.route(rid, flit.dst),
+                        None => mesh.route_xy(rid, flit.dst),
+                    };
+                    RouteTarget {
+                        out,
+                        vc: mesh.hop_vc_at(at(rid), at(flit.src), flit.packet_id, out, v),
+                    }
                 };
-                // Lazy readiness: only evaluated for outputs a flit
-                // actually wants (ejection always sinks).
-                let ready = |d: Direction| match d {
+                // Lazy credit reads: only evaluated for lanes a flit
+                // actually wants (ejection always sinks; edge lanes
+                // hold zero credits, so no-link and no-room collapse
+                // into one check).
+                let base = rid * lanes;
+                let ready = |d: Direction, vc: usize| match d {
                     Direction::Local => true,
-                    d => match neighbors.get(rid, d) {
-                        Some(next) => occupancy[next * 5 + d.opposite().index()] < depth,
-                        None => false,
-                    },
+                    d => credits[base + d.index() * v + vc] > 0,
                 };
-                let base = rid * 5;
                 let lane = PortLane {
-                    idle_run: (&mut idle_run[base..base + 5]).try_into().expect("5"),
-                    fsm: (&mut fsm[base..base + 5]).try_into().expect("5"),
+                    idle_run: &mut idle_run[base..base + lanes],
+                    fsm: &mut fsm[base..base + lanes],
                     counters: &mut counters[rid],
+                    idle_ended,
                 };
                 let mut departed = 0u64;
                 let mut link_departed = 0u64;
@@ -634,6 +834,7 @@ impl Simulation {
                     transfers.push(Transfer {
                         from: rid as u32,
                         input: dep.input,
+                        input_vc: dep.input_vc,
                         output: dep.output,
                         flit: dep.flit,
                     });
@@ -646,12 +847,12 @@ impl Simulation {
                     a.crossbar_traversals += departed;
                     a.buffer_reads += departed;
                     a.link_traversals += link_departed;
-                    for (p, run) in outcome.idle_ended.into_iter().enumerate() {
-                        // Guarded: most stepped ports end no idle run,
+                    for (l, &run) in idle_ended[..lanes].iter().enumerate() {
+                        // Guarded: most stepped lanes end no idle run,
                         // and even `record(0)`'s early return costs a
-                        // call per port per cycle on the hot path.
+                        // call per lane per cycle on the hot path.
                         if run > 0 {
-                            s.idle_histograms[rid][p].record(run);
+                            s.idle_histograms[rid][l].record(run);
                         }
                     }
                 }
@@ -671,18 +872,30 @@ impl Simulation {
     }
 
     /// Phase 4: apply the collected transfers (ejections and link
-    /// crossings), maintaining the incremental snapshot and activating
-    /// receivers in active-set mode.
+    /// crossings), moving the credits and activating receivers in
+    /// active-set mode.
     fn apply_transfers(&mut self, stats: &mut Option<&mut NetworkStats>) {
         let active_kernel = self.kernel == SimKernel::ActiveSet;
+        let v = self.cfg.vcs;
+        let lanes = 5 * v;
         for ti in 0..self.transfers.len() {
             let t = self.transfers[ti];
             let from = t.from as usize;
-            if active_kernel {
-                self.occupancy[from * 5 + t.input.index()] -= 1;
+            // The pop freed a slot in `from`'s input VC: return the
+            // credit to the upstream router that fills it (injection
+            // from the local source checks the buffer directly, so the
+            // Local input has no credit counter).
+            if active_kernel && t.input != Direction::Local {
+                let up = self
+                    .neighbors
+                    .get(from, t.input)
+                    .expect("buffered flits arrived over an existing link");
+                self.credits[up * lanes + t.input.opposite().index() * v + t.input_vc as usize] +=
+                    1;
             }
             match t.output {
                 Direction::Local => {
+                    self.buffered_flits -= 1;
                     if cfg!(debug_assertions) || self.cfg.validate_ejection {
                         self.validate_ejection(from, &t.flit);
                     }
@@ -705,7 +918,8 @@ impl Simulation {
                     .expect("departures only target existing neighbours");
                     self.routers[next].accept(d.opposite(), t.flit);
                     if active_kernel {
-                        self.occupancy[next * 5 + d.opposite().index()] += 1;
+                        // Consume the credit for the slot just filled.
+                        self.credits[from * lanes + d.index() * v + t.flit.vc as usize] -= 1;
                         // The receiver was already accounted idle for
                         // this whole cycle; it steps from the next one.
                         self.activate(next, self.cycle, stats.as_deref_mut());
@@ -735,7 +949,7 @@ impl Simulation {
 
     /// Bulk-settles `skipped` consecutive idle cycles for a quiescent
     /// router in O(1): exactly what the dense loop would have done —
-    /// idle runs grow, awake ports arbitrate, and sleep FSMs replay
+    /// idle runs grow, awake lanes arbitrate, and sleep FSMs replay
     /// their (closed-form) future, including a threshold walk that
     /// asserts sleep partway through the gap — without touching the
     /// router.
@@ -743,22 +957,23 @@ impl Simulation {
         if skipped == 0 {
             return;
         }
-        let base = rid * 5;
+        let lanes = self.lanes();
+        let base = rid * lanes;
         let arbitrations = match &self.cfg.gating {
-            // Ungated: all five free ports arbitrate every cycle.
+            // Ungated: every free lane arbitrates every cycle.
             None => {
-                for run in &mut self.idle_run[base..base + 5] {
+                for run in &mut self.idle_run[base..base + lanes] {
                     *run += skipped;
                 }
-                5 * skipped
+                lanes as u64 * skipped
             }
             Some(cfg) => {
                 let th = cfg.threshold();
                 let counters = &mut self.counters[rid];
                 let mut arbitrations = 0;
-                for (run, fsm) in self.idle_run[base..base + 5]
+                for (run, fsm) in self.idle_run[base..base + lanes]
                     .iter_mut()
-                    .zip(&mut self.fsm[base..base + 5])
+                    .zip(&mut self.fsm[base..base + lanes])
                 {
                     let before = *run;
                     *run += skipped;
@@ -789,22 +1004,48 @@ impl Simulation {
         }
     }
 
-    /// Debug-build invariant: the incrementally maintained snapshot
-    /// must always equal the live buffer occupancies at cycle end.
+    /// Debug-build invariant: the incrementally maintained credit
+    /// counters must always match the live downstream buffer
+    /// occupancies at cycle end.
     #[cfg(debug_assertions)]
-    fn assert_occupancy_in_sync(&self) {
-        if self.kernel != SimKernel::ActiveSet {
-            return;
-        }
+    fn assert_credits_in_sync(&self) {
+        self.check_credit_conservation();
+    }
+
+    /// The watchdog fired: panic with a per-lane diagnostic of every
+    /// blocked flit so a deadlock regression names the cycle's
+    /// participants instead of hanging CI.
+    fn watchdog_abort(&self) -> ! {
+        let v = self.cfg.vcs;
+        let lanes = self.lanes();
+        let mut report = String::new();
+        let mut shown = 0usize;
+        let mut blocked = 0usize;
         for (rid, r) in self.routers.iter().enumerate() {
             for d in Direction::ALL {
-                debug_assert_eq!(
-                    self.occupancy[rid * 5 + d.index()],
-                    r.occupancy(d) as u32,
-                    "incremental occupancy out of sync at router {rid} port {d}"
-                );
+                for vc in 0..v {
+                    let occ = r.occupancy(d, vc);
+                    if occ == 0 {
+                        continue;
+                    }
+                    blocked += 1;
+                    if shown < 8 {
+                        let credit = self.credits[rid * lanes + d.index() * v + vc];
+                        report.push_str(&format!(
+                            "\n  router {rid} input {d} vc {vc}: {occ} flit(s) waiting \
+                             (upstream-side credit counter: {credit})"
+                        ));
+                        shown += 1;
+                    }
+                }
             }
         }
+        panic!(
+            "watchdog: no flit moved and no credit returned for {} cycles at cycle {} \
+             with {} flits buffered ({} occupied input VCs, first {} shown):{}\n\
+             (torus DOR with vcs = 1 has no dateline escape — run with vcs >= 2)",
+            self.cfg.watchdog_cycles, self.cycle, self.buffered_flits, blocked, shown, report
+        );
     }
 
     /// Asserts in-order, contiguous, complete per-packet delivery.
@@ -888,6 +1129,24 @@ mod tests {
     }
 
     #[test]
+    fn packets_flow_with_virtual_channels() {
+        for vcs in [2usize, 4] {
+            let mut sim = Simulation::new(MeshConfig { vcs, ..base_cfg() });
+            let stats = sim.run(0, 3000);
+            assert!(
+                stats.packets_delivered > 100,
+                "vcs {vcs}: {}",
+                stats.packets_delivered
+            );
+            assert_eq!(
+                sim.flits_injected_total(),
+                stats.flits_delivered + sim.in_flight_flits()
+            );
+            sim.check_credit_conservation();
+        }
+    }
+
+    #[test]
     fn latency_at_least_hop_count() {
         let mut sim = Simulation::new(MeshConfig {
             injection_rate: 0.01,
@@ -927,11 +1186,12 @@ mod tests {
 
     #[test]
     fn router_visit_order_is_irrelevant() {
-        // With the cycle-start occupancy snapshot, stepping routers in
+        // With the cycle-start credit snapshot, stepping routers in
         // reverse (or any) order must produce bit-identical statistics
-        // — in both kernels. Before the snapshot fix, downstream
-        // readiness read live buffers that earlier routers had already
-        // popped, so behaviour depended on iteration order.
+        // — in both kernels and at any VC count. Before the snapshot
+        // fix, downstream readiness read live buffers that earlier
+        // routers had already popped, so behaviour depended on
+        // iteration order.
         for kernel in [SimKernel::ActiveSet, SimKernel::Reference] {
             for cfg in [
                 base_cfg(),
@@ -939,12 +1199,14 @@ mod tests {
                     injection_rate: 0.12,
                     pattern: TrafficPattern::Transpose,
                     seed: 3,
+                    vcs: 2,
                     ..base_cfg()
                 },
                 MeshConfig {
                     wrap: true,
                     pattern: TrafficPattern::Tornado,
                     injection_rate: 0.03,
+                    vcs: 2,
                     ..base_cfg()
                 },
                 MeshConfig {
@@ -954,6 +1216,7 @@ mod tests {
                     }),
                     injection_rate: 0.06,
                     seed: 7,
+                    vcs: 4,
                     ..base_cfg()
                 },
             ] {
@@ -1028,6 +1291,24 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "vcs must be in")]
+    fn zero_vcs_rejected() {
+        let _ = Simulation::new(MeshConfig {
+            vcs: 0,
+            ..base_cfg()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "vcs must be in")]
+    fn oversized_vcs_rejected() {
+        let _ = Simulation::new(MeshConfig {
+            vcs: MAX_VCS + 1,
+            ..base_cfg()
+        });
+    }
+
+    #[test]
     fn all_patterns_deliver() {
         for pattern in TrafficPattern::ALL {
             let mut sim = Simulation::new(MeshConfig {
@@ -1068,6 +1349,63 @@ mod tests {
             torus.avg_latency(),
             mesh.avg_latency()
         );
+    }
+
+    #[test]
+    fn torus_tornado_saturation_drains_with_dateline_vcs() {
+        // The acceptance scenario: Tornado at saturation on a wrapped
+        // 16×16 with 2 VCs (dateline switching) must make sustained
+        // progress without tripping the watchdog. At vcs = 1 the same
+        // load wedges wormhole DOR on the rings.
+        let mut sim = Simulation::new(MeshConfig {
+            width: 16,
+            height: 16,
+            wrap: true,
+            vcs: 2,
+            pattern: TrafficPattern::Tornado,
+            injection_rate: 1.0,
+            source_queue_cap: 4,
+            watchdog_cycles: 2_000,
+            seed: 9,
+            ..base_cfg()
+        });
+        let stats = sim.run(0, 6000);
+        assert!(
+            stats.packets_delivered > 2_000,
+            "saturated torus must stream packets, got {}",
+            stats.packets_delivered
+        );
+        sim.check_credit_conservation();
+    }
+
+    #[test]
+    fn watchdog_names_the_blocked_lanes_on_deadlock() {
+        // vcs = 1 torus DOR has no dateline escape: Tornado at
+        // saturation wedges the rings and the watchdog must abort with
+        // the diagnostic instead of spinning.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sim = Simulation::new(MeshConfig {
+                width: 8,
+                height: 8,
+                wrap: true,
+                vcs: 1,
+                pattern: TrafficPattern::Tornado,
+                injection_rate: 1.0,
+                packet_len_flits: 8,
+                source_queue_cap: 8,
+                watchdog_cycles: 500,
+                seed: 5,
+                ..base_cfg()
+            });
+            sim.run(0, 50_000)
+        }));
+        let msg = *result
+            .expect_err("saturated vcs=1 torus tornado must deadlock")
+            .downcast::<String>()
+            .expect("panic carries the diagnostic string");
+        assert!(msg.contains("watchdog"), "{msg}");
+        assert!(msg.contains("router"), "diagnostic names a router: {msg}");
+        assert!(msg.contains("vc"), "diagnostic names a VC: {msg}");
     }
 
     #[test]
@@ -1176,5 +1514,36 @@ mod tests {
         let rel_never =
             (in_loop.energy_never.0 - offline.energy_never.0).abs() / offline.energy_never.0;
         assert!(rel_never < 1e-9, "idle-cycle totals must match exactly");
+    }
+
+    #[test]
+    fn per_vc_gating_sleeps_finer_than_per_port() {
+        // Same traffic, same policy: with 2 VCs the sleep controllers
+        // see twice the lanes, and an empty VC bank can park while its
+        // sibling carries a worm — so the asleep fraction of all
+        // lane-cycles must not drop when granularity rises.
+        let run = |vcs: usize| {
+            let mut sim = Simulation::new(MeshConfig {
+                vcs,
+                injection_rate: 0.04,
+                gating: Some(SleepConfig {
+                    policy: GatingPolicy::IdleThreshold(4),
+                    wake_latency: 1,
+                }),
+                seed: 31,
+                ..base_cfg()
+            });
+            let stats = sim.run(300, 5000);
+            let k = stats.total_gating_counters();
+            let lane_cycles = (5 * vcs) as f64 * 16.0 * 5000.0;
+            (k.cycles_asleep as f64 / lane_cycles, k.sleep_entries)
+        };
+        let (frac1, _) = run(1);
+        let (frac2, entries2) = run(2);
+        assert!(entries2 > 0);
+        assert!(
+            frac2 >= frac1 * 0.95,
+            "finer gating granularity lost sleep coverage: {frac1:.3} -> {frac2:.3}"
+        );
     }
 }

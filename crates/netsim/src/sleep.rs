@@ -1,10 +1,12 @@
-//! Per-output-port sleep FSM — power gating *inside* the cycle loop.
+//! Per-output-VC-lane sleep FSM — power gating *inside* the cycle
+//! loop.
 //!
 //! The offline model in [`lnoc_power::gating`] integrates a policy over
 //! idle-interval histograms after the run; it cannot see that a sleeping
 //! port stalls real flits while it wakes. This module puts the sleep
-//! controller in the loop: every router output port carries a four-state
-//! FSM
+//! controller in the loop: every router output VC lane — an
+//! `(output port, VC)` pair, physically the downstream input VC buffer
+//! plus its share of the crossbar output — carries a four-state FSM
 //!
 //! ```text
 //! Active ──idle──► DrowsyCountdown ──counter ≥ threshold──► Asleep
@@ -12,10 +14,12 @@
 //!    └────────── Waking(wake_latency) ◄──────flit can move─────┘
 //! ```
 //!
-//! driven by a [`GatingPolicy`]. A flit that arrives at a sleeping port
+//! driven by a [`GatingPolicy`]. A flit that arrives at a sleeping lane
 //! waits out the wake latency — so gated runs report both the energy
 //! *and* the latency/throughput penalty, and the measured
 //! [`GatingCounters`] cross-validate the offline model on the same run.
+//! Because the FSM granularity is the VC lane, an empty VC bank sleeps
+//! while a sibling VC of the same port streams a worm.
 //!
 //! Timing contract (what makes in-loop energy agree with
 //! [`lnoc_power::gating::evaluate_policy`] on the same histograms):
@@ -34,7 +38,7 @@
 use lnoc_power::gating::{GatingCounters, GatingPolicy};
 use serde::{Deserialize, Serialize};
 
-/// In-loop gating configuration for every router output port.
+/// In-loop gating configuration for every router output VC lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SleepConfig {
     /// When to assert the sleep signal. [`GatingPolicy::Oracle`] needs
@@ -59,7 +63,7 @@ impl SleepConfig {
     }
 }
 
-/// The four sleep states of one output port.
+/// The four sleep states of one output VC lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SleepState {
     /// Powered and either carrying a flit or just finished one.

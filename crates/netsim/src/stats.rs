@@ -27,11 +27,15 @@ pub struct NetworkStats {
     pub latency_max: u64,
     /// Per-router activity counters.
     pub router_activity: Vec<RouterActivity>,
-    /// Idle-interval histogram per router per output port (5 per
-    /// router, [`crate::topology::Direction`] order).
+    /// Virtual channels per port the run was simulated with (the
+    /// histograms below have `5 * vcs` entries per router).
+    pub vcs: usize,
+    /// Idle-interval histogram per router per output VC lane
+    /// (`5 * vcs` per router, indexed `port * vcs + vc` with ports in
+    /// [`crate::topology::Direction`] order).
     #[serde(skip)]
-    pub idle_histograms: Vec<[IdleHistogram; 5]>,
-    /// Per-router in-loop gating counters (all five output ports
+    pub idle_histograms: Vec<Vec<IdleHistogram>>,
+    /// Per-router in-loop gating counters (all output VC lanes
     /// summed); all-zero when the run was ungated.
     pub gating: Vec<GatingCounters>,
 }
@@ -45,8 +49,9 @@ impl NetworkStats {
     /// to, so their histograms merge on the exact bin-wise fast path.
     pub const DEFAULT_IDLE_BINS: usize = 4096;
 
-    /// Creates zeroed stats for `routers` routers.
-    pub fn new(routers: usize, histogram_cap: usize) -> Self {
+    /// Creates zeroed stats for `routers` routers with `vcs` virtual
+    /// channels per port.
+    pub fn new(routers: usize, vcs: usize, histogram_cap: usize) -> Self {
         NetworkStats {
             measured_cycles: 0,
             packets_injected: 0,
@@ -56,8 +61,13 @@ impl NetworkStats {
             latency_sum: 0,
             latency_max: 0,
             router_activity: vec![RouterActivity::default(); routers],
+            vcs,
             idle_histograms: (0..routers)
-                .map(|_| std::array::from_fn(|_| IdleHistogram::new(histogram_cap)))
+                .map(|_| {
+                    (0..5 * vcs)
+                        .map(|_| IdleHistogram::new(histogram_cap))
+                        .collect()
+                })
                 .collect(),
             gating: vec![GatingCounters::default(); routers],
         }
@@ -135,7 +145,7 @@ mod tests {
 
     #[test]
     fn zeroed_stats_are_safe() {
-        let s = NetworkStats::new(4, 64);
+        let s = NetworkStats::new(4, 1, 64);
         assert_eq!(s.avg_latency(), 0.0);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.crossbar_utilization(), 0.0);
@@ -144,7 +154,7 @@ mod tests {
 
     #[test]
     fn merged_histogram_accumulates() {
-        let mut s = NetworkStats::new(2, 64);
+        let mut s = NetworkStats::new(2, 1, 64);
         s.idle_histograms[0][0].record(5);
         s.idle_histograms[1][3].record(5);
         s.idle_histograms[1][3].record(7);
@@ -159,8 +169,9 @@ mod tests {
         // path (differing caps) must agree on every total — including
         // overflow bins whose average length is not an integer (100 and
         // 101 average to 100.5; naive truncation would drop a cycle).
-        let mut s = NetworkStats::new(2, 64);
+        let mut s = NetworkStats::new(2, 2, 64);
         s.idle_histograms[0][0].record_n(5, 400);
+        s.idle_histograms[0][7].record_n(9, 2); // a VC-1 lane of port 3
         s.idle_histograms[0][2].record_n(63, 10);
         s.idle_histograms[1][1].record_n(1000, 3); // overflow bin
         s.idle_histograms[1][3].record(100); // overflow, inexact average
@@ -169,15 +180,15 @@ mod tests {
         let fast = s.merged_idle_histogram(64);
         let slow = s.merged_idle_histogram(128);
         assert_eq!(fast.interval_count(), slow.interval_count());
-        assert_eq!(fast.interval_count(), 416);
+        assert_eq!(fast.interval_count(), 418);
         assert_eq!(fast.total_idle_cycles(), slow.total_idle_cycles());
-        assert_eq!(fast.total_idle_cycles(), 2000 + 630 + 3000 + 201 + 77);
+        assert_eq!(fast.total_idle_cycles(), 2000 + 18 + 630 + 3000 + 201 + 77);
         assert_eq!(fast.open_runs(), &[77]);
     }
 
     #[test]
     fn latency_math() {
-        let mut s = NetworkStats::new(1, 8);
+        let mut s = NetworkStats::new(1, 1, 8);
         s.packets_delivered = 4;
         s.latency_sum = 40;
         assert!((s.avg_latency() - 10.0).abs() < 1e-12);

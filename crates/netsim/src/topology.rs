@@ -220,6 +220,122 @@ impl Mesh {
         self.dim_step(ax, bx, self.width).unsigned_abs()
             + self.dim_step(ay, by, self.height).unsigned_abs()
     }
+
+    /// Dateline VC class of the link a packet from `src` takes out of
+    /// `here` in direction `dir`: `0` until the packet's path in the
+    /// current dimension has crossed that dimension's wraparound edge,
+    /// `1` from the crossing link onward. Always `0` on a plain mesh.
+    ///
+    /// Each unidirectional ring's wrap edge is its dateline. Under
+    /// shortest-way DOR a packet crosses it at most once per dimension,
+    /// and the crossing history is a pure function of the source
+    /// coordinate (the X phase starts at `src.x`, the Y phase at
+    /// `src.y`), so no per-packet state is needed:
+    ///
+    /// * travelling East, the packet has wrapped iff `here.x < src.x`,
+    ///   and the outgoing link itself wraps iff `here.x == width - 1`;
+    /// * the other three directions are symmetric.
+    ///
+    /// Class-0 channels therefore never include a wrap link and class-1
+    /// channels never wrap twice, so each class's channel-dependency
+    /// graph is acyclic — the classic dateline deadlock-freedom
+    /// argument for torus DOR with ≥ 2 virtual channels.
+    pub fn dateline_class(&self, here: usize, src: usize, dir: Direction) -> u8 {
+        if !self.wrap {
+            return 0;
+        }
+        self.dateline_class_at(self.coords(here), self.coords(src), dir)
+    }
+
+    /// [`Mesh::dateline_class`] with both routers' coordinates already
+    /// in hand — the active-set kernel caches every router's `(x, y)`
+    /// so its per-flit route closure performs no divisions.
+    pub fn dateline_class_at(
+        &self,
+        (hx, hy): (usize, usize),
+        (sx, sy): (usize, usize),
+        dir: Direction,
+    ) -> u8 {
+        if !self.wrap {
+            return 0;
+        }
+        match dir {
+            Direction::East => u8::from(hx < sx || hx == self.width - 1),
+            Direction::West => u8::from(hx > sx || hx == 0),
+            Direction::South => u8::from(hy < sy || hy == self.height - 1),
+            Direction::North => u8::from(hy > sy || hy == 0),
+            Direction::Local => 0,
+        }
+    }
+
+    /// The virtual channel a packet requests for its next link.
+    ///
+    /// * `vcs == 1` — always VC 0 (the degenerate single-FIFO case; a
+    ///   torus then has no dateline escape, faithfully reproducing the
+    ///   deadlock-prone hardware the module docs warn about).
+    /// * Plain mesh — all VCs are equivalent; packets are spread
+    ///   `packet_id % vcs` so sibling VC banks share the load.
+    /// * Torus with `vcs ≥ 2` — the VC space splits into a class-0
+    ///   half `[0, ⌈vcs/2⌉)` and a class-1 half `[⌈vcs/2⌉, vcs)`;
+    ///   [`Mesh::dateline_class`] picks the half and `packet_id`
+    ///   spreads packets within it.
+    ///
+    /// The choice is a pure function of `(here, src, dst, packet_id)`,
+    /// so every flit of a packet computes the same VC at a hop — body
+    /// flits need no stored allocation state to follow their head.
+    pub fn hop_vc(
+        &self,
+        here: usize,
+        src: usize,
+        packet_id: u64,
+        dir: Direction,
+        vcs: usize,
+    ) -> u8 {
+        if vcs == 1 || dir == Direction::Local {
+            return 0;
+        }
+        if !self.wrap {
+            return (packet_id % vcs as u64) as u8;
+        }
+        self.hop_vc_at(self.coords(here), self.coords(src), packet_id, dir, vcs)
+    }
+
+    /// [`Mesh::hop_vc`] with both routers' coordinates already in hand
+    /// (see [`Mesh::dateline_class_at`]). Identical result by
+    /// construction — the class logic lives in one place.
+    pub fn hop_vc_at(
+        &self,
+        here: (usize, usize),
+        src: (usize, usize),
+        packet_id: u64,
+        dir: Direction,
+        vcs: usize,
+    ) -> u8 {
+        if vcs == 1 || dir == Direction::Local {
+            return 0;
+        }
+        if !self.wrap {
+            return (packet_id % vcs as u64) as u8;
+        }
+        let h0 = vcs.div_ceil(2);
+        match self.dateline_class_at(here, src, dir) {
+            0 => (packet_id % h0 as u64) as u8,
+            _ => (h0 as u64 + packet_id % (vcs - h0) as u64) as u8,
+        }
+    }
+
+    /// The virtual channel a freshly generated packet is injected into
+    /// at its source's Local input port — the class-0 share of
+    /// [`Mesh::hop_vc`] (injection never crosses a dateline).
+    pub fn injection_vc(&self, packet_id: u64, vcs: usize) -> u8 {
+        if vcs == 1 {
+            return 0;
+        }
+        if !self.wrap {
+            return (packet_id % vcs as u64) as u8;
+        }
+        (packet_id % vcs.div_ceil(2) as u64) as u8
+    }
 }
 
 /// Flat, cache-linear neighbour lookup: `ids[router * 4 + dir]` holds
@@ -420,6 +536,109 @@ mod tests {
             for rid in 0..m.len() {
                 for d in &Direction::ALL[..4] {
                     assert_eq!(t.get(rid, *d), m.neighbor(rid, *d), "{m:?} {rid} {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_class_flips_exactly_once_per_dimension() {
+        // Walk the full DOR path of every (src, dst) pair on a torus:
+        // within each dimension the class starts at 0, becomes 1 on the
+        // wrap link, and never returns to 0.
+        let m = Mesh::torus(5, 4);
+        for src in 0..m.len() {
+            for dst in 0..m.len() {
+                let mut here = src;
+                let mut last: Option<(Direction, u8)> = None;
+                while here != dst {
+                    let dir = m.route_xy(here, dst);
+                    let class = m.dateline_class(here, src, dir);
+                    if let Some((pd, pc)) = last {
+                        let same_dim = matches!(
+                            (pd, dir),
+                            (
+                                Direction::East | Direction::West,
+                                Direction::East | Direction::West
+                            ) | (
+                                Direction::North | Direction::South,
+                                Direction::North | Direction::South
+                            )
+                        );
+                        if same_dim {
+                            assert!(class >= pc, "class dropped mid-dimension");
+                        }
+                    }
+                    let next = m.neighbor(here, dir).unwrap();
+                    // The class-1 half is entered exactly on wrap links.
+                    let (hx, hy) = m.coords(here);
+                    let (nx, ny) = m.coords(next);
+                    let wraps = (hx == m.width - 1 && nx == 0)
+                        || (hx == 0 && nx == m.width - 1)
+                        || (hy == m.height - 1 && ny == 0)
+                        || (hy == 0 && ny == m.height - 1);
+                    if wraps {
+                        assert_eq!(class, 1, "wrap link must ride class 1");
+                    }
+                    last = Some((dir, class));
+                    here = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_has_no_dateline() {
+        let m = Mesh::new(4, 4);
+        for here in 0..m.len() {
+            for d in Direction::ALL {
+                assert_eq!(m.dateline_class(here, 0, d), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_vc_respects_class_halves() {
+        let m = Mesh::torus(6, 6);
+        for vcs in [2usize, 3, 4] {
+            let h0 = vcs.div_ceil(2);
+            for pid in 0..12u64 {
+                // Class 0: injection + non-wrapped hops stay below h0.
+                let vc0 = m.injection_vc(pid, vcs);
+                assert!((vc0 as usize) < h0);
+                // A hop on the wrap link (here.x == width-1, East) is
+                // class 1 and lands in the upper half.
+                let here = m.id(5, 0);
+                let vc1 = m.hop_vc(here, here, pid, Direction::East, vcs);
+                assert!((vc1 as usize) >= h0, "vcs={vcs} pid={pid} vc={vc1}");
+                assert!((vc1 as usize) < vcs);
+            }
+        }
+        // Single VC: always 0, wrap or not.
+        assert_eq!(m.hop_vc(m.id(5, 0), m.id(5, 0), 7, Direction::East, 1), 0);
+        // Plain mesh: packets spread across all VCs.
+        let flat = Mesh::new(4, 4);
+        let vcs: Vec<u8> = (0..8)
+            .map(|pid| flat.hop_vc(0, 0, pid, Direction::East, 4))
+            .collect();
+        assert_eq!(vcs, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hop_vc_is_uniform_along_a_packet_path() {
+        // Every flit of a packet recomputes the same VC at each hop —
+        // the property that lets body flits follow their head without
+        // stored allocation state.
+        let m = Mesh::torus(5, 5);
+        for src in 0..m.len() {
+            for dst in 0..m.len() {
+                let mut here = src;
+                while here != dst {
+                    let dir = m.route_xy(here, dst);
+                    let a = m.hop_vc(here, src, 11, dir, 4);
+                    let b = m.hop_vc(here, src, 11, dir, 4);
+                    assert_eq!(a, b);
+                    here = m.neighbor(here, dir).unwrap();
                 }
             }
         }

@@ -155,6 +155,9 @@ pub struct SourcePacket {
     pub injected_at: u64,
     /// Flits already handed to the local input port.
     pub sent: u32,
+    /// Virtual channel of the local input buffer this packet is
+    /// injected into (chosen once per packet at generation time).
+    pub vc: u8,
 }
 
 impl SourcePacket {
@@ -171,6 +174,7 @@ impl SourcePacket {
             packet_id: self.packet_id,
             src,
             dst: self.dst,
+            vc: self.vc,
             is_head: k == 0,
             is_tail: k + 1 == len,
             injected_at: self.injected_at,
@@ -192,12 +196,38 @@ pub struct Flit {
     pub src: usize,
     /// Destination router.
     pub dst: usize,
+    /// Virtual channel this flit occupies on its current link — the
+    /// input-VC buffer it sits in (or will be written into). Restamped
+    /// at every crossbar traversal with the output VC the packet won.
+    pub vc: u8,
     /// First flit of its packet (carries the route).
     pub is_head: bool,
     /// Last flit of its packet (releases the switch).
     pub is_tail: bool,
     /// Injection cycle of the packet's head.
     pub injected_at: u64,
+}
+
+impl Flit {
+    /// The filler value used for unoccupied buffer slots. Real packet
+    /// ids are allocated sequentially from zero, so `u64::MAX` can
+    /// never collide with a live flit; routing an invalid flit is a
+    /// buffer-bookkeeping bug and is debug-asserted against in the
+    /// router.
+    pub const INVALID: Flit = Flit {
+        packet_id: u64::MAX,
+        src: 0,
+        dst: 0,
+        vc: 0,
+        is_head: false,
+        is_tail: false,
+        injected_at: 0,
+    };
+
+    /// Whether this is the [`Flit::INVALID`] filler.
+    pub fn is_invalid(&self) -> bool {
+        self.packet_id == Flit::INVALID.packet_id
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +306,7 @@ mod tests {
             dst: 9,
             injected_at: 17,
             sent: 0,
+            vc: 1,
         };
         let len = 3;
         assert_eq!(p.remaining_flits(len), 3);
@@ -286,6 +317,8 @@ mod tests {
         assert!(!flits[2].is_head && flits[2].is_tail);
         for f in &flits {
             assert_eq!((f.packet_id, f.src, f.dst, f.injected_at), (42, 5, 9, 17));
+            assert_eq!(f.vc, 1, "flits inherit the packet's injection VC");
+            assert!(!f.is_invalid());
         }
         assert_eq!(p.remaining_flits(len), 0);
         assert_eq!(p.next_flit(5, len), None);
@@ -295,9 +328,25 @@ mod tests {
             dst: 2,
             injected_at: 0,
             sent: 0,
+            vc: 0,
         };
         let f = single.next_flit(0, 1).unwrap();
         assert!(f.is_head && f.is_tail);
+    }
+
+    #[test]
+    fn invalid_flit_is_detectable() {
+        assert!(Flit::INVALID.is_invalid());
+        let real = SourcePacket {
+            packet_id: u64::MAX - 1,
+            dst: 1,
+            injected_at: 0,
+            sent: 0,
+            vc: 0,
+        }
+        .next_flit(0, 1)
+        .unwrap();
+        assert!(!real.is_invalid());
     }
 
     #[test]

@@ -44,11 +44,19 @@ pub struct RouterPowerModel {
 }
 
 impl RouterPowerModel {
+    /// Per-VC input buffer depth (flits) the constructor's buffer
+    /// leakage estimate assumes — the classic single-FIFO 4-flit bank.
+    /// [`RouterPowerModel::with_buffer_geometry`] rescales relative to
+    /// this baseline, so the two must stay in lock-step.
+    pub const BASELINE_BUFFER_DEPTH_FLITS: usize = 4;
+
     /// Builds the model from a crossbar characterization.
     ///
     /// Buffer and link numbers follow the usual Orion-style estimates:
-    /// an input buffer holds 4 flits of `flit_bits` SRAM at ~1 fJ/bit
-    /// per access; a link is one crossbar-span wire at full swing.
+    /// an input buffer holds
+    /// [`RouterPowerModel::BASELINE_BUFFER_DEPTH_FLITS`] flits of
+    /// `flit_bits` SRAM at ~1 fJ/bit per access; a link is one
+    /// crossbar-span wire at full swing.
     pub fn from_characterization(ch: &SchemeCharacterization, cfg: &CrossbarConfig) -> Self {
         let bits = cfg.flit_bits as f64;
         let vdd = cfg.vdd().0;
@@ -82,13 +90,80 @@ impl RouterPowerModel {
     }
 
     /// Gating parameters for one crossbar *output port* (1/radix of the
-    /// crossbar), as used by the per-port sleep controllers.
+    /// crossbar), as used by per-port sleep controllers (the `vcs = 1`
+    /// granularity; crossbar only, no buffer term — kept for
+    /// compatibility with the scheme-comparison pipeline).
     pub fn port_gating_params(&self, radix: usize) -> GatingParams {
         let r = radix as f64;
         GatingParams {
             p_idle_awake: Watts(self.p_crossbar_idle_leak.0 / r),
             p_standby: Watts(self.p_crossbar_standby_leak.0 / r),
             e_transition: Joules(self.e_crossbar_transition.0 / r),
+            wake_latency_cycles: 1,
+        }
+    }
+
+    /// Fraction of a VC buffer bank's leakage that survives in drowsy
+    /// standby (state-retentive SRAM sleep: the bank must keep its
+    /// flits, so it drops to a retention voltage rather than cutting
+    /// power entirely).
+    pub const BUFFER_DROWSY_RETENTION: f64 = 0.1;
+
+    /// Rescales the buffer-leakage term for a router with `vcs` virtual
+    /// channels of `depth_per_vc` flits each per port, relative to the
+    /// constructor's
+    /// [`RouterPowerModel::BASELINE_BUFFER_DEPTH_FLITS`]-flit
+    /// single-FIFO baseline. Total buffer storage — and hence buffer
+    /// leakage — grows linearly with `vcs · depth`: VCs add state,
+    /// which is exactly why gating them individually matters.
+    ///
+    /// The rescale is relative, not absolute: call it **once**, on a
+    /// freshly constructed model (calling it twice compounds the
+    /// factor).
+    pub fn with_buffer_geometry(mut self, vcs: usize, depth_per_vc: usize) -> Self {
+        self.p_buffer_leak = Watts(
+            self.p_buffer_leak.0 * (vcs * depth_per_vc) as f64
+                / Self::BASELINE_BUFFER_DEPTH_FLITS as f64,
+        );
+        self
+    }
+
+    /// Leakage of one input-VC buffer bank — one of the `radix · vcs`
+    /// independently gateable banks the buffer leakage splits into.
+    pub fn vc_bank_leak(&self, radix: usize, vcs: usize) -> Watts {
+        Watts(self.p_buffer_leak.0 / (radix * vcs) as f64)
+    }
+
+    /// Gating parameters for one output **VC lane** — the granularity
+    /// the in-loop sleep FSMs actually run at: a `1/vcs` share of one
+    /// crossbar output port *plus* the downstream input-VC buffer bank
+    /// that lane writes into.
+    ///
+    /// * Idle-awake power: crossbar share + the full bank leakage.
+    /// * Standby: the crossbar share drops to its characterized standby
+    ///   level; the bank retains state at
+    ///   [`RouterPowerModel::BUFFER_DROWSY_RETENTION`] of its leakage.
+    /// * Transition energy: the crossbar share's transition, scaled up
+    ///   by the bank's share of the gated leakage (the sleep transistor
+    ///   sizing — and so the switching energy — tracks the leakage of
+    ///   the block it gates).
+    ///
+    /// Summed over a port's `vcs` lanes this is strictly more gateable
+    /// leakage than [`RouterPowerModel::port_gating_params`] covers
+    /// (the buffers join the crossbar under the gate), while each
+    /// individual lane's transition cost shrinks — the granularity
+    /// trade the gating sweep's VC dimension measures.
+    pub fn vc_lane_gating_params(&self, radix: usize, vcs: usize) -> GatingParams {
+        let share = (radix * vcs) as f64;
+        let p_xbar_idle = self.p_crossbar_idle_leak.0 / share;
+        let p_bank = self.p_buffer_leak.0 / share;
+        let e_xbar_trans = self.e_crossbar_transition.0 / share;
+        GatingParams {
+            p_idle_awake: Watts(p_xbar_idle + p_bank),
+            p_standby: Watts(
+                self.p_crossbar_standby_leak.0 / share + Self::BUFFER_DROWSY_RETENTION * p_bank,
+            ),
+            e_transition: Joules(e_xbar_trans * (1.0 + p_bank / p_xbar_idle.max(1e-30))),
             wake_latency_cycles: 1,
         }
     }
@@ -253,6 +328,38 @@ mod tests {
         let g = model().port_gating_params(5);
         assert!((g.p_idle_awake.0 - 3.0e-3 / 5.0).abs() < 1e-12);
         assert!((g.e_transition.0 - 1.0e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn buffer_geometry_scales_leakage_linearly() {
+        let m = model();
+        let base = m.p_buffer_leak.0;
+        let two_vc = m.clone().with_buffer_geometry(2, 4);
+        assert!((two_vc.p_buffer_leak.0 - 2.0 * base).abs() < 1e-15);
+        let half_depth = m.clone().with_buffer_geometry(1, 2);
+        assert!((half_depth.p_buffer_leak.0 - 0.5 * base).abs() < 1e-15);
+        // vcs=1 × depth=4 is the constructor's own geometry: identity.
+        let same = m.clone().with_buffer_geometry(1, 4);
+        assert_eq!(same.p_buffer_leak, m.p_buffer_leak);
+    }
+
+    #[test]
+    fn vc_lane_params_split_a_port_and_add_the_bank() {
+        let m = model().with_buffer_geometry(2, 4);
+        let lane = m.vc_lane_gating_params(5, 2);
+        let port = m.port_gating_params(5);
+        // Per-lane idle leakage: half the port's crossbar share plus
+        // one of the ten buffer banks.
+        let expect_idle = port.p_idle_awake.0 / 2.0 + m.vc_bank_leak(5, 2).0;
+        assert!((lane.p_idle_awake.0 - expect_idle).abs() < 1e-15);
+        // Finer granularity: each lane's transition is cheaper than the
+        // whole port's, even with the bank surcharge.
+        assert!(lane.e_transition.0 < port.e_transition.0);
+        // Standby still saves leakage (drowsy retention < 1).
+        assert!(lane.p_standby.0 < lane.p_idle_awake.0);
+        // Two lanes cover strictly more gateable leakage than the
+        // buffer-less port-level model.
+        assert!(2.0 * lane.p_idle_awake.0 > port.p_idle_awake.0);
     }
 
     #[test]

@@ -10,6 +10,16 @@ use leakage_noc::netsim::{
 };
 use proptest::prelude::*;
 
+/// CI runs the suite once per VC count by exporting `LNOC_VCS`; when
+/// set, it overrides the generated VC dimension so every case in the
+/// matrix exercises exactly that configuration.
+fn vcs_override() -> Option<usize> {
+    std::env::var("LNOC_VCS").ok().map(|v| {
+        v.parse()
+            .expect("LNOC_VCS must be a VC count (e.g. 1, 2, 4)")
+    })
+}
+
 /// Runs one config under both kernels and asserts exact equality of
 /// stats and conservation state.
 fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bool) {
@@ -37,7 +47,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Bit-identical stats across patterns × injection processes ×
-    /// mesh/torus × gating policies × visit order × packet lengths.
+    /// mesh/torus × VC counts × gating policies × visit order × packet
+    /// lengths.
     #[test]
     fn active_set_matches_reference(
         pattern_idx in 0usize..TrafficPattern::ALL.len(),
@@ -47,6 +58,7 @@ proptest! {
         bursty_sel in 0u8..2,
         reversed_sel in 0u8..2,
         len in 1usize..6,
+        vcs_sel in 0usize..3,
         gating_sel in 0u8..5,
         wake in 0u32..3,
         warmup in 0u64..200,
@@ -68,6 +80,7 @@ proptest! {
             seed,
             wrap: wrap_sel == 1,
             packet_len_flits: len,
+            vcs: vcs_override().unwrap_or([1, 2, 4][vcs_sel]),
             injection: if bursty_sel == 1 {
                 InjectionProcess::BurstyOnOff { mean_burst: 8, mean_idle: 24 }
             } else {
@@ -83,13 +96,26 @@ proptest! {
 #[test]
 fn kernels_agree_on_larger_meshes() {
     // Deterministic spot checks at the sizes the sweep baselines use,
-    // including the gated low-rate regime the paper cares about.
-    for (w, h, rate, gating) in [
-        (8, 8, 0.02, None),
+    // including the gated low-rate regime the paper cares about and
+    // the multi-VC variants the sweep's VC dimension runs.
+    for (w, h, rate, vcs, gating) in [
+        (8, 8, 0.02, 1, None),
+        (8, 8, 0.02, 4, None),
         (
             16,
             16,
             0.01,
+            1,
+            Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(4),
+                wake_latency: 2,
+            }),
+        ),
+        (
+            16,
+            16,
+            0.01,
+            2,
             Some(SleepConfig {
                 policy: GatingPolicy::IdleThreshold(4),
                 wake_latency: 2,
@@ -99,6 +125,7 @@ fn kernels_agree_on_larger_meshes() {
             16,
             16,
             0.05,
+            1,
             Some(SleepConfig {
                 policy: GatingPolicy::Immediate,
                 wake_latency: 1,
@@ -110,6 +137,7 @@ fn kernels_agree_on_larger_meshes() {
                 width: w,
                 height: h,
                 injection_rate: rate,
+                vcs: vcs_override().unwrap_or(vcs),
                 gating,
                 seed: 2005,
                 ..MeshConfig::default()
@@ -119,6 +147,30 @@ fn kernels_agree_on_larger_meshes() {
             false,
         );
     }
+}
+
+#[test]
+fn kernels_agree_on_saturated_dateline_torus() {
+    // The deadlock-freedom showcase must also be kernel-exact: Tornado
+    // at saturation on a wrapped mesh with dateline VCs, where credits
+    // are scarce and the worklist never empties.
+    assert_kernels_agree(
+        MeshConfig {
+            width: 8,
+            height: 8,
+            wrap: true,
+            vcs: vcs_override().unwrap_or(2).max(2),
+            pattern: TrafficPattern::Tornado,
+            injection_rate: 0.6,
+            source_queue_cap: 4,
+            watchdog_cycles: 2_000,
+            seed: 11,
+            ..MeshConfig::default()
+        },
+        100,
+        1500,
+        false,
+    );
 }
 
 #[test]
@@ -150,67 +202,75 @@ fn kernels_agree_under_source_saturation() {
 fn zero_injection_quiesces_the_whole_network() {
     // With nothing to do, the worklist must empty immediately and the
     // bulk accounting must reproduce the exact idle totals: one open
-    // interval of `measure` cycles per output port.
+    // interval of `measure` cycles per output VC lane.
     let measure = 5000u64;
-    let mut sim = Simulation::new(MeshConfig {
-        injection_rate: 0.0,
-        ..MeshConfig::default()
-    });
-    assert_eq!(
-        sim.kernel(),
-        SimKernel::ActiveSet,
-        "Auto resolves to ActiveSet"
-    );
-    let stats = sim.run(0, measure);
-    assert_eq!(sim.active_router_count(), 0, "no router may stay active");
-    let n = sim.mesh().len() as u64;
-    let merged = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
-    assert_eq!(merged.total_idle_cycles(), measure * n * 5);
-    assert_eq!(merged.interval_count(), n * 5);
-    assert_eq!(merged.open_runs().len(), (n * 5) as usize);
-    // Activity bulk accounting is exact too: every router saw every
-    // cycle, and every free port arbitrated every cycle.
-    for a in &stats.router_activity {
-        assert_eq!(a.cycles, measure);
-        assert_eq!(a.arbitrations, measure * 5);
-        assert_eq!(a.crossbar_traversals, 0);
+    for vcs in [1usize, 4] {
+        let mut sim = Simulation::new(MeshConfig {
+            injection_rate: 0.0,
+            vcs,
+            ..MeshConfig::default()
+        });
+        assert_eq!(
+            sim.kernel(),
+            SimKernel::ActiveSet,
+            "Auto resolves to ActiveSet"
+        );
+        let stats = sim.run(0, measure);
+        assert_eq!(sim.active_router_count(), 0, "no router may stay active");
+        let n = sim.mesh().len() as u64;
+        let lanes = 5 * vcs as u64;
+        let merged = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
+        assert_eq!(merged.total_idle_cycles(), measure * n * lanes);
+        assert_eq!(merged.interval_count(), n * lanes);
+        assert_eq!(merged.open_runs().len(), (n * lanes) as usize);
+        // Activity bulk accounting is exact too: every router saw every
+        // cycle, and every free lane arbitrated every cycle.
+        for a in &stats.router_activity {
+            assert_eq!(a.cycles, measure);
+            assert_eq!(a.arbitrations, measure * lanes);
+            assert_eq!(a.crossbar_traversals, 0);
+        }
+        assert_eq!(stats.packets_injected, 0);
     }
-    assert_eq!(stats.packets_injected, 0);
 }
 
 #[test]
 fn gated_network_quiesces_once_asleep() {
-    // With gating, routers stay in the worklist only until their ports
+    // With gating, routers stay in the worklist only until their lanes
     // park; after the threshold walk the active set must still empty.
-    let mut sim = Simulation::new(MeshConfig {
-        injection_rate: 0.0,
-        gating: Some(SleepConfig {
-            policy: GatingPolicy::IdleThreshold(3),
-            wake_latency: 2,
-        }),
-        ..MeshConfig::default()
-    });
-    let measure = 1000;
-    let stats = sim.run(0, measure);
-    assert_eq!(sim.active_router_count(), 0);
-    let counters = stats.total_gating_counters();
-    let n = sim.mesh().len() as u64;
-    // Every port: 3 awake idle cycles, then asleep for the rest.
-    assert_eq!(counters.sleep_entries, n * 5);
-    assert_eq!(counters.cycles_idle_awake, n * 5 * 3);
-    assert_eq!(counters.cycles_asleep, n * 5 * (measure - 3));
-    // And the reference kernel agrees bit-for-bit.
-    assert_kernels_agree(
-        MeshConfig {
+    for vcs in [1usize, 2] {
+        let mut sim = Simulation::new(MeshConfig {
             injection_rate: 0.0,
+            vcs,
             gating: Some(SleepConfig {
                 policy: GatingPolicy::IdleThreshold(3),
                 wake_latency: 2,
             }),
             ..MeshConfig::default()
-        },
-        0,
-        measure,
-        false,
-    );
+        });
+        let measure = 1000;
+        let stats = sim.run(0, measure);
+        assert_eq!(sim.active_router_count(), 0);
+        let counters = stats.total_gating_counters();
+        let lanes = sim.mesh().len() as u64 * 5 * vcs as u64;
+        // Every lane: 3 awake idle cycles, then asleep for the rest.
+        assert_eq!(counters.sleep_entries, lanes);
+        assert_eq!(counters.cycles_idle_awake, lanes * 3);
+        assert_eq!(counters.cycles_asleep, lanes * (measure - 3));
+        // And the reference kernel agrees bit-for-bit.
+        assert_kernels_agree(
+            MeshConfig {
+                injection_rate: 0.0,
+                vcs,
+                gating: Some(SleepConfig {
+                    policy: GatingPolicy::IdleThreshold(3),
+                    wake_latency: 2,
+                }),
+                ..MeshConfig::default()
+            },
+            0,
+            measure,
+            false,
+        );
+    }
 }
