@@ -37,6 +37,16 @@
 //! injection processes, topologies, VC counts, gating policies and
 //! visit order.
 //!
+//! **RNG discipline.** Every node draws from its own deterministic
+//! stream, keyed by `(seed, router id)` ([`node_rng`]), and packet ids
+//! are allocated per source ([`packet_id`]: source in the high bits,
+//! a private sequence number in the low bits). A node's draw sequence
+//! is therefore a pure function of its own history — independent of
+//! the order nodes are visited in, of what any other node draws, and
+//! of how the mesh is partitioned across parallel workers. This is
+//! what lets a tiled kernel inject in parallel and still reproduce the
+//! serial kernels bit for bit.
+//!
 //! Correctness notes:
 //!
 //! * Credit state is evaluated against the cycle-start snapshot
@@ -196,6 +206,38 @@ impl Default for MeshConfig {
     }
 }
 
+/// Builds router `rid`'s private RNG stream for a run seeded with
+/// `seed`.
+///
+/// The golden-ratio multiply keeps the expanded seed distinct per
+/// router (injective in `rid` for a fixed run seed), and
+/// `seed_from_u64`'s SplitMix64 expansion decorrelates the resulting
+/// generator states. Because each node only ever draws from its own
+/// stream, its draw sequence does not depend on other nodes, on visit
+/// order, or on shard geometry.
+pub(crate) fn node_rng(seed: u64, rid: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (rid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Bits of a packet id holding the source-private sequence number; the
+/// bits above carry the source router id.
+const PACKET_SEQ_BITS: u32 = 40;
+
+/// Allocates the globally unique id of source `src`'s `seq`-th packet.
+///
+/// Ids are per-source streams — `src` in the high bits, the source's
+/// private sequence number in the low bits — so id allocation needs no
+/// cross-node coordination (the property that lets tiled injection run
+/// in parallel). Uniqueness: sources are distinct in the high bits and
+/// sequences in the low bits; the result can never collide with
+/// [`Flit::INVALID`] (`u64::MAX`) while `src < 2^24 − 1`, far above
+/// any simulable mesh.
+pub(crate) fn packet_id(src: usize, seq: u64) -> u64 {
+    debug_assert!((src as u64) < (1 << (64 - PACKET_SEQ_BITS)) - 1);
+    debug_assert!(seq < (1 << PACKET_SEQ_BITS));
+    ((src as u64) << PACKET_SEQ_BITS) | seq
+}
+
 /// Per-destination ejection progress, for on-the-fly validation of
 /// in-order, contiguous packet delivery.
 #[derive(Debug, Clone, Copy, Default)]
@@ -229,8 +271,10 @@ pub struct Simulation {
     source_queues: Vec<VecDeque<SourcePacket>>,
     /// Per-node ON/OFF state of the bursty injection process.
     source_on: Vec<bool>,
-    rng: StdRng,
-    next_packet_id: u64,
+    /// Per-router RNG streams (see [`node_rng`]).
+    rngs: Vec<StdRng>,
+    /// Per-source packet sequence numbers (see [`packet_id`]).
+    next_seq: Vec<u64>,
     flits_injected: u64,
     cycle: u64,
     visit_reversed: bool,
@@ -362,8 +406,8 @@ impl Simulation {
                 .collect(),
             source_queues: vec![VecDeque::new(); n],
             source_on: vec![true; n],
-            rng: StdRng::seed_from_u64(cfg.seed),
-            next_packet_id: 0,
+            rngs: (0..n).map(|rid| node_rng(cfg.seed, rid)).collect(),
+            next_seq: vec![0; n],
             flits_injected: 0,
             cycle: 0,
             visit_reversed: false,
@@ -609,17 +653,21 @@ impl Simulation {
             } = self.cfg.injection
             {
                 let flip = if self.source_on[src] {
-                    self.rng.gen_bool(1.0 / mean_burst as f64)
+                    self.rngs[src].gen_bool(1.0 / mean_burst as f64)
                 } else {
-                    self.rng.gen_bool(1.0 / mean_idle as f64)
+                    self.rngs[src].gen_bool(1.0 / mean_idle as f64)
                 };
                 if flip {
                     self.source_on[src] = !self.source_on[src];
                 }
             }
             let rate = if self.source_on[src] { on_rate } else { 0.0 };
-            if rate > 0.0 && self.rng.gen_bool(rate) {
-                if let Some(dst) = self.cfg.pattern.destination(src, &self.mesh, &mut self.rng) {
+            if rate > 0.0 && self.rngs[src].gen_bool(rate) {
+                if let Some(dst) = self
+                    .cfg
+                    .pattern
+                    .destination(src, &self.mesh, &mut self.rngs[src])
+                {
                     if self.source_queues[src].len() >= self.cfg.source_queue_cap {
                         // Queue at cap: reject the offer. The packet
                         // never existed, so conservation stays exact.
@@ -627,8 +675,8 @@ impl Simulation {
                             s.packets_dropped_at_source += 1;
                         }
                     } else {
-                        let id = self.next_packet_id;
-                        self.next_packet_id += 1;
+                        let id = packet_id(src, self.next_seq[src]);
+                        self.next_seq[src] += 1;
                         self.source_queues[src].push_back(SourcePacket {
                             packet_id: id,
                             dst,
