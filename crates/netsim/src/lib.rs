@@ -15,14 +15,19 @@
 //! a worm. The offline policy models in [`lnoc_power::gating`] are
 //! cross-validated against these in-loop measurements.
 //!
-//! The cycle loop itself runs on one of two result-identical kernels
-//! ([`SimKernel`]): the dense `Reference` oracle, or the default
+//! The cycle loop itself runs on one of three result-identical kernels
+//! ([`SimKernel`]): the dense `Reference` oracle; the default
 //! `ActiveSet` kernel that skips quiescent routers entirely and
 //! bulk-accounts their idleness — a multiple-× cycle-rate win exactly
-//! in the low-injection-rate regime the leakage study sweeps. A
-//! zero-progress watchdog ([`MeshConfig::watchdog_cycles`]) turns any
-//! routing-deadlock regression into a fast, named failure instead of a
-//! hung run.
+//! in the low-injection-rate regime the leakage study sweeps; and the
+//! `Sharded` kernel, which partitions the mesh into row-band tiles
+//! ([`topology::TileMap`]) stepped by parallel workers exchanging
+//! boundary traffic through double-buffered mailboxes — deterministic
+//! by construction, bit-identical to the serial kernels for every
+//! shard and thread count, and the way 64×64/128×128 sweeps stay
+//! tractable. A zero-progress watchdog
+//! ([`MeshConfig::watchdog_cycles`]) turns any routing-deadlock
+//! regression into a fast, named failure instead of a hung run.
 //!
 //! ## Example
 //!
@@ -61,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod router;
+mod shard;
 pub mod sim;
 pub mod sleep;
 pub mod stats;

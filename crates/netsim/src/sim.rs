@@ -1,22 +1,58 @@
 //! The cycle loop: injection, router stepping, link transfer, credit
 //! return, ejection.
 //!
-//! Two interchangeable kernels execute the loop (selected by
-//! [`MeshConfig::kernel`]):
+//! Three interchangeable kernels execute the loop (selected by
+//! [`MeshConfig::kernel`]), all three configurations of **one shared
+//! two-phase engine**:
 //!
 //! * [`SimKernel::Reference`] — the dense oracle: every router is
 //!   stepped every cycle and the credit state is rebuilt O(5·V·n) per
 //!   cycle from the live buffers. Simple, obviously correct, slow.
-//! * [`SimKernel::ActiveSet`] — the production kernel: a worklist of
-//!   routers that can possibly do work this cycle (buffered flits, an
-//!   output VC lane held mid-packet, or a waiting source packet —
-//!   sleep-FSM motion earns no membership: an empty router's FSM
-//!   future is closed-form and replayed in bulk, see
+//! * [`SimKernel::ActiveSet`] — the serial production kernel: a
+//!   worklist of routers that can possibly do work this cycle
+//!   (buffered flits, an output VC lane held mid-packet, or a waiting
+//!   source packet — sleep-FSM motion earns no membership: an empty
+//!   router's FSM future is closed-form and replayed in bulk, see
 //!   [`SleepFsm::idle_predictable`]). Quiescent routers are skipped
 //!   entirely; their idle cycles are accounted in O(1) bulk when they
 //!   reactivate or the window closes, and the credit counters are
 //!   maintained incrementally on flit departure/arrival instead of
 //!   rebuilt.
+//! * [`SimKernel::Sharded`] — the active-set kernel, tiled: the mesh
+//!   is partitioned into full-width row bands
+//!   ([`crate::topology::TileMap`]), each band owns a contiguous slice
+//!   of every per-router SoA slab (buffers, lanes, credits, RNG
+//!   streams, source queues) plus its own worklist bitset, and bands
+//!   step concurrently on worker threads
+//!   ([`MeshConfig::shards`] / [`MeshConfig::threads`]).
+//!
+//! ## Why the sharded kernel is deterministic
+//!
+//! A cycle runs in two phases per shard with one barrier between them:
+//!
+//! 1. **compute** (parallel) — inject, step the tile's active set
+//!    against the cycle-start credit snapshot, and apply transfers.
+//!    Everything read here is tile-local by construction: a router's
+//!    readiness reads only *its own* output-lane credits, routing reads
+//!    shared immutable tables, and injection draws come from per-router
+//!    RNG streams. Effects that land in another tile — a flit crossing
+//!    the band boundary, a credit returning upstream — are staged into
+//!    fixed-capacity, double-buffered mailboxes instead of applied.
+//! 2. **exchange** (parallel, after the barrier) — each shard drains
+//!    its inboxes (senders in ascending shard order) and applies the
+//!    arrivals and credit returns to its own state.
+//!
+//! Within one cycle, all cross-tile effects commute: at most one flit
+//! can arrive per input VC buffer per cycle (one flit per upstream
+//! output lane), at most one credit can return per output lane (one
+//! pop per downstream input port), and every statistics update is an
+//! integer add or max. So *when* within the cycle a boundary effect is
+//! applied cannot change the cycle's outcome — the same argument that
+//! already makes the serial kernels independent of router visit order.
+//! Per-shard statistics are reduced with [`NetworkStats::merge_shard`] in
+//! ascending shard order. The result: `shards ∈ {1, 2, 4, 8, …}` × any
+//! thread count produce the same `NetworkStats`, pinned by the
+//! kernel-equivalence and shard-equivalence test matrices.
 //!
 //! Flow control is credit-based: the simulation carries one explicit
 //! credit counter per output VC lane (`router * 5V + port * V + vc`),
@@ -70,10 +106,11 @@
 //!   reused across cycles and [`Router::step_fast`] is allocation-free,
 //!   so the steady-state loop performs no heap allocation.
 
-use crate::router::{PortLane, RouteTarget, Router, MAX_LANES, MAX_VCS};
+use crate::router::{PortLane, RouteTarget, Router, MAX_VCS};
+use crate::shard::{BoundaryMsg, Mailboxes, PhaseBarrier, PoisonGuard, ShardSlots};
 use crate::sleep::{SleepConfig, SleepFsm};
 use crate::stats::NetworkStats;
-use crate::topology::{Direction, Mesh, NeighborTable, RouteTable};
+use crate::topology::{Direction, Mesh, NeighborTable, RouteTable, TileMap};
 use crate::traffic::{Flit, InjectionProcess, SourcePacket, TrafficPattern};
 use lnoc_power::gating::{GatingCounters, GatingPolicy};
 use rand::rngs::StdRng;
@@ -101,6 +138,13 @@ pub enum SimKernel {
     /// Dense oracle: every router stepped every cycle, credit state
     /// rebuilt O(5·V·n) per cycle.
     Reference,
+    /// Tile-sharded kernel: the mesh is partitioned into row bands
+    /// ([`crate::topology::TileMap`]), each band runs the active-set
+    /// step on its own worker, and boundary traffic crosses through
+    /// double-buffered mailboxes. Bit-identical to the serial kernels
+    /// for every shard and thread count (see
+    /// [`MeshConfig::shards`] / [`MeshConfig::threads`]).
+    Sharded,
 }
 
 impl SimKernel {
@@ -118,6 +162,7 @@ impl SimKernel {
             SimKernel::Auto => "auto",
             SimKernel::ActiveSet => "active-set",
             SimKernel::Reference => "reference",
+            SimKernel::Sharded => "sharded",
         }
     }
 }
@@ -170,6 +215,20 @@ pub struct MeshConfig {
     /// deadlock regressions fail fast in CI. `0` disables the
     /// watchdog.
     pub watchdog_cycles: u64,
+    /// Tile count for [`SimKernel::Sharded`] (`0` = auto: one tile per
+    /// available core). Clamped to the mesh height (every tile band
+    /// owns at least one row). **Never changes results**: statistics
+    /// are bit-identical for every shard count — the count only trades
+    /// parallelism against per-tile work. Ignored by the serial
+    /// kernels.
+    pub shards: usize,
+    /// Worker threads for [`SimKernel::Sharded`] (`0` = auto: one per
+    /// available core, at most one per shard). Purely an execution
+    /// detail — `shards` fixes the tile geometry and the results;
+    /// threads only decide how many tiles step concurrently, so
+    /// `--threads 1` replays an 8-shard run bit-for-bit on one core.
+    /// Ignored by the serial kernels.
+    pub threads: usize,
 }
 
 impl MeshConfig {
@@ -202,6 +261,8 @@ impl Default for MeshConfig {
             validate_ejection: false,
             source_queue_cap: MeshConfig::DEFAULT_SOURCE_QUEUE_CAP,
             watchdog_cycles: MeshConfig::DEFAULT_WATCHDOG_CYCLES,
+            shards: 0,
+            threads: 0,
         }
     }
 }
@@ -259,6 +320,13 @@ struct Transfer {
 }
 
 /// A running mesh simulation.
+///
+/// All per-router state lives in network-wide SoA slabs ordered by
+/// router id. Because the tile partition is made of full-width row
+/// bands ([`TileMap`]), every shard owns a *contiguous* slice of every
+/// slab — the sharded runner carves the slabs with `split_at_mut` and
+/// hands each worker a [`ShardView`] of disjoint slices, no index
+/// translation and no locks on the hot path.
 #[derive(Debug)]
 pub struct Simulation {
     cfg: MeshConfig,
@@ -275,17 +343,15 @@ pub struct Simulation {
     rngs: Vec<StdRng>,
     /// Per-source packet sequence numbers (see [`packet_id`]).
     next_seq: Vec<u64>,
-    flits_injected: u64,
     cycle: u64,
     visit_reversed: bool,
-    /// Reused per-cycle scratch: departures waiting to be applied.
-    transfers: Vec<Transfer>,
     /// Credit counters, `router * 5V + port * V + vc` — free slots in
     /// the downstream input VC buffer reachable through that output
     /// lane (0 for edge ports without a link; Local lanes unused, the
     /// ejection port always sinks). The reference kernel rebuilds them
-    /// every cycle; the active-set kernel maintains them incrementally
-    /// on departure (consume) and downstream pop (return).
+    /// every cycle; the active-set and sharded kernels maintain them
+    /// incrementally on departure (consume) and downstream pop
+    /// (return).
     credits: Vec<u32>,
     eject: Vec<EjectProgress>,
 
@@ -296,16 +362,12 @@ pub struct Simulation {
     fsm: Vec<SleepFsm>,
     /// Gating counters per router (all lanes summed).
     counters: Vec<GatingCounters>,
-    /// Reused per-router scratch for [`PortLane::idle_ended`].
-    idle_ended: Vec<u64>,
+    /// Last cycle a (now quiescent) router was stepped or accounted
+    /// through; the gap to the current cycle is its pending bulk-idle
+    /// accounting.
+    last_stepped: Vec<u64>,
 
-    // ---- Watchdog state ----
-    /// Flits currently buffered inside routers (not source queues).
-    buffered_flits: u64,
-    /// Consecutive cycles with buffered flits but zero progress.
-    stagnant_cycles: u64,
-
-    // ---- Active-set kernel state ----
+    // ---- Shared immutable lookup state ----
     neighbors: NeighborTable,
     routes: Option<RouteTable>,
     /// Cached `(x, y)` per router id, so the hot route closure's
@@ -313,15 +375,110 @@ pub struct Simulation {
     /// divisions — the same treatment [`NeighborTable`] gives
     /// neighbour lookup.
     xy: Vec<(u16, u16)>,
-    /// The worklist as a bitset (bit `rid` set ⇔ router `rid` steps
-    /// this cycle). A bitset instead of a list keeps the traversal in
-    /// router-index order — cache-linear over the router array and the
-    /// SoA lanes — and makes membership tests one AND.
+
+    // ---- Tile partition ----
+    /// The tile partition (a single tile for the serial kernels).
+    tiles: TileMap,
+    /// Per-shard worklists, scratch and counters (one entry for the
+    /// serial kernels).
+    scratch: Vec<ShardScratch>,
+    /// Resolved worker-thread budget for the sharded kernel.
+    threads: usize,
+}
+
+/// Per-shard persistent state: the tile's worklist bitset, per-cycle
+/// scratch, mailbox staging buffers, and the tile's share of the
+/// network-wide conservation counters.
+#[derive(Debug)]
+struct ShardScratch {
+    /// Shard index.
+    shard: usize,
+    /// First global router id of the tile.
+    base: usize,
+    /// Routers in the tile.
+    len: usize,
+    /// The tile's worklist as a bitset over *local* router indices
+    /// (bit `lr` set ⇔ router `base + lr` steps this cycle). A bitset
+    /// keeps the traversal in router-index order — cache-linear over
+    /// the tile's slice of the router array and the SoA lanes.
     active_bits: Vec<u64>,
-    /// Last cycle a (now quiescent) router was stepped or accounted
-    /// through; the gap to the current cycle is its pending bulk-idle
-    /// accounting.
-    last_stepped: Vec<u64>,
+    /// Reused per-cycle scratch: departures waiting to be applied.
+    transfers: Vec<Transfer>,
+    /// Reused per-router scratch for [`PortLane::idle_ended`].
+    idle_ended: Vec<u64>,
+    /// Staged outgoing boundary messages, parallel to
+    /// `Mailboxes::outboxes(shard)`.
+    outgoing: Vec<Vec<BoundaryMsg>>,
+    /// Receiver-side drain buffers, parallel to
+    /// `Mailboxes::inboxes(shard)`.
+    incoming: Vec<Vec<BoundaryMsg>>,
+    /// Flits injected by this tile's sources since construction.
+    flits_injected: u64,
+    /// Flits still waiting in this tile's source queues (maintained
+    /// incrementally; the O(n) scan is debug-asserted against it).
+    queued_flits: u64,
+    /// Flits buffered in this tile's routers (maintained
+    /// incrementally: inject drain +1, ejection −1, boundary departure
+    /// −1, boundary arrival +1).
+    buffered_flits: u64,
+    /// Consecutive cycles with buffered flits but zero network-wide
+    /// progress — every shard computes the same value from the shared
+    /// progress slots, so the watchdog decision is global and
+    /// deterministic.
+    stagnant_cycles: u64,
+    /// Router-step executions in this tile (the quiescence tests
+    /// assert an all-idle run performs none).
+    routers_stepped: u64,
+    /// This tile's statistics for the current measurement window —
+    /// tile-sized, locally indexed — merged into the run result in
+    /// ascending shard order via [`NetworkStats::merge_shard`].
+    stats: Option<NetworkStats>,
+}
+
+/// One worker's mutable window onto a tile: disjoint slices of every
+/// per-router slab, plus the tile's scratch. Local index `lr`
+/// addresses global router `base + lr`; lane arrays are indexed
+/// `lr * 5V + port * V + vc`.
+#[derive(Debug)]
+struct ShardView<'a> {
+    base: usize,
+    len: usize,
+    scratch: &'a mut ShardScratch,
+    routers: &'a mut [Router],
+    source_queues: &'a mut [VecDeque<SourcePacket>],
+    source_on: &'a mut [bool],
+    rngs: &'a mut [StdRng],
+    next_seq: &'a mut [u64],
+    credits: &'a mut [u32],
+    eject: &'a mut [EjectProgress],
+    idle_run: &'a mut [u64],
+    fsm: &'a mut [SleepFsm],
+    counters: &'a mut [GatingCounters],
+    last_stepped: &'a mut [u64],
+}
+
+/// Shared, immutable context of one `run` call (everything a worker
+/// needs beyond its own [`ShardView`]).
+#[derive(Debug)]
+struct RunCtx<'a> {
+    cfg: &'a MeshConfig,
+    kernel: SimKernel,
+    mesh: Mesh,
+    vcs: usize,
+    lanes: usize,
+    neighbors: &'a NeighborTable,
+    routes: Option<&'a RouteTable>,
+    xy: &'a [(u16, u16)],
+    tiles: &'a TileMap,
+    mail: &'a Mailboxes,
+    slots: &'a [ShardSlots],
+    barrier: &'a PhaseBarrier,
+    workers: usize,
+    visit_reversed: bool,
+    warmup: u64,
+    measure: u64,
+    start_cycle: u64,
+    on_rate: f64,
 }
 
 impl Simulation {
@@ -385,6 +542,23 @@ impl Simulation {
         let v = cfg.vcs;
         let lanes = 5 * v;
         let kernel = cfg.kernel.resolve();
+        // Shard geometry: the serial kernels always run one tile; the
+        // sharded kernel defaults to one tile per available core,
+        // clamped so every tile band owns at least one row. The shard
+        // count never changes results — only how work is partitioned.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let (shard_count, threads) = match kernel {
+            SimKernel::Sharded => {
+                let s = if cfg.shards > 0 { cfg.shards } else { cores };
+                let s = s.clamp(1, cfg.height);
+                let t = if cfg.threads > 0 { cfg.threads } else { cores };
+                (s, t.clamp(1, s))
+            }
+            _ => (1, 1),
+        };
+        let tiles = TileMap::new(&mesh, shard_count);
         // Initial credits: the full per-VC depth wherever a link
         // exists, zero on edge ports (so `credit > 0` doubles as the
         // link-existence check in the hot readiness closure).
@@ -398,6 +572,27 @@ impl Simulation {
                 }
             }
         }
+        let scratch: Vec<ShardScratch> = (0..shard_count)
+            .map(|s| {
+                let range = tiles.router_range(s);
+                ShardScratch {
+                    shard: s,
+                    base: range.start,
+                    len: range.len(),
+                    active_bits: vec![0; range.len().div_ceil(64)],
+                    transfers: Vec::new(),
+                    idle_ended: vec![0; lanes],
+                    outgoing: vec![Vec::new(); tiles.neighbors(s).len()],
+                    incoming: vec![Vec::new(); tiles.neighbors(s).len()],
+                    flits_injected: 0,
+                    queued_flits: 0,
+                    buffered_flits: 0,
+                    stagnant_cycles: 0,
+                    routers_stepped: 0,
+                    stats: None,
+                }
+            })
+            .collect();
         let sim = Simulation {
             mesh,
             kernel,
@@ -408,18 +603,14 @@ impl Simulation {
             source_on: vec![true; n],
             rngs: (0..n).map(|rid| node_rng(cfg.seed, rid)).collect(),
             next_seq: vec![0; n],
-            flits_injected: 0,
             cycle: 0,
             visit_reversed: false,
-            transfers: Vec::new(),
             credits,
             eject: vec![EjectProgress::default(); n],
             idle_run: vec![0; n * lanes],
             fsm: vec![SleepFsm::default(); n * lanes],
             counters: vec![GatingCounters::default(); n],
-            idle_ended: vec![0; lanes],
-            buffered_flits: 0,
-            stagnant_cycles: 0,
+            last_stepped: vec![0; n],
             neighbors: NeighborTable::new(&mesh),
             xy: (0..n)
                 .map(|rid| {
@@ -427,18 +618,22 @@ impl Simulation {
                     (x as u16, y as u16)
                 })
                 .collect(),
-            routes: (kernel == SimKernel::ActiveSet)
+            routes: (kernel != SimKernel::Reference)
                 .then(|| RouteTable::build(&mesh))
                 .flatten(),
-            active_bits: vec![0; n.div_ceil(64)],
-            last_stepped: vec![0; n],
+            tiles,
+            scratch,
+            threads,
             cfg,
         };
-        // Every router starts empty, hence quiescent: the worklist
-        // begins empty and fills from injection. Even gated networks
+        // Every router starts empty, hence quiescent: the worklists
+        // begin empty and fill from injection. Even gated networks
         // need no initial members — an idle lane's walk to sleep is
         // replayed in closed form when the router first activates.
-        debug_assert!(sim.active_bits.iter().all(|&w| w == 0));
+        debug_assert!(sim
+            .scratch
+            .iter()
+            .all(|s| s.active_bits.iter().all(|&w| w == 0)));
         sim
     }
 
@@ -457,32 +652,48 @@ impl Simulation {
         self.cfg.vcs
     }
 
+    /// The number of tile shards the simulation is partitioned into
+    /// (1 for the serial kernels).
+    pub fn shards(&self) -> usize {
+        self.tiles.shards()
+    }
+
+    /// The resolved worker-thread budget (1 for the serial kernels).
+    /// Purely an execution detail: results are identical for any
+    /// thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Lanes per router (`5 * vcs`).
     fn lanes(&self) -> usize {
         5 * self.cfg.vcs
     }
 
-    /// Routers in the current worklist — the ones the next cycle will
+    /// Routers in the current worklists — the ones the next cycle will
     /// step. The reference kernel steps everything, always.
     pub fn active_router_count(&self) -> usize {
         match self.kernel {
-            SimKernel::ActiveSet => self
-                .active_bits
+            SimKernel::Reference => self.mesh.len(),
+            _ => self
+                .scratch
                 .iter()
+                .flat_map(|s| s.active_bits.iter())
                 .map(|w| w.count_ones() as usize)
                 .sum(),
-            _ => self.mesh.len(),
         }
     }
 
-    /// Whether router `rid`'s worklist bit is set.
-    fn is_active(&self, rid: usize) -> bool {
-        self.active_bits[rid / 64] & (1u64 << (rid % 64)) != 0
+    /// Total router-step executions performed so far — the all-idle
+    /// quiescence tests assert a settled network performs none.
+    pub fn routers_stepped_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.routers_stepped).sum()
     }
 
-    /// Visits routers in reverse order within each cycle. With the
-    /// cycle-start credit snapshot the visit order must not change any
-    /// observable result — this knob exists so tests can prove it.
+    /// Visits routers in reverse order within each cycle (within each
+    /// tile, for the sharded kernel). With the cycle-start credit
+    /// snapshot the visit order must not change any observable result
+    /// — this knob exists so tests can prove it.
     pub fn set_visit_reversed(&mut self, reversed: bool) {
         self.visit_reversed = reversed;
     }
@@ -490,7 +701,28 @@ impl Simulation {
     /// Flits currently inside the network (source queues + buffers) —
     /// with the injected/delivered counters this gives exact flit
     /// conservation when measuring from cycle 0.
+    ///
+    /// O(shards): maintained incrementally at inject, accept and eject
+    /// (debug builds re-derive it with the full scan and assert
+    /// agreement), so watchdog-style progress checks never pay an
+    /// O(routers × ports × vcs) walk per call.
     pub fn in_flight_flits(&self) -> u64 {
+        let fast: u64 = self
+            .scratch
+            .iter()
+            .map(|s| s.queued_flits + s.buffered_flits)
+            .sum();
+        debug_assert_eq!(
+            fast,
+            self.in_flight_flits_scanned(),
+            "incremental in-flight counters diverged from the full scan"
+        );
+        fast
+    }
+
+    /// The O(routers × lanes) scan the incremental counters replace —
+    /// kept as the debug oracle.
+    fn in_flight_flits_scanned(&self) -> u64 {
         let len = self.cfg.packet_len_flits;
         let queued: u64 = self
             .source_queues
@@ -503,24 +735,25 @@ impl Simulation {
     }
 
     /// Flits injected since construction (all cycles, not just the
-    /// measurement window).
+    /// measurement window). O(shards).
     pub fn flits_injected_total(&self) -> u64 {
-        self.flits_injected
+        self.scratch.iter().map(|s| s.flits_injected).sum()
     }
 
     /// Asserts the credit-conservation invariant: for every link, the
     /// credits held by the upstream output lane plus the flits buffered
     /// in the downstream input VC equal the per-VC buffer depth.
     ///
-    /// The active-set kernel re-checks this in debug builds at the end
-    /// of every cycle (so `cargo test` exercises it on all cycles of
-    /// every simulated configuration); this public entry point lets
-    /// integration tests assert it at arbitrary observation points in
-    /// release builds too. The reference kernel rebuilds credits from
-    /// the live buffers each cycle, making the invariant true by
-    /// construction — calling this is then a no-op.
+    /// The incremental-credit kernels re-check this in debug builds at
+    /// the end of every serial cycle and at the end of every run (so
+    /// `cargo test` exercises it on every simulated configuration);
+    /// this public entry point lets integration tests assert it at
+    /// arbitrary observation points in release builds too. The
+    /// reference kernel rebuilds credits from the live buffers each
+    /// cycle, making the invariant true by construction — calling this
+    /// is then a no-op.
     pub fn check_credit_conservation(&self) {
-        if self.kernel != SimKernel::ActiveSet {
+        if self.kernel == SimKernel::Reference {
             return;
         }
         let v = self.cfg.vcs;
@@ -561,137 +794,444 @@ impl Simulation {
     /// At the measurement boundary the idle runs *and* the sleep FSMs
     /// are reset, so the idle histograms and the in-loop gating
     /// counters describe exactly the same intervals.
+    ///
+    /// All three kernels run through the same two-phase engine: the
+    /// per-router slabs are carved into per-shard [`ShardView`]s (one
+    /// for the serial kernels) and each worker executes the cycle loop
+    /// over its tiles, exchanging boundary traffic through the
+    /// mailboxes at the phase barrier. Per-shard statistics are merged
+    /// in ascending shard order.
     pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
-        let mut stats = NetworkStats::new(
-            self.mesh.len(),
-            self.cfg.vcs,
-            NetworkStats::DEFAULT_IDLE_BINS,
-        );
-        for _ in 0..warmup {
-            self.step(None);
+        let n = self.mesh.len();
+        let vcs = self.cfg.vcs;
+        let lanes = self.lanes();
+        let shard_count = self.tiles.shards();
+        // Workers: cap the thread budget so every worker owns at least
+        // one tile, and count the *actual* participants for the
+        // barrier.
+        let per_worker = shard_count.div_ceil(self.threads.max(1));
+        let workers = shard_count.div_ceil(per_worker);
+        let mail = Mailboxes::new(&self.tiles);
+        let slots: Vec<ShardSlots> = (0..shard_count).map(|_| ShardSlots::default()).collect();
+        let barrier = PhaseBarrier::new(workers);
+
+        let merged = {
+            let Simulation {
+                cfg,
+                kernel,
+                mesh,
+                routers,
+                source_queues,
+                source_on,
+                rngs,
+                next_seq,
+                cycle,
+                visit_reversed,
+                credits,
+                eject,
+                idle_run,
+                fsm,
+                counters,
+                last_stepped,
+                neighbors,
+                routes,
+                xy,
+                tiles,
+                scratch,
+                ..
+            } = self;
+            let ctx = RunCtx {
+                cfg: &*cfg,
+                kernel: *kernel,
+                mesh: *mesh,
+                vcs,
+                lanes,
+                neighbors: &*neighbors,
+                routes: routes.as_ref(),
+                xy: xy.as_slice(),
+                tiles: &*tiles,
+                mail: &mail,
+                slots: &slots,
+                barrier: &barrier,
+                workers,
+                visit_reversed: *visit_reversed,
+                warmup,
+                measure,
+                start_cycle: *cycle,
+                on_rate: cfg.injection.on_rate(cfg.injection_rate),
+            };
+
+            // Carve every per-router slab into disjoint per-tile
+            // slices (tiles are contiguous id ranges by construction).
+            let mut views: Vec<ShardView<'_>> = Vec::with_capacity(shard_count);
+            {
+                let mut routers = routers.as_mut_slice();
+                let mut source_queues = source_queues.as_mut_slice();
+                let mut source_on = source_on.as_mut_slice();
+                let mut rngs = rngs.as_mut_slice();
+                let mut next_seq = next_seq.as_mut_slice();
+                let mut credits = credits.as_mut_slice();
+                let mut eject = eject.as_mut_slice();
+                let mut idle_run = idle_run.as_mut_slice();
+                let mut fsm = fsm.as_mut_slice();
+                let mut counters = counters.as_mut_slice();
+                let mut last_stepped = last_stepped.as_mut_slice();
+                macro_rules! take {
+                    ($rest:ident, $n:expr) => {{
+                        let (head, tail) = $rest.split_at_mut($n);
+                        $rest = tail;
+                        head
+                    }};
+                }
+                for sc in scratch.iter_mut() {
+                    let len = sc.len;
+                    views.push(ShardView {
+                        base: sc.base,
+                        len,
+                        routers: take!(routers, len),
+                        source_queues: take!(source_queues, len),
+                        source_on: take!(source_on, len),
+                        rngs: take!(rngs, len),
+                        next_seq: take!(next_seq, len),
+                        credits: take!(credits, len * lanes),
+                        eject: take!(eject, len),
+                        idle_run: take!(idle_run, len * lanes),
+                        fsm: take!(fsm, len * lanes),
+                        counters: take!(counters, len),
+                        last_stepped: take!(last_stepped, len),
+                        scratch: sc,
+                    });
+                }
+            }
+
+            if workers == 1 {
+                run_worker(&mut views, &ctx);
+            } else {
+                std::thread::scope(|scope| {
+                    for group in views.chunks_mut(per_worker) {
+                        let ctx = &ctx;
+                        scope.spawn(move || run_worker(group, ctx));
+                    }
+                });
+            }
+            drop(views);
+            *cycle += warmup + measure;
+
+            // Deterministic reduction: ascending shard order.
+            let mut merged = NetworkStats::new(n, vcs, NetworkStats::DEFAULT_IDLE_BINS);
+            merged.measured_cycles = measure;
+            for sc in scratch.iter_mut() {
+                if let Some(s) = sc.stats.take() {
+                    merged.merge_shard(&s, sc.base);
+                }
+            }
+            merged
+        };
+        // Threaded runs check the credit invariant once here (the
+        // serial path re-checks it every cycle in debug builds).
+        #[cfg(debug_assertions)]
+        self.check_credit_conservation();
+        merged
+    }
+}
+
+/// One worker's whole run: the cycle loop over its tiles, with the
+/// phase barrier between compute and exchange. The serial kernels call
+/// this with a single group holding every tile and a 1-participant
+/// (no-op) barrier — same code path, no synchronization cost.
+fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
+    let _guard = PoisonGuard(ctx.barrier);
+    let total = ctx.warmup + ctx.measure;
+    for i in 0..total {
+        let cycle = ctx.start_cycle + i + 1;
+        if i == ctx.warmup {
+            // Measurement boundary: reset idle runs and gating state so
+            // warmup does not pollute the measurement. Quiescent
+            // routers only need their skip markers moved to the
+            // boundary — materializing their pending idle cycles would
+            // be discarded by the resets anyway. Tile-local state only,
+            // so no barrier is needed.
+            for v in group.iter_mut() {
+                v.open_measurement(ctx, ctx.start_cycle + ctx.warmup);
+            }
         }
-        // Reset idle runs and gating state so warmup does not pollute
-        // the measurement. Quiescent routers only need their skip
-        // markers moved to the boundary — materializing their pending
-        // idle cycles would be discarded by the resets below anyway.
-        self.last_stepped.fill(self.cycle);
+        let parity = (cycle % 2) as usize;
+        for v in group.iter_mut() {
+            v.phase_compute(ctx, cycle, parity);
+        }
+        ctx.barrier.wait();
+        let mut abort = false;
+        for v in group.iter_mut() {
+            abort |= v.phase_exchange(ctx, cycle, parity);
+        }
+        if cfg!(debug_assertions) && ctx.workers == 1 && ctx.kernel != SimKernel::Reference {
+            assert_credit_sync(group, ctx);
+        }
+        if abort {
+            // The watchdog fired network-wide; the designated shard
+            // panicked with the diagnostic. Leave without touching the
+            // barrier again so no worker waits on a peer that is gone.
+            return;
+        }
+    }
+    for v in group.iter_mut() {
+        v.close_run(ctx, ctx.start_cycle + total);
+    }
+}
+
+/// Debug oracle for the incremental credit counters, run after every
+/// serial cycle: every lane's credits plus the downstream buffer
+/// occupancy must equal the depth. Reads across tiles, so it only runs
+/// when one worker owns every view.
+fn assert_credit_sync(views: &[ShardView<'_>], ctx: &RunCtx<'_>) {
+    let depth = ctx.cfg.buffer_depth as u32;
+    let v = ctx.vcs;
+    let lanes = ctx.lanes;
+    for view in views {
+        for lr in 0..view.len {
+            let rid = view.base + lr;
+            for d in &Direction::ALL[..4] {
+                for vc in 0..v {
+                    let held = view.credits[lr * lanes + d.index() * v + vc];
+                    match ctx.neighbors.get(rid, *d) {
+                        Some(next) => {
+                            let owner = &views[ctx.tiles.shard_of(next)];
+                            let buffered =
+                                owner.routers[next - owner.base].occupancy(d.opposite(), vc) as u32;
+                            assert_eq!(
+                                held + buffered,
+                                depth,
+                                "credit conservation broken: router {rid} {d} vc {vc}"
+                            );
+                        }
+                        None => assert_eq!(held, 0, "edge lane must hold no credits"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ShardView<'_> {
+    /// Whether global router `rid` belongs to this tile.
+    fn contains(&self, rid: usize) -> bool {
+        (self.base..self.base + self.len).contains(&rid)
+    }
+
+    /// Measurement-boundary reset (see [`Simulation::run`]).
+    fn open_measurement(&mut self, ctx: &RunCtx<'_>, boundary_cycle: u64) {
+        self.last_stepped.fill(boundary_cycle);
         self.idle_run.fill(0);
-        for fsm in &mut self.fsm {
-            fsm.reset();
+        for f in self.fsm.iter_mut() {
+            f.reset();
         }
         self.counters.fill(GatingCounters::default());
         // The reset re-arms threshold sleeping (`slept_this_interval`
         // clears); quiescent routers need no reactivation — their walk
         // back to sleep is replayed in closed form when they next
         // flush or reactivate ([`SleepFsm::settle_idle_bulk`]).
-        for _ in 0..measure {
-            self.step(Some(&mut stats));
-        }
-        stats.measured_cycles = measure;
-        self.flush_quiescent(Some(&mut stats));
-        // Close out open idle runs and collect gating counters.
-        let lanes = self.lanes();
-        for rid in 0..self.mesh.len() {
-            for lane in 0..lanes {
-                let run = std::mem::take(&mut self.idle_run[rid * lanes + lane]);
-                stats.idle_histograms[rid][lane].record_open(run);
-            }
-            stats.gating[rid] = self.counters[rid];
-        }
-        stats
+        // Tile-sized record (local router indices): per-shard memory
+        // stays proportional to the tile, not the network, and the
+        // run-end reduction places it at `base` via
+        // [`NetworkStats::merge_shard`].
+        self.scratch.stats = Some(NetworkStats::new(
+            self.len,
+            ctx.vcs,
+            NetworkStats::DEFAULT_IDLE_BINS,
+        ));
     }
 
-    /// Advances one cycle.
-    fn step(&mut self, mut stats: Option<&mut NetworkStats>) {
-        self.cycle += 1;
-        // 1. Injection: generate new packets into source queues and
-        // move waiting flits into local input buffers. Identical in
-        // both kernels — every RNG draw happens per node per cycle.
-        let drained = self.inject(&mut stats);
-        // 2+3. Establish the cycle-start credit state and run the
-        // router cycles, collecting departures (reads) before applying
-        // them (writes) so a flit moves one hop per cycle.
-        match self.kernel {
-            SimKernel::Reference => self.route_cycle_reference(&mut stats),
-            _ => self.route_cycle_active(&mut stats),
+    /// Phase 1 of a cycle: inject, step this tile's routers against
+    /// the cycle-start credit snapshot, apply tile-local transfers and
+    /// stage boundary effects, then publish the progress slots and
+    /// hand the staged batches to the mailboxes.
+    fn phase_compute(&mut self, ctx: &RunCtx<'_>, cycle: u64, parity: usize) {
+        let mut stats = self.scratch.stats.take();
+        let drained = self.inject(ctx, cycle, &mut stats);
+        if ctx.kernel == SimKernel::Reference {
+            // The dense oracle: rebuild the credit snapshot from the
+            // live buffers and step *every* router — expressed as a
+            // full worklist so both kernels share one stepping path.
+            self.rebuild_credits(ctx);
+            let len = self.len;
+            for (wi, w) in self.scratch.active_bits.iter_mut().enumerate() {
+                let bits = (len - (wi * 64).min(len)).min(64);
+                *w = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+            }
         }
-        // 4. Apply transfers (this is also where credits move: consumed
-        // by the departing flit, returned to the upstream router of the
-        // freed slot).
-        self.apply_transfers(&mut stats);
-        #[cfg(debug_assertions)]
-        self.assert_credits_in_sync();
-        // 5. Zero-progress watchdog: every transfer both moves a flit
-        // and returns a credit, so "no transfers and nothing drained
-        // from a source queue" is exactly the no-progress condition.
-        if self.cfg.watchdog_cycles > 0 {
-            if !self.transfers.is_empty() || drained > 0 || self.buffered_flits == 0 {
-                self.stagnant_cycles = 0;
-            } else {
-                self.stagnant_cycles += 1;
-                if self.stagnant_cycles >= self.cfg.watchdog_cycles {
-                    self.watchdog_abort();
+        self.route_active(ctx, cycle, &mut stats);
+        let transfers = self.scratch.transfers.len() as u64;
+        self.apply_transfers(ctx, cycle, &mut stats);
+        ctx.slots[self.scratch.shard].publish(
+            parity,
+            transfers + drained,
+            self.scratch.buffered_flits,
+        );
+        if ctx.tiles.shards() > 1 {
+            let me = self.scratch.shard;
+            for (k, &(_, bx)) in ctx.mail.outboxes(me).iter().enumerate() {
+                ctx.mail.send(bx, parity, &mut self.scratch.outgoing[k]);
+            }
+        }
+        self.scratch.stats = stats;
+    }
+
+    /// Phase 2 of a cycle, after the barrier: drain the inboxes
+    /// (senders ascending) and apply boundary arrivals and credit
+    /// returns, then take the global watchdog decision. Returns `true`
+    /// when the watchdog fired and the worker must abort (the
+    /// designated shard panics with the diagnostic instead of
+    /// returning).
+    fn phase_exchange(&mut self, ctx: &RunCtx<'_>, cycle: u64, parity: usize) -> bool {
+        let mut stats = self.scratch.stats.take();
+        if ctx.tiles.shards() > 1 {
+            let me = self.scratch.shard;
+            for k in 0..ctx.mail.inboxes(me).len() {
+                let (_, bx) = ctx.mail.inboxes(me)[k];
+                let mut incoming = std::mem::take(&mut self.scratch.incoming[k]);
+                ctx.mail.receive(bx, parity, &mut incoming);
+                for msg in incoming.drain(..) {
+                    match msg {
+                        BoundaryMsg::Arrival { rid, port, flit } => {
+                            let rid = rid as usize;
+                            let lr = rid - self.base;
+                            self.routers[lr].accept(Direction::from_index(port as usize), flit);
+                            self.scratch.buffered_flits += 1;
+                            if let Some(s) = stats.as_mut() {
+                                s.router_activity[lr].buffer_writes += 1;
+                            }
+                            // The receiver was already accounted idle
+                            // for this whole cycle; it steps from the
+                            // next one.
+                            self.activate(ctx, lr, cycle, &mut stats);
+                        }
+                        BoundaryMsg::Credit { lane } => {
+                            self.credits[lane as usize - self.base * ctx.lanes] += 1;
+                        }
+                    }
+                }
+                self.scratch.incoming[k] = incoming;
+            }
+        }
+        self.scratch.stats = stats;
+
+        // Zero-progress watchdog: every transfer both moves a flit and
+        // returns a credit, so "no transfers anywhere and nothing
+        // drained from any source queue" is exactly the no-progress
+        // condition. All shards read the same slots, so the decision
+        // is global and deterministic.
+        if ctx.cfg.watchdog_cycles == 0 {
+            return false;
+        }
+        let progress: u64 = ctx.slots.iter().map(|s| s.read_progress(parity)).sum();
+        let buffered: u64 = ctx.slots.iter().map(|s| s.read_buffered(parity)).sum();
+        if progress > 0 || buffered == 0 {
+            self.scratch.stagnant_cycles = 0;
+            return false;
+        }
+        self.scratch.stagnant_cycles += 1;
+        if self.scratch.stagnant_cycles < ctx.cfg.watchdog_cycles {
+            return false;
+        }
+        // Fired. The lowest shard holding blocked flits carries the
+        // diagnostic; every other worker backs out quietly.
+        let who = ctx
+            .slots
+            .iter()
+            .position(|s| s.read_buffered(parity) > 0)
+            .expect("buffered > 0 in some shard");
+        if who == self.scratch.shard {
+            self.watchdog_abort(ctx, cycle, buffered);
+        }
+        true
+    }
+
+    /// End of run: settle all quiescent routers up to the final cycle,
+    /// close out open idle runs and collect gating counters.
+    fn close_run(&mut self, ctx: &RunCtx<'_>, end_cycle: u64) {
+        let mut stats = self.scratch.stats.take();
+        if ctx.kernel != SimKernel::Reference {
+            for lr in 0..self.len {
+                if self.scratch.active_bits[lr / 64] & (1u64 << (lr % 64)) == 0 {
+                    let skipped = end_cycle - self.last_stepped[lr];
+                    self.account_skipped(ctx, lr, skipped, &mut stats);
+                    self.last_stepped[lr] = end_cycle;
                 }
             }
         }
+        if let Some(s) = stats.as_mut() {
+            s.measured_cycles = ctx.measure;
+            let lanes = ctx.lanes;
+            for lr in 0..self.len {
+                for lane in 0..lanes {
+                    let run = std::mem::take(&mut self.idle_run[lr * lanes + lane]);
+                    s.idle_histograms[lr][lane].record_open(run);
+                }
+                s.gating[lr] = self.counters[lr];
+            }
+        }
+        self.scratch.stats = stats;
     }
 
-    /// Phase 1: packet generation and source-queue drain. Returns the
-    /// number of flits moved into local input buffers (progress, for
-    /// the watchdog).
-    fn inject(&mut self, stats: &mut Option<&mut NetworkStats>) -> u64 {
-        let n = self.mesh.len();
-        let len = self.cfg.packet_len_flits;
-        let vcs = self.cfg.vcs;
-        let active_kernel = self.kernel == SimKernel::ActiveSet;
-        let on_rate = self.cfg.injection.on_rate(self.cfg.injection_rate);
+    /// Injection: generate new packets into this tile's source queues
+    /// and move waiting flits into local input buffers. Every RNG draw
+    /// comes from the node's own stream, so tiles inject independently
+    /// yet identically to the serial kernels. Returns the number of
+    /// flits moved into local input buffers (progress, for the
+    /// watchdog).
+    fn inject(&mut self, ctx: &RunCtx<'_>, cycle: u64, stats: &mut Option<NetworkStats>) -> u64 {
+        let len = ctx.cfg.packet_len_flits;
+        let vcs = ctx.vcs;
+        let activating = ctx.kernel != SimKernel::Reference;
         let mut drained = 0u64;
-        for src in 0..n {
+        for l in 0..self.len {
+            let src = self.base + l;
             if let InjectionProcess::BurstyOnOff {
                 mean_burst,
                 mean_idle,
-            } = self.cfg.injection
+            } = ctx.cfg.injection
             {
-                let flip = if self.source_on[src] {
-                    self.rngs[src].gen_bool(1.0 / mean_burst as f64)
+                let flip = if self.source_on[l] {
+                    self.rngs[l].gen_bool(1.0 / mean_burst as f64)
                 } else {
-                    self.rngs[src].gen_bool(1.0 / mean_idle as f64)
+                    self.rngs[l].gen_bool(1.0 / mean_idle as f64)
                 };
                 if flip {
-                    self.source_on[src] = !self.source_on[src];
+                    self.source_on[l] = !self.source_on[l];
                 }
             }
-            let rate = if self.source_on[src] { on_rate } else { 0.0 };
-            if rate > 0.0 && self.rngs[src].gen_bool(rate) {
-                if let Some(dst) = self
+            let rate = if self.source_on[l] { ctx.on_rate } else { 0.0 };
+            if rate > 0.0 && self.rngs[l].gen_bool(rate) {
+                if let Some(dst) = ctx
                     .cfg
                     .pattern
-                    .destination(src, &self.mesh, &mut self.rngs[src])
+                    .destination(src, &ctx.mesh, &mut self.rngs[l])
                 {
-                    if self.source_queues[src].len() >= self.cfg.source_queue_cap {
+                    if self.source_queues[l].len() >= ctx.cfg.source_queue_cap {
                         // Queue at cap: reject the offer. The packet
                         // never existed, so conservation stays exact.
-                        if let Some(s) = stats.as_deref_mut() {
+                        if let Some(s) = stats.as_mut() {
                             s.packets_dropped_at_source += 1;
                         }
                     } else {
-                        let id = packet_id(src, self.next_seq[src]);
-                        self.next_seq[src] += 1;
-                        self.source_queues[src].push_back(SourcePacket {
+                        let id = packet_id(src, self.next_seq[l]);
+                        self.next_seq[l] += 1;
+                        self.source_queues[l].push_back(SourcePacket {
                             packet_id: id,
                             dst,
-                            injected_at: self.cycle,
+                            injected_at: cycle,
                             sent: 0,
-                            vc: self.mesh.injection_vc(id, vcs),
+                            vc: ctx.mesh.injection_vc(id, vcs),
                         });
-                        self.flits_injected += len as u64;
-                        if let Some(s) = stats.as_deref_mut() {
+                        self.scratch.flits_injected += len as u64;
+                        self.scratch.queued_flits += len as u64;
+                        if let Some(s) = stats.as_mut() {
                             s.packets_injected += 1;
                         }
-                        if active_kernel {
+                        if activating {
                             // The router must be stepped *this* cycle
                             // (skipped cycles end at cycle − 1).
-                            self.activate(src, self.cycle - 1, stats.as_deref_mut());
+                            self.activate(ctx, l, cycle - 1, stats);
                         }
                     }
                 }
@@ -700,8 +1240,8 @@ impl Simulation {
             // checked first so idle nodes never touch router memory).
             // The source is FIFO: the front packet waits for its own
             // VC even if a sibling VC has room.
-            while let Some(pkt) = self.source_queues[src].front_mut() {
-                if !self.routers[src].can_accept(Direction::Local, pkt.vc as usize) {
+            while let Some(pkt) = self.source_queues[l].front_mut() {
+                if !self.routers[l].can_accept(Direction::Local, pkt.vc as usize) {
                     break;
                 }
                 let flit = pkt
@@ -709,125 +1249,80 @@ impl Simulation {
                     .expect("queued descriptors have flits left");
                 let done = pkt.remaining_flits(len) == 0;
                 if done {
-                    self.source_queues[src].pop_front();
+                    self.source_queues[l].pop_front();
                 }
-                self.routers[src].accept(Direction::Local, flit);
-                self.buffered_flits += 1;
+                self.routers[l].accept(Direction::Local, flit);
+                self.scratch.buffered_flits += 1;
+                self.scratch.queued_flits -= 1;
                 drained += 1;
-                if let Some(s) = stats.as_deref_mut() {
-                    s.router_activity[src].buffer_writes += 1;
+                if let Some(s) = stats.as_mut() {
+                    s.router_activity[l].buffer_writes += 1;
                 }
             }
         }
         drained
     }
 
-    /// Phases 2+3, reference kernel: rebuild the credit state from the
-    /// live buffers, step every router — the dense oracle.
-    fn route_cycle_reference(&mut self, stats: &mut Option<&mut NetworkStats>) {
-        let n = self.mesh.len();
-        let v = self.cfg.vcs;
-        let lanes = 5 * v;
-        let depth = self.cfg.buffer_depth as u32;
-        for rid in 0..n {
+    /// Reference-kernel credit snapshot: rebuilt from the live buffers
+    /// (the reference kernel always runs as a single tile, so every
+    /// downstream router is local).
+    fn rebuild_credits(&mut self, ctx: &RunCtx<'_>) {
+        let depth = ctx.cfg.buffer_depth as u32;
+        let v = ctx.vcs;
+        let lanes = ctx.lanes;
+        for lr in 0..self.len {
+            let rid = self.base + lr;
             for d in &Direction::ALL[..4] {
                 for vc in 0..v {
-                    self.credits[rid * lanes + d.index() * v + vc] = match self
-                        .mesh
-                        .neighbor(rid, *d)
+                    self.credits[lr * lanes + d.index() * v + vc] = match ctx.neighbors.get(rid, *d)
                     {
-                        Some(next) => depth - self.routers[next].occupancy(d.opposite(), vc) as u32,
+                        Some(next) => {
+                            debug_assert!(self.contains(next), "reference runs one tile");
+                            depth
+                                - self.routers[next - self.base].occupancy(d.opposite(), vc) as u32
+                        }
                         None => 0,
                     };
                 }
             }
         }
-        let mesh = self.mesh;
-        self.transfers.clear();
-        for i in 0..n {
-            let rid = if self.visit_reversed { n - 1 - i } else { i };
-            let mut ready = [false; MAX_LANES];
-            for d in Direction::ALL {
-                for vc in 0..v {
-                    ready[d.index() * v + vc] = match d {
-                        Direction::Local => true, // ejection always sinks
-                        d => self.credits[rid * lanes + d.index() * v + vc] > 0,
-                    };
-                }
-            }
-            let route = |flit: &Flit| {
-                let out = mesh.route_xy(rid, flit.dst);
-                RouteTarget {
-                    out,
-                    vc: mesh.hop_vc(rid, flit.src, flit.packet_id, out, v),
-                }
-            };
-            let base = rid * lanes;
-            let lane = PortLane {
-                idle_run: &mut self.idle_run[base..base + lanes],
-                fsm: &mut self.fsm[base..base + lanes],
-                counters: &mut self.counters[rid],
-                idle_ended: &mut self.idle_ended,
-            };
-            let outcome = self.routers[rid].step(route, |d, vc| ready[d.index() * v + vc], lane);
-
-            if let Some(s) = stats.as_deref_mut() {
-                s.router_activity[rid].cycles += 1;
-                s.router_activity[rid].arbitrations += outcome.arbitrations;
-                for (l, &run) in self.idle_ended[..lanes].iter().enumerate() {
-                    s.idle_histograms[rid][l].record(run);
-                }
-            }
-
-            for dep in outcome.departures() {
-                if let Some(s) = stats.as_deref_mut() {
-                    s.router_activity[rid].crossbar_traversals += 1;
-                    s.router_activity[rid].buffer_reads += 1;
-                    if dep.output != Direction::Local {
-                        s.router_activity[rid].link_traversals += 1;
-                    }
-                }
-                self.transfers.push(Transfer {
-                    from: rid as u32,
-                    input: dep.input,
-                    input_vc: dep.input_vc,
-                    output: dep.output,
-                    flit: dep.flit,
-                });
-            }
-        }
     }
 
-    /// Phases 2+3, active-set kernel: the credit state is already
-    /// current (maintained incrementally), so only the worklist is
-    /// stepped — in router-index order straight off the bitset, with
-    /// lazy credit reads and table-driven routing
-    /// ([`Router::step_fast`]).
-    fn route_cycle_active(&mut self, stats: &mut Option<&mut NetworkStats>) {
-        let visit_reversed = self.visit_reversed;
-        let cycle = self.cycle;
-        let mesh = self.mesh;
-        let v = self.cfg.vcs;
-        let lanes = 5 * v;
+    /// Steps this tile's worklist — in router-index order straight off
+    /// the bitset, with lazy credit reads and table-driven routing
+    /// ([`Router::step_fast`]). The credit state is the cycle-start
+    /// snapshot (maintained incrementally, or just rebuilt by the
+    /// reference kernel), so results are visit-order independent.
+    fn route_active(&mut self, ctx: &RunCtx<'_>, cycle: u64, stats: &mut Option<NetworkStats>) {
+        let visit_reversed = ctx.visit_reversed;
+        let mesh = ctx.mesh;
+        let routes = ctx.routes;
+        let xy = ctx.xy;
+        let v = ctx.vcs;
+        let lanes = ctx.lanes;
+        let base_rid = self.base;
+        let retire = ctx.kernel != SimKernel::Reference;
         // Split borrows once: the per-router loop needs disjoint
         // mutable access to routers / SoA lanes / transfers while the
         // readiness closure reads the credit counters.
-        let Simulation {
+        let ShardView {
+            scratch,
             routers,
             source_queues,
-            transfers,
             credits,
             idle_run,
             fsm,
             counters,
-            idle_ended,
-            routes,
-            xy,
-            active_bits,
             last_stepped,
             ..
         } = self;
-        let routes = routes.as_ref();
+        let ShardScratch {
+            active_bits,
+            transfers,
+            idle_ended,
+            routers_stepped,
+            ..
+        } = &mut **scratch;
         let at = |rid: usize| {
             let (x, y) = xy[rid];
             (x as usize, y as usize)
@@ -845,12 +1340,13 @@ impl Simulation {
                     bits.trailing_zeros() as usize
                 };
                 bits &= !(1u64 << b);
-                let rid = w * 64 + b;
+                let lr = w * 64 + b;
+                let rid = base_rid + lr;
 
                 let route = |flit: &Flit| {
                     let out = match routes {
                         Some(t) => t.route(rid, flit.dst),
-                        None => mesh.route_xy(rid, flit.dst),
+                        None => mesh.route_xy_at(at(rid), at(flit.dst)),
                     };
                     RouteTarget {
                         out,
@@ -861,20 +1357,20 @@ impl Simulation {
                 // actually wants (ejection always sinks; edge lanes
                 // hold zero credits, so no-link and no-room collapse
                 // into one check).
-                let base = rid * lanes;
+                let lane_base = lr * lanes;
                 let ready = |d: Direction, vc: usize| match d {
                     Direction::Local => true,
-                    d => credits[base + d.index() * v + vc] > 0,
+                    d => credits[lane_base + d.index() * v + vc] > 0,
                 };
                 let lane = PortLane {
-                    idle_run: &mut idle_run[base..base + lanes],
-                    fsm: &mut fsm[base..base + lanes],
-                    counters: &mut counters[rid],
+                    idle_run: &mut idle_run[lane_base..lane_base + lanes],
+                    fsm: &mut fsm[lane_base..lane_base + lanes],
+                    counters: &mut counters[lr],
                     idle_ended,
                 };
                 let mut departed = 0u64;
                 let mut link_departed = 0u64;
-                let outcome = routers[rid].step_fast(route, ready, lane, |dep| {
+                let outcome = routers[lr].step_fast(route, ready, lane, |dep| {
                     departed += 1;
                     if dep.output != Direction::Local {
                         link_departed += 1;
@@ -887,9 +1383,10 @@ impl Simulation {
                         flit: dep.flit,
                     });
                 });
+                *routers_stepped += 1;
 
-                if let Some(s) = stats.as_deref_mut() {
-                    let a = &mut s.router_activity[rid];
+                if let Some(s) = stats.as_mut() {
+                    let a = &mut s.router_activity[lr];
                     a.cycles += 1;
                     a.arbitrations += outcome.arbitrations;
                     a.crossbar_traversals += departed;
@@ -900,99 +1397,143 @@ impl Simulation {
                         // and even `record(0)`'s early return costs a
                         // call per lane per cycle on the hot path.
                         if run > 0 {
-                            s.idle_histograms[rid][l].record(run);
+                            s.idle_histograms[lr][l].record(run);
                         }
                     }
                 }
 
                 // Retire the router if it just went quiescent (nothing
                 // this cycle's remaining steps can change that — only
-                // phase-4 arrivals can, and they re-activate it). An
+                // later arrivals can, and they re-activate it). An
                 // empty router's sleep FSMs are always bulk-replayable
                 // — even mid-threshold-walk — so buffers, owners and
-                // the source queue are the whole predicate.
-                if routers[rid].is_quiet() && source_queues[rid].is_empty() {
+                // the source queue are the whole predicate. (The
+                // reference kernel refills its worklist every cycle,
+                // so retiring is moot there.)
+                if retire && routers[lr].is_quiet() && source_queues[lr].is_empty() {
                     active_bits[w] &= !(1u64 << b);
-                    last_stepped[rid] = cycle;
+                    last_stepped[lr] = cycle;
                 }
             }
         }
     }
 
-    /// Phase 4: apply the collected transfers (ejections and link
-    /// crossings), moving the credits and activating receivers in
-    /// active-set mode.
-    fn apply_transfers(&mut self, stats: &mut Option<&mut NetworkStats>) {
-        let active_kernel = self.kernel == SimKernel::ActiveSet;
-        let v = self.cfg.vcs;
-        let lanes = 5 * v;
-        for ti in 0..self.transfers.len() {
-            let t = self.transfers[ti];
+    /// Applies the collected transfers (ejections and link crossings):
+    /// moves the credits, activates local receivers, and stages every
+    /// cross-tile effect for the exchange phase.
+    fn apply_transfers(&mut self, ctx: &RunCtx<'_>, cycle: u64, stats: &mut Option<NetworkStats>) {
+        let maintain = ctx.kernel != SimKernel::Reference;
+        let v = ctx.vcs;
+        let lanes = ctx.lanes;
+        for ti in 0..self.scratch.transfers.len() {
+            let t = self.scratch.transfers[ti];
             let from = t.from as usize;
             // The pop freed a slot in `from`'s input VC: return the
             // credit to the upstream router that fills it (injection
             // from the local source checks the buffer directly, so the
             // Local input has no credit counter).
-            if active_kernel && t.input != Direction::Local {
-                let up = self
+            if maintain && t.input != Direction::Local {
+                let up = ctx
                     .neighbors
                     .get(from, t.input)
                     .expect("buffered flits arrived over an existing link");
-                self.credits[up * lanes + t.input.opposite().index() * v + t.input_vc as usize] +=
-                    1;
+                let lane = up * lanes + t.input.opposite().index() * v + t.input_vc as usize;
+                if self.contains(up) {
+                    self.credits[lane - self.base * lanes] += 1;
+                } else {
+                    self.stage(ctx, up, BoundaryMsg::Credit { lane: lane as u64 });
+                }
             }
             match t.output {
                 Direction::Local => {
-                    self.buffered_flits -= 1;
-                    if cfg!(debug_assertions) || self.cfg.validate_ejection {
-                        self.validate_ejection(from, &t.flit);
+                    self.scratch.buffered_flits -= 1;
+                    if cfg!(debug_assertions) || ctx.cfg.validate_ejection {
+                        self.validate_ejection(ctx, from, &t.flit);
                     }
-                    if let Some(s) = stats.as_deref_mut() {
+                    if let Some(s) = stats.as_mut() {
                         s.flits_delivered += 1;
                         if t.flit.is_tail {
                             s.packets_delivered += 1;
-                            let latency = self.cycle - t.flit.injected_at;
+                            let latency = cycle - t.flit.injected_at;
                             s.latency_sum += latency;
                             s.latency_max = s.latency_max.max(latency);
                         }
                     }
                 }
                 d => {
-                    let next = if active_kernel {
-                        self.neighbors.get(from, d)
-                    } else {
-                        self.mesh.neighbor(from, d)
-                    }
-                    .expect("departures only target existing neighbours");
-                    self.routers[next].accept(d.opposite(), t.flit);
-                    if active_kernel {
+                    let next = ctx
+                        .neighbors
+                        .get(from, d)
+                        .expect("departures only target existing neighbours");
+                    if maintain {
                         // Consume the credit for the slot just filled.
-                        self.credits[from * lanes + d.index() * v + t.flit.vc as usize] -= 1;
-                        // The receiver was already accounted idle for
-                        // this whole cycle; it steps from the next one.
-                        self.activate(next, self.cycle, stats.as_deref_mut());
+                        self.credits
+                            [(from - self.base) * lanes + d.index() * v + t.flit.vc as usize] -= 1;
                     }
-                    if let Some(s) = stats.as_deref_mut() {
-                        s.router_activity[next].buffer_writes += 1;
+                    if self.contains(next) {
+                        self.routers[next - self.base].accept(d.opposite(), t.flit);
+                        if maintain {
+                            // The receiver was already accounted idle
+                            // for this whole cycle; it steps from the
+                            // next one.
+                            self.activate(ctx, next - self.base, cycle, stats);
+                        }
+                        if let Some(s) = stats.as_mut() {
+                            s.router_activity[next - self.base].buffer_writes += 1;
+                        }
+                    } else {
+                        // The flit leaves this tile; its arrival (and
+                        // the receiver's bookkeeping) is the owning
+                        // shard's exchange-phase work.
+                        self.scratch.buffered_flits -= 1;
+                        self.stage(
+                            ctx,
+                            next,
+                            BoundaryMsg::Arrival {
+                                rid: next as u32,
+                                port: d.opposite().index() as u8,
+                                flit: t.flit,
+                            },
+                        );
                     }
                 }
             }
         }
     }
 
+    /// Stages a boundary message for the shard owning `target_rid`.
+    fn stage(&mut self, ctx: &RunCtx<'_>, target_rid: usize, msg: BoundaryMsg) {
+        let me = self.scratch.shard;
+        let dst = ctx.tiles.shard_of(target_rid);
+        let k = ctx
+            .mail
+            .outboxes(me)
+            .iter()
+            .position(|&(d, _)| d == dst)
+            .expect("cross-tile effects only reach halo-adjacent shards");
+        self.scratch.outgoing[k].push(msg);
+    }
+
     /// Puts a quiescent router back in the worklist, first settling the
     /// cycles it skipped (`through` is the last cycle it should be
-    /// accounted as idle; phase-1 activations pass `cycle − 1` because
-    /// the router still steps this cycle, phase-4 activations pass
-    /// `cycle` because it only steps from the next one).
-    fn activate(&mut self, rid: usize, through: u64, stats: Option<&mut NetworkStats>) {
-        if self.is_active(rid) {
+    /// accounted as idle; injection activations pass `cycle − 1`
+    /// because the router still steps this cycle, arrival activations
+    /// pass `cycle` because it only steps from the next one). `lr` is
+    /// tile-local.
+    fn activate(
+        &mut self,
+        ctx: &RunCtx<'_>,
+        lr: usize,
+        through: u64,
+        stats: &mut Option<NetworkStats>,
+    ) {
+        if self.scratch.active_bits[lr / 64] & (1u64 << (lr % 64)) != 0 {
             return;
         }
-        let skipped = through - self.last_stepped[rid];
-        self.account_skipped(rid, skipped, stats);
-        self.last_stepped[rid] = through;
-        self.active_bits[rid / 64] |= 1u64 << (rid % 64);
+        let skipped = through - self.last_stepped[lr];
+        self.account_skipped(ctx, lr, skipped, stats);
+        self.last_stepped[lr] = through;
+        self.scratch.active_bits[lr / 64] |= 1u64 << (lr % 64);
     }
 
     /// Bulk-settles `skipped` consecutive idle cycles for a quiescent
@@ -1001,13 +1542,19 @@ impl Simulation {
     /// their (closed-form) future, including a threshold walk that
     /// asserts sleep partway through the gap — without touching the
     /// router.
-    fn account_skipped(&mut self, rid: usize, skipped: u64, stats: Option<&mut NetworkStats>) {
+    fn account_skipped(
+        &mut self,
+        ctx: &RunCtx<'_>,
+        lr: usize,
+        skipped: u64,
+        stats: &mut Option<NetworkStats>,
+    ) {
         if skipped == 0 {
             return;
         }
-        let lanes = self.lanes();
-        let base = rid * lanes;
-        let arbitrations = match &self.cfg.gating {
+        let lanes = ctx.lanes;
+        let base = lr * lanes;
+        let arbitrations = match &ctx.cfg.gating {
             // Ungated: every free lane arbitrates every cycle.
             None => {
                 for run in &mut self.idle_run[base..base + lanes] {
@@ -1017,7 +1564,7 @@ impl Simulation {
             }
             Some(cfg) => {
                 let th = cfg.threshold();
-                let counters = &mut self.counters[rid];
+                let counters = &mut self.counters[lr];
                 let mut arbitrations = 0;
                 for (run, fsm) in self.idle_run[base..base + lanes]
                     .iter_mut()
@@ -1030,46 +1577,24 @@ impl Simulation {
                 arbitrations
             }
         };
-        if let Some(s) = stats {
-            s.router_activity[rid].cycles += skipped;
-            s.router_activity[rid].arbitrations += arbitrations;
+        if let Some(s) = stats.as_mut() {
+            let a = &mut s.router_activity[lr];
+            a.cycles += skipped;
+            a.arbitrations += arbitrations;
         }
-    }
-
-    /// Settles all quiescent routers up to the current cycle (window
-    /// boundaries and end-of-run).
-    fn flush_quiescent(&mut self, mut stats: Option<&mut NetworkStats>) {
-        if self.kernel != SimKernel::ActiveSet {
-            return;
-        }
-        let cycle = self.cycle;
-        for rid in 0..self.mesh.len() {
-            if !self.is_active(rid) {
-                let skipped = cycle - self.last_stepped[rid];
-                self.account_skipped(rid, skipped, stats.as_deref_mut());
-                self.last_stepped[rid] = cycle;
-            }
-        }
-    }
-
-    /// Debug-build invariant: the incrementally maintained credit
-    /// counters must always match the live downstream buffer
-    /// occupancies at cycle end.
-    #[cfg(debug_assertions)]
-    fn assert_credits_in_sync(&self) {
-        self.check_credit_conservation();
     }
 
     /// The watchdog fired: panic with a per-lane diagnostic of every
-    /// blocked flit so a deadlock regression names the cycle's
-    /// participants instead of hanging CI.
-    fn watchdog_abort(&self) -> ! {
-        let v = self.cfg.vcs;
-        let lanes = self.lanes();
+    /// blocked flit in this tile so a deadlock regression names the
+    /// cycle's participants instead of hanging CI.
+    fn watchdog_abort(&self, ctx: &RunCtx<'_>, cycle: u64, buffered: u64) -> ! {
+        let v = ctx.vcs;
+        let lanes = ctx.lanes;
         let mut report = String::new();
         let mut shown = 0usize;
         let mut blocked = 0usize;
-        for (rid, r) in self.routers.iter().enumerate() {
+        for (lr, r) in self.routers.iter().enumerate() {
+            let rid = self.base + lr;
             for d in Direction::ALL {
                 for vc in 0..v {
                     let occ = r.occupancy(d, vc);
@@ -1078,7 +1603,7 @@ impl Simulation {
                     }
                     blocked += 1;
                     if shown < 8 {
-                        let credit = self.credits[rid * lanes + d.index() * v + vc];
+                        let credit = self.credits[lr * lanes + d.index() * v + vc];
                         report.push_str(&format!(
                             "\n  router {rid} input {d} vc {vc}: {occ} flit(s) waiting \
                              (upstream-side credit counter: {credit})"
@@ -1088,18 +1613,27 @@ impl Simulation {
                 }
             }
         }
+        let tile_note = if ctx.tiles.shards() > 1 {
+            format!(
+                " [diagnosing tile {} of {}; other tiles may hold more]",
+                self.scratch.shard,
+                ctx.tiles.shards()
+            )
+        } else {
+            String::new()
+        };
         panic!(
             "watchdog: no flit moved and no credit returned for {} cycles at cycle {} \
-             with {} flits buffered ({} occupied input VCs, first {} shown):{}\n\
+             with {} flits buffered{tile_note} ({} occupied input VCs, first {} shown):{}\n\
              (torus DOR with vcs = 1 has no dateline escape — run with vcs >= 2)",
-            self.cfg.watchdog_cycles, self.cycle, self.buffered_flits, blocked, shown, report
+            ctx.cfg.watchdog_cycles, cycle, buffered, blocked, shown, report
         );
     }
 
     /// Asserts in-order, contiguous, complete per-packet delivery.
-    fn validate_ejection(&mut self, rid: usize, flit: &Flit) {
+    fn validate_ejection(&mut self, ctx: &RunCtx<'_>, rid: usize, flit: &Flit) {
         assert_eq!(flit.dst, rid, "flit ejected at the wrong router");
-        let progress = &mut self.eject[rid];
+        let progress = &mut self.eject[rid - self.base];
         match progress.current {
             None => {
                 assert!(
@@ -1108,7 +1642,7 @@ impl Simulation {
                     flit.packet_id
                 );
                 if flit.is_tail {
-                    assert_eq!(self.cfg.packet_len_flits, 1);
+                    assert_eq!(ctx.cfg.packet_len_flits, 1);
                 } else {
                     progress.current = Some((flit.packet_id, 1));
                 }
@@ -1122,7 +1656,7 @@ impl Simulation {
                 let seen = seen + 1;
                 if flit.is_tail {
                     assert_eq!(
-                        seen, self.cfg.packet_len_flits,
+                        seen, ctx.cfg.packet_len_flits,
                         "packet {pkt} delivered with the wrong flit count"
                     );
                     progress.current = None;

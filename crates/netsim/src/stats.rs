@@ -73,6 +73,81 @@ impl NetworkStats {
         }
     }
 
+    /// Merges another stats record of the **same network dimensions**
+    /// into this one. Equivalent to [`NetworkStats::merge_shard`] with
+    /// a zero router offset and a full-network record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two records describe different network shapes
+    /// (router count or VC count).
+    pub fn merge(&mut self, other: &NetworkStats) {
+        assert_eq!(
+            self.router_activity.len(),
+            other.router_activity.len(),
+            "merging stats of different networks"
+        );
+        self.merge_shard(other, 0);
+    }
+
+    /// Merges a tile's stats record — covering the contiguous router
+    /// range `base_router ..` — into this network-wide record: the
+    /// reduction the sharded kernel uses to combine per-shard
+    /// statistics (each shard records only its own routers, so its
+    /// record stays proportional to the tile, not the network).
+    ///
+    /// Merge semantics per field:
+    ///
+    /// * scalar counters (packets, flits, drops, latency sum) — added;
+    /// * `latency_max` / `measured_cycles` — maximum;
+    /// * per-router activity, gating counters — element-wise addition
+    ///   at the offset;
+    /// * idle histograms — bin-wise [`IdleHistogram::merge`] (open runs
+    ///   appended in the other record's order).
+    ///
+    /// **Deterministic merge order.** The sharded runner merges shard
+    /// records in ascending shard id. Every field is an integer sum or
+    /// maximum — and each router's histograms and counters are touched
+    /// by exactly one shard — so the result is in fact independent of
+    /// merge order; the fixed order pins the byte layout (notably
+    /// open-run vectors) without relying on that argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the VC counts differ or the offset record does not
+    /// fit inside this one.
+    pub fn merge_shard(&mut self, other: &NetworkStats, base_router: usize) {
+        assert!(
+            base_router + other.router_activity.len() <= self.router_activity.len(),
+            "merged tile exceeds the network"
+        );
+        assert_eq!(self.vcs, other.vcs, "merging stats of different VC counts");
+        self.measured_cycles = self.measured_cycles.max(other.measured_cycles);
+        self.packets_injected += other.packets_injected;
+        self.packets_dropped_at_source += other.packets_dropped_at_source;
+        self.packets_delivered += other.packets_delivered;
+        self.flits_delivered += other.flits_delivered;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        for (mine, theirs) in self.router_activity[base_router..]
+            .iter_mut()
+            .zip(&other.router_activity)
+        {
+            mine.add(theirs);
+        }
+        for (mine, theirs) in self.idle_histograms[base_router..]
+            .iter_mut()
+            .zip(&other.idle_histograms)
+        {
+            for (h, o) in mine.iter_mut().zip(theirs) {
+                h.merge(o);
+            }
+        }
+        for (mine, theirs) in self.gating[base_router..].iter_mut().zip(&other.gating) {
+            mine.add(theirs);
+        }
+    }
+
     /// Mean packet latency in cycles.
     pub fn avg_latency(&self) -> f64 {
         if self.packets_delivered == 0 {
@@ -184,6 +259,64 @@ mod tests {
         assert_eq!(fast.total_idle_cycles(), slow.total_idle_cycles());
         assert_eq!(fast.total_idle_cycles(), 2000 + 18 + 630 + 3000 + 201 + 77);
         assert_eq!(fast.open_runs(), &[77]);
+    }
+
+    #[test]
+    fn merge_shard_places_tiles_and_merge_matches_whole_network() {
+        // Two tile records (routers 0..2 and 2..4 of a 4-router
+        // network) reduced at their offsets must equal the same events
+        // recorded into one full-size record — and `merge` must be
+        // exactly `merge_shard` at offset 0 with a full-size record.
+        let mut tile0 = NetworkStats::new(2, 1, 64);
+        tile0.packets_injected = 3;
+        tile0.packets_delivered = 2;
+        tile0.flits_delivered = 8;
+        tile0.latency_sum = 40;
+        tile0.latency_max = 25;
+        tile0.measured_cycles = 100;
+        tile0.router_activity[1].cycles = 100;
+        tile0.idle_histograms[0][2].record(5);
+        tile0.gating[1].sleep_entries = 7;
+        let mut tile1 = NetworkStats::new(2, 1, 64);
+        tile1.packets_injected = 1;
+        tile1.packets_delivered = 1;
+        tile1.flits_delivered = 4;
+        tile1.latency_sum = 10;
+        tile1.latency_max = 10;
+        tile1.measured_cycles = 100;
+        tile1.router_activity[0].cycles = 50;
+        tile1.idle_histograms[1][0].record_open(9);
+
+        let mut reduced = NetworkStats::new(4, 1, 64);
+        reduced.merge_shard(&tile0, 0);
+        reduced.merge_shard(&tile1, 2);
+
+        let mut whole = NetworkStats::new(4, 1, 64);
+        whole.packets_injected = 4;
+        whole.packets_delivered = 3;
+        whole.flits_delivered = 12;
+        whole.latency_sum = 50;
+        whole.latency_max = 25;
+        whole.measured_cycles = 100;
+        whole.router_activity[1].cycles = 100;
+        whole.router_activity[2].cycles = 50;
+        whole.idle_histograms[0][2].record(5);
+        whole.idle_histograms[3][0].record_open(9);
+        whole.gating[1].sleep_entries = 7;
+        assert_eq!(reduced, whole);
+
+        // Same-size merge is the offset-0 special case.
+        let mut via_merge = NetworkStats::new(4, 1, 64);
+        via_merge.merge(&whole);
+        assert_eq!(via_merge, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the network")]
+    fn merge_shard_rejects_overhanging_tiles() {
+        let mut net = NetworkStats::new(4, 1, 64);
+        let tile = NetworkStats::new(2, 1, 64);
+        net.merge_shard(&tile, 3);
     }
 
     #[test]

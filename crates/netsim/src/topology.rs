@@ -193,8 +193,14 @@ impl Mesh {
     /// router `here` must take toward `dst`. On a torus each dimension
     /// is traversed the shorter way around.
     pub fn route_xy(&self, here: usize, dst: usize) -> Direction {
-        let (hx, hy) = self.coords(here);
-        let (dx, dy) = self.coords(dst);
+        self.route_xy_at(self.coords(here), self.coords(dst))
+    }
+
+    /// [`Mesh::route_xy`] with both routers' coordinates already in
+    /// hand — identical result by construction. The simulation kernels
+    /// cache every router's `(x, y)`, so routing on meshes too large
+    /// for a [`RouteTable`] performs no divisions per flit.
+    pub fn route_xy_at(&self, (hx, hy): (usize, usize), (dx, dy): (usize, usize)) -> Direction {
         let step_x = self.dim_step(hx, dx, self.width);
         if step_x > 0 {
             return Direction::East;
@@ -412,6 +418,124 @@ impl RouteTable {
     /// [`Mesh::route_xy`] by construction.
     pub fn route(&self, here: usize, dst: usize) -> Direction {
         Direction::from_index(self.dirs[here * self.n + dst] as usize)
+    }
+}
+
+/// A partition of the mesh into horizontal **tile bands** for the
+/// sharded kernel: shard `s` owns the full-width rectangle of rows
+/// `row0[s] .. row0[s + 1]`.
+///
+/// Full-width bands are the partition shape that keeps the sharded
+/// kernel simple *and* fast:
+///
+/// * router ids are row-major, so each tile is a **contiguous id
+///   range** — every per-router SoA slab (lanes, credits, RNG streams,
+///   source queues) splits into per-shard slices with zero index
+///   translation;
+/// * East/West links never cross a tile boundary, so the only halo is
+///   the North/South boundary rows (plus, on a torus, the wrap edge
+///   between the first and last band) — at most two neighbour shards
+///   per shard, each with a fixed `width`-bounded message budget per
+///   cycle.
+///
+/// Rows are distributed as evenly as possible (the first `height mod
+/// shards` bands get one extra row), so shard loads stay balanced on
+/// any mesh height.
+#[derive(Debug, Clone)]
+pub struct TileMap {
+    width: usize,
+    height: usize,
+    wrap: bool,
+    /// `shards + 1` entries; shard `s` owns rows `row0[s]..row0[s+1]`.
+    row0: Vec<usize>,
+}
+
+impl TileMap {
+    /// Partitions `mesh` into `shards` row bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or exceeds the mesh height (every
+    /// band needs at least one row).
+    pub fn new(mesh: &Mesh, shards: usize) -> TileMap {
+        assert!(
+            shards >= 1 && shards <= mesh.height,
+            "shards must be in 1..=height ({}), got {shards}",
+            mesh.height
+        );
+        let base = mesh.height / shards;
+        let extra = mesh.height % shards;
+        let mut row0 = Vec::with_capacity(shards + 1);
+        let mut row = 0;
+        row0.push(0);
+        for s in 0..shards {
+            row += base + usize::from(s < extra);
+            row0.push(row);
+        }
+        TileMap {
+            width: mesh.width,
+            height: mesh.height,
+            wrap: mesh.wrap,
+            row0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.row0.len() - 1
+    }
+
+    /// The contiguous router-id range shard `s` owns.
+    pub fn router_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.row0[s] * self.width..self.row0[s + 1] * self.width
+    }
+
+    /// The shard owning router `rid`.
+    pub fn shard_of(&self, rid: usize) -> usize {
+        debug_assert!(rid < self.width * self.height);
+        let row = rid / self.width;
+        self.row0.partition_point(|&r| r <= row) - 1
+    }
+
+    /// Shards sharing a halo edge with `s`, ascending. Row bands touch
+    /// their immediate neighbours; on a torus the first and last band
+    /// are additionally adjacent through the wrap edge.
+    pub fn neighbors(&self, s: usize) -> Vec<usize> {
+        let shards = self.shards();
+        let mut out = Vec::with_capacity(2);
+        if s > 0 {
+            out.push(s - 1);
+        }
+        if s + 1 < shards {
+            out.push(s + 1);
+        }
+        if self.wrap && shards > 1 {
+            let other = if s == 0 { shards - 1 } else { 0 };
+            if (s == 0 || s == shards - 1) && !out.contains(&other) {
+                out.push(other);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Directed boundary-link count from shard `s` to shard `t`: the
+    /// number of unidirectional mesh links whose source router is in
+    /// `s` and destination in `t`. Sizes the fixed per-edge mailbox
+    /// capacity — at most one flit per link and one credit per reverse
+    /// link can cross per cycle.
+    pub fn boundary_links(&self, s: usize, t: usize) -> usize {
+        let shards = self.shards();
+        let mut links = 0;
+        // Southward edge: s's last row feeds t's first row.
+        if t == s + 1 || (self.wrap && shards > 1 && s == shards - 1 && t == 0) {
+            links += self.width;
+        }
+        // Northward edge: s's first row feeds t's last row.
+        if s == t + 1 || (self.wrap && shards > 1 && s == 0 && t == shards - 1) {
+            links += self.width;
+        }
+        links
     }
 }
 
@@ -639,6 +763,101 @@ mod tests {
                     let b = m.hop_vc(here, src, 11, dir, 4);
                     assert_eq!(a, b);
                     here = m.neighbor(here, dir).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_map_partitions_exactly() {
+        for (w, h, wrap) in [(4, 4, false), (5, 7, true), (16, 16, false), (3, 2, true)] {
+            let mesh = Mesh {
+                width: w,
+                height: h,
+                wrap,
+            };
+            for shards in 1..=h {
+                let t = TileMap::new(&mesh, shards);
+                assert_eq!(t.shards(), shards);
+                // Ranges are contiguous, ascending, and cover all ids.
+                let mut next = 0;
+                for s in 0..shards {
+                    let r = t.router_range(s);
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty(), "every band owns at least one row");
+                    assert_eq!(r.len() % w, 0, "bands are whole rows");
+                    for rid in r.clone() {
+                        assert_eq!(t.shard_of(rid), s);
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, mesh.len());
+                // Band heights differ by at most one row.
+                let rows: Vec<usize> = (0..shards).map(|s| t.router_range(s).len() / w).collect();
+                let (min, max) = (rows.iter().min().unwrap(), rows.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced bands: {rows:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_map_neighbors_match_actual_cross_links() {
+        // The declared halo edges and their link counts must agree with
+        // a brute-force scan of every mesh link.
+        for (w, h, wrap) in [(4, 6, false), (4, 6, true), (3, 8, true), (5, 2, true)] {
+            let mesh = Mesh {
+                width: w,
+                height: h,
+                wrap,
+            };
+            for shards in 1..=h {
+                let t = TileMap::new(&mesh, shards);
+                let mut counted = vec![vec![0usize; shards]; shards];
+                for rid in 0..mesh.len() {
+                    for d in &Direction::ALL[..4] {
+                        if let Some(next) = mesh.neighbor(rid, *d) {
+                            let (a, b) = (t.shard_of(rid), t.shard_of(next));
+                            if a != b {
+                                counted[a][b] += 1;
+                            }
+                        }
+                    }
+                }
+                for (s, row) in counted.iter().enumerate() {
+                    let declared = t.neighbors(s);
+                    let actual: Vec<usize> = row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(o, _)| o)
+                        .collect();
+                    assert_eq!(
+                        declared, actual,
+                        "{w}x{h} wrap={wrap} shards={shards} s={s}"
+                    );
+                    for (o, &cnt) in row.iter().enumerate() {
+                        if s != o {
+                            assert_eq!(
+                                t.boundary_links(s, o),
+                                cnt,
+                                "{w}x{h} wrap={wrap} shards={shards} {s}->{o}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_xy_at_matches_route_xy() {
+        for m in [Mesh::new(5, 4), Mesh::torus(5, 4)] {
+            for src in 0..m.len() {
+                for dst in 0..m.len() {
+                    assert_eq!(
+                        m.route_xy_at(m.coords(src), m.coords(dst)),
+                        m.route_xy(src, dst)
+                    );
                 }
             }
         }

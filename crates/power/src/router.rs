@@ -186,6 +186,19 @@ pub struct RouterActivity {
     pub link_traversals: u64,
 }
 
+impl RouterActivity {
+    /// Accumulates another activity record into this one (used when
+    /// merging per-shard statistics of a partitioned simulation).
+    pub fn add(&mut self, other: &RouterActivity) {
+        self.cycles += other.cycles;
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.arbitrations += other.arbitrations;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.link_traversals += other.link_traversals;
+    }
+}
+
 /// Power breakdown of one router under a given activity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RouterPowerBreakdown {

@@ -1,8 +1,10 @@
-//! The active-set kernel is an optimization, not a model change: for
-//! any configuration and seed it must produce **bit-identical**
-//! [`NetworkStats`] to the dense reference kernel — every counter,
-//! every idle-interval histogram bin, every gating counter. These tests
-//! pin that across the full scenario matrix.
+//! The active-set and sharded kernels are optimizations, not model
+//! changes: for any configuration and seed they must produce
+//! **bit-identical** [`NetworkStats`] to the dense reference kernel —
+//! every counter, every idle-interval histogram bin, every gating
+//! counter. These tests pin that across the full three-kernel ×
+//! shard-count scenario matrix (`tests/sharded_equivalence.rs` adds
+//! the dedicated shard/thread dimension).
 
 use leakage_noc::netsim::{
     GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig,
@@ -20,11 +22,20 @@ fn vcs_override() -> Option<usize> {
     })
 }
 
-/// Runs one config under both kernels and asserts exact equality of
-/// stats and conservation state.
+/// Runs one config under all three kernels — the sharded kernel at a
+/// shard count derived from the seed, so the proptest matrix sweeps
+/// shard geometries too — and asserts exact equality of stats and
+/// conservation state.
 fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bool) {
+    let shards = [1usize, 2, 4, 8][(cfg.seed % 4) as usize];
     let mut active = Simulation::new(MeshConfig {
         kernel: SimKernel::ActiveSet,
+        ..cfg.clone()
+    });
+    let mut sharded = Simulation::new(MeshConfig {
+        kernel: SimKernel::Sharded,
+        shards,
+        threads: 1,
         ..cfg.clone()
     });
     let mut reference = Simulation::new(MeshConfig {
@@ -32,15 +43,28 @@ fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bo
         ..cfg
     });
     active.set_visit_reversed(reversed);
+    sharded.set_visit_reversed(reversed);
     reference.set_visit_reversed(reversed);
     let sa = active.run(warmup, measure);
     let sr = reference.run(warmup, measure);
-    assert_eq!(sa, sr, "NetworkStats diverged between kernels");
+    let ss = sharded.run(warmup, measure);
+    assert_eq!(sa, sr, "NetworkStats diverged between serial kernels");
+    assert_eq!(
+        sa,
+        ss,
+        "NetworkStats diverged between active-set and sharded ({} shards)",
+        sharded.shards()
+    );
     assert_eq!(
         active.flits_injected_total(),
         reference.flits_injected_total()
     );
+    assert_eq!(
+        active.flits_injected_total(),
+        sharded.flits_injected_total()
+    );
     assert_eq!(active.in_flight_flits(), reference.in_flight_flits());
+    assert_eq!(active.in_flight_flits(), sharded.in_flight_flits());
 }
 
 proptest! {
