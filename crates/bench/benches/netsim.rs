@@ -1,9 +1,11 @@
 //! Criterion bench for the NoC simulator's cycle rate: active-set vs
-//! reference kernel across mesh sizes and VC counts, ungated and with
-//! the in-loop sleep FSM enabled. The active-set kernel must win big at
-//! the low injection rates the leakage study sweeps, the gating
-//! bookkeeping must stay cheap, and the VC generalization must not tax
-//! the single-VC fast path.
+//! reference vs tile-sharded kernel across mesh sizes and VC counts,
+//! ungated and with the in-loop sleep FSM enabled. The active-set
+//! kernel must win big at the low injection rates the leakage study
+//! sweeps, the gating bookkeeping must stay cheap, the VC
+//! generalization must not tax the single-VC fast path, and the
+//! sharded kernel's tiling must pay at the 64×64 scale (cache
+//! locality even on one thread; parallel scaling on real cores).
 //!
 //! Set `NETSIM_BENCH_QUICK=1` (CI) to shrink the grid and sample count
 //! to a smoke run.
@@ -21,32 +23,52 @@ fn bench_mesh_cycles(c: &mut Criterion) {
         policy: GatingPolicy::IdleThreshold(4),
         wake_latency: 1,
     });
-    let sizes: &[(usize, usize, f64, usize, Option<SleepConfig>)] = if quick {
+    const SERIAL: &[SimKernel] = &[SimKernel::ActiveSet, SimKernel::Reference];
+    const ALL: &[SimKernel] = &[
+        SimKernel::ActiveSet,
+        SimKernel::Reference,
+        SimKernel::Sharded,
+    ];
+    /// Big meshes skip the dense reference kernel (it would dominate
+    /// bench wall time without adding information).
+    const FAST: &[SimKernel] = &[SimKernel::ActiveSet, SimKernel::Sharded];
+    type Entry = (
+        usize,
+        usize,
+        f64,
+        usize,
+        Option<SleepConfig>,
+        &'static [SimKernel],
+    );
+    let sizes: &[Entry] = if quick {
         &[
-            (4, 4, 0.05, 1, None),
-            (16, 16, 0.005, 1, None),
-            (16, 16, 0.005, 2, None),
+            (4, 4, 0.05, 1, None, SERIAL),
+            (16, 16, 0.005, 1, None, ALL),
+            (16, 16, 0.005, 2, None, SERIAL),
+            (64, 64, 0.005, 1, None, FAST),
         ]
     } else {
         &[
-            (4, 4, 0.05, 1, None),
-            (4, 4, 0.05, 2, None),
-            (4, 4, 0.05, 4, None),
-            (8, 8, 0.05, 1, None),
-            (8, 8, 0.05, 1, gated),
-            (8, 8, 0.05, 2, gated),
-            (16, 16, 0.005, 1, None),
-            (16, 16, 0.005, 2, None),
-            (16, 16, 0.005, 1, gated),
-            (16, 16, 0.005, 2, gated),
-            (32, 32, 0.005, 1, None),
-            (32, 32, 0.005, 1, gated),
+            (4, 4, 0.05, 1, None, SERIAL),
+            (4, 4, 0.05, 2, None, SERIAL),
+            (4, 4, 0.05, 4, None, SERIAL),
+            (8, 8, 0.05, 1, None, SERIAL),
+            (8, 8, 0.05, 1, gated, SERIAL),
+            (8, 8, 0.05, 2, gated, SERIAL),
+            (16, 16, 0.005, 1, None, ALL),
+            (16, 16, 0.005, 2, None, SERIAL),
+            (16, 16, 0.005, 1, gated, ALL),
+            (16, 16, 0.005, 2, gated, SERIAL),
+            (32, 32, 0.005, 1, None, ALL),
+            (32, 32, 0.005, 1, gated, ALL),
+            (64, 64, 0.005, 1, None, FAST),
+            (64, 64, 0.005, 1, gated, FAST),
         ]
     };
     let cycles = if quick { 300 } else { 1000 };
 
-    for &(w, h, rate, vcs, gating) in sizes {
-        for kernel in [SimKernel::ActiveSet, SimKernel::Reference] {
+    for &(w, h, rate, vcs, gating, kernels) in sizes {
+        for &kernel in kernels {
             let label = format!(
                 "{w}x{h}_r{rate}_v{vcs}{}_{}_{}cy",
                 if gating.is_some() { "_gated" } else { "" },
@@ -66,6 +88,10 @@ fn bench_mesh_cycles(c: &mut Criterion) {
                         seed: 7,
                         gating,
                         kernel,
+                        // Pinned tile geometry so the committed bench
+                        // labels mean the same thing on every host;
+                        // threads stay auto (execution detail only).
+                        shards: 8,
                         ..MeshConfig::default()
                     });
                     black_box(sim.run(0, cycles))

@@ -1,11 +1,13 @@
 //! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
 //! the sleep FSM live in the cycle loop over a mesh-size ×
-//! injection-rate × policy × scheme × **VC-count** grid and emits the
-//! committed `BENCH_noc.json` baseline: energy saved, the
+//! injection-rate × policy × scheme × VC-count grid and emits the
+//! committed `BENCH_noc.json` baseline (schema 4): energy saved, the
 //! latency/throughput penalty the offline model cannot see, the
 //! in-loop vs offline agreement on every point — and, per grid point,
-//! the wall time and cycle rate of **both simulation kernels**, so the
-//! active-set speedup is tracked in-repo alongside the energy numbers.
+//! the wall time, cycle rate, tile geometry and speedup of **every
+//! simulation kernel**, so both the active-set win over the dense
+//! reference and the sharded win over the serial active-set are
+//! tracked in-repo alongside the energy numbers.
 //!
 //! Gating runs at the simulator's native granularity, the output VC
 //! lane: each point's `GatingParams` are
@@ -14,20 +16,25 @@
 //! dimension directly measures how finer gating granularity moves the
 //! energy/latency frontier. A saturated Tornado point on a wrapped
 //! 16×16 with dateline VCs exercises deadlock-free torus operation
-//! under the armed watchdog.
+//! under the armed watchdog; the 64×64 and 128×128 rows are the scale
+//! the tile-sharded kernel exists for (the dense reference kernel is
+//! excluded from those rows — it would dominate the sweep's wall time
+//! without adding information; the serial active-set kernel still runs
+//! them at full length as the speedup baseline, and kernel equality is
+//! asserted per point exactly as everywhere else).
 //!
 //! Grid points run serially (characterization is still parallel) so
 //! the per-kernel timings are not distorted by core contention. When
-//! both kernels run, their [`NetworkStats`] are asserted bit-identical;
-//! single-kernel runs write a deterministic per-point stats digest to
-//! `out/x3_sweep_stats_<kernel>.json` so CI can diff the kernels as
-//! files.
+//! several kernels run a point, their [`NetworkStats`] are asserted
+//! bit-identical; single-kernel runs write a deterministic per-point
+//! stats digest to `out/x3_sweep_stats_<kernel>.json` so CI can diff
+//! the kernels as files.
 //!
 //! ```sh
 //! cargo run --release -p lnoc-bench --bin gating_sweep                  # full grid → BENCH_noc.json
 //! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke       # CI smoke grid → out/
-//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --kernel reference
-//! cargo run --release -p lnoc-bench --bin gating_sweep -- --seed 7 --vcs 1,2
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --kernel sharded --shards 4
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --seed 7 --vcs 1,2 --shards 8 --threads 1
 //! ```
 
 use lnoc_core::characterize::Characterizer;
@@ -60,6 +67,19 @@ struct GridPoint {
     policy: GatingPolicy,
     warmup: u64,
     measure: u64,
+    /// Timing repetitions (big meshes run once; the rest best-of-2).
+    reps: u32,
+}
+
+impl GridPoint {
+    /// Whether the dense reference kernel is excluded from this point
+    /// in the *full* sweep (meshes beyond the 32×32 route-table cap,
+    /// where dense stepping would dominate the sweep's wall time).
+    /// Smoke grids keep every kernel on every point so CI can diff all
+    /// digest files row-for-row.
+    fn too_big_for_reference(&self) -> bool {
+        self.mesh.0 * self.mesh.1 > 1024
+    }
 }
 
 /// One timed kernel execution of a grid point.
@@ -69,9 +89,19 @@ struct Row {
     stats: NetworkStats,
     wall_s: f64,
     cycles_per_sec: f64,
+    /// Resolved tile count (1 for the serial kernels).
+    shards: usize,
+    /// Resolved worker threads (1 for the serial kernels).
+    threads: usize,
 }
 
-fn mesh_cfg(point: &GridPoint, kernel: SimKernel, seed: u64) -> MeshConfig {
+fn mesh_cfg(
+    point: &GridPoint,
+    kernel: SimKernel,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+) -> MeshConfig {
     MeshConfig {
         width: point.mesh.0,
         height: point.mesh.1,
@@ -89,6 +119,8 @@ fn mesh_cfg(point: &GridPoint, kernel: SimKernel, seed: u64) -> MeshConfig {
             wake_latency: point.params.wake_latency_cycles,
         }),
         kernel,
+        shards,
+        threads,
         ..MeshConfig::default()
     }
 }
@@ -97,25 +129,36 @@ fn run_point(
     point: &GridPoint,
     kernel: SimKernel,
     seed: u64,
+    shards: usize,
+    threads: usize,
     reps: u32,
-) -> (NetworkStats, f64, f64) {
+) -> Row {
     // Construction (including the active-set kernel's route-table
     // build) stays outside the timer: cycle rate measures the loop.
     // Best-of-`reps` wall time — the repeats are identical simulations,
     // so the minimum is the least-noise estimate.
-    let mut best: Option<(NetworkStats, f64)> = None;
+    let mut best: Option<(NetworkStats, f64, usize, usize)> = None;
     for _ in 0..reps.max(1) {
-        let mut sim = Simulation::new(mesh_cfg(point, kernel, seed));
+        let mut sim = Simulation::new(mesh_cfg(point, kernel, seed, shards, threads));
+        let geometry = (sim.shards(), sim.threads());
         let start = Instant::now();
         let stats = sim.run(point.warmup, point.measure);
         let wall = start.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|(_, w)| wall < *w) {
-            best = Some((stats, wall));
+        if best.as_ref().is_none_or(|(_, w, _, _)| wall < *w) {
+            best = Some((stats, wall, geometry.0, geometry.1));
         }
     }
-    let (stats, wall) = best.expect("at least one rep");
-    let cps = (point.warmup + point.measure) as f64 / wall;
-    (stats, wall, cps)
+    let (stats, wall_s, shards, threads) = best.expect("at least one rep");
+    let cycles_per_sec = (point.warmup + point.measure) as f64 / wall_s;
+    Row {
+        point_idx: usize::MAX, // filled by the caller
+        kernel,
+        stats,
+        wall_s,
+        cycles_per_sec,
+        shards,
+        threads,
+    }
 }
 
 /// Deterministic per-point digest for file-level kernel diffing
@@ -165,14 +208,32 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let kernels: Vec<SimKernel> = match arg_value(&args, "--kernel") {
-        None | Some("both") => vec![SimKernel::ActiveSet, SimKernel::Reference],
+        None | Some("all") => vec![
+            SimKernel::ActiveSet,
+            SimKernel::Reference,
+            SimKernel::Sharded,
+        ],
+        Some("both") => vec![SimKernel::ActiveSet, SimKernel::Reference],
         Some("active-set") => vec![SimKernel::ActiveSet],
         Some("reference") => vec![SimKernel::Reference],
-        Some(other) => panic!("unknown --kernel {other} (active-set | reference | both)"),
+        Some("sharded") => vec![SimKernel::Sharded],
+        Some(other) => {
+            panic!("unknown --kernel {other} (active-set | reference | sharded | both | all)")
+        }
     };
     let seed: u64 = arg_value(&args, "--seed")
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(2005);
+    // Tile geometry for the sharded kernel. `--shards 0` (the default)
+    // lets the simulator pick one tile per core; the committed
+    // baseline pins 8 so the recorded geometry does not depend on the
+    // host. Thread count never changes results — only wall time.
+    let shards: usize = arg_value(&args, "--shards")
+        .map(|s| s.parse().expect("--shards takes an integer"))
+        .unwrap_or(8);
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|s| s.parse().expect("--threads takes an integer"))
+        .unwrap_or(0);
     let vc_list: Vec<usize> = arg_value(&args, "--vcs")
         .map(|s| {
             s.split(',')
@@ -223,8 +284,10 @@ fn main() {
     // Time). The 4×4 grid carries the full scheme × policy matrix at
     // V = 1; the VC dimension re-runs the interesting schemes across
     // granularities; the larger meshes probe the low-rate regime where
-    // the active-set kernel matters most; the wrapped Tornado point
-    // exercises dateline deadlock freedom at saturation.
+    // the fast kernels matter most; the wrapped Tornado point
+    // exercises dateline deadlock freedom at saturation; the 32×32
+    // medium-rate, 64×64 and 128×128 rows are the sharded kernel's
+    // scaling showcase.
     let mut grid: Vec<GridPoint> = Vec::new();
     let mut push = |scheme: Scheme,
                     mesh: (usize, usize),
@@ -234,7 +297,8 @@ fn main() {
                     vcs: usize,
                     policy: GatingPolicy,
                     warmup: u64,
-                    measure: u64| {
+                    measure: u64,
+                    reps: u32| {
         grid.push(GridPoint {
             scheme,
             params: lane_params(scheme, vcs),
@@ -246,6 +310,7 @@ fn main() {
             policy,
             warmup,
             measure,
+            reps,
         });
     };
     let uniform = TrafficPattern::UniformRandom;
@@ -255,17 +320,55 @@ fn main() {
             for &vcs in &vc_list {
                 let mit = mit_of(scheme, vcs);
                 for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-                    push(scheme, (4, 4), 0.05, uniform, false, vcs, policy, 300, 2000);
+                    push(
+                        scheme,
+                        (4, 4),
+                        0.05,
+                        uniform,
+                        false,
+                        vcs,
+                        policy,
+                        300,
+                        2000,
+                        1,
+                    );
                 }
             }
         }
         // One larger-mesh point keeps the active-set fast path under
-        // CI, and one saturated dateline-torus point keeps the
-        // deadlock-freedom path alive (needs vcs >= 2).
+        // CI, a short 64×64 point keeps the sharded tile/mailbox path
+        // (and its digest) alive under every kernel, and one saturated
+        // dateline-torus point keeps the deadlock-freedom path alive
+        // (needs vcs >= 2).
         let scheme = *schemes.last().expect("smoke characterizes two schemes");
         let mit = mit_of(scheme, 1);
         for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-            push(scheme, (16, 16), 0.02, uniform, false, 1, policy, 200, 1500);
+            push(
+                scheme,
+                (16, 16),
+                0.02,
+                uniform,
+                false,
+                1,
+                policy,
+                200,
+                1500,
+                1,
+            );
+        }
+        for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+            push(
+                scheme,
+                (64, 64),
+                0.005,
+                uniform,
+                false,
+                1,
+                policy,
+                100,
+                600,
+                1,
+            );
         }
         if let Some(&vcs) = vc_list.iter().find(|&&v| v >= 2) {
             let mit = mit_of(scheme, vcs);
@@ -279,6 +382,7 @@ fn main() {
                 GatingPolicy::IdleThreshold(mit),
                 200,
                 1500,
+                1,
             );
             push(
                 scheme,
@@ -290,6 +394,7 @@ fn main() {
                 GatingPolicy::Never,
                 200,
                 1500,
+                1,
             );
         }
     } else {
@@ -305,7 +410,18 @@ fn main() {
             ];
             for rate in [0.02, 0.05, 0.08] {
                 for &policy in &policies {
-                    push(scheme, (4, 4), rate, uniform, false, 1, policy, 1000, 12000);
+                    push(
+                        scheme,
+                        (4, 4),
+                        rate,
+                        uniform,
+                        false,
+                        1,
+                        policy,
+                        1000,
+                        12000,
+                        2,
+                    );
                 }
             }
         }
@@ -337,13 +453,14 @@ fn main() {
                         policy,
                         1000,
                         12000,
+                        2,
                     );
                 }
             }
         }
         // Scaling points: low-rate large meshes — the ultra-low
         // utilization regime the paper's leakage argument (and the
-        // active-set kernel) target.
+        // fast kernels) target.
         for &scheme in schemes
             .iter()
             .filter(|s| matches!(s, Scheme::Sc | Scheme::Dpc))
@@ -361,6 +478,7 @@ fn main() {
                         policy,
                         1000,
                         12000,
+                        2,
                     );
                 }
             }
@@ -369,8 +487,68 @@ fn main() {
             let mit = mit_of(scheme, 1);
             for rate in [0.0025, 0.005] {
                 for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-                    push(scheme, (32, 32), rate, uniform, false, 1, policy, 500, 8000);
+                    push(
+                        scheme,
+                        (32, 32),
+                        rate,
+                        uniform,
+                        false,
+                        1,
+                        policy,
+                        500,
+                        8000,
+                        2,
+                    );
                 }
+            }
+            // The sharded-kernel acceptance row: 32×32 at medium rate,
+            // where the active set is large and the serial kernels
+            // have no quiescence to skip.
+            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                push(
+                    scheme,
+                    (32, 32),
+                    0.05,
+                    uniform,
+                    false,
+                    1,
+                    policy,
+                    500,
+                    6000,
+                    2,
+                );
+            }
+            // The scales the sharded kernel exists for. The reference
+            // kernel is excluded (too_big_for_reference); the serial
+            // active-set kernel runs full length as the speedup
+            // baseline.
+            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                push(
+                    scheme,
+                    (64, 64),
+                    0.005,
+                    uniform,
+                    false,
+                    1,
+                    policy,
+                    500,
+                    4000,
+                    1,
+                );
+            }
+            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                push(
+                    scheme,
+                    (128, 128),
+                    0.0025,
+                    uniform,
+                    false,
+                    1,
+                    policy,
+                    200,
+                    1500,
+                    1,
+                );
             }
         }
         // Deadlock-free saturated torus: Tornado at full offered load
@@ -391,21 +569,39 @@ fn main() {
                         policy,
                         500,
                         6000,
+                        2,
                     );
                 }
             }
         }
     }
+    let threads_available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     eprintln!(
-        "sweeping {} grid points × {} kernel(s), seed {seed}, vcs {:?}, serially (timings stay clean)…",
+        "sweeping {} grid points × up to {} kernel(s), seed {seed}, vcs {:?}, \
+         shards {shards}, threads {} (host cores: {threads_available}), serially (timings stay clean)…",
         grid.len(),
         kernels.len(),
-        vc_list
+        vc_list,
+        if threads == 0 { "auto".to_string() } else { threads.to_string() },
     );
 
+    // Which kernels run a given point: the full sweep excludes the
+    // dense reference from the big meshes; smoke grids keep every
+    // kernel everywhere so the per-kernel digest files stay
+    // row-aligned for CI's diff.
+    let kernels_for = |point: &GridPoint| -> Vec<SimKernel> {
+        kernels
+            .iter()
+            .copied()
+            .filter(|&k| smoke || k != SimKernel::Reference || !point.too_big_for_reference())
+            .collect()
+    };
+
     // Run every grid point under every requested kernel — serially, so
-    // wall times mean something. When both kernels run, assert their
-    // statistics are bit-identical.
+    // wall times mean something. When several kernels run, assert
+    // their statistics are bit-identical.
     // One untimed throwaway per distinct mesh size first: the first
     // simulation at each size otherwise pays page-fault/warm-up costs
     // that pollute its grid point's timing.
@@ -413,8 +609,8 @@ fn main() {
     for point in &grid {
         if !warmed.contains(&point.mesh) {
             warmed.push(point.mesh);
-            for &kernel in &kernels {
-                let _ = run_point(point, kernel, seed, 1);
+            for &kernel in &kernels_for(point) {
+                let _ = run_point(point, kernel, seed, shards, threads, 1);
             }
         }
     }
@@ -422,26 +618,20 @@ fn main() {
     let mut digests: Vec<(SimKernel, String)> = Vec::new();
     for (point_idx, point) in grid.iter().enumerate() {
         let mut first: Option<NetworkStats> = None;
-        for &kernel in &kernels {
-            let (stats, wall_s, cycles_per_sec) =
-                run_point(point, kernel, seed, if smoke { 1 } else { 2 });
+        for &kernel in &kernels_for(point) {
+            let mut row = run_point(point, kernel, seed, shards, threads, point.reps);
+            row.point_idx = point_idx;
             if let Some(prev) = &first {
                 assert_eq!(
-                    prev, &stats,
+                    prev, &row.stats,
                     "kernel divergence at scheme {} mesh {:?} rate {} vcs {} policy {}",
                     point.scheme, point.mesh, point.rate, point.vcs, point.policy
                 );
             } else {
-                first = Some(stats.clone());
+                first = Some(row.stats.clone());
             }
-            digests.push((kernel, stats_digest(point, seed, &stats)));
-            rows.push(Row {
-                point_idx,
-                kernel,
-                stats,
-                wall_s,
-                cycles_per_sec,
-            });
+            digests.push((kernel, stats_digest(point, seed, &row.stats)));
+            rows.push(row);
         }
     }
 
@@ -484,16 +674,27 @@ fn main() {
             .map(|r| r.stats.avg_latency())
             .expect("grid always contains Never for each traffic point")
     };
+    // Cycle rate of a given kernel on a given point, if it ran.
+    let cps_of = |point_idx: usize, kernel: SimKernel| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.point_idx == point_idx && r.kernel == kernel)
+            .map(|r| r.cycles_per_sec)
+    };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 3,\n");
+    json.push_str("{\n  \"schema\": 4,\n");
     let _ = writeln!(
         json,
         "  \"note\": \"in-loop per-VC-lane sleep-FSM gating sweep; gating params are one output \
          VC lane (1/V crossbar port share + downstream input-VC buffer bank); grid points run \
          serially under every kernel; agreement = |in_loop - offline| / offline on the same \
-         run's histograms; both kernels are asserted bit-identical before timing is reported; \
-         the wrapped tornado points run dateline VCs at saturation under the armed watchdog\","
+         run's histograms; all kernels that run a point are asserted bit-identical before \
+         timing is reported; speedup_vs_active_set = cycle rate of the row's kernel over the \
+         serial active-set kernel on the same point (the sharded rows' tile geometry is in \
+         shards/threads; threads_available records the host's cores — on a single-core host \
+         the sharded speedup measures tile cache locality only, not parallel scaling); the \
+         wrapped tornado points run dateline VCs at saturation under the armed watchdog; the \
+         64x64/128x128 rows exclude the dense reference kernel\","
     );
     let _ = writeln!(
         json,
@@ -505,6 +706,7 @@ fn main() {
             .join(", ")
     );
     let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"threads_available\": {threads_available},");
     let _ = writeln!(
         json,
         "  \"vc_counts\": [{}],",
@@ -530,16 +732,21 @@ fn main() {
         if point.policy != GatingPolicy::Never {
             worst_disagreement = worst_disagreement.max(agreement);
         }
+        let speedup_vs_active = cps_of(r.point_idx, SimKernel::ActiveSet)
+            .map(|base| r.cycles_per_sec / base)
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "null".to_string());
         let _ = writeln!(
             json,
             "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
              \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
-             \"kernel\": \"{}\", \"mit_cycles\": {}, \"cycles\": {}, \"wall_s\": {:.4}, \
-             \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \"latency_penalty_cy\": {:.3}, \
-             \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \"sleep_events\": {}, \
-             \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \"energy_policy_j\": {:.6e}, \
-             \"saved_pct\": {:.2}, \"offline_energy_j\": {:.6e}, \"offline_saved_pct\": {:.2}, \
-             \"agreement_pct\": {:.3}}}{}",
+             \"kernel\": \"{}\", \"shards\": {}, \"threads\": {}, \
+             \"speedup_vs_active_set\": {}, \"mit_cycles\": {}, \"cycles\": {}, \
+             \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \
+             \"latency_penalty_cy\": {:.3}, \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \
+             \"sleep_events\": {}, \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \
+             \"energy_policy_j\": {:.6e}, \"saved_pct\": {:.2}, \"offline_energy_j\": {:.6e}, \
+             \"offline_saved_pct\": {:.2}, \"agreement_pct\": {:.3}}}{}",
             point.scheme.name(),
             point.mesh.0,
             point.mesh.1,
@@ -550,6 +757,9 @@ fn main() {
             point.rate,
             point.policy,
             r.kernel.name(),
+            r.shards,
+            r.threads,
+            speedup_vs_active,
             point.params.min_idle_cycles(cfg.clock),
             point.warmup + point.measure,
             r.wall_s,
@@ -571,36 +781,50 @@ fn main() {
     }
     json.push_str("  ],\n");
 
-    // Per-point kernel speedup (active-set cycle rate / reference cycle
-    // rate) — the number the README performance table quotes.
+    // Per-point kernel speedups: active-set over reference (the PR 3
+    // baseline) and sharded over active-set (the tiling win) — the
+    // numbers the README performance table quotes.
     json.push_str("  \"speedup\": [\n");
     let mut speedups: Vec<String> = Vec::new();
     let mut min_16x16_low_rate: f64 = f64::INFINITY;
-    if kernels.len() == 2 {
-        for (i, point) in grid.iter().enumerate() {
-            let cps = |kernel: SimKernel| {
-                rows.iter()
-                    .find(|r| r.point_idx == i && r.kernel == kernel)
-                    .map(|r| r.cycles_per_sec)
-                    .expect("both kernels ran")
-            };
-            let ratio = cps(SimKernel::ActiveSet) / cps(SimKernel::Reference);
+    let mut min_sharded_32x32_medium: f64 = f64::INFINITY;
+    for (i, point) in grid.iter().enumerate() {
+        let active = cps_of(i, SimKernel::ActiveSet);
+        let reference = cps_of(i, SimKernel::Reference);
+        let sharded = cps_of(i, SimKernel::Sharded);
+        let (Some(active), reference, sharded) = (active, reference, sharded) else {
+            continue;
+        };
+        let vs_ref = reference.map(|r| active / r);
+        let sharded_vs_active = sharded.map(|s| s / active);
+        if let Some(r) = vs_ref {
             if point.mesh == (16, 16) && point.rate <= 0.02 {
-                min_16x16_low_rate = min_16x16_low_rate.min(ratio);
+                min_16x16_low_rate = min_16x16_low_rate.min(r);
             }
-            speedups.push(format!(
-                "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \
-                 \"vcs\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \"speedup\": {:.2}}}",
-                point.scheme.name(),
-                point.mesh.0,
-                point.mesh.1,
-                point.pattern.name(),
-                point.vcs,
-                point.rate,
-                point.policy,
-                ratio
-            ));
         }
+        if let Some(s) = sharded_vs_active {
+            if point.mesh == (32, 32) && point.rate >= 0.05 {
+                min_sharded_32x32_medium = min_sharded_32x32_medium.min(s);
+            }
+        }
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "null".into())
+        };
+        speedups.push(format!(
+            "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \
+             \"vcs\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
+             \"active_set_vs_reference\": {}, \"sharded_vs_active_set\": {}}}",
+            point.scheme.name(),
+            point.mesh.0,
+            point.mesh.1,
+            point.pattern.name(),
+            point.vcs,
+            point.rate,
+            point.policy,
+            fmt_opt(vs_ref),
+            fmt_opt(sharded_vs_active),
+        ));
     }
     json.push_str(&speedups.join(",\n"));
     json.push_str("\n  ]\n}\n");
@@ -616,6 +840,12 @@ fn main() {
     );
     if min_16x16_low_rate.is_finite() {
         println!("minimum active-set speedup on 16x16, rate <= 0.02: {min_16x16_low_rate:.2}x");
+    }
+    if min_sharded_32x32_medium.is_finite() {
+        println!(
+            "minimum sharded speedup vs active-set on 32x32, rate >= 0.05 \
+             (threads_available = {threads_available}): {min_sharded_32x32_medium:.2}x"
+        );
     }
 
     // Stats digests for file-level kernel diffing in CI.
