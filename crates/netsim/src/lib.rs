@@ -25,9 +25,21 @@
 //! boundary traffic through double-buffered mailboxes — deterministic
 //! by construction, bit-identical to the serial kernels for every
 //! shard and thread count, and the way 64×64/128×128 sweeps stay
-//! tractable. A zero-progress watchdog
-//! ([`MeshConfig::watchdog_cycles`]) turns any routing-deadlock
-//! regression into a fast, named failure instead of a hung run.
+//! tractable. `Auto` (the default) picks between them by mesh size and
+//! offered load ([`SimKernel::AUTO_SHARD_MIN_ROUTERS`]). A
+//! zero-progress watchdog ([`MeshConfig::watchdog_cycles`]) turns any
+//! routing-deadlock regression into a fast, named failure instead of a
+//! hung run.
+//!
+//! Robustness is first-class: a seeded [`FaultPlan`]
+//! ([`MeshConfig::faults`]) schedules permanent and transient link and
+//! router failures; routing swaps to per-epoch BFS detour tables
+//! ([`FaultMap`], dateline-safe on the torus), doomed worms are reaped
+//! with exact flit/credit conservation, unreachable destinations are
+//! dropped with accounting, and [`NetworkStats`] reports the
+//! degradation (drops, unroutable packets, reachable-pair floor,
+//! post-fault latency) — all bit-identical across every kernel and
+//! shard/thread geometry, faults included.
 //!
 //! ## Example
 //!
@@ -51,9 +63,10 @@
 //!         policy: GatingPolicy::IdleThreshold(3),
 //!         wake_latency: 1,
 //!     }),
-//!     // kernel: SimKernel::{Auto, ActiveSet, Reference} — Auto runs
-//!     // the active-set kernel; Reference is the dense oracle. Both
-//!     // produce bit-identical statistics.
+//!     // kernel: SimKernel::{Auto, ActiveSet, Reference, Sharded} —
+//!     // Auto picks by mesh size and load (active-set here); all
+//!     // kernels produce bit-identical statistics.
+//!     // faults: Some(FaultPlan { .. }) arms a seeded fault scenario.
 //!     ..MeshConfig::default()
 //! };
 //! let mut sim = Simulation::new(cfg);
@@ -65,6 +78,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod router;
 mod shard;
 pub mod sim;
@@ -73,9 +87,11 @@ pub mod stats;
 pub mod topology;
 pub mod traffic;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use lnoc_power::gating::GatingPolicy;
 pub use router::{RouteTarget, MAX_VCS};
 pub use sim::{MeshConfig, SimKernel, Simulation};
 pub use sleep::{SleepConfig, SleepState};
 pub use stats::NetworkStats;
+pub use topology::FaultMap;
 pub use traffic::{Flit, InjectionProcess, TrafficPattern};

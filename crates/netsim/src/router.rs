@@ -205,6 +205,11 @@ pub struct Router {
     buffers: PortBuffers,
     /// Owner per output lane.
     owners: Box<[PortOwner]>,
+    /// Packet id of the worm holding each output lane — only
+    /// meaningful while the matching owner is allocated. Lets the
+    /// fault layer release lanes held by doomed packets whose
+    /// remaining flits were purged upstream.
+    owner_pkt: Box<[u64]>,
     /// VC-allocation round-robin pointer per output lane, over the
     /// `5 * V` input lanes.
     rr_next: Box<[u8]>,
@@ -243,6 +248,7 @@ impl Router {
             id,
             buffers: PortBuffers::new(buffer_depth, lanes),
             owners: vec![PortOwner::FREE; lanes].into_boxed_slice(),
+            owner_pkt: vec![0; lanes].into_boxed_slice(),
             rr_next: vec![0; lanes].into_boxed_slice(),
             sa_rr: [0; 5],
             vcs: vcs as u8,
@@ -321,6 +327,58 @@ impl Router {
     /// tick idle counters, so it may be skipped and bulk-accounted.
     pub fn is_quiet(&self) -> bool {
         self.buffers.len.iter().all(|&l| l == 0) && self.owners.iter().all(|o| o.is_free())
+    }
+
+    /// Calls `f` with every buffered flit, in input-lane order and FIFO
+    /// order within a lane — the fault layer's boundary scan.
+    pub(crate) fn for_each_flit(&self, mut f: impl FnMut(&Flit)) {
+        let depth = self.buffers.depth as usize;
+        for lane in 0..self.lanes() {
+            let head = self.buffers.head[lane] as usize;
+            for k in 0..self.buffers.len(lane) {
+                let mut idx = head + k;
+                if idx >= depth {
+                    idx -= depth;
+                }
+                f(&self.buffers.slots[lane * depth + idx]);
+            }
+        }
+    }
+
+    /// Removes every buffered flit of a doomed packet and releases
+    /// output lanes held by doomed worms (their remaining flits are
+    /// being purged network-wide, so the tail that would free the lane
+    /// will never arrive). Survivors keep their FIFO order.
+    ///
+    /// `on_removed` receives each removed flit and the input lane
+    /// (`port * V + vc`) it was buffered in, so the caller can return
+    /// the freed slot's credit upstream. Returns the number of flits
+    /// removed.
+    pub(crate) fn purge_packets(
+        &mut self,
+        doomed: impl Fn(u64) -> bool,
+        mut on_removed: impl FnMut(usize, &Flit),
+    ) -> usize {
+        let mut removed = 0;
+        for lane in 0..self.lanes() {
+            // Pop exactly the original occupancy; survivors re-pushed
+            // at the tail come back around in their original order.
+            for _ in 0..self.buffers.len(lane) {
+                let flit = self.buffers.pop_front(lane).expect("occupancy counted");
+                if doomed(flit.packet_id) {
+                    on_removed(lane, &flit);
+                    removed += 1;
+                } else {
+                    self.buffers.push_back(lane, flit);
+                }
+            }
+        }
+        for ol in 0..self.lanes() {
+            if !self.owners[ol].is_free() && doomed(self.owner_pkt[ol]) {
+                self.owners[ol] = PortOwner::FREE;
+            }
+        }
+        removed
     }
 
     /// The single implementation of the VC-allocation candidate rule
@@ -517,6 +575,7 @@ impl Router {
                         // packets) and advances its round-robin.
                         if !flit.is_tail {
                             self.owners[ol] = PortOwner::owned(il);
+                            self.owner_pkt[ol] = flit.packet_id;
                         }
                         let next = il + 1;
                         self.rr_next[ol] = (if next == nlanes { 0 } else { next }) as u8;

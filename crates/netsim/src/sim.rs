@@ -106,17 +106,19 @@
 //!   reused across cycles and [`Router::step_fast`] is allocation-free,
 //!   so the steady-state loop performs no heap allocation.
 
+use crate::fault::{FaultPlan, FaultSchedule};
 use crate::router::{PortLane, RouteTarget, Router, MAX_VCS};
 use crate::shard::{BoundaryMsg, Mailboxes, PhaseBarrier, PoisonGuard, ShardSlots};
 use crate::sleep::{SleepConfig, SleepFsm};
 use crate::stats::NetworkStats;
-use crate::topology::{Direction, Mesh, NeighborTable, RouteTable, TileMap};
+use crate::topology::{Direction, FaultMap, Mesh, NeighborTable, RouteTable, TileMap};
 use crate::traffic::{Flit, InjectionProcess, SourcePacket, TrafficPattern};
 use lnoc_power::gating::{GatingCounters, GatingPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Which cycle-loop kernel executes the simulation.
 ///
@@ -126,9 +128,13 @@ use std::collections::VecDeque;
 /// circuit engine's `SolverKind::Reference`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SimKernel {
-    /// Choose automatically. Currently always resolves to `ActiveSet` —
-    /// the kernels are result-identical, so there is no trade-off to
-    /// weigh.
+    /// Choose automatically. The kernels are result-identical, so the
+    /// choice is purely about speed: [`Simulation::new`] resolves
+    /// `Auto` to `Sharded` for meshes of at least
+    /// [`SimKernel::AUTO_SHARD_MIN_ROUTERS`] routers with nonzero
+    /// injection (where parallelism pays for the tile tax) and to
+    /// `ActiveSet` everywhere else, so small or idle runs never pay
+    /// the sharding overhead.
     #[default]
     Auto,
     /// Worklist kernel: only routers that can possibly do work are
@@ -148,10 +154,34 @@ pub enum SimKernel {
 }
 
 impl SimKernel {
-    /// Resolves `Auto` to the concrete kernel that will run.
+    /// Router count at which `Auto` starts picking the sharded kernel
+    /// (64×64). Below it the per-tile overhead outweighs the
+    /// parallelism (the sharded kernel measures ~0.65× the serial rate
+    /// at 4×4 but ≥1.1× at 64×64 and above).
+    pub const AUTO_SHARD_MIN_ROUTERS: usize = 4096;
+
+    /// Resolves `Auto` without mesh context — the serial default
+    /// (`ActiveSet`). [`Simulation::new`] uses
+    /// [`SimKernel::resolve_for`], which also considers the mesh size
+    /// and offered load.
     pub fn resolve(self) -> SimKernel {
+        self.resolve_for(0, 0.0)
+    }
+
+    /// Resolves `Auto` for a concrete configuration: `Sharded` for
+    /// meshes of at least [`SimKernel::AUTO_SHARD_MIN_ROUTERS`]
+    /// routers with nonzero injection, `ActiveSet` otherwise. Safe to
+    /// key on size because statistics are bit-identical across
+    /// kernels and shard counts — only throughput changes.
+    pub fn resolve_for(self, routers: usize, injection_rate: f64) -> SimKernel {
         match self {
-            SimKernel::Auto => SimKernel::ActiveSet,
+            SimKernel::Auto => {
+                if routers >= Self::AUTO_SHARD_MIN_ROUTERS && injection_rate > 0.0 {
+                    SimKernel::Sharded
+                } else {
+                    SimKernel::ActiveSet
+                }
+            }
             k => k,
         }
     }
@@ -229,6 +259,14 @@ pub struct MeshConfig {
     /// `--threads 1` replays an 8-shard run bit-for-bit on one core.
     /// Ignored by the serial kernels.
     pub threads: usize,
+    /// Deterministic fault schedule ([`FaultPlan`]); `None` simulates
+    /// a fault-free network and skips every fault check, leaving all
+    /// statistics bit-for-bit identical to builds without the fault
+    /// layer. The plan expands to the same event sequence for every
+    /// kernel and every shard × thread count, so faulted runs stay as
+    /// reproducible as healthy ones. Faulted meshes are capped at
+    /// [`FaultMap::MAX_ROUTERS`] routers.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MeshConfig {
@@ -263,6 +301,7 @@ impl Default for MeshConfig {
             watchdog_cycles: MeshConfig::DEFAULT_WATCHDOG_CYCLES,
             shards: 0,
             threads: 0,
+            faults: None,
         }
     }
 }
@@ -370,6 +409,11 @@ pub struct Simulation {
     // ---- Shared immutable lookup state ----
     neighbors: NeighborTable,
     routes: Option<RouteTable>,
+    /// Expanded fault schedule (`None` when [`MeshConfig::faults`] is
+    /// unset or the plan produces no events). Epochs are applied at
+    /// cycle boundaries by the three-pass reap in [`run_worker`];
+    /// `ShardScratch::epoch` tracks how many each tile has applied.
+    faults: Option<FaultSchedule>,
     /// Cached `(x, y)` per router id, so the hot route closure's
     /// dateline-class computation ([`Mesh::hop_vc_at`]) performs no
     /// divisions — the same treatment [`NeighborTable`] gives
@@ -429,6 +473,15 @@ struct ShardScratch {
     /// Router-step executions in this tile (the quiescence tests
     /// assert an all-idle run performs none).
     routers_stepped: u64,
+    /// Fault epochs this tile has applied — advanced in lockstep by
+    /// the three-pass reap, so every shard agrees on the active
+    /// [`FaultMap`] at every cycle.
+    epoch: usize,
+    /// Flits discarded by fault reaping since construction (persists
+    /// across runs, like `flits_injected` — together they keep flit
+    /// conservation exact: injected = delivered + in flight +
+    /// dropped).
+    flits_dropped: u64,
     /// This tile's statistics for the current measurement window —
     /// tile-sized, locally indexed — merged into the run result in
     /// ascending shard order via [`NetworkStats::merge_shard`].
@@ -457,6 +510,19 @@ struct ShardView<'a> {
     last_stepped: &'a mut [u64],
 }
 
+/// One shard's contribution to a fault-epoch boundary, exchanged
+/// through a mutex (cold path: faults fire a handful of times per
+/// run, never per cycle). Pass 1 fills `doomed` (sorted packet ids
+/// nominated by this shard's scan); pass 2 reads every shard's
+/// nominations and fills `credit_returns` (global lane index → count)
+/// for slots freed in this tile whose upstream lane may live
+/// elsewhere; pass 3 applies the returns lane-owner-side.
+#[derive(Debug, Default)]
+struct FaultReap {
+    doomed: Vec<u64>,
+    credit_returns: Vec<(u64, u32)>,
+}
+
 /// Shared, immutable context of one `run` call (everything a worker
 /// needs beyond its own [`ShardView`]).
 #[derive(Debug)]
@@ -479,6 +545,11 @@ struct RunCtx<'a> {
     measure: u64,
     start_cycle: u64,
     on_rate: f64,
+    /// The run's fault schedule (`None` = healthy network, zero
+    /// fault-layer cost on the hot path).
+    faults: Option<&'a FaultSchedule>,
+    /// Per-shard fault-reap exchange slots (see [`FaultReap`]).
+    fault_slots: &'a [Mutex<FaultReap>],
 }
 
 impl Simulation {
@@ -541,7 +612,21 @@ impl Simulation {
         let n = mesh.len();
         let v = cfg.vcs;
         let lanes = 5 * v;
-        let kernel = cfg.kernel.resolve();
+        let kernel = cfg.kernel.resolve_for(n, cfg.injection_rate);
+        if cfg.faults.is_some() {
+            assert!(
+                n <= FaultMap::MAX_ROUTERS,
+                "faulted meshes are capped at {} routers (the fault layer \
+                 keeps per-destination BFS routing tables)",
+                FaultMap::MAX_ROUTERS
+            );
+        }
+        // Expanded once, up front: the schedule is a pure function of
+        // (plan, mesh), shared read-only by every worker.
+        let faults = cfg
+            .faults
+            .as_ref()
+            .and_then(|plan| FaultSchedule::build(plan, &mesh));
         // Shard geometry: the serial kernels always run one tile; the
         // sharded kernel defaults to one tile per available core,
         // clamped so every tile band owns at least one row. The shard
@@ -589,6 +674,8 @@ impl Simulation {
                     buffered_flits: 0,
                     stagnant_cycles: 0,
                     routers_stepped: 0,
+                    epoch: 0,
+                    flits_dropped: 0,
                     stats: None,
                 }
             })
@@ -621,6 +708,7 @@ impl Simulation {
             routes: (kernel != SimKernel::Reference)
                 .then(|| RouteTable::build(&mesh))
                 .flatten(),
+            faults,
             tiles,
             scratch,
             threads,
@@ -740,6 +828,16 @@ impl Simulation {
         self.scratch.iter().map(|s| s.flits_injected).sum()
     }
 
+    /// Flits discarded by fault reaping since construction (all
+    /// cycles, not just the measurement window). O(shards). With
+    /// [`Simulation::flits_injected_total`] and
+    /// [`Simulation::in_flight_flits`] this keeps flit conservation
+    /// exact on faulted networks: measuring from cycle 0,
+    /// `injected == delivered + in_flight + dropped_by_fault`.
+    pub fn flits_dropped_by_fault_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.flits_dropped).sum()
+    }
+
     /// Asserts the credit-conservation invariant: for every link, the
     /// credits held by the upstream output lane plus the flits buffered
     /// in the downstream input VC equal the per-VC buffer depth.
@@ -813,6 +911,8 @@ impl Simulation {
         let workers = shard_count.div_ceil(per_worker);
         let mail = Mailboxes::new(&self.tiles);
         let slots: Vec<ShardSlots> = (0..shard_count).map(|_| ShardSlots::default()).collect();
+        let fault_slots: Vec<Mutex<FaultReap>> =
+            (0..shard_count).map(|_| Mutex::default()).collect();
         let barrier = PhaseBarrier::new(workers);
 
         let merged = {
@@ -835,6 +935,7 @@ impl Simulation {
                 last_stepped,
                 neighbors,
                 routes,
+                faults,
                 xy,
                 tiles,
                 scratch,
@@ -859,6 +960,8 @@ impl Simulation {
                 measure,
                 start_cycle: *cycle,
                 on_rate: cfg.injection.on_rate(cfg.injection_rate),
+                faults: faults.as_ref(),
+                fault_slots: &fault_slots,
             };
 
             // Carve every per-router slab into disjoint per-tile
@@ -925,6 +1028,12 @@ impl Simulation {
                     merged.merge_shard(&s, sc.base);
                 }
             }
+            // The per-tile stats cannot see the whole mesh, so the
+            // network-wide degradation floor is stamped here, once.
+            if let Some(f) = faults.as_ref() {
+                merged.min_reachable_fraction =
+                    merged.min_reachable_fraction.min(f.min_reachable_fraction);
+            }
             merged
         };
         // Threaded runs check the credit invariant once here (the
@@ -953,6 +1062,35 @@ fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
             // so no barrier is needed.
             for v in group.iter_mut() {
                 v.open_measurement(ctx, ctx.start_cycle + ctx.warmup);
+            }
+        }
+        // Fault-epoch boundaries apply *between* cycles, in three
+        // barrier-separated passes, so every kernel and every shard ×
+        // thread count sees exactly the same network at the start of
+        // the cycle. The pending test is a pure function of
+        // (schedule, applied-epoch count, cycle) — identical in every
+        // worker, so all workers take the same barriers.
+        if let Some(sched) = ctx.faults {
+            while sched.pending(group[0].scratch.epoch, cycle) {
+                // Pass 1: each shard scans its own routers and source
+                // queues and nominates doomed packets into its slot.
+                for v in group.iter_mut() {
+                    v.fault_collect(ctx, sched);
+                }
+                ctx.barrier.wait();
+                // Pass 2: each shard purges the union of all
+                // nominations from its own state and publishes the
+                // credits freed for (possibly remote) upstream lanes.
+                for v in group.iter_mut() {
+                    v.fault_purge(ctx, sched);
+                }
+                ctx.barrier.wait();
+                // Pass 3: each shard applies the returns for lanes it
+                // owns and advances its epoch counter.
+                for v in group.iter_mut() {
+                    v.fault_apply_credits(ctx);
+                }
+                ctx.barrier.wait();
             }
         }
         let parity = (cycle % 2) as usize;
@@ -1010,6 +1148,56 @@ fn assert_credit_sync(views: &[ShardView<'_>], ctx: &RunCtx<'_>) {
             }
         }
     }
+}
+
+/// The doom rule for a fault-epoch boundary: a packet with a flit at
+/// router `at` bound for `dst` is doomed iff the new fault map changes
+/// (or removes) any hop of its remaining path. Wormhole packets
+/// cannot be rerouted mid-flight — the worm's flits are strung along
+/// the old path, and bending the route at any hop would tear the worm
+/// across two paths — so any divergence kills the whole packet and
+/// its flits are purged network-wide.
+///
+/// `old = None` means healthy routing (the XY table), which every
+/// kernel computes identically ([`RouteTable`] is XY by
+/// construction), so the doomed set is kernel- and
+/// shard-count-independent.
+fn path_diverges(
+    ctx: &RunCtx<'_>,
+    old: Option<&FaultMap>,
+    new: Option<&FaultMap>,
+    at: usize,
+    dst: usize,
+) -> bool {
+    // A dead or disconnected destination dooms even flits already
+    // sitting at `dst` awaiting ejection (the walk below would accept
+    // them without stepping).
+    if let Some(fm) = new {
+        if !fm.reachable(at, dst) {
+            return true;
+        }
+    }
+    let mesh = &ctx.mesh;
+    let step = |fm: Option<&FaultMap>, here: usize| -> Option<Direction> {
+        match fm {
+            Some(fm) => fm.route(here, dst),
+            None => Some(mesh.route_xy(here, dst)),
+        }
+    };
+    let mut here = at;
+    while here != dst {
+        let Some(nd) = step(new, here) else {
+            return true;
+        };
+        match step(old, here) {
+            Some(od) if od == nd => {}
+            _ => return true,
+        }
+        here = mesh
+            .neighbor(here, nd)
+            .expect("routes only use existing links");
+    }
+    false
 }
 
 impl ShardView<'_> {
@@ -1173,6 +1361,153 @@ impl ShardView<'_> {
         self.scratch.stats = stats;
     }
 
+    /// Fault boundary, pass 1 of 3: scan this tile's buffered flits
+    /// and in-flight source-queue fronts against the epoch about to
+    /// apply, and nominate doomed packets ([`path_diverges`]) into
+    /// this shard's reap slot. Read-only over the network state, so
+    /// every shard scans concurrently.
+    fn fault_collect(&mut self, ctx: &RunCtx<'_>, sched: &FaultSchedule) {
+        let applied = self.scratch.epoch;
+        let old = sched.map_after(applied);
+        let new = sched.epochs[applied].map.as_ref();
+        let mut slot = ctx.fault_slots[self.scratch.shard].lock().unwrap();
+        let slot = &mut *slot;
+        slot.doomed.clear();
+        slot.credit_returns.clear();
+        for lr in 0..self.len {
+            let rid = self.base + lr;
+            let doomed = &mut slot.doomed;
+            self.routers[lr].for_each_flit(|f| {
+                if path_diverges(ctx, old, new, rid, f.dst) {
+                    doomed.push(f.packet_id);
+                }
+            });
+            // A partially sent source packet is a worm whose tail is
+            // still being synthesized: same doom rule, from the
+            // source.
+            if let Some(front) = self.source_queues[lr].front() {
+                if front.sent > 0 && path_diverges(ctx, old, new, rid, front.dst) {
+                    doomed.push(front.packet_id);
+                }
+            }
+        }
+        slot.doomed.sort_unstable();
+        slot.doomed.dedup();
+    }
+
+    /// Fault boundary, pass 2 of 3: purge the union of every shard's
+    /// nominations from this tile — router buffers, output-lane
+    /// ownership, source-queue fronts and ejection progress — plus
+    /// fully unsent queued packets whose destination the new map
+    /// disconnects. Every freed buffer slot publishes a credit return
+    /// for its upstream lane (applied lane-owner-side in pass 3), so
+    /// credit conservation holds exactly across the boundary.
+    fn fault_purge(&mut self, ctx: &RunCtx<'_>, sched: &FaultSchedule) {
+        let new = sched.epochs[self.scratch.epoch].map.as_ref();
+        // The merged doomed set: each slot is sorted, and the sorted
+        // dedup of the union is independent of shard geometry.
+        let mut doomed: Vec<u64> = Vec::new();
+        for slot in ctx.fault_slots {
+            doomed.extend_from_slice(&slot.lock().unwrap().doomed);
+        }
+        doomed.sort_unstable();
+        doomed.dedup();
+        let mut stats = self.scratch.stats.take();
+        let is_doomed = |pid: u64| doomed.binary_search(&pid).is_ok();
+        let v = ctx.vcs;
+        let lanes = ctx.lanes;
+        let plen = ctx.cfg.packet_len_flits;
+        let mut returns: Vec<(u64, u32)> = Vec::new();
+        let mut dropped_flits = 0u64;
+        let mut unroutable = 0u64;
+        for lr in 0..self.len {
+            let rid = self.base + lr;
+            let removed = self.routers[lr].purge_packets(is_doomed, |lane, _flit| {
+                let port = Direction::from_index(lane / v);
+                if port != Direction::Local {
+                    let up = ctx
+                        .neighbors
+                        .get(rid, port)
+                        .expect("buffered flits arrived over an existing link");
+                    let glane = up * lanes + port.opposite().index() * v + (lane % v);
+                    returns.push((glane as u64, 1));
+                }
+            });
+            dropped_flits += removed as u64;
+            self.scratch.buffered_flits -= removed as u64;
+            let q = &mut self.source_queues[lr];
+            if let Some(front) = q.front() {
+                if front.sent > 0 && is_doomed(front.packet_id) {
+                    let pkt = q.pop_front().expect("front exists");
+                    let rem = pkt.remaining_flits(plen);
+                    dropped_flits += rem;
+                    self.scratch.queued_flits -= rem;
+                }
+            }
+            // Remaining queued packets are fully unsent; those the new
+            // map strands are discarded whole. The packets count as
+            // unroutable (no flit of theirs ever entered the network)
+            // but their queued flits were counted at injection, so
+            // they still join the dropped-flit total — conservation
+            // stays exact. A partially sent survivor still at the
+            // front is kept: its path did not diverge, so its
+            // destination is reachable.
+            if let Some(fm) = new {
+                let before = q.len();
+                q.retain(|p| p.sent > 0 || fm.reachable(rid, p.dst));
+                let removed_pkts = (before - q.len()) as u64;
+                unroutable += removed_pkts;
+                dropped_flits += removed_pkts * plen as u64;
+                self.scratch.queued_flits -= removed_pkts * plen as u64;
+            }
+            // A doomed packet mid-ejection never completes; forget its
+            // progress so the validator expects a fresh head next.
+            if let Some((pid, _)) = self.eject[lr].current {
+                if is_doomed(pid) {
+                    self.eject[lr].current = None;
+                }
+            }
+        }
+        // Packet-level accounting: each doomed packet is counted once,
+        // by the shard owning its source (recoverable from the id).
+        let mut dropped_pkts = 0u64;
+        for &pid in &doomed {
+            if self.contains((pid >> PACKET_SEQ_BITS) as usize) {
+                dropped_pkts += 1;
+            }
+        }
+        self.scratch.flits_dropped += dropped_flits;
+        if let Some(s) = stats.as_mut() {
+            s.flits_dropped_by_fault += dropped_flits;
+            s.packets_dropped_by_fault += dropped_pkts;
+            s.packets_unroutable += unroutable;
+        }
+        ctx.fault_slots[self.scratch.shard]
+            .lock()
+            .unwrap()
+            .credit_returns = returns;
+        self.scratch.stats = stats;
+    }
+
+    /// Fault boundary, pass 3 of 3: apply every shard's published
+    /// credit returns to the lanes this tile owns, then advance the
+    /// epoch counter. (The reference kernel rebuilds credits from live
+    /// buffers each cycle, so the returns are redundant there —
+    /// harmless, and it keeps one code path.)
+    fn fault_apply_credits(&mut self, ctx: &RunCtx<'_>) {
+        let lanes = ctx.lanes;
+        let lo = (self.base * lanes) as u64;
+        let hi = ((self.base + self.len) * lanes) as u64;
+        for slot in ctx.fault_slots {
+            for &(lane, k) in slot.lock().unwrap().credit_returns.iter() {
+                if (lo..hi).contains(&lane) {
+                    self.credits[(lane - lo) as usize] += k;
+                }
+            }
+        }
+        self.scratch.epoch += 1;
+    }
+
     /// Injection: generate new packets into this tile's source queues
     /// and move waiting flits into local input buffers. Every RNG draw
     /// comes from the node's own stream, so tiles inject independently
@@ -1183,9 +1518,17 @@ impl ShardView<'_> {
         let len = ctx.cfg.packet_len_flits;
         let vcs = ctx.vcs;
         let activating = ctx.kernel != SimKernel::Reference;
+        let fmap = ctx.faults.and_then(|s| s.map_after(self.scratch.epoch));
         let mut drained = 0u64;
         for l in 0..self.len {
             let src = self.base + l;
+            // A dead router's source is silent: no bursty flip, no
+            // offer draw. Freezing the RNG (rather than drawing and
+            // discarding) keeps the node's stream a pure function of
+            // its own alive-history — identical in every kernel.
+            if fmap.is_some_and(|fm| !fm.router_alive(src)) {
+                continue;
+            }
             if let InjectionProcess::BurstyOnOff {
                 mean_burst,
                 mean_idle,
@@ -1207,7 +1550,13 @@ impl ShardView<'_> {
                     .pattern
                     .destination(src, &ctx.mesh, &mut self.rngs[l])
                 {
-                    if self.source_queues[l].len() >= ctx.cfg.source_queue_cap {
+                    if fmap.is_some_and(|fm| !fm.reachable(src, dst)) {
+                        // No surviving route: the offer is abandoned
+                        // before any flit exists, like a source drop.
+                        if let Some(s) = stats.as_mut() {
+                            s.packets_unroutable += 1;
+                        }
+                    } else if self.source_queues[l].len() >= ctx.cfg.source_queue_cap {
                         // Queue at cap: reject the offer. The packet
                         // never existed, so conservation stays exact.
                         if let Some(s) = stats.as_mut() {
@@ -1302,6 +1651,7 @@ impl ShardView<'_> {
         let lanes = ctx.lanes;
         let base_rid = self.base;
         let retire = ctx.kernel != SimKernel::Reference;
+        let fmap = ctx.faults.and_then(|s| s.map_after(self.scratch.epoch));
         // Split borrows once: the per-router loop needs disjoint
         // mutable access to routers / SoA lanes / transfers while the
         // readiness closure reads the credit counters.
@@ -1344,9 +1694,22 @@ impl ShardView<'_> {
                 let rid = base_rid + lr;
 
                 let route = |flit: &Flit| {
-                    let out = match routes {
-                        Some(t) => t.route(rid, flit.dst),
-                        None => mesh.route_xy_at(at(rid), at(flit.dst)),
+                    // Faulted epochs route on the fault map's BFS
+                    // tables, which never target a dead channel — so
+                    // the readiness check below stays untouched and
+                    // credit conservation needs no fault cases. Every
+                    // buffered flit has a route: unroutable packets
+                    // are reaped at the epoch boundary, and BFS next
+                    // hops strictly descend the distance-to-dst, so a
+                    // route exists at every hop within a component.
+                    let out = match fmap {
+                        Some(fm) => fm
+                            .route(rid, flit.dst)
+                            .expect("unroutable packets are reaped at fault boundaries"),
+                        None => match routes {
+                            Some(t) => t.route(rid, flit.dst),
+                            None => mesh.route_xy_at(at(rid), at(flit.dst)),
+                        },
                     };
                     RouteTarget {
                         out,
@@ -1457,6 +1820,14 @@ impl ShardView<'_> {
                             let latency = cycle - t.flit.injected_at;
                             s.latency_sum += latency;
                             s.latency_max = s.latency_max.max(latency);
+                            // Degradation view: deliveries after the
+                            // first fault fires, so post-fault latency
+                            // and throughput are separable from the
+                            // healthy prefix.
+                            if ctx.faults.is_some_and(|f| cycle >= f.first_fault_cycle) {
+                                s.packets_delivered_post_fault += 1;
+                                s.latency_sum_post_fault += latency;
+                            }
                         }
                     }
                 }
@@ -1586,10 +1957,16 @@ impl ShardView<'_> {
 
     /// The watchdog fired: panic with a per-lane diagnostic of every
     /// blocked flit in this tile so a deadlock regression names the
-    /// cycle's participants instead of hanging CI.
+    /// cycle's participants instead of hanging CI. On a faulted
+    /// network the diagnostic also classifies each stuck flit by
+    /// whether the active fault map still offers it a route — "true
+    /// routing deadlock" and "stranded by a fault the reap should
+    /// have caught" are different bugs — and prints the fault-map
+    /// summary.
     fn watchdog_abort(&self, ctx: &RunCtx<'_>, cycle: u64, buffered: u64) -> ! {
         let v = ctx.vcs;
         let lanes = ctx.lanes;
+        let fmap = ctx.faults.and_then(|s| s.map_after(self.scratch.epoch));
         let mut report = String::new();
         let mut shown = 0usize;
         let mut blocked = 0usize;
@@ -1613,6 +1990,31 @@ impl ShardView<'_> {
                 }
             }
         }
+        let fault_note = match fmap {
+            Some(fm) => {
+                let mut routable = 0u64;
+                let mut stranded = 0u64;
+                for (lr, r) in self.routers.iter().enumerate() {
+                    let rid = self.base + lr;
+                    r.for_each_flit(|f| {
+                        if fm.reachable(rid, f.dst) {
+                            routable += 1;
+                        } else {
+                            stranded += 1;
+                        }
+                    });
+                }
+                format!(
+                    "\n  active fault map (epoch {}): {}\n  of this tile's buffered flits, \
+                     {routable} still hold a live route (true deadlock suspects) and \
+                     {stranded} are fault-disconnected (reap bug suspects)",
+                    self.scratch.epoch,
+                    fm.summary()
+                )
+            }
+            None if ctx.faults.is_some() => "\n  fault schedule armed; no faults active".into(),
+            None => String::new(),
+        };
         let tile_note = if ctx.tiles.shards() > 1 {
             format!(
                 " [diagnosing tile {} of {}; other tiles may hold more]",
@@ -1624,9 +2026,9 @@ impl ShardView<'_> {
         };
         panic!(
             "watchdog: no flit moved and no credit returned for {} cycles at cycle {} \
-             with {} flits buffered{tile_note} ({} occupied input VCs, first {} shown):{}\n\
+             with {} flits buffered{tile_note} ({} occupied input VCs, first {} shown):{}{}\n\
              (torus DOR with vcs = 1 has no dateline escape — run with vcs >= 2)",
-            ctx.cfg.watchdog_cycles, cycle, buffered, blocked, shown, report
+            ctx.cfg.watchdog_cycles, cycle, buffered, blocked, shown, report, fault_note
         );
     }
 
@@ -2127,5 +2529,225 @@ mod tests {
             frac2 >= frac1 * 0.95,
             "finer gating granularity lost sleep coverage: {frac1:.3} -> {frac2:.3}"
         );
+    }
+
+    #[test]
+    fn auto_kernel_picks_by_size_and_load() {
+        // Small or idle runs must never pay the sharding tax; huge
+        // loaded runs must get the parallel kernel.
+        assert_eq!(SimKernel::Auto.resolve_for(16, 0.05), SimKernel::ActiveSet);
+        assert_eq!(
+            SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS, 0.0),
+            SimKernel::ActiveSet
+        );
+        assert_eq!(
+            SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS, 0.05),
+            SimKernel::Sharded
+        );
+        // Explicit choices pass through untouched.
+        assert_eq!(
+            SimKernel::Reference.resolve_for(1 << 20, 1.0),
+            SimKernel::Reference
+        );
+        let sim = Simulation::new(base_cfg());
+        assert_eq!(sim.kernel(), SimKernel::ActiveSet);
+    }
+
+    fn faulted_cfg() -> MeshConfig {
+        MeshConfig {
+            width: 6,
+            height: 6,
+            vcs: 2,
+            injection_rate: 0.06,
+            seed: 77,
+            faults: Some(FaultPlan {
+                seed: 11,
+                link_faults: 2,
+                router_faults: 1,
+                transient_link_faults: 1,
+                transient_duration: 150,
+                start_cycle: 100,
+                window: 400,
+                ..FaultPlan::default()
+            }),
+            ..base_cfg()
+        }
+    }
+
+    #[test]
+    fn faulted_stats_are_identical_across_kernels() {
+        // The fault schedule is a pure function of (plan, mesh) and
+        // every epoch applies at a cycle boundary, so the three
+        // kernels — and every shard count — must agree bit for bit.
+        let run = |kernel: SimKernel, shards: usize, threads: usize| {
+            let mut sim = Simulation::new(MeshConfig {
+                kernel,
+                shards,
+                threads,
+                ..faulted_cfg()
+            });
+            sim.run(0, 1500)
+        };
+        let reference = run(SimKernel::Reference, 0, 0);
+        assert!(
+            reference.flits_dropped_by_fault > 0,
+            "the plan must actually bite for this test to mean anything"
+        );
+        assert_eq!(reference, run(SimKernel::ActiveSet, 0, 0));
+        for shards in [1, 2, 3, 6] {
+            for threads in [1, 2] {
+                assert_eq!(
+                    reference,
+                    run(SimKernel::Sharded, shards, threads),
+                    "sharded {shards}x{threads} diverged under faults"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_run_conserves_flits_and_credits() {
+        // Measuring from cycle 0, every injected flit is delivered,
+        // in flight, or was reaped by a fault — exactly.
+        let mut sim = Simulation::new(faulted_cfg());
+        let stats = sim.run(0, 2500);
+        assert!(stats.packets_delivered > 100);
+        assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits() + sim.flits_dropped_by_fault_total()
+        );
+        sim.check_credit_conservation();
+        assert!(stats.min_reachable_fraction < 1.0);
+        assert!(stats.min_reachable_fraction > 0.0);
+    }
+
+    #[test]
+    fn transient_fault_heals_and_traffic_resumes() {
+        // One transient link fault: the map goes back to pristine, so
+        // post-heal routing is the healthy XY table again and traffic
+        // keeps flowing to the end of the run.
+        let mut sim = Simulation::new(MeshConfig {
+            injection_rate: 0.05,
+            faults: Some(FaultPlan {
+                seed: 3,
+                link_faults: 0,
+                transient_link_faults: 1,
+                transient_duration: 200,
+                start_cycle: 100,
+                window: 1,
+                ..FaultPlan::default()
+            }),
+            ..base_cfg()
+        });
+        let stats = sim.run(0, 4000);
+        assert!(stats.packets_delivered > 200);
+        assert!(stats.packets_delivered_post_fault > 100);
+        assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits() + sim.flits_dropped_by_fault_total()
+        );
+        sim.check_credit_conservation();
+    }
+
+    #[test]
+    fn dead_router_isolates_its_sources_and_sinks() {
+        // A permanent router death: its source goes silent, packets
+        // already bound for it are reaped, and later offers to it are
+        // refused as unroutable.
+        let mut sim = Simulation::new(MeshConfig {
+            injection_rate: 0.08,
+            faults: Some(FaultPlan {
+                seed: 5,
+                link_faults: 0,
+                router_faults: 1,
+                start_cycle: 300,
+                window: 1,
+                ..FaultPlan::default()
+            }),
+            ..base_cfg()
+        });
+        let stats = sim.run(0, 4000);
+        assert!(stats.packets_unroutable > 0, "offers to the dead router");
+        assert!(stats.packets_dropped_by_fault > 0, "in-flight victims");
+        assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits() + sim.flits_dropped_by_fault_total()
+        );
+        sim.check_credit_conservation();
+    }
+
+    #[test]
+    fn saturated_dateline_torus_with_dead_link_drains() {
+        // The acceptance scenario: Tornado at saturation on a wrapped
+        // 16×16 with 2 VCs loses one link mid-run and must keep
+        // streaming packets around the detour without tripping the
+        // watchdog.
+        let mut sim = Simulation::new(MeshConfig {
+            width: 16,
+            height: 16,
+            wrap: true,
+            vcs: 2,
+            pattern: TrafficPattern::Tornado,
+            injection_rate: 1.0,
+            source_queue_cap: 4,
+            watchdog_cycles: 2_000,
+            seed: 9,
+            faults: Some(FaultPlan {
+                seed: 13,
+                link_faults: 1,
+                start_cycle: 500,
+                window: 1,
+                ..FaultPlan::default()
+            }),
+            ..base_cfg()
+        });
+        let stats = sim.run(0, 6000);
+        assert!(
+            stats.packets_delivered > 2_000,
+            "faulted saturated torus must stream packets, got {}",
+            stats.packets_delivered
+        );
+        assert!(stats.packets_delivered_post_fault > 1_000);
+        sim.check_credit_conservation();
+    }
+
+    #[test]
+    fn watchdog_diagnostic_reports_the_fault_map() {
+        // Satellite of the fault work: when the watchdog fires on a
+        // faulted network, the diagnostic must carry the fault-map
+        // summary so true deadlock and reap bugs are distinguishable
+        // at a glance. vcs = 1 torus tornado wedges regardless of the
+        // (mesh-side, healthy-by-then) fault plan.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sim = Simulation::new(MeshConfig {
+                width: 8,
+                height: 8,
+                wrap: true,
+                vcs: 1,
+                pattern: TrafficPattern::Tornado,
+                injection_rate: 1.0,
+                packet_len_flits: 8,
+                source_queue_cap: 8,
+                watchdog_cycles: 500,
+                seed: 5,
+                faults: Some(FaultPlan {
+                    seed: 21,
+                    link_faults: 1,
+                    start_cycle: 50,
+                    window: 1,
+                    ..FaultPlan::default()
+                }),
+                ..base_cfg()
+            });
+            sim.run(0, 50_000)
+        }));
+        let msg = *result
+            .expect_err("saturated vcs=1 torus tornado must deadlock")
+            .downcast::<String>()
+            .expect("panic carries the diagnostic string");
+        assert!(msg.contains("watchdog"), "{msg}");
+        assert!(msg.contains("active fault map"), "{msg}");
+        assert!(msg.contains("pairs reachable"), "{msg}");
+        assert!(msg.contains("live route"), "{msg}");
     }
 }

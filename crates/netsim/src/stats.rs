@@ -25,6 +25,31 @@ pub struct NetworkStats {
     pub latency_sum: u64,
     /// Max packet latency seen.
     pub latency_max: u64,
+    /// Flits discarded at fault boundaries during measurement: every
+    /// buffered or still-queued flit of a packet killed by a fault
+    /// (dead router, torn worm, or a path change that would tear the
+    /// worm). Each removal returns its buffer credit upstream, so flit
+    /// conservation stays exact:
+    /// `injected == delivered + in_flight + dropped_by_fault`.
+    pub flits_dropped_by_fault: u64,
+    /// Packets killed mid-flight by a fault during measurement
+    /// (counted once, at the packet's source tile).
+    pub packets_dropped_by_fault: u64,
+    /// Packets abandoned because no surviving route to their
+    /// destination existed — offered traffic whose destination was
+    /// unreachable at injection time, plus queued-but-unsent packets
+    /// discarded when a fault disconnected their destination.
+    pub packets_unroutable: u64,
+    /// Packets delivered at or after the first fault onset — with
+    /// `latency_sum_post_fault`, the degraded-mode latency the sweep
+    /// reports.
+    pub packets_delivered_post_fault: u64,
+    /// Sum of latencies of post-fault deliveries, cycles.
+    pub latency_sum_post_fault: u64,
+    /// Worst reachable-pair fraction over the run's fault epochs
+    /// (`1.0` when no fault plan is active). Set by the runner after
+    /// the shard merge; a pure function of the fault schedule.
+    pub min_reachable_fraction: f64,
     /// Per-router activity counters.
     pub router_activity: Vec<RouterActivity>,
     /// Virtual channels per port the run was simulated with (the
@@ -60,6 +85,12 @@ impl NetworkStats {
             flits_delivered: 0,
             latency_sum: 0,
             latency_max: 0,
+            flits_dropped_by_fault: 0,
+            packets_dropped_by_fault: 0,
+            packets_unroutable: 0,
+            packets_delivered_post_fault: 0,
+            latency_sum_post_fault: 0,
+            min_reachable_fraction: 1.0,
             router_activity: vec![RouterActivity::default(); routers],
             vcs,
             idle_histograms: (0..routers)
@@ -129,6 +160,14 @@ impl NetworkStats {
         self.flits_delivered += other.flits_delivered;
         self.latency_sum += other.latency_sum;
         self.latency_max = self.latency_max.max(other.latency_max);
+        self.flits_dropped_by_fault += other.flits_dropped_by_fault;
+        self.packets_dropped_by_fault += other.packets_dropped_by_fault;
+        self.packets_unroutable += other.packets_unroutable;
+        self.packets_delivered_post_fault += other.packets_delivered_post_fault;
+        self.latency_sum_post_fault += other.latency_sum_post_fault;
+        self.min_reachable_fraction = self
+            .min_reachable_fraction
+            .min(other.min_reachable_fraction);
         for (mine, theirs) in self.router_activity[base_router..]
             .iter_mut()
             .zip(&other.router_activity)
@@ -154,6 +193,15 @@ impl NetworkStats {
             return 0.0;
         }
         self.latency_sum as f64 / self.packets_delivered as f64
+    }
+
+    /// Mean latency (cycles) of packets delivered at or after the
+    /// first fault onset — the degraded-mode latency.
+    pub fn avg_latency_post_fault(&self) -> f64 {
+        if self.packets_delivered_post_fault == 0 {
+            return 0.0;
+        }
+        self.latency_sum_post_fault as f64 / self.packets_delivered_post_fault as f64
     }
 
     /// Delivered flits per router per cycle — the standard accepted

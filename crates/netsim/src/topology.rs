@@ -421,6 +421,247 @@ impl RouteTable {
     }
 }
 
+/// Sentinel direction index for "no surviving path".
+const NO_ROUTE: u8 = u8::MAX;
+
+/// Liveness state of the network under an active fault set, plus a
+/// per-destination BFS next-hop table that routes *around* the dead
+/// components.
+///
+/// A `FaultMap` answers two questions the routing layer needs:
+///
+/// * **liveness** — is this router / directed channel usable? Link
+///   faults always take out both directions of a physical link, and a
+///   dead router blocks every channel touching it.
+/// * **routing** — what is the first hop of a shortest *surviving*
+///   path from `rid` to `dst`? The table is rebuilt by breadth-first
+///   search from every destination whenever the fault set changes
+///   ([`FaultMap::rebuild`]), with a fixed direction expansion order so
+///   the result is a pure function of the fault set — the property the
+///   deterministic kernels need. Because every hop strictly decreases
+///   the BFS distance to the destination, packets following the table
+///   can neither loop nor livelock.
+///
+/// The table costs one byte per ordered router pair, so faulted
+/// configurations are capped at [`FaultMap::MAX_ROUTERS`] routers
+/// (16 MiB at the cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMap {
+    n: usize,
+    /// Explicit link faults, per directed channel `rid * 4 + dir`.
+    /// [`FaultMap::kill_link`] always marks both directions.
+    dead_link: Vec<bool>,
+    /// Explicit router faults.
+    dead_router: Vec<bool>,
+    /// Effective channel liveness: blocked when the link itself is dead
+    /// or either endpoint router is dead. Derived by `rebuild`.
+    blocked: Vec<bool>,
+    /// `next_hop[dst * n + rid]`: [`Direction::index`] of the first hop
+    /// from `rid` toward `dst` on a shortest surviving path
+    /// ([`Direction::Local`] at `rid == dst`); `NO_ROUTE` when
+    /// unreachable.
+    next_hop: Vec<u8>,
+    reachable_pairs: u64,
+    link_faults: usize,
+    router_faults: usize,
+}
+
+impl FaultMap {
+    /// Largest router count faulted configurations support (64×64);
+    /// the per-destination next-hop table is quadratic in routers.
+    pub const MAX_ROUTERS: usize = 4096;
+
+    /// An all-alive map for `mesh` (routes not yet built — call
+    /// [`FaultMap::rebuild`] after applying faults).
+    pub fn new(mesh: &Mesh) -> Self {
+        let n = mesh.len();
+        assert!(
+            n <= Self::MAX_ROUTERS,
+            "faulted meshes are capped at {} routers, got {n}",
+            Self::MAX_ROUTERS
+        );
+        FaultMap {
+            n,
+            dead_link: vec![false; n * 4],
+            dead_router: vec![false; n],
+            blocked: vec![false; n * 4],
+            next_hop: vec![NO_ROUTE; n * n],
+            reachable_pairs: 0,
+            link_faults: 0,
+            router_faults: 0,
+        }
+    }
+
+    /// Marks the physical link out of `rid` in `dir` dead (both
+    /// directions). Returns `false` when there is no such link or it is
+    /// already dead. Routes are stale until [`FaultMap::rebuild`].
+    pub fn kill_link(&mut self, mesh: &Mesh, rid: usize, dir: Direction) -> bool {
+        let Some(nbr) = mesh.neighbor(rid, dir) else {
+            return false;
+        };
+        if self.dead_link[rid * 4 + dir.index()] {
+            return false;
+        }
+        self.dead_link[rid * 4 + dir.index()] = true;
+        self.dead_link[nbr * 4 + dir.opposite().index()] = true;
+        self.link_faults += 1;
+        true
+    }
+
+    /// Revives a link previously killed with [`FaultMap::kill_link`].
+    /// Returns `false` when the link does not exist or is already
+    /// alive.
+    pub fn revive_link(&mut self, mesh: &Mesh, rid: usize, dir: Direction) -> bool {
+        let Some(nbr) = mesh.neighbor(rid, dir) else {
+            return false;
+        };
+        if !self.dead_link[rid * 4 + dir.index()] {
+            return false;
+        }
+        self.dead_link[rid * 4 + dir.index()] = false;
+        self.dead_link[nbr * 4 + dir.opposite().index()] = false;
+        self.link_faults -= 1;
+        true
+    }
+
+    /// Marks router `rid` dead (all its channels block and it can
+    /// neither inject nor eject). Returns `false` if already dead.
+    pub fn kill_router(&mut self, rid: usize) -> bool {
+        if self.dead_router[rid] {
+            return false;
+        }
+        self.dead_router[rid] = true;
+        self.router_faults += 1;
+        true
+    }
+
+    /// Revives a router previously killed with
+    /// [`FaultMap::kill_router`]. Returns `false` if already alive.
+    pub fn revive_router(&mut self, rid: usize) -> bool {
+        if !self.dead_router[rid] {
+            return false;
+        }
+        self.dead_router[rid] = false;
+        self.router_faults -= 1;
+        true
+    }
+
+    /// `true` when no fault is active (the map routes like the healthy
+    /// mesh and callers can drop it entirely).
+    pub fn is_healthy(&self) -> bool {
+        self.link_faults == 0 && self.router_faults == 0
+    }
+
+    /// Recomputes effective channel liveness and the next-hop table
+    /// from the current fault set: one BFS per destination over the
+    /// surviving reverse channels, expanding directions in a fixed
+    /// order so the table is deterministic.
+    pub fn rebuild(&mut self, mesh: &Mesh) {
+        let n = self.n;
+        assert_eq!(n, mesh.len(), "fault map built for a different mesh");
+        for rid in 0..n {
+            for d in &Direction::ALL[..4] {
+                let di = d.index();
+                let nbr = mesh.neighbor(rid, *d);
+                self.blocked[rid * 4 + di] = self.dead_link[rid * 4 + di]
+                    || self.dead_router[rid]
+                    || nbr.is_none_or(|v| self.dead_router[v]);
+            }
+        }
+        self.reachable_pairs = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        for dst in 0..n {
+            let row = &mut self.next_hop[dst * n..(dst + 1) * n];
+            row.fill(NO_ROUTE);
+            if self.dead_router[dst] {
+                continue;
+            }
+            row[dst] = Direction::Local.index() as u8;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                for d in &Direction::ALL[..4] {
+                    let Some(v) = mesh.neighbor(u, *d) else {
+                        continue;
+                    };
+                    // Traffic flows v → u, i.e. out of v's opposite
+                    // port; that channel must survive.
+                    let out = d.opposite();
+                    if row[v] != NO_ROUTE || self.blocked[v * 4 + out.index()] {
+                        continue;
+                    }
+                    row[v] = out.index() as u8;
+                    queue.push_back(v);
+                }
+            }
+            self.reachable_pairs += row
+                .iter()
+                .enumerate()
+                .filter(|&(rid, &h)| rid != dst && h != NO_ROUTE)
+                .count() as u64;
+        }
+    }
+
+    /// `true` when router `rid` is alive.
+    pub fn router_alive(&self, rid: usize) -> bool {
+        !self.dead_router[rid]
+    }
+
+    /// `true` when the directed channel out of `rid` in `dir` is not
+    /// fault-blocked (a mesh-edge channel that never existed reports
+    /// `true`; pair with the credit check, which is 0 there).
+    pub fn link_alive(&self, rid: usize, dir: Direction) -> bool {
+        dir == Direction::Local || !self.blocked[rid * 4 + dir.index()]
+    }
+
+    /// First hop of a shortest surviving path from `rid` toward `dst`
+    /// ([`Direction::Local`] when `rid == dst`), or `None` when `dst`
+    /// is unreachable from `rid` under the active faults.
+    pub fn route(&self, rid: usize, dst: usize) -> Option<Direction> {
+        let h = self.next_hop[dst * self.n + rid];
+        (h != NO_ROUTE).then(|| Direction::from_index(h as usize))
+    }
+
+    /// `true` when a surviving path `rid → dst` exists (trivially true
+    /// at `rid == dst` on an alive router).
+    pub fn reachable(&self, rid: usize, dst: usize) -> bool {
+        self.next_hop[dst * self.n + rid] != NO_ROUTE
+    }
+
+    /// Fraction of ordered distinct router pairs still connected, in
+    /// `[0, 1]` — the degradation metric the sweep reports.
+    pub fn reachable_fraction(&self) -> f64 {
+        let total = (self.n * (self.n - 1)) as f64;
+        if total == 0.0 {
+            1.0
+        } else {
+            self.reachable_pairs as f64 / total
+        }
+    }
+
+    /// Number of dead physical links (undirected).
+    pub fn dead_link_count(&self) -> usize {
+        self.link_faults
+    }
+
+    /// Number of dead routers.
+    pub fn dead_router_count(&self) -> usize {
+        self.router_faults
+    }
+
+    /// One-line human summary for diagnostics (watchdog, sweeps).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} dead router(s), {} dead link(s); {}/{} pairs reachable ({:.1}%)",
+            self.router_faults,
+            self.link_faults,
+            self.reachable_pairs,
+            self.n * (self.n - 1),
+            self.reachable_fraction() * 100.0
+        )
+    }
+}
+
 /// A partition of the mesh into horizontal **tile bands** for the
 /// sharded kernel: shard `s` owns the full-width rectangle of rows
 /// `row0[s] .. row0[s + 1]`.
@@ -861,6 +1102,94 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fault_map_routes_match_bfs_distance() {
+        // With no faults, BFS next-hops must reach every destination in
+        // exactly hops() steps on the mesh (BFS shortest = Manhattan).
+        for m in [Mesh::new(5, 4), Mesh::torus(5, 4)] {
+            let mut fm = FaultMap::new(&m);
+            fm.rebuild(&m);
+            assert!(fm.is_healthy());
+            assert_eq!(fm.reachable_fraction(), 1.0);
+            for src in 0..m.len() {
+                for dst in 0..m.len() {
+                    let mut here = src;
+                    let mut steps = 0;
+                    while here != dst {
+                        let dir = fm.route(here, dst).expect("healthy map is connected");
+                        here = m.neighbor(here, dir).expect("route stays in network");
+                        steps += 1;
+                        assert!(steps <= m.hops(src, dst), "BFS route took a detour");
+                    }
+                    assert_eq!(steps, m.hops(src, dst));
+                    assert_eq!(fm.route(dst, dst), Some(Direction::Local));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_map_detours_around_a_dead_link() {
+        // Kill the (1,1)→(2,1) link on a 4×4 mesh: every pair must stay
+        // reachable (the mesh is 2-connected away from corners) and no
+        // surviving route may use the dead channel in either direction.
+        let m = Mesh::new(4, 4);
+        let mut fm = FaultMap::new(&m);
+        assert!(fm.kill_link(&m, m.id(1, 1), Direction::East));
+        assert!(!fm.kill_link(&m, m.id(2, 1), Direction::West), "same link");
+        fm.rebuild(&m);
+        assert_eq!(fm.dead_link_count(), 1);
+        assert!(!fm.link_alive(m.id(1, 1), Direction::East));
+        assert!(!fm.link_alive(m.id(2, 1), Direction::West));
+        assert_eq!(fm.reachable_fraction(), 1.0, "mesh remains connected");
+        for src in 0..m.len() {
+            for dst in 0..m.len() {
+                let mut here = src;
+                let mut steps = 0;
+                while here != dst {
+                    let dir = fm.route(here, dst).expect("still connected");
+                    assert!(fm.link_alive(here, dir), "route used a dead link");
+                    here = m.neighbor(here, dir).unwrap();
+                    steps += 1;
+                    assert!(steps <= m.len(), "route loops");
+                }
+            }
+        }
+        // Revival restores the original table.
+        let mut healthy = FaultMap::new(&m);
+        healthy.rebuild(&m);
+        assert!(fm.revive_link(&m, m.id(2, 1), Direction::West));
+        fm.rebuild(&m);
+        assert_eq!(fm, healthy);
+    }
+
+    #[test]
+    fn fault_map_dead_router_disconnects_and_isolates() {
+        // Killing (1,0) on a 3×1 path mesh cuts (0,0) from (2,0); the
+        // dead router itself is unreachable and cannot route.
+        let m = Mesh::new(3, 1);
+        let mut fm = FaultMap::new(&m);
+        assert!(fm.kill_router(m.id(1, 0)));
+        assert!(!fm.kill_router(m.id(1, 0)), "already dead");
+        fm.rebuild(&m);
+        assert!(!fm.reachable(m.id(0, 0), m.id(2, 0)));
+        assert!(!fm.reachable(m.id(2, 0), m.id(0, 0)));
+        assert!(!fm.reachable(m.id(0, 0), m.id(1, 0)));
+        assert!(!fm.reachable(m.id(1, 0), m.id(0, 0)));
+        assert!(fm.reachable(m.id(0, 0), m.id(0, 0)));
+        assert!(fm.route(m.id(0, 0), m.id(2, 0)).is_none());
+        // 1×3 path has 6 ordered pairs; only self pairs survive — the
+        // fraction counts the 0 surviving distinct pairs.
+        assert_eq!(fm.reachable_fraction(), 0.0);
+        assert!(fm.summary().contains("1 dead router"));
+        // On the torus the wrap link keeps the ends connected.
+        let t = Mesh::torus(3, 1);
+        let mut ft = FaultMap::new(&t);
+        ft.kill_router(t.id(1, 0));
+        ft.rebuild(&t);
+        assert!(ft.reachable(t.id(0, 0), t.id(2, 0)));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! the dedicated shard/thread dimension).
 
 use leakage_noc::netsim::{
-    GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig,
-    TrafficPattern,
+    FaultPlan, GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation,
+    SleepConfig, TrafficPattern,
 };
 use proptest::prelude::*;
 
@@ -65,6 +65,14 @@ fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bo
     );
     assert_eq!(active.in_flight_flits(), reference.in_flight_flits());
     assert_eq!(active.in_flight_flits(), sharded.in_flight_flits());
+    assert_eq!(
+        active.flits_dropped_by_fault_total(),
+        reference.flits_dropped_by_fault_total()
+    );
+    assert_eq!(
+        active.flits_dropped_by_fault_total(),
+        sharded.flits_dropped_by_fault_total()
+    );
 }
 
 proptest! {
@@ -114,6 +122,93 @@ proptest! {
             ..MeshConfig::default()
         };
         assert_kernels_agree(cfg, warmup, 900, reversed_sel == 1);
+    }
+
+    /// Faulted runs stay bit-identical too: the fault schedule is a
+    /// pure function of (plan, mesh) and epochs apply at cycle
+    /// boundaries, so link/router deaths, transient heals and the
+    /// reaping of torn worms must not introduce any kernel- or
+    /// shard-dependent behaviour.
+    #[test]
+    fn faulted_kernels_agree(
+        rate in 0.01f64..0.10,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..1_000,
+        wrap_sel in 0u8..2,
+        vcs_sel in 0usize..3,
+        link_faults in 0usize..3,
+        router_faults in 0usize..2,
+        transients in 0usize..2,
+        start in 50u64..300,
+        window in 1u64..400,
+    ) {
+        prop_assume!(link_faults + router_faults + transients > 0);
+        let cfg = MeshConfig {
+            width: 6,
+            height: 6,
+            injection_rate: rate,
+            seed,
+            wrap: wrap_sel == 1,
+            // Wrapped runs need the dateline escape VC.
+            vcs: vcs_override().unwrap_or([1, 2, 4][vcs_sel]).max(
+                if wrap_sel == 1 { 2 } else { 1 }
+            ),
+            faults: Some(FaultPlan {
+                seed: fault_seed,
+                link_faults,
+                router_faults,
+                transient_link_faults: transients,
+                transient_duration: 120,
+                start_cycle: start,
+                window,
+                ..FaultPlan::default()
+            }),
+            ..MeshConfig::default()
+        };
+        assert_kernels_agree(cfg, 0, 900, false);
+    }
+
+    /// Flit conservation under faults, measured from cycle 0: every
+    /// injected flit is delivered, still in flight, or was reaped at a
+    /// fault boundary — exactly, for any plan the generator draws.
+    #[test]
+    fn faulted_flit_conservation(
+        rate in 0.01f64..0.12,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..1_000,
+        wrap_sel in 0u8..2,
+        link_faults in 0usize..4,
+        router_faults in 0usize..3,
+        transients in 0usize..3,
+        len in 1usize..6,
+        measure in 300u64..1200,
+    ) {
+        let mut sim = Simulation::new(MeshConfig {
+            width: 6,
+            height: 6,
+            injection_rate: rate,
+            seed,
+            wrap: wrap_sel == 1,
+            vcs: if wrap_sel == 1 { 2 } else { 1 },
+            packet_len_flits: len,
+            faults: Some(FaultPlan {
+                seed: fault_seed,
+                link_faults,
+                router_faults,
+                transient_link_faults: transients,
+                transient_duration: 100,
+                start_cycle: 100,
+                window: 300,
+                ..FaultPlan::default()
+            }),
+            ..MeshConfig::default()
+        });
+        let stats = sim.run(0, measure);
+        prop_assert_eq!(
+            sim.flits_injected_total(),
+            stats.flits_delivered + sim.in_flight_flits() + sim.flits_dropped_by_fault_total()
+        );
+        sim.check_credit_conservation();
     }
 }
 
@@ -168,6 +263,45 @@ fn kernels_agree_on_larger_meshes() {
             },
             300,
             2000,
+            false,
+        );
+    }
+}
+
+#[test]
+fn kernels_agree_on_faulted_grid() {
+    // Deterministic faulted spot checks: permanent link kills, a
+    // router death and a transient heal, on mesh and torus, at the
+    // sweep's sizes — each run under all three kernels (the sharded
+    // one at a seed-derived shard count via `assert_kernels_agree`).
+    for (wrap, vcs, links, routers, transients, seed) in [
+        (false, 1, 1, 0, 0, 0u64),
+        (false, 2, 2, 1, 0, 1),
+        (true, 2, 1, 0, 1, 2),
+        (true, 4, 2, 1, 1, 3),
+    ] {
+        assert_kernels_agree(
+            MeshConfig {
+                width: 8,
+                height: 8,
+                injection_rate: 0.05,
+                wrap,
+                vcs: vcs_override().unwrap_or(vcs).max(if wrap { 2 } else { 1 }),
+                seed: 100 + seed,
+                faults: Some(FaultPlan {
+                    seed: 40 + seed,
+                    link_faults: links,
+                    router_faults: routers,
+                    transient_link_faults: transients,
+                    transient_duration: 150,
+                    start_cycle: 150,
+                    window: 250,
+                    ..FaultPlan::default()
+                }),
+                ..MeshConfig::default()
+            },
+            0,
+            1800,
             false,
         );
     }

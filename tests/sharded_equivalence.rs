@@ -8,8 +8,8 @@
 //! gating on/off.
 
 use leakage_noc::netsim::{
-    GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig,
-    TrafficPattern,
+    FaultPlan, GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation,
+    SleepConfig, TrafficPattern,
 };
 use proptest::prelude::*;
 
@@ -43,6 +43,10 @@ fn assert_sharded_matches_serial(
         );
         assert_eq!(serial.flits_injected_total(), sim.flits_injected_total());
         assert_eq!(serial.in_flight_flits(), sim.in_flight_flits());
+        assert_eq!(
+            serial.flits_dropped_by_fault_total(),
+            sim.flits_dropped_by_fault_total()
+        );
         sim.check_credit_conservation();
     }
 }
@@ -223,6 +227,117 @@ fn shard_count_is_clamped_to_mesh_height() {
     assert!(sim.threads() <= 4);
     let stats = sim.run(50, 500);
     assert!(stats.measured_cycles == 500);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Faulted runs are shard-count-independent too: the three-pass
+    /// reap exchanges doomed packets and credit returns through the
+    /// barrier, so kills, heals and reroutes land identically at every
+    /// shard geometry — including tiles whose routers all die.
+    #[test]
+    fn faulted_sharded_matches_serial(
+        seed in 0u64..10_000,
+        fault_seed in 0u64..1_000,
+        rate in 0.01f64..0.10,
+        wrap_sel in 0u8..2,
+        link_faults in 0usize..3,
+        router_faults in 0usize..2,
+        transients in 0usize..2,
+    ) {
+        prop_assume!(link_faults + router_faults + transients > 0);
+        let cfg = MeshConfig {
+            width: 8,
+            height: 8,
+            injection_rate: rate,
+            wrap: wrap_sel == 1,
+            vcs: if wrap_sel == 1 { 2 } else { 1 },
+            seed,
+            faults: Some(FaultPlan {
+                seed: fault_seed,
+                link_faults,
+                router_faults,
+                transient_link_faults: transients,
+                transient_duration: 120,
+                start_cycle: 80,
+                window: 250,
+                ..FaultPlan::default()
+            }),
+            ..MeshConfig::default()
+        };
+        assert_sharded_matches_serial(cfg, &[1, 2, 4, 8], 0, 800);
+    }
+}
+
+#[test]
+fn faulted_sharded_survives_threads() {
+    // Thread count stays an execution detail on a faulted network:
+    // the reap barriers synchronize every worker, so 1, 2 and 8
+    // workers replay the same kills byte-for-byte.
+    let cfg = MeshConfig {
+        width: 8,
+        height: 16,
+        injection_rate: 0.06,
+        wrap: true,
+        vcs: 2,
+        seed: 42,
+        kernel: SimKernel::Sharded,
+        shards: 8,
+        faults: Some(FaultPlan {
+            seed: 17,
+            link_faults: 2,
+            router_faults: 1,
+            transient_link_faults: 1,
+            transient_duration: 200,
+            start_cycle: 150,
+            window: 300,
+            ..FaultPlan::default()
+        }),
+        ..MeshConfig::default()
+    };
+    let run = |threads: usize| {
+        let mut sim = Simulation::new(MeshConfig {
+            threads,
+            ..cfg.clone()
+        });
+        let stats = sim.run(0, 1500);
+        sim.check_credit_conservation();
+        stats
+    };
+    let one = run(1);
+    assert!(one.flits_dropped_by_fault > 0, "the plan must bite");
+    for threads in [2, 8] {
+        assert_eq!(one, run(threads), "threads={threads} changed results");
+    }
+}
+
+#[test]
+fn sharded_saturated_dateline_torus_drains_around_dead_link() {
+    // The graceful-degradation acceptance scenario, sharded: a
+    // saturated dateline torus loses a link mid-run and must keep
+    // streaming packets around the detour — identically at every
+    // shard count, without tripping the watchdog.
+    let cfg = MeshConfig {
+        width: 16,
+        height: 16,
+        wrap: true,
+        vcs: 2,
+        pattern: TrafficPattern::Tornado,
+        injection_rate: 1.0,
+        source_queue_cap: 4,
+        watchdog_cycles: 2_000,
+        seed: 9,
+        faults: Some(FaultPlan {
+            seed: 13,
+            link_faults: 1,
+            start_cycle: 400,
+            window: 1,
+            ..FaultPlan::default()
+        }),
+        ..MeshConfig::default()
+    };
+    assert_sharded_matches_serial(cfg, &[2, 4], 0, 1500);
 }
 
 #[test]
