@@ -11,7 +11,9 @@
 //! to a smoke run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lnoc_netsim::{GatingPolicy, MeshConfig, SimKernel, Simulation, SleepConfig, TrafficPattern};
+use lnoc_netsim::{
+    FaultPlan, GatingPolicy, MeshConfig, SimKernel, Simulation, SleepConfig, TrafficPattern,
+};
 use std::hint::black_box;
 
 fn bench_mesh_cycles(c: &mut Criterion) {
@@ -98,6 +100,43 @@ fn bench_mesh_cycles(c: &mut Criterion) {
                 })
             });
         }
+    }
+
+    // Fault machinery overhead: the same 16×16 low-rate point with a
+    // seeded fault plan live (two permanent link kills, one router
+    // kill, one transient). Routing swaps from the static tables to
+    // the FaultMap's BFS tables and every epoch boundary pays the
+    // three-pass reap, so this row vs its healthy twin above is the
+    // price of graceful degradation.
+    for &kernel in ALL {
+        let label = format!("16x16_r0.005_v1_faulted_{}_{}cy", kernel.name(), cycles);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(MeshConfig {
+                    width: 16,
+                    height: 16,
+                    injection_rate: 0.005,
+                    pattern: TrafficPattern::UniformRandom,
+                    packet_len_flits: 4,
+                    buffer_depth: 4,
+                    seed: 7,
+                    kernel,
+                    shards: 8,
+                    faults: Some(FaultPlan {
+                        seed: 17,
+                        link_faults: 2,
+                        router_faults: 1,
+                        transient_link_faults: 1,
+                        transient_duration: cycles / 4,
+                        start_cycle: cycles / 8,
+                        window: cycles / 2,
+                        ..FaultPlan::default()
+                    }),
+                    ..MeshConfig::default()
+                });
+                black_box(sim.run(0, cycles))
+            })
+        });
     }
     group.finish();
 }

@@ -30,17 +30,29 @@
 //! stats digest to `out/x3_sweep_stats_<kernel>.json` so CI can diff
 //! the kernels as files.
 //!
+//! **Fault sweep** (schema 5): the full grid also carries a fault
+//! dimension — deterministic [`FaultPlan`]s (fault count × injection
+//! rate × gating policy, plus a dead-link saturated dateline-torus
+//! point) — quantifying the leakage-savings story under graceful
+//! degradation: dropped/unroutable packets, the reachable-pair floor
+//! and post-fault latency land in the same rows and digests, and the
+//! faulted points are asserted bit-identical across kernels exactly
+//! like the healthy ones. Smoke grids opt in with `--faults` (CI runs
+//! that per kernel and diffs the digests).
+//!
 //! ```sh
 //! cargo run --release -p lnoc-bench --bin gating_sweep                  # full grid → BENCH_noc.json
 //! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke       # CI smoke grid → out/
-//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --kernel sharded --shards 4
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --faults --kernel sharded --shards 4
 //! cargo run --release -p lnoc-bench --bin gating_sweep -- --seed 7 --vcs 1,2 --shards 8 --threads 1
 //! ```
 
 use lnoc_core::characterize::Characterizer;
 use lnoc_core::config::CrossbarConfig;
 use lnoc_core::scheme::Scheme;
-use lnoc_netsim::{MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig, TrafficPattern};
+use lnoc_netsim::{
+    FaultPlan, MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig, TrafficPattern,
+};
 use lnoc_power::gating::{
     energy_from_counters, evaluate_policy, GatingOutcome, GatingParams, GatingPolicy,
 };
@@ -69,6 +81,8 @@ struct GridPoint {
     measure: u64,
     /// Timing repetitions (big meshes run once; the rest best-of-2).
     reps: u32,
+    /// Fault schedule for the fault-sweep dimension (`None` = healthy).
+    faults: Option<FaultPlan>,
 }
 
 impl GridPoint {
@@ -121,6 +135,7 @@ fn mesh_cfg(
         kernel,
         shards,
         threads,
+        faults: point.faults.clone(),
         ..MeshConfig::default()
     }
 }
@@ -166,13 +181,20 @@ fn run_point(
 fn stats_digest(point: &GridPoint, seed: u64, stats: &NetworkStats) -> String {
     let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
     let k = stats.total_gating_counters();
+    let faults = point
+        .faults
+        .as_ref()
+        .map(|f| f.link_faults + f.router_faults + f.transient_link_faults)
+        .unwrap_or(0);
     format!(
         "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
-         \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
+         \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \"faults\": {}, \
          \"packets_injected\": {}, \"packets_delivered\": {}, \"flits_delivered\": {}, \
          \"dropped_at_source\": {}, \"latency_sum\": {}, \"latency_max\": {}, \
          \"idle_intervals\": {}, \"idle_cycles\": {}, \"sleep_entries\": {}, \
-         \"wake_stalls\": {}, \"cycles_asleep\": {}}}",
+         \"wake_stalls\": {}, \"cycles_asleep\": {}, \"dropped_by_fault\": {}, \
+         \"packets_unroutable\": {}, \"delivered_post_fault\": {}, \
+         \"latency_sum_post_fault\": {}}}",
         point.scheme.name(),
         point.mesh.0,
         point.mesh.1,
@@ -182,6 +204,7 @@ fn stats_digest(point: &GridPoint, seed: u64, stats: &NetworkStats) -> String {
         seed,
         point.rate,
         point.policy,
+        faults,
         stats.packets_injected,
         stats.packets_delivered,
         stats.flits_delivered,
@@ -193,6 +216,10 @@ fn stats_digest(point: &GridPoint, seed: u64, stats: &NetworkStats) -> String {
         k.sleep_entries,
         k.wake_stall_cycles,
         k.cycles_asleep,
+        stats.flits_dropped_by_fault,
+        stats.packets_unroutable,
+        stats.packets_delivered_post_fault,
+        stats.latency_sum_post_fault,
     )
 }
 
@@ -207,6 +234,10 @@ fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // The full sweep always carries the fault grid (the committed
+    // baseline quantifies graceful degradation); smoke grids opt in
+    // with `--faults` so the plain CI smoke run stays minimal.
+    let with_faults = !smoke || args.iter().any(|a| a == "--faults");
     let kernels: Vec<SimKernel> = match arg_value(&args, "--kernel") {
         None | Some("all") => vec![
             SimKernel::ActiveSet,
@@ -311,6 +342,7 @@ fn main() {
             warmup,
             measure,
             reps,
+            faults: None,
         });
     };
     let uniform = TrafficPattern::UniformRandom;
@@ -575,6 +607,90 @@ fn main() {
             }
         }
     }
+    // Fault-sweep dimension (schema 5): deterministic fault plans —
+    // fault count × injection rate × gating policy, each with its own
+    // Never row as the faulted latency baseline, plus a dead-link
+    // saturated dateline torus. Plan seeds derive from the sweep seed
+    // so `--seed` reproduces the whole scenario, kills included, and
+    // every faulted point is asserted bit-identical across kernels
+    // exactly like the healthy ones.
+    if with_faults {
+        let scheme = Scheme::Dpc;
+        let (mesh, warmup, measure, reps) = if smoke {
+            ((8, 8), 100u64, 1500u64, 1u32)
+        } else {
+            ((16, 16), 500, 8000, 2)
+        };
+        let mit = mit_of(scheme, 1);
+        // (permanent link, router, transient link) fault counts.
+        let plans: &[(usize, usize, usize)] = if smoke {
+            &[(1, 0, 0), (2, 1, 1)]
+        } else {
+            &[(1, 0, 0), (2, 0, 1), (2, 1, 2)]
+        };
+        let rates: &[f64] = if smoke { &[0.05] } else { &[0.02, 0.05] };
+        for (i, &(links, routers, transients)) in plans.iter().enumerate() {
+            let plan = FaultPlan {
+                seed: seed ^ (0xFA17 + i as u64),
+                link_faults: links,
+                router_faults: routers,
+                transient_link_faults: transients,
+                transient_duration: measure / 4,
+                start_cycle: warmup,
+                window: measure / 2,
+                ..FaultPlan::default()
+            };
+            for &rate in rates {
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    grid.push(GridPoint {
+                        scheme,
+                        params: lane_params(scheme, 1),
+                        mesh,
+                        rate,
+                        pattern: uniform,
+                        wrap: false,
+                        vcs: 1,
+                        policy,
+                        warmup,
+                        measure,
+                        reps,
+                        faults: Some(plan.clone()),
+                    });
+                }
+            }
+        }
+        // Graceful degradation at saturation: the dateline torus loses
+        // one link mid-measurement and must keep streaming around the
+        // detour without tripping the watchdog.
+        if let Some(&vcs) = vc_list.iter().find(|&&v| v >= 2) {
+            let mit = mit_of(scheme, vcs);
+            let plan = FaultPlan {
+                seed: seed ^ 0xDEAD,
+                link_faults: 1,
+                router_faults: 0,
+                transient_link_faults: 0,
+                start_cycle: warmup + measure / 3,
+                window: 1,
+                ..FaultPlan::default()
+            };
+            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                grid.push(GridPoint {
+                    scheme,
+                    params: lane_params(scheme, vcs),
+                    mesh,
+                    rate: 1.0,
+                    pattern: TrafficPattern::Tornado,
+                    wrap: true,
+                    vcs,
+                    policy,
+                    warmup,
+                    measure,
+                    reps,
+                    faults: Some(plan.clone()),
+                });
+            }
+        }
+    }
     let threads_available = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -658,8 +774,10 @@ fn main() {
         })
         .collect();
 
-    // Baseline latency per (mesh, rate, pattern, wrap, vcs): the Never
-    // policy (identical network behaviour for every scheme and kernel).
+    // Baseline latency per (mesh, rate, pattern, wrap, vcs, faults):
+    // the Never policy (identical network behaviour for every scheme
+    // and kernel). Faulted points compare against their own faulted
+    // Never baseline, so the penalty isolates gating from degradation.
     let base_latency = |p: &GridPoint| -> f64 {
         rows.iter()
             .find(|r| {
@@ -669,6 +787,7 @@ fn main() {
                     && b.pattern == p.pattern
                     && b.wrap == p.wrap
                     && b.vcs == p.vcs
+                    && b.faults == p.faults
                     && b.policy == GatingPolicy::Never
             })
             .map(|r| r.stats.avg_latency())
@@ -682,7 +801,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 4,\n");
+    json.push_str("{\n  \"schema\": 5,\n");
     let _ = writeln!(
         json,
         "  \"note\": \"in-loop per-VC-lane sleep-FSM gating sweep; gating params are one output \
@@ -694,7 +813,11 @@ fn main() {
          shards/threads; threads_available records the host's cores — on a single-core host \
          the sharded speedup measures tile cache locality only, not parallel scaling); the \
          wrapped tornado points run dateline VCs at saturation under the armed watchdog; the \
-         64x64/128x128 rows exclude the dense reference kernel\","
+         64x64/128x128 rows exclude the dense reference kernel; faults > 0 rows run a seeded \
+         FaultPlan (permanent + transient link/router kills) with fault-aware rerouting — \
+         their latency penalty is against their own faulted Never baseline, and \
+         min_reachable_pct / dropped_by_fault / packets_unroutable / avg_latency_post_fault \
+         quantify graceful degradation\","
     );
     let _ = writeln!(
         json,
@@ -736,6 +859,11 @@ fn main() {
             .map(|base| r.cycles_per_sec / base)
             .map(|s| format!("{s:.2}"))
             .unwrap_or_else(|| "null".to_string());
+        let fault_count = point
+            .faults
+            .as_ref()
+            .map(|f| f.link_faults + f.router_faults + f.transient_link_faults)
+            .unwrap_or(0);
         let _ = writeln!(
             json,
             "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
@@ -746,7 +874,9 @@ fn main() {
              \"latency_penalty_cy\": {:.3}, \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \
              \"sleep_events\": {}, \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \
              \"energy_policy_j\": {:.6e}, \"saved_pct\": {:.2}, \"offline_energy_j\": {:.6e}, \
-             \"offline_saved_pct\": {:.2}, \"agreement_pct\": {:.3}}}{}",
+             \"offline_saved_pct\": {:.2}, \"agreement_pct\": {:.3}, \"faults\": {}, \
+             \"dropped_by_fault\": {}, \"packets_unroutable\": {}, \
+             \"min_reachable_pct\": {:.2}, \"avg_latency_post_fault\": {:.3}}}{}",
             point.scheme.name(),
             point.mesh.0,
             point.mesh.1,
@@ -776,6 +906,11 @@ fn main() {
             offline.energy_policy.0,
             offline.savings_fraction() * 100.0,
             agreement * 100.0,
+            fault_count,
+            r.stats.flits_dropped_by_fault,
+            r.stats.packets_unroutable,
+            r.stats.min_reachable_fraction * 100.0,
+            r.stats.avg_latency_post_fault(),
             if i + 1 == n_rows { "" } else { "," }
         );
     }
