@@ -15,6 +15,7 @@
 //! the physics results.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod circuits;
 

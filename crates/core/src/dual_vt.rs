@@ -28,7 +28,7 @@ use lnoc_circuit::waveform::{propagation_delay, Edge};
 use lnoc_tech::device::VtClass;
 use lnoc_tech::units::{Seconds, Watts};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One accepted or rejected upgrade step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,7 +96,7 @@ pub fn assign(
     let models = ModelSet::new(cfg);
 
     // Baseline: everything nominal.
-    let mut overrides: HashMap<String, VtClass> = {
+    let mut overrides: BTreeMap<String, VtClass> = {
         let probe = BitSlice::build_with_models(scheme, cfg, &models);
         probe
             .placed
@@ -155,7 +155,7 @@ fn worst_delay(
     scheme: Scheme,
     cfg: &CrossbarConfig,
     models: &ModelSet,
-    overrides: &HashMap<String, VtClass>,
+    overrides: &BTreeMap<String, VtClass>,
 ) -> Result<f64, CircuitError> {
     let vdd = cfg.vdd().0;
     let mut worst: f64 = 0.0;
@@ -214,7 +214,7 @@ fn idle_leakage(
     scheme: Scheme,
     cfg: &CrossbarConfig,
     models: &ModelSet,
-    overrides: &HashMap<String, VtClass>,
+    overrides: &BTreeMap<String, VtClass>,
 ) -> Result<f64, CircuitError> {
     let slice = BitSlice::build_with_overrides(scheme, cfg, models, overrides);
     let sol = dc::solve_with(&slice.netlist, &solver_opts(cfg), None)?;
@@ -227,7 +227,7 @@ fn rank_by_leakage(
     scheme: Scheme,
     cfg: &CrossbarConfig,
     models: &ModelSet,
-    overrides: &HashMap<String, VtClass>,
+    overrides: &BTreeMap<String, VtClass>,
 ) -> Result<Vec<String>, CircuitError> {
     let slice = BitSlice::build_with_overrides(scheme, cfg, models, overrides);
     let sol = dc::solve_with(&slice.netlist, &solver_opts(cfg), None)?;

@@ -205,7 +205,7 @@ impl BitSlice {
         scheme: Scheme,
         cfg: &CrossbarConfig,
         models: &ModelSet,
-        overrides: &std::collections::HashMap<String, VtClass>,
+        overrides: &std::collections::BTreeMap<String, VtClass>,
     ) -> Self {
         cfg.validate().expect("invalid crossbar configuration");
         let mut b = Builder::new(scheme, cfg, models);
@@ -360,7 +360,7 @@ struct Builder<'a> {
     nl: Netlist,
     placed: Vec<PlacedDevice>,
     vdd_node: NodeId,
-    overrides: Option<std::collections::HashMap<String, VtClass>>,
+    overrides: Option<std::collections::BTreeMap<String, VtClass>>,
 }
 
 impl<'a> Builder<'a> {

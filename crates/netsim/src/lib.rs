@@ -77,6 +77,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
 
 pub mod fault;
 pub mod router;
@@ -84,6 +85,7 @@ mod shard;
 pub mod sim;
 pub mod sleep;
 pub mod stats;
+pub mod sync;
 pub mod topology;
 pub mod traffic;
 

@@ -1,5 +1,5 @@
-//! Parallel-execution plumbing for the tile-sharded kernel: the
-//! double-buffered boundary mailboxes and the phase barrier.
+//! Boundary-message plumbing for the tile-sharded kernel: what crosses
+//! a tile edge, and how the per-edge mailboxes are wired up.
 //!
 //! A sharded cycle has exactly two phases per shard (see the module
 //! docs of [`crate::sim`] for the full determinism argument):
@@ -12,25 +12,18 @@
 //!    ascending shard order) and apply their effects to tile-local
 //!    state.
 //!
-//! Mailboxes are **double-buffered by cycle parity**, which is what
-//! makes a *single* barrier per cycle sufficient: while shard `B` is
-//! still draining parity-0 boxes for cycle `c`, shard `A` may already
-//! be filling parity-1 boxes for cycle `c + 1` — the barrier between
-//! compute and exchange guarantees `B`'s previous drain of the
-//! parity-1 box (in cycle `c − 1`) happened before `A`'s refill.
-//!
-//! Each box is `Mutex`-wrapped, but the lock is taken once per shard
-//! per cycle to *swap* a whole staged batch in (or out), never per
-//! message — and batches are exchanged by `mem::swap`, so the Vec
-//! capacities warm up once and the steady-state loop performs no
-//! allocation. Capacities are fixed by construction: a directed tile
-//! edge can carry at most one flit per boundary link and one credit
-//! per reverse boundary link per cycle ([`TileMap::boundary_links`]).
+//! The synchronization primitives themselves — the double-buffered
+//! [`Mailboxes`], the parity-indexed [`crate::sync::ShardSlots`], and
+//! the sense-reversing [`crate::sync::SpinBarrier`] — live behind the
+//! [`crate::sync`] facade, where every memory ordering carries its
+//! invariant and the `model` feature's schedule explorer proves the
+//! protocol correct (see the "Correctness tooling" section of the
+//! README). This module only owns what is specific to the NoC: the
+//! [`BoundaryMsg`] payload and the tile-adjacency wiring.
 
+use crate::sync::Mailboxes;
 use crate::topology::TileMap;
 use crate::traffic::Flit;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// One cross-tile effect, applied by the owning shard in the exchange
 /// phase.
@@ -55,195 +48,27 @@ pub(crate) enum BoundaryMsg {
     },
 }
 
-/// All boundary mailboxes of a tiled run: one double-buffered box per
-/// directed tile adjacency.
-#[derive(Debug)]
-pub(crate) struct Mailboxes {
-    /// `boxes[i][parity]` — the two parity buffers of directed edge `i`.
-    boxes: Vec<[Mutex<Vec<BoundaryMsg>>; 2]>,
-    /// Per receiving shard: `(sender shard, box index)`, ascending by
-    /// sender — the documented deterministic drain order.
-    inboxes: Vec<Vec<(usize, usize)>>,
-    /// Per sending shard: `(destination shard, box index)`, ascending
-    /// by destination.
-    outboxes: Vec<Vec<(usize, usize)>>,
-}
-
-impl Mailboxes {
-    /// Builds the mailbox set for a tile partition, pre-sizing each box
-    /// to its fixed per-cycle message budget.
-    pub fn new(tiles: &TileMap) -> Mailboxes {
-        let shards = tiles.shards();
-        let mut boxes = Vec::new();
-        let mut inboxes = vec![Vec::new(); shards];
-        let mut outboxes = vec![Vec::new(); shards];
-        for (sender, outbox) in outboxes.iter_mut().enumerate() {
-            for dst in tiles.neighbors(sender) {
-                // One flit per boundary link plus one credit per
-                // reverse boundary link, per cycle.
-                let cap = tiles.boundary_links(sender, dst) + tiles.boundary_links(dst, sender);
-                let idx = boxes.len();
-                boxes.push([
-                    Mutex::new(Vec::with_capacity(cap)),
-                    Mutex::new(Vec::with_capacity(cap)),
-                ]);
-                outbox.push((dst, idx));
-                inboxes[dst].push((sender, idx));
-            }
-        }
-        for inbox in &mut inboxes {
-            inbox.sort_unstable();
-        }
-        Mailboxes {
-            boxes,
-            inboxes,
-            outboxes,
-        }
-    }
-
-    /// The outboxes of shard `s`: `(destination, box index)` pairs.
-    pub fn outboxes(&self, s: usize) -> &[(usize, usize)] {
-        &self.outboxes[s]
-    }
-
-    /// The inboxes of shard `s`: `(sender, box index)` pairs, ascending
-    /// by sender — drain in this order.
-    pub fn inboxes(&self, s: usize) -> &[(usize, usize)] {
-        &self.inboxes[s]
-    }
-
-    /// Sender side: swaps the staged batch into the parity box (which
-    /// must be empty — its receiver drained it two cycles ago) and
-    /// hands the drained-empty Vec back as the next staging buffer.
-    pub fn send(&self, box_idx: usize, parity: usize, staged: &mut Vec<BoundaryMsg>) {
-        let mut slot = self.boxes[box_idx][parity]
-            .lock()
-            .expect("mailbox poisoned");
-        debug_assert!(slot.is_empty(), "mailbox parity buffer not yet drained");
-        std::mem::swap(&mut *slot, staged);
-    }
-
-    /// Receiver side: swaps the parity box's contents out into `into`
-    /// (which must be empty), leaving the box empty for its sender.
-    pub fn receive(&self, box_idx: usize, parity: usize, into: &mut Vec<BoundaryMsg>) {
-        debug_assert!(into.is_empty());
-        let mut slot = self.boxes[box_idx][parity]
-            .lock()
-            .expect("mailbox poisoned");
-        std::mem::swap(&mut *slot, into);
-    }
-}
-
-/// Per-shard, parity-indexed progress slots: written by each shard at
-/// the end of its compute phase, read by every shard after the barrier
-/// to take the *same* global watchdog decision. Parity indexing keeps
-/// a shard's cycle-`c + 1` store from racing a peer's cycle-`c` read.
-#[derive(Debug, Default)]
-pub(crate) struct ShardSlots {
-    /// Transfers applied plus source-queue flits drained this cycle.
-    pub progress: [AtomicU64; 2],
-    /// Flits buffered in this shard's routers at the end of compute.
-    pub buffered: [AtomicU64; 2],
-}
-
-impl ShardSlots {
-    /// Publishes this shard's compute-phase outcome for `parity`.
-    pub fn publish(&self, parity: usize, progress: u64, buffered: u64) {
-        // Relaxed is enough: the phase barrier orders these stores
-        // before every peer's reads.
-        self.progress[parity].store(progress, Ordering::Relaxed);
-        self.buffered[parity].store(buffered, Ordering::Relaxed);
-    }
-
-    /// Reads a shard's published progress for `parity`.
-    pub fn read_progress(&self, parity: usize) -> u64 {
-        self.progress[parity].load(Ordering::Relaxed)
-    }
-
-    /// Reads a shard's published buffered-flit count for `parity`.
-    pub fn read_buffered(&self, parity: usize) -> u64 {
-        self.buffered[parity].load(Ordering::Relaxed)
-    }
-}
-
-/// A sense-reversing spin barrier for the per-cycle phase handoff.
+/// Builds the boundary mailbox set for a tile partition: one
+/// double-buffered box per directed tile adjacency, pre-sized to its
+/// fixed per-cycle message budget.
 ///
-/// `std::sync::Barrier` parks threads through a mutex/condvar pair —
-/// microseconds per crossing, paid once per cycle. This barrier spins
-/// briefly and then yields, which keeps the crossing in the
-/// sub-microsecond range when every worker has its own core and
-/// degrades gracefully (to yields) when workers share cores.
-///
-/// A worker that panics poisons the barrier from its unwind guard, so
-/// peers spin-waiting on it panic too instead of hanging the run.
-#[derive(Debug)]
-pub(crate) struct PhaseBarrier {
-    n: u64,
-    count: AtomicU64,
-    generation: AtomicU64,
-    poisoned: AtomicBool,
-}
-
-impl PhaseBarrier {
-    /// A barrier for `n` participating workers.
-    pub fn new(n: usize) -> PhaseBarrier {
-        PhaseBarrier {
-            n: n as u64,
-            count: AtomicU64::new(0),
-            generation: AtomicU64::new(0),
-            poisoned: AtomicBool::new(false),
+/// Capacities are fixed by construction: a directed tile edge can
+/// carry at most one flit per boundary link and one credit per reverse
+/// boundary link per cycle ([`TileMap::boundary_links`]). Edges are
+/// emitted in ascending `(sender, destination)` order — the documented
+/// deterministic drain order ([`Mailboxes::inboxes`]).
+pub(crate) fn boundary_mailboxes(tiles: &TileMap) -> Mailboxes<BoundaryMsg> {
+    let shards = tiles.shards();
+    let mut edges = Vec::new();
+    for sender in 0..shards {
+        for dst in tiles.neighbors(sender) {
+            // One flit per boundary link plus one credit per reverse
+            // boundary link, per cycle.
+            let cap = tiles.boundary_links(sender, dst) + tiles.boundary_links(dst, sender);
+            edges.push((sender, dst, cap));
         }
     }
-
-    /// Marks the barrier poisoned (a peer is unwinding).
-    pub fn poison(&self) {
-        self.poisoned.store(true, Ordering::SeqCst);
-    }
-
-    /// Blocks until all `n` workers have arrived.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a peer poisons the barrier while this worker waits.
-    pub fn wait(&self) {
-        if self.n == 1 {
-            return;
-        }
-        let gen = self.generation.load(Ordering::SeqCst);
-        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
-            // Last arriver: reset the count *before* releasing the
-            // generation, so early re-arrivers of the next phase start
-            // from zero.
-            self.count.store(0, Ordering::SeqCst);
-            self.generation.fetch_add(1, Ordering::SeqCst);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::SeqCst) == gen {
-                if self.poisoned.load(Ordering::Relaxed) {
-                    panic!("a peer shard worker panicked; aborting this worker");
-                }
-                spins = spins.saturating_add(1);
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
-}
-
-/// Poisons the barrier if the owning worker unwinds, so peers abort
-/// instead of spinning forever on a barrier that will never fill.
-#[derive(Debug)]
-pub(crate) struct PoisonGuard<'a>(pub &'a PhaseBarrier);
-
-impl Drop for PoisonGuard<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.poison();
-        }
-    }
+    Mailboxes::from_edges(shards, &edges)
 }
 
 #[cfg(test)]
@@ -254,7 +79,7 @@ mod tests {
     #[test]
     fn mailbox_roundtrip_preserves_order_and_capacity() {
         let tiles = TileMap::new(&Mesh::new(4, 4), 2);
-        let mail = Mailboxes::new(&tiles);
+        let mail = boundary_mailboxes(&tiles);
         assert_eq!(mail.outboxes(0), &[(1, 0)]);
         assert_eq!(mail.inboxes(1), &[(0, 0)]);
         // One flit per boundary link + one credit per reverse link:
@@ -298,43 +123,11 @@ mod tests {
     #[test]
     fn torus_bands_get_wraparound_mailboxes() {
         let tiles = TileMap::new(&Mesh::torus(4, 8), 4);
-        let mail = Mailboxes::new(&tiles);
+        let mail = boundary_mailboxes(&tiles);
         // Shard 0 talks to 1 (south edge) and 3 (wrap edge).
         let dsts: Vec<usize> = mail.outboxes(0).iter().map(|&(d, _)| d).collect();
         assert_eq!(dsts, vec![1, 3]);
         let senders: Vec<usize> = mail.inboxes(0).iter().map(|&(s, _)| s).collect();
         assert_eq!(senders, vec![1, 3]);
-    }
-
-    #[test]
-    fn barrier_synchronizes_workers() {
-        use std::sync::atomic::AtomicUsize;
-        let barrier = PhaseBarrier::new(4);
-        let hits = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for round in 1..=50usize {
-                        hits.fetch_add(1, Ordering::SeqCst);
-                        barrier.wait();
-                        // After the barrier every worker of this round
-                        // has contributed.
-                        assert!(hits.load(Ordering::SeqCst) >= round * 4);
-                        barrier.wait();
-                    }
-                });
-            }
-        });
-        assert_eq!(hits.load(Ordering::SeqCst), 200);
-    }
-
-    #[test]
-    fn poisoned_barrier_panics_waiters() {
-        let barrier = PhaseBarrier::new(2);
-        barrier.poison();
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            barrier.wait();
-        }));
-        assert!(caught.is_err(), "waiting on a poisoned barrier must abort");
     }
 }

@@ -108,9 +108,10 @@
 
 use crate::fault::{FaultPlan, FaultSchedule};
 use crate::router::{PortLane, RouteTarget, Router, MAX_VCS};
-use crate::shard::{BoundaryMsg, Mailboxes, PhaseBarrier, PoisonGuard, ShardSlots};
+use crate::shard::{boundary_mailboxes, BoundaryMsg};
 use crate::sleep::{SleepConfig, SleepFsm};
 use crate::stats::NetworkStats;
+use crate::sync::{Mailboxes, PoisonGuard, ShardSlots, SpinBarrier};
 use crate::topology::{Direction, FaultMap, Mesh, NeighborTable, RouteTable, TileMap};
 use crate::traffic::{Flit, InjectionProcess, SourcePacket, TrafficPattern};
 use lnoc_power::gating::{GatingCounters, GatingPolicy};
@@ -536,9 +537,9 @@ struct RunCtx<'a> {
     routes: Option<&'a RouteTable>,
     xy: &'a [(u16, u16)],
     tiles: &'a TileMap,
-    mail: &'a Mailboxes,
+    mail: &'a Mailboxes<BoundaryMsg>,
     slots: &'a [ShardSlots],
-    barrier: &'a PhaseBarrier,
+    barrier: &'a SpinBarrier,
     workers: usize,
     visit_reversed: bool,
     warmup: u64,
@@ -909,11 +910,11 @@ impl Simulation {
         // barrier.
         let per_worker = shard_count.div_ceil(self.threads.max(1));
         let workers = shard_count.div_ceil(per_worker);
-        let mail = Mailboxes::new(&self.tiles);
+        let mail = boundary_mailboxes(&self.tiles);
         let slots: Vec<ShardSlots> = (0..shard_count).map(|_| ShardSlots::default()).collect();
         let fault_slots: Vec<Mutex<FaultReap>> =
             (0..shard_count).map(|_| Mutex::default()).collect();
-        let barrier = PhaseBarrier::new(workers);
+        let barrier = SpinBarrier::new(workers);
 
         let merged = {
             let Simulation {

@@ -1,0 +1,817 @@
+//! A mini-loom: deterministic, schedule-exploring model checker for
+//! the [`crate::sync`] primitives (`--features model` builds only).
+//!
+//! [`Explorer::check`] runs a closure on `n` model threads over and
+//! over, each execution following one schedule, until the whole
+//! decision tree is exhausted (or a bound is hit). Two kinds of
+//! decisions are explored depth-first:
+//!
+//! * **Schedule choices** — which thread runs at each shadow-atomic
+//!   operation. By default exploration is fully exhaustive; setting
+//!   [`Explorer::max_preemptions`] bounds *preemptive* switches
+//!   (switches away from a thread that could have continued)
+//!   CHESS-style, which keeps larger harnesses tractable while still
+//!   exploring every non-preemptive interleaving.
+//! * **Value choices** — which store a weak load observes. Loads pick
+//!   among every store that per-location coherence and happens-before
+//!   (tracked with vector clocks) leave visible, so a missing
+//!   `Acquire`/`Release` edge shows up as a stale read, not just as a
+//!   reordering.
+//!
+//! The memory model is a pragmatic C11 subset: release/acquire edges
+//! and release sequences (through RMW chains) are tracked exactly;
+//! `SeqCst` is approximated with a global clock (slightly stronger
+//! than C11, never weaker than acquire/release); RMWs read the newest
+//! store (their mod-order placement is not permuted); and spin loops
+//! get eventual visibility — a spinning thread re-reads the freshest
+//! value once before blocking, which is what makes exploration finite
+//! without masking ordering bugs (clock merges still follow the
+//! declared orderings). Threads blocked in [`shadow::spin_until`] wake
+//! on any store; a state where every live thread is blocked is
+//! reported as a deadlock.
+//!
+//! Failures (harness panics, deadlocks, livelock step budgets) abort
+//! the execution and are returned with the interleaving trace that
+//! produced them, so a seeded mutation's counterexample is readable.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+/// One recorded decision: which branch was taken of how many.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    taken: u32,
+    options: u32,
+}
+
+/// Scheduler status of a model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Runnable (or running).
+    Ready,
+    /// Blocked in a spin loop; any store makes it `Ready` again.
+    SpinBlocked,
+    /// Blocked acquiring the shadow mutex with this id.
+    MutexBlocked(usize),
+    /// Returned from the harness closure (or unwound).
+    Done,
+}
+
+/// How loads inside a spin-loop attempt behave (see
+/// [`shadow::spin_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpinMode {
+    /// Normal: loads branch over every visible store, every op is a
+    /// potential preemption point.
+    Normal,
+    /// One spin-loop attempt runs as a single step (no preemption
+    /// points), loads still branch over visible stores.
+    Attempt,
+    /// Eventual-visibility retry: loads read the newest store.
+    Freshest,
+}
+
+/// One store in a location's modification order.
+#[derive(Debug)]
+struct StoreRec {
+    value: u64,
+    /// `None` for the initial value (visible to everyone).
+    writer: Option<usize>,
+    /// The writer's own clock component at the store — `clock[t][w] >=
+    /// stamp` means the store happens-before thread `t`'s next op.
+    stamp: u64,
+    /// Clock released by this store: set for `Release`-or-stronger
+    /// stores and propagated through RMW chains (release sequences).
+    release: Option<Vec<u64>>,
+}
+
+#[derive(Debug, Default)]
+struct Loc {
+    stores: Vec<StoreRec>,
+    /// Index of the newest `SeqCst` store (SC loads may not read
+    /// anything older).
+    last_sc: usize,
+}
+
+#[derive(Debug)]
+struct MutexState {
+    held_by: Option<usize>,
+    clock: Vec<u64>,
+}
+
+/// Per-execution state: scheduler, decision path, and the shadow
+/// memory (store histories, vector clocks, visibility floors).
+#[derive(Debug)]
+pub(crate) struct Exec {
+    n: usize,
+    status: Vec<Status>,
+    active: usize,
+    path: Vec<Choice>,
+    cursor: usize,
+    locs: Vec<Loc>,
+    loc_addrs: Vec<usize>,
+    mutexes: Vec<MutexState>,
+    mutex_addrs: Vec<usize>,
+    clocks: Vec<Vec<u64>>,
+    sc_clock: Vec<u64>,
+    /// `floors[t][loc]`: oldest store index thread `t` may still read
+    /// (coherence: raised by its own reads/writes; happens-before:
+    /// raised lazily in [`Exec::load`]).
+    floors: Vec<Vec<usize>>,
+    spin_mode: Vec<SpinMode>,
+    preemptions: usize,
+    max_preemptions: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    trace: Vec<String>,
+    abort: bool,
+}
+
+/// Shared handle of one execution: the state plus the handoff condvar.
+#[derive(Debug)]
+pub(crate) struct Ctl {
+    m: StdMutex<Exec>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Ctl>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current model-thread context, if this OS thread is a worker of
+/// a running exploration.
+pub(crate) fn ctx() -> Option<(Arc<Ctl>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Sentinel panic payload used to unwind workers of an aborted
+/// execution; never reported as a harness failure.
+struct AbortToken;
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn join_clock(into: &mut [u64], from: &[u64]) {
+    for (a, b) in into.iter_mut().zip(from) {
+        *a = (*a).max(*b);
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Exec {
+    fn new(n: usize, path: Vec<Choice>, max_preemptions: Option<usize>, max_steps: usize) -> Exec {
+        Exec {
+            n,
+            status: vec![Status::Ready; n],
+            active: 0,
+            path,
+            cursor: 0,
+            locs: Vec::new(),
+            loc_addrs: Vec::new(),
+            mutexes: Vec::new(),
+            mutex_addrs: Vec::new(),
+            clocks: vec![vec![0; n]; n],
+            sc_clock: vec![0; n],
+            floors: vec![Vec::new(); n],
+            spin_mode: vec![SpinMode::Normal; n],
+            preemptions: 0,
+            max_preemptions,
+            steps: 0,
+            max_steps,
+            failure: None,
+            trace: Vec::new(),
+            abort: false,
+        }
+    }
+
+    fn fail(&mut self, msg: &str) {
+        if self.failure.is_none() {
+            self.failure = Some(msg.to_string());
+        }
+        self.abort = true;
+    }
+
+    /// Takes (replaying) or records (extending) one decision.
+    fn choose(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if self.cursor < self.path.len() {
+            let c = self.path[self.cursor];
+            self.cursor += 1;
+            if c.options != options as u32 {
+                self.fail("replay divergence: the harness is not deterministic");
+                return 0;
+            }
+            c.taken as usize
+        } else {
+            self.path.push(Choice {
+                taken: 0,
+                options: options as u32,
+            });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    fn push_trace(&mut self, tid: usize, msg: String) {
+        if self.trace.len() < 10_000 {
+            self.trace.push(format!("t{tid}: {msg}"));
+        }
+    }
+
+    fn ready_others(&self, tid: usize) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&t| t != tid && self.status[t] == Status::Ready)
+            .collect()
+    }
+
+    /// Registers (or finds) the shadow location at `addr`.
+    pub(crate) fn register_loc(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(i) = self.loc_addrs.iter().position(|&a| a == addr) {
+            return i;
+        }
+        self.locs.push(Loc {
+            stores: vec![StoreRec {
+                value: init,
+                writer: None,
+                stamp: 0,
+                release: None,
+            }],
+            last_sc: 0,
+        });
+        self.loc_addrs.push(addr);
+        for f in &mut self.floors {
+            f.push(0);
+        }
+        self.locs.len() - 1
+    }
+
+    fn register_mutex(&mut self, addr: usize) -> usize {
+        if let Some(i) = self.mutex_addrs.iter().position(|&a| a == addr) {
+            return i;
+        }
+        self.mutexes.push(MutexState {
+            held_by: None,
+            clock: vec![0; self.n],
+        });
+        self.mutex_addrs.push(addr);
+        self.mutexes.len() - 1
+    }
+
+    fn sc_join(&mut self, tid: usize) {
+        let sc = self.sc_clock.clone();
+        join_clock(&mut self.clocks[tid], &sc);
+        let c = self.clocks[tid].clone();
+        join_clock(&mut self.sc_clock, &c);
+    }
+
+    /// A load: picks (a branch point) among every visible store.
+    pub(crate) fn load(&mut self, tid: usize, loc: usize, ord: Ordering) -> u64 {
+        if ord == Ordering::SeqCst {
+            self.sc_join(tid);
+        }
+        let mut lo = self.floors[tid][loc];
+        {
+            let stores = &self.locs[loc].stores;
+            // Happens-before raises the visibility floor: a store this
+            // thread's clock already covers hides everything older.
+            for (i, rec) in stores.iter().enumerate().skip(lo + 1) {
+                if let Some(w) = rec.writer {
+                    if self.clocks[tid][w] >= rec.stamp {
+                        lo = i;
+                    }
+                }
+            }
+            if ord == Ordering::SeqCst {
+                lo = lo.max(self.locs[loc].last_sc);
+            }
+        }
+        let hi = self.locs[loc].stores.len() - 1;
+        let idx = if self.spin_mode[tid] == SpinMode::Freshest {
+            hi
+        } else {
+            lo + self.choose(hi - lo + 1)
+        };
+        self.floors[tid][loc] = idx;
+        let (val, release) = {
+            let rec = &self.locs[loc].stores[idx];
+            (rec.value, rec.release.clone())
+        };
+        if is_acquire(ord) {
+            if let Some(rc) = &release {
+                join_clock(&mut self.clocks[tid], rc);
+            }
+        }
+        self.push_trace(tid, format!("load loc{loc}[{idx}] -> {val} ({ord:?})"));
+        val
+    }
+
+    /// A store: appends to the modification order and wakes spinners.
+    pub(crate) fn store(&mut self, tid: usize, loc: usize, val: u64, ord: Ordering) {
+        self.clocks[tid][tid] += 1;
+        if ord == Ordering::SeqCst {
+            self.sc_join(tid);
+        }
+        let stamp = self.clocks[tid][tid];
+        let release = is_release(ord).then(|| self.clocks[tid].clone());
+        self.locs[loc].stores.push(StoreRec {
+            value: val,
+            writer: Some(tid),
+            stamp,
+            release,
+        });
+        let idx = self.locs[loc].stores.len() - 1;
+        if ord == Ordering::SeqCst {
+            self.locs[loc].last_sc = idx;
+        }
+        self.floors[tid][loc] = idx;
+        self.wake_spinners();
+        self.push_trace(tid, format!("store loc{loc}[{idx}] <- {val} ({ord:?})"));
+    }
+
+    /// An atomic read-modify-write: reads the newest store (RMW
+    /// atomicity), continues its release sequence, appends the result.
+    pub(crate) fn rmw(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        f: impl FnOnce(u64) -> u64,
+        ord: Ordering,
+    ) -> u64 {
+        self.clocks[tid][tid] += 1;
+        if ord == Ordering::SeqCst {
+            self.sc_join(tid);
+        }
+        let hi = self.locs[loc].stores.len() - 1;
+        let (old, prev_release) = {
+            let rec = &self.locs[loc].stores[hi];
+            (rec.value, rec.release.clone())
+        };
+        if is_acquire(ord) {
+            if let Some(rc) = &prev_release {
+                join_clock(&mut self.clocks[tid], rc);
+            }
+        }
+        // Release sequence: the new store releases this thread's clock
+        // (if release-or-stronger) *and* keeps carrying the clock of
+        // the sequence it extends, so an acquire load of any later
+        // element still synchronizes with the head.
+        let release = match (
+            is_release(ord).then(|| self.clocks[tid].clone()),
+            prev_release,
+        ) {
+            (Some(mut mine), Some(prev)) => {
+                join_clock(&mut mine, &prev);
+                Some(mine)
+            }
+            (Some(mine), None) => Some(mine),
+            (None, prev) => prev,
+        };
+        let new = f(old);
+        let stamp = self.clocks[tid][tid];
+        self.locs[loc].stores.push(StoreRec {
+            value: new,
+            writer: Some(tid),
+            stamp,
+            release,
+        });
+        let idx = self.locs[loc].stores.len() - 1;
+        if ord == Ordering::SeqCst {
+            self.locs[loc].last_sc = idx;
+        }
+        self.floors[tid][loc] = idx;
+        self.wake_spinners();
+        self.push_trace(tid, format!("rmw loc{loc}[{idx}] {old} -> {new} ({ord:?})"));
+        old
+    }
+
+    fn wake_spinners(&mut self) {
+        for t in 0..self.n {
+            if self.status[t] == Status::SpinBlocked {
+                self.status[t] = Status::Ready;
+            }
+        }
+    }
+}
+
+/// Runs `f` as one shadow operation of the current model thread:
+/// grants are assumed (the caller is the active thread), the step
+/// budget is charged, and a scheduling decision is taken afterwards.
+/// Returns `None` when the calling OS thread is not a model worker
+/// (pass-through mode).
+pub(crate) fn atomic_op<R>(f: impl FnOnce(&mut Exec, usize) -> R) -> Option<R> {
+    let (ctl, tid) = ctx()?;
+    let mut ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+    abort_check(&ctl, &mut ex);
+    ex.steps += 1;
+    if ex.steps > ex.max_steps {
+        ex.fail("step budget exceeded: livelock or runaway harness");
+        abort_check(&ctl, &mut ex);
+    }
+    let r = f(&mut ex, tid);
+    reschedule(&ctl, ex, tid);
+    Some(r)
+}
+
+/// If the execution aborted: unwind this worker (unless it is already
+/// unwinding, in which case it just keeps going — its ops are inert).
+fn abort_check(ctl: &Ctl, ex: &mut StdMutexGuard<'_, Exec>) {
+    if ex.abort && !std::thread::panicking() {
+        ctl.cv.notify_all();
+        std::panic::panic_any(AbortToken);
+    }
+}
+
+/// The post-op scheduling decision: possibly preempt (a branch), hand
+/// off if blocked, detect deadlocks, wait for the next grant.
+fn reschedule(ctl: &Ctl, mut ex: StdMutexGuard<'_, Exec>, tid: usize) {
+    if ex.abort || std::thread::panicking() {
+        ctl.cv.notify_all();
+        if ex.abort {
+            drop(ex);
+            if !std::thread::panicking() {
+                std::panic::panic_any(AbortToken);
+            }
+        }
+        return;
+    }
+    if ex.status[tid] == Status::Ready {
+        // Spin-loop attempts run as one atomic step: no preemption
+        // points until the attempt fails and the thread blocks.
+        if ex.spin_mode[tid] != SpinMode::Normal {
+            return;
+        }
+        let can_preempt = ex.max_preemptions.is_none_or(|k| ex.preemptions < k);
+        let others = ex.ready_others(tid);
+        if can_preempt && !others.is_empty() {
+            let pick = ex.choose(1 + others.len());
+            if pick > 0 {
+                ex.preemptions += 1;
+                ex.active = others[pick - 1];
+                ctl.cv.notify_all();
+                wait_for_grant(ctl, ex, tid);
+            }
+        }
+    } else {
+        // This thread just blocked: hand off or declare deadlock.
+        let others = ex.ready_others(tid);
+        if others.is_empty() {
+            if ex.status.iter().any(|s| *s != Status::Done) {
+                ex.fail("deadlock: every live thread is blocked");
+            }
+            ctl.cv.notify_all();
+            abort_check(ctl, &mut ex);
+        } else {
+            let pick = ex.choose(others.len());
+            ex.active = others[pick];
+            ctl.cv.notify_all();
+            wait_for_grant(ctl, ex, tid);
+        }
+    }
+}
+
+/// Parks the worker until it is the active thread again (or the
+/// execution aborts).
+fn wait_for_grant(ctl: &Ctl, ex: StdMutexGuard<'_, Exec>, tid: usize) {
+    let ex = ctl
+        .cv
+        .wait_while(ex, |e| {
+            !(e.abort || (e.active == tid && e.status[tid] == Status::Ready))
+        })
+        .unwrap_or_else(|e| e.into_inner());
+    if ex.abort {
+        drop(ex);
+        if !std::thread::panicking() {
+            std::panic::panic_any(AbortToken);
+        }
+    }
+}
+
+/// Sets the spin mode of a model thread (no step is charged).
+pub(crate) fn set_spin_mode(ctl: &Arc<Ctl>, tid: usize, mode: SpinMode) {
+    let mut ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+    ex.spin_mode[tid] = mode;
+}
+
+/// Blocks the model thread until any store happens (spin-loop wait).
+pub(crate) fn spin_block(ctl: &Arc<Ctl>, tid: usize) {
+    let mut ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+    abort_check(ctl, &mut ex);
+    ex.steps += 1;
+    ex.status[tid] = Status::SpinBlocked;
+    ex.push_trace(tid, "spin-blocked (waiting for any store)".to_string());
+    reschedule(ctl, ex, tid);
+}
+
+/// Acquires the shadow mutex at `addr` for the model thread,
+/// blocking (in model time) while a peer holds it.
+pub(crate) fn mutex_lock(ctl: &Arc<Ctl>, tid: usize, addr: usize) {
+    loop {
+        let mut ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+        abort_check(ctl, &mut ex);
+        ex.steps += 1;
+        let mid = ex.register_mutex(addr);
+        if ex.mutexes[mid].held_by.is_none() {
+            ex.mutexes[mid].held_by = Some(tid);
+            // Lock acquisition synchronizes with the previous unlock.
+            let c = ex.mutexes[mid].clock.clone();
+            join_clock(&mut ex.clocks[tid], &c);
+            ex.push_trace(tid, format!("lock mutex{mid}"));
+            reschedule(ctl, ex, tid);
+            return;
+        }
+        ex.status[tid] = Status::MutexBlocked(mid);
+        ex.push_trace(tid, format!("blocked on mutex{mid}"));
+        reschedule(ctl, ex, tid);
+    }
+}
+
+/// Releases the shadow mutex at `addr` and wakes its waiters.
+pub(crate) fn mutex_unlock(ctl: &Arc<Ctl>, tid: usize, addr: usize) {
+    let mut ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+    if !ex.abort {
+        ex.steps += 1;
+    }
+    let mid = ex.register_mutex(addr);
+    ex.mutexes[mid].held_by = None;
+    let c = ex.clocks[tid].clone();
+    join_clock(&mut ex.mutexes[mid].clock, &c);
+    for t in 0..ex.n {
+        if ex.status[t] == Status::MutexBlocked(mid) {
+            ex.status[t] = Status::Ready;
+        }
+    }
+    ex.push_trace(tid, format!("unlock mutex{mid}"));
+    reschedule(ctl, ex, tid);
+}
+
+/// A failing schedule found by [`Explorer::check`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (harness panic message, deadlock, budget).
+    pub message: String,
+    /// The interleaving that produced it, one line per shadow op.
+    pub trace: Vec<String>,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions (schedules) explored.
+    pub executions: u64,
+    /// Whether the decision tree was exhausted (`false` when the
+    /// execution budget stopped exploration early, or a failure did).
+    pub complete: bool,
+    /// The first failing schedule, if any was found.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics (with the counterexample trace) unless the exploration
+    /// exhausted the schedule space without finding a failure.
+    pub fn assert_passed(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model checker found a failing schedule after {} executions: {}\n{}",
+                self.executions,
+                f.message,
+                f.trace.join("\n")
+            );
+        }
+        assert!(
+            self.complete,
+            "exploration hit the execution budget ({}) before exhausting the schedule space",
+            self.executions
+        );
+    }
+
+    /// Panics unless a failing schedule was found; returns the failure.
+    pub fn assert_failed(&self, expect_in_message: &str) -> &Failure {
+        let f = self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "expected a failing schedule, explored {} cleanly",
+                self.executions
+            )
+        });
+        assert!(
+            f.message.contains(expect_in_message),
+            "failure message {:?} does not contain {:?}",
+            f.message,
+            expect_in_message
+        );
+        f
+    }
+}
+
+/// The DFS schedule explorer. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Bound on preemptive context switches per execution (`None` =
+    /// fully exhaustive).
+    pub max_preemptions: Option<usize>,
+    /// Stop after this many executions even if the tree is not
+    /// exhausted.
+    pub max_executions: u64,
+    /// Per-execution shadow-op budget (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_preemptions: None,
+            max_executions: 2_000_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// An exhaustive explorer (no preemption bound).
+    pub fn exhaustive() -> Explorer {
+        Explorer::default()
+    }
+
+    /// A CHESS-style explorer: every non-preemptive schedule plus all
+    /// placements of up to `k` preemptions.
+    pub fn with_preemption_bound(k: usize) -> Explorer {
+        Explorer {
+            max_preemptions: Some(k),
+            ..Explorer::default()
+        }
+    }
+
+    /// Explores `body` running on `threads` model threads. `setup`
+    /// builds one fresh shared state per execution (this is where the
+    /// harness constructs its barriers/slots/mailboxes); `body(state,
+    /// tid)` is the per-thread program. Both must be deterministic:
+    /// the only allowed nondeterminism is what the shadow primitives
+    /// introduce.
+    pub fn check<S, F>(&self, threads: usize, setup: impl Fn() -> S, body: F) -> Report
+    where
+        S: Send + Sync + 'static,
+        F: Fn(&S, usize) + Send + Sync + 'static,
+    {
+        assert!(threads >= 1, "need at least one model thread");
+        install_quiet_panic_hook();
+        let body = Arc::new(body);
+        let mut path: Vec<Choice> = Vec::new();
+        let mut executions = 0u64;
+        loop {
+            executions += 1;
+            let (failure, trace, out_path) = self.run_once(threads, &setup, &body, path);
+            if let Some(message) = failure {
+                return Report {
+                    executions,
+                    complete: false,
+                    failure: Some(Failure { message, trace }),
+                };
+            }
+            path = out_path;
+            if !advance(&mut path) {
+                return Report {
+                    executions,
+                    complete: true,
+                    failure: None,
+                };
+            }
+            if executions >= self.max_executions {
+                return Report {
+                    executions,
+                    complete: false,
+                    failure: None,
+                };
+            }
+        }
+    }
+
+    fn run_once<S, F>(
+        &self,
+        n: usize,
+        setup: &impl Fn() -> S,
+        body: &Arc<F>,
+        path: Vec<Choice>,
+    ) -> (Option<String>, Vec<String>, Vec<Choice>)
+    where
+        S: Send + Sync + 'static,
+        F: Fn(&S, usize) + Send + Sync + 'static,
+    {
+        let state = Arc::new(setup());
+        let ctl = Arc::new(Ctl {
+            m: StdMutex::new(Exec::new(n, path, self.max_preemptions, self.max_steps)),
+            cv: Condvar::new(),
+        });
+        {
+            let mut ex = ctl.m.lock().unwrap();
+            let pick = ex.choose(n);
+            ex.active = pick;
+        }
+        let mut handles = Vec::with_capacity(n);
+        for tid in 0..n {
+            let ctl = ctl.clone();
+            let state = state.clone();
+            let body = body.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("model-worker-{tid}"))
+                .spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((ctl.clone(), tid)));
+                    {
+                        let ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+                        let ex = ctl
+                            .cv
+                            .wait_while(ex, |e| !e.abort && e.active != tid)
+                            .unwrap_or_else(|e| e.into_inner());
+                        if ex.abort {
+                            drop(ex);
+                            CTX.with(|c| *c.borrow_mut() = None);
+                            ctl.cv.notify_all();
+                            return;
+                        }
+                    }
+                    let r = catch_unwind(AssertUnwindSafe(|| body(&state, tid)));
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    let mut ex = ctl.m.lock().unwrap_or_else(|e| e.into_inner());
+                    ex.status[tid] = Status::Done;
+                    if let Err(p) = r {
+                        if p.downcast_ref::<AbortToken>().is_none() {
+                            let msg = panic_message(p);
+                            ex.push_trace(tid, format!("panicked: {msg}"));
+                            ex.fail(&format!("model thread {tid} panicked: {msg}"));
+                        }
+                    }
+                    // Exit handoff (never unwinds: workers must join).
+                    if !ex.abort {
+                        let others = ex.ready_others(tid);
+                        if others.is_empty() {
+                            if ex.status.iter().any(|s| *s != Status::Done) {
+                                ex.fail("deadlock: every live thread is blocked");
+                            }
+                        } else {
+                            let pick = ex.choose(others.len());
+                            ex.active = others[pick];
+                        }
+                    }
+                    ctl.cv.notify_all();
+                })
+                .expect("spawn model worker");
+            handles.push(h);
+        }
+        for h in handles {
+            h.join().expect("model worker must not die unwinding");
+        }
+        let ex = Arc::try_unwrap(ctl)
+            .expect("all workers joined")
+            .m
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        (ex.failure, ex.trace, ex.path)
+    }
+}
+
+/// DFS backtrack: bumps the deepest decision that still has an
+/// untaken branch. Returns `false` when the whole tree is exhausted.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(mut last) = path.pop() {
+        if last.taken + 1 < last.options {
+            last.taken += 1;
+            path.push(last);
+            return true;
+        }
+    }
+    false
+}
+
+/// Silences panic output from model workers (mutation tests *expect*
+/// panics; their messages are captured and re-reported through
+/// [`Failure`]). Other threads keep the default hook.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let name = std::thread::current().name().map(str::to_string);
+            if name.is_some_and(|n| n.starts_with("model-worker")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

@@ -1,0 +1,217 @@
+//! Instrumented shadow primitives (`--features model` builds).
+//!
+//! Each shadow type embeds the real `std` primitive and delegates to
+//! it whenever the calling OS thread is *not* a model worker, so the
+//! whole crate (including the production engine and its tests) still
+//! builds and runs normally under the `model` feature. Inside an
+//! [`super::model::Explorer`] run, every operation instead goes
+//! through the shared [`super::model::Exec`] state: loads branch over
+//! all visible stores, stores extend per-location histories, and each
+//! op is a scheduling decision point.
+//!
+//! Shadow locations are registered lazily by address, so the harness
+//! needs no special setup: it just constructs the ordinary facade
+//! types ([`super::SpinBarrier`], [`super::ShardSlots`],
+//! [`super::Mailboxes`]) inside the explorer's `setup` closure.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, LockResult};
+
+use super::model::{self, Ctl, SpinMode};
+
+fn addr<T>(x: &T) -> usize {
+    x as *const T as usize
+}
+
+/// Shadow of [`std::sync::atomic::AtomicU64`].
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    real: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// Creates a shadow atomic with the given initial value.
+    pub const fn new(v: u64) -> AtomicU64 {
+        AtomicU64 {
+            real: std::sync::atomic::AtomicU64::new(v),
+        }
+    }
+
+    /// Shadow of [`std::sync::atomic::AtomicU64::load`].
+    pub fn load(&self, ord: Ordering) -> u64 {
+        model::atomic_op(|ex, tid| {
+            let loc = ex.register_loc(addr(self), self.real.load(Ordering::Relaxed));
+            ex.load(tid, loc, ord)
+        })
+        .unwrap_or_else(|| self.real.load(ord))
+    }
+
+    /// Shadow of [`std::sync::atomic::AtomicU64::store`].
+    pub fn store(&self, v: u64, ord: Ordering) {
+        model::atomic_op(|ex, tid| {
+            let loc = ex.register_loc(addr(self), self.real.load(Ordering::Relaxed));
+            ex.store(tid, loc, v, ord);
+            // Mirror into the embedded atomic so a later pass-through
+            // (or fresh registration) sees the newest value.
+            self.real.store(v, Ordering::Relaxed);
+        })
+        .unwrap_or_else(|| self.real.store(v, ord))
+    }
+
+    /// Shadow of [`std::sync::atomic::AtomicU64::fetch_add`].
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        model::atomic_op(|ex, tid| {
+            let loc = ex.register_loc(addr(self), self.real.load(Ordering::Relaxed));
+            let old = ex.rmw(tid, loc, |x| x.wrapping_add(v), ord);
+            self.real.store(old.wrapping_add(v), Ordering::Relaxed);
+            old
+        })
+        .unwrap_or_else(|| self.real.fetch_add(v, ord))
+    }
+}
+
+/// Shadow of [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a shadow atomic with the given initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            real: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Shadow of [`std::sync::atomic::AtomicBool::load`].
+    pub fn load(&self, ord: Ordering) -> bool {
+        model::atomic_op(|ex, tid| {
+            let loc = ex.register_loc(addr(self), self.real.load(Ordering::Relaxed) as u64);
+            ex.load(tid, loc, ord) != 0
+        })
+        .unwrap_or_else(|| self.real.load(ord))
+    }
+
+    /// Shadow of [`std::sync::atomic::AtomicBool::store`].
+    pub fn store(&self, v: bool, ord: Ordering) {
+        model::atomic_op(|ex, tid| {
+            let loc = ex.register_loc(addr(self), self.real.load(Ordering::Relaxed) as u64);
+            ex.store(tid, loc, v as u64, ord);
+            self.real.store(v, Ordering::Relaxed);
+        })
+        .unwrap_or_else(|| self.real.store(v, ord))
+    }
+}
+
+/// Shadow of [`std::sync::Mutex`]: lock contention and the
+/// unlock→lock synchronization edge are arbitrated by the model
+/// scheduler; the embedded real mutex then guards the actual data
+/// (uncontended by construction, since the model grants exclusivity
+/// first).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a shadow mutex holding `v`.
+    pub const fn new(v: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(v),
+        }
+    }
+
+    /// Shadow of [`std::sync::Mutex::lock`]. Never returns a poison
+    /// error in model runs (a panicking model worker aborts the whole
+    /// execution instead).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = model::ctx();
+        if let Some((ctl, tid)) = &ctx {
+            model::mutex_lock(ctl, *tid, addr(self));
+        }
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            inner: Some(inner),
+            ctx,
+            addr: addr(self),
+        })
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model-level lock
+/// (after the data lock) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctx: Option<(Arc<Ctl>, usize)>,
+    addr: usize,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard still holds the data lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard still holds the data lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop order matters: release the data lock before the model
+        // lock, so the next model-granted holder finds it free.
+        self.inner = None;
+        if let Some((ctl, tid)) = self.ctx.take() {
+            model::mutex_unlock(&ctl, tid, self.addr);
+        }
+    }
+}
+
+/// Shadow of [`super::real::spin_until`].
+///
+/// Each attempt of `cond` runs as one atomic step (loads inside it
+/// still branch over visible stores). A failed attempt is retried
+/// once in "freshest reads" mode — modeling C11 eventual visibility,
+/// so a correctly-synchronized spin loop cannot report a spurious
+/// deadlock just because the model kept handing it stale values —
+/// and only then does the thread block until *some* store happens.
+pub fn spin_until(mut cond: impl FnMut() -> bool) {
+    let Some((ctl, tid)) = model::ctx() else {
+        super::real::spin_until(cond);
+        return;
+    };
+    struct ModeGuard<'a>(&'a Arc<Ctl>, usize);
+    impl Drop for ModeGuard<'_> {
+        fn drop(&mut self) {
+            model::set_spin_mode(self.0, self.1, SpinMode::Normal);
+        }
+    }
+    loop {
+        let hit = {
+            let _g = ModeGuard(&ctl, tid);
+            model::set_spin_mode(&ctl, tid, SpinMode::Attempt);
+            cond()
+        };
+        if hit {
+            return;
+        }
+        let hit = {
+            let _g = ModeGuard(&ctl, tid);
+            model::set_spin_mode(&ctl, tid, SpinMode::Freshest);
+            cond()
+        };
+        if hit {
+            return;
+        }
+        model::spin_block(&ctl, tid);
+    }
+}

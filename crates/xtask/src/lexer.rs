@@ -1,0 +1,313 @@
+//! A small hand-rolled Rust lexer — just enough structure for the
+//! lint rules: identifiers, punctuation, literals, and (crucially)
+//! comments with line spans, since waivers and `// SAFETY:`
+//! justifications live in comments.
+//!
+//! Deliberately not a full parser (no `syn`: the build is offline and
+//! the rules are lexical). It does handle the token forms that would
+//! otherwise cause false positives: nested block comments, string and
+//! raw/byte string literals (so `"unsafe"` in a message is not an
+//! `unsafe` keyword), char literals vs. lifetimes, and raw
+//! identifiers.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `+=` is `+`, `=`).
+    Punct(char),
+    /// String, raw string, or byte-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal (integer part; `1.5` lexes as `1`, `.`, `5`).
+    Num,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for literals, whose content the rules
+    /// never inspect).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its line span and body text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// Comment body (without the `//` / `/*` markers).
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the comment list, both in
+/// source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub toks: Vec<Tok>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs consume to end of input
+/// rather than erroring: the lint runs on code `rustc` already
+/// accepted (or on fixtures, where tolerance is a feature).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut text = String::new();
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let l = line;
+            i = scan_string(&b, i, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: l,
+            });
+            continue;
+        }
+        // Lifetime vs. char literal.
+        if c == '\'' {
+            let l = line;
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i + 1..j].iter().collect(),
+                    line: l,
+                });
+                i = j;
+            } else {
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    i += 2;
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                } else if i < n {
+                    i += 1;
+                }
+                if i < n && b[i] == '\'' {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: l,
+                });
+            }
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let s = i;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[s..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword (maybe a raw-string or raw-ident prefix).
+        if c.is_alphabetic() || c == '_' {
+            let s = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let text: String = b[s..i].iter().collect();
+            let raw_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+            if raw_prefix && i < n && (b[i] == '"' || b[i] == '#') {
+                let l = line;
+                if text.contains('r') && b[i] == '#' {
+                    // Raw string `r#"…"#` — or a raw identifier `r#name`.
+                    let mut j = i;
+                    let mut hashes = 0usize;
+                    while j < n && b[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && b[j] == '"' {
+                        i = scan_raw_string(&b, j, hashes, &mut line);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: l,
+                        });
+                    } else {
+                        // Raw identifier: consume `#ident`, emit the name.
+                        i += 1;
+                        let s2 = i;
+                        while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                            i += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: b[s2..i].iter().collect(),
+                            line: l,
+                        });
+                    }
+                } else if text.contains('r') {
+                    // `r"…"` — raw, no hashes.
+                    i = scan_raw_string(&b, i, 0, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else {
+                    // `b"…"` — ordinary escape rules.
+                    i = scan_string(&b, i, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: l,
+                    });
+                }
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn scan_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            ch => {
+                if ch == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i.min(n)
+}
+
+/// Scans a raw string whose opening quote is at `i`, closed by a
+/// quote followed by `hashes` `#`s.
+fn scan_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < n && seen < hashes && b[j] == '#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    n
+}

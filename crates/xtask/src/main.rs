@@ -1,0 +1,44 @@
+//! `cargo run -p xtask -- lint [root]` — run the determinism and
+//! soundness lint over the workspace. Exits nonzero on any finding,
+//! so CI can gate on it.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let (files, findings) = xtask::lint_workspace(&root);
+            for (rel, f) in &findings {
+                println!("{rel}:{}: [{}] {}", f.line, f.rule, f.message);
+            }
+            if findings.is_empty() {
+                println!("xtask lint: {files} files clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} finding(s) in {files} files", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [workspace-root]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,7 @@
+// Fixture: raw atomics outside the sync facade (never compiled).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn sneak_a_counter() -> u64 {
+    static HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    HITS.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,12 @@
+// Fixture: float accumulation into stats (never compiled).
+struct Stats {
+    latency_sum: f64,
+    samples: u64,
+}
+
+fn record(stats: &mut Stats, latency_sum: f64, sample: f64) {
+    stats.latency_sum += sample;
+    let mut local: f64 = latency_sum;
+    local = local + sample;
+    stats.samples += 1;
+}

@@ -1,0 +1,16 @@
+// Fixture: HashMap/HashSet iteration in a sim path (never compiled).
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    routes: HashMap<u32, u32>,
+}
+
+fn order_dependent(t: &Table) -> Vec<u32> {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    let mut out: Vec<u32> = t.routes.keys().copied().collect();
+    for v in &seen {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,12 @@
+// Fixture: unjustified relaxed ordering (never compiled).
+use crate::sync::{AtomicU64, Ordering};
+
+fn publish(slot: &AtomicU64, v: u64) {
+    slot.store(v, Ordering::Relaxed);
+}
+
+fn read(slot: &AtomicU64) -> u64 {
+    // lint:allow(relaxed-needs-waiver) -- reader side of a
+    // barrier-ordered publish; the edge lives in SpinBarrier::wait.
+    slot.load(Ordering::Relaxed)
+}

@@ -1,0 +1,10 @@
+// Fixture: unsafe without a SAFETY comment (never compiled).
+fn peek(v: &[u64]) -> u64 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn peek_justified(v: &[u64], i: usize) -> u64 {
+    // SAFETY: callers bound-check `i` against `v.len()` at the single
+    // call site above.
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,17 @@
+// Fixture: malformed waivers (never compiled).
+use crate::sync::{AtomicU64, Ordering};
+
+fn no_reason(slot: &AtomicU64) -> u64 {
+    // lint:allow(relaxed-needs-waiver)
+    slot.load(Ordering::Relaxed)
+}
+
+fn unknown_rule(slot: &AtomicU64) -> u64 {
+    // lint:allow(relaxed-needs-waiver, no-such-rule) -- misspelled.
+    slot.load(Ordering::Relaxed)
+}
+
+fn unused(slot: &AtomicU64) -> u64 {
+    // lint:allow(relaxed-needs-waiver) -- nothing relaxed below.
+    slot.load(Ordering::Acquire)
+}

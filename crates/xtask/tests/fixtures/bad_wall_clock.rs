@@ -1,0 +1,10 @@
+// Fixture: wall-clock and OS entropy in kernel code (never compiled).
+use std::time::Instant;
+
+fn timed_step() -> u64 {
+    let t0 = Instant::now();
+    step();
+    let _ = std::time::SystemTime::now();
+    let r: u64 = rand::thread_rng().gen();
+    t0.elapsed().as_nanos() as u64 + r
+}

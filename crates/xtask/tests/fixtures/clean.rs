@@ -1,0 +1,25 @@
+// Fixture: everything above, done right (never compiled).
+use crate::sync::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+
+struct Table {
+    routes: BTreeMap<u32, u32>,
+    latency_sum: u64,
+}
+
+fn deterministic(t: &mut Table) -> Vec<u32> {
+    // BTreeMap iterates in key order: deterministic, no finding.
+    t.latency_sum += 1;
+    t.routes.keys().copied().collect()
+}
+
+fn publish(slot: &AtomicU64, v: u64) {
+    // lint:allow(relaxed-needs-waiver) -- ordered by the phase
+    // barrier's release edge; peers only read after crossing it.
+    slot.store(v, Ordering::Relaxed);
+}
+
+fn peek(v: &[u64], i: usize) -> u64 {
+    // SAFETY: `i` is bound-checked by the caller.
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,134 @@
+//! Pins the lint engine's behavior against the fixture corpus: each
+//! known-bad snippet must fire the right rule at the right line, the
+//! clean fixture must produce nothing, and the workspace itself must
+//! lint clean (the same invariant CI gates on).
+
+use std::path::Path;
+
+fn lint_fixture(name: &str) -> Vec<(&'static str, u32)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    // Fixtures pretend to live in the netsim kernel, the strictest
+    // scope (all content rules apply there).
+    let rel = format!("crates/netsim/src/{name}");
+    xtask::lint_source(&rel, &src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn hash_iteration_fires_per_site() {
+    assert_eq!(
+        lint_fixture("bad_hash_iter.rs"),
+        vec![("hash-iter", 11), ("hash-iter", 12)],
+        "both the .keys() call and the for-loop over the HashSet must fire"
+    );
+}
+
+#[test]
+fn wall_clock_fires_on_each_source() {
+    assert_eq!(
+        lint_fixture("bad_wall_clock.rs"),
+        vec![("wall-clock", 5), ("wall-clock", 7), ("wall-clock", 8)],
+        "Instant::now, SystemTime, and thread_rng must each fire"
+    );
+}
+
+#[test]
+fn atomics_outside_facade_fire_per_mention() {
+    assert_eq!(
+        lint_fixture("bad_atomic.rs"),
+        vec![
+            ("atomic-outside-facade", 2),
+            ("atomic-outside-facade", 5),
+            ("atomic-outside-facade", 5),
+        ],
+        "the use declaration and both fully-qualified mentions must fire"
+    );
+}
+
+#[test]
+fn relaxed_without_waiver_fires_waivered_does_not() {
+    assert_eq!(
+        lint_fixture("bad_relaxed.rs"),
+        vec![("relaxed-needs-waiver", 5)],
+        "the unwaivered store fires; the justified load is suppressed"
+    );
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    assert_eq!(
+        lint_fixture("bad_unsafe.rs"),
+        vec![("unsafe-needs-safety", 3)],
+        "the bare unsafe block fires; the SAFETY-commented one does not"
+    );
+}
+
+#[test]
+fn float_accumulation_fires_on_compound_and_self_add() {
+    assert_eq!(
+        lint_fixture("bad_float_accum.rs"),
+        vec![("float-into-stats", 8), ("float-into-stats", 10)],
+        "`x += …` and `x = x + …` on f64 names fire; the u64 counter does not"
+    );
+}
+
+#[test]
+fn waiver_meta_rules_fire() {
+    assert_eq!(
+        lint_fixture("bad_waiver.rs"),
+        vec![
+            ("waiver-needs-reason", 5),
+            ("waiver-unknown-rule", 10),
+            ("waiver-unused", 15),
+        ],
+        "missing reason, unknown rule name, and dead waiver must each fire"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(
+        lint_fixture("clean.rs"),
+        vec![],
+        "the clean fixture must produce no findings"
+    );
+}
+
+#[test]
+fn rules_out_of_scope_do_not_fire() {
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_wall_clock.rs"),
+    )
+    .expect("fixture");
+    // crates/bench is exactly where wall-clock reads are allowed.
+    let findings = xtask::lint_source("crates/bench/src/bin/bad_wall_clock.rs", &src);
+    assert!(
+        findings.iter().all(|f| f.rule != "wall-clock"),
+        "wall-clock must not fire outside kernel code, got {findings:?}"
+    );
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let (files, findings) = xtask::lint_workspace(root);
+    assert!(files > 50, "walk found only {files} files — broken root?");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean, got:\n{}",
+        findings
+            .iter()
+            .map(|(rel, f)| format!("{rel}:{}: [{}] {}", f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

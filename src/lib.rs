@@ -13,6 +13,8 @@
 //! See the repository `README.md` for a guided tour and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![deny(unsafe_code)]
+
 pub use lnoc_circuit as circuit;
 pub use lnoc_core as core;
 pub use lnoc_netsim as netsim;
