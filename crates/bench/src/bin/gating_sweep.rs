@@ -1,7 +1,7 @@
 //! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
 //! the sleep FSM live in the cycle loop over a mesh-size ×
 //! injection-rate × policy × scheme × VC-count grid and emits the
-//! committed `BENCH_noc.json` baseline (schema 4): energy saved, the
+//! committed `BENCH_noc.json` baseline (schema 6): energy saved, the
 //! latency/throughput penalty the offline model cannot see, the
 //! in-loop vs offline agreement on every point — and, per grid point,
 //! the wall time, cycle rate, tile geometry and speedup of **every
@@ -23,42 +23,59 @@
 //! them at full length as the speedup baseline, and kernel equality is
 //! asserted per point exactly as everywhere else).
 //!
-//! Grid points run serially (characterization is still parallel) so
-//! the per-kernel timings are not distorted by core contention. When
-//! several kernels run a point, their [`NetworkStats`] are asserted
-//! bit-identical; single-kernel runs write a deterministic per-point
-//! stats digest to `out/x3_sweep_stats_<kernel>.json` so CI can diff
-//! the kernels as files.
+//! **Supervision** (schema 6): every grid point × kernel executes as an
+//! isolated job on the checkpointed [`lnoc_bench::runner`] — panic
+//! capture, an optional wall-clock deadline plus the engine's
+//! deterministic cycle budget (`--deadline-cycles`), bounded retry with
+//! backoff — and its serialized result lands in a content-addressed
+//! cache keyed by a canonical config digest. A killed sweep resumed
+//! with `--resume` re-runs only the missing points and regenerates the
+//! artifacts **byte-identically** (pass `--deterministic` to also pin
+//! the wall-time fields so whole files diff clean). Points that
+//! exhaust their retries land in `out/x3_gating_sweep_failures.json`
+//! while every other point completes; each row carries its
+//! `attempts`/`panics`/`deadline_hits` supervision counters.
 //!
-//! **Fault sweep** (schema 5): the full grid also carries a fault
-//! dimension — deterministic [`FaultPlan`]s (fault count × injection
-//! rate × gating policy, plus a dead-link saturated dateline-torus
-//! point) — quantifying the leakage-savings story under graceful
-//! degradation: dropped/unroutable packets, the reachable-pair floor
-//! and post-fault latency land in the same rows and digests, and the
-//! faulted points are asserted bit-identical across kernels exactly
-//! like the healthy ones. Smoke grids opt in with `--faults` (CI runs
-//! that per kernel and diffs the digests).
+//! Grid points run serially (characterization is still parallel) so
+//! the per-kernel timings are not distorted by core contention. All
+//! kernels that run a point are asserted bit-identical; each kernel
+//! writes a deterministic per-point stats digest to
+//! `out/x3_sweep_stats_<kernel>.json` so CI can diff the kernels as
+//! files.
+//!
+//! **Fault sweep**: the full grid also carries a fault dimension —
+//! deterministic [`FaultPlan`]s (fault count × injection rate × gating
+//! policy, plus a dead-link saturated dateline-torus point) —
+//! quantifying the leakage-savings story under graceful degradation:
+//! dropped/unroutable packets, the reachable-pair floor and post-fault
+//! latency land in the same rows and digests, and the faulted points
+//! are asserted bit-identical across kernels exactly like the healthy
+//! ones. Smoke grids opt in with `--faults` (CI runs that per kernel
+//! and diffs the digests).
 //!
 //! ```sh
 //! cargo run --release -p lnoc-bench --bin gating_sweep                  # full grid → BENCH_noc.json
 //! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke       # CI smoke grid → out/
 //! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --faults --kernel sharded --shards 4
-//! cargo run --release -p lnoc-bench --bin gating_sweep -- --seed 7 --vcs 1,2 --shards 8 --threads 1
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --deterministic --fuse 5   # simulated kill
+//! cargo run --release -p lnoc-bench --bin gating_sweep -- --smoke --deterministic --resume   # finish it
 //! ```
 
+use lnoc_bench::digest::{mesh_config, DigestBuilder};
+use lnoc_bench::json::{self, Obj};
+use lnoc_bench::runner::{failure_manifest, run_jobs, Job, JobAbort, SweepFlags, FLAGS_HELP};
 use lnoc_core::characterize::Characterizer;
 use lnoc_core::config::CrossbarConfig;
 use lnoc_core::scheme::Scheme;
 use lnoc_netsim::{
     FaultPlan, MeshConfig, NetworkStats, SimKernel, Simulation, SleepConfig, TrafficPattern,
 };
-use lnoc_power::gating::{
-    energy_from_counters, evaluate_policy, GatingOutcome, GatingParams, GatingPolicy,
-};
+use lnoc_power::gating::{energy_from_counters, evaluate_policy, GatingParams, GatingPolicy};
 use lnoc_power::router::RouterPowerModel;
+use lnoc_tech::units::Hertz;
 use rayon::prelude::*;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Per-VC input buffer depth used by BOTH the simulated network
@@ -67,7 +84,12 @@ use std::time::Instant;
 /// silently describe different buffer geometries.
 const DEPTH_PER_VC: usize = 4;
 
+/// Cache-key domain: versions the job payload encoding. Bump whenever
+/// the payload format or the digested field set changes.
+const DIGEST_DOMAIN: &str = "x3.schema6.v1";
+
 /// One point of the sweep grid (kernel-independent).
+#[derive(Clone)]
 struct GridPoint {
     scheme: Scheme,
     params: GatingParams,
@@ -96,25 +118,13 @@ impl GridPoint {
     }
 }
 
-/// One timed kernel execution of a grid point.
-struct Row {
-    point_idx: usize,
-    kernel: SimKernel,
-    stats: NetworkStats,
-    wall_s: f64,
-    cycles_per_sec: f64,
-    /// Resolved tile count (1 for the serial kernels).
-    shards: usize,
-    /// Resolved worker threads (1 for the serial kernels).
-    threads: usize,
-}
-
 fn mesh_cfg(
     point: &GridPoint,
     kernel: SimKernel,
     seed: u64,
     shards: usize,
     threads: usize,
+    cycle_budget: u64,
 ) -> MeshConfig {
     MeshConfig {
         width: point.mesh.0,
@@ -135,44 +145,9 @@ fn mesh_cfg(
         kernel,
         shards,
         threads,
+        cycle_budget,
         faults: point.faults.clone(),
         ..MeshConfig::default()
-    }
-}
-
-fn run_point(
-    point: &GridPoint,
-    kernel: SimKernel,
-    seed: u64,
-    shards: usize,
-    threads: usize,
-    reps: u32,
-) -> Row {
-    // Construction (including the active-set kernel's route-table
-    // build) stays outside the timer: cycle rate measures the loop.
-    // Best-of-`reps` wall time — the repeats are identical simulations,
-    // so the minimum is the least-noise estimate.
-    let mut best: Option<(NetworkStats, f64, usize, usize)> = None;
-    for _ in 0..reps.max(1) {
-        let mut sim = Simulation::new(mesh_cfg(point, kernel, seed, shards, threads));
-        let geometry = (sim.shards(), sim.threads());
-        let start = Instant::now();
-        let stats = sim.run(point.warmup, point.measure);
-        let wall = start.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|(_, w, _, _)| wall < *w) {
-            best = Some((stats, wall, geometry.0, geometry.1));
-        }
-    }
-    let (stats, wall_s, shards, threads) = best.expect("at least one rep");
-    let cycles_per_sec = (point.warmup + point.measure) as f64 / wall_s;
-    Row {
-        point_idx: usize::MAX, // filled by the caller
-        kernel,
-        stats,
-        wall_s,
-        cycles_per_sec,
-        shards,
-        threads,
     }
 }
 
@@ -223,6 +198,143 @@ fn stats_digest(point: &GridPoint, seed: u64, stats: &NetworkStats) -> String {
     )
 }
 
+/// Everything one job run produces, serialized as the cached payload:
+/// a flat scalar line (floats as exact bit patterns) plus the
+/// kernel-diffable stats digest line, verbatim. Caching the exact
+/// bytes is what makes resumed artifacts byte-identical.
+struct PointPayload {
+    kernel: String,
+    shards: u64,
+    threads: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    avg_latency: f64,
+    throughput: f64,
+    wake_stall_cycles: u64,
+    dropped_at_source: u64,
+    sleep_events: u64,
+    energy_never: f64,
+    energy_policy: f64,
+    offline_energy_never: f64,
+    offline_energy_policy: f64,
+    dropped_by_fault: u64,
+    packets_unroutable: u64,
+    min_reachable: f64,
+    avg_latency_post_fault: f64,
+    digest_line: String,
+}
+
+impl PointPayload {
+    fn render(&self) -> String {
+        let scalars = Obj::new()
+            .str("kernel", &self.kernel)
+            .raw("shards", self.shards)
+            .raw("threads", self.threads)
+            .f64_bits("wall_s_bits", self.wall_s)
+            .f64_bits("cycles_per_sec_bits", self.cycles_per_sec)
+            .f64_bits("avg_latency_bits", self.avg_latency)
+            .f64_bits("throughput_bits", self.throughput)
+            .raw("wake_stall_cycles", self.wake_stall_cycles)
+            .raw("dropped_at_source", self.dropped_at_source)
+            .raw("sleep_events", self.sleep_events)
+            .f64_bits("energy_never_bits", self.energy_never)
+            .f64_bits("energy_policy_bits", self.energy_policy)
+            .f64_bits("offline_energy_never_bits", self.offline_energy_never)
+            .f64_bits("offline_energy_policy_bits", self.offline_energy_policy)
+            .raw("dropped_by_fault", self.dropped_by_fault)
+            .raw("packets_unroutable", self.packets_unroutable)
+            .f64_bits("min_reachable_bits", self.min_reachable)
+            .f64_bits("avg_latency_post_fault_bits", self.avg_latency_post_fault)
+            .build();
+        format!("{scalars}\n{}", self.digest_line)
+    }
+
+    fn parse(payload: &str) -> Option<PointPayload> {
+        let (scalars, digest_line) = payload.split_once('\n')?;
+        Some(PointPayload {
+            kernel: json::field_str(scalars, "kernel")?,
+            shards: json::field_u64(scalars, "shards")?,
+            threads: json::field_u64(scalars, "threads")?,
+            wall_s: json::field_f64_bits(scalars, "wall_s_bits")?,
+            cycles_per_sec: json::field_f64_bits(scalars, "cycles_per_sec_bits")?,
+            avg_latency: json::field_f64_bits(scalars, "avg_latency_bits")?,
+            throughput: json::field_f64_bits(scalars, "throughput_bits")?,
+            wake_stall_cycles: json::field_u64(scalars, "wake_stall_cycles")?,
+            dropped_at_source: json::field_u64(scalars, "dropped_at_source")?,
+            sleep_events: json::field_u64(scalars, "sleep_events")?,
+            energy_never: json::field_f64_bits(scalars, "energy_never_bits")?,
+            energy_policy: json::field_f64_bits(scalars, "energy_policy_bits")?,
+            offline_energy_never: json::field_f64_bits(scalars, "offline_energy_never_bits")?,
+            offline_energy_policy: json::field_f64_bits(scalars, "offline_energy_policy_bits")?,
+            dropped_by_fault: json::field_u64(scalars, "dropped_by_fault")?,
+            packets_unroutable: json::field_u64(scalars, "packets_unroutable")?,
+            min_reachable: json::field_f64_bits(scalars, "min_reachable_bits")?,
+            avg_latency_post_fault: json::field_f64_bits(scalars, "avg_latency_post_fault_bits")?,
+            digest_line: digest_line.to_string(),
+        })
+    }
+
+    /// Every stats-derived field — everything except the timing fields
+    /// and the kernel geometry — for the cross-kernel bit-identity
+    /// assertion.
+    fn stats_fingerprint(&self) -> String {
+        format!(
+            "{} | {:016x} {:016x} {} {} {} {:016x} {:016x} {:016x} {:016x} {} {} {:016x} {:016x}",
+            self.digest_line,
+            self.avg_latency.to_bits(),
+            self.throughput.to_bits(),
+            self.wake_stall_cycles,
+            self.dropped_at_source,
+            self.sleep_events,
+            self.energy_never.to_bits(),
+            self.energy_policy.to_bits(),
+            self.offline_energy_never.to_bits(),
+            self.offline_energy_policy.to_bits(),
+            self.dropped_by_fault,
+            self.packets_unroutable,
+            self.min_reachable.to_bits(),
+            self.avg_latency_post_fault.to_bits(),
+        )
+    }
+}
+
+/// Replicates [`lnoc_power::gating::GatingOutcome::savings_fraction`]
+/// for energies reconstructed from a payload.
+fn savings_fraction(energy_never: f64, energy_policy: f64) -> f64 {
+    if energy_never <= 0.0 {
+        return 0.0;
+    }
+    1.0 - energy_policy / energy_never
+}
+
+/// The job's cache key: the full engine config (exhaustive, via
+/// [`mesh_config`]) plus every sweep-level input that shapes the
+/// payload — run lengths, repetitions, the gating parameter set, the
+/// clock, and whether timings are pinned.
+fn job_digest(
+    point: &GridPoint,
+    cfg: &MeshConfig,
+    reps: u32,
+    deterministic: bool,
+    clock: Hertz,
+) -> String {
+    mesh_config(DigestBuilder::new(DIGEST_DOMAIN), cfg)
+        .field("scheme", point.scheme.name())
+        .field("warmup", point.warmup)
+        .field("measure", point.measure)
+        .field("reps", reps)
+        .field("deterministic", deterministic)
+        .f64("clock_hz", clock.0)
+        .f64("params.p_idle_awake_w", point.params.p_idle_awake.0)
+        .f64("params.p_standby_w", point.params.p_standby.0)
+        .f64("params.e_transition_j", point.params.e_transition.0)
+        .field(
+            "params.wake_latency_cycles",
+            point.params.wake_latency_cycles,
+        )
+        .finish()
+}
+
 /// Parses `--flag value` style arguments.
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -231,8 +343,32 @@ fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+const USAGE: &str = "\
+gating_sweep — X3 in-loop gating sweep (schema 6)
+
+Grid flags:
+  --smoke            CI smoke grid (writes out/x3_gating_sweep_smoke.json
+                     instead of the committed BENCH_noc.json)
+  --faults           include the fault dimension in smoke grids
+                     (the full grid always carries it)
+  --kernel <k>       active-set | reference | sharded | both | all (default all)
+  --seed <n>         sweep seed (default 2005)
+  --shards <n>       sharded-kernel tile count (default 8; 0 = one per core)
+  --threads <n>      sharded-kernel worker threads (default 0 = auto)
+  --vcs <list>       VC counts, e.g. 1,2,4
+  --inject-panic     append a job that always panics (supervision demo:
+                     retried per policy, then isolated in the manifest)
+  --inject-deadlock  append a deadlocking point (the watchdog's typed abort
+                     fails fast into the manifest; exit 2)
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}\n{FLAGS_HELP}");
+        return;
+    }
+    let flags = SweepFlags::parse(&args);
     let smoke = args.iter().any(|a| a == "--smoke");
     // The full sweep always carries the fault grid (the committed
     // baseline quantifies graceful degradation); smoke grids opt in
@@ -255,10 +391,10 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed")
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(2005);
-    // Tile geometry for the sharded kernel. `--shards 0` (the default)
-    // lets the simulator pick one tile per core; the committed
-    // baseline pins 8 so the recorded geometry does not depend on the
-    // host. Thread count never changes results — only wall time.
+    // Tile geometry for the sharded kernel. `--shards 0` lets the
+    // simulator pick one tile per core; the committed baseline pins 8
+    // so the recorded geometry does not depend on the host. Thread
+    // count never changes results — only wall time.
     let shards: usize = arg_value(&args, "--shards")
         .map(|s| s.parse().expect("--shards takes an integer"))
         .unwrap_or(8);
@@ -607,11 +743,11 @@ fn main() {
             }
         }
     }
-    // Fault-sweep dimension (schema 5): deterministic fault plans —
-    // fault count × injection rate × gating policy, each with its own
-    // Never row as the faulted latency baseline, plus a dead-link
-    // saturated dateline torus. Plan seeds derive from the sweep seed
-    // so `--seed` reproduces the whole scenario, kills included, and
+    // Fault-sweep dimension: deterministic fault plans — fault count ×
+    // injection rate × gating policy, each with its own Never row as
+    // the faulted latency baseline, plus a dead-link saturated
+    // dateline torus. Plan seeds derive from the sweep seed so
+    // `--seed` reproduces the whole scenario, kills included, and
     // every faulted point is asserted bit-identical across kernels
     // exactly like the healthy ones.
     if with_faults {
@@ -715,70 +851,229 @@ fn main() {
             .collect()
     };
 
-    // Run every grid point under every requested kernel — serially, so
-    // wall times mean something. When several kernels run, assert
-    // their statistics are bit-identical.
-    // One untimed throwaway per distinct mesh size first: the first
-    // simulation at each size otherwise pays page-fault/warm-up costs
-    // that pollute its grid point's timing.
-    let mut warmed: Vec<(usize, usize)> = Vec::new();
-    for point in &grid {
-        if !warmed.contains(&point.mesh) {
-            warmed.push(point.mesh);
-            for &kernel in &kernels_for(point) {
-                let _ = run_point(point, kernel, seed, shards, threads, 1);
-            }
+    // Build one supervised job per grid point × kernel. Jobs run
+    // serially under the runner (wall times mean something), each
+    // isolated on its own thread with panic capture and the deadline.
+    // One untimed throwaway per distinct mesh size pays the
+    // page-fault/warm-up cost outside any timed run (skipped in
+    // deterministic mode, where timings are pinned to zero anyway).
+    let deterministic = flags.deterministic;
+    let clock = cfg.clock;
+    let warmed: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut jobs: Vec<Job> = Vec::new();
+    // Parallel to `jobs`: which (grid point, kernel) a job computes
+    // (`None` for the injected demo jobs, which contribute no rows).
+    let mut job_meta: Vec<Option<(usize, SimKernel)>> = Vec::new();
+    for (point_idx, point) in grid.iter().enumerate() {
+        for kernel in kernels_for(point) {
+            let reps = if deterministic { 1 } else { point.reps.max(1) };
+            let sim_cfg = mesh_cfg(point, kernel, seed, shards, threads, flags.deadline_cycles);
+            let digest = job_digest(point, &sim_cfg, reps, deterministic, clock);
+            let fault_tag = point.faults.as_ref().map(|_| " faulted").unwrap_or("");
+            let label = format!(
+                "{} {}x{} {} rate {:.4} vcs {} {}{} [{}]",
+                point.scheme.name(),
+                point.mesh.0,
+                point.mesh.1,
+                point.pattern.name(),
+                point.rate,
+                point.vcs,
+                point.policy,
+                fault_tag,
+                kernel.name(),
+            );
+            let point = point.clone();
+            let warmed = warmed.clone();
+            jobs.push(Job::new(label, digest, move || {
+                if !deterministic {
+                    let first_at_this_size = {
+                        let mut w = warmed.lock().unwrap_or_else(|p| p.into_inner());
+                        if w.contains(&point.mesh) {
+                            false
+                        } else {
+                            w.push(point.mesh);
+                            true
+                        }
+                    };
+                    if first_at_this_size {
+                        let mut sim = Simulation::new(sim_cfg.clone());
+                        let _ = sim.try_run(point.warmup, point.measure);
+                    }
+                }
+                // Construction (including the active-set kernel's
+                // route-table build) stays outside the timer: cycle
+                // rate measures the loop. Best-of-`reps` wall time —
+                // the repeats are identical simulations, so the
+                // minimum is the least-noise estimate.
+                let mut best: Option<(NetworkStats, f64, usize, usize)> = None;
+                for _ in 0..reps {
+                    let mut sim = Simulation::new(sim_cfg.clone());
+                    let geometry = (sim.shards(), sim.threads());
+                    let start = Instant::now();
+                    let stats = sim
+                        .try_run(point.warmup, point.measure)
+                        .map_err(JobAbort::from_sim)?;
+                    let wall = start.elapsed().as_secs_f64();
+                    if best.as_ref().is_none_or(|(_, w, _, _)| wall < *w) {
+                        best = Some((stats, wall, geometry.0, geometry.1));
+                    }
+                }
+                let (stats, wall_s, shards, threads) = best.expect("at least one rep");
+                let (wall_s, cycles_per_sec) = if deterministic {
+                    (0.0, 0.0)
+                } else {
+                    (wall_s, (point.warmup + point.measure) as f64 / wall_s)
+                };
+                let counters = stats.total_gating_counters();
+                let in_loop = energy_from_counters(&counters, &point.params, clock);
+                let offline = evaluate_policy(
+                    &stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS),
+                    &point.params,
+                    point.policy,
+                    clock,
+                );
+                Ok(PointPayload {
+                    kernel: sim_cfg.kernel.name().to_string(),
+                    shards: shards as u64,
+                    threads: threads as u64,
+                    wall_s,
+                    cycles_per_sec,
+                    avg_latency: stats.avg_latency(),
+                    throughput: stats.throughput(),
+                    wake_stall_cycles: stats.wake_stall_cycles(),
+                    dropped_at_source: stats.packets_dropped_at_source,
+                    sleep_events: in_loop.sleep_events,
+                    energy_never: in_loop.energy_never.0,
+                    energy_policy: in_loop.energy_policy.0,
+                    offline_energy_never: offline.energy_never.0,
+                    offline_energy_policy: offline.energy_policy.0,
+                    dropped_by_fault: stats.flits_dropped_by_fault,
+                    packets_unroutable: stats.packets_unroutable,
+                    min_reachable: stats.min_reachable_fraction,
+                    avg_latency_post_fault: stats.avg_latency_post_fault(),
+                    digest_line: stats_digest(&point, seed, &stats),
+                }
+                .render())
+            }));
+            job_meta.push(Some((point_idx, kernel)));
         }
     }
-    let mut rows: Vec<Row> = Vec::new();
-    let mut digests: Vec<(SimKernel, String)> = Vec::new();
-    for (point_idx, point) in grid.iter().enumerate() {
-        let mut first: Option<NetworkStats> = None;
-        for &kernel in &kernels_for(point) {
-            let mut row = run_point(point, kernel, seed, shards, threads, point.reps);
-            row.point_idx = point_idx;
-            if let Some(prev) = &first {
-                assert_eq!(
-                    prev, &row.stats,
-                    "kernel divergence at scheme {} mesh {:?} rate {} vcs {} policy {}",
-                    point.scheme, point.mesh, point.rate, point.vcs, point.policy
-                );
-            } else {
-                first = Some(row.stats.clone());
-            }
-            digests.push((kernel, stats_digest(point, seed, &row.stats)));
-            rows.push(row);
-        }
+    // Injected-failure demo jobs: exercise the supervision path
+    // end-to-end (retry → manifest → exit 2) without touching the
+    // real grid.
+    if args.iter().any(|a| a == "--inject-panic") {
+        jobs.push(Job::new(
+            "injected panic (supervision demo)",
+            DigestBuilder::new("x3.inject-panic.v1")
+                .field("seed", seed)
+                .finish(),
+            || panic!("injected panic (supervision demo)"),
+        ));
+        job_meta.push(None);
+    }
+    if args.iter().any(|a| a == "--inject-deadlock") {
+        // A config the engine provably wedges on: saturated Tornado on
+        // a wrapped 8×8 with a single VC (no dateline escape), short
+        // watchdog. The watchdog's typed abort fails fast — no retries
+        // burned — and lands in the manifest while every real point
+        // completes.
+        let wedge = MeshConfig {
+            width: 8,
+            height: 8,
+            wrap: true,
+            vcs: 1,
+            injection_rate: 1.0,
+            pattern: TrafficPattern::Tornado,
+            packet_len_flits: 8,
+            source_queue_cap: 8,
+            watchdog_cycles: 500,
+            seed: 5,
+            ..MeshConfig::default()
+        };
+        let digest = mesh_config(DigestBuilder::new("x3.inject-deadlock.v1"), &wedge)
+            .field("warmup", 0u64)
+            .field("measure", 5_000u64)
+            .finish();
+        jobs.push(Job::new(
+            "injected deadlock (supervision demo)",
+            digest,
+            move || {
+                let mut sim = Simulation::new(wedge.clone());
+                let stats = sim.try_run(0, 5_000).map_err(JobAbort::from_sim)?;
+                let _ = stats;
+                Err(JobAbort {
+                    kind: lnoc_bench::runner::AbortKind::Other,
+                    message: "expected deadlock did not occur".to_string(),
+                })
+            },
+        ));
+        job_meta.push(None);
     }
 
-    // Offline model evaluation once per grid point (the histograms are
-    // kernel-independent — just asserted so).
-    let outcomes: Vec<(GatingOutcome, GatingOutcome)> = grid
-        .iter()
-        .enumerate()
-        .map(|(i, point)| {
-            let stats = &rows
-                .iter()
-                .find(|r| r.point_idx == i)
-                .expect("every point ran")
-                .stats;
-            let counters = stats.total_gating_counters();
-            let in_loop = energy_from_counters(&counters, &point.params, cfg.clock);
-            let offline = evaluate_policy(
-                &stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS),
-                &point.params,
-                point.policy,
-                cfg.clock,
+    let runner_cfg = flags.runner_config("gating_sweep");
+    eprintln!(
+        "runner: {} jobs, cache {}, journal {}, {}",
+        jobs.len(),
+        runner_cfg.cache_dir.display(),
+        runner_cfg.journal_path.display(),
+        flags.summary(),
+    );
+    let report = run_jobs(&runner_cfg, &jobs);
+    lnoc_bench::write_artifact(
+        "x3_gating_sweep_failures.json",
+        &failure_manifest(&jobs, &report),
+    );
+
+    // Assemble rows from the payloads (fresh or cached — the bytes are
+    // identical either way). Failed / not-run jobs contribute no row.
+    struct Row {
+        point_idx: usize,
+        payload: PointPayload,
+        attempts: u32,
+        panics: u32,
+        deadline_hits: u32,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for ((status, meta), job) in report.statuses.iter().zip(&job_meta).zip(&jobs) {
+        let (Some((point_idx, _)), Some(payload)) = (meta, status.payload()) else {
+            continue;
+        };
+        let payload = PointPayload::parse(payload)
+            .unwrap_or_else(|| panic!("corrupt payload for job {}", job.label));
+        let m = status.meta().expect("done jobs carry meta");
+        rows.push(Row {
+            point_idx: *point_idx,
+            payload,
+            attempts: m.attempts,
+            panics: m.panics,
+            deadline_hits: m.deadline_hits,
+        });
+    }
+    // Kernel bit-identity, asserted on the serialized stats (digest
+    // line + every stats-derived scalar): all kernels that ran a point
+    // must agree exactly, wherever their payloads came from.
+    for (point_idx, point) in grid.iter().enumerate() {
+        let fps: Vec<(&str, String)> = rows
+            .iter()
+            .filter(|r| r.point_idx == point_idx)
+            .map(|r| (r.payload.kernel.as_str(), r.payload.stats_fingerprint()))
+            .collect();
+        for pair in fps.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "kernel divergence ({} vs {}) at scheme {} mesh {:?} rate {} vcs {} policy {}",
+                pair[0].0, pair[1].0, point.scheme, point.mesh, point.rate, point.vcs, point.policy
             );
-            (in_loop, offline)
-        })
-        .collect();
+        }
+    }
 
     // Baseline latency per (mesh, rate, pattern, wrap, vcs, faults):
     // the Never policy (identical network behaviour for every scheme
     // and kernel). Faulted points compare against their own faulted
     // Never baseline, so the penalty isolates gating from degradation.
-    let base_latency = |p: &GridPoint| -> f64 {
+    // `None` (rendered null) when the baseline point failed or has not
+    // run yet — an interrupted sweep still emits what it has.
+    let base_latency = |p: &GridPoint| -> Option<f64> {
         rows.iter()
             .find(|r| {
                 let b = &grid[r.point_idx];
@@ -790,32 +1085,36 @@ fn main() {
                     && b.faults == p.faults
                     && b.policy == GatingPolicy::Never
             })
-            .map(|r| r.stats.avg_latency())
-            .expect("grid always contains Never for each traffic point")
+            .map(|r| r.payload.avg_latency)
     };
-    // Cycle rate of a given kernel on a given point, if it ran.
+    // Cycle rate of a given kernel on a given point, if it ran (and
+    // timings are not pinned by --deterministic).
     let cps_of = |point_idx: usize, kernel: SimKernel| -> Option<f64> {
         rows.iter()
-            .find(|r| r.point_idx == point_idx && r.kernel == kernel)
-            .map(|r| r.cycles_per_sec)
+            .find(|r| r.point_idx == point_idx && r.payload.kernel == kernel.name())
+            .map(|r| r.payload.cycles_per_sec)
+            .filter(|&cps| cps > 0.0)
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 5,\n");
+    json.push_str("{\n  \"schema\": 6,\n");
     let _ = writeln!(
         json,
         "  \"note\": \"in-loop per-VC-lane sleep-FSM gating sweep; gating params are one output \
-         VC lane (1/V crossbar port share + downstream input-VC buffer bank); grid points run \
-         serially under every kernel; agreement = |in_loop - offline| / offline on the same \
-         run's histograms; all kernels that run a point are asserted bit-identical before \
-         timing is reported; speedup_vs_active_set = cycle rate of the row's kernel over the \
-         serial active-set kernel on the same point (the sharded rows' tile geometry is in \
-         shards/threads; threads_available records the host's cores — on a single-core host \
-         the sharded speedup measures tile cache locality only, not parallel scaling); the \
-         wrapped tornado points run dateline VCs at saturation under the armed watchdog; the \
-         64x64/128x128 rows exclude the dense reference kernel; faults > 0 rows run a seeded \
-         FaultPlan (permanent + transient link/router kills) with fault-aware rerouting — \
-         their latency penalty is against their own faulted Never baseline, and \
+         VC lane (1/V crossbar port share + downstream input-VC buffer bank); every grid point x \
+         kernel runs as an isolated supervised job (panic capture, cycle-budget + wall-clock \
+         deadline, bounded retry) whose result is cached under its canonical config digest — a \
+         killed sweep resumed with --resume regenerates this file byte-identically; attempts / \
+         panics / deadline_hits are each row's supervision counters; agreement = |in_loop - \
+         offline| / offline on the same run's histograms; all kernels that run a point are \
+         asserted bit-identical before timing is reported; speedup_vs_active_set = cycle rate of \
+         the row's kernel over the serial active-set kernel on the same point (the sharded rows' \
+         tile geometry is in shards/threads; threads_available records the host's cores — on a \
+         single-core host the sharded speedup measures tile cache locality only, not parallel \
+         scaling); the wrapped tornado points run dateline VCs at saturation under the armed \
+         watchdog; the 64x64/128x128 rows exclude the dense reference kernel; faults > 0 rows \
+         run a seeded FaultPlan (permanent + transient link/router kills) with fault-aware \
+         rerouting — their latency penalty is against their own faulted Never baseline, and \
          min_reachable_pct / dropped_by_fault / packets_unroutable / avg_latency_post_fault \
          quantify graceful degradation\","
     );
@@ -840,15 +1139,17 @@ fn main() {
             .join(", ")
     );
     let _ = writeln!(json, "  \"smoke\": {smoke},");
-    json.push_str("  \"results\": [\n");
-    let n_rows = rows.len();
+    let _ = writeln!(json, "  \"deterministic\": {deterministic},");
     let mut worst_disagreement: f64 = 0.0;
-    for (i, r) in rows.iter().enumerate() {
+    let mut result_rows: Vec<String> = Vec::new();
+    for r in &rows {
         let point = &grid[r.point_idx];
-        let (in_loop, offline) = &outcomes[r.point_idx];
-        let penalty = r.stats.avg_latency() - base_latency(point);
-        let agreement = if offline.energy_policy.0 > 0.0 {
-            (in_loop.energy_policy.0 - offline.energy_policy.0).abs() / offline.energy_policy.0
+        let p = &r.payload;
+        let penalty = base_latency(point)
+            .map(|b| format!("{:.3}", p.avg_latency - b))
+            .unwrap_or_else(|| "null".to_string());
+        let agreement = if p.offline_energy_policy > 0.0 {
+            (p.energy_policy - p.offline_energy_policy).abs() / p.offline_energy_policy
         } else {
             0.0
         };
@@ -856,27 +1157,26 @@ fn main() {
             worst_disagreement = worst_disagreement.max(agreement);
         }
         let speedup_vs_active = cps_of(r.point_idx, SimKernel::ActiveSet)
-            .map(|base| r.cycles_per_sec / base)
-            .map(|s| format!("{s:.2}"))
+            .map(|base| format!("{:.2}", p.cycles_per_sec / base))
             .unwrap_or_else(|| "null".to_string());
         let fault_count = point
             .faults
             .as_ref()
             .map(|f| f.link_faults + f.router_faults + f.transient_link_faults)
             .unwrap_or(0);
-        let _ = writeln!(
-            json,
-            "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
+        result_rows.push(format!(
+            "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
              \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
              \"kernel\": \"{}\", \"shards\": {}, \"threads\": {}, \
              \"speedup_vs_active_set\": {}, \"mit_cycles\": {}, \"cycles\": {}, \
              \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \
-             \"latency_penalty_cy\": {:.3}, \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \
+             \"latency_penalty_cy\": {}, \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \
              \"sleep_events\": {}, \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \
              \"energy_policy_j\": {:.6e}, \"saved_pct\": {:.2}, \"offline_energy_j\": {:.6e}, \
              \"offline_saved_pct\": {:.2}, \"agreement_pct\": {:.3}, \"faults\": {}, \
              \"dropped_by_fault\": {}, \"packets_unroutable\": {}, \
-             \"min_reachable_pct\": {:.2}, \"avg_latency_post_fault\": {:.3}}}{}",
+             \"min_reachable_pct\": {:.2}, \"avg_latency_post_fault\": {:.3}, \
+             \"attempts\": {}, \"panics\": {}, \"deadline_hits\": {}}}",
             point.scheme.name(),
             point.mesh.0,
             point.mesh.1,
@@ -886,40 +1186,45 @@ fn main() {
             seed,
             point.rate,
             point.policy,
-            r.kernel.name(),
-            r.shards,
-            r.threads,
+            p.kernel,
+            p.shards,
+            p.threads,
             speedup_vs_active,
             point.params.min_idle_cycles(cfg.clock),
             point.warmup + point.measure,
-            r.wall_s,
-            r.cycles_per_sec,
-            r.stats.avg_latency(),
+            p.wall_s,
+            p.cycles_per_sec,
+            p.avg_latency,
             penalty,
-            r.stats.throughput(),
-            r.stats.wake_stall_cycles(),
-            in_loop.sleep_events,
-            r.stats.packets_dropped_at_source,
-            in_loop.energy_never.0,
-            in_loop.energy_policy.0,
-            in_loop.savings_fraction() * 100.0,
-            offline.energy_policy.0,
-            offline.savings_fraction() * 100.0,
+            p.throughput,
+            p.wake_stall_cycles,
+            p.sleep_events,
+            p.dropped_at_source,
+            p.energy_never,
+            p.energy_policy,
+            savings_fraction(p.energy_never, p.energy_policy) * 100.0,
+            p.offline_energy_policy,
+            savings_fraction(p.offline_energy_never, p.offline_energy_policy) * 100.0,
             agreement * 100.0,
             fault_count,
-            r.stats.flits_dropped_by_fault,
-            r.stats.packets_unroutable,
-            r.stats.min_reachable_fraction * 100.0,
-            r.stats.avg_latency_post_fault(),
-            if i + 1 == n_rows { "" } else { "," }
-        );
+            p.dropped_by_fault,
+            p.packets_unroutable,
+            p.min_reachable * 100.0,
+            p.avg_latency_post_fault,
+            r.attempts,
+            r.panics,
+            r.deadline_hits,
+        ));
     }
-    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"results\": {},",
+        json::array(&result_rows, "    ", "  ")
+    );
 
     // Per-point kernel speedups: active-set over reference (the PR 3
     // baseline) and sharded over active-set (the tiling win) — the
     // numbers the README performance table quotes.
-    json.push_str("  \"speedup\": [\n");
     let mut speedups: Vec<String> = Vec::new();
     let mut min_16x16_low_rate: f64 = f64::INFINITY;
     let mut min_sharded_32x32_medium: f64 = f64::INFINITY;
@@ -947,7 +1252,7 @@ fn main() {
                 .unwrap_or_else(|| "null".into())
         };
         speedups.push(format!(
-            "    {{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \
+            "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \
              \"vcs\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
              \"active_set_vs_reference\": {}, \"sharded_vs_active_set\": {}}}",
             point.scheme.name(),
@@ -961,8 +1266,11 @@ fn main() {
             fmt_opt(sharded_vs_active),
         ));
     }
-    json.push_str(&speedups.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    let _ = write!(
+        json,
+        "  \"speedup\": {}\n}}\n",
+        json::array(&speedups, "    ", "  ")
+    );
 
     println!("{json}");
     println!(
@@ -983,12 +1291,13 @@ fn main() {
         );
     }
 
-    // Stats digests for file-level kernel diffing in CI.
+    // Stats digests for file-level kernel diffing in CI (in grid
+    // order, exactly the rows that ran).
     for &kernel in &kernels {
-        let body: Vec<&String> = digests
+        let body: Vec<&String> = rows
             .iter()
-            .filter(|(k, _)| *k == kernel)
-            .map(|(_, d)| d)
+            .filter(|r| r.payload.kernel == kernel.name())
+            .map(|r| &r.payload.digest_line)
             .collect();
         let mut s = String::from("[\n");
         for (i, d) in body.iter().enumerate() {
@@ -1008,4 +1317,11 @@ fn main() {
         std::fs::write(&path, &json).expect("write BENCH_noc.json");
         println!("wrote {}", path.display());
     }
+    if report.fuse_tripped {
+        eprintln!(
+            "sweep interrupted by --fuse after {} fresh jobs — finish it with --resume",
+            report.executed
+        );
+    }
+    std::process::exit(report.exit_code());
 }

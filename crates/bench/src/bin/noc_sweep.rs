@@ -2,7 +2,15 @@
 //! simulator across traffic patterns and loads, extracts per-port
 //! idle-interval histograms, and evaluates every gating policy with each
 //! scheme's gating parameters.
+//!
+//! Each (pattern, rate) point runs as an isolated job on the
+//! supervised [`lnoc_bench::runner`] — its fully rendered text section
+//! is cached under the point's canonical config digest, so a killed
+//! sweep resumed with `--resume` regenerates `out/x2_noc_sweep.txt`
+//! byte-identically without re-simulating completed points.
 
+use lnoc_bench::digest::{mesh_config, DigestBuilder};
+use lnoc_bench::runner::{failure_manifest, run_jobs, Job, JobAbort, SweepFlags, FLAGS_HELP};
 use lnoc_core::characterize::Characterizer;
 use lnoc_core::config::CrossbarConfig;
 use lnoc_core::scheme::Scheme;
@@ -12,7 +20,20 @@ use lnoc_power::report::TextTable;
 use lnoc_power::router::RouterPowerModel;
 use rayon::prelude::*;
 
+const DIGEST_DOMAIN: &str = "x2.v1";
+
+const USAGE: &str = "\
+noc_sweep — X2 network-level gating savings across patterns and loads
+(no sweep-specific flags; supervision flags below apply)
+";
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}\n{FLAGS_HELP}");
+        return;
+    }
+    let flags = SweepFlags::parse(&args);
     let cfg = CrossbarConfig::paper();
     let ch = Characterizer::new(&cfg);
 
@@ -26,14 +47,19 @@ fn main() {
         })
         .collect();
 
-    let mut out = String::new();
-    for pattern in [
+    let clock = cfg.clock;
+    let points: Vec<(TrafficPattern, f64)> = [
         TrafficPattern::UniformRandom,
         TrafficPattern::Transpose,
         TrafficPattern::Hotspot,
-    ] {
-        for rate in [0.02, 0.05, 0.10] {
-            let mut sim = Simulation::new(MeshConfig {
+    ]
+    .into_iter()
+    .flat_map(|pattern| [0.02, 0.05, 0.10].map(|rate| (pattern, rate)))
+    .collect();
+    let jobs: Vec<Job> = points
+        .iter()
+        .map(|&(pattern, rate)| {
+            let mesh = MeshConfig {
                 width: 4,
                 height: 4,
                 injection_rate: rate,
@@ -41,46 +67,77 @@ fn main() {
                 packet_len_flits: 4,
                 buffer_depth: 4,
                 seed: 2005,
+                cycle_budget: flags.deadline_cycles,
                 ..MeshConfig::default()
-            });
-            let stats = sim.run(1000, 10000);
-            let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
-
-            let mut table = TextTable::new(vec![
-                "scheme".into(),
-                "policy".into(),
-                "saved %".into(),
-                "sleeps".into(),
-            ]);
-            for (scheme, p) in &params {
-                let threshold = p.min_idle_cycles(cfg.clock);
-                for policy in [
-                    GatingPolicy::Immediate,
-                    GatingPolicy::IdleThreshold(threshold),
-                    GatingPolicy::Oracle,
-                ] {
-                    let o = evaluate_policy(&hist, p, policy, cfg.clock);
-                    table.row(vec![
-                        scheme.name().into(),
-                        policy.to_string(),
-                        format!("{:.1}", o.savings_fraction() * 100.0),
-                        o.sleep_events.to_string(),
-                    ]);
+            };
+            let digest = {
+                let mut b = mesh_config(DigestBuilder::new(DIGEST_DOMAIN), &mesh)
+                    .field("warmup", 1000u64)
+                    .field("measure", 10000u64)
+                    .f64("clock_hz", clock.0);
+                for (scheme, p) in &params {
+                    let key = |f: &str| format!("params.{}.{f}", scheme.name());
+                    b = b
+                        .f64(&key("p_idle_awake_w"), p.p_idle_awake.0)
+                        .f64(&key("p_standby_w"), p.p_standby.0)
+                        .f64(&key("e_transition_j"), p.e_transition.0)
+                        .field(&key("wake_latency_cycles"), p.wake_latency_cycles);
                 }
-            }
-            let header = format!(
-                "\n== {} @ injection {:.2} — latency {:.1} cy, util {:.3}, {} idle intervals ==",
-                pattern.name(),
-                rate,
-                stats.avg_latency(),
-                stats.crossbar_utilization(),
-                hist.interval_count(),
-            );
-            println!("{header}\n{table}");
-            out.push_str(&header);
-            out.push('\n');
-            out.push_str(&table.to_string());
+                b.finish()
+            };
+            let label = format!("{} @ {rate:.2}", pattern.name());
+            let params = params.clone();
+            Job::new(label, digest, move || {
+                let mut sim = Simulation::new(mesh.clone());
+                let stats = sim.try_run(1000, 10000).map_err(JobAbort::from_sim)?;
+                let hist = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
+
+                let mut table = TextTable::new(vec![
+                    "scheme".into(),
+                    "policy".into(),
+                    "saved %".into(),
+                    "sleeps".into(),
+                ]);
+                for (scheme, p) in &params {
+                    let threshold = p.min_idle_cycles(clock);
+                    for policy in [
+                        GatingPolicy::Immediate,
+                        GatingPolicy::IdleThreshold(threshold),
+                        GatingPolicy::Oracle,
+                    ] {
+                        let o = evaluate_policy(&hist, p, policy, clock);
+                        table.row(vec![
+                            scheme.name().into(),
+                            policy.to_string(),
+                            format!("{:.1}", o.savings_fraction() * 100.0),
+                            o.sleep_events.to_string(),
+                        ]);
+                    }
+                }
+                let header = format!(
+                    "\n== {} @ injection {:.2} — latency {:.1} cy, util {:.3}, {} idle intervals ==",
+                    pattern.name(),
+                    rate,
+                    stats.avg_latency(),
+                    stats.crossbar_utilization(),
+                    hist.interval_count(),
+                );
+                Ok(format!("{header}\n{table}"))
+            })
+        })
+        .collect();
+
+    let runner_cfg = flags.runner_config("noc_sweep");
+    let report = run_jobs(&runner_cfg, &jobs);
+    lnoc_bench::write_artifact("noc_sweep_failures.json", &failure_manifest(&jobs, &report));
+
+    let mut out = String::new();
+    for status in &report.statuses {
+        if let Some(section) = status.payload() {
+            println!("{section}");
+            out.push_str(section);
         }
     }
     lnoc_bench::write_artifact("x2_noc_sweep.txt", &out);
+    std::process::exit(report.exit_code());
 }

@@ -1,0 +1,185 @@
+//! Append-only sweep journal: one JSON line per supervision event.
+//!
+//! The journal is the sweep's progress checkpoint and audit trail,
+//! written under `out/` next to the artifacts it describes. Every
+//! runner decision lands here the moment it is made — cache hit, job
+//! completion, retry, permanent failure, fuse trip — so a killed sweep
+//! leaves an exact record of where it stopped, and a resumed sweep
+//! appends to the same file instead of rewriting history.
+//!
+//! Resume *correctness* does not depend on parsing the journal: the
+//! content-addressed result cache (see [`crate::runner`]) is the source
+//! of truth for what is already done. The journal exists so humans and
+//! CI can see what happened — `grep '"event": "failed"'` is the
+//! failure story of a sweep.
+//!
+//! Line format (flat, one object per line, written by
+//! [`crate::json::Obj`]):
+//!
+//! ```json
+//! {"event": "done", "job": "<label>", "digest": "<32 hex>", "attempt": 1, "detail": ""}
+//! ```
+//!
+//! Events: `sweep-start`, `cached`, `done`, `retry`, `failed`,
+//! `fuse`. `detail` carries the error text for `retry`/`failed` and
+//! the flag summary for `sweep-start`.
+
+use crate::json;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One journal line, parsed or about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Event kind (`sweep-start`, `cached`, `done`, `retry`,
+    /// `failed`, `fuse`).
+    pub event: String,
+    /// The job's human-readable label.
+    pub job: String,
+    /// The job's canonical config digest (empty for sweep-level
+    /// events).
+    pub digest: String,
+    /// 1-based attempt number the event refers to (0 for events that
+    /// precede any attempt).
+    pub attempt: u32,
+    /// Error text or free-form detail.
+    pub detail: String,
+}
+
+impl JournalEvent {
+    /// Renders the event as its journal line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        json::Obj::new()
+            .str("event", &self.event)
+            .str("job", &self.job)
+            .str("digest", &self.digest)
+            .raw("attempt", self.attempt)
+            .str("detail", &self.detail)
+            .build()
+    }
+
+    /// Parses a journal line written by [`JournalEvent::to_line`].
+    pub fn parse(line: &str) -> Option<JournalEvent> {
+        Some(JournalEvent {
+            event: json::field_str(line, "event")?,
+            job: json::field_str(line, "job")?,
+            digest: json::field_str(line, "digest")?,
+            attempt: json::field_u64(line, "attempt")? as u32,
+            detail: json::field_str(line, "detail")?,
+        })
+    }
+}
+
+/// Append-only journal writer. Every record is flushed on write — the
+/// whole point is surviving a kill.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Opens the journal for appending, creating it (and its parent
+    /// directory) if needed. Used by `--resume`.
+    pub fn append(path: &Path) -> std::io::Result<Journal> {
+        Self::open(path, false)
+    }
+
+    /// Starts a fresh journal, truncating any previous one. Used when
+    /// a sweep starts over.
+    pub fn fresh(path: &Path) -> std::io::Result<Journal> {
+        Self::open(path, true)
+    }
+
+    fn open(path: &Path, truncate: bool) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(!truncate)
+            .write(true)
+            .truncate(truncate)
+            .open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event and flushes it to disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure — a sweep whose checkpoint cannot be
+    /// written must fail loudly, not quietly lose its resume point.
+    pub fn record(&mut self, event: &JournalEvent) {
+        let mut line = event.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .expect("append journal line");
+        self.file.flush().expect("flush journal");
+    }
+
+    /// Reads every parseable event from a journal file. Missing file
+    /// reads as empty (a fresh sweep has no history).
+    pub fn load(path: &Path) -> Vec<JournalEvent> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines().filter_map(JournalEvent::parse).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(event: &str, job: &str, attempt: u32, detail: &str) -> JournalEvent {
+        JournalEvent {
+            event: event.into(),
+            job: job.into(),
+            digest: "abc123".into(),
+            attempt,
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_lines() {
+        let e = ev("retry", "mesh=4x4, vcs=2", 2, "panic: \"boom\"\nline2");
+        let parsed = JournalEvent::parse(&e.to_line()).expect("parses");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn journal_appends_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("lnoc_journal_test_{}", std::process::id()));
+        let path = dir.join("j.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::fresh(&path).expect("fresh");
+            j.record(&ev("sweep-start", "", 0, "smoke"));
+            j.record(&ev("done", "p0", 1, ""));
+        }
+        {
+            let mut j = Journal::append(&path).expect("append");
+            j.record(&ev("cached", "p0", 0, ""));
+        }
+        let events = Journal::load(&path);
+        assert_eq!(events.len(), 3, "append preserved prior lines");
+        assert_eq!(events[0].event, "sweep-start");
+        assert_eq!(events[2].event, "cached");
+        // A fresh open truncates.
+        let _ = Journal::fresh(&path).expect("fresh again");
+        assert!(Journal::load(&path).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,270 @@
+//! Minimal hand-rolled JSON writing and flat-object reading shared by
+//! every sweep binary, the supervised [`crate::runner`] and the
+//! [`crate::journal`].
+//!
+//! The repo vendors only the serde *data model* (no `serde_json`), and
+//! the sweep artifacts are committed files whose byte layout matters —
+//! so the emitters are deliberately explicit: an [`Obj`] builder that
+//! writes fields in call order with the exact `{"k": v, "k2": v2}`
+//! spacing the artifacts have always used, plus quote-aware readers
+//! for the flat one-line objects the result cache and journal store.
+//!
+//! Floats that must round-trip bit-exactly through the cache travel as
+//! `f64::to_bits` integers ([`Obj::f64_bits`] / [`field_f64_bits`]);
+//! human-facing floats keep their historical `format!` precision and
+//! go through [`Obj::raw`].
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Escapes a string for use inside a JSON string literal (quotes,
+/// backslashes and control characters; everything else passes through
+/// verbatim — the artifacts are UTF-8).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`] for the escapes it emits.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Single-line JSON object builder. Fields render in call order with
+/// the `{"k": v, "k2": v2}` layout every sweep artifact uses.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Adds a field whose value is rendered verbatim — numbers, bools,
+    /// `null`, or an already-formatted token like `format!("{v:.4}")`.
+    pub fn raw(mut self, key: &str, value: impl Display) -> Self {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+        let _ = write!(self.buf, "\"{key}\": {value}");
+        self
+    }
+
+    /// Adds a quoted, escaped string field.
+    pub fn str(self, key: &str, value: impl Display) -> Self {
+        let v = escape(&value.to_string());
+        self.raw(key, format_args!("\"{v}\""))
+    }
+
+    /// Adds an `f64` as its exact bit pattern (a `u64`), so the value
+    /// round-trips through text with zero loss. Read back with
+    /// [`field_f64_bits`].
+    pub fn f64_bits(self, key: &str, value: f64) -> Self {
+        self.raw(key, value.to_bits())
+    }
+
+    /// Closes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Finds the raw (unparsed) value of `key` in a flat, single-level
+/// JSON object produced by [`Obj`]. Quote-aware: commas and braces
+/// inside string values do not confuse it. Returns the value slice
+/// with surrounding whitespace trimmed — still quoted if it is a
+/// string.
+pub fn field_raw<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let mut in_str = false;
+    let mut esc = false;
+    let bytes = obj.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == b'\\' {
+                esc = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        if c == b'"' {
+            // A key position: does the needle start here?
+            if obj[i..].starts_with(&needle) {
+                let start = i + needle.len();
+                let end = value_end(obj, start);
+                return Some(obj[start..end].trim());
+            }
+            in_str = true;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// End index of the value starting at `start` (exclusive): the next
+/// top-level `,` or closing `}`.
+fn value_end(obj: &str, start: usize) -> usize {
+    let bytes = obj.as_bytes();
+    let mut in_str = false;
+    let mut esc = false;
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == b'\\' {
+                esc = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b',' | b'}' => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Reads a string field written by [`Obj::str`], unescaped.
+pub fn field_str(obj: &str, key: &str) -> Option<String> {
+    let raw = field_raw(obj, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(unescape(inner))
+}
+
+/// Reads an unsigned integer field.
+pub fn field_u64(obj: &str, key: &str) -> Option<u64> {
+    field_raw(obj, key)?.parse().ok()
+}
+
+/// Reads an `f64` stored as its bit pattern by [`Obj::f64_bits`].
+pub fn field_f64_bits(obj: &str, key: &str) -> Option<f64> {
+    Some(f64::from_bits(field_u64(obj, key)?))
+}
+
+/// Joins pre-rendered rows into a pretty array body:
+/// `[\n<indent>row,\n<indent>row\n<close_indent>]`. An empty slice
+/// renders `[]`.
+pub fn array(rows: &[String], indent: &str, close_indent: &str) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(indent);
+        out.push_str(r);
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str(close_indent);
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_layout_matches_historical_artifacts() {
+        let o = Obj::new()
+            .str("scheme", "sc")
+            .raw("vcs", 2)
+            .raw("rate", format_args!("{:.4}", 0.05))
+            .build();
+        assert_eq!(o, "{\"scheme\": \"sc\", \"vcs\": 2, \"rate\": 0.0500}");
+    }
+
+    #[test]
+    fn fields_read_back_despite_commas_in_strings() {
+        let o = Obj::new()
+            .str("label", "mesh=4x4, policy=threshold(3), quote=\"q\"")
+            .raw("n", 7)
+            .build();
+        assert_eq!(
+            field_str(&o, "label").unwrap(),
+            "mesh=4x4, policy=threshold(3), quote=\"q\""
+        );
+        assert_eq!(field_u64(&o, "n"), Some(7));
+        assert_eq!(field_raw(&o, "missing"), None);
+    }
+
+    #[test]
+    fn key_prefix_does_not_shadow() {
+        let o = Obj::new().raw("wall", 1).raw("wall_s", 2).build();
+        assert_eq!(field_u64(&o, "wall"), Some(1));
+        assert_eq!(field_u64(&o, "wall_s"), Some(2));
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for v in [0.0, -0.0, 1.5, 0.1 + 0.2, f64::MAX, 1e-300] {
+            let o = Obj::new().f64_bits("x", v).build();
+            let back = field_f64_bits(&o, "x").unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        assert_eq!(unescape(&escape(s)), s);
+    }
+
+    #[test]
+    fn array_renders_rows() {
+        assert_eq!(array(&[], "  ", ""), "[]");
+        let rows = vec!["{\"a\": 1}".to_string(), "{\"b\": 2}".to_string()];
+        assert_eq!(
+            array(&rows, "    ", "  "),
+            "[\n    {\"a\": 1},\n    {\"b\": 2}\n  ]"
+        );
+    }
+}

@@ -13,26 +13,41 @@
 //! (device evaluation, DC solve, transient step, netsim cycle rate) so
 //! performance regressions in the simulator are caught independently of
 //! the physics results.
+//!
+//! The sweep binaries run on the supervised, checkpointed [`runner`]:
+//! each grid point executes as an isolated job with panic capture,
+//! deadline enforcement and bounded retry, its result checkpointed in a
+//! content-addressed cache keyed by a canonical config [`digest`] and
+//! journalled ([`journal`]) so a killed sweep resumes exactly where it
+//! stopped and regenerates byte-identical artifacts.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod circuits;
+pub mod digest;
+pub mod journal;
+pub mod json;
+pub mod runner;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Output directory for regenerated artifacts (`out/` at the workspace
-/// root, creating it if needed).
+/// Output directory for regenerated artifacts: `LNOC_OUT_DIR` if set
+/// (tests isolate runs with it), otherwise `out/` at the workspace
+/// root. Created if needed.
 ///
 /// # Panics
 ///
 /// Panics if the directory cannot be created.
 pub fn out_dir() -> PathBuf {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("out");
+    let dir = match std::env::var_os("LNOC_OUT_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("out"),
+    };
     fs::create_dir_all(&dir).expect("create out/ directory");
     dir
 }

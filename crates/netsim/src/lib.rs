@@ -29,7 +29,9 @@
 //! offered load ([`SimKernel::AUTO_SHARD_MIN_ROUTERS`]). A
 //! zero-progress watchdog ([`MeshConfig::watchdog_cycles`]) turns any
 //! routing-deadlock regression into a fast, named failure instead of a
-//! hung run.
+//! hung run — a panic from [`Simulation::run`], or a typed
+//! [`SimAbort`] value from [`Simulation::try_run`] so sweep
+//! orchestrators can record a deadlocked point and keep going.
 //!
 //! Robustness is first-class: a seeded [`FaultPlan`]
 //! ([`MeshConfig::faults`]) schedules permanent and transient link and
@@ -92,7 +94,7 @@ pub mod traffic;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use lnoc_power::gating::GatingPolicy;
 pub use router::{RouteTarget, MAX_VCS};
-pub use sim::{MeshConfig, SimKernel, Simulation};
+pub use sim::{MeshConfig, SimAbort, SimKernel, Simulation};
 pub use sleep::{SleepConfig, SleepState};
 pub use stats::NetworkStats;
 pub use topology::FaultMap;

@@ -198,6 +198,60 @@ impl SimKernel {
     }
 }
 
+/// Why a simulation run stopped early instead of completing its
+/// configured cycles.
+///
+/// Produced by [`Simulation::try_run`]; [`Simulation::run`] panics with
+/// the [`std::fmt::Display`] rendering instead (the historical
+/// behaviour, still what CI deadlock-regression tests pin). Every abort
+/// is deterministic — a pure function of the configuration — so a
+/// supervisor can safely record it as a permanent, non-retryable
+/// failure of that configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimAbort {
+    /// The zero-progress watchdog fired: flits were buffered and, for
+    /// [`MeshConfig::watchdog_cycles`] consecutive cycles, no flit
+    /// moved and no credit returned.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Flits buffered network-wide when it fired.
+        buffered: u64,
+        /// The full per-lane diagnostic (router / port / VC / credit
+        /// report, fault-map classification) — exactly the text the
+        /// panicking path has always printed.
+        diagnostic: String,
+    },
+    /// The run would exceed [`MeshConfig::cycle_budget`]: the worker
+    /// loop stopped at the budget boundary. The check is a pure
+    /// function of the loop index, so every worker, shard and kernel
+    /// stops at the same cycle.
+    CycleBudgetExceeded {
+        /// The configured budget ([`MeshConfig::cycle_budget`]).
+        budget: u64,
+        /// Cycles the run was asked to execute (warmup + measure).
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // The diagnostic already carries cycle and buffered-flit
+            // context; printing it verbatim keeps the rendered text
+            // identical to the historical panic message.
+            SimAbort::Deadlock { diagnostic, .. } => f.write_str(diagnostic),
+            SimAbort::CycleBudgetExceeded { budget, requested } => write!(
+                f,
+                "cycle budget exceeded: run of {requested} cycles stopped at the \
+                 configured budget of {budget} cycles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimAbort {}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeshConfig {
@@ -241,11 +295,29 @@ pub struct MeshConfig {
     pub source_queue_cap: usize,
     /// Zero-progress watchdog: if flits are buffered in the network
     /// and, for this many consecutive cycles, no flit moves and no
-    /// credit returns, the simulation panics with a per-lane diagnostic
+    /// credit returns, the run aborts with a per-lane diagnostic
     /// (router, port, VC, owner) instead of spinning forever — so
-    /// deadlock regressions fail fast in CI. `0` disables the
-    /// watchdog.
+    /// deadlock regressions fail fast in CI. [`Simulation::try_run`]
+    /// returns the diagnostic as [`SimAbort::Deadlock`];
+    /// [`Simulation::run`] panics with the same text. `0` disables
+    /// the watchdog.
     pub watchdog_cycles: u64,
+    /// Escape hatch for deadlock debugging: when set, the watchdog
+    /// panics at the fire site inside the worker (the historical
+    /// behaviour) even under [`Simulation::try_run`], so a test or a
+    /// debugger sees the stack of the wedged worker instead of a
+    /// returned error. The panic payload is the same diagnostic text
+    /// either way.
+    pub panic_on_deadlock: bool,
+    /// Upper bound on cycles one `run`/`try_run` call may execute
+    /// (`0` = unlimited). If `warmup + measure` exceeds the budget the
+    /// worker loop stops at the boundary and the run aborts with
+    /// [`SimAbort::CycleBudgetExceeded`]. The check is part of the
+    /// deterministic cycle loop — a pure function of the loop index —
+    /// so all kernels, shard counts and thread counts abort
+    /// identically; orchestrators use it as the in-engine half of a
+    /// per-point deadline (the engine itself stays wall-clock-free).
+    pub cycle_budget: u64,
     /// Tile count for [`SimKernel::Sharded`] (`0` = auto: one tile per
     /// available core). Clamped to the mesh height (every tile band
     /// owns at least one row). **Never changes results**: statistics
@@ -300,6 +372,8 @@ impl Default for MeshConfig {
             validate_ejection: false,
             source_queue_cap: MeshConfig::DEFAULT_SOURCE_QUEUE_CAP,
             watchdog_cycles: MeshConfig::DEFAULT_WATCHDOG_CYCLES,
+            panic_on_deadlock: false,
+            cycle_budget: 0,
             shards: 0,
             threads: 0,
             faults: None,
@@ -551,6 +625,11 @@ struct RunCtx<'a> {
     faults: Option<&'a FaultSchedule>,
     /// Per-shard fault-reap exchange slots (see [`FaultReap`]).
     fault_slots: &'a [Mutex<FaultReap>],
+    /// Where a worker records why the run stopped early. Written at
+    /// most once per run (the abort decision is globally deterministic,
+    /// so the first writer's value is the value); read by
+    /// [`Simulation::try_run`] after the workers join.
+    abort: &'a Mutex<Option<SimAbort>>,
 }
 
 impl Simulation {
@@ -890,6 +969,31 @@ impl Simulation {
     /// Runs `warmup` cycles unmeasured, then `measure` cycles with
     /// statistics collection, and returns the stats.
     ///
+    /// # Panics
+    ///
+    /// Panics if the run aborts — watchdog deadlock or cycle-budget
+    /// overrun — with the [`SimAbort`] display text (for a deadlock,
+    /// the full per-lane diagnostic). Supervised callers that want the
+    /// abort as a value use [`Simulation::try_run`].
+    pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
+        match self.try_run(warmup, measure) {
+            Ok(stats) => stats,
+            Err(abort) => panic!("{abort}"),
+        }
+    }
+
+    /// Like [`Simulation::run`], but a watchdog deadlock or a
+    /// [`MeshConfig::cycle_budget`] overrun comes back as
+    /// `Err(`[`SimAbort`]`)` instead of a panic, so an orchestrator can
+    /// record the failure and move on to the next configuration.
+    /// (Exception: with [`MeshConfig::panic_on_deadlock`] set, the
+    /// watchdog still panics at the fire site inside the worker.)
+    ///
+    /// After an `Err` the simulation holds the network frozen at the
+    /// abort cycle — consistent (flit and credit conservation hold)
+    /// but mid-traffic; callers wanting a clean state build a fresh
+    /// [`Simulation`].
+    ///
     /// At the measurement boundary the idle runs *and* the sleep FSMs
     /// are reset, so the idle histograms and the in-loop gating
     /// counters describe exactly the same intervals.
@@ -900,7 +1004,7 @@ impl Simulation {
     /// over its tiles, exchanging boundary traffic through the
     /// mailboxes at the phase barrier. Per-shard statistics are merged
     /// in ascending shard order.
-    pub fn run(&mut self, warmup: u64, measure: u64) -> NetworkStats {
+    pub fn try_run(&mut self, warmup: u64, measure: u64) -> Result<NetworkStats, SimAbort> {
         let n = self.mesh.len();
         let vcs = self.cfg.vcs;
         let lanes = self.lanes();
@@ -915,6 +1019,7 @@ impl Simulation {
         let fault_slots: Vec<Mutex<FaultReap>> =
             (0..shard_count).map(|_| Mutex::default()).collect();
         let barrier = SpinBarrier::new(workers);
+        let abort_slot: Mutex<Option<SimAbort>> = Mutex::new(None);
 
         let merged = {
             let Simulation {
@@ -963,6 +1068,7 @@ impl Simulation {
                 on_rate: cfg.injection.on_rate(cfg.injection_rate),
                 faults: faults.as_ref(),
                 fault_slots: &fault_slots,
+                abort: &abort_slot,
             };
 
             // Carve every per-router slab into disjoint per-tile
@@ -1019,6 +1125,12 @@ impl Simulation {
                 });
             }
             drop(views);
+            // An aborted run stops mid-cycle-loop: report it without
+            // touching the cycle counter or the per-shard stats (the
+            // network stays frozen for post-mortem inspection).
+            if let Some(abort) = abort_slot.lock().expect("abort slot poisoned").take() {
+                return Err(abort);
+            }
             *cycle += warmup + measure;
 
             // Deterministic reduction: ascending shard order.
@@ -1041,7 +1153,7 @@ impl Simulation {
         // serial path re-checks it every cycle in debug builds).
         #[cfg(debug_assertions)]
         self.check_credit_conservation();
-        merged
+        Ok(merged)
     }
 }
 
@@ -1052,7 +1164,22 @@ impl Simulation {
 fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
     let _guard = PoisonGuard(ctx.barrier);
     let total = ctx.warmup + ctx.measure;
+    let budget = ctx.cfg.cycle_budget;
     for i in 0..total {
+        // In-engine deadline: the budget predicate is a pure function
+        // of the loop index, so every worker evaluates it identically
+        // at the top of the same iteration and all return together
+        // without another barrier. The lowest shard records the abort.
+        if budget != 0 && i >= budget {
+            if group[0].scratch.shard == 0 {
+                let mut slot = ctx.abort.lock().expect("abort slot poisoned");
+                *slot = Some(SimAbort::CycleBudgetExceeded {
+                    budget,
+                    requested: total,
+                });
+            }
+            return;
+        }
         let cycle = ctx.start_cycle + i + 1;
         if i == ctx.warmup {
             // Measurement boundary: reset idle runs and gating state so
@@ -1330,7 +1457,18 @@ impl ShardView<'_> {
             .position(|s| s.read_buffered(parity) > 0)
             .expect("buffered > 0 in some shard");
         if who == self.scratch.shard {
-            self.watchdog_abort(ctx, cycle, buffered);
+            let diagnostic = self.watchdog_report(ctx, cycle, buffered);
+            if ctx.cfg.panic_on_deadlock {
+                // Escape hatch: fail at the fire site so the wedged
+                // worker's stack survives into the panic.
+                panic!("{diagnostic}");
+            }
+            let mut slot = ctx.abort.lock().expect("abort slot poisoned");
+            *slot = Some(SimAbort::Deadlock {
+                cycle,
+                buffered,
+                diagnostic,
+            });
         }
         true
     }
@@ -1956,15 +2094,17 @@ impl ShardView<'_> {
         }
     }
 
-    /// The watchdog fired: panic with a per-lane diagnostic of every
+    /// The watchdog fired: build the per-lane diagnostic of every
     /// blocked flit in this tile so a deadlock regression names the
     /// cycle's participants instead of hanging CI. On a faulted
     /// network the diagnostic also classifies each stuck flit by
     /// whether the active fault map still offers it a route — "true
     /// routing deadlock" and "stranded by a fault the reap should
     /// have caught" are different bugs — and prints the fault-map
-    /// summary.
-    fn watchdog_abort(&self, ctx: &RunCtx<'_>, cycle: u64, buffered: u64) -> ! {
+    /// summary. The caller either panics with the text
+    /// ([`MeshConfig::panic_on_deadlock`]) or wraps it in
+    /// [`SimAbort::Deadlock`].
+    fn watchdog_report(&self, ctx: &RunCtx<'_>, cycle: u64, buffered: u64) -> String {
         let v = ctx.vcs;
         let lanes = ctx.lanes;
         let fmap = ctx.faults.and_then(|s| s.map_after(self.scratch.epoch));
@@ -2025,12 +2165,12 @@ impl ShardView<'_> {
         } else {
             String::new()
         };
-        panic!(
+        format!(
             "watchdog: no flit moved and no credit returned for {} cycles at cycle {} \
              with {} flits buffered{tile_note} ({} occupied input VCs, first {} shown):{}{}\n\
              (torus DOR with vcs = 1 has no dateline escape — run with vcs >= 2)",
             ctx.cfg.watchdog_cycles, cycle, buffered, blocked, shown, report, fault_note
-        );
+        )
     }
 
     /// Asserts in-order, contiguous, complete per-packet delivery.
@@ -2750,5 +2890,116 @@ mod tests {
         assert!(msg.contains("active fault map"), "{msg}");
         assert!(msg.contains("pairs reachable"), "{msg}");
         assert!(msg.contains("live route"), "{msg}");
+    }
+
+    /// The vcs = 1 saturated torus Tornado configuration every
+    /// watchdog test wedges on.
+    fn deadlocking_cfg() -> MeshConfig {
+        MeshConfig {
+            width: 8,
+            height: 8,
+            wrap: true,
+            vcs: 1,
+            pattern: TrafficPattern::Tornado,
+            injection_rate: 1.0,
+            packet_len_flits: 8,
+            source_queue_cap: 8,
+            watchdog_cycles: 500,
+            seed: 5,
+            ..base_cfg()
+        }
+    }
+
+    #[test]
+    fn try_run_returns_deadlock_as_value() {
+        // The supervised path: the same wedge that makes `run` panic
+        // comes back from `try_run` as a typed abort carrying the
+        // byte-identical diagnostic, and the simulation's state stays
+        // consistent for post-mortem checks.
+        let mut sim = Simulation::new(deadlocking_cfg());
+        let abort = sim
+            .try_run(0, 50_000)
+            .expect_err("saturated vcs=1 torus tornado must deadlock");
+        let SimAbort::Deadlock {
+            cycle,
+            buffered,
+            ref diagnostic,
+        } = abort
+        else {
+            panic!("expected a deadlock abort, got {abort:?}");
+        };
+        assert!(cycle >= 500, "fires only after the watchdog window");
+        assert!(buffered > 0);
+        assert!(diagnostic.contains("watchdog"), "{diagnostic}");
+        assert!(diagnostic.contains("router"), "{diagnostic}");
+        assert!(diagnostic.contains("vc"), "{diagnostic}");
+        assert_eq!(abort.to_string(), *diagnostic, "Display is the diagnostic");
+        sim.check_credit_conservation();
+
+        // And the panicking path renders the exact same text.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulation::new(deadlocking_cfg()).run(0, 50_000)
+        }));
+        let msg = *panicked
+            .expect_err("run() still panics")
+            .downcast::<String>()
+            .expect("panic carries the diagnostic string");
+        assert_eq!(msg, *diagnostic, "run and try_run agree byte-for-byte");
+    }
+
+    #[test]
+    fn panic_on_deadlock_hatch_fires_inside_try_run() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sim = Simulation::new(MeshConfig {
+                panic_on_deadlock: true,
+                ..deadlocking_cfg()
+            });
+            sim.try_run(0, 50_000)
+        }));
+        let msg = *result
+            .expect_err("the hatch panics at the fire site")
+            .downcast::<String>()
+            .expect("panic carries the diagnostic string");
+        assert!(msg.contains("watchdog"), "{msg}");
+    }
+
+    #[test]
+    fn cycle_budget_aborts_identically_across_kernels() {
+        for kernel in [
+            SimKernel::ActiveSet,
+            SimKernel::Reference,
+            SimKernel::Sharded,
+        ] {
+            let cfg = MeshConfig {
+                kernel,
+                shards: 4,
+                threads: 2,
+                cycle_budget: 200,
+                ..base_cfg()
+            };
+            let abort = Simulation::new(cfg)
+                .try_run(100, 900)
+                .expect_err("budget below warmup+measure must abort");
+            assert_eq!(
+                abort,
+                SimAbort::CycleBudgetExceeded {
+                    budget: 200,
+                    requested: 1000
+                },
+                "kernel {kernel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sufficient_cycle_budget_changes_nothing() {
+        let baseline = Simulation::new(base_cfg()).run(100, 900);
+        let budgeted = Simulation::new(MeshConfig {
+            cycle_budget: 1000,
+            ..base_cfg()
+        })
+        .try_run(100, 900)
+        .expect("budget == warmup+measure completes");
+        assert_eq!(baseline, budgeted, "an adequate budget is invisible");
     }
 }
