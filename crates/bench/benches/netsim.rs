@@ -1,11 +1,14 @@
 //! Criterion bench for the NoC simulator's cycle rate: active-set vs
-//! reference vs tile-sharded kernel across mesh sizes and VC counts,
-//! ungated and with the in-loop sleep FSM enabled. The active-set
-//! kernel must win big at the low injection rates the leakage study
-//! sweeps, the gating bookkeeping must stay cheap, the VC
-//! generalization must not tax the single-VC fast path, and the
+//! reference vs tile-sharded vs event-driven kernel across mesh sizes
+//! and VC counts, ungated and with the in-loop sleep FSM enabled. The
+//! active-set kernel must win big at the low injection rates the
+//! leakage study sweeps, the gating bookkeeping must stay cheap, the
+//! VC generalization must not tax the single-VC fast path, the
 //! sharded kernel's tiling must pay at the 64×64 scale (cache
-//! locality even on one thread; parallel scaling on real cores).
+//! locality even on one thread; parallel scaling on real cores), and
+//! the event kernel's time wheel must beat the active set wherever
+//! the network quiesces — the low-rate rows — while staying merely
+//! comparable at saturation.
 //!
 //! Set `NETSIM_BENCH_QUICK=1` (CI) to shrink the grid and sample count
 //! to a smoke run.
@@ -25,15 +28,24 @@ fn bench_mesh_cycles(c: &mut Criterion) {
         policy: GatingPolicy::IdleThreshold(4),
         wake_latency: 1,
     });
-    const SERIAL: &[SimKernel] = &[SimKernel::ActiveSet, SimKernel::Reference];
+    const SERIAL: &[SimKernel] = &[
+        SimKernel::ActiveSet,
+        SimKernel::Reference,
+        SimKernel::EventDriven,
+    ];
     const ALL: &[SimKernel] = &[
         SimKernel::ActiveSet,
         SimKernel::Reference,
         SimKernel::Sharded,
+        SimKernel::EventDriven,
     ];
     /// Big meshes skip the dense reference kernel (it would dominate
     /// bench wall time without adding information).
-    const FAST: &[SimKernel] = &[SimKernel::ActiveSet, SimKernel::Sharded];
+    const FAST: &[SimKernel] = &[
+        SimKernel::ActiveSet,
+        SimKernel::Sharded,
+        SimKernel::EventDriven,
+    ];
     type Entry = (
         usize,
         usize,

@@ -1,13 +1,16 @@
 //! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
 //! the sleep FSM live in the cycle loop over a mesh-size ×
 //! injection-rate × policy × scheme × VC-count grid and emits the
-//! committed `BENCH_noc.json` baseline (schema 6): energy saved, the
+//! committed `BENCH_noc.json` baseline (schema 7): energy saved, the
 //! latency/throughput penalty the offline model cannot see, the
 //! in-loop vs offline agreement on every point — and, per grid point,
 //! the wall time, cycle rate, tile geometry and speedup of **every
-//! simulation kernel**, so both the active-set win over the dense
-//! reference and the sharded win over the serial active-set are
-//! tracked in-repo alongside the energy numbers.
+//! simulation kernel**, so the active-set win over the dense
+//! reference, the sharded win over the serial active-set, and the
+//! event-driven kernel's leap win at low rate are all tracked in-repo
+//! alongside the energy numbers. Event-kernel rows additionally carry
+//! `cycles_leapt` / `events_processed` / `leap_fraction` — how much of
+//! the run the time wheel let the clock skip.
 //!
 //! Gating runs at the simulator's native granularity, the output VC
 //! lane: each point's `GatingParams` are
@@ -23,7 +26,7 @@
 //! them at full length as the speedup baseline, and kernel equality is
 //! asserted per point exactly as everywhere else).
 //!
-//! **Supervision** (schema 6): every grid point × kernel executes as an
+//! **Supervision** (schema 7): every grid point × kernel executes as an
 //! isolated job on the checkpointed [`lnoc_bench::runner`] — panic
 //! capture, an optional wall-clock deadline plus the engine's
 //! deterministic cycle budget (`--deadline-cycles`), bounded retry with
@@ -86,7 +89,7 @@ const DEPTH_PER_VC: usize = 4;
 
 /// Cache-key domain: versions the job payload encoding. Bump whenever
 /// the payload format or the digested field set changes.
-const DIGEST_DOMAIN: &str = "x3.schema6.v1";
+const DIGEST_DOMAIN: &str = "x3.schema7.v1";
 
 /// One point of the sweep grid (kernel-independent).
 #[derive(Clone)]
@@ -115,6 +118,15 @@ impl GridPoint {
     /// digest files row-for-row.
     fn too_big_for_reference(&self) -> bool {
         self.mesh.0 * self.mesh.1 > 1024
+    }
+
+    /// Whether only the serial active-set baseline and the event
+    /// kernel run this point in the *full* sweep: the 1024×1024
+    /// event-kernel showcase row, where even per-cycle tile scans are
+    /// prohibitive — the active-set kernel runs it (slowly) purely as
+    /// the speedup denominator.
+    fn huge_event_showcase(&self) -> bool {
+        self.mesh.0 * self.mesh.1 > 16384
     }
 }
 
@@ -163,7 +175,7 @@ fn stats_digest(point: &GridPoint, seed: u64, stats: &NetworkStats) -> String {
         .unwrap_or(0);
     format!(
         "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
-         \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \"faults\": {}, \
+         \"vcs\": {}, \"seed\": {}, \"rate\": {}, \"policy\": \"{}\", \"faults\": {}, \
          \"packets_injected\": {}, \"packets_delivered\": {}, \"flits_delivered\": {}, \
          \"dropped_at_source\": {}, \"latency_sum\": {}, \"latency_max\": {}, \
          \"idle_intervals\": {}, \"idle_cycles\": {}, \"sleep_entries\": {}, \
@@ -221,6 +233,13 @@ struct PointPayload {
     packets_unroutable: u64,
     min_reachable: f64,
     avg_latency_post_fault: f64,
+    /// Cycles the event kernel's time wheel let the clock skip
+    /// (0 for the stepping kernels). Telemetry, not statistics: kept
+    /// out of [`Self::stats_fingerprint`] by construction.
+    cycles_leapt: u64,
+    /// Injection arrivals replayed from the wheel (0 for the stepping
+    /// kernels). Telemetry like `cycles_leapt`.
+    events_processed: u64,
     digest_line: String,
 }
 
@@ -245,6 +264,8 @@ impl PointPayload {
             .raw("packets_unroutable", self.packets_unroutable)
             .f64_bits("min_reachable_bits", self.min_reachable)
             .f64_bits("avg_latency_post_fault_bits", self.avg_latency_post_fault)
+            .raw("cycles_leapt", self.cycles_leapt)
+            .raw("events_processed", self.events_processed)
             .build();
         format!("{scalars}\n{}", self.digest_line)
     }
@@ -270,12 +291,16 @@ impl PointPayload {
             packets_unroutable: json::field_u64(scalars, "packets_unroutable")?,
             min_reachable: json::field_f64_bits(scalars, "min_reachable_bits")?,
             avg_latency_post_fault: json::field_f64_bits(scalars, "avg_latency_post_fault_bits")?,
+            cycles_leapt: json::field_u64(scalars, "cycles_leapt")?,
+            events_processed: json::field_u64(scalars, "events_processed")?,
             digest_line: digest_line.to_string(),
         })
     }
 
-    /// Every stats-derived field — everything except the timing fields
-    /// and the kernel geometry — for the cross-kernel bit-identity
+    /// Every stats-derived field — everything except the timing
+    /// fields, the kernel geometry and the kernel-specific telemetry
+    /// counters (`cycles_leapt` / `events_processed` legitimately
+    /// differ across kernels) — for the cross-kernel bit-identity
     /// assertion.
     fn stats_fingerprint(&self) -> String {
         format!(
@@ -344,14 +369,15 @@ fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 const USAGE: &str = "\
-gating_sweep — X3 in-loop gating sweep (schema 6)
+gating_sweep — X3 in-loop gating sweep (schema 7)
 
 Grid flags:
   --smoke            CI smoke grid (writes out/x3_gating_sweep_smoke.json
                      instead of the committed BENCH_noc.json)
   --faults           include the fault dimension in smoke grids
                      (the full grid always carries it)
-  --kernel <k>       active-set | reference | sharded | both | all (default all)
+  --kernel <k>       active-set | reference | sharded | event | both | all
+                     (default all)
   --seed <n>         sweep seed (default 2005)
   --shards <n>       sharded-kernel tile count (default 8; 0 = one per core)
   --threads <n>      sharded-kernel worker threads (default 0 = auto)
@@ -379,13 +405,17 @@ fn main() {
             SimKernel::ActiveSet,
             SimKernel::Reference,
             SimKernel::Sharded,
+            SimKernel::EventDriven,
         ],
         Some("both") => vec![SimKernel::ActiveSet, SimKernel::Reference],
         Some("active-set") => vec![SimKernel::ActiveSet],
         Some("reference") => vec![SimKernel::Reference],
         Some("sharded") => vec![SimKernel::Sharded],
+        Some("event") => vec![SimKernel::EventDriven],
         Some(other) => {
-            panic!("unknown --kernel {other} (active-set | reference | sharded | both | all)")
+            panic!(
+                "unknown --kernel {other} (active-set | reference | sharded | event | both | all)"
+            )
         }
     };
     let seed: u64 = arg_value(&args, "--seed")
@@ -718,6 +748,55 @@ fn main() {
                     1,
                 );
             }
+            // Event-kernel acceptance rows: mid-size meshes at
+            // vanishing rates with local (nearest-neighbour, 1-hop)
+            // traffic, so the network quiesces between arrivals and
+            // the wheel leaps the dead windows. These are the rows the
+            // ">= 10x over active-set" acceptance number is measured
+            // on (see `event_low_rate_10x_rows` below).
+            for (mesh, rate, warmup, measure) in [
+                ((64, 64), 1e-5, 500, 4000),
+                ((64, 64), 2e-6, 500, 4000),
+                ((128, 128), 2e-6, 200, 1500),
+            ] {
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    push(
+                        scheme,
+                        mesh,
+                        rate,
+                        TrafficPattern::NearestNeighbor,
+                        false,
+                        1,
+                        policy,
+                        warmup,
+                        measure,
+                        1,
+                    );
+                }
+            }
+            // The scale showcase: a million-router mesh at a vanishing
+            // rate with nearest-neighbour traffic. Stepping kernels
+            // pay an O(n) injection scan per cycle here; the wheel
+            // leaps those scans away, but each leap still settles the
+            // whole sleep-FSM population in bulk (O(n) per leap, ~40ns
+            // a router), so the win at this size is a few-fold rather
+            // than the mid-size rows' order of magnitude
+            // (huge_event_showcase keeps the other kernels off this
+            // row).
+            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                push(
+                    scheme,
+                    (1024, 1024),
+                    5e-8,
+                    TrafficPattern::NearestNeighbor,
+                    false,
+                    1,
+                    policy,
+                    50,
+                    250,
+                    1,
+                );
+            }
         }
         // Deadlock-free saturated torus: Tornado at full offered load
         // on a wrapped 16×16 with dateline VCs, watchdog armed (the
@@ -840,14 +919,24 @@ fn main() {
     );
 
     // Which kernels run a given point: the full sweep excludes the
-    // dense reference from the big meshes; smoke grids keep every
-    // kernel everywhere so the per-kernel digest files stay
-    // row-aligned for CI's diff.
+    // dense reference from the big meshes and runs the 1024×1024
+    // event-showcase row on the active-set/event pair only; smoke
+    // grids (which carry neither) keep every kernel everywhere so the
+    // per-kernel digest files stay row-aligned for CI's diff.
     let kernels_for = |point: &GridPoint| -> Vec<SimKernel> {
         kernels
             .iter()
             .copied()
-            .filter(|&k| smoke || k != SimKernel::Reference || !point.too_big_for_reference())
+            .filter(|&k| {
+                if smoke {
+                    return true;
+                }
+                match k {
+                    SimKernel::Reference => !point.too_big_for_reference(),
+                    SimKernel::Sharded => !point.huge_event_showcase(),
+                    _ => true,
+                }
+            })
             .collect()
     };
 
@@ -871,7 +960,7 @@ fn main() {
             let digest = job_digest(point, &sim_cfg, reps, deterministic, clock);
             let fault_tag = point.faults.as_ref().map(|_| " faulted").unwrap_or("");
             let label = format!(
-                "{} {}x{} {} rate {:.4} vcs {} {}{} [{}]",
+                "{} {}x{} {} rate {} vcs {} {}{} [{}]",
                 point.scheme.name(),
                 point.mesh.0,
                 point.mesh.1,
@@ -895,7 +984,10 @@ fn main() {
                             true
                         }
                     };
-                    if first_at_this_size {
+                    // Huge showcase rows skip the throwaway: at
+                    // minutes per stepping run the page-fault warm-up
+                    // is noise, and doubling the row's cost is not.
+                    if first_at_this_size && !point.huge_event_showcase() {
                         let mut sim = Simulation::new(sim_cfg.clone());
                         let _ = sim.try_run(point.warmup, point.measure);
                     }
@@ -905,7 +997,7 @@ fn main() {
                 // rate measures the loop. Best-of-`reps` wall time —
                 // the repeats are identical simulations, so the
                 // minimum is the least-noise estimate.
-                let mut best: Option<(NetworkStats, f64, usize, usize)> = None;
+                let mut best: Option<(NetworkStats, f64, usize, usize, u64, u64)> = None;
                 for _ in 0..reps {
                     let mut sim = Simulation::new(sim_cfg.clone());
                     let geometry = (sim.shards(), sim.threads());
@@ -914,11 +1006,17 @@ fn main() {
                         .try_run(point.warmup, point.measure)
                         .map_err(JobAbort::from_sim)?;
                     let wall = start.elapsed().as_secs_f64();
-                    if best.as_ref().is_none_or(|(_, w, _, _)| wall < *w) {
-                        best = Some((stats, wall, geometry.0, geometry.1));
+                    // Leap telemetry is identical across reps (the
+                    // runs are identical simulations); carrying it
+                    // with the best rep just keeps one tuple.
+                    let leapt = sim.cycles_leapt_total();
+                    let events = sim.events_processed_total();
+                    if best.as_ref().is_none_or(|(_, w, ..)| wall < *w) {
+                        best = Some((stats, wall, geometry.0, geometry.1, leapt, events));
                     }
                 }
-                let (stats, wall_s, shards, threads) = best.expect("at least one rep");
+                let (stats, wall_s, shards, threads, cycles_leapt, events_processed) =
+                    best.expect("at least one rep");
                 let (wall_s, cycles_per_sec) = if deterministic {
                     (0.0, 0.0)
                 } else {
@@ -951,6 +1049,8 @@ fn main() {
                     packets_unroutable: stats.packets_unroutable,
                     min_reachable: stats.min_reachable_fraction,
                     avg_latency_post_fault: stats.avg_latency_post_fault(),
+                    cycles_leapt,
+                    events_processed,
                     digest_line: stats_digest(&point, seed, &stats),
                 }
                 .render())
@@ -1097,7 +1197,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 6,\n");
+    json.push_str("{\n  \"schema\": 7,\n");
     let _ = writeln!(
         json,
         "  \"note\": \"in-loop per-VC-lane sleep-FSM gating sweep; gating params are one output \
@@ -1112,7 +1212,11 @@ fn main() {
          tile geometry is in shards/threads; threads_available records the host's cores — on a \
          single-core host the sharded speedup measures tile cache locality only, not parallel \
          scaling); the wrapped tornado points run dateline VCs at saturation under the armed \
-         watchdog; the 64x64/128x128 rows exclude the dense reference kernel; faults > 0 rows \
+         watchdog; cycles_leapt / events_processed / leap_fraction are the event kernel's \
+         time-wheel telemetry (how much of the run the clock skipped; identically zero for the \
+         stepping kernels and excluded from the bit-identity assertion); the 64x64/128x128 rows \
+         exclude the dense reference kernel and the 1024x1024 event-showcase row runs only the \
+         active-set/event pair; faults > 0 rows \
          run a seeded FaultPlan (permanent + transient link/router kills) with fault-aware \
          rerouting — their latency penalty is against their own faulted Never baseline, and \
          min_reachable_pct / dropped_by_fault / packets_unroutable / avg_latency_post_fault \
@@ -1166,9 +1270,10 @@ fn main() {
             .unwrap_or(0);
         result_rows.push(format!(
             "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \"wrap\": {}, \
-             \"vcs\": {}, \"seed\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
+             \"vcs\": {}, \"seed\": {}, \"rate\": {}, \"policy\": \"{}\", \
              \"kernel\": \"{}\", \"shards\": {}, \"threads\": {}, \
-             \"speedup_vs_active_set\": {}, \"mit_cycles\": {}, \"cycles\": {}, \
+             \"speedup_vs_active_set\": {}, \"cycles_leapt\": {}, \"events_processed\": {}, \
+             \"leap_fraction\": {:.4}, \"mit_cycles\": {}, \"cycles\": {}, \
              \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \
              \"latency_penalty_cy\": {}, \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \
              \"sleep_events\": {}, \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \
@@ -1190,6 +1295,9 @@ fn main() {
             p.shards,
             p.threads,
             speedup_vs_active,
+            p.cycles_leapt,
+            p.events_processed,
+            p.cycles_leapt as f64 / (point.warmup + point.measure) as f64,
             point.params.min_idle_cycles(cfg.clock),
             point.warmup + point.measure,
             p.wall_s,
@@ -1223,20 +1331,26 @@ fn main() {
     );
 
     // Per-point kernel speedups: active-set over reference (the PR 3
-    // baseline) and sharded over active-set (the tiling win) — the
+    // baseline), sharded over active-set (the tiling win) and event
+    // over active-set (the time-wheel leap win — the low-rate
+    // acceptance number, honestly below 1.0 at saturation) — the
     // numbers the README performance table quotes.
     let mut speedups: Vec<String> = Vec::new();
     let mut min_16x16_low_rate: f64 = f64::INFINITY;
     let mut min_sharded_32x32_medium: f64 = f64::INFINITY;
+    let mut min_event_low_rate: f64 = f64::INFINITY;
+    let mut event_low_rate_10x_rows: u32 = 0;
     for (i, point) in grid.iter().enumerate() {
         let active = cps_of(i, SimKernel::ActiveSet);
         let reference = cps_of(i, SimKernel::Reference);
         let sharded = cps_of(i, SimKernel::Sharded);
-        let (Some(active), reference, sharded) = (active, reference, sharded) else {
+        let event = cps_of(i, SimKernel::EventDriven);
+        let (Some(active), reference, sharded, event) = (active, reference, sharded, event) else {
             continue;
         };
         let vs_ref = reference.map(|r| active / r);
         let sharded_vs_active = sharded.map(|s| s / active);
+        let event_vs_active = event.map(|e| e / active);
         if let Some(r) = vs_ref {
             if point.mesh == (16, 16) && point.rate <= 0.02 {
                 min_16x16_low_rate = min_16x16_low_rate.min(r);
@@ -1247,14 +1361,26 @@ fn main() {
                 min_sharded_32x32_medium = min_sharded_32x32_medium.min(s);
             }
         }
+        if let Some(e) = event_vs_active {
+            // The event kernel's target regime: the low-rate rows
+            // (the same ultra-low-utilization regime the leakage
+            // argument sweeps).
+            if point.rate <= 0.005 {
+                min_event_low_rate = min_event_low_rate.min(e);
+                if e >= 10.0 {
+                    event_low_rate_10x_rows += 1;
+                }
+            }
+        }
         let fmt_opt = |v: Option<f64>| {
             v.map(|v| format!("{v:.2}"))
                 .unwrap_or_else(|| "null".into())
         };
         speedups.push(format!(
             "{{\"scheme\": \"{}\", \"mesh\": \"{}x{}\", \"pattern\": \"{}\", \
-             \"vcs\": {}, \"rate\": {:.4}, \"policy\": \"{}\", \
-             \"active_set_vs_reference\": {}, \"sharded_vs_active_set\": {}}}",
+             \"vcs\": {}, \"rate\": {}, \"policy\": \"{}\", \
+             \"active_set_vs_reference\": {}, \"sharded_vs_active_set\": {}, \
+             \"event_vs_active_set\": {}}}",
             point.scheme.name(),
             point.mesh.0,
             point.mesh.1,
@@ -1264,6 +1390,7 @@ fn main() {
             point.policy,
             fmt_opt(vs_ref),
             fmt_opt(sharded_vs_active),
+            fmt_opt(event_vs_active),
         ));
     }
     let _ = write!(
@@ -1288,6 +1415,12 @@ fn main() {
         println!(
             "minimum sharded speedup vs active-set on 32x32, rate >= 0.05 \
              (threads_available = {threads_available}): {min_sharded_32x32_medium:.2}x"
+        );
+    }
+    if min_event_low_rate.is_finite() {
+        println!(
+            "minimum event-kernel speedup vs active-set on rate <= 0.005 rows: \
+             {min_event_low_rate:.2}x ({event_low_rate_10x_rows} rows at >= 10x)"
         );
     }
 

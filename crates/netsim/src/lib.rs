@@ -15,18 +15,24 @@
 //! a worm. The offline policy models in [`lnoc_power::gating`] are
 //! cross-validated against these in-loop measurements.
 //!
-//! The cycle loop itself runs on one of three result-identical kernels
-//! ([`SimKernel`]): the dense `Reference` oracle; the default
-//! `ActiveSet` kernel that skips quiescent routers entirely and
-//! bulk-accounts their idleness — a multiple-× cycle-rate win exactly
-//! in the low-injection-rate regime the leakage study sweeps; and the
-//! `Sharded` kernel, which partitions the mesh into row-band tiles
+//! The cycle loop itself runs on one of four result-identical kernels
+//! ([`SimKernel`]): the dense `Reference` oracle; the `ActiveSet`
+//! kernel that skips quiescent routers entirely and bulk-accounts
+//! their idleness — a multiple-× cycle-rate win exactly in the
+//! low-injection-rate regime the leakage study sweeps; the `Sharded`
+//! kernel, which partitions the mesh into row-band tiles
 //! ([`topology::TileMap`]) stepped by parallel workers exchanging
 //! boundary traffic through double-buffered mailboxes — deterministic
 //! by construction, bit-identical to the serial kernels for every
 //! shard and thread count, and the way 64×64/128×128 sweeps stay
-//! tractable. `Auto` (the default) picks between them by mesh size and
-//! offered load ([`SimKernel::AUTO_SHARD_MIN_ROUTERS`]). A
+//! tractable; and the `EventDriven` kernel, which predicts each
+//! source's next injection arrival ([`InjectionProcess::next_arrival`])
+//! on a calendar-queue time wheel and **leaps the global clock over
+//! dead windows**, bulk-replaying the skipped span with the same
+//! closed-form idle machinery — the raw-speed lever that makes huge
+//! low-rate sweeps routine. `Auto` (the default) picks between them by
+//! mesh size and offered load ([`SimKernel::AUTO_SHARD_MIN_ROUTERS`],
+//! [`SimKernel::AUTO_EVENT_MAX_RATE`]). A
 //! zero-progress watchdog ([`MeshConfig::watchdog_cycles`]) turns any
 //! routing-deadlock regression into a fast, named failure instead of a
 //! hung run — a panic from [`Simulation::run`], or a typed
@@ -65,9 +71,9 @@
 //!         policy: GatingPolicy::IdleThreshold(3),
 //!         wake_latency: 1,
 //!     }),
-//!     // kernel: SimKernel::{Auto, ActiveSet, Reference, Sharded} —
-//!     // Auto picks by mesh size and load (active-set here); all
-//!     // kernels produce bit-identical statistics.
+//!     // kernel: SimKernel::{Auto, ActiveSet, Reference, Sharded,
+//!     // EventDriven} — Auto picks by mesh size and load (active-set
+//!     // here); all kernels produce bit-identical statistics.
 //!     // faults: Some(FaultPlan { .. }) arms a seeded fault scenario.
 //!     ..MeshConfig::default()
 //! };
@@ -90,6 +96,7 @@ pub mod stats;
 pub mod sync;
 pub mod topology;
 pub mod traffic;
+mod wheel;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use lnoc_power::gating::GatingPolicy;
@@ -98,4 +105,4 @@ pub use sim::{MeshConfig, SimAbort, SimKernel, Simulation};
 pub use sleep::{SleepConfig, SleepState};
 pub use stats::NetworkStats;
 pub use topology::FaultMap;
-pub use traffic::{Flit, InjectionProcess, TrafficPattern};
+pub use traffic::{Flit, GapSampler, InjectionProcess, TrafficPattern};

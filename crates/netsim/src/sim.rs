@@ -113,10 +113,11 @@ use crate::sleep::{SleepConfig, SleepFsm};
 use crate::stats::NetworkStats;
 use crate::sync::{Mailboxes, PoisonGuard, ShardSlots, SpinBarrier};
 use crate::topology::{Direction, FaultMap, Mesh, NeighborTable, RouteTable, TileMap};
-use crate::traffic::{Flit, InjectionProcess, SourcePacket, TrafficPattern};
+use crate::traffic::{Flit, GapSampler, InjectionProcess, SourcePacket, TrafficPattern};
+use crate::wheel::TimeWheel;
 use lnoc_power::gating::{GatingCounters, GatingPolicy};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -131,11 +132,12 @@ use std::sync::Mutex;
 pub enum SimKernel {
     /// Choose automatically. The kernels are result-identical, so the
     /// choice is purely about speed: [`Simulation::new`] resolves
-    /// `Auto` to `Sharded` for meshes of at least
-    /// [`SimKernel::AUTO_SHARD_MIN_ROUTERS`] routers with nonzero
-    /// injection (where parallelism pays for the tile tax) and to
-    /// `ActiveSet` everywhere else, so small or idle runs never pay
-    /// the sharding overhead.
+    /// `Auto` to `EventDriven` for offered loads at or below
+    /// [`SimKernel::AUTO_EVENT_MAX_RATE`] (where the clock mostly
+    /// leaps), to `Sharded` for meshes of at least
+    /// [`SimKernel::AUTO_SHARD_MIN_ROUTERS`] routers above that load
+    /// (where parallelism pays for the tile tax) and to `ActiveSet`
+    /// everywhere else, so small busy runs never pay either overhead.
     #[default]
     Auto,
     /// Worklist kernel: only routers that can possibly do work are
@@ -152,6 +154,20 @@ pub enum SimKernel {
     /// for every shard and thread count (see
     /// [`MeshConfig::shards`] / [`MeshConfig::threads`]).
     Sharded,
+    /// Event-driven leap kernel: each source's next injection arrival
+    /// — the shared gap-sampled renewal slot for Bernoulli traffic
+    /// ([`crate::traffic::GapSampler`]), a private-stream replay for
+    /// bursty ([`crate::traffic::InjectionProcess::next_arrival`]) —
+    /// is parked on a calendar-queue time wheel; whenever the network
+    /// holds no flits, the global clock leaps straight to the next
+    /// scheduled arrival (or fault-epoch boundary), and the skipped
+    /// span is settled with the same closed-form bulk-idle machinery
+    /// the worklist kernel uses. Bit-identical to every other kernel —
+    /// including exact fault-epoch and cycle-budget boundaries — and
+    /// fastest exactly where the leakage study lives: low rates, where
+    /// most cycles are dead. At saturation the wheel never empties and
+    /// the kernel degrades to ~active-set per-cycle stepping.
+    EventDriven,
 }
 
 impl SimKernel {
@@ -161,23 +177,35 @@ impl SimKernel {
     /// at 4×4 but ≥1.1× at 64×64 and above).
     pub const AUTO_SHARD_MIN_ROUTERS: usize = 4096;
 
-    /// Resolves `Auto` without mesh context — the serial default
-    /// (`ActiveSet`). [`Simulation::new`] uses
-    /// [`SimKernel::resolve_for`], which also considers the mesh size
-    /// and offered load.
+    /// Offered load at or below which `Auto` picks the event-driven
+    /// kernel. At a per-node rate `r`, injection gaps average `1/r`
+    /// cycles per node; below ~0.02 the network drains between
+    /// arrivals often enough that leaping beats both per-cycle
+    /// stepping and sharded parallelism (see BENCH_noc.json's
+    /// `event_vs_active_set` column).
+    pub const AUTO_EVENT_MAX_RATE: f64 = 0.02;
+
+    /// Resolves `Auto` without mesh context — the zero-load answer
+    /// (`EventDriven`, the fastest kernel when nothing is offered).
+    /// [`Simulation::new`] uses [`SimKernel::resolve_for`], which also
+    /// considers the mesh size and offered load.
     pub fn resolve(self) -> SimKernel {
         self.resolve_for(0, 0.0)
     }
 
-    /// Resolves `Auto` for a concrete configuration: `Sharded` for
-    /// meshes of at least [`SimKernel::AUTO_SHARD_MIN_ROUTERS`]
-    /// routers with nonzero injection, `ActiveSet` otherwise. Safe to
-    /// key on size because statistics are bit-identical across
-    /// kernels and shard counts — only throughput changes.
+    /// Resolves `Auto` for a concrete configuration: `EventDriven` at
+    /// or below [`SimKernel::AUTO_EVENT_MAX_RATE`] offered load,
+    /// `Sharded` for meshes of at least
+    /// [`SimKernel::AUTO_SHARD_MIN_ROUTERS`] routers above that load,
+    /// `ActiveSet` otherwise. Safe to key on size and load because
+    /// statistics are bit-identical across kernels and shard counts —
+    /// only throughput changes.
     pub fn resolve_for(self, routers: usize, injection_rate: f64) -> SimKernel {
         match self {
             SimKernel::Auto => {
-                if routers >= Self::AUTO_SHARD_MIN_ROUTERS && injection_rate > 0.0 {
+                if injection_rate <= Self::AUTO_EVENT_MAX_RATE {
+                    SimKernel::EventDriven
+                } else if routers >= Self::AUTO_SHARD_MIN_ROUTERS {
                     SimKernel::Sharded
                 } else {
                     SimKernel::ActiveSet
@@ -194,6 +222,7 @@ impl SimKernel {
             SimKernel::ActiveSet => "active-set",
             SimKernel::Reference => "reference",
             SimKernel::Sharded => "sharded",
+            SimKernel::EventDriven => "event",
         }
     }
 }
@@ -453,8 +482,18 @@ pub struct Simulation {
     source_queues: Vec<VecDeque<SourcePacket>>,
     /// Per-node ON/OFF state of the bursty injection process.
     source_on: Vec<bool>,
+    /// Per-node renewal slot of the Bernoulli injection process: the
+    /// absolute cycle of the node's next scheduled arrival
+    /// (`u64::MAX` = never — rate 0, or a bursty configuration, which
+    /// keeps per-cycle draws instead). Advanced one geometric gap draw
+    /// per arrival ([`GapSampler`]), so idle sources cost no RNG work
+    /// at all.
+    next_offer: Vec<u64>,
     /// Per-router RNG streams (see [`node_rng`]).
     rngs: Vec<StdRng>,
+    /// Geometric gap sampler for the Bernoulli renewal chain, built
+    /// once from the ON rate (unused by bursty configurations).
+    gap: GapSampler,
     /// Per-source packet sequence numbers (see [`packet_id`]).
     next_seq: Vec<u64>,
     cycle: u64,
@@ -561,6 +600,62 @@ struct ShardScratch {
     /// tile-sized, locally indexed — merged into the run result in
     /// ascending shard order via [`NetworkStats::merge_shard`].
     stats: Option<NetworkStats>,
+    /// Event-kernel prediction state (`None` on every other kernel).
+    events: Option<Box<EventState>>,
+    /// Cycles the event kernel skipped outright (performance
+    /// telemetry, deliberately *outside* [`NetworkStats`] so the
+    /// bit-identity contract stays about simulated behaviour).
+    cycles_leapt: u64,
+    /// Injection-arrival events fired by the event kernel.
+    events_processed: u64,
+}
+
+/// The event kernel's scheduling state: one pending injection arrival
+/// per source router, parked on a calendar-queue [`TimeWheel`].
+///
+/// Two modes, by injection process:
+///
+/// * **Bernoulli** — the wheel mirrors the shared renewal chain
+///   (`Simulation::next_offer`): each router's next arrival cycle was
+///   produced by one [`GapSampler`] draw, so entries are scheduled
+///   once at run start and persist across fault epochs. A router that
+///   is dead when its slot fires is a *miss*: no destination draw,
+///   just the re-arm gap draw — the identical sequence the per-cycle
+///   kernels consume in their lazy catch-up loop, so bit-identity
+///   holds by construction. Dead routers stay scheduled (their misses
+///   are the "phantom" events), which also bounds every leap.
+/// * **Bursty on/off** — predictions replay the per-cycle draw order
+///   (ON/OFF flip, offer coin, then destination on a hit) ahead of
+///   wall-time. The invariant that buys bit-identity: router `l`'s
+///   private stream has been consumed for every cycle in
+///   `(run start, drawn_through[l]]` and no further. Because streams
+///   are per-router ([`node_rng`]), consuming them ahead of wall-time
+///   is unobservable; predictions never cross a fault-epoch boundary
+///   (the aliveness map is only constant within one), so every epoch
+///   re-arms the whole population.
+#[derive(Debug)]
+struct EventState {
+    /// Pending arrivals keyed by absolute cycle (at most one per
+    /// router: the *next* one).
+    wheel: TimeWheel,
+    /// Bursty only: last absolute cycle whose injection draws have
+    /// been consumed from each router's stream.
+    drawn_through: Vec<u64>,
+    /// Bursty only: destination of the pending offer, valid while the
+    /// router has an event scheduled. (Bernoulli draws the destination
+    /// at fire time — pre-drawing would diverge if the router dies
+    /// before the slot comes up.)
+    pending_dst: Vec<u32>,
+    /// Fault epoch the horizon was armed under; a mismatch (or the
+    /// `usize::MAX` run-start sentinel) recomputes the horizon and, on
+    /// bursty, re-predicts every router against it.
+    armed_epoch: usize,
+    /// Scheduling horizon (inclusive): the run's last cycle, clamped
+    /// by the cycle budget and the next fault-epoch boundary, so leaps
+    /// land on epoch edges and deadlines exactly.
+    horizon: u64,
+    /// Reused drain buffer for the ids due at the current cycle.
+    due: Vec<u32>,
 }
 
 /// One worker's mutable window onto a tile: disjoint slices of every
@@ -575,6 +670,7 @@ struct ShardView<'a> {
     routers: &'a mut [Router],
     source_queues: &'a mut [VecDeque<SourcePacket>],
     source_on: &'a mut [bool],
+    next_offer: &'a mut [u64],
     rngs: &'a mut [StdRng],
     next_seq: &'a mut [u64],
     credits: &'a mut [u32],
@@ -620,6 +716,8 @@ struct RunCtx<'a> {
     measure: u64,
     start_cycle: u64,
     on_rate: f64,
+    /// Geometric gap sampler for the Bernoulli renewal chain.
+    gap: &'a GapSampler,
     /// The run's fault schedule (`None` = healthy network, zero
     /// fault-layer cost on the hot path).
     faults: Option<&'a FaultSchedule>,
@@ -757,9 +855,24 @@ impl Simulation {
                     epoch: 0,
                     flits_dropped: 0,
                     stats: None,
+                    events: None,
+                    cycles_leapt: 0,
+                    events_processed: 0,
                 }
             })
             .collect();
+        // The Bernoulli renewal chain: each live source's first arrival
+        // is drawn at construction — the first draw on its stream, in
+        // every kernel — and re-drawn once per subsequent arrival.
+        let on_rate = cfg.injection.on_rate(cfg.injection_rate);
+        let gap = GapSampler::new(on_rate);
+        let mut rngs: Vec<StdRng> = (0..n).map(|rid| node_rng(cfg.seed, rid)).collect();
+        let next_offer: Vec<u64> = match cfg.injection {
+            InjectionProcess::Bernoulli if on_rate > 0.0 => {
+                rngs.iter_mut().map(|rng| gap.sample(rng)).collect()
+            }
+            _ => vec![u64::MAX; n],
+        };
         let sim = Simulation {
             mesh,
             kernel,
@@ -768,7 +881,9 @@ impl Simulation {
                 .collect(),
             source_queues: vec![VecDeque::new(); n],
             source_on: vec![true; n],
-            rngs: (0..n).map(|rid| node_rng(cfg.seed, rid)).collect(),
+            next_offer,
+            rngs,
+            gap,
             next_seq: vec![0; n],
             cycle: 0,
             visit_reversed: false,
@@ -918,6 +1033,22 @@ impl Simulation {
         self.scratch.iter().map(|s| s.flits_dropped).sum()
     }
 
+    /// Cycles the event kernel leapt over since construction — whole
+    /// simulated cycles that executed no per-cycle work at all. Always
+    /// zero on the other kernels. Performance telemetry only: the
+    /// counter lives outside [`NetworkStats`] so kernel choice can
+    /// never perturb the bit-identity contract.
+    pub fn cycles_leapt_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.cycles_leapt).sum()
+    }
+
+    /// Injection-arrival events the event kernel fired since
+    /// construction (one per accepted, dropped or unroutable offer).
+    /// Always zero on the other kernels.
+    pub fn events_processed_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.events_processed).sum()
+    }
+
     /// Asserts the credit-conservation invariant: for every link, the
     /// credits held by the upstream output lane plus the flits buffered
     /// in the downstream input VC equal the per-VC buffer depth.
@@ -1029,7 +1160,9 @@ impl Simulation {
                 routers,
                 source_queues,
                 source_on,
+                next_offer,
                 rngs,
+                gap,
                 next_seq,
                 cycle,
                 visit_reversed,
@@ -1066,6 +1199,7 @@ impl Simulation {
                 measure,
                 start_cycle: *cycle,
                 on_rate: cfg.injection.on_rate(cfg.injection_rate),
+                gap: &*gap,
                 faults: faults.as_ref(),
                 fault_slots: &fault_slots,
                 abort: &abort_slot,
@@ -1078,6 +1212,7 @@ impl Simulation {
                 let mut routers = routers.as_mut_slice();
                 let mut source_queues = source_queues.as_mut_slice();
                 let mut source_on = source_on.as_mut_slice();
+                let mut next_offer = next_offer.as_mut_slice();
                 let mut rngs = rngs.as_mut_slice();
                 let mut next_seq = next_seq.as_mut_slice();
                 let mut credits = credits.as_mut_slice();
@@ -1101,6 +1236,7 @@ impl Simulation {
                         routers: take!(routers, len),
                         source_queues: take!(source_queues, len),
                         source_on: take!(source_on, len),
+                        next_offer: take!(next_offer, len),
                         rngs: take!(rngs, len),
                         next_seq: take!(next_seq, len),
                         credits: take!(credits, len * lanes),
@@ -1165,7 +1301,14 @@ fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
     let _guard = PoisonGuard(ctx.barrier);
     let total = ctx.warmup + ctx.measure;
     let budget = ctx.cfg.cycle_budget;
-    for i in 0..total {
+    if ctx.kernel == SimKernel::EventDriven {
+        // Fresh prediction state per run: the frontier starts at the
+        // run's first cycle; the first cycle's prologue arms every
+        // router against the then-current fault epoch.
+        group[0].reset_events(ctx);
+    }
+    let mut i = 0;
+    while i < total {
         // In-engine deadline: the budget predicate is a pure function
         // of the loop index, so every worker evaluates it identically
         // at the top of the same iteration and all return together
@@ -1221,6 +1364,20 @@ fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
                 ctx.barrier.wait();
             }
         }
+        if ctx.kernel == SimKernel::EventDriven {
+            // Event prologue: (re)arm predictions if a fault epoch
+            // just moved the horizon, then — when the network holds no
+            // flits at all — leap the loop index straight to the next
+            // scheduled arrival (or horizon boundary). The landing
+            // iteration re-enters at the top, so budget deadlines,
+            // the measurement boundary and fault epochs all fire on
+            // their exact cycles.
+            if let Some(target) = group[0].event_prologue(ctx, cycle, i) {
+                group[0].scratch.cycles_leapt += target - i;
+                i = target;
+                continue;
+            }
+        }
         let parity = (cycle % 2) as usize;
         for v in group.iter_mut() {
             v.phase_compute(ctx, cycle, parity);
@@ -1239,6 +1396,7 @@ fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
             // barrier again so no worker waits on a peer that is gone.
             return;
         }
+        i += 1;
     }
     for v in group.iter_mut() {
         v.close_run(ctx, ctx.start_cycle + total);
@@ -1654,6 +1812,9 @@ impl ShardView<'_> {
     /// flits moved into local input buffers (progress, for the
     /// watchdog).
     fn inject(&mut self, ctx: &RunCtx<'_>, cycle: u64, stats: &mut Option<NetworkStats>) -> u64 {
+        if ctx.kernel == SimKernel::EventDriven {
+            return self.inject_events(ctx, cycle, stats);
+        }
         let len = ctx.cfg.packet_len_flits;
         let vcs = ctx.vcs;
         let activating = ctx.kernel != SimKernel::Reference;
@@ -1662,28 +1823,30 @@ impl ShardView<'_> {
         for l in 0..self.len {
             let src = self.base + l;
             // A dead router's source is silent: no bursty flip, no
-            // offer draw. Freezing the RNG (rather than drawing and
+            // offer. Skipping it entirely (rather than drawing and
             // discarding) keeps the node's stream a pure function of
             // its own alive-history — identical in every kernel.
             if fmap.is_some_and(|fm| !fm.router_alive(src)) {
                 continue;
             }
-            if let InjectionProcess::BurstyOnOff {
-                mean_burst,
-                mean_idle,
-            } = ctx.cfg.injection
-            {
-                let flip = if self.source_on[l] {
-                    self.rngs[l].gen_bool(1.0 / mean_burst as f64)
-                } else {
-                    self.rngs[l].gen_bool(1.0 / mean_idle as f64)
-                };
-                if flip {
-                    self.source_on[l] = !self.source_on[l];
-                }
-            }
-            let rate = if self.source_on[l] { ctx.on_rate } else { 0.0 };
-            if rate > 0.0 && self.rngs[l].gen_bool(rate) {
+            // One-cycle window: a bursty source replays its flip and
+            // offer draws, a Bernoulli source compares the cycle
+            // against its pre-drawn renewal slot (catching up offers
+            // missed while dead) — no per-cycle RNG work at all.
+            let due = ctx
+                .cfg
+                .injection
+                .next_arrival(
+                    ctx.on_rate,
+                    &mut self.source_on[l],
+                    &mut self.next_offer[l],
+                    ctx.gap,
+                    &mut self.rngs[l],
+                    cycle - 1,
+                    cycle,
+                )
+                .is_some();
+            if due {
                 if let Some(dst) = ctx
                     .cfg
                     .pattern
@@ -1723,32 +1886,352 @@ impl ShardView<'_> {
                         }
                     }
                 }
+                // After the destination draw: a Bernoulli source rolls
+                // its renewal slot forward one gap (bursty draws
+                // nothing here).
+                ctx.cfg.injection.rearm_after_offer(
+                    &mut self.next_offer[l],
+                    ctx.gap,
+                    &mut self.rngs[l],
+                    cycle,
+                );
             }
-            // Move waiting flits into the local input VC buffer (queue
-            // checked first so idle nodes never touch router memory).
-            // The source is FIFO: the front packet waits for its own
-            // VC even if a sibling VC has room.
-            while let Some(pkt) = self.source_queues[l].front_mut() {
-                if !self.routers[l].can_accept(Direction::Local, pkt.vc as usize) {
-                    break;
-                }
-                let flit = pkt
-                    .next_flit(src, len)
-                    .expect("queued descriptors have flits left");
-                let done = pkt.remaining_flits(len) == 0;
-                if done {
-                    self.source_queues[l].pop_front();
-                }
-                self.routers[l].accept(Direction::Local, flit);
-                self.scratch.buffered_flits += 1;
-                self.scratch.queued_flits -= 1;
-                drained += 1;
-                if let Some(s) = stats.as_mut() {
-                    s.router_activity[l].buffer_writes += 1;
-                }
+            drained += self.drain_source(l, src, len, stats);
+        }
+        drained
+    }
+
+    /// Moves waiting flits from router `l`'s source queue into its
+    /// local input VC buffer (queue checked first so idle nodes never
+    /// touch router memory). The source is FIFO: the front packet
+    /// waits for its own VC even if a sibling VC has room. Returns the
+    /// flits moved (progress, for the watchdog).
+    fn drain_source(
+        &mut self,
+        l: usize,
+        src: usize,
+        len: usize,
+        stats: &mut Option<NetworkStats>,
+    ) -> u64 {
+        let mut drained = 0u64;
+        while let Some(pkt) = self.source_queues[l].front_mut() {
+            if !self.routers[l].can_accept(Direction::Local, pkt.vc as usize) {
+                break;
+            }
+            let flit = pkt
+                .next_flit(src, len)
+                .expect("queued descriptors have flits left");
+            let done = pkt.remaining_flits(len) == 0;
+            if done {
+                self.source_queues[l].pop_front();
+            }
+            self.routers[l].accept(Direction::Local, flit);
+            self.scratch.buffered_flits += 1;
+            self.scratch.queued_flits -= 1;
+            drained += 1;
+            if let Some(s) = stats.as_mut() {
+                s.router_activity[l].buffer_writes += 1;
             }
         }
         drained
+    }
+
+    /// Event-driven injection: the per-cycle scan (and its per-router
+    /// RNG draws) is replaced by firing the offers the wheel says are
+    /// due *now* — their draws were consumed in bulk by
+    /// [`ShardView::predict_router`] — then draining source queues.
+    /// Only routers on the worklist can hold queued packets (a packet
+    /// enqueue activates its router, and retirement requires an empty
+    /// queue), so the drain walks the active bitset instead of the
+    /// whole tile: the cost per cycle is O(due events + active
+    /// routers), independent of mesh size.
+    fn inject_events(
+        &mut self,
+        ctx: &RunCtx<'_>,
+        cycle: u64,
+        stats: &mut Option<NetworkStats>,
+    ) -> u64 {
+        let len = ctx.cfg.packet_len_flits;
+        let vcs = ctx.vcs;
+        let fmap = ctx.faults.and_then(|s| s.map_after(self.scratch.epoch));
+        let mut ev = self
+            .scratch
+            .events
+            .take()
+            .expect("event state armed at run start");
+        let mut due = std::mem::take(&mut ev.due);
+        due.clear();
+        ev.wheel.drain_due(cycle, &mut due);
+        for &l32 in &due {
+            let l = l32 as usize;
+            let src = self.base + l;
+            self.scratch.events_processed += 1;
+            // Resolve the offer destination the way the cycle loop
+            // would at this exact cycle. A Bernoulli arrival draws its
+            // destination *now* (fire time — a dead router's arrival
+            // is a miss that consumes only its catch-up gap, exactly
+            // like the per-cycle kernels' lazy catch-up at revival); a
+            // bursty arrival pre-drew it at prediction time, which is
+            // sound because bursty predictions never cross a fault
+            // epoch.
+            let offer = match ctx.cfg.injection {
+                InjectionProcess::Bernoulli => {
+                    debug_assert_eq!(self.next_offer[l], cycle, "stale wheel entry");
+                    if fmap.is_some_and(|fm| !fm.router_alive(src)) {
+                        None
+                    } else {
+                        ctx.cfg
+                            .pattern
+                            .destination(src, &ctx.mesh, &mut self.rngs[l])
+                    }
+                }
+                InjectionProcess::BurstyOnOff { .. } => {
+                    debug_assert_eq!(ev.drawn_through[l], cycle, "stale pending arrival");
+                    Some(ev.pending_dst[l] as usize)
+                }
+            };
+            // Replicate the cycle loop's offer outcome exactly —
+            // including the fire-time reachability check against the
+            // *current* epoch's map.
+            if let Some(dst) = offer {
+                if fmap.is_some_and(|fm| !fm.reachable(src, dst)) {
+                    if let Some(s) = stats.as_mut() {
+                        s.packets_unroutable += 1;
+                    }
+                } else if self.source_queues[l].len() >= ctx.cfg.source_queue_cap {
+                    if let Some(s) = stats.as_mut() {
+                        s.packets_dropped_at_source += 1;
+                    }
+                } else {
+                    let id = packet_id(src, self.next_seq[l]);
+                    self.next_seq[l] += 1;
+                    self.source_queues[l].push_back(SourcePacket {
+                        packet_id: id,
+                        dst,
+                        injected_at: cycle,
+                        sent: 0,
+                        vc: ctx.mesh.injection_vc(id, vcs),
+                    });
+                    self.scratch.flits_injected += len as u64;
+                    self.scratch.queued_flits += len as u64;
+                    if let Some(s) = stats.as_mut() {
+                        s.packets_injected += 1;
+                    }
+                    // The router must be stepped *this* cycle (skipped
+                    // cycles end at cycle − 1).
+                    self.activate(ctx, l, cycle - 1, stats);
+                }
+            }
+            // This offer consumed the stream through `cycle`; roll the
+            // router forward to its next arrival.
+            match ctx.cfg.injection {
+                InjectionProcess::Bernoulli => {
+                    ctx.cfg.injection.rearm_after_offer(
+                        &mut self.next_offer[l],
+                        ctx.gap,
+                        &mut self.rngs[l],
+                        cycle,
+                    );
+                    if self.next_offer[l] != u64::MAX {
+                        ev.wheel.schedule(self.next_offer[l], l32);
+                    }
+                }
+                InjectionProcess::BurstyOnOff { .. } => self.predict_router(ctx, &mut ev, l),
+            }
+        }
+        due.clear();
+        ev.due = due;
+        self.scratch.events = Some(ev);
+        // Drain waiting flits for every router on the worklist (the
+        // only routers that can hold queued packets — see above).
+        let mut drained = 0u64;
+        for w in 0..self.scratch.active_bits.len() {
+            let mut word = self.scratch.active_bits[w];
+            while word != 0 {
+                let l = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                drained += self.drain_source(l, self.base + l, len, stats);
+            }
+        }
+        drained
+    }
+
+    /// Run-start (re)initialization of the event kernel's prediction
+    /// state: the RNG frontier starts at the run's first cycle and the
+    /// `armed_epoch` sentinel forces the first cycle's
+    /// [`ShardView::event_prologue`] to arm every router against the
+    /// then-current fault epoch.
+    fn reset_events(&mut self, ctx: &RunCtx<'_>) {
+        let start = ctx.start_cycle;
+        self.scratch.events = Some(Box::new(EventState {
+            wheel: TimeWheel::new(start + 1),
+            drawn_through: vec![start; self.len],
+            pending_dst: vec![0; self.len],
+            armed_epoch: usize::MAX,
+            horizon: start,
+            due: Vec::new(),
+        }));
+    }
+
+    /// Event-kernel per-cycle prologue: re-arms predictions when the
+    /// applied fault epoch moved the horizon, then decides whether the
+    /// clock may leap. Returns the loop index to jump to when the
+    /// whole tile (= the whole network — the event kernel is
+    /// single-shard) holds no flits anywhere: nothing can happen until
+    /// the next scheduled arrival, so every skipped cycle is provably
+    /// dead and its idle time is settled later by the same deferred
+    /// bulk accounting the worklist kernel uses.
+    fn event_prologue(&mut self, ctx: &RunCtx<'_>, cycle: u64, i: u64) -> Option<u64> {
+        let mut ev = self
+            .scratch
+            .events
+            .take()
+            .expect("event state armed at run start");
+        if ev.armed_epoch != self.scratch.epoch {
+            self.rearm_events(ctx, &mut ev);
+        }
+        let mut leap = None;
+        if self.scratch.buffered_flits == 0 && self.scratch.queued_flits == 0 {
+            // Quiescent: leap to the next arrival, capped one past the
+            // horizon (the next fault-epoch boundary, or the end of
+            // the run — Bernoulli renewal entries stay parked on the
+            // wheel across epochs, so the next arrival may lie beyond
+            // the boundary and the reap must still run on its exact
+            // cycle).
+            let target_cycle = ev
+                .wheel
+                .next_event(cycle)
+                .unwrap_or(u64::MAX)
+                .min(ev.horizon + 1);
+            let mut target = target_cycle - ctx.start_cycle - 1;
+            if i < ctx.warmup {
+                // Never leap past the measurement boundary: iteration
+                // `warmup` must execute `open_measurement`.
+                target = target.min(ctx.warmup);
+            }
+            if ctx.cfg.cycle_budget != 0 {
+                // Land exactly on the budget index so the in-engine
+                // deadline aborts on the same cycle as every kernel.
+                target = target.min(ctx.cfg.cycle_budget);
+            }
+            target = target.min(ctx.warmup + ctx.measure);
+            if target > i {
+                leap = Some(target);
+            }
+        }
+        self.scratch.events = Some(ev);
+        leap
+    }
+
+    /// Re-arms arrival predictions for the current fault epoch: the
+    /// horizon is the run's last cycle clamped by the cycle budget and
+    /// the next epoch boundary.
+    ///
+    /// Only the bursty process predicts per epoch — each alive
+    /// router's stream is rolled forward to its first offer in the
+    /// window, while dead routers draw nothing (their streams stay
+    /// frozen, exactly like the cycle loop's skip), so revival at a
+    /// later epoch resumes from the same stream position in every
+    /// kernel. Bernoulli renewal entries are scheduled once per run
+    /// and stay parked across epochs: the arrival *times* are
+    /// independent of the alive-map (a dead router's due arrival is a
+    /// miss, handled at fire time), so epoch boundaries only move the
+    /// horizon.
+    fn rearm_events(&mut self, ctx: &RunCtx<'_>, ev: &mut EventState) {
+        let run_start = ev.armed_epoch == usize::MAX;
+        let mut horizon = ctx.start_cycle + ctx.warmup + ctx.measure;
+        if ctx.cfg.cycle_budget != 0 {
+            horizon = horizon.min(ctx.start_cycle.saturating_add(ctx.cfg.cycle_budget));
+        }
+        if let Some(sched) = ctx.faults {
+            if let Some(e) = sched.epochs.get(self.scratch.epoch) {
+                horizon = horizon.min(e.start.saturating_sub(1));
+            }
+        }
+        ev.horizon = horizon;
+        ev.armed_epoch = self.scratch.epoch;
+        match ctx.cfg.injection {
+            InjectionProcess::Bernoulli => {
+                if run_start {
+                    for l in 0..self.len {
+                        let offer = self.next_offer[l];
+                        if offer != u64::MAX {
+                            debug_assert!(
+                                offer > ctx.start_cycle,
+                                "renewal slots never lapse in the event kernel"
+                            );
+                            ev.wheel.schedule(offer, l as u32);
+                        }
+                    }
+                }
+            }
+            InjectionProcess::BurstyOnOff { .. } => {
+                debug_assert_eq!(
+                    ev.wheel.len(),
+                    0,
+                    "pending bursty arrivals must fire before their epoch ends"
+                );
+                let fmap = ctx.faults.and_then(|s| s.map_after(self.scratch.epoch));
+                for l in 0..self.len {
+                    if fmap.is_some_and(|fm| !fm.router_alive(self.base + l)) {
+                        // Silent source: consumed-through jumps the
+                        // epoch with no draws. (`max` guards the
+                        // degenerate first-epoch case where the
+                        // horizon sits below the frontier.)
+                        ev.drawn_through[l] = ev.drawn_through[l].max(horizon);
+                    } else {
+                        self.predict_router(ctx, ev, l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rolls a *bursty* router `l`'s private stream forward from its
+    /// frontier to the next offer that names a real destination and
+    /// schedules it on the wheel; a window with no such offer parks
+    /// the frontier at the horizon. Draw order per predicted cycle is
+    /// exactly the cycle loop's: ON/OFF flip, offer coin, then the
+    /// destination draw immediately after a hit — so the stream state
+    /// is reproduced bit-for-bit, just ahead of wall-time. (Bernoulli
+    /// routers never come here: their renewal slot already names the
+    /// next arrival, no draws needed.)
+    fn predict_router(&mut self, ctx: &RunCtx<'_>, ev: &mut EventState, l: usize) {
+        debug_assert!(
+            matches!(ctx.cfg.injection, InjectionProcess::BurstyOnOff { .. }),
+            "Bernoulli arrivals are renewal-scheduled, not predicted"
+        );
+        let src = self.base + l;
+        loop {
+            match ctx.cfg.injection.next_arrival(
+                ctx.on_rate,
+                &mut self.source_on[l],
+                &mut self.next_offer[l],
+                ctx.gap,
+                &mut self.rngs[l],
+                ev.drawn_through[l],
+                ev.horizon,
+            ) {
+                Some(c) => {
+                    ev.drawn_through[l] = c;
+                    if let Some(dst) =
+                        ctx.cfg
+                            .pattern
+                            .destination(src, &ctx.mesh, &mut self.rngs[l])
+                    {
+                        ev.pending_dst[l] = dst as u32;
+                        ev.wheel.schedule(c, l as u32);
+                        return;
+                    }
+                    // Self-mapped destination: the cycle loop injects
+                    // nothing and keeps drawing — so keep predicting.
+                }
+                None => {
+                    ev.drawn_through[l] = ev.drawn_through[l].max(ev.horizon);
+                    return;
+                }
+            }
+        }
     }
 
     /// Reference-kernel credit snapshot: rebuilt from the live buffers
@@ -2674,24 +3157,48 @@ mod tests {
 
     #[test]
     fn auto_kernel_picks_by_size_and_load() {
-        // Small or idle runs must never pay the sharding tax; huge
-        // loaded runs must get the parallel kernel.
+        // The decision table: low load leaps (any size), big loaded
+        // runs shard, small loaded runs stay on the serial worklist.
         assert_eq!(SimKernel::Auto.resolve_for(16, 0.05), SimKernel::ActiveSet);
         assert_eq!(
+            SimKernel::Auto.resolve_for(16, SimKernel::AUTO_EVENT_MAX_RATE),
+            SimKernel::EventDriven
+        );
+        assert_eq!(SimKernel::Auto.resolve_for(16, 0.0), SimKernel::EventDriven);
+        assert_eq!(
             SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS, 0.0),
-            SimKernel::ActiveSet
+            SimKernel::EventDriven
+        );
+        assert_eq!(
+            SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS, 0.01),
+            SimKernel::EventDriven
         );
         assert_eq!(
             SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS, 0.05),
             SimKernel::Sharded
         );
+        assert_eq!(
+            SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS - 1, 0.05),
+            SimKernel::ActiveSet
+        );
+        // No-context resolution is the zero-load answer.
+        assert_eq!(SimKernel::Auto.resolve(), SimKernel::EventDriven);
         // Explicit choices pass through untouched.
         assert_eq!(
             SimKernel::Reference.resolve_for(1 << 20, 1.0),
             SimKernel::Reference
         );
+        assert_eq!(
+            SimKernel::EventDriven.resolve_for(16, 1.0),
+            SimKernel::EventDriven
+        );
         let sim = Simulation::new(base_cfg());
         assert_eq!(sim.kernel(), SimKernel::ActiveSet);
+        let low = MeshConfig {
+            injection_rate: 0.01,
+            ..base_cfg()
+        };
+        assert_eq!(Simulation::new(low).kernel(), SimKernel::EventDriven);
     }
 
     fn faulted_cfg() -> MeshConfig {
@@ -2735,6 +3242,11 @@ mod tests {
             "the plan must actually bite for this test to mean anything"
         );
         assert_eq!(reference, run(SimKernel::ActiveSet, 0, 0));
+        assert_eq!(
+            reference,
+            run(SimKernel::EventDriven, 0, 0),
+            "event kernel diverged under faults"
+        );
         for shards in [1, 2, 3, 6] {
             for threads in [1, 2] {
                 assert_eq!(
@@ -2969,6 +3481,7 @@ mod tests {
             SimKernel::ActiveSet,
             SimKernel::Reference,
             SimKernel::Sharded,
+            SimKernel::EventDriven,
         ] {
             let cfg = MeshConfig {
                 kernel,
@@ -3001,5 +3514,100 @@ mod tests {
         .try_run(100, 900)
         .expect("budget == warmup+measure completes");
         assert_eq!(baseline, budgeted, "an adequate budget is invisible");
+    }
+
+    #[test]
+    fn event_kernel_leaps_and_stays_identical_across_runs() {
+        // Two back-to-back runs at a rate low enough that most cycles
+        // are dead: the event kernel must (a) actually leap, (b) match
+        // the worklist kernel bit for bit in BOTH windows — the second
+        // run only agrees if the first left every RNG frontier, ON/OFF
+        // state and sequence counter exactly where the cycle loop
+        // would have.
+        let low = |kernel| MeshConfig {
+            injection_rate: 0.004,
+            gating: Some(SleepConfig {
+                policy: GatingPolicy::IdleThreshold(4),
+                wake_latency: 1,
+            }),
+            kernel,
+            ..base_cfg()
+        };
+        let mut active = Simulation::new(low(SimKernel::ActiveSet));
+        let mut event = Simulation::new(low(SimKernel::EventDriven));
+        assert_eq!(event.kernel(), SimKernel::EventDriven);
+        for window in 0..2 {
+            let a = active.run(50, 2000);
+            let e = event.run(50, 2000);
+            assert_eq!(a, e, "window {window} diverged");
+        }
+        assert_eq!(active.flits_injected_total(), event.flits_injected_total());
+        assert_eq!(active.cycles_leapt_total(), 0);
+        assert!(
+            event.cycles_leapt_total() > 1000,
+            "a 0.4% load must leave most of {} cycles leapable, leapt {}",
+            2 * 2050,
+            event.cycles_leapt_total()
+        );
+        assert!(event.events_processed_total() > 0);
+        assert!(
+            event.routers_stepped_total() < active.routers_stepped_total() + 1,
+            "leaping must never step more routers than the worklist kernel"
+        );
+    }
+
+    #[test]
+    fn event_kernel_matches_under_bursty_and_saturation() {
+        // The two regimes that stress the prediction machinery: bursty
+        // ON/OFF (every skipped cycle still consumes a flip draw) and
+        // tornado saturation (the wheel never empties and the kernel
+        // degrades to per-cycle stepping — correctly).
+        let bursty = MeshConfig {
+            injection_rate: 0.01,
+            injection: InjectionProcess::BurstyOnOff {
+                mean_burst: 12,
+                mean_idle: 60,
+            },
+            ..base_cfg()
+        };
+        let a = Simulation::new(MeshConfig {
+            kernel: SimKernel::ActiveSet,
+            ..bursty.clone()
+        })
+        .run(100, 3000);
+        let e = Simulation::new(MeshConfig {
+            kernel: SimKernel::EventDriven,
+            ..bursty
+        })
+        .run(100, 3000);
+        assert_eq!(a, e, "bursty low rate diverged");
+
+        let saturated = MeshConfig {
+            width: 8,
+            height: 8,
+            wrap: true,
+            vcs: 2,
+            pattern: TrafficPattern::Tornado,
+            injection_rate: 0.5,
+            packet_len_flits: 3,
+            seed: 9,
+            ..MeshConfig::default()
+        };
+        let mut event = Simulation::new(MeshConfig {
+            kernel: SimKernel::EventDriven,
+            ..saturated.clone()
+        });
+        let e = event.run(100, 1500);
+        let a = Simulation::new(MeshConfig {
+            kernel: SimKernel::ActiveSet,
+            ..saturated
+        })
+        .run(100, 1500);
+        assert_eq!(a, e, "saturation diverged");
+        assert!(
+            event.cycles_leapt_total() < 120,
+            "saturation leaves almost nothing to leap, leapt {}",
+            event.cycles_leapt_total()
+        );
     }
 }

@@ -138,6 +138,173 @@ impl InjectionProcess {
             }
         }
     }
+
+    /// Returns this source's first offer in `from + 1 ..= horizon`, or
+    /// `None` if the span holds none, advancing the source state
+    /// exactly as the simulator's per-cycle injection loop would.
+    ///
+    /// The two processes keep their state differently:
+    ///
+    /// - **Bernoulli** sources are a renewal chain: `next_offer` holds
+    ///   the absolute cycle of the next scheduled arrival, and each
+    ///   arrival costs exactly one geometric gap draw
+    ///   ([`GapSampler::sample`]) made *after* it fires (see
+    ///   [`InjectionProcess::rearm_after_offer`]) — there is no
+    ///   per-cycle coin at all. Arrivals at or before `from` were
+    ///   missed (the router was dead when they came due, so the cycle
+    ///   loop never scanned it); each missed arrival consumes its gap
+    ///   draw — and nothing else — in the catch-up loop here, which
+    ///   makes this lazy catch-up land on the same `(rng, next_offer)`
+    ///   state as the event kernel's eager per-arrival rescheduling,
+    ///   draw for draw.
+    /// - **Bursty ON–OFF** sources replay their per-cycle draws — the
+    ///   dwell flip and the offer coin — for every cycle of the span,
+    ///   in exactly the per-cycle loop's order, advancing `on` and
+    ///   `rng` through each one.
+    ///
+    /// Either way, alternating `next_arrival` with single-cycle spans
+    /// (or with the destination draw that follows a hit) reads one
+    /// seamless stream. This is the determinism keystone of the
+    /// event-driven kernel ([`crate::SimKernel::EventDriven`]): leaping
+    /// the clock over dead windows is only sound because the arrivals
+    /// predicted here match what the cycle loop scans out, bit for bit.
+    ///
+    /// `rate` must already be the boosted ON rate (see
+    /// [`InjectionProcess::on_rate`]); `from` is the last cycle whose
+    /// draws have been consumed. A Bernoulli source at rate 0 (or one
+    /// parked OFF) draws nothing, while a bursty source keeps consuming
+    /// its flip draw every cycle even when it can never offer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn next_arrival(
+        self,
+        rate: f64,
+        on: &mut bool,
+        next_offer: &mut u64,
+        gap: &GapSampler,
+        rng: &mut StdRng,
+        from: u64,
+        horizon: u64,
+    ) -> Option<u64> {
+        match self {
+            InjectionProcess::Bernoulli => {
+                // Bernoulli sources never toggle, so an OFF or
+                // zero-rate source consumes no draws at all.
+                if !*on || rate <= 0.0 {
+                    return None;
+                }
+                while *next_offer <= from {
+                    // Missed while dead: the catch-up gap draw, no
+                    // destination.
+                    *next_offer = next_offer.saturating_add(gap.sample(rng));
+                }
+                (*next_offer <= horizon).then_some(*next_offer)
+            }
+            InjectionProcess::BurstyOnOff {
+                mean_burst,
+                mean_idle,
+            } => {
+                let p_on = 1.0 / mean_burst as f64;
+                let p_off = 1.0 / mean_idle as f64;
+                let mut c = from;
+                while c < horizon {
+                    c += 1;
+                    if rng.gen_bool(if *on { p_on } else { p_off }) {
+                        *on = !*on;
+                    }
+                    if *on && rate > 0.0 && rng.gen_bool(rate) {
+                        return Some(c);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Consumes the offer [`InjectionProcess::next_arrival`] reported
+    /// at `cycle`: a Bernoulli source draws the gap to its next
+    /// arrival — *after* the destination draw, which the caller makes
+    /// in between, so the per-router stream order is destination then
+    /// gap at every fired offer — while a bursty source needs nothing
+    /// (its stream is purely per-cycle).
+    pub fn rearm_after_offer(
+        self,
+        next_offer: &mut u64,
+        gap: &GapSampler,
+        rng: &mut StdRng,
+        cycle: u64,
+    ) {
+        if let InjectionProcess::Bernoulli = self {
+            debug_assert_eq!(*next_offer, cycle, "re-arming an offer that was not due");
+            *next_offer = cycle.saturating_add(gap.sample(rng));
+        }
+    }
+}
+
+/// Deterministic sampler for Bernoulli inter-arrival gaps.
+///
+/// A rate-`p` Bernoulli source's gap to its next arrival is geometric:
+/// `P(G = k) = (1 − p)^(k−1) · p` for `k ≥ 1`. Sampling `G` directly —
+/// one RNG draw per *arrival* — replaces the one-coin-per-cycle scan
+/// whose draws dominated every kernel at low rates and put a hard
+/// `O(routers × cycles)` floor under the event kernel. All kernels
+/// share this sampler (and the renewal state it drives), so the
+/// arrival streams — and therefore [`crate::NetworkStats`] — stay bit
+/// identical across them by construction.
+///
+/// The quantile is inverted without `ln`: a binary descent over
+/// precomputed repeated squarings `q^(2^j)` finds the largest `m` with
+/// `q^m > u`, so the draw uses only IEEE multiplies and compares —
+/// both exactly specified — and is bit-reproducible on every platform,
+/// unlike anything routed through libm.
+#[derive(Debug, Clone)]
+pub struct GapSampler {
+    /// Per-cycle survival probability `q = 1 − p`.
+    q: f64,
+    /// `q^(2^j)` for `j = 0..63`, by repeated squaring. High entries
+    /// underflow to `0.0` for any `q < 1`, which the descent treats as
+    /// "never survives that long" — exactly right.
+    pows: [f64; 63],
+}
+
+impl GapSampler {
+    /// Builds the sampler for per-cycle arrival probability `p`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rate is a probability");
+        let q = 1.0 - p;
+        let mut pows = [0.0; 63];
+        let mut acc = q;
+        for slot in pows.iter_mut() {
+            *slot = acc;
+            acc *= acc;
+        }
+        GapSampler { q, pows }
+    }
+
+    /// Draws one gap `G ≥ 1` (consuming exactly one `next_u64`).
+    ///
+    /// The uniform variate is mapped like [`rand::Rng::gen_bool`]'s
+    /// (top 53 bits over 2⁵³), and `G = m + 1` where `m` is the
+    /// largest exponent with `q^m > u`. The greedy high-bit-first
+    /// descent is exact because the running product is nonincreasing
+    /// along the chain; `u = 0` walks until the product underflows
+    /// (a gap of billions of cycles — harmlessly "never" at any rate
+    /// worth simulating), and `p = 1` returns 1 every time.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if self.q <= u {
+            return 1;
+        }
+        let mut m = 0u64;
+        let mut prod = 1.0f64;
+        for (j, &pw) in self.pows.iter().enumerate().rev() {
+            let cand = prod * pw;
+            if cand > u {
+                m |= 1 << j;
+                prod = cand;
+            }
+        }
+        m + 1
+    }
 }
 
 /// A packet waiting in a node's source queue, stored as one compact
@@ -347,6 +514,308 @@ mod tests {
         .next_flit(0, 1)
         .unwrap();
         assert!(!real.is_invalid());
+    }
+
+    /// The initial arm the simulator performs at construction: a live
+    /// Bernoulli source draws its first gap; everything else parks the
+    /// renewal slot at "never".
+    fn arm(process: InjectionProcess, rate: f64, gap: &GapSampler, rng: &mut StdRng) -> u64 {
+        match process {
+            InjectionProcess::Bernoulli if rate > 0.0 => gap.sample(rng),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Tick-by-tick oracle for [`InjectionProcess::next_arrival`]: one
+    /// cycle's worth of source state advancement, written independently
+    /// of the prediction code. A bursty source makes its per-cycle flip
+    /// and offer draws; a Bernoulli source compares the cycle against
+    /// its renewal slot (catching up offers missed while unscanned).
+    /// Returns whether the source offers; the caller re-arms after a
+    /// hit via [`InjectionProcess::rearm_after_offer`].
+    #[allow(clippy::too_many_arguments)]
+    fn tick(
+        process: InjectionProcess,
+        rate: f64,
+        on: &mut bool,
+        next_offer: &mut u64,
+        gap: &GapSampler,
+        rng: &mut StdRng,
+        cycle: u64,
+    ) -> bool {
+        match process {
+            InjectionProcess::Bernoulli => {
+                if !*on || rate <= 0.0 {
+                    return false;
+                }
+                while *next_offer < cycle {
+                    *next_offer = next_offer.saturating_add(gap.sample(rng));
+                }
+                *next_offer == cycle
+            }
+            InjectionProcess::BurstyOnOff {
+                mean_burst,
+                mean_idle,
+            } => {
+                let flip = if *on {
+                    rng.gen_bool(1.0 / mean_burst as f64)
+                } else {
+                    rng.gen_bool(1.0 / mean_idle as f64)
+                };
+                if flip {
+                    *on = !*on;
+                }
+                let r = if *on { rate } else { 0.0 };
+                r > 0.0 && rng.gen_bool(r)
+            }
+        }
+    }
+
+    #[test]
+    fn next_arrival_matches_tick_by_tick_draws() {
+        let processes = [
+            InjectionProcess::Bernoulli,
+            InjectionProcess::BurstyOnOff {
+                mean_burst: 8,
+                mean_idle: 24,
+            },
+            InjectionProcess::BurstyOnOff {
+                mean_burst: 1,
+                mean_idle: 1,
+            },
+        ];
+        for process in processes {
+            for rate in [0.0, 0.005, 0.08, 0.5] {
+                for seed in 0..8u64 {
+                    let horizon = 3000u64;
+                    let gap = GapSampler::new(rate);
+                    // Oracle: step every cycle, recording offer cycles.
+                    let mut rng_a = StdRng::seed_from_u64(seed);
+                    let mut on_a = true;
+                    let mut slot_a = arm(process, rate, &gap, &mut rng_a);
+                    let mut offers = Vec::new();
+                    for c in 1..=horizon {
+                        if tick(process, rate, &mut on_a, &mut slot_a, &gap, &mut rng_a, c) {
+                            offers.push(c);
+                            process.rearm_after_offer(&mut slot_a, &gap, &mut rng_a, c);
+                        }
+                    }
+                    // Prediction: chain next_arrival calls over the span.
+                    let mut rng_b = StdRng::seed_from_u64(seed);
+                    let mut on_b = true;
+                    let mut slot_b = arm(process, rate, &gap, &mut rng_b);
+                    let mut predicted = Vec::new();
+                    let mut from = 0u64;
+                    while let Some(c) = process.next_arrival(
+                        rate,
+                        &mut on_b,
+                        &mut slot_b,
+                        &gap,
+                        &mut rng_b,
+                        from,
+                        horizon,
+                    ) {
+                        predicted.push(c);
+                        process.rearm_after_offer(&mut slot_b, &gap, &mut rng_b, c);
+                        from = c;
+                    }
+                    assert_eq!(
+                        predicted, offers,
+                        "{process:?} rate {rate} seed {seed}: predicted arrivals diverged"
+                    );
+                    // The streams must end in the same state, so a
+                    // caller can resume tick-by-tick afterwards.
+                    assert_eq!(on_b, on_a, "ON/OFF state diverged");
+                    assert_eq!(slot_b, slot_a, "renewal slot diverged");
+                    assert_eq!(rng_b.next_u64(), rng_a.next_u64(), "RNG state diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_arrival_interleaves_with_ticking() {
+        // Alternate prediction spans with manual ticks: the stream must
+        // stay seamless (the event kernel re-arms predictions after
+        // every fired event and at every fault-epoch boundary).
+        let process = InjectionProcess::BurstyOnOff {
+            mean_burst: 5,
+            mean_idle: 9,
+        };
+        let rate = 0.3;
+        let gap = GapSampler::new(rate);
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut on_a = true;
+        let mut slot_a = u64::MAX;
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut on_b = true;
+        let mut slot_b = u64::MAX;
+        let mut cycle = 0u64;
+        for span in [7u64, 1, 30, 2, 113, 60] {
+            let horizon = cycle + span;
+            let mut expected = None;
+            for c in cycle + 1..=horizon {
+                if tick(process, rate, &mut on_a, &mut slot_a, &gap, &mut rng_a, c) {
+                    expected = Some(c);
+                    break;
+                }
+            }
+            let got = process.next_arrival(
+                rate,
+                &mut on_b,
+                &mut slot_b,
+                &gap,
+                &mut rng_b,
+                cycle,
+                horizon,
+            );
+            assert_eq!(got, expected);
+            cycle = got.unwrap_or(horizon);
+            // One manual tick on both streams between spans.
+            cycle += 1;
+            let a = tick(
+                process,
+                rate,
+                &mut on_a,
+                &mut slot_a,
+                &gap,
+                &mut rng_a,
+                cycle,
+            );
+            let b = tick(
+                process,
+                rate,
+                &mut on_b,
+                &mut slot_b,
+                &gap,
+                &mut rng_b,
+                cycle,
+            );
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bernoulli_missed_offers_catch_up_identically() {
+        // A router dead over some window misses the offers that fell
+        // inside it. The per-cycle kernels catch up lazily at the first
+        // alive scan; the event kernel catches up eagerly, one gap draw
+        // per fired-while-dead wheel event. Both must land on the same
+        // (rng, next_offer) state and the same post-revival arrivals.
+        let rate = 0.2;
+        let gap = GapSampler::new(rate);
+        let p = InjectionProcess::Bernoulli;
+        for seed in 0..16u64 {
+            for (dead_from, dead_to) in [(5u64, 40u64), (1, 2), (10, 11), (3, 200)] {
+                // Lazy: scan alive cycles only.
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut on_a = true;
+                let mut slot_a = arm(p, rate, &gap, &mut rng_a);
+                let mut offers_a = Vec::new();
+                for c in (1..dead_from).chain(dead_to..300) {
+                    if tick(p, rate, &mut on_a, &mut slot_a, &gap, &mut rng_a, c) {
+                        offers_a.push(c);
+                        p.rearm_after_offer(&mut slot_a, &gap, &mut rng_a, c);
+                    }
+                }
+                // Eager: scan every cycle, but suppress (and re-arm
+                // through) the offers due inside the dead window —
+                // exactly what a dead router's wheel event does.
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                let mut slot_b = arm(p, rate, &gap, &mut rng_b);
+                let mut offers_b = Vec::new();
+                for c in 1..300 {
+                    if slot_b == c {
+                        if !(dead_from..dead_to).contains(&c) {
+                            offers_b.push(c);
+                        }
+                        p.rearm_after_offer(&mut slot_b, &gap, &mut rng_b, c);
+                    }
+                }
+                assert_eq!(offers_a, offers_b, "seed {seed}: surviving offers diverged");
+                assert_eq!(slot_a, slot_b, "seed {seed}: renewal slot diverged");
+                assert_eq!(
+                    rng_a.next_u64(),
+                    rng_b.next_u64(),
+                    "seed {seed}: RNG state diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_arrival_zero_rate_consumes_flips_only() {
+        // Bernoulli at rate 0 must not touch the RNG…
+        let gap = GapSampler::new(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = rng.clone().next_u64();
+        let mut on = true;
+        let mut slot = u64::MAX;
+        assert_eq!(
+            InjectionProcess::Bernoulli
+                .next_arrival(0.0, &mut on, &mut slot, &gap, &mut rng, 0, 10_000),
+            None
+        );
+        assert_eq!(rng.next_u64(), before, "Bernoulli at rate 0 draws nothing");
+        // …while a bursty source still burns one flip draw per cycle.
+        let p = InjectionProcess::BurstyOnOff {
+            mean_burst: 4,
+            mean_idle: 4,
+        };
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut on_a = true;
+        let mut slot_a = u64::MAX;
+        assert_eq!(
+            p.next_arrival(0.0, &mut on_a, &mut slot_a, &gap, &mut rng_a, 0, 500),
+            None
+        );
+        let mut rng_b = StdRng::seed_from_u64(6);
+        let mut on_b = true;
+        let mut slot_b = u64::MAX;
+        for c in 1..=500 {
+            tick(p, 0.0, &mut on_b, &mut slot_b, &gap, &mut rng_b, c);
+        }
+        assert_eq!(on_a, on_b);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn gap_sampler_matches_geometric_distribution() {
+        // Mean gap ≈ 1/p, and P(G = 1) ≈ p — the sampled chain is the
+        // same first-success process as the per-cycle coin it replaced.
+        for p in [0.5, 0.05, 0.002] {
+            let gap = GapSampler::new(p);
+            let mut rng = StdRng::seed_from_u64(42);
+            let draws = 40_000;
+            let mut total = 0u64;
+            let mut ones = 0u64;
+            for _ in 0..draws {
+                let g = gap.sample(&mut rng);
+                assert!(g >= 1);
+                total += g;
+                ones += (g == 1) as u64;
+            }
+            let mean = total as f64 / draws as f64;
+            assert!(
+                (mean - 1.0 / p).abs() < 0.05 / p,
+                "p {p}: mean gap {mean} vs expected {}",
+                1.0 / p
+            );
+            let p_hat = ones as f64 / draws as f64;
+            assert!(
+                (p_hat - p).abs() < 0.1 * p + 0.002,
+                "p {p}: P(G=1) = {p_hat}"
+            );
+        }
+        // Degenerate ends: p = 1 always fires next cycle; p = 0 never
+        // fires within any horizon a simulation can reach.
+        let sure = GapSampler::new(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(sure.sample(&mut rng), 1);
+        }
+        let never = GapSampler::new(0.0);
+        assert!(never.sample(&mut rng) > 1 << 62);
     }
 
     #[test]

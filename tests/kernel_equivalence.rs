@@ -1,10 +1,14 @@
-//! The active-set and sharded kernels are optimizations, not model
-//! changes: for any configuration and seed they must produce
-//! **bit-identical** [`NetworkStats`] to the dense reference kernel —
-//! every counter, every idle-interval histogram bin, every gating
-//! counter. These tests pin that across the full three-kernel ×
-//! shard-count scenario matrix (`tests/sharded_equivalence.rs` adds
-//! the dedicated shard/thread dimension).
+//! The active-set, sharded and event-driven kernels are
+//! optimizations, not model changes: for any configuration and seed
+//! they must produce **bit-identical** [`NetworkStats`] to the dense
+//! reference kernel — every counter, every idle-interval histogram
+//! bin, every gating counter. These tests pin that across the full
+//! four-kernel × shard-count scenario matrix
+//! (`tests/sharded_equivalence.rs` adds the dedicated shard/thread
+//! dimension), including the points that stress the event kernel's
+//! leap machinery: fault epochs landing mid-leap, and saturated
+//! dateline-torus traffic where leaping degrades to ~per-cycle
+//! stepping.
 
 use leakage_noc::netsim::{
     FaultPlan, GatingPolicy, InjectionProcess, MeshConfig, NetworkStats, SimKernel, Simulation,
@@ -22,7 +26,7 @@ fn vcs_override() -> Option<usize> {
     })
 }
 
-/// Runs one config under all three kernels — the sharded kernel at a
+/// Runs one config under all four kernels — the sharded kernel at a
 /// shard count derived from the seed, so the proptest matrix sweeps
 /// shard geometries too — and asserts exact equality of stats and
 /// conservation state.
@@ -38,16 +42,22 @@ fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bo
         threads: 1,
         ..cfg.clone()
     });
+    let mut event = Simulation::new(MeshConfig {
+        kernel: SimKernel::EventDriven,
+        ..cfg.clone()
+    });
     let mut reference = Simulation::new(MeshConfig {
         kernel: SimKernel::Reference,
         ..cfg
     });
     active.set_visit_reversed(reversed);
     sharded.set_visit_reversed(reversed);
+    event.set_visit_reversed(reversed);
     reference.set_visit_reversed(reversed);
     let sa = active.run(warmup, measure);
     let sr = reference.run(warmup, measure);
     let ss = sharded.run(warmup, measure);
+    let se = event.run(warmup, measure);
     assert_eq!(sa, sr, "NetworkStats diverged between serial kernels");
     assert_eq!(
         sa,
@@ -56,23 +66,35 @@ fn assert_kernels_agree(cfg: MeshConfig, warmup: u64, measure: u64, reversed: bo
         sharded.shards()
     );
     assert_eq!(
-        active.flits_injected_total(),
-        reference.flits_injected_total()
+        sa, se,
+        "NetworkStats diverged between active-set and event-driven"
     );
-    assert_eq!(
-        active.flits_injected_total(),
-        sharded.flits_injected_total()
-    );
-    assert_eq!(active.in_flight_flits(), reference.in_flight_flits());
-    assert_eq!(active.in_flight_flits(), sharded.in_flight_flits());
-    assert_eq!(
-        active.flits_dropped_by_fault_total(),
-        reference.flits_dropped_by_fault_total()
-    );
-    assert_eq!(
-        active.flits_dropped_by_fault_total(),
-        sharded.flits_dropped_by_fault_total()
-    );
+    for (name, other) in [
+        ("reference", &reference),
+        ("sharded", &sharded),
+        ("event", &event),
+    ] {
+        assert_eq!(
+            active.flits_injected_total(),
+            other.flits_injected_total(),
+            "flits_injected diverged vs {name}"
+        );
+        assert_eq!(
+            active.in_flight_flits(),
+            other.in_flight_flits(),
+            "in-flight flits diverged vs {name}"
+        );
+        assert_eq!(
+            active.flits_dropped_by_fault_total(),
+            other.flits_dropped_by_fault_total(),
+            "fault drops diverged vs {name}"
+        );
+    }
+    // Leap telemetry is exclusive to the event kernel; it never leaks
+    // into the others and never perturbs the stats compared above.
+    assert_eq!(active.cycles_leapt_total(), 0);
+    assert_eq!(sharded.cycles_leapt_total(), 0);
+    assert_eq!(reference.events_processed_total(), 0);
 }
 
 proptest! {
@@ -332,6 +354,41 @@ fn kernels_agree_on_saturated_dateline_torus() {
 }
 
 #[test]
+fn kernels_agree_on_faulted_saturated_torus() {
+    // The event kernel's worst case, both stressors at once: a
+    // saturated dateline torus (the wheel never empties, leaping
+    // degrades to ~per-cycle stepping) that loses a link mid-run (the
+    // prediction horizon must stop exactly at the epoch boundary and
+    // re-arm against the detoured, smaller alive set).
+    assert_kernels_agree(
+        MeshConfig {
+            width: 8,
+            height: 8,
+            wrap: true,
+            vcs: vcs_override().unwrap_or(2).max(2),
+            pattern: TrafficPattern::Tornado,
+            injection_rate: 0.6,
+            source_queue_cap: 4,
+            watchdog_cycles: 2_000,
+            seed: 23,
+            faults: Some(FaultPlan {
+                seed: 19,
+                link_faults: 1,
+                transient_link_faults: 1,
+                transient_duration: 200,
+                start_cycle: 200,
+                window: 300,
+                ..FaultPlan::default()
+            }),
+            ..MeshConfig::default()
+        },
+        100,
+        1500,
+        false,
+    );
+}
+
+#[test]
 fn kernels_agree_under_source_saturation() {
     // The source-queue cap and drop accounting must behave identically
     // in both kernels, including the drop counter itself.
@@ -370,11 +427,16 @@ fn zero_injection_quiesces_the_whole_network() {
         });
         assert_eq!(
             sim.kernel(),
-            SimKernel::ActiveSet,
-            "Auto resolves to ActiveSet"
+            SimKernel::EventDriven,
+            "Auto resolves to EventDriven at zero load"
         );
         let stats = sim.run(0, measure);
         assert_eq!(sim.active_router_count(), 0, "no router may stay active");
+        assert_eq!(
+            sim.cycles_leapt_total(),
+            measure,
+            "a dead network is one single leap"
+        );
         let n = sim.mesh().len() as u64;
         let lanes = 5 * vcs as u64;
         let merged = stats.merged_idle_histogram(NetworkStats::DEFAULT_IDLE_BINS);
