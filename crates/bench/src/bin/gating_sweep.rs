@@ -1,7 +1,7 @@
 //! Experiment X3: in-loop gating sweep. Runs the mesh simulator with
 //! the sleep FSM live in the cycle loop over a mesh-size ×
 //! injection-rate × policy × scheme × VC-count grid and emits the
-//! committed `BENCH_noc.json` baseline (schema 7): energy saved, the
+//! committed `BENCH_noc.json` baseline (schema 8): energy saved, the
 //! latency/throughput penalty the offline model cannot see, the
 //! in-loop vs offline agreement on every point — and, per grid point,
 //! the wall time, cycle rate, tile geometry and speedup of **every
@@ -26,7 +26,7 @@
 //! them at full length as the speedup baseline, and kernel equality is
 //! asserted per point exactly as everywhere else).
 //!
-//! **Supervision** (schema 7): every grid point × kernel executes as an
+//! **Supervision** (schema 8): every grid point × kernel executes as an
 //! isolated job on the checkpointed [`lnoc_bench::runner`] — panic
 //! capture, an optional wall-clock deadline plus the engine's
 //! deterministic cycle budget (`--deadline-cycles`), bounded retry with
@@ -89,7 +89,7 @@ const DEPTH_PER_VC: usize = 4;
 
 /// Cache-key domain: versions the job payload encoding. Bump whenever
 /// the payload format or the digested field set changes.
-const DIGEST_DOMAIN: &str = "x3.schema7.v1";
+const DIGEST_DOMAIN: &str = "x3.schema8.v1";
 
 /// One point of the sweep grid (kernel-independent).
 #[derive(Clone)]
@@ -240,6 +240,17 @@ struct PointPayload {
     /// Injection arrivals replayed from the wheel (0 for the stepping
     /// kernels). Telemetry like `cycles_leapt`.
     events_processed: u64,
+    /// Routers whose settlement debt was paid during the run —
+    /// on-touch and at close-out combined (0 for the eager reference
+    /// kernel). Telemetry like `cycles_leapt`.
+    routers_settled: u64,
+    /// Touch-paid debt settlements per clock leap: the actual
+    /// per-leap settlement cost, which lazy settlement keeps at
+    /// O(touched) instead of O(n). Telemetry like `cycles_leapt`.
+    settle_ops_per_leap: f64,
+    /// Longest deferred span (cycles) any single settlement replayed.
+    /// Telemetry like `cycles_leapt`.
+    max_debt_span: u64,
     digest_line: String,
 }
 
@@ -266,6 +277,9 @@ impl PointPayload {
             .f64_bits("avg_latency_post_fault_bits", self.avg_latency_post_fault)
             .raw("cycles_leapt", self.cycles_leapt)
             .raw("events_processed", self.events_processed)
+            .raw("routers_settled", self.routers_settled)
+            .f64_bits("settle_ops_per_leap_bits", self.settle_ops_per_leap)
+            .raw("max_debt_span", self.max_debt_span)
             .build();
         format!("{scalars}\n{}", self.digest_line)
     }
@@ -293,6 +307,9 @@ impl PointPayload {
             avg_latency_post_fault: json::field_f64_bits(scalars, "avg_latency_post_fault_bits")?,
             cycles_leapt: json::field_u64(scalars, "cycles_leapt")?,
             events_processed: json::field_u64(scalars, "events_processed")?,
+            routers_settled: json::field_u64(scalars, "routers_settled")?,
+            settle_ops_per_leap: json::field_f64_bits(scalars, "settle_ops_per_leap_bits")?,
+            max_debt_span: json::field_u64(scalars, "max_debt_span")?,
             digest_line: digest_line.to_string(),
         })
     }
@@ -369,7 +386,7 @@ fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 const USAGE: &str = "\
-gating_sweep — X3 in-loop gating sweep (schema 7)
+gating_sweep — X3 in-loop gating sweep (schema 8)
 
 Grid flags:
   --smoke            CI smoke grid (writes out/x3_gating_sweep_smoke.json
@@ -565,6 +582,25 @@ fn main() {
                 policy,
                 100,
                 600,
+                1,
+            );
+        }
+        // One large near-dead mesh keeps the event kernel's leap path
+        // — and the lazy settlement debts it leaves behind — under
+        // CI's cross-kernel digest diff, with the dense reference as
+        // the independent oracle. Both policies run so the gated and
+        // ungated close-out templates are each exercised.
+        for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+            push(
+                scheme,
+                (128, 128),
+                2e-6,
+                TrafficPattern::NearestNeighbor,
+                false,
+                1,
+                policy,
+                50,
+                400,
                 1,
             );
         }
@@ -774,28 +810,35 @@ fn main() {
                     );
                 }
             }
-            // The scale showcase: a million-router mesh at a vanishing
-            // rate with nearest-neighbour traffic. Stepping kernels
-            // pay an O(n) injection scan per cycle here; the wheel
-            // leaps those scans away, but each leap still settles the
-            // whole sleep-FSM population in bulk (O(n) per leap, ~40ns
-            // a router), so the win at this size is a few-fold rather
-            // than the mid-size rows' order of magnitude
-            // (huge_event_showcase keeps the other kernels off this
-            // row).
-            for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
-                push(
-                    scheme,
-                    (1024, 1024),
-                    5e-8,
-                    TrafficPattern::NearestNeighbor,
-                    false,
-                    1,
-                    policy,
-                    50,
-                    250,
-                    1,
-                );
+            // The scale showcase rows: quarter-million- and
+            // million-router meshes at vanishing rates with
+            // nearest-neighbour traffic. Stepping kernels pay an O(n)
+            // injection scan per cycle here; the wheel leaps those
+            // scans away, and with lazy per-router settlement each
+            // leap pays only for the routers actually touched —
+            // quiescent routers carry settlement debt that the run-end
+            // close-out pays once, so the whole run is O(touched) plus
+            // one O(n) walk (`routers_settled` / `settle_ops_per_leap`
+            // / `max_debt_span` report that machinery per row;
+            // huge_event_showcase keeps the other kernels off these
+            // rows).
+            for (mesh, rate, warmup, measure) in
+                [((512, 512), 2e-7, 100, 500), ((1024, 1024), 5e-8, 50, 250)]
+            {
+                for policy in [GatingPolicy::Never, GatingPolicy::IdleThreshold(mit)] {
+                    push(
+                        scheme,
+                        mesh,
+                        rate,
+                        TrafficPattern::NearestNeighbor,
+                        false,
+                        1,
+                        policy,
+                        warmup,
+                        measure,
+                        1,
+                    );
+                }
             }
         }
         // Deadlock-free saturated torus: Tornado at full offered load
@@ -997,7 +1040,7 @@ fn main() {
                 // rate measures the loop. Best-of-`reps` wall time —
                 // the repeats are identical simulations, so the
                 // minimum is the least-noise estimate.
-                let mut best: Option<(NetworkStats, f64, usize, usize, u64, u64)> = None;
+                let mut best: Option<(NetworkStats, f64, usize, usize, [u64; 6])> = None;
                 for _ in 0..reps {
                     let mut sim = Simulation::new(sim_cfg.clone());
                     let geometry = (sim.shards(), sim.threads());
@@ -1006,17 +1049,25 @@ fn main() {
                         .try_run(point.warmup, point.measure)
                         .map_err(JobAbort::from_sim)?;
                     let wall = start.elapsed().as_secs_f64();
-                    // Leap telemetry is identical across reps (the
-                    // runs are identical simulations); carrying it
-                    // with the best rep just keeps one tuple.
-                    let leapt = sim.cycles_leapt_total();
-                    let events = sim.events_processed_total();
+                    // Leap/settlement telemetry is identical across
+                    // reps (the runs are identical simulations);
+                    // carrying it with the best rep just keeps one
+                    // tuple.
+                    let telemetry = [
+                        sim.cycles_leapt_total(),
+                        sim.events_processed_total(),
+                        sim.routers_settled_total(),
+                        sim.settle_ops_total(),
+                        sim.leaps_total(),
+                        sim.max_debt_span(),
+                    ];
                     if best.as_ref().is_none_or(|(_, w, ..)| wall < *w) {
-                        best = Some((stats, wall, geometry.0, geometry.1, leapt, events));
+                        best = Some((stats, wall, geometry.0, geometry.1, telemetry));
                     }
                 }
-                let (stats, wall_s, shards, threads, cycles_leapt, events_processed) =
-                    best.expect("at least one rep");
+                let (stats, wall_s, shards, threads, telemetry) = best.expect("at least one rep");
+                let [cycles_leapt, events_processed, routers_settled, settle_ops, leaps, max_debt_span] =
+                    telemetry;
                 let (wall_s, cycles_per_sec) = if deterministic {
                     (0.0, 0.0)
                 } else {
@@ -1051,6 +1102,9 @@ fn main() {
                     avg_latency_post_fault: stats.avg_latency_post_fault(),
                     cycles_leapt,
                     events_processed,
+                    routers_settled,
+                    settle_ops_per_leap: settle_ops as f64 / leaps.max(1) as f64,
+                    max_debt_span,
                     digest_line: stats_digest(&point, seed, &stats),
                 }
                 .render())
@@ -1197,7 +1251,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 7,\n");
+    json.push_str("{\n  \"schema\": 8,\n");
     let _ = writeln!(
         json,
         "  \"note\": \"in-loop per-VC-lane sleep-FSM gating sweep; gating params are one output \
@@ -1214,9 +1268,12 @@ fn main() {
          scaling); the wrapped tornado points run dateline VCs at saturation under the armed \
          watchdog; cycles_leapt / events_processed / leap_fraction are the event kernel's \
          time-wheel telemetry (how much of the run the clock skipped; identically zero for the \
-         stepping kernels and excluded from the bit-identity assertion); the 64x64/128x128 rows \
-         exclude the dense reference kernel and the 1024x1024 event-showcase row runs only the \
-         active-set/event pair; faults > 0 rows \
+         stepping kernels and excluded from the bit-identity assertion); routers_settled / \
+         settle_ops_per_leap / max_debt_span are the lazy-settlement counters (debts paid over \
+         the run, touch-paid settlements per leap, longest span replayed at once; telemetry, \
+         excluded like cycles_leapt); the 64x64/128x128 rows \
+         exclude the dense reference kernel and the 512x512/1024x1024 event-showcase rows run \
+         only the active-set/event pair; faults > 0 rows \
          run a seeded FaultPlan (permanent + transient link/router kills) with fault-aware \
          rerouting — their latency penalty is against their own faulted Never baseline, and \
          min_reachable_pct / dropped_by_fault / packets_unroutable / avg_latency_post_fault \
@@ -1273,7 +1330,8 @@ fn main() {
              \"vcs\": {}, \"seed\": {}, \"rate\": {}, \"policy\": \"{}\", \
              \"kernel\": \"{}\", \"shards\": {}, \"threads\": {}, \
              \"speedup_vs_active_set\": {}, \"cycles_leapt\": {}, \"events_processed\": {}, \
-             \"leap_fraction\": {:.4}, \"mit_cycles\": {}, \"cycles\": {}, \
+             \"leap_fraction\": {:.4}, \"routers_settled\": {}, \"settle_ops_per_leap\": {:.2}, \
+             \"max_debt_span\": {}, \"mit_cycles\": {}, \"cycles\": {}, \
              \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"avg_latency_cy\": {:.3}, \
              \"latency_penalty_cy\": {}, \"throughput\": {:.4}, \"wake_stall_cycles\": {}, \
              \"sleep_events\": {}, \"dropped_at_source\": {}, \"energy_never_j\": {:.6e}, \
@@ -1298,6 +1356,9 @@ fn main() {
             p.cycles_leapt,
             p.events_processed,
             p.cycles_leapt as f64 / (point.warmup + point.measure) as f64,
+            p.routers_settled,
+            p.settle_ops_per_leap,
+            p.max_debt_span,
             point.params.min_idle_cycles(cfg.clock),
             point.warmup + point.measure,
             p.wall_s,

@@ -120,6 +120,7 @@ pub fn mesh_config(b: DigestBuilder, cfg: &MeshConfig) -> DigestBuilder {
         shards,
         threads,
         faults,
+        eager_settlement,
     } = cfg;
     b.field("mesh.width", width)
         .field("mesh.height", height)
@@ -144,6 +145,7 @@ pub fn mesh_config(b: DigestBuilder, cfg: &MeshConfig) -> DigestBuilder {
         .field("mesh.shards", shards)
         .field("mesh.threads", threads)
         .field("mesh.faults", format_args!("{faults:?}"))
+        .field("mesh.eager_settlement", eager_settlement)
 }
 
 /// Renders the digest (with its domain) as the one-line JSON header a

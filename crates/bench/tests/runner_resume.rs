@@ -124,13 +124,13 @@ fn injected_failures_are_isolated_and_manifested() {
         "{manifest}"
     );
     // …and every real grid point still completed: the smoke artifact
-    // carries all 8 rows with clean supervision counters.
+    // carries all 10 rows with clean supervision counters.
     let smoke = read(&dir, "x3_gating_sweep_smoke.json");
     let rows = smoke
         .matches("\"attempts\": 1, \"panics\": 0, \"deadline_hits\": 0")
         .count();
     assert_eq!(
-        rows, 8,
+        rows, 10,
         "all real points must complete despite the injected failures"
     );
     let _ = std::fs::remove_dir_all(&dir);

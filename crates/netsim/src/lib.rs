@@ -32,7 +32,8 @@
 //! closed-form idle machinery — the raw-speed lever that makes huge
 //! low-rate sweeps routine. `Auto` (the default) picks between them by
 //! mesh size and offered load ([`SimKernel::AUTO_SHARD_MIN_ROUTERS`],
-//! [`SimKernel::AUTO_EVENT_MAX_RATE`]). A
+//! [`SimKernel::AUTO_EVENT_MAX_RATE`],
+//! [`SimKernel::AUTO_EVENT_MIN_ROUTERS`]). A
 //! zero-progress watchdog ([`MeshConfig::watchdog_cycles`]) turns any
 //! routing-deadlock regression into a fast, named failure instead of a
 //! hung run — a panic from [`Simulation::run`], or a typed
@@ -103,6 +104,6 @@ pub use lnoc_power::gating::GatingPolicy;
 pub use router::{RouteTarget, MAX_VCS};
 pub use sim::{MeshConfig, SimAbort, SimKernel, Simulation};
 pub use sleep::{SleepConfig, SleepState};
-pub use stats::NetworkStats;
+pub use stats::{IdleBank, NetworkStats};
 pub use topology::FaultMap;
 pub use traffic::{Flit, GapSampler, InjectionProcess, TrafficPattern};

@@ -185,6 +185,15 @@ impl SimKernel {
     /// `event_vs_active_set` column).
     pub const AUTO_EVENT_MAX_RATE: f64 = 0.02;
 
+    /// Router count at or above which `Auto` picks the event-driven
+    /// kernel regardless of offered load. With lazy per-router leap
+    /// settlement, every per-run cost the event kernel pays is
+    /// O(touched), while both per-cycle kernels pay O(n) per cycle —
+    /// so at million-router scale (512×512 and up) even busy meshes
+    /// come out ahead: a higher load means fewer leaps, but the
+    /// stepped cycles still only touch the routers that hold flits.
+    pub const AUTO_EVENT_MIN_ROUTERS: usize = 262_144;
+
     /// Resolves `Auto` without mesh context — the zero-load answer
     /// (`EventDriven`, the fastest kernel when nothing is offered).
     /// [`Simulation::new`] uses [`SimKernel::resolve_for`], which also
@@ -194,8 +203,9 @@ impl SimKernel {
     }
 
     /// Resolves `Auto` for a concrete configuration: `EventDriven` at
-    /// or below [`SimKernel::AUTO_EVENT_MAX_RATE`] offered load,
-    /// `Sharded` for meshes of at least
+    /// or below [`SimKernel::AUTO_EVENT_MAX_RATE`] offered load or for
+    /// meshes of at least [`SimKernel::AUTO_EVENT_MIN_ROUTERS`]
+    /// routers (any load), `Sharded` for meshes of at least
     /// [`SimKernel::AUTO_SHARD_MIN_ROUTERS`] routers above that load,
     /// `ActiveSet` otherwise. Safe to key on size and load because
     /// statistics are bit-identical across kernels and shard counts —
@@ -203,7 +213,9 @@ impl SimKernel {
     pub fn resolve_for(self, routers: usize, injection_rate: f64) -> SimKernel {
         match self {
             SimKernel::Auto => {
-                if injection_rate <= Self::AUTO_EVENT_MAX_RATE {
+                if injection_rate <= Self::AUTO_EVENT_MAX_RATE
+                    || routers >= Self::AUTO_EVENT_MIN_ROUTERS
+                {
                     SimKernel::EventDriven
                 } else if routers >= Self::AUTO_SHARD_MIN_ROUTERS {
                     SimKernel::Sharded
@@ -369,6 +381,16 @@ pub struct MeshConfig {
     /// reproducible as healthy ones. Faulted meshes are capped at
     /// [`FaultMap::MAX_ROUTERS`] routers.
     pub faults: Option<FaultPlan>,
+    /// Force the pre-debt *eager* measurement-boundary behaviour: at
+    /// the boundary, reset every router's idle runs, sleep FSMs and
+    /// gating counters up front instead of deferring untouched routers'
+    /// settlement to first touch or close-out. Results are bit-identical
+    /// either way — this switch exists so the lazy-settlement property
+    /// tests can run the eager path as the oracle. Leave `false`
+    /// (deferred) everywhere else: eager settlement costs O(routers) at
+    /// the boundary, which at a million routers dwarfs the event
+    /// kernel's whole cycle loop.
+    pub eager_settlement: bool,
 }
 
 impl MeshConfig {
@@ -406,6 +428,7 @@ impl Default for MeshConfig {
             shards: 0,
             threads: 0,
             faults: None,
+            eager_settlement: false,
         }
     }
 }
@@ -608,6 +631,29 @@ struct ShardScratch {
     cycles_leapt: u64,
     /// Injection-arrival events fired by the event kernel.
     events_processed: u64,
+    /// Leaps the event kernel took (jump count; `cycles_leapt` is the
+    /// cycle total).
+    leaps: u64,
+    /// Measurement-boundary watermark of the current run. `Some(w)`
+    /// means the window opened at cycle `w` under *deferred
+    /// settlement*: routers whose `last_stepped ≤ w` and whose active
+    /// bit is clear still owe the boundary reset of their idle runs,
+    /// sleep FSMs and gating counters (their *settlement debt*), paid
+    /// on first touch ([`ShardView::activate`]), at close-out
+    /// ([`ShardView::close_run`]) or when an abort freezes the run.
+    /// `None` during warmup, on the reference kernel and under
+    /// [`MeshConfig::eager_settlement`].
+    boundary: Option<u64>,
+    /// Deferred boundary settlements paid, touch + close-out (persists
+    /// across runs, like `cycles_leapt`).
+    routers_settled: u64,
+    /// The subset of `routers_settled` paid on *touch* — a wheel-event
+    /// fire, an incoming flit — i.e. the per-leap settlement work the
+    /// O(touched) claim is about.
+    settle_ops: u64,
+    /// Longest deferred span settled on touch (cycles between the
+    /// watermark and the settlement).
+    max_debt_span: u64,
 }
 
 /// The event kernel's scheduling state: one pending injection arrival
@@ -715,6 +761,12 @@ struct RunCtx<'a> {
     warmup: u64,
     measure: u64,
     start_cycle: u64,
+    /// Whether this run defers the measurement-boundary settlement of
+    /// untouched routers (the debt/watermark scheme). Off for the
+    /// reference kernel — it fills the worklist wholesale instead of
+    /// going through `activate`, so debts would never be paid — and
+    /// under [`MeshConfig::eager_settlement`].
+    deferred: bool,
     on_rate: f64,
     /// Geometric gap sampler for the Bernoulli renewal chain.
     gap: &'a GapSampler,
@@ -858,6 +910,11 @@ impl Simulation {
                     events: None,
                     cycles_leapt: 0,
                     events_processed: 0,
+                    leaps: 0,
+                    boundary: None,
+                    routers_settled: 0,
+                    settle_ops: 0,
+                    max_debt_span: 0,
                 }
             })
             .collect();
@@ -1049,6 +1106,39 @@ impl Simulation {
         self.scratch.iter().map(|s| s.events_processed).sum()
     }
 
+    /// Leaps the event kernel took since construction (jump count;
+    /// [`Simulation::cycles_leapt_total`] is the cycle total). Always
+    /// zero on the other kernels.
+    pub fn leaps_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.leaps).sum()
+    }
+
+    /// Deferred measurement-boundary settlements paid since
+    /// construction — on first touch, at close-out, or when an abort
+    /// froze the run. Zero under eager settlement (the reference
+    /// kernel, or [`MeshConfig::eager_settlement`]). Performance
+    /// telemetry only, like [`Simulation::cycles_leapt_total`].
+    pub fn routers_settled_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.routers_settled).sum()
+    }
+
+    /// The subset of [`Simulation::routers_settled_total`] paid on
+    /// *touch* (wheel-event fire or incoming flit) rather than in the
+    /// close-out sweep — the per-leap settlement work.
+    pub fn settle_ops_total(&self) -> u64 {
+        self.scratch.iter().map(|s| s.settle_ops).sum()
+    }
+
+    /// Longest deferred span settled on touch since construction
+    /// (cycles between the measurement watermark and the settlement).
+    pub fn max_debt_span(&self) -> u64 {
+        self.scratch
+            .iter()
+            .map(|s| s.max_debt_span)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Asserts the credit-conservation invariant: for every link, the
     /// credits held by the upstream output lane plus the flits buffered
     /// in the downstream input VC equal the per-VC buffer depth.
@@ -1121,9 +1211,11 @@ impl Simulation {
     /// watchdog still panics at the fire site inside the worker.)
     ///
     /// After an `Err` the simulation holds the network frozen at the
-    /// abort cycle — consistent (flit and credit conservation hold)
-    /// but mid-traffic; callers wanting a clean state build a fresh
-    /// [`Simulation`].
+    /// abort cycle — consistent (flit and credit conservation hold,
+    /// the clock advances to the cycle the loop reached, and every
+    /// outstanding settlement debt is paid through its partial span)
+    /// but mid-traffic; a further run resumes from the abort cycle,
+    /// and callers wanting a clean state build a fresh [`Simulation`].
     ///
     /// At the measurement boundary the idle runs *and* the sleep FSMs
     /// are reset, so the idle histograms and the in-loop gating
@@ -1198,6 +1290,7 @@ impl Simulation {
                 warmup,
                 measure,
                 start_cycle: *cycle,
+                deferred: *kernel != SimKernel::Reference && !cfg.eager_settlement,
                 on_rate: cfg.injection.on_rate(cfg.injection_rate),
                 gap: &*gap,
                 faults: faults.as_ref(),
@@ -1262,21 +1355,71 @@ impl Simulation {
             }
             drop(views);
             // An aborted run stops mid-cycle-loop: report it without
-            // touching the cycle counter or the per-shard stats (the
-            // network stays frozen for post-mortem inspection).
+            // touching the per-shard stats (the network stays frozen
+            // for post-mortem inspection) — but the cycle counter
+            // advances to the cycle the loop actually reached, so a
+            // later run resumes time monotonically (in-flight flits
+            // keep injection stamps from the aborted window). The
+            // remaining debtors' deferred boundary resets are paid
+            // here, so the frozen slabs are bit-identical to an eager
+            // run cut short at the same cycle. A debtor settles
+            // exactly the *partial* span it owes: nothing since the
+            // watermark ever touched it, so the boundary reset is its
+            // entire settlement.
             if let Some(abort) = abort_slot.lock().expect("abort slot poisoned").take() {
+                *cycle = match &abort {
+                    // The watchdog names the cycle it fired on; the
+                    // budget check stops every worker at the top of
+                    // iteration `budget`, so exactly `budget` cycles
+                    // completed.
+                    SimAbort::Deadlock { cycle: at, .. } => *at,
+                    SimAbort::CycleBudgetExceeded { budget, .. } => ctx.start_cycle + budget,
+                };
+                for sc in scratch.iter_mut() {
+                    let Some(w) = sc.boundary.take() else {
+                        continue;
+                    };
+                    for lr in 0..sc.len {
+                        if sc.active_bits[lr / 64] & (1u64 << (lr % 64)) != 0 {
+                            continue;
+                        }
+                        let rid = sc.base + lr;
+                        if last_stepped[rid] > w {
+                            continue;
+                        }
+                        idle_run[rid * lanes..(rid + 1) * lanes].fill(0);
+                        for f in &mut fsm[rid * lanes..(rid + 1) * lanes] {
+                            f.reset();
+                        }
+                        counters[rid] = GatingCounters::default();
+                        last_stepped[rid] = w;
+                        sc.routers_settled += 1;
+                    }
+                }
                 return Err(abort);
             }
             *cycle += warmup + measure;
 
-            // Deterministic reduction: ascending shard order.
-            let mut merged = NetworkStats::new(n, vcs, NetworkStats::DEFAULT_IDLE_BINS);
-            merged.measured_cycles = measure;
-            for sc in scratch.iter_mut() {
-                if let Some(s) = sc.stats.take() {
-                    merged.merge_shard(&s, sc.base);
+            // Deterministic reduction: ascending shard order. The
+            // serial kernels' single tile covers the whole network, so
+            // its record is the run's record, taken as-is — at a
+            // million routers a copy-and-merge here would cost more
+            // than the entire event-kernel cycle loop.
+            let mut merged = if shard_count == 1 {
+                scratch[0]
+                    .stats
+                    .take()
+                    .unwrap_or_else(|| NetworkStats::new(n, vcs, NetworkStats::DEFAULT_IDLE_BINS))
+            } else {
+                let mut merged = NetworkStats::new(n, vcs, NetworkStats::DEFAULT_IDLE_BINS);
+                for sc in scratch.iter_mut() {
+                    if let Some(s) = sc.stats.take() {
+                        merged.merge_shard(&s, sc.base);
+                    }
                 }
-            }
+                merged
+            };
+            merged.measured_cycles = measure;
             // The per-tile stats cannot see the whole mesh, so the
             // network-wide degradation floor is stamped here, once.
             if let Some(f) = faults.as_ref() {
@@ -1374,6 +1517,7 @@ fn run_worker(group: &mut [ShardView<'_>], ctx: &RunCtx<'_>) {
             // their exact cycles.
             if let Some(target) = group[0].event_prologue(ctx, cycle, i) {
                 group[0].scratch.cycles_leapt += target - i;
+                group[0].scratch.leaps += 1;
                 i = target;
                 continue;
             }
@@ -1493,13 +1637,39 @@ impl ShardView<'_> {
     }
 
     /// Measurement-boundary reset (see [`Simulation::run`]).
+    ///
+    /// Under deferred settlement (`ctx.deferred`) this is O(active),
+    /// not O(tile): the boundary cycle is recorded as the watermark in
+    /// `scratch.boundary` and only routers currently on the worklist
+    /// are reset eagerly (they are mid-step — their lanes are live this
+    /// very cycle). Every quiescent router keeps its stale warmup state
+    /// as *settlement debt* — a debtor is recognizable later by
+    /// `last_stepped ≤ watermark` with its active bit clear — paid on
+    /// first touch ([`ShardView::activate`]) or in the close-out sweep
+    /// ([`ShardView::close_run`]). The eager branch resets the whole
+    /// tile up front: the reference kernel needs it (it fills the
+    /// worklist wholesale, never through `activate`), and the
+    /// lazy-settlement property tests run it as the oracle.
     fn open_measurement(&mut self, ctx: &RunCtx<'_>, boundary_cycle: u64) {
-        self.last_stepped.fill(boundary_cycle);
-        self.idle_run.fill(0);
-        for f in self.fsm.iter_mut() {
-            f.reset();
+        if ctx.deferred {
+            self.scratch.boundary = Some(boundary_cycle);
+            for wi in 0..self.scratch.active_bits.len() {
+                let mut word = self.scratch.active_bits[wi];
+                while word != 0 {
+                    let lr = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.reset_router_gating(ctx, lr);
+                    self.last_stepped[lr] = boundary_cycle;
+                }
+            }
+        } else {
+            self.last_stepped.fill(boundary_cycle);
+            self.idle_run.fill(0);
+            for f in self.fsm.iter_mut() {
+                f.reset();
+            }
+            self.counters.fill(GatingCounters::default());
         }
-        self.counters.fill(GatingCounters::default());
         // The reset re-arms threshold sleeping (`slept_this_interval`
         // clears); quiescent routers need no reactivation — their walk
         // back to sleep is replayed in closed form when they next
@@ -1632,8 +1802,14 @@ impl ShardView<'_> {
     }
 
     /// End of run: settle all quiescent routers up to the final cycle,
-    /// close out open idle runs and collect gating counters.
+    /// close out open idle runs and collect gating counters. Under
+    /// deferred settlement this is the once-per-run walk that pays
+    /// every remaining debtor ([`ShardView::close_run_deferred`]).
     fn close_run(&mut self, ctx: &RunCtx<'_>, end_cycle: u64) {
+        if let Some(w) = self.scratch.boundary.take() {
+            self.close_run_deferred(ctx, end_cycle, w);
+            return;
+        }
         let mut stats = self.scratch.stats.take();
         if ctx.kernel != SimKernel::Reference {
             for lr in 0..self.len {
@@ -1650,9 +1826,94 @@ impl ShardView<'_> {
             for lr in 0..self.len {
                 for lane in 0..lanes {
                     let run = std::mem::take(&mut self.idle_run[lr * lanes + lane]);
-                    s.idle_histograms[lr][lane].record_open(run);
+                    s.idle_histograms.lane_mut(lr, lane).record_open(run);
                 }
                 s.gating[lr] = self.counters[lr];
+            }
+        }
+        self.scratch.stats = stats;
+    }
+
+    /// Deferred close-out: the only place remaining debtors are walked,
+    /// and even that walk is O(1) per debtor. Every router that was
+    /// never touched after the measurement boundary slept through the
+    /// *identical* `boundary → end` span, so what the eager path would
+    /// compute per router — boundary reset, one `account_skipped` over
+    /// the span, one open-run record per lane — is computed **once**
+    /// into a template (FSM end state, gating counters, arbitration
+    /// count) and copied into each debtor's slabs. Debtor histograms
+    /// are not even materialized: one `record_open` per lane lands on
+    /// the [`IdleBank`] shared default row after every touched router
+    /// has claimed its own row (ordering matters — see
+    /// [`IdleBank::record_open_untouched`]).
+    fn close_run_deferred(&mut self, ctx: &RunCtx<'_>, end_cycle: u64, w: u64) {
+        let mut stats = self.scratch.stats.take();
+        let lanes = ctx.lanes;
+        let span = end_cycle - w;
+        // Template: the state a full-window debtor ends the run in.
+        // Replays account_skipped's gated branch lane by lane so the
+        // shared per-router counters accumulate exactly as the eager
+        // path's would (lane order is immaterial — every lane is
+        // identical — but the *count* of settles is not).
+        let mut tmpl_fsm = SleepFsm::default();
+        let mut tmpl_counters = GatingCounters::default();
+        let mut tmpl_arbs = 0u64;
+        if span > 0 {
+            match &ctx.cfg.gating {
+                None => tmpl_arbs = lanes as u64 * span,
+                Some(cfg) => {
+                    let th = cfg.threshold();
+                    for _ in 0..lanes {
+                        let mut f = SleepFsm::default();
+                        tmpl_arbs += f.settle_idle_bulk(span, 0, th, &mut tmpl_counters);
+                        tmpl_fsm = f;
+                    }
+                }
+            }
+        }
+        let mut debtors = 0u64;
+        for lr in 0..self.len {
+            let active = self.scratch.active_bits[lr / 64] & (1u64 << (lr % 64)) != 0;
+            if !active && self.last_stepped[lr] <= w {
+                // Debtor: stale warmup slabs become the template.
+                let base = lr * lanes;
+                self.idle_run[base..base + lanes].fill(0);
+                self.fsm[base..base + lanes].fill(tmpl_fsm);
+                self.counters[lr] = tmpl_counters;
+                self.last_stepped[lr] = end_cycle;
+                debtors += 1;
+                if let Some(s) = stats.as_mut() {
+                    let a = &mut s.router_activity[lr];
+                    a.cycles += span;
+                    a.arbitrations += tmpl_arbs;
+                    s.gating[lr] = tmpl_counters;
+                }
+                continue;
+            }
+            if !active {
+                let skipped = end_cycle - self.last_stepped[lr];
+                self.account_skipped(ctx, lr, skipped, &mut stats);
+                self.last_stepped[lr] = end_cycle;
+            }
+            if let Some(s) = stats.as_mut() {
+                // Touched router: materialize its histogram row even if
+                // every lane run is zero, so the shared-default open
+                // run below cannot reach it.
+                for lane in 0..lanes {
+                    let run = std::mem::take(&mut self.idle_run[lr * lanes + lane]);
+                    s.idle_histograms.lane_mut(lr, lane).record_open(run);
+                }
+                s.gating[lr] = self.counters[lr];
+            }
+        }
+        self.scratch.routers_settled += debtors;
+        if debtors > 0 {
+            self.scratch.max_debt_span = self.scratch.max_debt_span.max(span);
+        }
+        if let Some(s) = stats.as_mut() {
+            s.measured_cycles = ctx.measure;
+            if span > 0 && debtors > 0 {
+                s.idle_histograms.record_open_untouched(span);
             }
         }
         self.scratch.stats = stats;
@@ -2382,7 +2643,7 @@ impl ShardView<'_> {
                         // and even `record(0)`'s early return costs a
                         // call per lane per cycle on the hot path.
                         if run > 0 {
-                            s.idle_histograms[lr][l].record(run);
+                            s.idle_histograms.lane_mut(lr, l).record(run);
                         }
                     }
                 }
@@ -2507,6 +2768,33 @@ impl ShardView<'_> {
         self.scratch.outgoing[k].push(msg);
     }
 
+    /// Resets one router's gating slabs to their measurement-boundary
+    /// state: idle runs cleared, every lane FSM re-armed
+    /// ([`SleepFsm::reset`]), gating counters zeroed. The shared tail
+    /// of both the eager boundary fill and lazy debt payment.
+    fn reset_router_gating(&mut self, ctx: &RunCtx<'_>, lr: usize) {
+        let lanes = ctx.lanes;
+        let base = lr * lanes;
+        self.idle_run[base..base + lanes].fill(0);
+        for f in &mut self.fsm[base..base + lanes] {
+            f.reset();
+        }
+        self.counters[lr] = GatingCounters::default();
+    }
+
+    /// Pays one router's settlement debt: replays the measurement
+    /// boundary it slept through (reset to the watermark `w`), so the
+    /// caller's normal pre-boundary→now accounting becomes the correct
+    /// `w`→now span. `now` is only used for the `max_debt_span`
+    /// telemetry.
+    fn settle_debt(&mut self, ctx: &RunCtx<'_>, lr: usize, w: u64, now: u64) {
+        self.reset_router_gating(ctx, lr);
+        self.last_stepped[lr] = w;
+        self.scratch.routers_settled += 1;
+        self.scratch.settle_ops += 1;
+        self.scratch.max_debt_span = self.scratch.max_debt_span.max(now - w);
+    }
+
     /// Puts a quiescent router back in the worklist, first settling the
     /// cycles it skipped (`through` is the last cycle it should be
     /// accounted as idle; injection activations pass `cycle − 1`
@@ -2522,6 +2810,13 @@ impl ShardView<'_> {
     ) {
         if self.scratch.active_bits[lr / 64] & (1u64 << (lr % 64)) != 0 {
             return;
+        }
+        // First touch since the measurement boundary: pay the deferred
+        // boundary reset before accounting the post-boundary idle span.
+        if let Some(w) = self.scratch.boundary {
+            if self.last_stepped[lr] <= w {
+                self.settle_debt(ctx, lr, w, through);
+            }
         }
         let skipped = through - self.last_stepped[lr];
         self.account_skipped(ctx, lr, skipped, stats);
@@ -3180,6 +3475,17 @@ mod tests {
         assert_eq!(
             SimKernel::Auto.resolve_for(SimKernel::AUTO_SHARD_MIN_ROUTERS - 1, 0.05),
             SimKernel::ActiveSet
+        );
+        // Million-router meshes leap regardless of load: with lazy
+        // settlement every event-kernel cost is O(touched), while the
+        // per-cycle kernels pay O(n) per cycle.
+        assert_eq!(
+            SimKernel::Auto.resolve_for(SimKernel::AUTO_EVENT_MIN_ROUTERS, 0.5),
+            SimKernel::EventDriven
+        );
+        assert_eq!(
+            SimKernel::Auto.resolve_for(SimKernel::AUTO_EVENT_MIN_ROUTERS - 1, 0.5),
+            SimKernel::Sharded
         );
         // No-context resolution is the zero-load answer.
         assert_eq!(SimKernel::Auto.resolve(), SimKernel::EventDriven);

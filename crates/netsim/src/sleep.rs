@@ -514,4 +514,45 @@ mod tests {
         assert_eq!(k.cycles_idle_awake, 50);
         assert_eq!(k.cycles_asleep, 0);
     }
+
+    #[test]
+    fn bulk_idle_settle_composes_across_threshold_boundary() {
+        // Deferred settlement's load-bearing algebraic property: a span
+        // settled as two deferred pieces equals the same span settled
+        // in one piece — *including* when the split lands the sleep
+        // threshold inside either piece, so the first settle ends
+        // mid-walk (DrowsyCountdown) or already asleep and the second
+        // must pick up exactly where the dense replay would be. Sweep
+        // every split point of a span that crosses an IdleThreshold
+        // boundary, plus Immediate and Never for the degenerate
+        // thresholds.
+        for c in [
+            cfg(GatingPolicy::IdleThreshold(5), 1),
+            cfg(GatingPolicy::Immediate, 1),
+            cfg(GatingPolicy::Never, 1),
+        ] {
+            let span = 12u64; // threshold 5 sits strictly inside
+            for split in 0..=span {
+                let mut whole = SleepFsm::default();
+                let mut whole_k = GatingCounters::default();
+                let whole_arbs = whole.settle_idle_bulk(span, 0, c.threshold(), &mut whole_k);
+
+                let mut parts = SleepFsm::default();
+                let mut parts_k = GatingCounters::default();
+                let mut parts_arbs = parts.settle_idle_bulk(split, 0, c.threshold(), &mut parts_k);
+                parts_arbs +=
+                    parts.settle_idle_bulk(span - split, split, c.threshold(), &mut parts_k);
+
+                assert_eq!(whole, parts, "state diverged for {c:?} split={split}");
+                assert_eq!(
+                    whole_k, parts_k,
+                    "counters diverged for {c:?} split={split}"
+                );
+                assert_eq!(
+                    whole_arbs, parts_arbs,
+                    "awake cycles diverged for {c:?} split={split}"
+                );
+            }
+        }
+    }
 }

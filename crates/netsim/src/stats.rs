@@ -57,9 +57,11 @@ pub struct NetworkStats {
     pub vcs: usize,
     /// Idle-interval histogram per router per output VC lane
     /// (`5 * vcs` per router, indexed `port * vcs + vc` with ports in
-    /// [`crate::topology::Direction`] order).
+    /// [`crate::topology::Direction`] order), stored sparsely: rows
+    /// materialize on first write and untouched routers share one
+    /// default row ([`IdleBank`]).
     #[serde(skip)]
-    pub idle_histograms: Vec<Vec<IdleHistogram>>,
+    pub idle_histograms: IdleBank,
     /// Per-router in-loop gating counters (all output VC lanes
     /// summed); all-zero when the run was ungated.
     pub gating: Vec<GatingCounters>,
@@ -93,13 +95,7 @@ impl NetworkStats {
             min_reachable_fraction: 1.0,
             router_activity: vec![RouterActivity::default(); routers],
             vcs,
-            idle_histograms: (0..routers)
-                .map(|_| {
-                    (0..5 * vcs)
-                        .map(|_| IdleHistogram::new(histogram_cap))
-                        .collect()
-                })
-                .collect(),
+            idle_histograms: IdleBank::new(routers, 5 * vcs, histogram_cap),
             gating: vec![GatingCounters::default(); routers],
         }
     }
@@ -174,14 +170,8 @@ impl NetworkStats {
         {
             mine.add(theirs);
         }
-        for (mine, theirs) in self.idle_histograms[base_router..]
-            .iter_mut()
-            .zip(&other.idle_histograms)
-        {
-            for (h, o) in mine.iter_mut().zip(theirs) {
-                h.merge(o);
-            }
-        }
+        self.idle_histograms
+            .merge_from(&other.idle_histograms, base_router);
         for (mine, theirs) in self.gating[base_router..].iter_mut().zip(&other.gating) {
             mine.add(theirs);
         }
@@ -224,9 +214,9 @@ impl NetworkStats {
     /// way.
     pub fn merged_idle_histogram(&self, cap: usize) -> IdleHistogram {
         let mut merged = IdleHistogram::new(cap);
-        for per_router in &self.idle_histograms {
-            for h in per_router {
-                merged.merge_rebinned(h);
+        for r in 0..self.idle_histograms.routers() {
+            for l in 0..self.idle_histograms.lanes() {
+                merged.merge_rebinned(self.idle_histograms.lane(r, l));
             }
         }
         merged
@@ -262,6 +252,172 @@ impl NetworkStats {
     }
 }
 
+/// Sparse `routers × lanes` bank of [`IdleHistogram`]s.
+///
+/// At the injection rates the leakage study sweeps, almost every
+/// router's histograms stay empty for the whole run except for the one
+/// trailing open interval the close-out records — yet the old
+/// `Vec<Vec<IdleHistogram>>` paid a nested allocation per router up
+/// front, which at a million routers dominated run setup. The bank
+/// keeps one `default_row` shared by every router that was never
+/// written and materializes a router's private row on its first
+/// `lane_mut`, so construction is O(routers) words and the run's
+/// histogram memory is proportional to routers actually touched.
+///
+/// [`IdleBank::record_open_untouched`] is the close-out's bulk path:
+/// it appends one open interval to the shared default row, which every
+/// still-unmaterialized router then reports — O(lanes) for the whole
+/// untouched population. Equality, merging and iteration are all
+/// content-based: an unmaterialized router behaves exactly as if its
+/// row held the default row's contents.
+#[derive(Debug, Clone, Default)]
+pub struct IdleBank {
+    lanes: usize,
+    cap: usize,
+    /// Per-router index into `rows` (in units of rows); `u32::MAX`
+    /// marks an unmaterialized router whose content is `default_row`.
+    idx: Vec<u32>,
+    /// Materialized rows, `lanes` histograms each, in first-write
+    /// order.
+    rows: Vec<IdleHistogram>,
+    /// Shared content of every unmaterialized router. Pristine until
+    /// [`IdleBank::record_open_untouched`].
+    default_row: Vec<IdleHistogram>,
+}
+
+impl IdleBank {
+    /// Creates a bank for `routers` routers with `lanes` histograms
+    /// each, every histogram capped at `cap` exact bins.
+    pub fn new(routers: usize, lanes: usize, cap: usize) -> Self {
+        assert!(u32::try_from(routers).is_ok(), "router count fits u32");
+        IdleBank {
+            lanes,
+            cap,
+            idx: vec![u32::MAX; routers],
+            rows: Vec::new(),
+            default_row: (0..lanes).map(|_| IdleHistogram::new(cap)).collect(),
+        }
+    }
+
+    /// Number of routers in the bank.
+    pub fn routers(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Histograms per router (`5 × vcs` in a simulation record).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// A router's materialized row, if it has one.
+    fn row(&self, router: usize) -> Option<&[IdleHistogram]> {
+        let i = self.idx[router];
+        (i != u32::MAX).then(|| {
+            let base = i as usize * self.lanes;
+            &self.rows[base..base + self.lanes]
+        })
+    }
+
+    /// Read access to one lane's histogram — the router's own row when
+    /// materialized, the shared default row otherwise.
+    pub fn lane(&self, router: usize, lane: usize) -> &IdleHistogram {
+        assert!(lane < self.lanes, "lane out of range");
+        match self.row(router) {
+            Some(row) => &row[lane],
+            None => &self.default_row[lane],
+        }
+    }
+
+    /// Write access to one lane's histogram, materializing the
+    /// router's row (as a copy of the current default row, so the
+    /// router's observable content is unchanged by materialization).
+    pub fn lane_mut(&mut self, router: usize, lane: usize) -> &mut IdleHistogram {
+        assert!(lane < self.lanes, "lane out of range");
+        let base = match self.idx[router] {
+            u32::MAX => {
+                let next = self.rows.len() / self.lanes;
+                self.idx[router] = u32::try_from(next).expect("row index fits u32");
+                self.rows.extend(self.default_row.iter().cloned());
+                next * self.lanes
+            }
+            i => i as usize * self.lanes,
+        };
+        &mut self.rows[base + lane]
+    }
+
+    /// Records one still-open idle interval of `len` cycles into
+    /// **every lane of every router not materialized yet** (0-length
+    /// ignored) — the O(lanes) close-out for the untouched population.
+    /// Callers must materialize every touched router first: a
+    /// `lane_mut` after this call clones the default row *including*
+    /// this interval.
+    pub fn record_open_untouched(&mut self, len: u64) {
+        for h in &mut self.default_row {
+            h.record_open(len);
+        }
+    }
+
+    /// Whether the shared default row carries any recorded content
+    /// (i.e. [`IdleBank::record_open_untouched`] recorded something).
+    fn default_dirty(&self) -> bool {
+        self.default_row.iter().any(|h| h.interval_count() > 0)
+    }
+
+    /// Merges another bank — covering routers `base ..` of this one —
+    /// lane-wise into this bank, exactly like the old per-histogram
+    /// [`IdleHistogram::merge`] loop. Routers that are unmaterialized
+    /// in `other` merge their default-row content (skipped entirely
+    /// when that row is pristine, so merging an untouched tile stays
+    /// O(1) per router).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lane counts or caps differ, or `other` overhangs.
+    pub fn merge_from(&mut self, other: &IdleBank, base: usize) {
+        assert_eq!(
+            self.lanes, other.lanes,
+            "merging banks of different lane counts"
+        );
+        assert_eq!(self.cap, other.cap, "merging banks of different caps");
+        assert!(
+            base + other.routers() <= self.routers(),
+            "merged tile exceeds the network"
+        );
+        let dirty = other.default_dirty();
+        for r in 0..other.routers() {
+            match other.row(r) {
+                Some(row) => {
+                    for (l, h) in row.iter().enumerate() {
+                        self.lane_mut(base + r, l).merge(h);
+                    }
+                }
+                None if dirty => {
+                    for (l, h) in other.default_row.iter().enumerate() {
+                        self.lane_mut(base + r, l).merge(h);
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+impl PartialEq for IdleBank {
+    fn eq(&self, other: &Self) -> bool {
+        if self.routers() != other.routers() || self.lanes != other.lanes || self.cap != other.cap {
+            return false;
+        }
+        // Content equality, router by router: materialization state is
+        // an implementation detail, so a materialized row equals an
+        // unmaterialized router with the same effective content.
+        let defaults_eq = self.default_row == other.default_row;
+        (0..self.routers()).all(|r| match (self.row(r), other.row(r)) {
+            (None, None) => defaults_eq,
+            (a, b) => a.unwrap_or(&self.default_row) == b.unwrap_or(&other.default_row),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,9 +434,9 @@ mod tests {
     #[test]
     fn merged_histogram_accumulates() {
         let mut s = NetworkStats::new(2, 1, 64);
-        s.idle_histograms[0][0].record(5);
-        s.idle_histograms[1][3].record(5);
-        s.idle_histograms[1][3].record(7);
+        s.idle_histograms.lane_mut(0, 0).record(5);
+        s.idle_histograms.lane_mut(1, 3).record(5);
+        s.idle_histograms.lane_mut(1, 3).record(7);
         let merged = s.merged_idle_histogram(64);
         assert_eq!(merged.interval_count(), 3);
         assert_eq!(merged.total_idle_cycles(), 17);
@@ -293,13 +449,13 @@ mod tests {
         // overflow bins whose average length is not an integer (100 and
         // 101 average to 100.5; naive truncation would drop a cycle).
         let mut s = NetworkStats::new(2, 2, 64);
-        s.idle_histograms[0][0].record_n(5, 400);
-        s.idle_histograms[0][7].record_n(9, 2); // a VC-1 lane of port 3
-        s.idle_histograms[0][2].record_n(63, 10);
-        s.idle_histograms[1][1].record_n(1000, 3); // overflow bin
-        s.idle_histograms[1][3].record(100); // overflow, inexact average
-        s.idle_histograms[1][3].record(101);
-        s.idle_histograms[1][4].record_open(77);
+        s.idle_histograms.lane_mut(0, 0).record_n(5, 400);
+        s.idle_histograms.lane_mut(0, 7).record_n(9, 2); // a VC-1 lane of port 3
+        s.idle_histograms.lane_mut(0, 2).record_n(63, 10);
+        s.idle_histograms.lane_mut(1, 1).record_n(1000, 3); // overflow bin
+        s.idle_histograms.lane_mut(1, 3).record(100); // overflow, inexact average
+        s.idle_histograms.lane_mut(1, 3).record(101);
+        s.idle_histograms.lane_mut(1, 4).record_open(77);
         let fast = s.merged_idle_histogram(64);
         let slow = s.merged_idle_histogram(128);
         assert_eq!(fast.interval_count(), slow.interval_count());
@@ -323,7 +479,7 @@ mod tests {
         tile0.latency_max = 25;
         tile0.measured_cycles = 100;
         tile0.router_activity[1].cycles = 100;
-        tile0.idle_histograms[0][2].record(5);
+        tile0.idle_histograms.lane_mut(0, 2).record(5);
         tile0.gating[1].sleep_entries = 7;
         let mut tile1 = NetworkStats::new(2, 1, 64);
         tile1.packets_injected = 1;
@@ -333,7 +489,7 @@ mod tests {
         tile1.latency_max = 10;
         tile1.measured_cycles = 100;
         tile1.router_activity[0].cycles = 50;
-        tile1.idle_histograms[1][0].record_open(9);
+        tile1.idle_histograms.lane_mut(1, 0).record_open(9);
 
         let mut reduced = NetworkStats::new(4, 1, 64);
         reduced.merge_shard(&tile0, 0);
@@ -348,8 +504,8 @@ mod tests {
         whole.measured_cycles = 100;
         whole.router_activity[1].cycles = 100;
         whole.router_activity[2].cycles = 50;
-        whole.idle_histograms[0][2].record(5);
-        whole.idle_histograms[3][0].record_open(9);
+        whole.idle_histograms.lane_mut(0, 2).record(5);
+        whole.idle_histograms.lane_mut(3, 0).record_open(9);
         whole.gating[1].sleep_entries = 7;
         assert_eq!(reduced, whole);
 
@@ -373,5 +529,51 @@ mod tests {
         s.packets_delivered = 4;
         s.latency_sum = 40;
         assert!((s.avg_latency() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_equality_is_content_based() {
+        // A router materialized with default content equals an
+        // unmaterialized one; actual content differences still show.
+        let mut a = IdleBank::new(3, 2, 16);
+        let b = IdleBank::new(3, 2, 16);
+        let _ = a.lane_mut(1, 0); // materialize, write nothing
+        assert_eq!(a, b);
+        a.lane_mut(1, 0).record(4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bank_untouched_open_run_reaches_only_unmaterialized_rows() {
+        let mut bank = IdleBank::new(3, 2, 16);
+        bank.lane_mut(0, 1).record(7); // router 0 touched
+        bank.record_open_untouched(40);
+        assert_eq!(bank.lane(0, 0).open_runs(), &[] as &[u64]);
+        assert_eq!(bank.lane(0, 1).open_runs(), &[] as &[u64]);
+        for r in 1..3 {
+            for l in 0..2 {
+                assert_eq!(bank.lane(r, l).open_runs(), &[40]);
+            }
+        }
+        // Materializing after the bulk record preserves content.
+        let _ = bank.lane_mut(2, 0);
+        assert_eq!(bank.lane(2, 0).open_runs(), &[40]);
+        assert_eq!(bank.lane(2, 1).open_runs(), &[40]);
+    }
+
+    #[test]
+    fn bank_merge_carries_default_content() {
+        // A tile whose routers are all untouched except one, with a
+        // bulk open run applied: merging it at an offset must land the
+        // private row and the shared default content alike.
+        let mut tile = IdleBank::new(2, 1, 16);
+        tile.lane_mut(0, 0).record(3);
+        tile.record_open_untouched(9);
+        let mut net = IdleBank::new(4, 1, 16);
+        net.merge_from(&tile, 2);
+        assert_eq!(net.lane(2, 0).interval_count(), 1);
+        assert_eq!(net.lane(2, 0).total_idle_cycles(), 3);
+        assert_eq!(net.lane(3, 0).open_runs(), &[9]);
+        assert_eq!(net.lane(0, 0).interval_count(), 0);
     }
 }

@@ -17,7 +17,7 @@ pub mod rules;
 
 use std::path::{Path, PathBuf};
 
-pub use rules::{Finding, RULES};
+pub use rules::{Finding, WaiverRecord, RULES};
 
 /// The waiver meta-rules, always enabled.
 const META_RULES: &[&str] = &[
@@ -100,6 +100,32 @@ pub fn lint_workspace(root: &Path) -> (usize, Vec<(String, Finding)>) {
         }
     }
     (files.len(), findings)
+}
+
+/// Walks the same files as [`lint_workspace`] and inventories every
+/// `lint:allow` waiver instead of enforcing rules. Returns
+/// `(files_walked, records)`; records carry workspace-relative paths
+/// and are sorted by path then line, so the audit output is a stable,
+/// reviewable list of every escape hatch in the workspace.
+pub fn audit_waivers(root: &Path) -> (usize, Vec<(String, WaiverRecord)>) {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    files.sort();
+    let mut records = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(f) else {
+            continue;
+        };
+        for record in rules::list_waivers(&lexer::lex(&src)) {
+            records.push((rel.clone(), record));
+        }
+    }
+    (files.len(), records)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {

@@ -1,6 +1,12 @@
 //! `cargo run -p xtask -- lint [root]` — run the determinism and
 //! soundness lint over the workspace. Exits nonzero on any finding,
 //! so CI can gate on it.
+//!
+//! `cargo run -p xtask -- audit-waivers [root]` — print every
+//! `lint:allow` waiver in the workspace with its rules and reason.
+//! The lint already rejects waivers without a reason; the audit makes
+//! the surviving inventory visible in CI logs so reviewers see each
+//! escape hatch a change introduces, not just that it was justified.
 
 #![deny(unsafe_code)]
 
@@ -27,8 +33,28 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("audit-waivers") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let (files, records) = xtask::audit_waivers(&root);
+            for (rel, w) in &records {
+                let reason = w.reason.as_deref().unwrap_or("<MISSING REASON>");
+                println!(
+                    "{rel}:{}: lint:allow({}) -- {reason}",
+                    w.line,
+                    w.rules.join(", ")
+                );
+            }
+            println!(
+                "xtask audit-waivers: {} waiver(s) across {files} files",
+                records.len()
+            );
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [workspace-root]");
+            eprintln!("usage: cargo run -p xtask -- <lint | audit-waivers> [workspace-root]");
             ExitCode::from(2)
         }
     }

@@ -46,12 +46,40 @@ pub const RULES: &[&str] = &[
 #[derive(Debug)]
 struct Waiver {
     rules: Vec<String>,
-    has_reason: bool,
+    reason: Option<String>,
     comment_line: u32,
     /// First source line the waiver covers (it also covers the next
     /// line, see module docs); `None` when no code follows.
     applies_line: Option<u32>,
     used: bool,
+}
+
+/// One waiver as the audit sees it: where it sits, which rules it
+/// suppresses, and the justification its author gave. Produced by
+/// [`list_waivers`] so `cargo run -p xtask -- audit-waivers` can print
+/// the workspace's complete escape-hatch inventory for review.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverRecord {
+    /// Line of the `lint:allow` comment itself.
+    pub line: u32,
+    /// Rule names the waiver suppresses, as written.
+    pub rules: Vec<String>,
+    /// The `-- reason` text, if any (its absence is a lint finding).
+    pub reason: Option<String>,
+}
+
+/// Lists every `lint:allow` waiver in a lexed file, reusing the exact
+/// parse the lint itself suppresses findings with — the audit can
+/// never disagree with the enforcement about what counts as a waiver.
+pub fn list_waivers(lexed: &Lexed) -> Vec<WaiverRecord> {
+    parse_waivers(lexed)
+        .into_iter()
+        .map(|w| WaiverRecord {
+            line: w.comment_line,
+            rules: w.rules,
+            reason: w.reason,
+        })
+        .collect()
 }
 
 impl Waiver {
@@ -80,12 +108,14 @@ fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
                 .filter(|r| !r.is_empty())
                 .collect();
             let after = rest[close + 1..].trim_start();
-            let has_reason = after
+            let reason = after
                 .strip_prefix("--")
-                .is_some_and(|r| !r.trim().is_empty());
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .map(str::to_string);
             out.push(Waiver {
                 rules,
-                has_reason,
+                reason,
                 comment_line: c.line,
                 applies_line: waiver_target(c, lexed),
                 used: false,
@@ -136,7 +166,7 @@ pub fn run(lexed: &Lexed, enabled: &[&'static str]) -> Vec<Finding> {
         }
     }
     for w in &waivers {
-        if !w.has_reason {
+        if w.reason.is_none() {
             out.push(Finding {
                 rule: "waiver-needs-reason",
                 line: w.comment_line,

@@ -132,3 +132,41 @@ fn workspace_lints_clean() {
             .join("\n")
     );
 }
+
+#[test]
+fn audit_lists_waivers_with_their_reasons() {
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_relaxed.rs"),
+    )
+    .expect("fixture");
+    let waivers = xtask::rules::list_waivers(&xtask::lexer::lex(&src));
+    assert_eq!(waivers.len(), 1, "fixture carries exactly one waiver");
+    assert_eq!(waivers[0].line, 9);
+    assert_eq!(waivers[0].rules, ["relaxed-needs-waiver"]);
+    assert_eq!(
+        waivers[0].reason.as_deref(),
+        Some("reader side of a"),
+        "reason is the comment tail after `--` (line comments do not merge)"
+    );
+}
+
+#[test]
+fn workspace_waivers_are_all_justified() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let (files, records) = xtask::audit_waivers(root);
+    assert!(files > 50, "walk found only {files} files — broken root?");
+    // `workspace_lints_clean` already rejects reasonless waivers; this
+    // pins that the audit walker sees the same inventory and that the
+    // audit output can never print `<MISSING REASON>` on a clean tree.
+    for (rel, w) in &records {
+        assert!(
+            w.reason.is_some(),
+            "{rel}:{}: waiver lint:allow({}) has no reason",
+            w.line,
+            w.rules.join(", ")
+        );
+    }
+}
